@@ -1,0 +1,49 @@
+# Development entry points for gsv. Everything is stdlib Go; no external
+# tools are required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fuzz fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The paper-reproduction tables (EXPERIMENTS.md records a run).
+experiments:
+	$(GO) run ./cmd/benchviews -updates 300
+
+examples:
+	@for e in quickstart webcache accesscontrol profstudent warehouse extensions distributed; do \
+		echo "=== examples/$$e ==="; \
+		$(GO) run ./examples/$$e || exit 1; \
+	done
+
+# Short fuzz sessions on every fuzz target (seed corpora also run under
+# plain `make test`).
+fuzz:
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/query/
+	$(GO) test -fuzz='^FuzzParsePathExpr$$' -fuzztime=30s ./internal/query/
+	$(GO) test -fuzz='^FuzzLoad$$' -fuzztime=30s ./internal/store/
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

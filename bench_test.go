@@ -1,0 +1,441 @@
+package gsv_test
+
+// One benchmark per experiment table (E1–E7; see DESIGN.md §4 and
+// EXPERIMENTS.md), plus micro-benchmarks for the core operations. The
+// experiment benchmarks measure the per-update maintenance cost of the
+// configuration named in the benchmark; the full sweep tables are printed
+// by cmd/benchviews.
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv/internal/core"
+	"gsv/internal/dataguide"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/relstore"
+	"gsv/internal/store"
+	"gsv/internal/warehouse"
+	"gsv/internal/workload"
+)
+
+const benchView = "SELECT REL.r0.tuple X WHERE X.age > 30"
+
+func benchFixture(b *testing.B, tuples int) (*store.Store, []oem.OID, []oem.OID) {
+	b.Helper()
+	s := store.NewDefault()
+	db := workload.RelationLike(s, workload.RelationConfig{
+		Relations: 2, TuplesPerRelation: tuples, FieldsPerTuple: 3, Seed: 7,
+	})
+	var sets, atoms []oem.OID
+	for _, r := range db.Relations {
+		sets = append(sets, r.OID)
+		sets = append(sets, r.Tuples...)
+		for _, tu := range r.Tuples {
+			kids, _ := s.Children(tu)
+			atoms = append(atoms, kids...)
+		}
+	}
+	return s, sets, atoms
+}
+
+// BenchmarkE1IncrementalMaintenance measures Algorithm 1's per-update cost
+// (the incremental side of E1).
+func BenchmarkE1IncrementalMaintenance(b *testing.B) {
+	for _, tuples := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("tuples=%d", tuples), func(b *testing.B) {
+			s, sets, atoms := benchFixture(b, tuples)
+			vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+			mv, err := core.Materialize("V", query.MustParse(benchView), s, vstore)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := core.NewSimpleMaintainer(mv, core.NewCentralAccess(s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 60}, sets, atoms)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				us, ok := stream.Next()
+				if !ok {
+					b.Fatal("stream exhausted")
+				}
+				for _, u := range us {
+					if err := m.Apply(u); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE1Recompute measures the full-recomputation baseline of E1.
+func BenchmarkE1Recompute(b *testing.B) {
+	for _, tuples := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("tuples=%d", tuples), func(b *testing.B) {
+			s, sets, atoms := benchFixture(b, tuples)
+			vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+			mv, err := core.Materialize("V", query.MustParse(benchView), s, vstore)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 60}, sets, atoms)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := stream.Next(); !ok {
+					b.Fatal("stream exhausted")
+				}
+				if err := mv.Recompute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2PathAncestor measures the E2 helper functions with and
+// without the parent index on a deep chain.
+func BenchmarkE2PathAncestor(b *testing.B) {
+	for _, idx := range []bool{true, false} {
+		for _, depth := range []int{16, 64} {
+			b.Run(fmt.Sprintf("index=%v/depth=%d", idx, depth), func(b *testing.B) {
+				opts := store.DefaultOptions()
+				opts.ParentIndex = idx
+				s := store.New(opts)
+				root, leaf := workload.DeepChain(s, depth, 4)
+				a := core.NewCentralAccess(s)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok, err := a.Path(root, leaf); err != nil || !ok {
+						b.Fatalf("path failed: %v %v", ok, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE3RelationalIVM measures the relational counting baseline's
+// per-update cost (the comparison side of E3).
+func BenchmarkE3RelationalIVM(b *testing.B) {
+	for _, tuples := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("tuples=%d", tuples), func(b *testing.B) {
+			s, sets, atoms := benchFixture(b, tuples)
+			def, ok := core.Simplify(query.MustParse(benchView))
+			if !ok {
+				b.Fatal("not simple")
+			}
+			rel, err := relstore.NewGSDBView(s, def)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 60}, sets, atoms)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				us, ok := stream.Next()
+				if !ok {
+					b.Fatal("stream exhausted")
+				}
+				for _, u := range us {
+					rel.Apply(u)
+				}
+			}
+		})
+	}
+}
+
+// benchWarehouse drives one warehouse configuration; reported as
+// time/op = per-source-update maintenance cost including query backs.
+func benchWarehouse(b *testing.B, level warehouse.ReportLevel, cfg warehouse.ViewConfig) {
+	s := store.NewDefault()
+	db := workload.RelationLike(s, workload.RelationConfig{
+		Relations: 2, TuplesPerRelation: 200, FieldsPerTuple: 3, Seed: 7,
+	})
+	tr := warehouse.NewTransport(0)
+	src := warehouse.NewSource("rel", s, "REL", level, tr)
+	src.DrainReports()
+	w := warehouse.New(src)
+	if _, err := w.DefineView("SEL", query.MustParse(benchView), cfg); err != nil {
+		b.Fatal(err)
+	}
+	var sets, atoms []oem.OID
+	for _, r := range db.Relations {
+		sets = append(sets, r.OID)
+		sets = append(sets, r.Tuples...)
+		for _, tu := range r.Tuples {
+			kids, _ := s.Children(tu)
+			atoms = append(atoms, kids...)
+		}
+	}
+	stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 60}, sets, atoms)
+	setup := tr.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := stream.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+		if err := w.ProcessAll(src.DrainReports()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	used := tr.Sub(setup)
+	b.ReportMetric(float64(used.QueryBacks)/float64(b.N), "queries/op")
+}
+
+// BenchmarkE4ReportingLevels measures warehouse maintenance per update at
+// each reporting level (E4), without caching.
+func BenchmarkE4ReportingLevels(b *testing.B) {
+	for _, level := range []warehouse.ReportLevel{warehouse.Level1, warehouse.Level2, warehouse.Level3} {
+		b.Run(level.String(), func(b *testing.B) {
+			benchWarehouse(b, level, warehouse.ViewConfig{Screening: level >= warehouse.Level2})
+		})
+	}
+}
+
+// BenchmarkE5Caching measures warehouse maintenance per update under the
+// Section 5.2 cache modes (E5), at Level 2 with screening.
+func BenchmarkE5Caching(b *testing.B) {
+	for _, mode := range []warehouse.CacheMode{warehouse.CacheNone, warehouse.CachePartial, warehouse.CacheFull} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchWarehouse(b, warehouse.Level2, warehouse.ViewConfig{Cache: mode, Screening: true})
+		})
+	}
+}
+
+// BenchmarkE6SwizzledQuery measures WITHIN-view query evaluation on
+// swizzled vs unswizzled materialized views (E6).
+func BenchmarkE6SwizzledQuery(b *testing.B) {
+	for _, swizzled := range []bool{false, true} {
+		b.Run(fmt.Sprintf("swizzled=%v", swizzled), func(b *testing.B) {
+			s := store.NewDefault()
+			count := 0
+			var build func(d int) oem.OID
+			build = func(d int) oem.OID {
+				oid := oem.OID(fmt.Sprintf("e%d", count))
+				count++
+				if d == 0 {
+					s.MustPut(oem.NewAtom(oid, "badge", oem.Int(int64(count))))
+					return oid
+				}
+				kids := make([]oem.OID, 0, 3)
+				for i := 0; i < 3; i++ {
+					kids = append(kids, build(d-1))
+				}
+				s.MustPut(oem.NewSet(oid, "person", kids...))
+				return oid
+			}
+			build(6)
+			mv, err := core.Materialize("MV", query.MustParse("SELECT e0.* X"), s, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if swizzled {
+				if err := mv.Swizzle(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q := query.MustParse("SELECT MV.person.person X WITHIN MV")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mv.QueryView(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7GeneralMaintainer measures the generalized maintainer on the
+// wildcard view only it (and recomputation) can maintain (E7).
+func BenchmarkE7GeneralMaintainer(b *testing.B) {
+	s, sets, atoms := benchFixture(b, 100)
+	mv, err := core.Materialize("V", query.MustParse("SELECT REL.* X WHERE X.age > 30"), s, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := core.NewGeneralMaintainer(mv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 60}, sets, atoms)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := s.Seq()
+		if _, ok := stream.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+		for _, u := range s.LogSince(before) {
+			if _, _, isDel := core.SplitDelegateOID(u.N1); isDel || u.N1 == "V" {
+				continue
+			}
+			if err := g.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkQueryEvaluation measures plain query evaluation (wildcard and
+// constant paths) on a mid-size database.
+func BenchmarkQueryEvaluation(b *testing.B) {
+	s, _, _ := benchFixture(b, 500)
+	ev := query.NewEvaluator(s)
+	for _, qs := range []string{
+		"SELECT REL.r0.tuple X WHERE X.age > 30",
+		"SELECT REL.* X WHERE X.age > 30",
+	} {
+		b.Run(qs[:14], func(b *testing.B) {
+			q := query.MustParse(qs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Eval(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreUpdates measures raw store mutation throughput.
+func BenchmarkStoreUpdates(b *testing.B) {
+	s, _, atoms := benchFixture(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := atoms[i%len(atoms)]
+		if err := s.Modify(target, oem.Int(int64(i%100))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaterialize measures initial view materialization.
+func BenchmarkMaterialize(b *testing.B) {
+	s, _, _ := benchFixture(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+		if _, err := core.Materialize("V", query.MustParse(benchView), s, vstore); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8BulkScreening measures a bulk raise with intent screening on
+// versus off (E8): the off case processes every individual update in every
+// view.
+func BenchmarkE8BulkScreening(b *testing.B) {
+	for _, screening := range []bool{false, true} {
+		b.Run(fmt.Sprintf("screening=%v", screening), func(b *testing.B) {
+			s := store.NewDefault()
+			var people []oem.OID
+			for i := 0; i < 200; i++ {
+				name := "Mark"
+				if i%2 == 1 {
+					name = "John"
+				}
+				nm := oem.OID(fmt.Sprintf("N%d", i))
+				sal := oem.OID(fmt.Sprintf("S%d", i))
+				s.MustPut(oem.NewAtom(nm, "name", oem.String_(name)))
+				s.MustPut(oem.NewTypedAtom(sal, "salary", "dollar", oem.Int(int64(40000+i))))
+				p := oem.OID(fmt.Sprintf("P%d", i))
+				s.MustPut(oem.NewSet(p, "person", nm, sal))
+				people = append(people, p)
+			}
+			s.MustPut(oem.NewSet("ROOT", "people", people...))
+			r := core.NewRegistry(s)
+			if _, err := r.Define("define mview JOHNS as: SELECT ROOT.person X WHERE X.name = 'John'"); err != nil {
+				b.Fatal(err)
+			}
+			bu := core.BulkUpdate{
+				Selector: core.SimpleDef{
+					Entry:    "ROOT",
+					SelPath:  pathexpr.MustParsePath("person"),
+					CondPath: pathexpr.MustParsePath("name"),
+					Cond:     core.CondTest{Op: query.OpEq, Literal: oem.String_("Mark")},
+				},
+				EffectPath: pathexpr.MustParsePath("salary"),
+			}
+			raise := func(v oem.Atom) oem.Atom { return oem.Int(v.I + 1) }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if screening {
+					if _, err := r.ApplyBulk(bu, raise, true); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					before := s.Seq()
+					if _, err := core.ApplyBulk(s, bu, raise); err != nil {
+						b.Fatal(err)
+					}
+					if err := r.ApplyAll(s.LogSince(before)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9ClusterMaintenance measures per-update maintenance of four
+// overlapping views through one cluster (E9).
+func BenchmarkE9ClusterMaintenance(b *testing.B) {
+	s, sets, atoms := benchFixture(b, 200)
+	cl := core.NewCluster("CL", s, s)
+	for i, qs := range []string{
+		"SELECT REL.r0.tuple X WHERE X.age >= 0",
+		"SELECT REL.r0.tuple X WHERE X.age >= 30",
+		"SELECT REL.r0.tuple X WHERE X.age >= 60",
+		"SELECT REL.r0.tuple X WHERE X.age >= 90",
+	} {
+		if err := cl.AddView(oem.OID(fmt.Sprintf("CV%d", i)), query.MustParse(qs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 100}, sets, atoms)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := s.Seq()
+		if _, ok := stream.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+		for _, u := range s.LogSince(before) {
+			if _, _, isDel := core.SplitDelegateOID(u.N1); isDel {
+				continue
+			}
+			if err := cl.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE10DataGuideEval measures wildcard path evaluation on the
+// DataGuide versus on the data (E10).
+func BenchmarkE10DataGuideEval(b *testing.B) {
+	s, _, _ := benchFixture(b, 500)
+	g, err := dataguide.Build(s, "REL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := pathexpr.MustParse("*.age")
+	b.Run("guide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(g.Eval(e)) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("data", func(b *testing.B) {
+		a := core.NewCentralAccess(s)
+		for i := 0; i < b.N; i++ {
+			got, err := a.EvalCond("REL", pathexpr.MustParsePath("r0.tuple.age"), core.CondTest{Always: true})
+			if err != nil || len(got) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+// Command benchviews runs the paper-reproduction experiments E1–E7 and
+// prints their tables (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for a recorded run).
+//
+// Usage:
+//
+//	benchviews [-e E1,E4] [-scale N] [-updates N] [-seed N] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gsv/internal/experiments"
+)
+
+func main() {
+	var (
+		only     = flag.String("e", "", "comma-separated experiment ids to run (default: all)")
+		scale    = flag.Int("scale", 1, "workload scale multiplier")
+		updates  = flag.Int("updates", 400, "updates per measured stream")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Updates: *updates, Seed: *seed}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	runners := []struct {
+		id  string
+		run func(experiments.Config) *experiments.Table
+	}{
+		{"E1", experiments.E1IncrementalVsRecompute},
+		{"E2", experiments.E2ParentIndexAblation},
+		{"E3", experiments.E3RelationalBaseline},
+		{"E4", experiments.E4ReportingLevels},
+		{"E5", experiments.E5Caching},
+		{"E6", experiments.E6Swizzling},
+		{"E7", experiments.E7GeneralizedViews},
+		{"E8", experiments.E8BulkUpdateIntent},
+		{"E9", experiments.E9ClusterSharing},
+		{"E10", experiments.E10DataGuide},
+		{"E11", experiments.E11WireValidation},
+	}
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		t := r.run(cfg)
+		if *markdown {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Write(os.Stdout)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E11)\n", *only)
+		os.Exit(1)
+	}
+}

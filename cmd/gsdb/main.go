@@ -1,0 +1,376 @@
+// Command gsdb is an interactive shell for a graph structured database
+// with incrementally maintained views. It speaks the paper's query and
+// view-definition language and exposes the three basic updates.
+//
+// Usage:
+//
+//	gsdb                 # interactive
+//	echo 'commands' | gsdb
+//
+// Commands (also shown by `help`):
+//
+//	load person|figure1|relations [n]   load a sample database
+//	put set OID LABEL [CHILD...]        create a set object
+//	put atom OID LABEL VALUE            create an atomic object
+//	insert N1 N2                        insert(N1,N2)
+//	delete N1 N2                        delete(N1,N2)
+//	modify N VALUE                      modify(N, value)
+//	show OID                            print one object
+//	dump                                print every object
+//	define (view|mview) NAME as: QUERY  define a view
+//	views                               list views and their members
+//	swizzle NAME / unswizzle NAME       toggle edge swizzling
+//	SELECT ...                          run a query
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gsv"
+	"gsv/internal/oem"
+	"gsv/internal/workload"
+)
+
+func main() {
+	db := gsv.Open()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("gsdb — graph structured views shell (type 'help')")
+	}
+	for {
+		if interactive {
+			fmt.Print("gsdb> ")
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return
+		}
+		next, err := run(db, line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+		if next != nil {
+			db = next
+		}
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func run(db *gsv.DB, line string) (*gsv.DB, error) {
+	fields := strings.Fields(line)
+	cmd := strings.ToLower(fields[0])
+	switch cmd {
+	case "help":
+		fmt.Print(helpText)
+		return nil, nil
+	case "load":
+		return nil, load(db, fields[1:])
+	case "put":
+		return nil, put(db, fields[1:])
+	case "insert", "delete":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("usage: %s N1 N2", cmd)
+		}
+		var err error
+		if cmd == "insert" {
+			err = db.Insert(gsv.OID(fields[1]), gsv.OID(fields[2]))
+		} else {
+			err = db.Delete(gsv.OID(fields[1]), gsv.OID(fields[2]))
+		}
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("%s(%s, %s) ok\n", cmd, fields[1], fields[2])
+		return nil, nil
+	case "modify":
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("usage: modify N VALUE")
+		}
+		v := oem.ParseAtom(strings.Join(fields[2:], " "))
+		if err := db.Modify(gsv.OID(fields[1]), v); err != nil {
+			return nil, err
+		}
+		fmt.Printf("modify(%s, %s) ok\n", fields[1], v)
+		return nil, nil
+	case "show":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("usage: show OID")
+		}
+		o, err := db.Get(gsv.OID(fields[1]))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(o)
+		return nil, nil
+	case "dump":
+		db.Store.ForEach(func(o *gsv.Object) { fmt.Println(o) })
+		return nil, nil
+	case "define":
+		v, err := db.Define(line)
+		if err != nil {
+			return nil, err
+		}
+		kind := "view"
+		if v.Materialized != nil {
+			kind = fmt.Sprintf("mview (%s maintenance)", v.Strategy)
+		}
+		fmt.Printf("defined %s %s\n", kind, v.Name)
+		return nil, nil
+	case "views":
+		for _, name := range db.Views.Names() {
+			members, err := db.ViewMembers(name)
+			if err != nil {
+				return nil, err
+			}
+			v, _ := db.Views.Get(name)
+			kind := "view"
+			if v.Materialized != nil {
+				kind = "mview"
+			}
+			fmt.Printf("%s %s: %v\n", kind, name, members)
+		}
+		return nil, nil
+	case "swizzle", "unswizzle":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("usage: %s NAME", cmd)
+		}
+		v, ok := db.Views.Get(fields[1])
+		if !ok || v.Materialized == nil {
+			return nil, fmt.Errorf("no materialized view %s", fields[1])
+		}
+		if cmd == "swizzle" {
+			if err := v.Materialized.Swizzle(); err != nil {
+				return nil, err
+			}
+		} else if err := v.Materialized.Unswizzle(); err != nil {
+			return nil, err
+		}
+		fmt.Printf("%sd %s\n", cmd, fields[1])
+		return nil, nil
+	case "select":
+		got, err := db.Query(line)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("<ANS, answer, set, %v>\n", got)
+		return nil, nil
+	case "aggregate":
+		// aggregate NAME OP VALUEPATH as: SELECT ...
+		rest := strings.SplitN(line, " ", 5)
+		usage := fmt.Errorf("usage: aggregate NAME count|sum|min|max|avg VALUEPATH as: SELECT ...")
+		if len(rest) < 5 {
+			return nil, usage
+		}
+		tail := strings.TrimSpace(rest[4])
+		if !strings.HasPrefix(strings.ToLower(tail), "as:") {
+			return nil, usage
+		}
+		op, err := parseAggOp(rest[2])
+		if err != nil {
+			return nil, err
+		}
+		baseQuery := strings.TrimSpace(tail[3:])
+		valuePath := rest[3]
+		if valuePath == "." {
+			valuePath = ""
+		}
+		if err := db.DefineAggregate(rest[1], op, baseQuery, valuePath); err != nil {
+			return nil, err
+		}
+		v, err := db.AggregateValue(rest[1])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("aggregate %s = %s\n", rest[1], v)
+		return nil, nil
+	case "agg":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("usage: agg NAME")
+		}
+		v, err := db.AggregateValue(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("%s = %s\n", fields[1], v)
+		return nil, nil
+	case "dot":
+		// dot [FILE] [ROOT...]: Graphviz rendering of the store (or the
+		// subgraph under the given roots) to FILE or stdout.
+		var roots []gsv.OID
+		target := ""
+		if len(fields) > 1 {
+			target = fields[1]
+			for _, r := range fields[2:] {
+				roots = append(roots, gsv.OID(r))
+			}
+		}
+		if target == "" || target == "-" {
+			return nil, db.Store.WriteDOT(os.Stdout, roots...)
+		}
+		f, err := os.Create(target)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := db.Store.WriteDOT(f, roots...); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote DOT to %s\n", target)
+		return nil, f.Close()
+	case "save":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("usage: save FILE")
+		}
+		if err := db.SaveFile(fields[1]); err != nil {
+			return nil, err
+		}
+		fmt.Printf("saved %d objects to %s\n", db.Store.Len(), fields[1])
+		return nil, nil
+	case "savedb":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("usage: savedb FILE")
+		}
+		if err := db.SaveDBFile(fields[1]); err != nil {
+			return nil, err
+		}
+		fmt.Printf("saved database and %d view definitions to %s\n", len(db.Views.Names()), fields[1])
+		return nil, nil
+	case "loaddb":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("usage: loaddb FILE")
+		}
+		restored, err := gsv.LoadDBFile(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("restored %d objects and %d views from %s\n",
+			restored.Store.Len(), len(restored.Views.Names()), fields[1])
+		return restored, nil
+	case "loadsnap":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("usage: loadsnap FILE")
+		}
+		restored, err := gsv.LoadFile(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("restored %d objects from %s (views must be redefined)\n", restored.Store.Len(), fields[1])
+		return restored, nil
+	default:
+		return nil, fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func parseAggOp(s string) (gsv.AggOp, error) {
+	switch strings.ToLower(s) {
+	case "count":
+		return gsv.AggCount, nil
+	case "sum":
+		return gsv.AggSum, nil
+	case "min":
+		return gsv.AggMin, nil
+	case "max":
+		return gsv.AggMax, nil
+	case "avg":
+		return gsv.AggAvg, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate op %q", s)
+	}
+}
+
+func load(db *gsv.DB, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: load person|figure1|relations [n]")
+	}
+	switch args[0] {
+	case "person":
+		workload.PersonDB(db.Store)
+		fmt.Println("loaded PERSON (Figure 2): 15 objects + database object")
+	case "figure1":
+		workload.FigureOneDB(db.Store)
+		fmt.Println("loaded Figure 1 graph: objects A..G")
+	case "relations":
+		n := 5
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil {
+				return err
+			}
+			n = v
+		}
+		workload.RelationLike(db.Store, workload.RelationConfig{
+			Relations: 2, TuplesPerRelation: n, FieldsPerTuple: 3, Seed: 1,
+		})
+		fmt.Printf("loaded relation-like database (Figure 5): 2 relations x %d tuples\n", n)
+	default:
+		return fmt.Errorf("unknown sample %q", args[0])
+	}
+	db.Sync()
+	return nil
+}
+
+func put(db *gsv.DB, args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: put set OID LABEL [CHILD...] | put atom OID LABEL VALUE")
+	}
+	switch args[0] {
+	case "set":
+		var kids []gsv.OID
+		for _, k := range args[3:] {
+			kids = append(kids, gsv.OID(k))
+		}
+		if err := db.PutSet(gsv.OID(args[1]), args[2], kids...); err != nil {
+			return err
+		}
+	case "atom":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: put atom OID LABEL VALUE")
+		}
+		v := oem.ParseAtom(strings.Join(args[3:], " "))
+		if err := db.PutAtom(gsv.OID(args[1]), args[2], v); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: put set|atom ...")
+	}
+	fmt.Printf("created %s\n", args[1])
+	return nil
+}
+
+const helpText = `commands:
+  load person|figure1|relations [n]   load a sample database
+  put set OID LABEL [CHILD...]        create a set object
+  put atom OID LABEL VALUE            create an atomic object
+  insert N1 N2                        insert(N1,N2)
+  delete N1 N2                        delete(N1,N2)
+  modify N VALUE                      modify(N, value)
+  show OID / dump                     inspect objects
+  define (view|mview) NAME as: QUERY  define a view
+  views                               list views and their members
+  swizzle NAME / unswizzle NAME       toggle edge swizzling
+  aggregate NAME OP PATH as: QUERY    define an aggregate (OP: count|sum|min|max|avg)
+  agg NAME                            show an aggregate's current value
+  dot [FILE [ROOT...]]                Graphviz rendering (stdout or FILE)
+  save FILE                           snapshot the database
+  loadsnap FILE                       replace the session with a raw snapshot
+  savedb FILE / loaddb FILE           snapshot including view definitions
+  SELECT OBJ.path X [WHERE ...] [WITHIN DB] [ANS INT DB]
+  quit
+`

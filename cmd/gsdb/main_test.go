@@ -1,0 +1,204 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gsv"
+)
+
+// runAll feeds a script to the command interpreter; it fails the test on
+// the first command error unless wantErr marks the line.
+func runAll(t *testing.T, db *gsv.DB, script string) {
+	t.Helper()
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		next, err := run(db, line)
+		if err != nil {
+			t.Fatalf("command %q: %v", line, err)
+		}
+		if next != nil {
+			db = next
+		}
+	}
+}
+
+func TestShellPaperWalkthrough(t *testing.T) {
+	db := gsv.Open()
+	runAll(t, db, `
+		load person
+		define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45
+		put atom A2 age 40
+		insert P2 A2
+		views
+		SELECT ROOT.professor X WHERE X.age > 40
+		show YP.P2
+		modify A2 60
+		delete ROOT P1
+		swizzle YP
+		unswizzle YP
+		dump
+	`)
+	members, err := db.ViewMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 0 {
+		t.Fatalf("YP = %v, want empty after modify/delete", members)
+	}
+}
+
+func TestShellLoadSamples(t *testing.T) {
+	for _, sample := range []string{"person", "figure1", "relations 3"} {
+		db := gsv.Open()
+		if _, err := run(db, "load "+sample); err != nil {
+			t.Fatalf("load %s: %v", sample, err)
+		}
+		if db.Store.Len() == 0 {
+			t.Fatalf("load %s left an empty store", sample)
+		}
+	}
+}
+
+func TestShellPutSet(t *testing.T) {
+	db := gsv.Open()
+	runAll(t, db, `
+		put atom A age 5
+		put set S things A
+		show S
+	`)
+	o, err := db.Get("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Contains("A") {
+		t.Fatalf("S = %v", o)
+	}
+}
+
+func TestShellAggregate(t *testing.T) {
+	db := gsv.Open()
+	runAll(t, db, `
+		load person
+		aggregate TOTAL sum salary as: SELECT ROOT.professor X WHERE X.age <= 45
+		agg TOTAL
+		modify S1 120000
+		agg TOTAL
+	`)
+	v, err := db.AggregateValue("TOTAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(gsv.Float(120000)) {
+		t.Fatalf("TOTAL = %v", v)
+	}
+}
+
+func TestShellSave(t *testing.T) {
+	db := gsv.Open()
+	path := filepath.Join(t.TempDir(), "snap.gsv")
+	runAll(t, db, "load person\nsave "+path)
+	restored, err := gsv.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Store.Len() != db.Store.Len() {
+		t.Fatalf("restored %d, want %d", restored.Store.Len(), db.Store.Len())
+	}
+}
+
+func TestShellSaveDBLoadDB(t *testing.T) {
+	db := gsv.Open()
+	path := filepath.Join(t.TempDir(), "db.gsv")
+	runAll(t, db, `
+		load person
+		define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45
+		savedb `+path)
+	fresh := gsv.Open()
+	next, err := run(fresh, "loaddb "+path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == nil {
+		t.Fatal("loaddb did not switch databases")
+	}
+	members, err := next.ViewMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0] != "P1" {
+		t.Fatalf("restored YP = %v", members)
+	}
+}
+
+func TestShellDot(t *testing.T) {
+	db := gsv.Open()
+	path := filepath.Join(t.TempDir(), "g.dot")
+	runAll(t, db, "load person\ndot "+path+" P1")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph gsdb") {
+		t.Fatalf("dot output wrong:\n%s", data)
+	}
+}
+
+func TestShellLoadsnapSwitchesDB(t *testing.T) {
+	db := gsv.Open()
+	path := filepath.Join(t.TempDir(), "snap.gsv")
+	runAll(t, db, "load person\nsave "+path)
+	fresh := gsv.Open()
+	next, err := run(fresh, "loadsnap "+path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == nil || next.Store.Len() != db.Store.Len() {
+		t.Fatalf("loadsnap returned %v", next)
+	}
+}
+
+func TestShellHelp(t *testing.T) {
+	db := gsv.Open()
+	if _, err := run(db, "help"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	db := gsv.Open()
+	bad := []string{
+		"bogus",
+		"load nosuch",
+		"load",
+		"insert onlyone",
+		"modify onlyone",
+		"show",
+		"show missing",
+		"put set",
+		"put atom X lbl",
+		"put neither X Y Z",
+		"define mview V as: garbage",
+		"swizzle NOSUCH",
+		"swizzle",
+		"agg NOSUCH",
+		"agg",
+		"aggregate X sum",
+		"aggregate X frobnicate salary as: SELECT ROOT.professor X",
+		"aggregate X sum salary WRONG SELECT ROOT.professor X",
+		"save",
+		"loadsnap",
+		"loadsnap /no/such/file",
+		"SELECT garbage syntax here !",
+	}
+	for _, line := range bad {
+		if _, err := run(db, line); err == nil {
+			t.Errorf("command %q succeeded, want error", line)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command gsdbserve exposes a GSDB source over TCP using the warehouse
+// wire protocol (see docs/WAREHOUSE.md), optionally driving a seeded
+// update stream against it so connected warehouses have something to
+// maintain.
+//
+// Usage:
+//
+//	gsdbserve -addr :7070 -sample relations -tuples 50 \
+//	          -level 2 -updates 100 -interval 200ms
+//	gsdbserve -addr :7070 -snapshot db.gsv -root ROOT
+//
+// Every applied update is broadcast to connected report streams; progress
+// is logged to stderr.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+	"gsv/internal/warehouse"
+	"gsv/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		sample   = flag.String("sample", "relations", "sample database: person|figure1|relations")
+		tuples   = flag.Int("tuples", 50, "tuples per relation for -sample relations")
+		snapshot = flag.String("snapshot", "", "serve a snapshot file instead of a sample")
+		root     = flag.String("root", "", "root OID (defaults per sample; required with -snapshot)")
+		level    = flag.Int("level", 2, "update report level (1..3)")
+		updates  = flag.Int("updates", 0, "updates to drive (0 = serve statically)")
+		interval = flag.Duration("interval", 250*time.Millisecond, "delay between driven updates")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	s := store.NewDefault()
+	var sets, atoms []oem.OID
+	rootOID := oem.OID(*root)
+	switch {
+	case *snapshot != "":
+		if _, err := openSnapshot(*snapshot, s); err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		if rootOID == "" {
+			log.Fatal("-root is required with -snapshot")
+		}
+	case *sample == "person":
+		workload.PersonDB(s)
+		if rootOID == "" {
+			rootOID = "ROOT"
+		}
+	case *sample == "figure1":
+		workload.FigureOneDB(s)
+		if rootOID == "" {
+			rootOID = "A"
+		}
+	case *sample == "relations":
+		db := workload.RelationLike(s, workload.RelationConfig{
+			Relations: 2, TuplesPerRelation: *tuples, FieldsPerTuple: 3, Seed: *seed,
+		})
+		if rootOID == "" {
+			rootOID = "REL"
+		}
+		for _, r := range db.Relations {
+			sets = append(sets, r.OID)
+			sets = append(sets, r.Tuples...)
+			for _, tu := range r.Tuples {
+				kids, _ := s.Children(tu)
+				atoms = append(atoms, kids...)
+			}
+		}
+	default:
+		log.Fatalf("unknown sample %q", *sample)
+	}
+
+	tr := warehouse.NewTransport(0)
+	src := warehouse.NewSource("gsdbserve", s, rootOID, warehouse.ReportLevel(*level), tr)
+	src.DrainReports()
+	server := warehouse.NewServer(src)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving %d objects on %s (root %s, level %d)", s.Len(), ln.Addr(), rootOID, *level)
+
+	if *updates > 0 && len(sets) > 0 {
+		go drive(src, server, sets, atoms, *updates, *interval, *seed)
+	}
+	if err := server.Serve(ln); err != nil {
+		log.Printf("server stopped: %v", err)
+	}
+}
+
+func drive(src *warehouse.Source, server *warehouse.Server,
+	sets, atoms []oem.OID, n int, interval time.Duration, seed int64) {
+	stream := workload.NewStream(src.Store, workload.StreamConfig{Seed: seed + 7, ValueRange: 60}, sets, atoms)
+	for i := 0; i < n; i++ {
+		time.Sleep(interval)
+		if _, ok := stream.Next(); !ok {
+			return
+		}
+		reports := src.DrainReports()
+		if err := server.Broadcast(reports); err != nil {
+			log.Printf("broadcast: %v", err)
+			return
+		}
+		for _, r := range reports {
+			log.Printf("update %s", r.Update)
+		}
+	}
+	log.Printf("update stream finished (%d updates)", n)
+}
+
+func openSnapshot(path string, s *store.Store) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	return path, s.Load(f)
+}

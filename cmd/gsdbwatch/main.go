@@ -1,0 +1,91 @@
+// Command gsdbwatch connects to a served GSDB source (see cmd/gsdbserve),
+// defines a materialized view at this process — the warehouse — and prints
+// the view's membership whenever an incoming update report changes it.
+//
+// Usage:
+//
+//	gsdbwatch -addr 127.0.0.1:7070 \
+//	          -view "SELECT REL.r0.tuple X WHERE X.age > 30" \
+//	          [-cache full|partial|none] [-for 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/warehouse"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7070", "source address")
+		vq    = flag.String("view", "SELECT REL.r0.tuple X WHERE X.age > 30", "view definition query")
+		cache = flag.String("cache", "none", "auxiliary cache: none|partial|full")
+		dur   = flag.Duration("for", 30*time.Second, "how long to watch")
+	)
+	flag.Parse()
+
+	var mode warehouse.CacheMode
+	switch strings.ToLower(*cache) {
+	case "none":
+		mode = warehouse.CacheNone
+	case "partial":
+		mode = warehouse.CachePartial
+	case "full":
+		mode = warehouse.CacheFull
+	default:
+		log.Fatalf("unknown cache mode %q", *cache)
+	}
+
+	q, err := query.Parse(*vq)
+	if err != nil {
+		log.Fatalf("view query: %v", err)
+	}
+	tr := warehouse.NewTransport(0)
+	remote, err := warehouse.Dial("gsdbserve", *addr, tr)
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer remote.Close()
+
+	w := warehouse.New(remote)
+	v, err := w.DefineView("WATCH", q, warehouse.ViewConfig{Screening: true, Cache: mode})
+	if err != nil {
+		log.Fatalf("define view: %v", err)
+	}
+	last := printMembers(v, nil)
+
+	deadline := time.Now().Add(*dur)
+	for time.Now().Before(deadline) {
+		reports := remote.DrainReports()
+		if len(reports) == 0 {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if err := w.ProcessAll(reports); err != nil {
+			log.Fatalf("maintenance: %v", err)
+		}
+		last = printMembers(v, last)
+	}
+	fmt.Printf("\nwatched %s; wire traffic: %s\n", *dur, tr)
+	fmt.Printf("view stats: %d reports, %d screened, %d fully local, %d query backs\n",
+		v.Stats.Reports, v.Stats.Screened, v.Stats.LocalOnly, v.Stats.QueryBacks)
+}
+
+// printMembers prints the membership when it changed and returns it.
+func printMembers(v *warehouse.WView, last []oem.OID) []oem.OID {
+	members, err := v.MV.Members()
+	if err != nil {
+		log.Fatalf("members: %v", err)
+	}
+	if last != nil && oem.SameMembers(members, last) {
+		return members
+	}
+	fmt.Printf("%s  value(WATCH) = %v\n", time.Now().Format("15:04:05.000"), members)
+	return members
+}

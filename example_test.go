@@ -1,0 +1,107 @@
+package gsv_test
+
+import (
+	"fmt"
+
+	"gsv"
+	"gsv/internal/workload"
+)
+
+// Example reproduces the paper's running example end to end: build the
+// PERSON database, define the view YP of Example 5, and watch Algorithm 1
+// maintain it through the updates of Examples 5 and 6.
+func Example() {
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+
+	db.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45")
+	show := func() {
+		members, _ := db.ViewMembers("YP")
+		fmt.Println(members)
+	}
+	show()
+
+	// Example 5: insert(P2, A2) with <A2, age, 40>.
+	db.MustPutAtom("A2", "age", gsv.Int(40))
+	db.Insert("P2", "A2")
+	show()
+
+	// Example 6: delete(ROOT, P1).
+	db.Delete("ROOT", "P1")
+	show()
+	// Output:
+	// [P1]
+	// [P1 P2]
+	// [P2]
+}
+
+// ExampleDB_Query shows the Section 2 query language.
+func ExampleDB_Query() {
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+
+	ans, _ := db.Query("SELECT ROOT.professor X WHERE X.age > 40")
+	fmt.Println(ans)
+	ans, _ = db.Query("SELECT ROOT.* X WHERE X.name = 'John'")
+	fmt.Println(ans)
+	// Output:
+	// [P1]
+	// [P1 P3]
+}
+
+// ExampleDB_Define shows virtual views used as query entry points
+// (Section 3.1's follow-on queries).
+func ExampleDB_Define() {
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+
+	db.Define("define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON")
+	members, _ := db.ViewMembers("VJ")
+	fmt.Println(members)
+
+	ages, _ := db.Query("SELECT VJ.?.age X")
+	fmt.Println(ages)
+	// Output:
+	// [P1 P3]
+	// [A1 A3]
+}
+
+// ExampleDB_DefineAggregate shows a Section 6 aggregate view maintained
+// incrementally.
+func ExampleDB_DefineAggregate() {
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+
+	db.DefineAggregate("PAYROLL", gsv.AggSum,
+		"SELECT ROOT.professor X WHERE X.age <= 45", "salary")
+	v, _ := db.AggregateValue("PAYROLL")
+	fmt.Println(v)
+
+	db.Modify("S1", gsv.Int(120000))
+	v, _ = db.AggregateValue("PAYROLL")
+	fmt.Println(v)
+	// Output:
+	// 100000
+	// 120000
+}
+
+// ExampleDB_DefinePartial shows a partially materialized view: one level
+// of objects copied, deeper structure left as pointers back to base data.
+func ExampleDB_DefinePartial() {
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+
+	p, _ := db.DefinePartial("PV", "SELECT ROOT.professor X WHERE X.age <= 45", 1)
+	member, _ := p.Delegate("P1")
+	frontier, _ := p.Delegate("P3")
+	fmt.Println(member)
+	fmt.Println(frontier)
+	// Output:
+	// <PV.P1, professor, set, {PV.N1,PV.A1,PV.S1,PV.P3}>
+	// <PV.P3, student, set, {N3,A3,M3}>
+}

@@ -1,0 +1,84 @@
+// Accesscontrol reproduces the paper's query-filtering motivation: "a
+// parent may wish to restrict access by his children to a particular
+// subset of Web pages. For this he can define a virtual view that contains
+// the allowed Web pages" — with user queries automatically expanded to
+// ANS INT (or WITHIN) clauses for the union of authorized views
+// (Section 3.1).
+package main
+
+import (
+	"fmt"
+
+	"gsv"
+	"gsv/internal/core"
+	"gsv/internal/query"
+)
+
+func main() {
+	db := gsv.Open()
+
+	// The family web: an encyclopedia, a games site and an auction site.
+	pages := []struct {
+		name, topic string
+		rating      int64 // 0 = fine for kids ... 10 = adults only
+	}{
+		{"encyclopedia", "reference", 0},
+		{"dinosaurs", "reference", 0},
+		{"kartgame", "games", 2},
+		{"auction", "shopping", 8},
+		{"casino", "games", 10},
+	}
+	var all []gsv.OID
+	for _, p := range pages {
+		topicOID := gsv.OID("topic_" + p.name)
+		ratingOID := gsv.OID("rating_" + p.name)
+		db.MustPutAtom(topicOID, "topic", gsv.String(p.topic))
+		db.MustPutAtom(ratingOID, "rating", gsv.Int(p.rating))
+		db.MustPutSet(gsv.OID("page_"+p.name), "page", topicOID, ratingOID)
+		all = append(all, gsv.OID("page_"+p.name))
+	}
+	db.MustPutSet("WEB", "site", all...)
+
+	// The parent defines the allowed set as a view: pages rated <= 3.
+	_, err := db.Define("define view KIDSAFE as: SELECT WEB.page X WHERE X.rating <= 3")
+	must(err)
+	members, err := db.ViewMembers("KIDSAFE")
+	must(err)
+	fmt.Printf("KIDSAFE view: %v\n", members)
+
+	// The authorizer rewrites every query the kid submits.
+	auth := core.NewAuthorizer(db.Store, core.AuthzAnsInt)
+	auth.Grant("kid", "KIDSAFE")
+
+	kidAsks := "SELECT WEB.page X"
+	q := query.MustParse(kidAsks)
+	expanded, err := auth.Expand("kid", q)
+	must(err)
+	fmt.Printf("\nkid submits:  %s\n", kidAsks)
+	fmt.Printf("system runs:  %s\n", expanded)
+	got, err := auth.Run("kid", q)
+	must(err)
+	fmt.Printf("kid sees:     %v\n", got)
+
+	// A parent sees everything (no expansion).
+	parentSees, err := db.Query(kidAsks)
+	must(err)
+	fmt.Printf("parent sees:  %v\n", parentSees)
+
+	// "Since views can be changed, it is easy to dynamically modify the
+	// privilege of a user": tightening the rating threshold needs only a
+	// data change — the view re-evaluates on the next query.
+	fmt.Println("\n-- the kart game gets re-rated to 6 --")
+	must(db.Modify("rating_kartgame", gsv.Int(6)))
+	_, err = db.ViewMembers("KIDSAFE") // refresh the virtual view object
+	must(err)
+	got, err = auth.Run("kid", query.MustParse(kidAsks))
+	must(err)
+	fmt.Printf("kid now sees: %v\n", got)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Extensions walks through the paper's Section 6 open problems as
+// implemented by this library: aggregate views, partially materialized
+// views, DAG bases, and bulk updates with known intent.
+package main
+
+import (
+	"fmt"
+
+	"gsv"
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func main() {
+	aggregates()
+	partialViews()
+	dagBases()
+	bulkUpdates()
+}
+
+func aggregates() {
+	fmt.Println("== Aggregate views (Section 6: 'the value of one delegate")
+	fmt.Println("   object is obtained from more than one base objects') ==")
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+	must(db.DefineAggregate("PAYROLL", gsv.AggSum,
+		"SELECT ROOT.professor X WHERE X.age <= 45", "salary"))
+	show := func(when string) {
+		v, err := db.AggregateValue("PAYROLL")
+		must(err)
+		fmt.Printf("%-28s PAYROLL = %s\n", when, v)
+	}
+	show("initially:")
+	db.MustPutAtom("A2", "age", gsv.Int(40))
+	db.MustPutAtom("S2", "salary", gsv.Int(80000))
+	must(db.Insert("P2", "S2"))
+	must(db.Insert("P2", "A2"))
+	show("P2 joins (80k):")
+	must(db.Modify("S1", gsv.Int(110000)))
+	show("P1's raise to 110k:")
+	must(db.Modify("A1", gsv.Int(60)))
+	show("P1 ages out:")
+	fmt.Println()
+}
+
+func partialViews() {
+	fmt.Println("== Partially materialized views (Section 6: 'materialize a few")
+	fmt.Println("   levels of objects and leave the rest as pointers back') ==")
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+	p, err := db.DefinePartial("PV", "SELECT ROOT.professor X WHERE X.age <= 45", 1)
+	must(err)
+	fmt.Printf("depth 1 mirrors %d objects (member P1 + its children)\n", p.MirroredCount())
+	d, err := p.Delegate("P1")
+	must(err)
+	fmt.Printf("member delegate (swizzled):   %v\n", d)
+	p3, err := p.Delegate("P3")
+	must(err)
+	fmt.Printf("frontier delegate (pointers): %v\n", p3)
+	fmt.Println()
+}
+
+func dagBases() {
+	fmt.Println("== DAG bases (Section 6: 'there may be more than one path")
+	fmt.Println("   between two objects') ==")
+	s := store.NewDefault()
+	// Two departments share an employee.
+	s.MustPut(oem.NewAtom("AG", "age", oem.Int(30)))
+	s.MustPut(oem.NewSet("E", "emp", "AG"))
+	s.MustPut(oem.NewSet("D1", "dept", "E"))
+	s.MustPut(oem.NewSet("D2", "dept", "E"))
+	s.MustPut(oem.NewSet("ORG", "org", "D1", "D2"))
+	vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+	mv, err := core.Materialize("DV", query.MustParse("SELECT ORG.dept.emp X WHERE X.age < 50"), s, vstore)
+	must(err)
+	m, err := core.NewDagMaintainer(mv, core.NewCentralAccess(s))
+	must(err)
+	report := func(when string) {
+		ms, err := mv.Members()
+		must(err)
+		fmt.Printf("%-30s members = %v\n", when, ms)
+	}
+	report("E shared by D1 and D2:")
+	apply := func(mut func() error) {
+		before := s.Seq()
+		must(mut())
+		for _, u := range s.LogSince(before) {
+			must(m.Apply(u))
+		}
+	}
+	apply(func() error { return s.Delete("D1", "E") })
+	report("after delete(D1,E):") // still a member via D2
+	apply(func() error { return s.Delete("D2", "E") })
+	report("after delete(D2,E):") // gone
+	fmt.Println()
+}
+
+func bulkUpdates() {
+	fmt.Println("== Update intent (Section 6: 'the salary of each person named")
+	fmt.Println("   Mark was increased ... a view over Johns should be unaffected') ==")
+	db := gsv.Open()
+	db.MustPutSet("ROOT", "people", "M", "J")
+	db.MustPutSet("M", "person", "MN", "MS")
+	db.MustPutAtom("MN", "name", gsv.String("Mark"))
+	db.MustPutAtom("MS", "salary", gsv.Int(50000))
+	db.MustPutSet("J", "person", "JN", "JS")
+	db.MustPutAtom("JN", "name", gsv.String("John"))
+	db.MustPutAtom("JS", "salary", gsv.Int(60000))
+	_, err := db.Define("define mview JOHNS as: SELECT ROOT.person X WHERE X.name = 'John'")
+	must(err)
+	_, err = db.Define("define mview RICH as: SELECT ROOT.person X WHERE X.salary > 55000")
+	must(err)
+	raise := gsv.BulkUpdate{
+		Selector: core.SimpleDef{
+			Entry:    "ROOT",
+			SelPath:  pathexpr.MustParsePath("person"),
+			CondPath: pathexpr.MustParsePath("name"),
+			Cond:     core.CondTest{Op: query.OpEq, Literal: oem.String_("Mark")},
+		},
+		EffectPath: pathexpr.MustParsePath("salary"),
+	}
+	outcomes, err := db.ApplyBulk(raise, func(v gsv.Atom) gsv.Atom {
+		return gsv.Int(v.I + 10000)
+	}, true)
+	must(err)
+	for _, oc := range outcomes {
+		fmt.Printf("view %-6s reason=%-18s individual updates processed: %d\n",
+			oc.View, oc.Reason, oc.Applied)
+	}
+	rich, _ := db.ViewMembers("RICH")
+	fmt.Printf("RICH after Mark's raise: %v\n", rich)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

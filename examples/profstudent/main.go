@@ -1,0 +1,72 @@
+// Profstudent reproduces the views-on-views construction of Section 3.1
+// (expression 3.4): starting from a database where professors and students
+// appear at arbitrary depth, two stacked views build a clean
+// professor–student hierarchy —
+//
+//	define view PROF    as: SELECT ROOT.*.professor X
+//	define view STUDENT as: SELECT PROF.?.student X
+//
+// "A student who is not a subobject of some professor would not be
+// included in STUDENT." Queries then use the views as starting points or
+// as ANS INT filters.
+package main
+
+import (
+	"fmt"
+
+	"gsv"
+	"gsv/internal/workload"
+)
+
+func main() {
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+
+	// An extra department layer shows that *.professor really reaches any
+	// depth: a professor nested under a department object.
+	db.MustPutAtom("N5", "name", gsv.String("Rivera"))
+	db.MustPutSet("P5", "professor", "N5", "P6")
+	db.MustPutSet("P6", "student", "N6")
+	db.MustPutAtom("N6", "name", gsv.String("Kim"))
+	db.MustPutSet("DEPT", "department", "P5")
+	must(db.Insert("ROOT", "DEPT"))
+
+	_, err := db.Define("define view PROF as: SELECT ROOT.*.professor X")
+	must(err)
+	prof, err := db.ViewMembers("PROF")
+	must(err)
+	fmt.Printf("PROF    = %v\n", prof) // P1, P2 and the nested P5
+
+	_, err = db.Define("define view STUDENT as: SELECT PROF.?.student X")
+	must(err)
+	student, err := db.ViewMembers("STUDENT")
+	must(err)
+	fmt.Printf("STUDENT = %v\n", student) // P3 (under P1) and P6 (under P5)
+
+	// P3 is also a direct child of ROOT — but STUDENT includes it because
+	// of its professor derivation, not that one. A student with no
+	// professor stays out:
+	db.MustPutSet("P7", "student")
+	must(db.Insert("ROOT", "P7"))
+	student, err = db.ViewMembers("STUDENT")
+	must(err)
+	fmt.Printf("after adding a professor-less student P7: STUDENT = %v\n", student)
+
+	// Views as query starting points (follow-on queries, Section 3.1):
+	names, err := db.Query("SELECT STUDENT.?.name X")
+	must(err)
+	fmt.Printf("names of students of professors: %v\n", names)
+
+	// Views as answer filters (expression 3.3): professors among the
+	// direct children of ROOT.
+	rootProfs, err := db.Query("SELECT ROOT.? X ANS INT PROF")
+	must(err)
+	fmt.Printf("top-level professors only: %v\n", rootProfs)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart walks through the paper's running example: the PERSON
+// database of Figure 2, the YP view of Example 5 (professors aged <= 45),
+// and the incremental maintenance steps of Example 6 — all through the
+// public gsv API.
+package main
+
+import (
+	"fmt"
+
+	"gsv"
+)
+
+func main() {
+	db := gsv.Open()
+
+	// Build the Figure 2 database by hand (the workload package has a
+	// one-call builder; spelling it out shows the API).
+	db.MustPutSet("ROOT", "person", "P1", "P2", "P3", "P4")
+	db.MustPutSet("P1", "professor", "N1", "A1", "S1", "P3")
+	db.MustPutAtom("N1", "name", gsv.String("John"))
+	db.MustPutAtom("A1", "age", gsv.Int(45))
+	db.MustPutAtom("S1", "salary", gsv.Int(100000))
+	db.MustPutSet("P3", "student", "N3", "A3", "M3")
+	db.MustPutAtom("N3", "name", gsv.String("John"))
+	db.MustPutAtom("A3", "age", gsv.Int(20))
+	db.MustPutAtom("M3", "major", gsv.String("education"))
+	db.MustPutSet("P2", "professor", "N2", "ADD2")
+	db.MustPutAtom("N2", "name", gsv.String("Sally"))
+	db.MustPutAtom("ADD2", "address", gsv.String("Palo Alto"))
+	db.MustPutSet("P4", "secretary", "N4", "A4")
+	db.MustPutAtom("N4", "name", gsv.String("Tom"))
+	db.MustPutAtom("A4", "age", gsv.Int(40))
+
+	fmt.Println("== Querying (Section 2) ==")
+	ans, err := db.Query("SELECT ROOT.professor X WHERE X.age > 40")
+	must(err)
+	fmt.Printf("professors older than 40: %v\n", ans) // [P1]
+
+	ans, err = db.Query("SELECT ROOT.* X WHERE X.name = 'John'")
+	must(err)
+	fmt.Printf("persons named John (any depth): %v\n", ans) // [P1 P3]
+
+	fmt.Println("\n== Example 5: materialized view YP ==")
+	_, err = db.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45")
+	must(err)
+	printView(db, "YP") // [P1] — Figure 4, left
+
+	fmt.Println("\n== Example 5/6: insert(P2, A2) with <A2, age, 40> ==")
+	db.MustPutAtom("A2", "age", gsv.Int(40))
+	must(db.Insert("P2", "A2"))
+	printView(db, "YP") // [P1 P2] — Figure 4, right
+	d, err := db.Get("YP.P2")
+	must(err)
+	fmt.Printf("new delegate: %v\n", d)
+
+	fmt.Println("\n== Example 6: delete(ROOT, P1) ==")
+	must(db.Delete("ROOT", "P1"))
+	printView(db, "YP") // [P2]
+
+	fmt.Println("\n== modify(A2, 40, 60): P2 ages out ==")
+	must(db.Modify("A2", gsv.Int(60)))
+	printView(db, "YP") // []
+
+	fmt.Println("\nEvery change above was applied to the view incrementally")
+	fmt.Println("by Algorithm 1 — no view recomputation happened.")
+}
+
+func printView(db *gsv.DB, name string) {
+	members, err := db.ViewMembers(name)
+	must(err)
+	fmt.Printf("value(%s) = %v\n", name, members)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Webcache reproduces the paper's introductory motivation: "a user is
+// interested in all Web pages containing the word 'flower' and would like
+// to copy them to his local disk for faster access. ... a user will be
+// able to define a materialized view to select the objects that should be
+// copied. When the original objects change, the materialized view needs to
+// be updated."
+//
+// Pages are set objects whose children are a text atom and link objects
+// (the URLs in the page); the materialized view FLOWERS is the local
+// cache, maintained incrementally as pages are edited, created and
+// unlinked.
+package main
+
+import (
+	"fmt"
+
+	"gsv"
+)
+
+func main() {
+	db := gsv.Open()
+
+	// A tiny web: the portal links to every page; pages link to each other.
+	addPage(db, "home", "Welcome to the botanical society", "flora", "shop")
+	addPage(db, "flora", "A catalogue of flower species", "shop")
+	addPage(db, "shop", "Buy seeds and gardening tools")
+	addPage(db, "news", "Club news and meeting notes")
+	db.MustPutSet("WEB", "site", "page_home", "page_flora", "page_shop", "page_news")
+
+	// The cache: every page whose text mentions "flower".
+	_, err := db.Define("define mview FLOWERS as: SELECT WEB.page X WHERE X.text CONTAINS 'flower'")
+	must(err)
+	show(db, "initial crawl")
+
+	// The shop rewrites its copy to chase the trend.
+	fmt.Println("\n-- shop page now advertises flower seeds --")
+	must(db.Modify("text_shop", gsv.String("Buy flower seeds and gardening tools")))
+	show(db, "after edit")
+
+	// A new page appears and is linked from the site.
+	fmt.Println("\n-- a new 'guide' page is published --")
+	addPage(db, "guide", "How to grow a flower from seed")
+	must(db.Insert("WEB", "page_guide"))
+	show(db, "after publish")
+
+	// The flora page is retired.
+	fmt.Println("\n-- the flora page is unlinked --")
+	must(db.Delete("WEB", "page_flora"))
+	show(db, "after unlink")
+
+	// The cached copies are real objects: read one without touching WEB.
+	d, err := db.Get("FLOWERS.page_guide")
+	must(err)
+	fmt.Printf("\ncached copy: %v\n", d)
+	fmt.Println("each cached page is a delegate object <FLOWERS.page_*, ...> that")
+	fmt.Println("the maintenance algorithm keeps in sync with the live site.")
+}
+
+// addPage creates a page object with a text atom; extra arguments name
+// pages this one links to.
+func addPage(db *gsv.DB, name, text string, linksTo ...string) {
+	textOID := gsv.OID("text_" + name)
+	db.MustPutAtom(textOID, "text", gsv.String(text))
+	kids := []gsv.OID{textOID}
+	for _, l := range linksTo {
+		kids = append(kids, gsv.OID("page_"+l))
+	}
+	db.MustPutSet(gsv.OID("page_"+name), "page", kids...)
+}
+
+func show(db *gsv.DB, when string) {
+	members, err := db.ViewMembers("FLOWERS")
+	must(err)
+	fmt.Printf("%s: cached pages = %v\n", when, members)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

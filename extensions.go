@@ -1,0 +1,198 @@
+package gsv
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"gsv/internal/core"
+	"gsv/internal/pathexpr"
+	"gsv/internal/store"
+)
+
+// This file exposes the Section 6 extension features through the facade:
+// aggregate views, partially materialized views, bulk updates with intent
+// screening, and snapshot persistence.
+
+// AggOp re-exports the aggregate operators.
+type AggOp = core.AggOp
+
+// Aggregate operators.
+const (
+	AggCount = core.AggCount
+	AggSum   = core.AggSum
+	AggMin   = core.AggMin
+	AggMax   = core.AggMax
+	AggAvg   = core.AggAvg
+)
+
+// BulkUpdate re-exports the bulk-update intent descriptor.
+type BulkUpdate = core.BulkUpdate
+
+// BulkOutcome re-exports the per-view bulk-maintenance outcome.
+type BulkOutcome = core.BulkOutcome
+
+// extra is a maintainer fed by DB.Sync outside the registry (aggregates
+// and partial views keep their delegates in side stores).
+type extra interface {
+	Apply(u store.Update) error
+}
+
+// DefineAggregate registers an incrementally maintained aggregate view:
+// op over the numeric atoms at valuePath below each member of the simple
+// view defined by baseQuery. The result is read with AggregateValue.
+func (db *DB) DefineAggregate(name string, op AggOp, baseQuery, valuePath string) error {
+	if _, ok := db.aggs[name]; ok {
+		return fmt.Errorf("gsv: aggregate %s already defined", name)
+	}
+	q, err := ParseQuery(baseQuery)
+	if err != nil {
+		return err
+	}
+	def, ok := core.Simplify(q)
+	if !ok {
+		return fmt.Errorf("gsv: aggregate base %q is not a simple view", baseQuery)
+	}
+	vp, err := pathexpr.ParsePath(valuePath)
+	if err != nil {
+		return err
+	}
+	db.ensureSideStore()
+	a, err := core.NewAggregateView(OID(name), core.AggDef{Base: def, ValuePath: vp, Op: op}, db.Store, db.side)
+	if err != nil {
+		return err
+	}
+	db.aggs[name] = a
+	db.extras = append(db.extras, a)
+	db.markSynced()
+	return nil
+}
+
+// AggregateValue returns the current value of a registered aggregate.
+func (db *DB) AggregateValue(name string) (Atom, error) {
+	db.Sync()
+	a, ok := db.aggs[name]
+	if !ok {
+		return Atom{}, fmt.Errorf("gsv: aggregate %s not defined", name)
+	}
+	return a.Value()
+}
+
+// DefinePartial registers a partially materialized view: delegates for the
+// members of baseQuery and for their descendants down to depth levels,
+// with frontier values left as pointers back to base data (Section 6).
+func (db *DB) DefinePartial(name, baseQuery string, depth int) (*core.PartialView, error) {
+	if _, ok := db.partials[name]; ok {
+		return nil, fmt.Errorf("gsv: partial view %s already defined", name)
+	}
+	q, err := ParseQuery(baseQuery)
+	if err != nil {
+		return nil, err
+	}
+	def, ok := core.Simplify(q)
+	if !ok {
+		return nil, fmt.Errorf("gsv: partial view base %q is not a simple view", baseQuery)
+	}
+	// Each partial view owns its store: pruning garbage-collects it.
+	pstore := store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
+	p, err := core.NewPartialView(OID(name), def, depth, db.Store, pstore)
+	if err != nil {
+		return nil, err
+	}
+	db.partials[name] = p
+	db.extras = append(db.extras, p)
+	db.markSynced()
+	return p, nil
+}
+
+// Partial returns a registered partial view.
+func (db *DB) Partial(name string) (*core.PartialView, bool) {
+	p, ok := db.partials[name]
+	return p, ok
+}
+
+// ApplyBulk executes a bulk update described by intent and maintains all
+// views: registry views are screened by the intent (assumeStable extends
+// screening to disjoint selectors — see core.ScreenBulkUpdate for the
+// facts it asserts); aggregates and partial views process the individual
+// updates as usual.
+func (db *DB) ApplyBulk(b BulkUpdate, transform func(Atom) Atom, assumeStable bool) ([]BulkOutcome, error) {
+	out, err := db.Views.ApplyBulk(b, transform, assumeStable)
+	// The registry maintained its views inside ApplyBulk; suppress the
+	// watch buffer for those updates, then let Sync feed the extras.
+	db.Views.SkipThrough(db.Store.Seq())
+	db.Sync()
+	return out, err
+}
+
+// Save writes a snapshot of the base data to w (view machinery objects are
+// included when views live in the base store; Load restores them as plain
+// objects — redefine views after loading).
+func (db *DB) Save(w io.Writer) error { return db.Store.Save(w) }
+
+// SaveFile writes a snapshot to a file.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile opens a snapshot file into a fresh DB.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Load reads a snapshot into a fresh DB.
+func Load(r io.Reader) (*DB, error) {
+	s := store.NewDefault()
+	if err := s.Load(r); err != nil {
+		return nil, err
+	}
+	return OpenWith(s), nil
+}
+
+// ensureSideStore lazily creates the store holding aggregate results.
+func (db *DB) ensureSideStore() {
+	if db.side == nil {
+		db.side = store.New(store.Options{ParentIndex: true, AllowDangling: true})
+	}
+}
+
+// markSynced records that extras are current through the present sequence
+// number (used right after registering a new extra, whose initial state
+// already reflects the store).
+func (db *DB) markSynced() { db.extraSeq = db.Store.Seq() }
+
+// syncExtras feeds base updates the extras have not seen yet.
+func (db *DB) syncExtras() {
+	if len(db.extras) == 0 {
+		db.extraSeq = db.Store.Seq()
+		return
+	}
+	updates := db.Store.LogSince(db.extraSeq)
+	for _, u := range updates {
+		db.extraSeq = u.Seq
+		if db.Views.IsViewObject(u.N1) {
+			continue
+		}
+		if _, _, isDelegate := core.SplitDelegateOID(u.N1); isDelegate {
+			continue
+		}
+		for _, e := range db.extras {
+			if err := e.Apply(u); err != nil {
+				db.maintErrs = append(db.maintErrs, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package gsv_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"gsv"
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/workload"
+)
+
+func TestFacadeAggregate(t *testing.T) {
+	db := buildPerson(t)
+	if err := db.DefineAggregate("TOTAL", gsv.AggSum,
+		"SELECT ROOT.professor X WHERE X.age <= 45", "salary"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.AggregateValue("TOTAL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(gsv.Float(100000)) {
+		t.Fatalf("TOTAL = %v", v)
+	}
+	// P2 joins with a salary; the aggregate follows.
+	db.MustPutAtom("A2", "age", gsv.Int(40))
+	db.MustPutAtom("S2", "salary", gsv.Int(70000))
+	if err := db.Insert("P2", "S2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = db.AggregateValue("TOTAL")
+	if !v.Equal(gsv.Float(170000)) {
+		t.Fatalf("TOTAL after join = %v", v)
+	}
+	// Errors.
+	if err := db.DefineAggregate("TOTAL", gsv.AggSum, "SELECT ROOT.professor X", "salary"); err == nil {
+		t.Fatal("duplicate aggregate accepted")
+	}
+	if err := db.DefineAggregate("W", gsv.AggSum, "SELECT ROOT.* X", "salary"); err == nil {
+		t.Fatal("wildcard aggregate base accepted")
+	}
+	if _, err := db.AggregateValue("NOSUCH"); err == nil {
+		t.Fatal("unknown aggregate read")
+	}
+}
+
+func TestFacadePartial(t *testing.T) {
+	db := buildPerson(t)
+	p, err := db.DefinePartial("PV", "SELECT ROOT.professor X WHERE X.age <= 45", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MirroredCount() != 5 { // P1 + 4 children
+		t.Fatalf("mirrored = %d", p.MirroredCount())
+	}
+	// Maintenance flows through Sync.
+	if err := db.Modify("N1", gsv.String("Johnny")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Delegate("N1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Atom.Equal(gsv.String("Johnny")) {
+		t.Fatalf("mirrored atom = %v", d.Atom)
+	}
+	if _, ok := db.Partial("PV"); !ok {
+		t.Fatal("Partial lookup failed")
+	}
+	if _, err := db.DefinePartial("PV", "SELECT ROOT.professor X", 0); err == nil {
+		t.Fatal("duplicate partial accepted")
+	}
+}
+
+func TestFacadeApplyBulk(t *testing.T) {
+	db := buildPerson(t)
+	if _, err := db.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineAggregate("AGES", gsv.AggSum, "SELECT ROOT.professor X WHERE X.age <= 45", "age"); err != nil {
+		t.Fatal(err)
+	}
+	bu := gsv.BulkUpdate{
+		Selector: core.SimpleDef{
+			Entry:    "ROOT",
+			SelPath:  pathexpr.MustParsePath("professor"),
+			CondPath: pathexpr.MustParsePath("name"),
+			Cond:     core.CondTest{Op: query.OpEq, Literal: oem.String_("John")},
+		},
+		EffectPath: pathexpr.MustParsePath("age"),
+	}
+	// Raise John's age past the view threshold; the intent touches the
+	// view's cond path, so the view must process (not screen) and P1
+	// must leave.
+	outcomes, err := db.ApplyBulk(bu, func(v gsv.Atom) gsv.Atom { return gsv.Int(v.I + 10) }, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 || outcomes[0].Reason != core.Affected {
+		t.Fatalf("outcomes = %+v", outcomes)
+	}
+	members, _ := db.ViewMembers("YP")
+	if len(members) != 0 {
+		t.Fatalf("YP after bulk = %v", members)
+	}
+	// The aggregate followed too (member left; sum now empty).
+	v, _ := db.AggregateValue("AGES")
+	if !v.Equal(gsv.Float(0)) {
+		t.Fatalf("AGES = %v", v)
+	}
+	// And the double-application guard held: the view was maintained once
+	// (by ApplyBulk) and the watch buffer skipped those updates — the
+	// registry state is consistent with a fresh evaluation.
+	fresh, err := db.Query("SELECT ROOT.professor X WHERE X.age <= 45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("fresh = %v", fresh)
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	db := buildPerson(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := gsv.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Query("SELECT ROOT.professor X WHERE X.age > 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, []gsv.OID{"P1"}) {
+		t.Fatalf("restored query = %v", got)
+	}
+}
+
+func TestFacadeSaveLoadFile(t *testing.T) {
+	db := buildPerson(t)
+	path := filepath.Join(t.TempDir(), "snap.gsv")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := gsv.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Store.Len() != db.Store.Len() {
+		t.Fatalf("restored %d objects, want %d", restored.Store.Len(), db.Store.Len())
+	}
+	if _, err := gsv.LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestFacadeExtrasSeeOnlyNewUpdates(t *testing.T) {
+	// An aggregate defined after a batch of updates must not re-apply
+	// history.
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+	if err := db.Modify("A1", gsv.Int(44)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineAggregate("N", gsv.AggCount, "SELECT ROOT.professor X WHERE X.age <= 45", ""); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := db.AggregateValue("N")
+	if !v.Equal(gsv.Int(1)) {
+		t.Fatalf("N = %v", v)
+	}
+	if err := db.Modify("A1", gsv.Int(60)); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = db.AggregateValue("N")
+	if !v.Equal(gsv.Int(0)) {
+		t.Fatalf("N after exit = %v", v)
+	}
+}

@@ -1,0 +1,3 @@
+module gsv
+
+go 1.22

@@ -1,0 +1,230 @@
+// Package gsv is a Go implementation of graph structured views and their
+// incremental maintenance, reproducing Zhuge and Garcia-Molina's ICDE 1998
+// paper of the same name.
+//
+// A graph structured database (GSDB) is a collection of OEM objects
+// <OID, label, type, value>: atomic objects carry a single value, set
+// objects carry a set of OIDs of other objects, and the set values give the
+// database its graph structure. Views over a GSDB are defined by queries
+// of the form
+//
+//	SELECT OBJ.sel_path X WHERE cond(X.cond_path) [WITHIN DB] [ANS INT DB]
+//
+// and are themselves ordinary GSDB objects, so views can be queried and
+// stacked. Materialized views store delegate objects with semantic OIDs
+// (MV.P1) and are maintained incrementally: Algorithm 1 for simple views, a
+// generalized maintainer for wildcard/multi-condition views, and a
+// warehouse protocol (Section 5 of the paper) when the base data lives at
+// remote sources that only export update reports.
+//
+// This package is the public facade: it bundles a store with a view
+// registry under a small API. The building blocks live in internal/
+// packages (oem, store, pathexpr, query, core, relstore, warehouse,
+// workload) and are exercised by the examples and cmd tools.
+//
+// # Quick start
+//
+//	db := gsv.Open()
+//	db.MustPutSet("ROOT", "person", "P1")
+//	db.MustPutAtom("N1", "name", gsv.String("John"))
+//	...
+//	view, _ := db.Define("define mview MVJ as: SELECT ROOT.* X WHERE X.name = 'John'")
+//	members, _ := db.ViewMembers("MVJ")   // stays fresh as the base changes
+package gsv
+
+import (
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// Re-exported core types. The facade deliberately exposes the internal
+// packages' types directly (aliases, not wrappers) so code can grow into
+// the full API without translation layers.
+type (
+	// OID is a universally unique object identifier.
+	OID = oem.OID
+	// Object is one OEM object.
+	Object = oem.Object
+	// Atom is the value of an atomic object.
+	Atom = oem.Atom
+	// Update is one logged base update.
+	Update = store.Update
+	// Store is a GSDB storage engine.
+	Store = store.Store
+	// Query is a parsed query.
+	Query = query.Query
+	// View is a registered (virtual or materialized) view.
+	View = core.View
+	// MaterializedView is a stored view with delegate objects.
+	MaterializedView = core.MaterializedView
+	// Registry manages views over one base store.
+	Registry = core.Registry
+)
+
+// Atom constructors.
+var (
+	// Int returns an integer atom.
+	Int = oem.Int
+	// Float returns a real-valued atom.
+	Float = oem.Float
+	// String returns a string atom.
+	String = oem.String_
+	// Bool returns a boolean atom.
+	Bool = oem.Bool
+)
+
+// NewAtomObject returns an atomic object.
+func NewAtomObject(oid OID, label string, a Atom) *Object { return oem.NewAtom(oid, label, a) }
+
+// NewSetObject returns a set object.
+func NewSetObject(oid OID, label string, members ...OID) *Object {
+	return oem.NewSet(oid, label, members...)
+}
+
+// ParseQuery parses a SELECT query.
+func ParseQuery(s string) (*Query, error) { return query.Parse(s) }
+
+// DB bundles a base store with a view registry and keeps every registered
+// materialized view maintained incrementally as the base changes.
+//
+// A DB represents one session and is not safe for concurrent use: the
+// maintenance pipeline between a mutation and its Sync is single-threaded
+// (the underlying Store is independently thread-safe for direct use).
+type DB struct {
+	// Store is the underlying GSDB store; mutate it through the DB methods
+	// (or call Sync after direct store mutations) so views stay current.
+	Store *Store
+	// Views is the registry of defined views.
+	Views *Registry
+
+	maintErrs []error
+
+	// Extension machinery (see extensions.go): aggregates and partial
+	// views keep their objects in side stores and are fed base updates by
+	// Sync.
+	side     *store.Store
+	aggs     map[string]*core.AggregateView
+	partials map[string]*core.PartialView
+	extras   []extra
+	extraSeq uint64
+}
+
+// Open returns an empty database with default indexing.
+func Open() *DB {
+	s := store.NewDefault()
+	return open(s)
+}
+
+// OpenWith wraps an existing store.
+func OpenWith(s *Store) *DB { return open(s) }
+
+func open(s *Store) *DB {
+	db := &DB{
+		Store:    s,
+		Views:    core.NewRegistry(s),
+		aggs:     map[string]*core.AggregateView{},
+		partials: map[string]*core.PartialView{},
+		extraSeq: s.Seq(),
+	}
+	db.Views.Watch(func(err error) { db.maintErrs = append(db.maintErrs, err) })
+	return db
+}
+
+// PutAtom creates an atomic object.
+func (db *DB) PutAtom(oid OID, label string, a Atom) error {
+	return db.put(oem.NewAtom(oid, label, a))
+}
+
+// MustPutAtom is PutAtom for construction code.
+func (db *DB) MustPutAtom(oid OID, label string, a Atom) {
+	if err := db.PutAtom(oid, label, a); err != nil {
+		panic(err)
+	}
+}
+
+// PutSet creates a set object.
+func (db *DB) PutSet(oid OID, label string, members ...OID) error {
+	return db.put(oem.NewSet(oid, label, members...))
+}
+
+// MustPutSet is PutSet for construction code.
+func (db *DB) MustPutSet(oid OID, label string, members ...OID) {
+	if err := db.PutSet(oid, label, members...); err != nil {
+		panic(err)
+	}
+}
+
+func (db *DB) put(o *Object) error {
+	err := db.Store.Put(o)
+	db.Sync()
+	return err
+}
+
+// Insert applies insert(N1,N2) and maintains all views.
+func (db *DB) Insert(n1, n2 OID) error {
+	err := db.Store.Insert(n1, n2)
+	db.Sync()
+	return err
+}
+
+// Delete applies delete(N1,N2) and maintains all views.
+func (db *DB) Delete(n1, n2 OID) error {
+	err := db.Store.Delete(n1, n2)
+	db.Sync()
+	return err
+}
+
+// Modify applies modify(N,newv) and maintains all views.
+func (db *DB) Modify(n OID, v Atom) error {
+	err := db.Store.Modify(n, v)
+	db.Sync()
+	return err
+}
+
+// NewDatabase creates a database object grouping the given members.
+func (db *DB) NewDatabase(oid OID, members ...OID) error {
+	err := db.Store.NewDatabase(oid, "database", members...)
+	db.Sync()
+	return err
+}
+
+// Sync drains pending maintenance work — registry views first, then
+// aggregates and partial views. DB mutation methods call it automatically;
+// call it manually after mutating Store directly. It returns the
+// maintenance errors accumulated since the previous Sync.
+func (db *DB) Sync() []error {
+	db.Views.Drain()
+	db.syncExtras()
+	errs := db.maintErrs
+	db.maintErrs = nil
+	return errs
+}
+
+// Query evaluates a query string and returns the sorted member OIDs.
+func (db *DB) Query(q string) ([]OID, error) {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewEvaluator(db.Store).Eval(parsed)
+}
+
+// Define parses and registers a view definition statement
+// (define view V as: ... / define mview MV as: ...).
+func (db *DB) Define(stmt string) (*View, error) {
+	v, err := db.Views.Define(stmt)
+	db.Sync()
+	return v, err
+}
+
+// ViewMembers returns the current members of a view (base OIDs for
+// materialized views, fresh evaluation for virtual ones).
+func (db *DB) ViewMembers(name string) ([]OID, error) {
+	db.Sync()
+	return db.Views.Evaluate(name)
+}
+
+// Get returns a copy of an object.
+func (db *DB) Get(oid OID) (*Object, error) { return db.Store.Get(oid) }

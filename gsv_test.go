@@ -1,0 +1,206 @@
+package gsv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv"
+	"gsv/internal/oem"
+	"gsv/internal/workload"
+)
+
+// buildPerson loads the paper's PERSON example through the facade.
+func buildPerson(t testing.TB) *gsv.DB {
+	t.Helper()
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	if errs := db.Sync(); len(errs) != 0 {
+		t.Fatalf("sync errors: %v", errs)
+	}
+	return db
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	db := gsv.Open()
+	db.MustPutSet("ROOT", "person")
+	db.MustPutSet("P1", "professor")
+	db.MustPutAtom("N1", "name", gsv.String("John"))
+	db.MustPutAtom("A1", "age", gsv.Int(45))
+	if err := db.Insert("ROOT", "P1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("P1", "N1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("P1", "A1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query("SELECT ROOT.professor X WHERE X.age > 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, []gsv.OID{"P1"}) {
+		t.Fatalf("query = %v", got)
+	}
+}
+
+func TestFacadeViewMaintainedThroughMutations(t *testing.T) {
+	db := buildPerson(t)
+	if _, err := db.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := db.ViewMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(members, []gsv.OID{"P1"}) {
+		t.Fatalf("YP = %v", members)
+	}
+	// The Example 5 update, through the facade: views stay fresh without
+	// explicit maintenance calls.
+	db.MustPutAtom("A2", "age", gsv.Int(40))
+	if err := db.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	members, err = db.ViewMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(members, []gsv.OID{"P1", "P2"}) {
+		t.Fatalf("YP after insert = %v", members)
+	}
+	if err := db.Modify("A1", gsv.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	members, _ = db.ViewMembers("YP")
+	if len(members) != 0 {
+		t.Fatalf("YP after exits = %v", members)
+	}
+}
+
+func TestFacadeVirtualView(t *testing.T) {
+	db := buildPerson(t)
+	if err := db.NewDatabase("D", "ROOT", "P1", "P2", "P3", "P4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Define("define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := db.ViewMembers("VJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(members, []gsv.OID{"P1", "P3"}) {
+		t.Fatalf("VJ = %v", members)
+	}
+	// Follow-on query using the view as an entry point.
+	got, err := db.Query("SELECT VJ.?.age X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, []gsv.OID{"A1", "A3"}) {
+		t.Fatalf("ages = %v", got)
+	}
+}
+
+func TestFacadeGet(t *testing.T) {
+	db := buildPerson(t)
+	o, err := db.Get("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Label != "professor" {
+		t.Fatalf("P1 = %v", o)
+	}
+	if _, err := db.Get("missing"); err == nil {
+		t.Fatal("Get(missing) succeeded")
+	}
+}
+
+func TestFacadeParseQuery(t *testing.T) {
+	q, err := gsv.ParseQuery("SELECT ROOT.professor X WHERE X.age > 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() == "" {
+		t.Fatal("empty String")
+	}
+	if _, err := gsv.ParseQuery("garbage"); err == nil {
+		t.Fatal("bad query parsed")
+	}
+}
+
+// TestFacadeViewChurnUnderStream interleaves view definition and removal
+// with a base update stream: surviving views must equal fresh evaluation
+// at every checkpoint, and dropped views must leave no residue.
+func TestFacadeViewChurnUnderStream(t *testing.T) {
+	db := gsv.Open()
+	workload.RelationLike(db.Store, workload.RelationConfig{
+		Relations: 1, TuplesPerRelation: 6, FieldsPerTuple: 2, Seed: 3,
+	})
+	db.Sync()
+	rel, _ := db.Get("REL")
+	r0 := rel.Set[0]
+	tuples, _ := db.Store.Children(r0)
+	var atoms []gsv.OID
+	for _, tu := range tuples {
+		kids, _ := db.Store.Children(tu)
+		atoms = append(atoms, kids...)
+	}
+	stream := workload.NewStream(db.Store, workload.StreamConfig{Seed: 5, ValueRange: 90},
+		append([]gsv.OID{r0}, tuples...), atoms)
+
+	const stable = "define mview STABLE as: SELECT REL.r0.tuple X WHERE X.age > 40"
+	if _, err := db.Define(stable); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		churn := fmt.Sprintf("define mview CHURN as: SELECT REL.r0.tuple X WHERE X.age > %d", 10*round)
+		if _, err := db.Define(churn); err != nil {
+			t.Fatalf("round %d define: %v", round, err)
+		}
+		for i := 0; i < 10; i++ {
+			stream.Next()
+		}
+		if errs := db.Sync(); len(errs) != 0 {
+			t.Fatalf("round %d sync errors: %v", round, errs)
+		}
+		for _, name := range []string{"STABLE", "CHURN"} {
+			got, err := db.ViewMembers(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, _ := db.Views.Get(name)
+			want, err := db.Query(v.Query.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !oem.SameMembers(got, want) {
+				t.Fatalf("round %d %s: view %v != fresh %v", round, name, got, want)
+			}
+		}
+		if err := db.Views.Drop("CHURN"); err != nil {
+			t.Fatalf("round %d drop: %v", round, err)
+		}
+		if db.Store.Has("CHURN") {
+			t.Fatalf("round %d: dropped view object survived", round)
+		}
+	}
+}
+
+func TestFacadeObjectConstructors(t *testing.T) {
+	a := gsv.NewAtomObject("A", "age", gsv.Int(1))
+	if !a.IsAtomic() {
+		t.Fatal("atom not atomic")
+	}
+	s := gsv.NewSetObject("S", "set", "A")
+	if !s.Contains("A") {
+		t.Fatal("set missing member")
+	}
+	if gsv.Float(1.5).Kind != oem.AtomFloat || !gsv.Bool(true).B {
+		t.Fatal("constructors wrong")
+	}
+}

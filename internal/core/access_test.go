@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func personStore(t testing.TB, parentIndex bool) *store.Store {
+	t.Helper()
+	opts := store.DefaultOptions()
+	opts.ParentIndex = parentIndex
+	s := store.New(opts)
+	workload.PersonDB(s)
+	return s
+}
+
+func TestCentralAccessPath(t *testing.T) {
+	for _, idx := range []bool{true, false} {
+		s := personStore(t, idx)
+		a := NewCentralAccess(s)
+		cases := []struct {
+			n    oem.OID
+			want string
+			ok   bool
+		}{
+			{"ROOT", "ε", true},
+			{"P1", "professor", true},
+			{"A1", "professor.age", true},
+			{"A3", "student.age", true}, // ROOT.student.age: the direct edge wins
+			{"M3", "student.major", true},
+			{"PERSON", "", false}, // the database object is not a descendant
+		}
+		for _, c := range cases {
+			p, ok, err := a.Path("ROOT", c.n)
+			if err != nil {
+				t.Fatalf("idx=%v Path(ROOT,%s): %v", idx, c.n, err)
+			}
+			if ok != c.ok {
+				t.Errorf("idx=%v Path(ROOT,%s) ok = %v, want %v", idx, c.n, ok, c.ok)
+				continue
+			}
+			if ok && p.String() != c.want && !alternatePath(c.n, p) {
+				t.Errorf("idx=%v Path(ROOT,%s) = %s, want %s", idx, c.n, p, c.want)
+			}
+		}
+	}
+}
+
+// alternatePath accepts the other valid derivation for objects with two
+// paths from ROOT (P3 and its children are reachable directly and through
+// P1). The paper assumes trees; the PERSON example is mildly DAG-shaped.
+func alternatePath(n oem.OID, p pathexpr.Path) bool {
+	alts := map[oem.OID][]string{
+		"A3": {"professor.student.age"},
+		"M3": {"professor.student.major"},
+		"P3": {"professor.student"},
+	}
+	for _, alt := range alts[n] {
+		if p.String() == alt {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCentralAccessAncestor(t *testing.T) {
+	for _, idx := range []bool{true, false} {
+		s := personStore(t, idx)
+		a := NewCentralAccess(s)
+		y, ok, err := a.Ancestor("A1", pathexpr.MustParsePath("age"))
+		if err != nil || !ok || y != "P1" {
+			t.Fatalf("idx=%v Ancestor(A1, age) = %v %v %v", idx, y, ok, err)
+		}
+		y, ok, err = a.Ancestor("A3", pathexpr.MustParsePath("student.age"))
+		if err != nil || !ok || y == oem.NoOID {
+			t.Fatalf("idx=%v Ancestor(A3, student.age) = %v %v %v", idx, y, ok, err)
+		}
+		// Both ROOT and P1 have a student child; either is a valid answer
+		// on this slightly DAG-shaped example.
+		if y != "ROOT" && y != "P1" {
+			t.Fatalf("idx=%v Ancestor(A3, student.age) = %v", idx, y)
+		}
+		// Empty path: the object itself.
+		y, ok, _ = a.Ancestor("A1", pathexpr.Path{})
+		if !ok || y != "A1" {
+			t.Fatalf("idx=%v Ancestor(A1, ε) = %v %v", idx, y, ok)
+		}
+		// Label mismatch.
+		_, ok, _ = a.Ancestor("A1", pathexpr.MustParsePath("salary"))
+		if ok {
+			t.Fatalf("idx=%v Ancestor(A1, salary) found", idx)
+		}
+	}
+}
+
+func TestCentralAccessEvalCond(t *testing.T) {
+	s := personStore(t, true)
+	a := NewCentralAccess(s)
+	cond := CondTest{Op: query.OpLe, Literal: oem.Int(45)}
+	got, err := a.EvalCond("P1", pathexpr.MustParsePath("age"), cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, []oem.OID{"A1"}) {
+		t.Fatalf("eval(P1, age, <=45) = %v", got)
+	}
+	// Condition excluding: age > 100 matches nothing.
+	got, _ = a.EvalCond("P1", pathexpr.MustParsePath("age"), CondTest{Op: query.OpGt, Literal: oem.Int(100)})
+	if len(got) != 0 {
+		t.Fatalf("eval(P1, age, >100) = %v", got)
+	}
+	// Empty path evaluates the object itself.
+	got, _ = a.EvalCond("A1", pathexpr.Path{}, cond)
+	if !oem.SameMembers(got, []oem.OID{"A1"}) {
+		t.Fatalf("eval(A1, ε, <=45) = %v", got)
+	}
+}
+
+func TestCentralAccessWithin(t *testing.T) {
+	s := personStore(t, true)
+	// D1 excludes A1: the condition path cannot reach it.
+	var d1 []oem.OID
+	for _, oid := range workload.PersonOIDs {
+		if oid != "A1" {
+			d1 = append(d1, oid)
+		}
+	}
+	if err := s.NewDatabase("D1", "database", d1...); err != nil {
+		t.Fatal(err)
+	}
+	a := &CentralAccess{S: s, Within: "D1"}
+	got, err := a.EvalCond("P1", pathexpr.MustParsePath("age"), CondTest{Always: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("eval within D1 reached %v", got)
+	}
+	// Path to an excluded object fails.
+	_, ok, _ := a.Path("ROOT", "A1")
+	if ok {
+		t.Fatal("Path reached excluded object")
+	}
+}
+
+func TestCentralAccessStats(t *testing.T) {
+	s := personStore(t, true)
+	a := NewCentralAccess(s)
+	a.Stats = &AccessStats{}
+	if _, _, err := a.Path("ROOT", "A1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Fetch("P1"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.PathCalls != 1 || a.Stats.FetchCalls != 1 || a.Stats.ObjectsTouched == 0 {
+		t.Fatalf("stats = %+v", a.Stats)
+	}
+	var sum AccessStats
+	sum.Add(*a.Stats)
+	sum.Add(*a.Stats)
+	if sum.PathCalls != 2 {
+		t.Fatalf("Add: %+v", sum)
+	}
+}
+
+func TestCentralAccessDetachedSubtree(t *testing.T) {
+	// After delete(ROOT,P1), ancestor within the detached subtree still
+	// works with the parent index — the delete case of Algorithm 1 relies
+	// on it.
+	s := personStore(t, true)
+	if err := s.Delete("ROOT", "P1"); err != nil {
+		t.Fatal(err)
+	}
+	a := NewCentralAccess(s)
+	y, ok, err := a.Ancestor("A1", pathexpr.MustParsePath("age"))
+	if err != nil || !ok || y != "P1" {
+		t.Fatalf("Ancestor in detached subtree = %v %v %v", y, ok, err)
+	}
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// AggOp enumerates the aggregate functions.
+type AggOp int
+
+const (
+	// AggCount counts the view's members.
+	AggCount AggOp = iota
+	// AggSum sums the numeric values reached by the value path.
+	AggSum
+	// AggMin takes the minimum of those values.
+	AggMin
+	// AggMax takes the maximum.
+	AggMax
+	// AggAvg averages them.
+	AggAvg
+)
+
+// String names the operator.
+func (op AggOp) String() string {
+	switch op {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("AggOp(%d)", int(op))
+	}
+}
+
+// AggDef defines an aggregate view — the paper's Section 6 open problem
+// "views in which the value of one delegate object is obtained from more
+// than one base objects, for example, aggregate views". Base selects the
+// contributing members exactly like a simple view; ValuePath reaches the
+// numeric atoms below each member that feed the aggregate (ignored by
+// AggCount, which counts members).
+//
+// Example: the total salary of professors aged at most 45 —
+//
+//	Base:      SELECT ROOT.professor X WHERE X.age <= 45
+//	ValuePath: salary
+//	Op:        AggSum
+type AggDef struct {
+	Base      SimpleDef
+	ValuePath pathexpr.Path
+	Op        AggOp
+}
+
+// AggregateView is an incrementally maintained aggregate. Its result is a
+// single atomic object <OID, op, value> in the view store, updated in
+// place as the base changes. Internally it tracks the member set and, per
+// member, the contributing atoms with their numeric values, so deletions
+// and modifications adjust the aggregate exactly (min/max keep the full
+// value multiset and never need base recomputation).
+type AggregateView struct {
+	OID    oem.OID
+	Def    AggDef
+	Base   *store.Store
+	Views  *store.Store
+	Access BaseAccess
+
+	membership *SimpleMaintainer // drives membership deltas; its view is a shadow
+	members    map[oem.OID]bool
+	contrib    map[oem.OID]float64 // contributing atom -> numeric value
+	atomOwner  map[oem.OID]oem.OID // contributing atom -> member
+}
+
+// NewAggregateView materializes the aggregate and returns its maintainer.
+func NewAggregateView(oid oem.OID, def AggDef, base, views *store.Store) (*AggregateView, error) {
+	a := &AggregateView{
+		OID: oid, Def: def, Base: base, Views: views,
+		Access:    NewCentralAccess(base),
+		members:   map[oem.OID]bool{},
+		contrib:   map[oem.OID]float64{},
+		atomOwner: map[oem.OID]oem.OID{},
+	}
+	// A shadow materialized view collects membership; it lives in a
+	// private store so no delegates pollute the caller's stores.
+	shadow := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+	q, err := def.Base.Query()
+	if err != nil {
+		return nil, err
+	}
+	mv, err := Materialize(oid+"_members", q, base, shadow)
+	if err != nil {
+		return nil, err
+	}
+	a.membership = &SimpleMaintainer{View: mv, Def: def.Base, Access: a.Access}
+	initial, err := mv.Members()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range initial {
+		if err := a.addMember(m); err != nil {
+			return nil, err
+		}
+	}
+	if err := views.Put(oem.NewAtom(oid, def.Op.String(), a.result())); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Query reconstructs a parsable query from a SimpleDef, the inverse of
+// Simplify. Aggregate views use it to materialize their membership shadow
+// through the standard path.
+func (d SimpleDef) Query() (*query.Query, error) {
+	qs := fmt.Sprintf("SELECT %s.%s X", d.Entry, joinPath(d.SelPath))
+	if !d.Cond.Always {
+		if d.Cond.Op == query.OpExists {
+			qs += fmt.Sprintf(" WHERE EXISTS X.%s", joinPath(d.CondPath))
+		} else {
+			qs += fmt.Sprintf(" WHERE X.%s %s %s", joinPath(d.CondPath), d.Cond.Op, d.Cond.Literal)
+		}
+	}
+	if d.Within != "" {
+		qs += fmt.Sprintf(" WITHIN %s", d.Within)
+	}
+	return query.Parse(qs)
+}
+
+func joinPath(p pathexpr.Path) string {
+	if len(p) == 0 {
+		return ""
+	}
+	s := p[0]
+	for _, l := range p[1:] {
+		s += "." + l
+	}
+	return s
+}
+
+// Apply maintains the aggregate under one base update.
+func (a *AggregateView) Apply(u store.Update) error {
+	deltas, err := a.membership.ComputeDeltas(u)
+	if err != nil {
+		return err
+	}
+	// Keep the shadow view in sync so future delta computations that
+	// consult it (none currently, but V_insert idempotence does) hold.
+	if err := a.membership.Apply(u); err != nil {
+		return err
+	}
+	for _, y := range deltas.Insert {
+		if err := a.addMember(y); err != nil {
+			return err
+		}
+	}
+	for _, y := range deltas.Delete {
+		a.removeMember(y)
+	}
+	if err := a.applyValueChange(u); err != nil {
+		return err
+	}
+	return a.publish()
+}
+
+// addMember records a new member and pulls its current contributions.
+func (a *AggregateView) addMember(y oem.OID) error {
+	if a.members[y] {
+		return nil
+	}
+	a.members[y] = true
+	atoms, err := a.Access.EvalCond(y, a.Def.ValuePath, CondTest{Always: true})
+	if err != nil {
+		return err
+	}
+	for _, oid := range atoms {
+		a.addContribution(y, oid)
+	}
+	return nil
+}
+
+func (a *AggregateView) addContribution(y, atom oem.OID) {
+	o, err := a.Access.Fetch(atom)
+	if err != nil || !o.IsAtomic() {
+		return
+	}
+	v, ok := numeric(o.Atom)
+	if !ok {
+		return
+	}
+	a.contrib[atom] = v
+	a.atomOwner[atom] = y
+}
+
+func (a *AggregateView) removeMember(y oem.OID) {
+	if !a.members[y] {
+		return
+	}
+	delete(a.members, y)
+	for atom, owner := range a.atomOwner {
+		if owner == y {
+			delete(a.atomOwner, atom)
+			delete(a.contrib, atom)
+		}
+	}
+}
+
+// applyValueChange tracks contributing atoms through the three updates.
+func (a *AggregateView) applyValueChange(u store.Update) error {
+	switch u.Kind {
+	case store.UpdateModify:
+		if owner, ok := a.atomOwner[u.N1]; ok {
+			if v, isNum := numeric(u.New); isNum {
+				a.contrib[u.N1] = v
+			} else {
+				delete(a.contrib, u.N1)
+				delete(a.atomOwner, u.N1)
+			}
+			_ = owner
+		} else {
+			// The atom may have become relevant only now (it was
+			// non-numeric before); re-check its ownership.
+			return a.rescanAtom(u.N1)
+		}
+		return nil
+	case store.UpdateInsert, store.UpdateDelete:
+		// An edge change can attach or detach contributing atoms below a
+		// member: match path(member, atom) = ValuePath around the edge.
+		return a.rescanEdge(u)
+	default:
+		return nil
+	}
+}
+
+// rescanAtom re-derives whether atom n contributes (its member ancestor is
+// in the member set) and updates the books.
+func (a *AggregateView) rescanAtom(n oem.OID) error {
+	if len(a.Def.ValuePath) == 0 {
+		return nil
+	}
+	y, ok, err := a.Access.Ancestor(n, a.Def.ValuePath)
+	if err != nil || !ok || !a.members[y] {
+		return err
+	}
+	a.addContribution(y, n)
+	return nil
+}
+
+// rescanEdge handles insert/delete(N1,N2) for contribution tracking.
+func (a *AggregateView) rescanEdge(u store.Update) error {
+	full := a.Def.Base.SelPath.Concat(a.Def.ValuePath)
+	q, found, err := a.Access.Path(a.Def.Base.Entry, u.N1)
+	if err != nil || !found {
+		return err
+	}
+	lbl, err := a.Access.Label(u.N2)
+	if err != nil {
+		return nil // dangling; nothing to do
+	}
+	prefix := q.Concat(pathexpr.Path{lbl})
+	if !full.HasPrefix(prefix) {
+		return nil
+	}
+	p := full[len(prefix):]
+	atoms, err := a.Access.EvalCond(u.N2, p, CondTest{Always: true})
+	if err != nil {
+		return err
+	}
+	for _, atom := range atoms {
+		if u.Kind == store.UpdateInsert {
+			y, ok, err := a.Access.Ancestor(atom, a.Def.ValuePath)
+			if err != nil {
+				return err
+			}
+			if ok && a.members[y] {
+				a.addContribution(y, atom)
+			}
+		} else {
+			delete(a.contrib, atom)
+			delete(a.atomOwner, atom)
+		}
+	}
+	return nil
+}
+
+// result computes the current aggregate value.
+func (a *AggregateView) result() oem.Atom {
+	switch a.Def.Op {
+	case AggCount:
+		return oem.Int(int64(len(a.members)))
+	case AggSum:
+		return oem.Float(a.sum())
+	case AggAvg:
+		if len(a.contrib) == 0 {
+			return oem.Atom{}
+		}
+		return oem.Float(a.sum() / float64(len(a.contrib)))
+	case AggMin, AggMax:
+		vals := a.values()
+		if len(vals) == 0 {
+			return oem.Atom{}
+		}
+		if a.Def.Op == AggMin {
+			return oem.Float(vals[0])
+		}
+		return oem.Float(vals[len(vals)-1])
+	default:
+		return oem.Atom{}
+	}
+}
+
+func (a *AggregateView) sum() float64 {
+	s := 0.0
+	for _, v := range a.contrib {
+		s += v
+	}
+	return s
+}
+
+func (a *AggregateView) values() []float64 {
+	out := make([]float64, 0, len(a.contrib))
+	for _, v := range a.contrib {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// publish writes the current result into the view store's result object.
+func (a *AggregateView) publish() error {
+	cur, err := a.Views.Get(a.OID)
+	if err != nil {
+		return err
+	}
+	next := a.result()
+	if cur.Atom.Equal(next) && cur.Atom.Kind == next.Kind {
+		return nil
+	}
+	return a.Views.Modify(a.OID, next)
+}
+
+// Value returns the current aggregate value.
+func (a *AggregateView) Value() (oem.Atom, error) {
+	o, err := a.Views.Get(a.OID)
+	if err != nil {
+		return oem.Atom{}, err
+	}
+	return o.Atom, nil
+}
+
+// Members returns the current member count (for introspection and tests).
+func (a *AggregateView) Members() int { return len(a.members) }
+
+func numeric(v oem.Atom) (float64, bool) {
+	switch v.Kind {
+	case oem.AtomInt:
+		return float64(v.I), true
+	case oem.AtomFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}

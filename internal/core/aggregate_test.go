@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// salarySum builds the aggregate "total salary of professors aged <= 45"
+// over PERSON.
+func salaryAgg(t testing.TB, op AggOp) (*store.Store, *AggregateView) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	def := AggDef{
+		Base: SimpleDef{
+			Entry:    "ROOT",
+			SelPath:  pathexpr.MustParsePath("professor"),
+			CondPath: pathexpr.MustParsePath("age"),
+			Cond:     CondTest{Op: query.OpLe, Literal: oem.Int(45)},
+		},
+		ValuePath: pathexpr.MustParsePath("salary"),
+		Op:        op,
+	}
+	vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+	a, err := NewAggregateView("AGG", def, s, vstore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+func feedAgg(t testing.TB, s *store.Store, a *AggregateView, from uint64) {
+	t.Helper()
+	for _, u := range s.LogSince(from) {
+		if err := a.Apply(u); err != nil {
+			t.Fatalf("Apply(%s): %v", u, err)
+		}
+	}
+}
+
+func wantValue(t testing.TB, a *AggregateView, want oem.Atom) {
+	t.Helper()
+	got, err := a.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("aggregate = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateInitial(t *testing.T) {
+	// Only P1 qualifies (age 45); its salary is 100000.
+	_, a := salaryAgg(t, AggSum)
+	wantValue(t, a, oem.Float(100000))
+	if a.Members() != 1 {
+		t.Fatalf("members = %d", a.Members())
+	}
+}
+
+func TestAggregateCount(t *testing.T) {
+	s, a := salaryAgg(t, AggCount)
+	wantValue(t, a, oem.Int(1))
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+	if err := s.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Int(2))
+}
+
+func TestAggregateMembershipChanges(t *testing.T) {
+	s, a := salaryAgg(t, AggSum)
+	// P2 joins with a salary of 80000.
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+	s.MustPut(oem.NewTypedAtom("S2", "salary", "dollar", oem.Int(80000)))
+	if err := s.Insert("P2", "S2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(180000))
+
+	// P1 ages out: its salary leaves the sum.
+	before = s.Seq()
+	if err := s.Modify("A1", oem.Int(60)); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(80000))
+
+	// ... and back in.
+	before = s.Seq()
+	if err := s.Modify("A1", oem.Int(44)); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(180000))
+}
+
+func TestAggregateValueModify(t *testing.T) {
+	s, a := salaryAgg(t, AggSum)
+	before := s.Seq()
+	if err := s.Modify("S1", oem.Int(120000)); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(120000))
+}
+
+func TestAggregateValueEdgeChanges(t *testing.T) {
+	s, a := salaryAgg(t, AggSum)
+	// A second salary atom under P1 contributes too.
+	before := s.Seq()
+	s.MustPut(oem.NewTypedAtom("S1b", "salary", "dollar", oem.Int(5000)))
+	if err := s.Insert("P1", "S1b"); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(105000))
+	// Detaching it removes the contribution.
+	before = s.Seq()
+	if err := s.Delete("P1", "S1b"); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(100000))
+}
+
+func TestAggregateMinMaxExactUnderDeletes(t *testing.T) {
+	// Min/max must survive deletion of the current extremum — the case
+	// that makes naive incremental min/max wrong.
+	s, a := salaryAgg(t, AggMax)
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+	s.MustPut(oem.NewTypedAtom("S2", "salary", "dollar", oem.Int(250000)))
+	if err := s.Insert("P2", "S2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(250000))
+	// Remove the maximum contributor: the max falls back to 100000.
+	before = s.Seq()
+	if err := s.Delete("P2", "S2"); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(100000))
+}
+
+func TestAggregateAvgAndEmpty(t *testing.T) {
+	s, a := salaryAgg(t, AggAvg)
+	wantValue(t, a, oem.Float(100000))
+	// Remove the only member: avg becomes the no-value atom.
+	before := s.Seq()
+	if err := s.Delete("ROOT", "P1"); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	got, err := a.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsZero() {
+		t.Fatalf("empty avg = %v, want none", got)
+	}
+}
+
+func TestAggregateIgnoresNonNumeric(t *testing.T) {
+	s, a := salaryAgg(t, AggSum)
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("S1c", "salary", oem.String_("negotiable")))
+	if err := s.Insert("P1", "S1c"); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(100000))
+	// The atom becoming numeric later is picked up by the modify rescan.
+	before = s.Seq()
+	if err := s.Modify("S1c", oem.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	feedAgg(t, s, a, before)
+	wantValue(t, a, oem.Float(100001))
+}
+
+// aggOracle recomputes the aggregate from scratch.
+func aggOracle(t testing.TB, s *store.Store, def AggDef) oem.Atom {
+	t.Helper()
+	q, err := def.Base.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := query.NewEvaluator(s).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Op == AggCount {
+		return oem.Int(int64(len(members)))
+	}
+	access := NewCentralAccess(s)
+	var vals []float64
+	for _, m := range members {
+		atoms, err := access.EvalCond(m, def.ValuePath, CondTest{Always: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, oid := range atoms {
+			o, err := s.Get(oid)
+			if err != nil {
+				continue
+			}
+			if v, ok := numeric(o.Atom); ok {
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(vals) == 0 {
+		if def.Op == AggSum {
+			return oem.Float(0)
+		}
+		return oem.Atom{}
+	}
+	sum, mn, mx := 0.0, math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		sum += v
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	switch def.Op {
+	case AggSum:
+		return oem.Float(sum)
+	case AggAvg:
+		return oem.Float(sum / float64(len(vals)))
+	case AggMin:
+		return oem.Float(mn)
+	default:
+		return oem.Float(mx)
+	}
+}
+
+// TestPropertyAggregateEqualsRecompute drives random streams over
+// relation-like data for every aggregate operator and compares against a
+// from-scratch oracle after each update.
+func TestPropertyAggregateEqualsRecompute(t *testing.T) {
+	ops := []AggOp{AggCount, AggSum, AggMin, AggMax, AggAvg}
+	for _, op := range ops {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			s := store.NewDefault()
+			db := workload.RelationLike(s, workload.RelationConfig{
+				Relations: 1, TuplesPerRelation: 8, FieldsPerTuple: 2, Seed: int64(op),
+			})
+			def := AggDef{
+				Base: SimpleDef{
+					Entry:    "REL",
+					SelPath:  pathexpr.MustParsePath("r0.tuple"),
+					CondPath: pathexpr.MustParsePath("age"),
+					Cond:     CondTest{Op: query.OpGt, Literal: oem.Int(30)},
+				},
+				ValuePath: pathexpr.MustParsePath("age"),
+				Op:        op,
+			}
+			vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+			a, err := NewAggregateView("AGG", def, s, vstore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sets, atoms []oem.OID
+			sets = append(sets, db.Relations[0].OID)
+			sets = append(sets, db.Relations[0].Tuples...)
+			for _, tu := range db.Relations[0].Tuples {
+				kids, _ := s.Children(tu)
+				atoms = append(atoms, kids...)
+			}
+			stream := workload.NewStream(s, workload.StreamConfig{
+				Seed: int64(op)*3 + 1, Mix: workload.Mix{Insert: 3, Delete: 2, Modify: 5}, ValueRange: 80,
+			}, sets, atoms)
+			for step := 0; step < 100; step++ {
+				before := s.Seq()
+				if _, ok := stream.Next(); !ok {
+					break
+				}
+				feedAgg(t, s, a, before)
+				got, err := a.Value()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := aggOracle(t, s, def)
+				if !atomsClose(got, want) {
+					t.Fatalf("step %d: aggregate %v != oracle %v", step, got, want)
+				}
+			}
+		})
+	}
+}
+
+// atomsClose compares aggregate atoms with float tolerance.
+func atomsClose(a, b oem.Atom) bool {
+	if a.IsZero() || b.IsZero() {
+		return a.IsZero() == b.IsZero()
+	}
+	av, aok := numeric(a)
+	bv, bok := numeric(b)
+	if !aok || !bok {
+		return a.Equal(b)
+	}
+	return math.Abs(av-bv) < 1e-6*math.Max(1, math.Abs(bv))
+}
+
+func TestAggOpString(t *testing.T) {
+	for op, want := range map[AggOp]string{
+		AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max", AggAvg: "avg",
+	} {
+		if op.String() != want {
+			t.Errorf("String(%d) = %q", int(op), op.String())
+		}
+	}
+}
+
+func TestSimpleDefQueryRoundTrip(t *testing.T) {
+	for _, qs := range []string{
+		"SELECT ROOT.professor X WHERE X.age <= 45",
+		"SELECT REL.r0.tuple X",
+		"SELECT ROOT.professor X WHERE EXISTS X.name",
+		"SELECT ROOT.person X WHERE X.name = 'John' WITHIN PERSON",
+	} {
+		def, ok := Simplify(query.MustParse(qs))
+		if !ok {
+			t.Fatalf("not simple: %s", qs)
+		}
+		q, err := def.Query()
+		if err != nil {
+			t.Fatalf("Query() for %s: %v", qs, err)
+		}
+		def2, ok := Simplify(q)
+		if !ok {
+			t.Fatalf("round-tripped query not simple: %s", q)
+		}
+		if fmt.Sprintf("%+v", def) != fmt.Sprintf("%+v", def2) {
+			t.Fatalf("round trip changed def:\n%+v\n%+v", def, def2)
+		}
+	}
+}

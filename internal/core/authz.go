@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// AuthzMode selects how user queries are restricted to authorized views
+// (Section 3.1: "user queries are automatically expanded to include
+// ANS INT or WITHIN clauses for the union of views the user is authorized
+// to access").
+type AuthzMode int
+
+const (
+	// AuthzAnsInt intersects the query answer with the authorized union:
+	// evaluation may traverse unauthorized objects, but never returns them.
+	AuthzAnsInt AuthzMode = iota
+	// AuthzWithin confines the whole evaluation to the authorized union:
+	// unauthorized objects are completely ignored, even during traversal.
+	AuthzWithin
+)
+
+// Authorizer rewrites user queries so they can only retrieve (or see)
+// objects in the views a user is authorized for. Because views can be
+// redefined or re-evaluated at any time, authorization is dynamic: the
+// expansion references a union object that is rebuilt on each call.
+type Authorizer struct {
+	Store *store.Store
+	Mode  AuthzMode
+	// Grants maps user names to the view object OIDs they may access.
+	Grants map[string][]oem.OID
+}
+
+// NewAuthorizer returns an authorizer over s.
+func NewAuthorizer(s *store.Store, mode AuthzMode) *Authorizer {
+	return &Authorizer{Store: s, Mode: mode, Grants: make(map[string][]oem.OID)}
+}
+
+// Grant authorizes user for the given view objects (in addition to any
+// previous grants).
+func (a *Authorizer) Grant(user string, views ...oem.OID) {
+	a.Grants[user] = append(a.Grants[user], views...)
+}
+
+// Revoke removes all grants for user.
+func (a *Authorizer) Revoke(user string) { delete(a.Grants, user) }
+
+// Expand returns a copy of q restricted to the user's authorized views.
+// It materializes the union of the granted view objects as a fresh set
+// object and attaches it as an ANS INT or WITHIN clause. A query that
+// already carries the corresponding clause is further restricted: the
+// existing database is intersected with the authorized union. A user with
+// no grants gets a query over the empty database.
+func (a *Authorizer) Expand(user string, q *query.Query) (*query.Query, error) {
+	union, err := a.unionObject(user)
+	if err != nil {
+		return nil, err
+	}
+	out := *q
+	out.Selects = append([]query.SelectItem(nil), q.Selects...)
+	switch a.Mode {
+	case AuthzAnsInt:
+		if q.AnsInt != "" {
+			combined, err := a.Store.Intersect(q.AnsInt, union)
+			if err != nil {
+				return nil, err
+			}
+			union = combined
+		}
+		out.AnsInt = union
+	case AuthzWithin:
+		if q.Within != "" {
+			combined, err := a.Store.Intersect(q.Within, union)
+			if err != nil {
+				return nil, err
+			}
+			union = combined
+		}
+		out.Within = union
+	default:
+		return nil, fmt.Errorf("core: unknown authorization mode %d", int(a.Mode))
+	}
+	return &out, nil
+}
+
+// unionObject builds a set object holding the union of the user's granted
+// views' members and returns its OID.
+func (a *Authorizer) unionObject(user string) (oem.OID, error) {
+	oid := a.Store.GenOID("auth_" + user)
+	u := oem.NewSet(oid, "authorized")
+	for _, v := range a.Grants[user] {
+		vo, err := a.Store.Get(v)
+		if err != nil {
+			return oem.NoOID, fmt.Errorf("core: granted view %s: %w", v, err)
+		}
+		for _, m := range vo.Set {
+			// Granted materialized views list delegate OIDs; authorize the
+			// base objects they stand for as well, so queries over base
+			// data are filtered correctly.
+			u.Add(m)
+			if _, base, ok := SplitDelegateOID(m); ok && v != oem.NoOID {
+				if a.Store.Has(base) {
+					u.Add(base)
+				}
+			}
+		}
+	}
+	if err := a.Store.Put(u); err != nil {
+		return oem.NoOID, err
+	}
+	return oid, nil
+}
+
+// Run expands and evaluates a user query in one step.
+func (a *Authorizer) Run(user string, q *query.Query) ([]oem.OID, error) {
+	eq, err := a.Expand(user, q)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewEvaluator(a.Store).Eval(eq)
+}

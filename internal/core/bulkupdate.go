@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// BulkUpdate describes an intentional update — the paper's final Section 6
+// open problem: "How does one maintain materialized views when not only
+// the updated base objects, but also the update query that generated them
+// is known? For example, we may know that the salary of each person named
+// 'Mark' was increased by $1000. Then a view containing the salary of
+// persons named 'John' should be unaffected."
+//
+// Selector picks the target objects X exactly like a simple view
+// definition; EffectPath locates the atoms below each X whose values the
+// update modifies (it modifies values only — bulk structural updates are
+// out of scope, as in the paper's example).
+type BulkUpdate struct {
+	Selector   SimpleDef
+	EffectPath pathexpr.Path
+}
+
+// String renders the intent.
+func (b BulkUpdate) String() string {
+	return fmt.Sprintf("modify %s of %s.%s where %s.%s %s",
+		b.EffectPath, b.Selector.Entry, b.Selector.SelPath,
+		b.Selector.SelPath, b.Selector.CondPath, b.Selector.Cond)
+}
+
+// touchedPath returns the full label path (from the selector entry) of the
+// atoms the bulk update modifies.
+func (b BulkUpdate) touchedPath() pathexpr.Path {
+	return b.Selector.SelPath.Concat(b.EffectPath)
+}
+
+// UnaffectedReason explains a screening decision, for logs and tests.
+type UnaffectedReason int
+
+const (
+	// Affected means the view may be affected and must process the
+	// individual updates.
+	Affected UnaffectedReason = iota
+	// UnaffectedDifferentEntry: the update and the view hang off
+	// different roots.
+	UnaffectedDifferentEntry
+	// UnaffectedDisjointPaths: the modified atoms lie on a label path the
+	// view's membership and delegate values never read.
+	UnaffectedDisjointPaths
+	// UnaffectedDisjointSelectors: paths coincide, but the selector and
+	// the view condition are mutually exclusive on the same atoms (e.g.
+	// name = 'Mark' vs name = 'John' under the functional-label
+	// assumption).
+	UnaffectedDisjointSelectors
+)
+
+// String names the reason.
+func (r UnaffectedReason) String() string {
+	switch r {
+	case Affected:
+		return "affected"
+	case UnaffectedDifferentEntry:
+		return "different entry"
+	case UnaffectedDisjointPaths:
+		return "disjoint paths"
+	case UnaffectedDisjointSelectors:
+		return "disjoint selectors"
+	default:
+		return fmt.Sprintf("UnaffectedReason(%d)", int(r))
+	}
+}
+
+// ScreenBulkUpdate decides whether a view is unaffected by a bulk update,
+// using only the two intents — no data access. The entry and path
+// reasoning is unconditional; the disjoint-selector reasoning is enabled
+// by the caller-asserted assumeStable flag, which vouches for two facts
+// the intents alone cannot establish:
+//
+//  1. Functional labels: no object has two children with the same label
+//     (true for relation-like data, not guaranteed by OEM) — otherwise one
+//     object could satisfy both selectors (two name children 'Mark' and
+//     'John').
+//  2. Condition-stable transform: the new values do not change the truth
+//     of the view's condition for any selected object (a $1000 raise
+//     cannot change a name; a rename of Marks CAN mint Johns and must be
+//     run with assumeStable=false — see TestBulkRenameCaveat).
+func ScreenBulkUpdate(view SimpleDef, b BulkUpdate, assumeStable bool) UnaffectedReason {
+	if view.Entry != b.Selector.Entry {
+		// Under the tree assumption of Section 4, distinct entry objects
+		// root disjoint subtrees, so an update below one entry cannot
+		// touch atoms below another.
+		return UnaffectedDifferentEntry
+	}
+	touched := b.touchedPath()
+
+	// The view reads atoms at sel_path.cond_path (membership) and copies
+	// the member objects themselves at sel_path (delegate values; a value
+	// modify affects a delegate only if the member is atomic, i.e. the
+	// member path itself is touched).
+	readsMembership := touched.Equal(view.FullPath())
+	readsDelegates := touched.Equal(view.SelPath)
+	if !readsMembership && !readsDelegates {
+		return UnaffectedDisjointPaths
+	}
+
+	// Paths coincide: try to prove the selectors disjoint.
+	if assumeStable && selectorsDisjoint(view, b.Selector) {
+		return UnaffectedDisjointSelectors
+	}
+	return Affected
+}
+
+// selectorsDisjoint reports whether no object can satisfy both simple
+// conditions, assuming functional labels. It handles the paper's case —
+// equality conditions on the same condition path with different literals —
+// plus numerically incompatible ranges.
+func selectorsDisjoint(a, b SimpleDef) bool {
+	if !a.SelPath.Equal(b.SelPath) || !a.CondPath.Equal(b.CondPath) {
+		return false
+	}
+	ca, cb := a.Cond, b.Cond
+	if ca.Always || cb.Always || ca.Op == query.OpExists || cb.Op == query.OpExists {
+		return false
+	}
+	return condsDisjoint(ca, cb)
+}
+
+// condsDisjoint checks value-level incompatibility of two comparisons.
+func condsDisjoint(a, b CondTest) bool {
+	// Equality vs equality with different literals.
+	if a.Op == query.OpEq && b.Op == query.OpEq {
+		return !a.Literal.Equal(b.Literal)
+	}
+	// Equality vs a comparison excluding the literal.
+	if a.Op == query.OpEq {
+		return !b.HoldsValue(a.Literal)
+	}
+	if b.Op == query.OpEq {
+		return !a.HoldsValue(b.Literal)
+	}
+	// Range vs range: disjoint when the ranges cannot overlap, e.g.
+	// x < 10 and x > 20.
+	cmp, ok := a.Literal.Compare(b.Literal)
+	if !ok {
+		return false
+	}
+	lower := func(op query.Op) bool { return op == query.OpGt || op == query.OpGe }
+	upper := func(op query.Op) bool { return op == query.OpLt || op == query.OpLe }
+	switch {
+	case upper(a.Op) && lower(b.Op):
+		// a: x < La (or <=), b: x > Lb (or >=); disjoint if La <= Lb with
+		// strictness handled below.
+		if cmp < 0 {
+			return true
+		}
+		return cmp == 0 && (a.Op == query.OpLt || b.Op == query.OpGt)
+	case lower(a.Op) && upper(b.Op):
+		if cmp > 0 {
+			return true
+		}
+		return cmp == 0 && (a.Op == query.OpGt || b.Op == query.OpLt)
+	default:
+		return false
+	}
+}
+
+// ApplyBulk executes a bulk update against a store: for every selected
+// object X and every atom in X.EffectPath, apply transform to its value.
+// Individual modify updates are logged as usual, so maintainers that do
+// NOT understand the intent can still process them one by one; maintainers
+// that do (see Registry.ApplyBulk) skip them wholesale.
+func ApplyBulk(s *store.Store, b BulkUpdate, transform func(oem.Atom) oem.Atom) (int, error) {
+	q, err := b.Selector.Query()
+	if err != nil {
+		return 0, err
+	}
+	members, err := query.NewEvaluator(s).Eval(q)
+	if err != nil {
+		return 0, err
+	}
+	access := NewCentralAccess(s)
+	modified := 0
+	for _, m := range members {
+		atoms, err := access.EvalCond(m, b.EffectPath, CondTest{Always: true})
+		if err != nil {
+			return modified, err
+		}
+		for _, oid := range atoms {
+			o, err := s.Get(oid)
+			if err != nil || !o.IsAtomic() {
+				continue
+			}
+			if err := s.Modify(oid, transform(o.Atom)); err != nil {
+				return modified, err
+			}
+			modified++
+		}
+	}
+	return modified, nil
+}
+
+// BulkOutcome summarizes what Registry.ApplyBulk did per view.
+type BulkOutcome struct {
+	View    string
+	Reason  UnaffectedReason
+	Applied int // individual updates processed (0 when screened)
+}
+
+// ApplyBulk executes a bulk update and maintains every registered
+// materialized view, screening views the intent provably does not touch.
+// assumeStable extends screening to disjoint selectors (see
+// ScreenBulkUpdate for the two facts it asserts). It returns one outcome
+// per materialized view.
+func (r *Registry) ApplyBulk(b BulkUpdate, transform func(oem.Atom) oem.Atom, assumeStable bool) ([]BulkOutcome, error) {
+	before := r.base.Seq()
+	if _, err := ApplyBulk(r.base, b, transform); err != nil {
+		return nil, err
+	}
+	updates := r.base.LogSince(before)
+	var out []BulkOutcome
+	for _, name := range r.Names() {
+		v := r.views[name]
+		if v.Maintainer == nil {
+			continue
+		}
+		oc := BulkOutcome{View: name}
+		if def, ok := Simplify(v.Query); ok {
+			oc.Reason = ScreenBulkUpdate(def, b, assumeStable)
+		}
+		if oc.Reason == Affected {
+			for _, u := range updates {
+				if err := v.Maintainer.Apply(u); err != nil {
+					return out, err
+				}
+				oc.Applied++
+			}
+		}
+		out = append(out, oc)
+	}
+	return out, nil
+}

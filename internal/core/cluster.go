@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// Cluster implements the paper's view clusters (Section 3.2): when a site
+// defines several materialized views whose contents overlap, a cluster
+// makes all of them share a single delegate per base object instead of one
+// delegate per (view, object) pair. Delegate OIDs use the *cluster* OID
+// (CL.P1); each member view object lists the shared delegates for its own
+// members, and a reference count per base object governs delegate
+// lifetime.
+type Cluster struct {
+	// OID is the cluster identifier used in shared delegate OIDs.
+	OID oem.OID
+	// ViewStore holds the member view objects and the shared delegates.
+	ViewStore *store.Store
+	// Base is the base store in the centralized arrangement; nil when the
+	// cluster was built with NewClusterWith over remote access.
+	Base *store.Store
+
+	// evaluate answers a view-definition query over the base data and
+	// fetch retrieves one base object; access backs the member views'
+	// Algorithm 1 maintainers. In the centralized case all three read the
+	// base store directly; a warehouse supplies query-back
+	// implementations (Section 3.2 motivates clusters for remote sites).
+	evaluate func(q *query.Query) ([]oem.OID, error)
+	fetch    func(oem.OID) (*oem.Object, error)
+	access   BaseAccess
+
+	views map[oem.OID]*clusterView
+	refs  map[oem.OID]int // base OID -> number of member views containing it
+}
+
+type clusterView struct {
+	oid oem.OID
+	q   *query.Query
+	m   Maintainer
+}
+
+// NewCluster returns an empty centralized cluster over base.
+func NewCluster(oid oem.OID, base, viewStore *store.Store) *Cluster {
+	c := NewClusterWith(oid, viewStore, ClusterBackend{
+		Evaluate: func(q *query.Query) ([]oem.OID, error) {
+			return query.NewEvaluator(base).Eval(q)
+		},
+		Fetch:  base.Get,
+		Access: NewCentralAccess(base),
+	})
+	c.Base = base
+	return c
+}
+
+// ClusterBackend supplies the base-data operations a cluster needs,
+// decoupled from where the base lives.
+type ClusterBackend struct {
+	// Evaluate answers a view-definition query.
+	Evaluate func(q *query.Query) ([]oem.OID, error)
+	// Fetch retrieves one base object for delegate creation.
+	Fetch func(oem.OID) (*oem.Object, error)
+	// Access backs Algorithm 1's helper functions.
+	Access BaseAccess
+}
+
+// NewClusterWith returns an empty cluster over an arbitrary backend —
+// the warehouse uses it with query-back implementations.
+func NewClusterWith(oid oem.OID, viewStore *store.Store, b ClusterBackend) *Cluster {
+	return &Cluster{
+		OID:       oid,
+		ViewStore: viewStore,
+		evaluate:  b.Evaluate,
+		fetch:     b.Fetch,
+		access:    b.Access,
+		views:     make(map[oem.OID]*clusterView),
+		refs:      make(map[oem.OID]int),
+	}
+}
+
+// sharedDelegateOID is DelegateOID with the cluster OID.
+func (c *Cluster) sharedDelegateOID(base oem.OID) oem.OID { return DelegateOID(c.OID, base) }
+
+// AddView defines and materializes a member view. Its view object lists
+// shared (cluster-scoped) delegate OIDs. Only simple views are supported:
+// cluster members are maintained with Algorithm 1.
+func (c *Cluster) AddView(name oem.OID, q *query.Query) error {
+	if _, ok := c.views[name]; ok {
+		return fmt.Errorf("core: cluster %s already has view %s", c.OID, name)
+	}
+	def, ok := Simplify(q)
+	if !ok {
+		return fmt.Errorf("core: cluster view %s is not a simple view", name)
+	}
+	members, err := c.evaluate(q)
+	if err != nil {
+		return err
+	}
+	vo := oem.NewSet(name, ViewLabel)
+	for _, b := range members {
+		vo.Add(c.sharedDelegateOID(b))
+	}
+	if err := c.ViewStore.Put(vo); err != nil {
+		return err
+	}
+	for _, b := range members {
+		if err := c.retain(b); err != nil {
+			return err
+		}
+	}
+	cv := &clusterView{oid: name, q: q}
+	sm := &SimpleMaintainer{Def: def, Access: c.access}
+	cv.m = &clusterMaintainer{c: c, view: name, inner: sm}
+	c.views[name] = cv
+	return nil
+}
+
+// retain bumps the reference count of a base object's shared delegate,
+// creating the delegate on the 0→1 transition.
+func (c *Cluster) retain(b oem.OID) error {
+	c.refs[b]++
+	if c.refs[b] > 1 {
+		return nil
+	}
+	o, err := c.fetch(b)
+	if err != nil {
+		return err
+	}
+	d := o.Clone()
+	d.OID = c.sharedDelegateOID(b)
+	if c.ViewStore.Has(d.OID) {
+		return nil
+	}
+	return c.ViewStore.Put(d)
+}
+
+// release drops one reference, removing the delegate on the 1→0
+// transition.
+func (c *Cluster) release(b oem.OID) error {
+	if c.refs[b] == 0 {
+		return nil
+	}
+	c.refs[b]--
+	if c.refs[b] > 0 {
+		return nil
+	}
+	delete(c.refs, b)
+	d := c.sharedDelegateOID(b)
+	if c.ViewStore.Has(d) {
+		return c.ViewStore.Remove(d)
+	}
+	return nil
+}
+
+// Members returns the base OIDs currently in a member view.
+func (c *Cluster) Members(view oem.OID) ([]oem.OID, error) {
+	vo, err := c.ViewStore.Get(view)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]oem.OID, 0, len(vo.Set))
+	for _, d := range vo.Set {
+		_, b, ok := SplitDelegateOID(d)
+		if !ok {
+			return nil, fmt.Errorf("core: malformed shared delegate %s", d)
+		}
+		out = append(out, b)
+	}
+	return oem.SortOIDs(out), nil
+}
+
+// Delegate returns the shared delegate for a base object.
+func (c *Cluster) Delegate(b oem.OID) (*oem.Object, error) {
+	return c.ViewStore.Get(c.sharedDelegateOID(b))
+}
+
+// DelegateCount returns the number of live shared delegates — the space
+// the cluster actually uses, compared against one-delegate-per-view.
+func (c *Cluster) DelegateCount() int { return len(c.refs) }
+
+// Apply routes a base update to every member view's maintainer.
+func (c *Cluster) Apply(u store.Update) error {
+	for _, b := range oem.SortOIDs(c.viewOIDs()) {
+		if err := c.views[b].m.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RefreshDelegateFrom overwrites the shared delegate of base object o
+// with o's current value, if a delegate exists. Warehouse Level-1 modify
+// handling uses it after fetching the object (reports withhold values).
+func (c *Cluster) RefreshDelegateFrom(o *oem.Object) error {
+	d := c.sharedDelegateOID(o.OID)
+	if !c.ViewStore.Has(d) {
+		return nil
+	}
+	if o.IsAtomic() {
+		return c.ViewStore.Modify(d, o.Atom)
+	}
+	return c.ViewStore.SetValue(d, o.Set)
+}
+
+// ViewNames returns the member view OIDs, sorted.
+func (c *Cluster) ViewNames() []oem.OID { return oem.SortOIDs(c.viewOIDs()) }
+
+// ViewDef returns the simple definition of a member view.
+func (c *Cluster) ViewDef(name oem.OID) (SimpleDef, bool) {
+	cv, ok := c.views[name]
+	if !ok {
+		return SimpleDef{}, false
+	}
+	return Simplify(cv.q)
+}
+
+// VInsert exposes the cluster-aware V_insert for one member view, for
+// protocols that derive membership externally (the warehouse's Level-1
+// modify recheck).
+func (c *Cluster) VInsert(view, y oem.OID) error {
+	cv, ok := c.views[view]
+	if !ok {
+		return fmt.Errorf("core: cluster %s has no view %s", c.OID, view)
+	}
+	return cv.m.(*clusterMaintainer).vInsert(y)
+}
+
+// VDelete exposes the cluster-aware V_delete; see VInsert.
+func (c *Cluster) VDelete(view, y oem.OID) error {
+	cv, ok := c.views[view]
+	if !ok {
+		return fmt.Errorf("core: cluster %s has no view %s", c.OID, view)
+	}
+	return cv.m.(*clusterMaintainer).vDelete(y)
+}
+
+func (c *Cluster) viewOIDs() []oem.OID {
+	out := make([]oem.OID, 0, len(c.views))
+	for oid := range c.views {
+		out = append(out, oid)
+	}
+	return out
+}
+
+// clusterMaintainer adapts Algorithm 1 to shared delegates: membership
+// decisions come from the inner SimpleMaintainer's ComputeDeltas, but
+// V_insert and V_delete manipulate the shared pool with reference
+// counting.
+type clusterMaintainer struct {
+	c     *Cluster
+	view  oem.OID
+	inner *SimpleMaintainer
+}
+
+// Apply implements Maintainer for a cluster member.
+func (cm *clusterMaintainer) Apply(u store.Update) error {
+	d, err := cm.inner.ComputeDeltas(u)
+	if err != nil {
+		return err
+	}
+	for _, y := range d.Insert {
+		if err := cm.vInsert(y); err != nil {
+			return err
+		}
+	}
+	for _, y := range d.Delete {
+		if err := cm.vDelete(y); err != nil {
+			return err
+		}
+	}
+	return cm.refresh(u)
+}
+
+func (cm *clusterMaintainer) vInsert(y oem.OID) error {
+	vo, err := cm.c.ViewStore.Get(cm.view)
+	if err != nil {
+		return err
+	}
+	d := cm.c.sharedDelegateOID(y)
+	if vo.Contains(d) {
+		return nil
+	}
+	if err := cm.c.retain(y); err != nil {
+		return err
+	}
+	return cm.c.ViewStore.Insert(cm.view, d)
+}
+
+func (cm *clusterMaintainer) vDelete(y oem.OID) error {
+	vo, err := cm.c.ViewStore.Get(cm.view)
+	if err != nil {
+		return err
+	}
+	d := cm.c.sharedDelegateOID(y)
+	if !vo.Contains(d) {
+		return nil
+	}
+	if err := cm.c.ViewStore.Delete(cm.view, d); err != nil {
+		return err
+	}
+	return cm.c.release(y)
+}
+
+// refresh keeps the shared delegate value synchronized, once per cluster
+// (the first member view to process the update does the work; subsequent
+// refreshes are no-ops because the value already matches).
+func (cm *clusterMaintainer) refresh(u store.Update) error {
+	d := cm.c.sharedDelegateOID(u.N1)
+	if !cm.c.ViewStore.Has(d) {
+		return nil
+	}
+	switch u.Kind {
+	case store.UpdateInsert:
+		obj, err := cm.c.ViewStore.Get(d)
+		if err != nil {
+			return err
+		}
+		if obj.Contains(u.N2) {
+			return nil
+		}
+		return cm.c.ViewStore.Insert(d, u.N2)
+	case store.UpdateDelete:
+		obj, err := cm.c.ViewStore.Get(d)
+		if err != nil {
+			return err
+		}
+		if !obj.Contains(u.N2) {
+			return nil
+		}
+		return cm.c.ViewStore.Delete(d, u.N2)
+	case store.UpdateModify:
+		obj, err := cm.c.ViewStore.Get(d)
+		if err != nil {
+			return err
+		}
+		if obj.IsAtomic() && !obj.Atom.Equal(u.New) {
+			return cm.c.ViewStore.Modify(d, u.New)
+		}
+		return nil
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// newPersonCluster builds a cluster with two overlapping views: YOUNG
+// (age <= 45 professors+students via two clusters? — no: professors only)
+// and NAMED (professors with a name). P1 belongs to both.
+func newPersonCluster(t testing.TB) (*store.Store, *Cluster) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	c := NewCluster("CL", s, s)
+	if err := c.AddView("YOUNG", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddView("NAMED", query.MustParse("SELECT ROOT.professor X WHERE EXISTS X.name")); err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+func TestClusterSharesDelegates(t *testing.T) {
+	s, c := newPersonCluster(t)
+	young, err := c.Members("YOUNG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(young, []oem.OID{"P1"}) {
+		t.Fatalf("YOUNG = %v", young)
+	}
+	named, err := c.Members("NAMED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(named, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("NAMED = %v", named)
+	}
+	// P1 is in both views but has exactly one delegate: CL.P1.
+	if c.DelegateCount() != 2 { // P1 and P2
+		t.Fatalf("DelegateCount = %d, want 2", c.DelegateCount())
+	}
+	if !s.Has("CL.P1") || s.Has("YOUNG.P1") || s.Has("NAMED.P1") {
+		t.Fatal("per-view delegates exist despite clustering")
+	}
+	d, err := c.Delegate("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Label != "professor" {
+		t.Fatalf("shared delegate = %v", d)
+	}
+}
+
+func TestClusterMaintenance(t *testing.T) {
+	s, c := newPersonCluster(t)
+	// Age P1 out of YOUNG: the shared delegate survives because NAMED
+	// still references it.
+	before := s.Seq()
+	if err := s.Modify("A1", oem.Int(60)); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	young, _ := c.Members("YOUNG")
+	named, _ := c.Members("NAMED")
+	if len(young) != 0 {
+		t.Fatalf("YOUNG = %v", young)
+	}
+	if !oem.SameMembers(named, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("NAMED = %v", named)
+	}
+	if !s.Has("CL.P1") {
+		t.Fatal("shared delegate reclaimed while still referenced")
+	}
+	// Remove P1's name: it leaves NAMED and the delegate is reclaimed.
+	before = s.Seq()
+	if err := s.Delete("P1", "N1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	named, _ = c.Members("NAMED")
+	if !oem.SameMembers(named, []oem.OID{"P2"}) {
+		t.Fatalf("NAMED after name removal = %v", named)
+	}
+	if s.Has("CL.P1") {
+		t.Fatal("shared delegate not reclaimed at refcount zero")
+	}
+	if c.DelegateCount() != 1 {
+		t.Fatalf("DelegateCount = %d, want 1", c.DelegateCount())
+	}
+}
+
+func TestClusterDelegateValueRefresh(t *testing.T) {
+	s, c := newPersonCluster(t)
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("H1", "hobby", oem.String_("chess")))
+	if err := s.Insert("P1", "H1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, _ := c.Delegate("P1")
+	if !d.Contains("H1") {
+		t.Fatalf("shared delegate value stale: %v", d.Set)
+	}
+}
+
+func TestClusterMembershipInsertSharesNewDelegate(t *testing.T) {
+	// A brand-new professor enters both views through maintenance; the
+	// cluster creates exactly one shared delegate with refcount 2.
+	s, c := newPersonCluster(t)
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("N9", "name", oem.String_("Ada")))
+	s.MustPut(oem.NewAtom("A9", "age", oem.Int(30)))
+	s.MustPut(oem.NewSet("P9", "professor", "N9", "A9"))
+	if err := s.Insert("ROOT", "P9"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	young, _ := c.Members("YOUNG")
+	named, _ := c.Members("NAMED")
+	if !oem.SameMembers(young, []oem.OID{"P1", "P9"}) {
+		t.Fatalf("YOUNG = %v", young)
+	}
+	if !oem.SameMembers(named, []oem.OID{"P1", "P2", "P9"}) {
+		t.Fatalf("NAMED = %v", named)
+	}
+	if !s.Has("CL.P9") {
+		t.Fatal("shared delegate missing")
+	}
+	if c.DelegateCount() != 3 { // P1, P2, P9
+		t.Fatalf("DelegateCount = %d", c.DelegateCount())
+	}
+	// Leaving one view keeps the delegate; leaving both reclaims it.
+	before = s.Seq()
+	if err := s.Modify("A9", oem.Int(99)); err != nil { // exits YOUNG only
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Has("CL.P9") {
+		t.Fatal("delegate reclaimed while NAMED still holds it")
+	}
+	before = s.Seq()
+	if err := s.Delete("P9", "N9"); err != nil { // exits NAMED too
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Has("CL.P9") {
+		t.Fatal("delegate survived refcount zero")
+	}
+}
+
+func TestClusterSharedDelegateAtomRefresh(t *testing.T) {
+	// A cluster over atomic members must refresh the shared delegate's
+	// value on modify.
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	c := NewCluster("CA", s, s)
+	if err := c.AddView("AGES", query.MustParse("SELECT ROOT.professor.age X WHERE X >= 0")); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Seq()
+	if err := s.Modify("A1", oem.Int(46)); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := c.Delegate("A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Atom.Equal(oem.Int(46)) {
+		t.Fatalf("shared atom delegate = %v", d.Atom)
+	}
+}
+
+func TestClusterDuplicateView(t *testing.T) {
+	_, c := newPersonCluster(t)
+	if err := c.AddView("YOUNG", query.MustParse("SELECT ROOT.secretary X")); err == nil {
+		t.Fatal("duplicate cluster view accepted")
+	}
+}
+
+func TestClusterRejectsGeneralViews(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	c := NewCluster("CL", s, s)
+	if err := c.AddView("W", query.MustParse("SELECT ROOT.* X WHERE X.name = 'John'")); err == nil {
+		t.Fatal("cluster accepted a non-simple view")
+	}
+}
+
+func TestClusterSavesSpaceVersusSeparateViews(t *testing.T) {
+	// The motivating property: k overlapping views keep one delegate per
+	// object, not k.
+	s := store.NewDefault()
+	db := workload.RelationLike(s, workload.RelationConfig{
+		Relations: 1, TuplesPerRelation: 10, FieldsPerTuple: 2, Seed: 5, AgeRange: 100,
+	})
+	_ = db
+	c := NewCluster("CL", s, s)
+	queries := []string{
+		"SELECT REL.r0.tuple X WHERE X.age >= 0",  // everything
+		"SELECT REL.r0.tuple X WHERE X.age >= 20", // subset
+		"SELECT REL.r0.tuple X WHERE X.age >= 40", // smaller subset
+	}
+	total := 0
+	for i, qs := range queries {
+		name := oem.OID([]string{"V1", "V2", "V3"}[i])
+		if err := c.AddView(name, query.MustParse(qs)); err != nil {
+			t.Fatal(err)
+		}
+		ms, err := c.Members(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ms)
+	}
+	if c.DelegateCount() >= total {
+		t.Fatalf("cluster uses %d delegates, naive views would use %d", c.DelegateCount(), total)
+	}
+	if c.DelegateCount() != 10 {
+		t.Fatalf("DelegateCount = %d, want 10 (all tuples)", c.DelegateCount())
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/store"
+)
+
+// DagAccess extends the helper functions for DAG-shaped bases, where the
+// paper's Section 6 notes "there may be more than one path between two
+// objects. Therefore, the actual implementation of the algorithm, e.g.,
+// computing ancestor(X,p), is more difficult."
+type DagAccess interface {
+	BaseAccess
+	// AllPaths returns every simple label path from root to n.
+	AllPaths(root, n oem.OID) ([]pathexpr.Path, error)
+	// AllAncestors returns every object X with path(X, n) = p.
+	AllAncestors(n oem.OID, p pathexpr.Path) ([]oem.OID, error)
+}
+
+// AllPaths implements DagAccess for CentralAccess by walking parent edges
+// upward, enumerating simple paths. Worst-case exponential in the DAG's
+// sharing, like any all-paths enumeration; view paths are short in
+// practice.
+func (a *CentralAccess) AllPaths(root, n oem.OID) ([]pathexpr.Path, error) {
+	scope, err := a.scope()
+	if err != nil {
+		return nil, err
+	}
+	if !inScope(scope, n) || !inScope(scope, root) {
+		return nil, nil
+	}
+	var out []pathexpr.Path
+	onStack := map[oem.OID]bool{}
+	var walk func(oid oem.OID, below pathexpr.Path) error
+	walk = func(oid oem.OID, below pathexpr.Path) error {
+		if oid == root {
+			out = append(out, below.Clone())
+			return nil
+		}
+		if onStack[oid] {
+			return nil // simple paths only
+		}
+		onStack[oid] = true
+		defer delete(onStack, oid)
+		lbl, err := a.S.Label(oid)
+		if err != nil {
+			return nil
+		}
+		a.touch(1)
+		if oem.IsGroupingLabel(lbl) || isDelegate(oid) {
+			return nil
+		}
+		parents, err := a.S.Parents(oid)
+		if err != nil {
+			return nil
+		}
+		a.touch(len(parents))
+		next := pathexpr.Path{lbl}.Concat(below)
+		for _, p := range parents {
+			if !inScope(scope, p) {
+				continue
+			}
+			if err := walk(p, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if n == root {
+		return []pathexpr.Path{{}}, nil
+	}
+	if err := walk(n, pathexpr.Path{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllAncestors implements DagAccess for CentralAccess.
+func (a *CentralAccess) AllAncestors(n oem.OID, p pathexpr.Path) ([]oem.OID, error) {
+	scope, err := a.scope()
+	if err != nil {
+		return nil, err
+	}
+	if !inScope(scope, n) {
+		return nil, nil
+	}
+	if len(p) == 0 {
+		return []oem.OID{n}, nil
+	}
+	cur := map[oem.OID]bool{n: true}
+	for i := len(p) - 1; i >= 0; i-- {
+		next := map[oem.OID]bool{}
+		for oid := range cur {
+			lbl, err := a.S.Label(oid)
+			if err != nil || lbl != p[i] {
+				continue
+			}
+			a.touch(1)
+			parents, err := a.S.Parents(oid)
+			if err != nil {
+				continue
+			}
+			a.touch(len(parents))
+			for _, par := range parents {
+				if inScope(scope, par) && !isDelegate(par) {
+					next[par] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		cur = next
+	}
+	out := make([]oem.OID, 0, len(cur))
+	for oid := range cur {
+		lbl, err := a.S.Label(oid)
+		if err == nil && !oem.IsGroupingLabel(lbl) {
+			out = append(out, oid)
+		}
+	}
+	return oem.SortOIDs(out), nil
+}
+
+// DagMaintainer is the Section 6 DAG relaxation of Algorithm 1: the same
+// case analysis, with path(ROOT,N1) and ancestor(X,p) generalized to sets
+// because objects can have several derivations. Deletions re-verify
+// candidate members (another derivation may keep them in the view);
+// insertions stay idempotent via V_insert.
+type DagMaintainer struct {
+	View   *MaterializedView
+	Def    SimpleDef
+	Access DagAccess
+}
+
+// NewDagMaintainer builds the DAG maintainer for a simple view over a
+// store with a parent index (required for upward path enumeration).
+func NewDagMaintainer(mv *MaterializedView, access DagAccess) (*DagMaintainer, error) {
+	def, ok := Simplify(mv.Query)
+	if !ok {
+		return nil, fmt.Errorf("core: view %s is not a simple view", mv.OID)
+	}
+	return &DagMaintainer{View: mv, Def: def, Access: access}, nil
+}
+
+// Apply implements Maintainer.
+func (m *DagMaintainer) Apply(u store.Update) error {
+	switch u.Kind {
+	case store.UpdateInsert:
+		if err := m.onEdge(u.N1, u.N2, true); err != nil {
+			return err
+		}
+	case store.UpdateDelete:
+		if err := m.onEdge(u.N1, u.N2, false); err != nil {
+			return err
+		}
+	case store.UpdateModify:
+		if err := m.onModify(u.N1, u.Old, u.New); err != nil {
+			return err
+		}
+	}
+	return refreshDelegate(m.View, u)
+}
+
+// onEdge handles insert and delete symmetrically: it collects the
+// candidate members whose derivations pass through the changed edge, then
+// reconciles each against the current base state.
+func (m *DagMaintainer) onEdge(n1, n2 oem.OID, isInsert bool) error {
+	full := m.Def.FullPath()
+	paths, err := m.Access.AllPaths(m.Def.Entry, n1)
+	if err != nil {
+		return err
+	}
+	lbl, err := m.Access.Label(n2)
+	if err != nil {
+		return nil
+	}
+	candidates := map[oem.OID]bool{}
+	for _, q := range paths {
+		prefix := q.Concat(pathexpr.Path{lbl})
+		if !full.HasPrefix(prefix) {
+			continue
+		}
+		p := full[len(prefix):]
+		s, err := m.Access.EvalCond(n2, p, m.Def.Cond)
+		if err != nil {
+			return err
+		}
+		for _, x := range s {
+			ys, err := m.Access.AllAncestors(x, m.Def.CondPath)
+			if err != nil {
+				return err
+			}
+			for _, y := range ys {
+				candidates[y] = true
+			}
+		}
+		// For deletions, members above the deleted edge are candidates
+		// too (they may have lost their only evidence through n2).
+		if !isInsert && len(prefix) > len(m.Def.SelPath) {
+			ys, err := m.Access.AllAncestors(n1, q[len(m.Def.SelPath):])
+			if err != nil {
+				return err
+			}
+			for _, y := range ys {
+				candidates[y] = true
+			}
+		}
+	}
+	for y := range candidates {
+		if err := m.reconcile(y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *DagMaintainer) onModify(n oem.OID, oldv, newv oem.Atom) error {
+	full := m.Def.FullPath()
+	paths, err := m.Access.AllPaths(m.Def.Entry, n)
+	if err != nil {
+		return err
+	}
+	matches := false
+	for _, q := range paths {
+		if q.Equal(full) {
+			matches = true
+			break
+		}
+	}
+	if !matches {
+		return nil
+	}
+	ys, err := m.Access.AllAncestors(n, m.Def.CondPath)
+	if err != nil {
+		return err
+	}
+	for _, y := range ys {
+		if err := m.reconcile(y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reconcile re-derives Y's membership: Y is a member iff some root path to
+// Y matches sel_path and some condition-path descendant satisfies cond.
+func (m *DagMaintainer) reconcile(y oem.OID) error {
+	member, err := m.isMember(y)
+	if err != nil {
+		return err
+	}
+	if member {
+		return viewInsert(m.View, m.Access, y)
+	}
+	return viewDelete(m.View, y)
+}
+
+func (m *DagMaintainer) isMember(y oem.OID) (bool, error) {
+	paths, err := m.Access.AllPaths(m.Def.Entry, y)
+	if err != nil {
+		return false, err
+	}
+	onSel := false
+	for _, q := range paths {
+		if q.Equal(m.Def.SelPath) {
+			onSel = true
+			break
+		}
+	}
+	if !onSel {
+		return false, nil
+	}
+	evidence, err := m.Access.EvalCond(y, m.Def.CondPath, m.Def.Cond)
+	if err != nil {
+		return false, err
+	}
+	return len(evidence) > 0, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// dagFixture builds a small DAG: two departments share an employee whose
+// age makes it a view member.
+//
+//	ORG ── dept D1 ── emp E1 ── age 30
+//	    ── dept D2 ── emp E1 (shared!)
+//	              └── emp E2 ── age 55
+func dagFixture(t testing.TB) *store.Store {
+	t.Helper()
+	s := store.NewDefault()
+	s.MustPut(oem.NewAtom("AG1", "age", oem.Int(30)))
+	s.MustPut(oem.NewAtom("AG2", "age", oem.Int(55)))
+	s.MustPut(oem.NewSet("E1", "emp", "AG1"))
+	s.MustPut(oem.NewSet("E2", "emp", "AG2"))
+	s.MustPut(oem.NewSet("D1", "dept", "E1"))
+	s.MustPut(oem.NewSet("D2", "dept", "E1", "E2"))
+	s.MustPut(oem.NewSet("ORG", "org", "D1", "D2"))
+	return s
+}
+
+func newDag(t testing.TB, s *store.Store, q string) (*MaterializedView, *DagMaintainer) {
+	t.Helper()
+	vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+	mv, err := Materialize("DV", query.MustParse(q), s, vstore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDagMaintainer(mv, NewCentralAccess(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mv, m
+}
+
+func feedDag(t testing.TB, s *store.Store, m *DagMaintainer, from uint64) {
+	t.Helper()
+	for _, u := range s.LogSince(from) {
+		if err := m.Apply(u); err != nil {
+			t.Fatalf("Apply(%s): %v", u, err)
+		}
+	}
+}
+
+func TestDagAllPaths(t *testing.T) {
+	s := dagFixture(t)
+	a := NewCentralAccess(s)
+	paths, err := a.AllPaths("ORG", "E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths to E1 = %v, want 2", paths)
+	}
+	for _, p := range paths {
+		if p.String() != "dept.emp" {
+			t.Fatalf("path = %v", p)
+		}
+	}
+	// Same object as root: the empty path.
+	paths, _ = a.AllPaths("ORG", "ORG")
+	if len(paths) != 1 || len(paths[0]) != 0 {
+		t.Fatalf("self paths = %v", paths)
+	}
+	// Unreachable object: no paths.
+	s.MustPut(oem.NewAtom("LONER", "x", oem.Int(1)))
+	paths, _ = a.AllPaths("ORG", "LONER")
+	if len(paths) != 0 {
+		t.Fatalf("loner paths = %v", paths)
+	}
+}
+
+func TestDagAllAncestors(t *testing.T) {
+	s := dagFixture(t)
+	a := NewCentralAccess(s)
+	ys, err := a.AllAncestors("AG1", pathexpr.MustParsePath("emp.age"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(ys, []oem.OID{"D1", "D2"}) {
+		t.Fatalf("ancestors = %v", ys)
+	}
+	ys, _ = a.AllAncestors("AG1", pathexpr.MustParsePath("age"))
+	if !oem.SameMembers(ys, []oem.OID{"E1"}) {
+		t.Fatalf("ancestors(age) = %v", ys)
+	}
+	ys, _ = a.AllAncestors("AG1", pathexpr.Path{})
+	if !oem.SameMembers(ys, []oem.OID{"AG1"}) {
+		t.Fatalf("ancestors(ε) = %v", ys)
+	}
+}
+
+func TestDagMaintainerSharedDerivations(t *testing.T) {
+	s := dagFixture(t)
+	mv, m := newDag(t, s, "SELECT ORG.dept.emp X WHERE X.age < 50")
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"E1"}) {
+		t.Fatalf("initial = %v", got)
+	}
+	// Cut one of E1's two derivations: it stays a member through the
+	// other — the exact case Algorithm 1's tree assumption cannot handle.
+	before := s.Seq()
+	if err := s.Delete("D1", "E1"); err != nil {
+		t.Fatal(err)
+	}
+	feedDag(t, s, m, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"E1"}) {
+		t.Fatalf("after cutting one derivation = %v", got)
+	}
+	// Cut the second derivation: now it leaves.
+	before = s.Seq()
+	if err := s.Delete("D2", "E1"); err != nil {
+		t.Fatal(err)
+	}
+	feedDag(t, s, m, before)
+	if got := members(t, mv); len(got) != 0 {
+		t.Fatalf("after cutting both = %v", got)
+	}
+	// Reattach under D1: back in.
+	before = s.Seq()
+	if err := s.Insert("D1", "E1"); err != nil {
+		t.Fatal(err)
+	}
+	feedDag(t, s, m, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"E1"}) {
+		t.Fatalf("after reattach = %v", got)
+	}
+}
+
+func TestDagMaintainerModify(t *testing.T) {
+	s := dagFixture(t)
+	mv, m := newDag(t, s, "SELECT ORG.dept.emp X WHERE X.age < 50")
+	before := s.Seq()
+	if err := s.Modify("AG2", oem.Int(40)); err != nil {
+		t.Fatal(err)
+	}
+	feedDag(t, s, m, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"E1", "E2"}) {
+		t.Fatalf("after modify in = %v", got)
+	}
+	before = s.Seq()
+	if err := s.Modify("AG1", oem.Int(60)); err != nil {
+		t.Fatal(err)
+	}
+	feedDag(t, s, m, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"E2"}) {
+		t.Fatalf("after modify out = %v", got)
+	}
+}
+
+func TestDagMaintainerRejectsGeneralViews(t *testing.T) {
+	s := dagFixture(t)
+	vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+	mv, err := Materialize("W", query.MustParse("SELECT ORG.* X"), s, vstore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDagMaintainer(mv, NewCentralAccess(s)); err == nil {
+		t.Fatal("wildcard view accepted")
+	}
+}
+
+// randomLayeredDAG builds a DAG with shared children across layers and
+// returns the store plus mutation targets.
+func randomLayeredDAG(seed int64) (*store.Store, []oem.OID, []oem.OID) {
+	rng := rand.New(rand.NewSource(seed))
+	s := store.NewDefault()
+	const emps = 6
+	var empOIDs, ageOIDs []oem.OID
+	for e := 0; e < emps; e++ {
+		age := oem.OID(fmt.Sprintf("AG%d", e))
+		s.MustPut(oem.NewAtom(age, "age", oem.Int(int64(rng.Intn(80)))))
+		emp := oem.OID(fmt.Sprintf("E%d", e))
+		s.MustPut(oem.NewSet(emp, "emp", age))
+		empOIDs = append(empOIDs, emp)
+		ageOIDs = append(ageOIDs, age)
+	}
+	var depts []oem.OID
+	for d := 0; d < 3; d++ {
+		dept := oem.OID(fmt.Sprintf("D%d", d))
+		var kids []oem.OID
+		for e := 0; e < emps; e++ {
+			if rng.Intn(2) == 0 {
+				kids = append(kids, empOIDs[e])
+			}
+		}
+		s.MustPut(oem.NewSet(dept, "dept", kids...))
+		depts = append(depts, dept)
+	}
+	s.MustPut(oem.NewSet("ORG", "org", depts...))
+	return s, append(depts, empOIDs...), ageOIDs
+}
+
+// TestPropertyDagEqualsRecompute drives random edge churn over shared-
+// children DAGs and checks the DAG maintainer against recomputation.
+func TestPropertyDagEqualsRecompute(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s, sets, atoms := randomLayeredDAG(seed)
+			mv, m := newDag(t, s, "SELECT ORG.dept.emp X WHERE X.age < 40")
+			rng := rand.New(rand.NewSource(seed + 99))
+			for step := 0; step < 120; step++ {
+				before := s.Seq()
+				switch rng.Intn(3) {
+				case 0: // toggle a dept->emp edge
+					d := sets[rng.Intn(3)]
+					e := sets[3+rng.Intn(len(sets)-3)]
+					kids, _ := s.Children(d)
+					has := false
+					for _, k := range kids {
+						if k == e {
+							has = true
+						}
+					}
+					if has {
+						_ = s.Delete(d, e)
+					} else {
+						_ = s.Insert(d, e)
+					}
+				case 1: // modify an age
+					_ = s.Modify(atoms[rng.Intn(len(atoms))], oem.Int(int64(rng.Intn(80))))
+				default: // toggle an ORG->dept edge
+					d := sets[rng.Intn(3)]
+					kids, _ := s.Children("ORG")
+					has := false
+					for _, k := range kids {
+						if k == d {
+							has = true
+						}
+					}
+					if has {
+						_ = s.Delete("ORG", d)
+					} else {
+						_ = s.Insert("ORG", d)
+					}
+				}
+				feedDag(t, s, m, before)
+				if step%10 == 0 || step == 119 {
+					fresh, err := query.NewEvaluator(s).Eval(mv.Query)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := members(t, mv)
+					if !oem.SameMembers(got, fresh) {
+						t.Fatalf("step %d: dag view %v != fresh %v", step, got, fresh)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+// Package core implements the paper's primary contribution: virtual and
+// materialized views over graph structured databases (Section 3), and their
+// incremental maintenance (Section 4).
+//
+// A view is defined by a query and is itself an ordinary GSDB object
+// <V, view, set, value(V)>, so views can be queried and further views can
+// be defined on them. A materialized view additionally stores a *delegate*
+// object for every base object in the view; delegate OIDs are semantic —
+// the view OID concatenated with the base OID (MV.P1) — which is what lets
+// maintenance relate delegates back to their originals.
+//
+// Maintenance comes in three strategies:
+//
+//   - SimpleMaintainer implements the paper's Algorithm 1 verbatim for
+//     simple views (constant selection and condition paths over tree bases),
+//     expressed against a BaseAccess interface so the same algorithm runs
+//     centralized (direct store access) and in a warehouse (query-backs).
+//   - GeneralMaintainer handles the Section 6 extensions: wildcard path
+//     expressions, multiple selection paths, AND/OR conditions, and DAG
+//     bases with multiple derivations.
+//   - Recompute rebuilds the view from scratch; it is both the correctness
+//     oracle for the property tests and the baseline for experiment E1.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+)
+
+// DelegateOID returns the semantic OID of the delegate of base object
+// `base` in the view with OID `view`: the concatenation view.base
+// (Section 3.2).
+func DelegateOID(view, base oem.OID) oem.OID {
+	return oem.OID(string(view) + "." + string(base))
+}
+
+// SplitDelegateOID inverts DelegateOID, splitting at the first dot. View
+// OIDs never contain dots; base OIDs may (a delegate of a delegate, for
+// views defined over materialized views).
+func SplitDelegateOID(d oem.OID) (view, base oem.OID, ok bool) {
+	i := strings.IndexByte(string(d), '.')
+	if i <= 0 || i == len(d)-1 {
+		return "", "", false
+	}
+	return d[:i], d[i+1:], true
+}
+
+// CondTest is the paper's cond() predicate over atomic objects, reduced to
+// the data needed by maintenance: a comparison operator and literal. The
+// zero CondTest (Always true) represents a view without a WHERE clause.
+type CondTest struct {
+	// Always marks the trivial condition that accepts every object.
+	Always  bool
+	Op      query.Op
+	Literal oem.Atom
+}
+
+// HoldsValue reports whether an atomic value satisfies the condition —
+// the cond(newv) test of Algorithm 1's modify case. OpExists holds for any
+// existing object regardless of value.
+func (c CondTest) HoldsValue(v oem.Atom) bool {
+	if c.Always || c.Op == query.OpExists {
+		return true
+	}
+	return c.Op.Apply(v, c.Literal)
+}
+
+// HoldsObject reports whether an object satisfies the condition: atomic
+// objects are tested by value; set objects satisfy only Always/OpExists.
+func (c CondTest) HoldsObject(o *oem.Object) bool {
+	if c.Always || c.Op == query.OpExists {
+		return true
+	}
+	return o.IsAtomic() && c.Op.Apply(o.Atom, c.Literal)
+}
+
+// String renders the condition.
+func (c CondTest) String() string {
+	if c.Always {
+		return "true"
+	}
+	if c.Op == query.OpExists {
+		return "exists"
+	}
+	return fmt.Sprintf("%s %s", c.Op, c.Literal)
+}
+
+// SimpleDef is the shape of a *simple view* (Section 4.2): a single
+// constant selection path from one entry object, and a condition that is a
+// single cond() over one constant condition path:
+//
+//	define mview MV as: SELECT ROOT.sel_path X WHERE cond(X.cond_path)
+//
+// An optional WITHIN database restricts all traversals.
+type SimpleDef struct {
+	Entry    oem.OID
+	SelPath  pathexpr.Path
+	CondPath pathexpr.Path
+	Cond     CondTest
+	Within   oem.OID
+}
+
+// FullPath returns sel_path.cond_path, the concatenation Algorithm 1
+// matches update locations against.
+func (d SimpleDef) FullPath() pathexpr.Path { return d.SelPath.Concat(d.CondPath) }
+
+// Simplify classifies a parsed query as a simple view definition. It
+// returns ok=false when the query needs the generalized maintainer:
+// multiple selection items, wildcard path expressions, AND/OR conditions,
+// or an ANS INT clause (whose answer depends on a second, independently
+// changing database).
+func Simplify(q *query.Query) (SimpleDef, bool) {
+	if len(q.Selects) != 1 || q.AnsInt != "" {
+		return SimpleDef{}, false
+	}
+	item := q.Selects[0]
+	sel, ok := pathexpr.IsConst(item.Path)
+	if !ok {
+		return SimpleDef{}, false
+	}
+	def := SimpleDef{
+		Entry:   item.Entry,
+		SelPath: sel,
+		Within:  q.Within,
+		Cond:    CondTest{Always: true},
+	}
+	if q.Where == nil {
+		return def, true
+	}
+	cmp, ok := q.Where.(*query.Compare)
+	if !ok || cmp.Binder != item.Binder {
+		return SimpleDef{}, false
+	}
+	condPath, ok := pathexpr.IsConst(cmp.Path)
+	if !ok {
+		return SimpleDef{}, false
+	}
+	def.CondPath = condPath
+	def.Cond = CondTest{Op: cmp.Op, Literal: cmp.Literal}
+	return def, true
+}

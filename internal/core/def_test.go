@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+)
+
+func TestDelegateOIDRoundTrip(t *testing.T) {
+	d := DelegateOID("MVJ", "P1")
+	if d != "MVJ.P1" {
+		t.Fatalf("DelegateOID = %s", d)
+	}
+	view, base, ok := SplitDelegateOID(d)
+	if !ok || view != "MVJ" || base != "P1" {
+		t.Fatalf("Split = %s %s %v", view, base, ok)
+	}
+}
+
+func TestSplitDelegateOIDNested(t *testing.T) {
+	// A delegate of a delegate (view over a materialized view) splits at
+	// the first dot.
+	d := DelegateOID("MV2", DelegateOID("MVJ", "P1"))
+	view, base, ok := SplitDelegateOID(d)
+	if !ok || view != "MV2" || base != "MVJ.P1" {
+		t.Fatalf("Split = %s %s %v", view, base, ok)
+	}
+}
+
+func TestSplitDelegateOIDMalformed(t *testing.T) {
+	for _, d := range []oem.OID{"P1", ".P1", "MVJ.", ""} {
+		if _, _, ok := SplitDelegateOID(d); ok {
+			t.Errorf("Split(%q) ok, want malformed", d)
+		}
+	}
+}
+
+func TestCondTest(t *testing.T) {
+	always := CondTest{Always: true}
+	if !always.HoldsValue(oem.Int(1)) || !always.HoldsObject(oem.NewSet("S", "s")) {
+		t.Error("Always condition rejected a value")
+	}
+	le45 := CondTest{Op: query.OpLe, Literal: oem.Int(45)}
+	if !le45.HoldsValue(oem.Int(45)) || le45.HoldsValue(oem.Int(46)) {
+		t.Error("<=45 misbehaves on values")
+	}
+	if le45.HoldsObject(oem.NewSet("S", "s")) {
+		t.Error("comparison condition held on a set object")
+	}
+	if !le45.HoldsObject(oem.NewAtom("A", "age", oem.Int(40))) {
+		t.Error("comparison condition rejected satisfying atom")
+	}
+	exists := CondTest{Op: query.OpExists}
+	if !exists.HoldsValue(oem.Int(999)) || !exists.HoldsObject(oem.NewSet("S", "s")) {
+		t.Error("exists condition rejected an object")
+	}
+}
+
+func TestSimplifyAcceptsPaperViews(t *testing.T) {
+	cases := []struct {
+		stmt     string
+		sel      string
+		condPath string
+		entry    oem.OID
+	}{
+		{"define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45", "professor", "age", "ROOT"},
+		{"define mview SEL as: SELECT REL.r.tuple X WHERE X.age > 30", "r.tuple", "age", "REL"},
+		{"define mview M as: SELECT ROOT.a.b.c X", "a.b.c", "ε", "ROOT"},
+	}
+	for _, c := range cases {
+		vs := query.MustParseView(c.stmt)
+		def, ok := Simplify(vs.Query)
+		if !ok {
+			t.Errorf("Simplify(%q) not simple", c.stmt)
+			continue
+		}
+		if def.SelPath.String() != c.sel || def.CondPath.String() != c.condPath || def.Entry != c.entry {
+			t.Errorf("Simplify(%q) = %+v", c.stmt, def)
+		}
+	}
+}
+
+func TestSimplifyWithinKept(t *testing.T) {
+	vs := query.MustParseView("define mview MVJ as: SELECT ROOT.person X WHERE X.name = 'John' WITHIN PERSON")
+	def, ok := Simplify(vs.Query)
+	if !ok || def.Within != "PERSON" {
+		t.Fatalf("def = %+v, ok=%v", def, ok)
+	}
+}
+
+func TestSimplifyRejectsGeneralViews(t *testing.T) {
+	general := []string{
+		"SELECT ROOT.* X WHERE X.name = 'John'",     // wildcard sel
+		"SELECT ROOT.a X WHERE X.*.b = 1",           // wildcard cond
+		"SELECT ROOT.a X, ROOT.b X",                 // multi-select
+		"SELECT ROOT.a X WHERE X.b = 1 AND X.c = 2", // conjunction
+		"SELECT ROOT.a X WHERE X.b = 1 OR X.c = 2",  // disjunction
+		"SELECT ROOT.a X ANS INT D2",                // ANS INT
+		"SELECT ROOT.?.b X",                         // single wildcard
+	}
+	for _, s := range general {
+		if _, ok := Simplify(query.MustParse(s)); ok {
+			t.Errorf("Simplify(%q) accepted a general view", s)
+		}
+	}
+}
+
+func TestSimpleDefFullPath(t *testing.T) {
+	def := SimpleDef{
+		SelPath:  pathexpr.MustParsePath("r.tuple"),
+		CondPath: pathexpr.MustParsePath("age"),
+	}
+	if got := def.FullPath().String(); got != "r.tuple.age" {
+		t.Fatalf("FullPath = %q", got)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func newGeneral(t testing.TB, base *store.Store, oid oem.OID, q string) (*MaterializedView, *GeneralMaintainer) {
+	t.Helper()
+	mv, err := Materialize(oid, query.MustParse(q), base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGeneralMaintainer(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mv, g
+}
+
+func feed(t testing.TB, s *store.Store, m Maintainer, from uint64) {
+	t.Helper()
+	for _, u := range s.LogSince(from) {
+		if _, _, isDelegate := SplitDelegateOID(u.N1); isDelegate {
+			continue
+		}
+		if lbl, err := s.Label(u.N1); err == nil && oem.IsGroupingLabel(lbl) {
+			continue
+		}
+		if err := m.Apply(u); err != nil {
+			t.Fatalf("Apply(%s): %v", u, err)
+		}
+	}
+}
+
+func TestGeneralWildcardView(t *testing.T) {
+	// The paper's VJ: SELECT ROOT.* X WHERE X.name = 'John' — a wildcard
+	// selection Algorithm 1 cannot handle (Section 6).
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, g := newGeneral(t, s, "MVJ", "SELECT ROOT.* X WHERE X.name = 'John'")
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P3"}) {
+		t.Fatalf("initial = %v", got)
+	}
+	// Renaming Sally to John brings P2 in.
+	before := s.Seq()
+	if err := s.Modify("N2", oem.String_("John")); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P2", "P3"}) {
+		t.Fatalf("after rename = %v", got)
+	}
+	// Deleting the edge ROOT->P3 removes P3 only if it has no other
+	// derivation — it does (via P1), so the view keeps it.
+	before = s.Seq()
+	if err := s.Delete("ROOT", "P3"); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P2", "P3"}) {
+		t.Fatalf("after deleting one derivation = %v", got)
+	}
+	// Deleting the second derivation (P1->P3) removes P3.
+	before = s.Seq()
+	if err := s.Delete("P1", "P3"); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("after deleting both derivations = %v", got)
+	}
+}
+
+func TestGeneralDeepWildcardInsert(t *testing.T) {
+	// Section 6: "If a view is defined by SELECT ROOT.*, then any insertion
+	// of a ROOT's descendant node will cause delegate objects to be
+	// inserted into the view."
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, g := newGeneral(t, s, "ALL", "SELECT ROOT.* X WHERE X.name = 'John'")
+	before := s.Seq()
+	// Attach a new person subtree deep under P2.
+	s.MustPut(oem.NewAtom("N9", "name", oem.String_("John")))
+	s.MustPut(oem.NewSet("P9", "assistant", "N9"))
+	if err := s.Insert("P2", "P9"); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P3", "P9"}) {
+		t.Fatalf("after deep insert = %v", got)
+	}
+}
+
+func TestGeneralMultiSelectAndConjunction(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, g := newGeneral(t, s, "MX",
+		"SELECT ROOT.professor X, ROOT.secretary X WHERE X.age >= 40 AND X.name != 'Nobody'")
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P4"}) {
+		t.Fatalf("initial = %v", got)
+	}
+	before := s.Seq()
+	if err := s.Modify("A4", oem.Int(20)); err != nil { // Tom too young now
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("after modify = %v", got)
+	}
+}
+
+func TestGeneralDisjunction(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, g := newGeneral(t, s, "MO",
+		"SELECT ROOT.? X WHERE X.name = 'Sally' OR X.age = 20")
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P2", "P3"}) {
+		t.Fatalf("initial = %v", got)
+	}
+	before := s.Seq()
+	if err := s.Modify("A3", oem.Int(21)); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P2"}) {
+		t.Fatalf("after modify = %v", got)
+	}
+}
+
+func TestGeneralDAGBase(t *testing.T) {
+	// Figure 1's DAG: F has two parents (D and E). A view selecting "any
+	// depth" objects must handle membership via multiple derivations.
+	s := store.NewDefault()
+	workload.FigureOneDB(s)
+	mv, g := newGeneral(t, s, "VF", "SELECT A.* X WHERE X.*.g >= 0")
+	// Every interior node reaches G (g=7): A itself plus B,C,D,E,F.
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"A", "B", "C", "D", "E", "F"}) {
+		t.Fatalf("initial = %v", got)
+	}
+	// Cut D->F: F keeps membership through E.
+	before := s.Seq()
+	if err := s.Delete("D", "F"); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	got := members(t, mv)
+	if !oem.SameMembers(got, []oem.OID{"A", "B", "C", "E", "F"}) {
+		t.Fatalf("after cutting D->F = %v", got)
+	}
+	// Cut E->F too: F is unreachable from A now.
+	before = s.Seq()
+	if err := s.Delete("E", "F"); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	got = members(t, mv)
+	if !oem.SameMembers(got, []oem.OID{"A", "B", "C"}) {
+		t.Fatalf("after cutting E->F = %v", got)
+	}
+}
+
+func TestGeneralRequiresParentIndex(t *testing.T) {
+	opts := store.DefaultOptions()
+	opts.ParentIndex = false
+	s := store.New(opts)
+	workload.PersonDB(s)
+	mv, err := Materialize("V", query.MustParse("SELECT ROOT.* X"), s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGeneralMaintainer(mv); err == nil {
+		t.Fatal("general maintainer accepted an index-free store")
+	}
+}
+
+func TestGeneralWithinScope(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, g := newGeneral(t, s, "VW", "SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON")
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P3"}) {
+		t.Fatalf("initial = %v", got)
+	}
+	// An object outside PERSON is invisible to the view even when linked.
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("NX", "name", oem.String_("John")))
+	s.MustPut(oem.NewSet("PX", "visitor", "NX"))
+	if err := s.Insert("ROOT", "PX"); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, g, before)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P3"}) {
+		t.Fatalf("outside-scope insert changed view: %v", got)
+	}
+}
+
+// TestPropertyGeneralEqualsRecompute drives random update streams through
+// the general maintainer on wildcard views and checks against
+// recomputation — the analogue of the Algorithm 1 property test for the
+// Section 6 extensions.
+func TestPropertyGeneralEqualsRecompute(t *testing.T) {
+	views := []string{
+		"SELECT REL.* X WHERE X.age > 30",
+		"SELECT REL.?.tuple X WHERE X.age > 30 OR X.age < 10",
+		"SELECT REL.r0.tuple X, REL.r1.tuple X WHERE X.age >= 20 AND X.age <= 70",
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			base := store.NewDefault()
+			db := workload.RelationLike(base, workload.RelationConfig{
+				Relations: 2, TuplesPerRelation: 4, FieldsPerTuple: 2, Seed: seed,
+			})
+			var mvs []*MaterializedView
+			var gs []*GeneralMaintainer
+			for i, vq := range views {
+				mv, g := newGeneral(t, base, oem.OID(fmt.Sprintf("G%d", i)), vq)
+				mvs = append(mvs, mv)
+				gs = append(gs, g)
+			}
+			var sets, atoms []oem.OID
+			for _, r := range db.Relations {
+				sets = append(sets, r.OID)
+				sets = append(sets, r.Tuples...)
+				for _, tu := range r.Tuples {
+					kids, _ := base.Children(tu)
+					atoms = append(atoms, kids...)
+				}
+			}
+			stream := workload.NewStream(base, workload.StreamConfig{
+				Seed: seed*7 + 1, Mix: workload.Mix{Insert: 3, Delete: 2, Modify: 5}, ValueRange: 80,
+			}, sets, atoms)
+			for step := 0; step < 60; step++ {
+				before := base.Seq()
+				if _, ok := stream.Next(); !ok {
+					break
+				}
+				for _, g := range gs {
+					feed(t, base, g, before)
+				}
+				if step%6 == 0 || step == 59 {
+					for _, mv := range mvs {
+						checkConsistent(t, mv)
+					}
+				}
+			}
+			for _, mv := range mvs {
+				checkConsistent(t, mv)
+			}
+		})
+	}
+}

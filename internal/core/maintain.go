@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/store"
+)
+
+// Maintainer applies base updates to a materialized view incrementally.
+type Maintainer interface {
+	// Apply processes one logged base update, bringing the view to the
+	// state consistent with the base right after that update. Updates must
+	// be applied in sequence order.
+	Apply(u store.Update) error
+}
+
+// SimpleMaintainer is the paper's Algorithm 1 (Section 4.3): incremental
+// maintenance of a simple materialized view — constant sel_path and
+// cond_path over a tree-structured base — under the three basic updates.
+// All base reads go through a BaseAccess, so the identical algorithm runs
+// centralized and at a warehouse.
+//
+// Beyond the paper's membership logic, the maintainer also keeps delegate
+// *values* synchronized with their originals (the paper stipulates that "a
+// delegate has the same value as the original object" but Algorithm 1
+// itself only maintains view membership): an update touching an object
+// that has a delegate refreshes that delegate's copied value.
+type SimpleMaintainer struct {
+	View   *MaterializedView
+	Def    SimpleDef
+	Access BaseAccess
+}
+
+// NewSimpleMaintainer builds Algorithm 1 for mv, classifying its query as
+// a simple view. It returns an error when the definition is not simple.
+func NewSimpleMaintainer(mv *MaterializedView, access BaseAccess) (*SimpleMaintainer, error) {
+	def, ok := Simplify(mv.Query)
+	if !ok {
+		return nil, fmt.Errorf("core: view %s is not a simple view; use the general maintainer", mv.OID)
+	}
+	return &SimpleMaintainer{View: mv, Def: def, Access: access}, nil
+}
+
+// Deltas holds the membership changes Algorithm 1 derives from one update:
+// the base OIDs whose delegates are to be inserted into or deleted from
+// the view, in derivation order.
+type Deltas struct {
+	Insert []oem.OID
+	Delete []oem.OID
+}
+
+// Empty reports whether the update required no membership change.
+func (d Deltas) Empty() bool { return len(d.Insert) == 0 && len(d.Delete) == 0 }
+
+// Apply implements Maintainer: it computes the membership deltas, applies
+// them with V_insert/V_delete, then refreshes the touched delegate value.
+func (m *SimpleMaintainer) Apply(u store.Update) error {
+	d, err := m.ComputeDeltas(u)
+	if err != nil {
+		return err
+	}
+	for _, y := range d.Insert {
+		if err := m.vInsert(y); err != nil {
+			return err
+		}
+	}
+	for _, y := range d.Delete {
+		if err := m.vDelete(y); err != nil {
+			return err
+		}
+	}
+	return m.refreshDelegate(u)
+}
+
+// ComputeDeltas runs Algorithm 1's case analysis for one update without
+// touching the view. View clusters use it to share a single analysis
+// across member views; Apply uses it internally.
+func (m *SimpleMaintainer) ComputeDeltas(u store.Update) (Deltas, error) {
+	var d Deltas
+	var err error
+	switch u.Kind {
+	case store.UpdateCreate:
+		// "Creating a new object that is not pointed at by any other object
+		// will have no impact on any queries."
+	case store.UpdateInsert:
+		d, err = m.onInsert(u.N1, u.N2)
+	case store.UpdateDelete:
+		d, err = m.onDelete(u.N1, u.N2)
+	case store.UpdateModify:
+		d, err = m.onModify(u.N1, u.Old, u.New)
+	}
+	return d, err
+}
+
+// matchPrefix computes the premise shared by the insert and delete cases:
+// sel_path.cond_path = path(ROOT,N1).label(N2).p. It returns the residual
+// path p, the path q = path(ROOT,N1), and ok=false when the update cannot
+// affect the view.
+func (m *SimpleMaintainer) matchPrefix(n1, n2 oem.OID) (p, q pathexpr.Path, ok bool, err error) {
+	full := m.Def.FullPath()
+	q, found, err := m.Access.Path(m.Def.Entry, n1)
+	if err != nil || !found {
+		return nil, nil, false, err
+	}
+	lbl, err := m.Access.Label(n2)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	prefix := q.Concat(pathexpr.Path{lbl})
+	if !full.HasPrefix(prefix) {
+		return nil, nil, false, nil
+	}
+	return full[len(prefix):], q, true, nil
+}
+
+// onInsert is Algorithm 1's insert(N1,N2) case:
+//
+//	If sel_path.cond_path = path(ROOT,N1).label(N2).p then
+//	  S = eval(N2, p, cond)
+//	  for all X in S: V_insert(MV, MV.Y) where Y = ancestor(X, cond_path)
+func (m *SimpleMaintainer) onInsert(n1, n2 oem.OID) (Deltas, error) {
+	var d Deltas
+	p, _, ok, err := m.matchPrefix(n1, n2)
+	if err != nil || !ok {
+		return d, err
+	}
+	s, err := m.Access.EvalCond(n2, p, m.Def.Cond)
+	if err != nil {
+		return d, err
+	}
+	for _, x := range s {
+		y, found, err := m.Access.Ancestor(x, m.Def.CondPath)
+		if err != nil {
+			return d, err
+		}
+		if found {
+			d.Insert = append(d.Insert, y)
+		}
+	}
+	return d, nil
+}
+
+// onDelete is Algorithm 1's delete(N1,N2) case:
+//
+//	If sel_path.cond_path = path(ROOT,N1).label(N2).p then
+//	  S = eval(N2, p, cond)
+//	  for all X in S, Y = ancestor(X, cond_path)
+//	  if p = p1.cond_path then V_delete(MV, MV.Y)
+//	  else if eval(Y, cond_path, cond) = ∅ then V_delete(MV, MV.Y)
+//
+// When p ends with cond_path, Y lies inside the detached subtree and
+// ancestor(X, cond_path) uses only subtree edges, which remain intact.
+// Otherwise Y lies on the still-attached path above N1; the paper's
+// ancestor(X, cond_path) would cross the edge that was just deleted, so we
+// reach Y equivalently as ancestor(N1, q[|sel_path|:]) using intact edges,
+// then re-check the condition (other descendants of Y may still satisfy
+// it — the non-unique-label scenario of Section 4.2).
+func (m *SimpleMaintainer) onDelete(n1, n2 oem.OID) (Deltas, error) {
+	var d Deltas
+	p, q, ok, err := m.matchPrefix(n1, n2)
+	if err != nil || !ok {
+		return d, err
+	}
+	s, err := m.Access.EvalCond(n2, p, m.Def.Cond)
+	if err != nil {
+		return d, err
+	}
+	if len(s) == 0 {
+		return d, nil
+	}
+	if p.HasSuffix(m.Def.CondPath) {
+		// Y is at or below N2: every X maps to a Y that lost its only
+		// root path (tree base), so the delete is unconditional.
+		for _, x := range s {
+			y, found, err := m.Access.Ancestor(x, m.Def.CondPath)
+			if err != nil {
+				return d, err
+			}
+			if found {
+				d.Delete = append(d.Delete, y)
+			}
+		}
+		return d, nil
+	}
+	// Y is above the deleted edge, at selection depth along q.
+	rel := q[len(m.Def.SelPath):]
+	y, found, err := m.Access.Ancestor(n1, rel)
+	if err != nil || !found {
+		return d, err
+	}
+	remaining, err := m.Access.EvalCond(y, m.Def.CondPath, m.Def.Cond)
+	if err != nil {
+		return d, err
+	}
+	if len(remaining) == 0 {
+		d.Delete = append(d.Delete, y)
+	}
+	return d, nil
+}
+
+// onModify is Algorithm 1's modify(N,oldv,newv) case:
+//
+//	If path(ROOT,N) = sel_path.cond_path then
+//	  Y = ancestor(N, cond_path)
+//	  if cond(newv) then V_insert(MV, MV.Y)
+//	  else if cond(oldv) and eval(Y, cond_path, cond) = ∅
+//	    then V_delete(MV, MV.Y)
+func (m *SimpleMaintainer) onModify(n oem.OID, oldv, newv oem.Atom) (Deltas, error) {
+	var d Deltas
+	full := m.Def.FullPath()
+	pn, found, err := m.Access.Path(m.Def.Entry, n)
+	if err != nil || !found {
+		return d, err
+	}
+	if !pn.Equal(full) {
+		return d, nil
+	}
+	y, found, err := m.Access.Ancestor(n, m.Def.CondPath)
+	if err != nil || !found {
+		return d, err
+	}
+	if m.Def.Cond.HoldsValue(newv) {
+		d.Insert = append(d.Insert, y)
+		return d, nil
+	}
+	if m.Def.Cond.HoldsValue(oldv) {
+		remaining, err := m.Access.EvalCond(y, m.Def.CondPath, m.Def.Cond)
+		if err != nil {
+			return d, err
+		}
+		if len(remaining) == 0 {
+			d.Delete = append(d.Delete, y)
+		}
+	}
+	return d, nil
+}
+
+// vInsert is the paper's V_insert(MV, MV.Y): create the delegate of Y and
+// add it to the view object. Inserting an existing delegate is ignored.
+func (m *SimpleMaintainer) vInsert(y oem.OID) error {
+	return viewInsert(m.View, m.Access, y)
+}
+
+// vDelete is the paper's V_delete(MV, MV.Y): remove Y's delegate from the
+// view object and reclaim it. Deleting an absent delegate does nothing.
+func (m *SimpleMaintainer) vDelete(y oem.OID) error {
+	return viewDelete(m.View, y)
+}
+
+// VInsert exposes V_insert for callers that derive membership changes by
+// other means — the warehouse uses it for the Level-1 modify protocol,
+// where old and new values are withheld and membership is re-derived by
+// querying the source.
+func (m *SimpleMaintainer) VInsert(y oem.OID) error { return m.vInsert(y) }
+
+// VDelete exposes V_delete; see VInsert.
+func (m *SimpleMaintainer) VDelete(y oem.OID) error { return m.vDelete(y) }
+
+// refreshDelegate keeps delegate values equal to their originals when an
+// update touches an object that (still) has a delegate in the view.
+func (m *SimpleMaintainer) refreshDelegate(u store.Update) error {
+	return refreshDelegate(m.View, u)
+}
+
+// viewInsert implements V_insert for any maintainer. The new delegate is
+// created unswizzled, then swizzled — and cross-references from existing
+// delegates fixed up — when the view is currently swizzled.
+func viewInsert(mv *MaterializedView, access BaseAccess, y oem.OID) error {
+	d := DelegateOID(mv.OID, y)
+	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return err
+	}
+	if vo.Contains(d) {
+		return nil
+	}
+	o, err := access.Fetch(y)
+	if err != nil {
+		return fmt.Errorf("core: V_insert(%s, %s): %w", mv.OID, d, err)
+	}
+	del := o.Clone()
+	del.OID = d
+	if mv.ViewStore.Has(d) {
+		// A stale delegate object survived an earlier removal; overwrite.
+		if err := mv.setDelegate(del); err != nil {
+			return err
+		}
+	} else if err := mv.ViewStore.Put(del); err != nil {
+		return err
+	}
+	if err := mv.ViewStore.Insert(mv.OID, d); err != nil {
+		return err
+	}
+	if mv.Swizzled {
+		return reswizzleAround(mv, y)
+	}
+	return nil
+}
+
+// viewDelete implements V_delete for any maintainer.
+func viewDelete(mv *MaterializedView, y oem.OID) error {
+	d := DelegateOID(mv.OID, y)
+	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return err
+	}
+	if !vo.Contains(d) {
+		return nil
+	}
+	if mv.Swizzled {
+		// Other delegates pointing at MV.y fall back to the base OID y.
+		if err := mv.mapEdges(func(mem oem.OID) (oem.OID, bool) {
+			if mem == d {
+				return y, true
+			}
+			return mem, false
+		}); err != nil {
+			return err
+		}
+	}
+	if err := mv.ViewStore.Delete(mv.OID, d); err != nil {
+		return err
+	}
+	return mv.ViewStore.Remove(d)
+}
+
+// reswizzleAround restores the swizzling invariant after delegate y was
+// inserted into a swizzled view: the new delegate's value is swizzled, and
+// existing delegates pointing at base OID y are redirected to MV.y.
+func reswizzleAround(mv *MaterializedView, y oem.OID) error {
+	d := DelegateOID(mv.OID, y)
+	return mv.mapEdges(func(mem oem.OID) (oem.OID, bool) {
+		if mem == y {
+			return d, true
+		}
+		dm := DelegateOID(mv.OID, mem)
+		if mv.ViewStore.Has(dm) {
+			// Member of the freshly copied delegate value.
+			return dm, true
+		}
+		return mem, false
+	})
+}
+
+// refreshDelegate propagates a base update into the affected delegate's
+// value, preserving the "same value as the original" property for members
+// whose membership did not change.
+func refreshDelegate(mv *MaterializedView, u store.Update) error {
+	d := DelegateOID(mv.OID, u.N1)
+	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return err
+	}
+	if !vo.Contains(d) {
+		return nil
+	}
+	switch u.Kind {
+	case store.UpdateInsert:
+		member := u.N2
+		if mv.Swizzled {
+			if dm := DelegateOID(mv.OID, u.N2); mv.ViewStore.Has(dm) {
+				member = dm
+			}
+		}
+		obj, err := mv.ViewStore.Get(d)
+		if err != nil {
+			return err
+		}
+		if obj.Contains(member) {
+			return nil
+		}
+		return mv.ViewStore.Insert(d, member)
+	case store.UpdateDelete:
+		obj, err := mv.ViewStore.Get(d)
+		if err != nil {
+			return err
+		}
+		for _, cand := range []oem.OID{u.N2, DelegateOID(mv.OID, u.N2)} {
+			if obj.Contains(cand) {
+				return mv.ViewStore.Delete(d, cand)
+			}
+		}
+		return nil
+	case store.UpdateModify:
+		return mv.ViewStore.Modify(d, u.New)
+	default:
+		return nil
+	}
+}

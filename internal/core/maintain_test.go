@@ -1,0 +1,506 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// newYP builds the paper's Example 5 view YP (professors with age <= 45)
+// over a fresh PERSON store, materialized into the same store.
+func newYP(t testing.TB) (*store.Store, *MaterializedView, *SimpleMaintainer) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, err := Materialize("YP", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45").Clone(), s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSimpleMaintainer(mv, NewCentralAccess(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mv, m
+}
+
+func applyLogged(t testing.TB, s *store.Store, m Maintainer, mutate func()) {
+	t.Helper()
+	before := s.Seq()
+	mutate()
+	for _, u := range s.LogSince(before) {
+		if u.Kind != store.UpdateCreate && isViewTouch(u) {
+			continue
+		}
+		if err := m.Apply(u); err != nil {
+			t.Fatalf("Apply(%s): %v", u, err)
+		}
+	}
+}
+
+// isViewTouch filters view-store writes when base and view share a store.
+func isViewTouch(u store.Update) bool {
+	_, _, ok := SplitDelegateOID(u.N1)
+	return ok || u.N1 == "YP"
+}
+
+func members(t testing.TB, mv *MaterializedView) []oem.OID {
+	t.Helper()
+	ms, err := mv.Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestMaterializeExample5(t *testing.T) {
+	// Figure 4 (left): YP contains only YP.P1 — P2 has no age child yet.
+	_, mv, _ := newYP(t)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("initial YP = %v, want [P1]", got)
+	}
+	d, err := mv.Delegate("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OID != "YP.P1" || d.Label != "professor" {
+		t.Fatalf("delegate = %v", d)
+	}
+	// Delegate value equals the original value (unswizzled base OIDs).
+	if !oem.SameMembers(d.Set, []oem.OID{"N1", "A1", "S1", "P3"}) {
+		t.Fatalf("delegate value = %v", d.Set)
+	}
+}
+
+func TestExample5InsertAge(t *testing.T) {
+	// insert(P2, A2) with <A2, age, 40>: P2 now satisfies age <= 45, so
+	// YP.P2 is inserted — Figure 4 (right).
+	s, mv, m := newYP(t)
+	applyLogged(t, s, m, func() {
+		s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+		if err := s.Insert("P2", "A2"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("YP after insert = %v, want [P1 P2]", got)
+	}
+	d, _ := mv.Delegate("P2")
+	if !oem.SameMembers(d.Set, []oem.OID{"N2", "ADD2", "A2"}) {
+		t.Fatalf("YP.P2 value = %v", d.Set)
+	}
+}
+
+func TestExample6DeleteProfessor(t *testing.T) {
+	// delete(ROOT, P1): the view loses YP.P1 (Example 6, steps 1-3).
+	s, mv, m := newYP(t)
+	applyLogged(t, s, m, func() {
+		if err := s.Delete("ROOT", "P1"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); len(got) != 0 {
+		t.Fatalf("YP after delete = %v, want empty", got)
+	}
+	if mv.ViewStore.Has("YP.P1") {
+		t.Fatal("delegate YP.P1 not reclaimed")
+	}
+}
+
+func TestInsertIrrelevantLabelIgnored(t *testing.T) {
+	// An insert whose label does not lie on sel_path.cond_path cannot
+	// change the view (the screening case of Section 5.1, scenario 2).
+	s, mv, m := newYP(t)
+	applyLogged(t, s, m, func() {
+		s.MustPut(oem.NewAtom("H2", "hobby", oem.String_("golf")))
+		if err := s.Insert("P2", "H2"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("YP = %v, want [P1]", got)
+	}
+}
+
+func TestModifyInAndOut(t *testing.T) {
+	s, mv, m := newYP(t)
+	// modify(A1, 45, 50): P1 leaves the view.
+	applyLogged(t, s, m, func() {
+		if err := s.Modify("A1", oem.Int(50)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); len(got) != 0 {
+		t.Fatalf("after modify out: %v", got)
+	}
+	// modify(A1, 50, 44): P1 re-enters.
+	applyLogged(t, s, m, func() {
+		if err := s.Modify("A1", oem.Int(44)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("after modify back: %v", got)
+	}
+}
+
+func TestModifyRefreshesAtomicDelegateValue(t *testing.T) {
+	// A view over atomic objects: delegates must track value changes that
+	// keep the object in the view.
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, err := Materialize("AG", query.MustParse("SELECT ROOT.professor.age X WHERE X >= 0").Clone(), s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSimpleMaintainer(mv, NewCentralAccess(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"A1"}) {
+		t.Fatalf("AG = %v", got)
+	}
+	before := s.Seq()
+	if err := s.Modify("A1", oem.Int(46)); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := m.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, _ := mv.Delegate("A1")
+	if !d.Atom.Equal(oem.Int(46)) {
+		t.Fatalf("delegate atom = %v, want 46", d.Atom)
+	}
+}
+
+func TestMultipleDerivationsNonUniqueLabels(t *testing.T) {
+	// Section 4.2: "one object may have two or more subobjects with the
+	// same label", so a member can have several derivations. Removing one
+	// age child must keep P1 in YP while another satisfying age remains.
+	s, mv, m := newYP(t)
+	applyLogged(t, s, m, func() {
+		s.MustPut(oem.NewAtom("A1b", "age", oem.Int(30)))
+		if err := s.Insert("P1", "A1b"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("after second age: %v", got)
+	}
+	// Remove the original satisfying age: P1 stays (A1b still satisfies).
+	applyLogged(t, s, m, func() {
+		if err := s.Delete("P1", "A1"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("after deleting A1: %v", got)
+	}
+	// Remove the second one too: now P1 leaves.
+	applyLogged(t, s, m, func() {
+		if err := s.Delete("P1", "A1b"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); len(got) != 0 {
+		t.Fatalf("after deleting both ages: %v", got)
+	}
+}
+
+func TestModifyOneOfTwoDerivations(t *testing.T) {
+	// Modify one satisfying age out of range while another remains: the
+	// eval(Y, cond_path, cond) recheck must keep Y in the view.
+	s, mv, m := newYP(t)
+	applyLogged(t, s, m, func() {
+		s.MustPut(oem.NewAtom("A1b", "age", oem.Int(30)))
+		if err := s.Insert("P1", "A1b"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	applyLogged(t, s, m, func() {
+		if err := s.Modify("A1b", oem.Int(99)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("after modifying one derivation: %v", got)
+	}
+}
+
+func TestInsertSubtreeBringsMembers(t *testing.T) {
+	// Inserting an edge high in the tree can bring a whole subtree of new
+	// members at once: insert(ROOT, P5) where P5 is a professor with a
+	// satisfying age.
+	s, mv, m := newYP(t)
+	applyLogged(t, s, m, func() {
+		s.MustPut(oem.NewAtom("A5", "age", oem.Int(33)))
+		s.MustPut(oem.NewSet("P5", "professor", "A5"))
+		if err := s.Insert("ROOT", "P5"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P5"}) {
+		t.Fatalf("YP = %v, want [P1 P5]", got)
+	}
+}
+
+func TestExample7RelationView(t *testing.T) {
+	// Example 7: SELECT REL.r0.tuple X WHERE X.age > 30; inserting a new
+	// tuple T with age 40 adds SEL.T.
+	s := store.NewDefault()
+	db := workload.RelationLike(s, workload.RelationConfig{
+		Relations: 2, TuplesPerRelation: 3, FieldsPerTuple: 2, Seed: 1,
+	})
+	mv, err := Materialize("SEL", query.MustParse("SELECT REL.r0.tuple X WHERE X.age > 30").Clone(), s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSimpleMaintainer(mv, NewCentralAccess(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := members(t, mv)
+	seqBefore := s.Seq()
+	s.MustPut(oem.NewAtom("Anew", "age", oem.Int(40)))
+	s.MustPut(oem.NewSet("Tnew", "tuple", "Anew"))
+	if err := s.Insert(db.Relations[0].OID, "Tnew"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(seqBefore) {
+		if err := m.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := append(append([]oem.OID{}, before...), "Tnew")
+	if got := members(t, mv); !oem.SameMembers(got, want) {
+		t.Fatalf("SEL = %v, want %v", got, want)
+	}
+
+	// Inserting a tuple into a different relation is screened out early.
+	seqBefore = s.Seq()
+	s.MustPut(oem.NewAtom("Aother", "age", oem.Int(40)))
+	s.MustPut(oem.NewSet("Tother", "tuple", "Aother"))
+	if err := s.Insert(db.Relations[1].OID, "Tother"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(seqBefore) {
+		if err := m.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := members(t, mv); !oem.SameMembers(got, want) {
+		t.Fatalf("SEL after irrelevant insert = %v, want %v", got, want)
+	}
+}
+
+func TestViewWithoutWhere(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, err := Materialize("ALLP", query.MustParse("SELECT ROOT.professor X").Clone(), s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSimpleMaintainer(mv, NewCentralAccess(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("ALLP = %v", got)
+	}
+	before := s.Seq()
+	s.MustPut(oem.NewSet("P9", "professor"))
+	if err := s.Insert("ROOT", "P9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("ROOT", "P2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		if err := m.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P9"}) {
+		t.Fatalf("ALLP = %v, want [P1 P9]", got)
+	}
+}
+
+func TestDeltasAPI(t *testing.T) {
+	s, _, m := newYP(t)
+	s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+	before := s.Seq()
+	if err := s.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	u := s.LogSince(before)[0]
+	d, err := m.ComputeDeltas(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty() || !oem.SameMembers(d.Insert, []oem.OID{"P2"}) || len(d.Delete) != 0 {
+		t.Fatalf("deltas = %+v", d)
+	}
+	// Create updates produce no deltas.
+	d, err = m.ComputeDeltas(store.Update{Kind: store.UpdateCreate, N1: "Z"})
+	if err != nil || !d.Empty() {
+		t.Fatalf("create deltas = %+v, %v", d, err)
+	}
+}
+
+func TestNewSimpleMaintainerRejectsGeneral(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, err := Materialize("W", query.MustParse("SELECT ROOT.* X WHERE X.name = 'John'").Clone(), s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSimpleMaintainer(mv, NewCentralAccess(s)); err == nil {
+		t.Fatal("wildcard view accepted by simple maintainer")
+	}
+}
+
+// checkConsistent verifies the central correctness invariant: the
+// incrementally maintained view equals a from-scratch materialization,
+// both in membership and in delegate values.
+func checkConsistent(t testing.TB, mv *MaterializedView) {
+	t.Helper()
+	fresh, err := query.NewEvaluator(mv.Base).Eval(mv.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := members(t, mv)
+	if !oem.SameMembers(got, fresh) {
+		t.Fatalf("view members %v != recomputed %v", got, fresh)
+	}
+	for _, b := range fresh {
+		d, err := mv.Delegate(b)
+		if err != nil {
+			t.Fatalf("missing delegate for %s: %v", b, err)
+		}
+		o, err := mv.Base.Get(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Label != o.Label || d.Kind != o.Kind {
+			t.Fatalf("delegate %s shape mismatch: %v vs %v", b, d, o)
+		}
+		if o.IsAtomic() && !d.Atom.Equal(o.Atom) {
+			t.Fatalf("delegate %s atom %v != base %v", b, d.Atom, o.Atom)
+		}
+		if o.IsSet() && !oem.SameMembers(d.Set, o.Set) {
+			t.Fatalf("delegate %s value %v != base %v", b, d.Set, o.Set)
+		}
+	}
+}
+
+// TestPropertyIncrementalEqualsRecompute is the core correctness property:
+// over random relation-like databases and long random update streams,
+// Algorithm 1 keeps the view identical to recomputation after every
+// update. Several view shapes are exercised.
+func TestPropertyIncrementalEqualsRecompute(t *testing.T) {
+	views := []string{
+		"SELECT REL.r0.tuple X WHERE X.age > 30",
+		"SELECT REL.r0.tuple X WHERE X.age <= 60",
+		"SELECT REL.r1.tuple X WHERE X.age != 50",
+		"SELECT REL.r0.tuple X",
+		"SELECT REL.r0.tuple.age X WHERE X >= 20",
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			base := store.NewDefault()
+			db := workload.RelationLike(base, workload.RelationConfig{
+				Relations: 2, TuplesPerRelation: 6, FieldsPerTuple: 2, Seed: seed,
+			})
+			vstore := store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
+			var mvs []*MaterializedView
+			var ms []*SimpleMaintainer
+			for i, vq := range views {
+				mv, err := Materialize(oem.OID(fmt.Sprintf("V%d", i)), query.MustParse(vq).Clone(), base, vstore)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := NewSimpleMaintainer(mv, NewCentralAccess(base))
+				if err != nil {
+					t.Fatal(err)
+				}
+				mvs = append(mvs, mv)
+				ms = append(ms, m)
+			}
+			var sets, atoms []oem.OID
+			for _, r := range db.Relations {
+				sets = append(sets, r.OID)
+				sets = append(sets, r.Tuples...)
+				for _, tu := range r.Tuples {
+					kids, _ := base.Children(tu)
+					atoms = append(atoms, kids...)
+				}
+			}
+			stream := workload.NewStream(base, workload.StreamConfig{
+				Seed: seed * 31, Mix: workload.Mix{Insert: 3, Delete: 2, Modify: 5}, ValueRange: 80,
+			}, sets, atoms)
+			for step := 0; step < 120; step++ {
+				us, ok := stream.Next()
+				if !ok {
+					break
+				}
+				for _, u := range us {
+					for _, m := range ms {
+						if err := m.Apply(u); err != nil {
+							t.Fatalf("step %d %s: %v", step, u, err)
+						}
+					}
+				}
+				if step%10 == 0 || step == 119 {
+					for _, mv := range mvs {
+						checkConsistent(t, mv)
+					}
+				}
+			}
+			for _, mv := range mvs {
+				checkConsistent(t, mv)
+			}
+		})
+	}
+}
+
+// TestPropertyNoIndexEqualsIndexed replays the same stream against stores
+// with and without parent indexes: Algorithm 1's answers must not depend
+// on the index configuration, only its cost does.
+func TestPropertyNoIndexEqualsIndexed(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		run := func(parentIndex bool) []oem.OID {
+			opts := store.DefaultOptions()
+			opts.ParentIndex = parentIndex
+			base := store.New(opts)
+			db := workload.RelationLike(base, workload.RelationConfig{
+				Relations: 1, TuplesPerRelation: 5, FieldsPerTuple: 2, Seed: seed,
+			})
+			vstore := store.New(store.Options{AllowDangling: true, ParentIndex: true})
+			mv, err := Materialize("V", query.MustParse("SELECT REL.r0.tuple X WHERE X.age > 40").Clone(), base, vstore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewSimpleMaintainer(mv, NewCentralAccess(base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := workload.NewStream(base, workload.StreamConfig{Seed: seed}, db.Relations[0].Tuples, nil)
+			for _, u := range stream.Run(60) {
+				if err := m.Apply(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return members(t, mv)
+		}
+		a, b := run(true), run(false)
+		if !oem.SameMembers(a, b) {
+			t.Fatalf("seed %d: indexed %v != unindexed %v", seed, a, b)
+		}
+	}
+}

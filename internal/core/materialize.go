@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// MaterializedView is a stored copy of the objects in a view (Section 3.2):
+// a view object <MV, mview, set, {delegates}> plus one delegate per base
+// object, held in ViewStore. ViewStore may be the base store itself
+// (centralized, Section 4) or a separate store (a warehouse, Section 5).
+type MaterializedView struct {
+	// OID is the view object's OID; the view name doubles as its OID, as
+	// in the paper's examples (MVJ, YP, SEL).
+	OID oem.OID
+	// Query is the view definition query, evaluated against Base.
+	Query *query.Query
+	// Base is the store holding the base objects.
+	Base *store.Store
+	// ViewStore is the store holding the view object and delegates.
+	ViewStore *store.Store
+	// Swizzled records whether edges are currently swizzled: base OIDs in
+	// delegate values replaced by delegate OIDs where one exists.
+	Swizzled bool
+}
+
+// ViewLabel is the label of materialized view objects.
+const ViewLabel = "mview"
+
+// Materialize evaluates the definition query against base and builds the
+// materialized view in viewStore. The two stores may be the same. It fails
+// if an object with the view OID already exists in viewStore.
+func Materialize(oid oem.OID, q *query.Query, base, viewStore *store.Store) (*MaterializedView, error) {
+	mv := &MaterializedView{OID: oid, Query: q, Base: base, ViewStore: viewStore}
+	members, err := query.NewEvaluator(base).Eval(q)
+	if err != nil {
+		return nil, fmt.Errorf("core: materialize %s: %w", oid, err)
+	}
+	viewObj := oem.NewSet(oid, ViewLabel)
+	for _, b := range members {
+		viewObj.Add(DelegateOID(oid, b))
+	}
+	if err := viewStore.Put(viewObj); err != nil {
+		return nil, err
+	}
+	for _, b := range members {
+		if err := mv.createDelegate(b); err != nil {
+			return nil, err
+		}
+	}
+	return mv, nil
+}
+
+// createDelegate copies base object b into the view store under its
+// delegate OID. The copied value is unswizzled: set values keep base OIDs
+// (Section 4.3's assumption).
+func (mv *MaterializedView) createDelegate(b oem.OID) error {
+	o, err := mv.Base.Get(b)
+	if err != nil {
+		return fmt.Errorf("core: delegate source %s: %w", b, err)
+	}
+	d := o.Clone()
+	d.OID = DelegateOID(mv.OID, b)
+	if mv.ViewStore.Has(d.OID) {
+		return mv.setDelegate(d)
+	}
+	return mv.ViewStore.Put(d)
+}
+
+// setDelegate overwrites an existing delegate's value in place through the
+// store's update interface, so the view store's log stays accurate.
+func (mv *MaterializedView) setDelegate(d *oem.Object) error {
+	if d.IsAtomic() {
+		return mv.ViewStore.Modify(d.OID, d.Atom)
+	}
+	return mv.ViewStore.SetValue(d.OID, d.Set)
+}
+
+// RefreshDelegateFrom overwrites the delegate of base object o with o's
+// current label-preserving value. The warehouse uses it when a report
+// withholds values (Level 1) and the fresh object had to be fetched.
+func (mv *MaterializedView) RefreshDelegateFrom(o *oem.Object) error {
+	d := o.Clone()
+	d.OID = DelegateOID(mv.OID, o.OID)
+	if !mv.ViewStore.Has(d.OID) {
+		return nil
+	}
+	return mv.setDelegate(d)
+}
+
+// Members returns the base OIDs currently in the view, sorted.
+func (mv *MaterializedView) Members() ([]oem.OID, error) {
+	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]oem.OID, 0, len(vo.Set))
+	for _, d := range vo.Set {
+		_, base, ok := SplitDelegateOID(d)
+		if !ok {
+			return nil, fmt.Errorf("core: malformed delegate OID %s in view %s", d, mv.OID)
+		}
+		out = append(out, base)
+	}
+	return oem.SortOIDs(out), nil
+}
+
+// Contains reports whether base object b has a delegate in the view.
+func (mv *MaterializedView) Contains(b oem.OID) bool {
+	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return false
+	}
+	return vo.Contains(DelegateOID(mv.OID, b))
+}
+
+// Delegate returns the delegate object of base object b.
+func (mv *MaterializedView) Delegate(b oem.OID) (*oem.Object, error) {
+	return mv.ViewStore.Get(DelegateOID(mv.OID, b))
+}
+
+// Swizzle rewrites every delegate's set value, replacing each base OID b
+// with the delegate OID MV.b when MV.b is in the view (Section 3.2).
+// Swizzling must not affect query results; it trades this rewrite pass for
+// cheaper WITHIN-view query evaluation and local access.
+func (mv *MaterializedView) Swizzle() error {
+	if mv.Swizzled {
+		return nil
+	}
+	if err := mv.mapEdges(func(b oem.OID) (oem.OID, bool) {
+		d := DelegateOID(mv.OID, b)
+		if mv.ViewStore.Has(d) {
+			return d, true
+		}
+		return b, false
+	}); err != nil {
+		return err
+	}
+	mv.Swizzled = true
+	return nil
+}
+
+// Unswizzle restores base OIDs in delegate values.
+func (mv *MaterializedView) Unswizzle() error {
+	if !mv.Swizzled {
+		return nil
+	}
+	if err := mv.mapEdges(func(m oem.OID) (oem.OID, bool) {
+		view, base, ok := SplitDelegateOID(m)
+		if ok && view == mv.OID {
+			return base, true
+		}
+		return m, false
+	}); err != nil {
+		return err
+	}
+	mv.Swizzled = false
+	return nil
+}
+
+// mapEdges applies f to every member OID of every set delegate.
+func (mv *MaterializedView) mapEdges(f func(oem.OID) (oem.OID, bool)) error {
+	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return err
+	}
+	for _, doid := range vo.Set {
+		d, err := mv.ViewStore.Get(doid)
+		if err != nil || !d.IsSet() {
+			continue
+		}
+		changed := false
+		mapped := make([]oem.OID, 0, len(d.Set))
+		for _, m := range d.Set {
+			nm, ch := f(m)
+			mapped = append(mapped, nm)
+			changed = changed || ch
+		}
+		if changed {
+			if err := mv.ViewStore.SetValue(doid, mapped); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StripBaseOIDs removes every remaining base OID from delegate values —
+// the paper's "manual modification" example that turns a swizzled view
+// into a closed world: later queries on the view can only reach view
+// objects. After stripping, the view can no longer be unswizzled or
+// maintained precisely; it is a snapshot.
+func (mv *MaterializedView) StripBaseOIDs() error {
+	return mv.FilterEdges(func(m oem.OID) bool {
+		view, _, ok := SplitDelegateOID(m)
+		return ok && view == mv.OID
+	})
+}
+
+// FilterEdges drops member OIDs of set delegates for which keep is false.
+// StripBaseOIDs is FilterEdges(keep delegates only).
+func (mv *MaterializedView) FilterEdges(keep func(oem.OID) bool) error {
+	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return err
+	}
+	for _, doid := range vo.Set {
+		d, err := mv.ViewStore.Get(doid)
+		if err != nil || !d.IsSet() {
+			continue
+		}
+		kept := make([]oem.OID, 0, len(d.Set))
+		for _, m := range d.Set {
+			if keep(m) {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) != len(d.Set) {
+			if err := mv.ViewStore.SetValue(doid, kept); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddTimestamps attaches a "ts" atomic subobject with the given clock value
+// to every set delegate that lacks one — the paper's auxiliary-information
+// example of legitimate view modification. The timestamp objects live only
+// in the view store.
+func (mv *MaterializedView) AddTimestamps(clock int64) error {
+	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return err
+	}
+	for _, doid := range vo.Set {
+		d, err := mv.ViewStore.Get(doid)
+		if err != nil || !d.IsSet() {
+			continue
+		}
+		tsOID := oem.OID(string(doid) + ".ts")
+		if mv.ViewStore.Has(tsOID) {
+			continue
+		}
+		if err := mv.ViewStore.Put(oem.NewAtom(tsOID, "ts", oem.Int(clock))); err != nil {
+			return err
+		}
+		if err := mv.ViewStore.Insert(doid, tsOID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recompute rebuilds the view from the current base state: it re-evaluates
+// the definition query, then reconciles delegates — creating missing ones,
+// refreshing stale values, and dropping delegates of departed members. It
+// is the paper's "recomputing the entire view" baseline (Section 4.4) and
+// the correctness oracle of the property tests. Swizzling is reapplied
+// when the view was swizzled.
+func (mv *MaterializedView) Recompute() error {
+	members, err := query.NewEvaluator(mv.Base).Eval(mv.Query)
+	if err != nil {
+		return err
+	}
+	want := make(map[oem.OID]bool, len(members))
+	for _, b := range members {
+		want[b] = true
+	}
+	cur, err := mv.Members()
+	if err != nil {
+		return err
+	}
+	curSet := make(map[oem.OID]bool, len(cur))
+	for _, b := range cur {
+		curSet[b] = true
+	}
+	// Drop departed members.
+	for _, b := range cur {
+		if !want[b] {
+			d := DelegateOID(mv.OID, b)
+			if err := mv.ViewStore.Delete(mv.OID, d); err != nil {
+				return err
+			}
+			if err := mv.ViewStore.Remove(d); err != nil {
+				return err
+			}
+		}
+	}
+	// Create or refresh current members (refresh keeps delegate values in
+	// sync with base values, which a full recompute must guarantee).
+	for _, b := range members {
+		if err := mv.createDelegate(b); err != nil {
+			return err
+		}
+		if !curSet[b] {
+			if err := mv.ViewStore.Insert(mv.OID, DelegateOID(mv.OID, b)); err != nil {
+				return err
+			}
+		}
+	}
+	if mv.Swizzled {
+		mv.Swizzled = false
+		if err := mv.Swizzle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryView evaluates q against the view store. For unswizzled views it
+// installs a delegate-resolution hook: when a traversal inside the view
+// reaches a base OID b whose delegate MV.b exists, the traversal continues
+// at the delegate — the paper's "check if the delegate for P3 is in MVJ"
+// step. Swizzled views need no hook, which is exactly the performance
+// argument for swizzling (experiment E6).
+func (mv *MaterializedView) QueryView(q *query.Query) ([]oem.OID, error) {
+	ev := query.NewEvaluator(mv.ViewStore)
+	if !mv.Swizzled {
+		ev.Resolve = func(b oem.OID) oem.OID {
+			d := DelegateOID(mv.OID, b)
+			if mv.ViewStore.Has(d) {
+				return d
+			}
+			return b
+		}
+	}
+	return ev.Eval(q)
+}

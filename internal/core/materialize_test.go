@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// newMVJ builds the paper's Example 4 materialized view MVJ (persons named
+// John within PERSON), centralized.
+func newMVJ(t testing.TB) (*store.Store, *MaterializedView) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	mv, err := Materialize("MVJ", query.MustParse("SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON"), s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, mv
+}
+
+func TestMaterializeFigure3(t *testing.T) {
+	// Figure 3: MVJ holds delegates MVJ.P1 and MVJ.P3 with the base values.
+	s, mv := newMVJ(t)
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P3"}) {
+		t.Fatalf("MVJ members = %v, want [P1 P3]", got)
+	}
+	vo, _ := s.Get("MVJ")
+	if vo.Label != ViewLabel {
+		t.Fatalf("view object label = %q", vo.Label)
+	}
+	if !oem.SameMembers(vo.Set, []oem.OID{"MVJ.P1", "MVJ.P3"}) {
+		t.Fatalf("view object = %v", vo.Set)
+	}
+	p1, _ := mv.Delegate("P1")
+	if !oem.SameMembers(p1.Set, []oem.OID{"N1", "A1", "S1", "P3"}) {
+		t.Fatalf("MVJ.P1 = %v", p1.Set)
+	}
+	p3, _ := mv.Delegate("P3")
+	if !oem.SameMembers(p3.Set, []oem.OID{"N3", "A3", "M3"}) {
+		t.Fatalf("MVJ.P3 = %v", p3.Set)
+	}
+	if !mv.Contains("P1") || mv.Contains("P2") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestMaterializeDuplicateOID(t *testing.T) {
+	s, _ := newMVJ(t)
+	if _, err := Materialize("MVJ", query.MustParse("SELECT ROOT.professor X"), s, s); err == nil {
+		t.Fatal("duplicate view OID accepted")
+	}
+}
+
+func TestSwizzleAndUnswizzle(t *testing.T) {
+	// Section 3.2: swizzling changes P3 in value(MVJ.P1) to MVJ.P3 — the
+	// only member of MVJ.P1's value with a delegate in the view.
+	s, mv := newMVJ(t)
+	if err := mv.Swizzle(); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := mv.Delegate("P1")
+	if !oem.SameMembers(p1.Set, []oem.OID{"N1", "A1", "S1", "MVJ.P3"}) {
+		t.Fatalf("swizzled MVJ.P1 = %v", p1.Set)
+	}
+	// Swizzling twice is a no-op.
+	if err := mv.Swizzle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.Unswizzle(); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ = mv.Delegate("P1")
+	if !oem.SameMembers(p1.Set, []oem.OID{"N1", "A1", "S1", "P3"}) {
+		t.Fatalf("unswizzled MVJ.P1 = %v", p1.Set)
+	}
+	_ = s
+}
+
+func TestQueryViewSameResultsSwizzledOrNot(t *testing.T) {
+	// "Swizzling should not affect the results of queries": the paper's
+	// SELECT MVJ.professor.student WITHIN MVJ returns MVJ.P3 either way.
+	_, mv := newMVJ(t)
+	q := query.MustParse("SELECT MVJ.professor.student WITHIN MVJ")
+	unswizzled, err := mv.QueryView(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(unswizzled, []oem.OID{"MVJ.P3"}) {
+		t.Fatalf("unswizzled answer = %v, want [MVJ.P3]", unswizzled)
+	}
+	if err := mv.Swizzle(); err != nil {
+		t.Fatal(err)
+	}
+	swizzled, err := mv.QueryView(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(swizzled, unswizzled) {
+		t.Fatalf("swizzled %v != unswizzled %v", swizzled, unswizzled)
+	}
+}
+
+func TestQueryViewEquivalentToVirtual(t *testing.T) {
+	// "Whether a view is materialized or not should not affect query
+	// results": a query on MVJ returns the delegates of what the virtual
+	// query returns on the base.
+	s, mv := newMVJ(t)
+	baseAns, err := query.NewEvaluator(s).Eval(query.MustParse("SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewAns, err := mv.QueryView(query.MustParse("SELECT MVJ.? X WITHIN MVJ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]oem.OID, len(baseAns))
+	for i, b := range baseAns {
+		want[i] = DelegateOID("MVJ", b)
+	}
+	if !oem.SameMembers(viewAns, want) {
+		t.Fatalf("view answer %v != delegates of base answer %v", viewAns, want)
+	}
+}
+
+func TestQueryViewReachesBaseWithoutWithin(t *testing.T) {
+	// Without a WITHIN clause, a query on the view may follow base OIDs in
+	// delegate values out to base objects (centralized store), e.g. the
+	// age subobject of MVJ.P1.
+	_, mv := newMVJ(t)
+	got, err := mv.QueryView(query.MustParse("SELECT MVJ.professor.age X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A1 resolves to... MVJ has no delegate for A1, so it stays the base
+	// object A1.
+	if !oem.SameMembers(got, []oem.OID{"A1"}) {
+		t.Fatalf("got %v, want [A1]", got)
+	}
+}
+
+func TestStripBaseOIDs(t *testing.T) {
+	// Swizzle then strip: the view becomes self-contained — queries cannot
+	// escape to base objects anymore.
+	_, mv := newMVJ(t)
+	if err := mv.Swizzle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.StripBaseOIDs(); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := mv.Delegate("P1")
+	if !oem.SameMembers(p1.Set, []oem.OID{"MVJ.P3"}) {
+		t.Fatalf("stripped MVJ.P1 = %v", p1.Set)
+	}
+	got, err := mv.QueryView(query.MustParse("SELECT MVJ.professor.age X"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("query escaped the stripped view: %v", got)
+	}
+}
+
+func TestAddTimestamps(t *testing.T) {
+	_, mv := newMVJ(t)
+	if err := mv.AddTimestamps(1234); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mv.QueryView(query.MustParse("SELECT MVJ.?.ts X WHERE X = 1234"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("timestamp subobjects = %v, want 2", got)
+	}
+	// Idempotent.
+	if err := mv.AddTimestamps(9999); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = mv.QueryView(query.MustParse("SELECT MVJ.?.ts X WHERE X = 9999"))
+	if len(got) != 0 {
+		t.Fatalf("second AddTimestamps overwrote: %v", got)
+	}
+}
+
+func TestRecomputeReconciles(t *testing.T) {
+	s, mv := newMVJ(t)
+	// Change the base behind the view's back, then recompute.
+	if err := s.Modify("N2", oem.String_("John")); err != nil { // Sally -> John
+		t.Fatal(err)
+	}
+	if err := s.Modify("N3", oem.String_("Jane")); err != nil { // P3's John -> Jane
+		t.Fatal(err)
+	}
+	if err := mv.Recompute(); err != nil {
+		t.Fatal(err)
+	}
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("recomputed MVJ = %v, want [P1 P2]", got)
+	}
+	if mv.ViewStore.Has("MVJ.P3") {
+		t.Fatal("stale delegate survived recompute")
+	}
+}
+
+func TestRecomputePreservesSwizzling(t *testing.T) {
+	s, mv := newMVJ(t)
+	if err := mv.Swizzle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Modify("N2", oem.String_("John")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.Recompute(); err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Swizzled {
+		t.Fatal("recompute dropped the swizzled flag")
+	}
+	p1, _ := mv.Delegate("P1")
+	if !p1.Contains("MVJ.P3") {
+		t.Fatalf("swizzling lost after recompute: %v", p1.Set)
+	}
+}
+
+func TestMaterializeIntoSeparateStore(t *testing.T) {
+	// The warehouse arrangement: delegates live in their own store; base
+	// OIDs inside delegate values dangle there (remote references).
+	base := store.NewDefault()
+	workload.PersonDB(base)
+	vstore := store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
+	mv, err := Materialize("MVJ", query.MustParse("SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON"), base, vstore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := members(t, mv); !oem.SameMembers(got, []oem.OID{"P1", "P3"}) {
+		t.Fatalf("members = %v", got)
+	}
+	if base.Has("MVJ.P1") {
+		t.Fatal("delegate leaked into the base store")
+	}
+	if !vstore.Has("MVJ.P1") || vstore.Has("P1") {
+		t.Fatal("view store contents wrong")
+	}
+	// Swizzling still works: P3 has a delegate, N1 does not.
+	if err := mv.Swizzle(); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := mv.Delegate("P1")
+	if !p1.Contains("MVJ.P3") || !p1.Contains("N1") {
+		t.Fatalf("swizzled remote delegate = %v", p1.Set)
+	}
+}

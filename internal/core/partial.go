@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// PartialView is the paper's Section 6 open problem "partially
+// materialized views ... views that materialize a few levels of objects
+// and leave the rest as pointers back to base data. This type of views may
+// be useful for caching some but not all data of interest."
+//
+// A PartialView materializes a delegate for every view member and for
+// every descendant up to Depth levels below a member. Set values inside
+// the materialized region are swizzled to delegate OIDs; values at the
+// frontier keep base OIDs — the "pointers back to base data". Depth 0
+// degenerates to a plain materialized view of the members.
+//
+// Maintenance combines Algorithm 1 for membership with mirror maintenance
+// for the materialized region, so the partial copy tracks the base
+// incrementally.
+type PartialView struct {
+	OID   oem.OID
+	Def   SimpleDef
+	Depth int
+	Base  *store.Store
+	// ViewStore holds the view object and delegates; it needs
+	// AllowDangling (frontier pointers) and a parent index (pruning).
+	ViewStore *store.Store
+	Access    BaseAccess
+
+	maint *SimpleMaintainer
+	// depth maps each mirrored base OID to its level below its member
+	// (members are at level 0).
+	depth map[oem.OID]int
+}
+
+// NewPartialView materializes the view to the given depth.
+func NewPartialView(oid oem.OID, def SimpleDef, depth int, base, viewStore *store.Store) (*PartialView, error) {
+	if depth < 0 {
+		return nil, fmt.Errorf("core: negative materialization depth %d", depth)
+	}
+	if base == viewStore {
+		// Pruning garbage-collects the view store from the view object;
+		// sharing it with the base (or other views) would reclaim their
+		// objects.
+		return nil, fmt.Errorf("core: a partial view needs a dedicated view store")
+	}
+	p := &PartialView{
+		OID: oid, Def: def, Depth: depth,
+		Base: base, ViewStore: viewStore,
+		Access: NewCentralAccess(base),
+		depth:  map[oem.OID]int{},
+	}
+	q, err := def.Query()
+	if err != nil {
+		return nil, err
+	}
+	// The membership maintainer shares the view store: its view object is
+	// p's view object, and its V_insert/V_delete are overridden by p
+	// (Apply consumes ComputeDeltas only).
+	mv, err := Materialize(oid, q, base, viewStore)
+	if err != nil {
+		return nil, err
+	}
+	p.maint = &SimpleMaintainer{View: mv, Def: def, Access: p.Access}
+	members, err := mv.Members()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		// Materialize created the level-0 delegates; deepen each member.
+		p.depth[m] = 0
+		if err := p.mirrorBelow(m, 0); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// delegateOID maps a mirrored base OID to its delegate OID.
+func (p *PartialView) delegateOID(b oem.OID) oem.OID { return DelegateOID(p.OID, b) }
+
+// mirrorBelow materializes the subtree under base object b (already
+// mirrored at level lvl) down to p.Depth, swizzling values inside the
+// region.
+func (p *PartialView) mirrorBelow(b oem.OID, lvl int) error {
+	o, err := p.Access.Fetch(b)
+	if err != nil {
+		return err
+	}
+	if err := p.writeDelegate(o, lvl); err != nil {
+		return err
+	}
+	if !o.IsSet() || lvl >= p.Depth {
+		return nil
+	}
+	for _, c := range o.Set {
+		if !p.Base.Has(c) {
+			continue // dangling base pointer stays dangling
+		}
+		if cur, ok := p.depth[c]; ok && cur <= lvl+1 {
+			continue // already mirrored at the same or shallower level
+		}
+		p.depth[c] = lvl + 1
+		if err := p.mirrorBelow(c, lvl+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeDelegate stores (or overwrites) the delegate of o at level lvl,
+// swizzling set members that are themselves mirrored below the frontier.
+func (p *PartialView) writeDelegate(o *oem.Object, lvl int) error {
+	d := o.Clone()
+	d.OID = p.delegateOID(o.OID)
+	if d.IsSet() && lvl < p.Depth {
+		for i, c := range d.Set {
+			if p.Base.Has(c) {
+				d.Set[i] = p.delegateOID(c)
+			}
+		}
+	}
+	if p.ViewStore.Has(d.OID) {
+		if d.IsAtomic() {
+			return p.ViewStore.Modify(d.OID, d.Atom)
+		}
+		return p.ViewStore.SetValue(d.OID, d.Set)
+	}
+	return p.ViewStore.Put(d)
+}
+
+// Apply maintains the partial view under one base update.
+func (p *PartialView) Apply(u store.Update) error {
+	deltas, err := p.maint.ComputeDeltas(u)
+	if err != nil {
+		return err
+	}
+	for _, y := range deltas.Insert {
+		if err := p.addMember(y); err != nil {
+			return err
+		}
+	}
+	for _, y := range deltas.Delete {
+		if err := p.removeMember(y); err != nil {
+			return err
+		}
+	}
+	return p.refresh(u)
+}
+
+func (p *PartialView) addMember(y oem.OID) error {
+	vo, err := p.ViewStore.Get(p.OID)
+	if err != nil {
+		return err
+	}
+	d := p.delegateOID(y)
+	if vo.Contains(d) {
+		return nil
+	}
+	p.depth[y] = 0
+	if err := p.mirrorBelow(y, 0); err != nil {
+		return err
+	}
+	return p.ViewStore.Insert(p.OID, d)
+}
+
+func (p *PartialView) removeMember(y oem.OID) error {
+	vo, err := p.ViewStore.Get(p.OID)
+	if err != nil {
+		return err
+	}
+	d := p.delegateOID(y)
+	if !vo.Contains(d) {
+		return nil
+	}
+	if err := p.ViewStore.Delete(p.OID, d); err != nil {
+		return err
+	}
+	return p.prune()
+}
+
+// prune reclaims delegates no longer reachable from the view object and
+// fixes the depth bookkeeping. Tree bases make reachability exact.
+func (p *PartialView) prune() error {
+	removed := p.ViewStore.CollectGarbage(p.OID)
+	for _, d := range removed {
+		if _, b, ok := SplitDelegateOID(d); ok {
+			delete(p.depth, b)
+		}
+	}
+	return nil
+}
+
+// refresh propagates a base update into the mirrored region.
+func (p *PartialView) refresh(u store.Update) error {
+	lvl, mirrored := p.depth[u.N1]
+	if !mirrored {
+		return nil
+	}
+	d := p.delegateOID(u.N1)
+	if !p.ViewStore.Has(d) {
+		return nil
+	}
+	switch u.Kind {
+	case store.UpdateModify:
+		return p.ViewStore.Modify(d, u.New)
+	case store.UpdateInsert:
+		if lvl >= p.Depth {
+			// Frontier: record the base pointer.
+			obj, err := p.ViewStore.Get(d)
+			if err != nil {
+				return err
+			}
+			if obj.Contains(u.N2) {
+				return nil
+			}
+			return p.ViewStore.Insert(d, u.N2)
+		}
+		// Inside the region: mirror the attached subtree and link the
+		// delegate.
+		if p.Base.Has(u.N2) {
+			if cur, ok := p.depth[u.N2]; !ok || cur > lvl+1 {
+				p.depth[u.N2] = lvl + 1
+				if err := p.mirrorBelow(u.N2, lvl+1); err != nil {
+					return err
+				}
+			}
+			obj, err := p.ViewStore.Get(d)
+			if err != nil {
+				return err
+			}
+			dm := p.delegateOID(u.N2)
+			if obj.Contains(dm) {
+				return nil
+			}
+			return p.ViewStore.Insert(d, dm)
+		}
+		// Dangling child: keep the base OID.
+		return p.ViewStore.Insert(d, u.N2)
+	case store.UpdateDelete:
+		obj, err := p.ViewStore.Get(d)
+		if err != nil {
+			return err
+		}
+		for _, cand := range []oem.OID{p.delegateOID(u.N2), u.N2} {
+			if obj.Contains(cand) {
+				if err := p.ViewStore.Delete(d, cand); err != nil {
+					return err
+				}
+				break
+			}
+		}
+		return p.prune()
+	default:
+		return nil
+	}
+}
+
+// Members returns the base OIDs of the view's members.
+func (p *PartialView) Members() ([]oem.OID, error) { return p.maint.View.Members() }
+
+// Delegate returns the delegate of a mirrored base object.
+func (p *PartialView) Delegate(b oem.OID) (*oem.Object, error) {
+	return p.ViewStore.Get(p.delegateOID(b))
+}
+
+// MirroredCount returns how many base objects are materialized, members
+// included — the space the partial view actually uses.
+func (p *PartialView) MirroredCount() int { return len(p.depth) }
+
+// IsMirrored reports whether base object b has a delegate.
+func (p *PartialView) IsMirrored(b oem.OID) bool {
+	_, ok := p.depth[b]
+	return ok
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func ypDef() SimpleDef {
+	return SimpleDef{
+		Entry:    "ROOT",
+		SelPath:  pathexpr.MustParsePath("professor"),
+		CondPath: pathexpr.MustParsePath("age"),
+		Cond:     CondTest{Op: query.OpLe, Literal: oem.Int(45)},
+	}
+}
+
+func newPartial(t testing.TB, depth int) (*store.Store, *PartialView) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	vstore := store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
+	p, err := NewPartialView("PV", ypDef(), depth, s, vstore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, p
+}
+
+func feedPartial(t testing.TB, s *store.Store, p *PartialView, from uint64) {
+	t.Helper()
+	for _, u := range s.LogSince(from) {
+		if err := p.Apply(u); err != nil {
+			t.Fatalf("Apply(%s): %v", u, err)
+		}
+	}
+}
+
+func TestPartialDepth0IsPlainView(t *testing.T) {
+	_, p := newPartial(t, 0)
+	members, err := p.Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(members, []oem.OID{"P1"}) {
+		t.Fatalf("members = %v", members)
+	}
+	// Only the member is mirrored; its value keeps base pointers.
+	if p.MirroredCount() != 1 {
+		t.Fatalf("mirrored = %d", p.MirroredCount())
+	}
+	d, err := p.Delegate("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(d.Set, []oem.OID{"N1", "A1", "S1", "P3"}) {
+		t.Fatalf("depth-0 delegate = %v", d.Set)
+	}
+}
+
+func TestPartialDepth1MaterializesChildren(t *testing.T) {
+	_, p := newPartial(t, 1)
+	// P1 plus its 4 children are mirrored.
+	if p.MirroredCount() != 5 {
+		t.Fatalf("mirrored = %d, want 5", p.MirroredCount())
+	}
+	d, err := p.Delegate("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The member's value is swizzled to delegate OIDs.
+	if !oem.SameMembers(d.Set, []oem.OID{"PV.N1", "PV.A1", "PV.S1", "PV.P3"}) {
+		t.Fatalf("depth-1 member value = %v", d.Set)
+	}
+	// The frontier delegate (P3, level 1) keeps base pointers.
+	p3, err := p.Delegate("P3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(p3.Set, []oem.OID{"N3", "A3", "M3"}) {
+		t.Fatalf("frontier delegate = %v", p3.Set)
+	}
+	if p.IsMirrored("N3") {
+		t.Fatal("level-2 object mirrored at depth 1")
+	}
+}
+
+func TestPartialDepth2ReachesGrandchildren(t *testing.T) {
+	_, p := newPartial(t, 2)
+	// P1 + 4 children + P3's 3 children.
+	if p.MirroredCount() != 8 {
+		t.Fatalf("mirrored = %d, want 8", p.MirroredCount())
+	}
+	p3, _ := p.Delegate("P3")
+	if !oem.SameMembers(p3.Set, []oem.OID{"PV.N3", "PV.A3", "PV.M3"}) {
+		t.Fatalf("level-1 value at depth 2 = %v", p3.Set)
+	}
+}
+
+func TestPartialMembershipChange(t *testing.T) {
+	s, p := newPartial(t, 1)
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+	if err := s.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	feedPartial(t, s, p, before)
+	members, _ := p.Members()
+	if !oem.SameMembers(members, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("members = %v", members)
+	}
+	// P2's children (N2, ADD2, A2) are now mirrored too.
+	if !p.IsMirrored("N2") || !p.IsMirrored("A2") {
+		t.Fatal("new member's children not mirrored")
+	}
+	d, _ := p.Delegate("P2")
+	if !oem.SameMembers(d.Set, []oem.OID{"PV.N2", "PV.ADD2", "PV.A2"}) {
+		t.Fatalf("P2 delegate = %v", d.Set)
+	}
+
+	// P1 leaves: its whole mirrored subtree is pruned.
+	before = s.Seq()
+	if err := s.Modify("A1", oem.Int(60)); err != nil {
+		t.Fatal(err)
+	}
+	feedPartial(t, s, p, before)
+	members, _ = p.Members()
+	if !oem.SameMembers(members, []oem.OID{"P2"}) {
+		t.Fatalf("members = %v", members)
+	}
+	if p.IsMirrored("P1") || p.IsMirrored("N1") || p.ViewStore.Has("PV.N1") {
+		t.Fatal("departed member's mirror not pruned")
+	}
+}
+
+func TestPartialValueMaintenance(t *testing.T) {
+	s, p := newPartial(t, 1)
+	// Modify a mirrored child's value.
+	before := s.Seq()
+	if err := s.Modify("N1", oem.String_("Johnny")); err != nil {
+		t.Fatal(err)
+	}
+	feedPartial(t, s, p, before)
+	n1, err := p.Delegate("N1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n1.Atom.Equal(oem.String_("Johnny")) {
+		t.Fatalf("mirrored atom = %v", n1.Atom)
+	}
+	// Attach a new child inside the region: it gets mirrored and linked.
+	before = s.Seq()
+	s.MustPut(oem.NewAtom("H1", "hobby", oem.String_("chess")))
+	if err := s.Insert("P1", "H1"); err != nil {
+		t.Fatal(err)
+	}
+	feedPartial(t, s, p, before)
+	if !p.IsMirrored("H1") {
+		t.Fatal("new in-region child not mirrored")
+	}
+	d, _ := p.Delegate("P1")
+	if !d.Contains("PV.H1") {
+		t.Fatalf("member value missing new delegate: %v", d.Set)
+	}
+	// Detach it again: the delegate is pruned.
+	before = s.Seq()
+	if err := s.Delete("P1", "H1"); err != nil {
+		t.Fatal(err)
+	}
+	feedPartial(t, s, p, before)
+	if p.IsMirrored("H1") || p.ViewStore.Has("PV.H1") {
+		t.Fatal("detached child's mirror not pruned")
+	}
+}
+
+func TestPartialFrontierInsertKeepsPointer(t *testing.T) {
+	s, p := newPartial(t, 1)
+	// P3 is at the frontier (level 1): a new child under it stays a base
+	// pointer.
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("G3", "gpa", oem.Float(3.9)))
+	if err := s.Insert("P3", "G3"); err != nil {
+		t.Fatal(err)
+	}
+	feedPartial(t, s, p, before)
+	if p.IsMirrored("G3") {
+		t.Fatal("frontier child was mirrored")
+	}
+	p3, _ := p.Delegate("P3")
+	if !p3.Contains("G3") {
+		t.Fatalf("frontier value missing base pointer: %v", p3.Set)
+	}
+}
+
+func TestPartialRejectsSharedStore(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	if _, err := NewPartialView("PV", ypDef(), 1, s, s); err == nil {
+		t.Fatal("shared store accepted")
+	}
+	vstore := store.New(store.Options{AllowDangling: true, ParentIndex: true})
+	if _, err := NewPartialView("PV", ypDef(), -1, s, vstore); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+}
+
+// partialOracle rebuilds a partial view from scratch and compares every
+// delegate object with the maintained one.
+func checkPartialConsistent(t testing.TB, s *store.Store, p *PartialView) {
+	t.Helper()
+	fresh := store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
+	oracle, err := NewPartialView(p.OID, p.Def, p.Depth, s, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers, err := oracle.Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMembers, err := p.Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(gotMembers, wantMembers) {
+		t.Fatalf("members %v != oracle %v", gotMembers, wantMembers)
+	}
+	if p.MirroredCount() != oracle.MirroredCount() {
+		t.Fatalf("mirrored %d != oracle %d", p.MirroredCount(), oracle.MirroredCount())
+	}
+	fresh.ForEach(func(o *oem.Object) {
+		got, err := p.ViewStore.Get(o.OID)
+		if err != nil {
+			t.Fatalf("missing delegate %s: %v", o.OID, err)
+		}
+		if !got.Equal(o) {
+			t.Fatalf("delegate %s differs:\n got %v\nwant %v", o.OID, got, o)
+		}
+	})
+}
+
+// TestPropertyPartialEqualsRematerialize drives random streams and checks
+// the maintained partial view object-for-object against a fresh build.
+func TestPropertyPartialEqualsRematerialize(t *testing.T) {
+	for _, depth := range []int{0, 1, 2} {
+		depth := depth
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			s := store.NewDefault()
+			db := workload.RelationLike(s, workload.RelationConfig{
+				Relations: 2, TuplesPerRelation: 5, FieldsPerTuple: 2, Seed: int64(depth),
+			})
+			def := SimpleDef{
+				Entry:    "REL",
+				SelPath:  pathexpr.MustParsePath("r0.tuple"),
+				CondPath: pathexpr.MustParsePath("age"),
+				Cond:     CondTest{Op: query.OpGt, Literal: oem.Int(30)},
+			}
+			vstore := store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
+			p, err := NewPartialView("PV", def, depth, s, vstore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sets, atoms []oem.OID
+			for _, r := range db.Relations {
+				sets = append(sets, r.OID)
+				sets = append(sets, r.Tuples...)
+				for _, tu := range r.Tuples {
+					kids, _ := s.Children(tu)
+					atoms = append(atoms, kids...)
+				}
+			}
+			stream := workload.NewStream(s, workload.StreamConfig{
+				Seed: int64(depth)*11 + 3, Mix: workload.Mix{Insert: 3, Delete: 2, Modify: 5}, ValueRange: 80,
+			}, sets, atoms)
+			for step := 0; step < 80; step++ {
+				before := s.Seq()
+				if _, ok := stream.Next(); !ok {
+					break
+				}
+				feedPartial(t, s, p, before)
+				if step%8 == 0 || step == 79 {
+					checkPartialConsistent(t, s, p)
+				}
+			}
+			checkPartialConsistent(t, s, p)
+		})
+	}
+}

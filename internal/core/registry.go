@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// Strategy selects how a materialized view is maintained.
+type Strategy int
+
+const (
+	// StrategyAuto picks Algorithm 1 for simple views and the general
+	// maintainer otherwise.
+	StrategyAuto Strategy = iota
+	// StrategySimple forces Algorithm 1; registration fails for
+	// non-simple definitions.
+	StrategySimple
+	// StrategyGeneral forces the generalized maintainer.
+	StrategyGeneral
+	// StrategyRecompute rebuilds the view from scratch on every update —
+	// the Section 4.4 baseline.
+	StrategyRecompute
+	// StrategyDag forces the Section 6 DAG variant of Algorithm 1, which
+	// tolerates multiple paths between objects; registration fails for
+	// non-simple definitions.
+	StrategyDag
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategySimple:
+		return "simple"
+	case StrategyGeneral:
+		return "general"
+	case StrategyRecompute:
+		return "recompute"
+	case StrategyDag:
+		return "dag"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// recomputeMaintainer adapts full recomputation to the Maintainer
+// interface.
+type recomputeMaintainer struct{ mv *MaterializedView }
+
+// Apply implements Maintainer by rebuilding the view from scratch.
+func (r recomputeMaintainer) Apply(store.Update) error { return r.mv.Recompute() }
+
+// View is one registered view: virtual (Materialized nil) or materialized.
+type View struct {
+	Name  string
+	Query *query.Query
+	// Materialized is non-nil for materialized views.
+	Materialized *MaterializedView
+	// Maintainer keeps the materialized view current; nil for virtual views.
+	Maintainer Maintainer
+	// Strategy records the maintenance strategy in use.
+	Strategy Strategy
+}
+
+// Registry manages the views defined over one base store in the
+// centralized setting: it evaluates virtual views on demand, materializes
+// mviews into the same store, and routes every base update to every
+// materialized view's maintainer. (The warehouse package has its own
+// registry-like Warehouse type for the distributed setting.)
+type Registry struct {
+	base  *store.Store
+	views map[string]*View
+	drain func()
+	// skipThrough suppresses Watch-buffered updates with sequence numbers
+	// at or below it — used after ApplyBulk, which maintains the views
+	// itself, so draining must not re-apply the same updates.
+	skipThrough uint64
+}
+
+// SkipThrough tells a watching registry to discard buffered updates whose
+// sequence number is at or below seq. Callers that maintain views through
+// a side channel (Registry.ApplyBulk) use it to avoid double application.
+func (r *Registry) SkipThrough(seq uint64) { r.skipThrough = seq }
+
+// NewRegistry returns an empty registry over base.
+func NewRegistry(base *store.Store) *Registry {
+	return &Registry{base: base, views: make(map[string]*View)}
+}
+
+// Define parses and registers a view definition statement, materializing
+// the view if the statement says mview. The view name becomes the OID of
+// the view object. Materialized views use StrategyAuto.
+func (r *Registry) Define(stmt string) (*View, error) {
+	vs, err := query.ParseView(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return r.DefineParsed(vs, StrategyAuto)
+}
+
+// DefineParsed registers a parsed view statement with an explicit
+// maintenance strategy.
+func (r *Registry) DefineParsed(vs *query.ViewStmt, strategy Strategy) (*View, error) {
+	if _, ok := r.views[vs.Name]; ok {
+		return nil, fmt.Errorf("core: view %s already defined", vs.Name)
+	}
+	v := &View{Name: vs.Name, Query: vs.Query, Strategy: strategy}
+	if vs.Materialized {
+		mv, err := Materialize(oem.OID(vs.Name), vs.Query, r.base, r.base)
+		if err != nil {
+			return nil, err
+		}
+		m, actual, err := newMaintainer(mv, strategy)
+		if err != nil {
+			// Roll back the materialization so a failed Define leaves no
+			// residue.
+			_ = r.dropMaterialized(mv)
+			return nil, err
+		}
+		v.Materialized = mv
+		v.Maintainer = m
+		v.Strategy = actual
+	} else {
+		// A virtual view is still represented by a view object so that it
+		// can serve as a query entry point and in ANS INT clauses; its
+		// value is refreshed on each Evaluate.
+		members, err := query.NewEvaluator(r.base).Eval(vs.Query)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.base.Put(oem.NewSet(oem.OID(vs.Name), "view", members...)); err != nil {
+			return nil, err
+		}
+	}
+	r.views[vs.Name] = v
+	return v, nil
+}
+
+// newMaintainer builds the maintainer for a strategy, resolving Auto.
+func newMaintainer(mv *MaterializedView, strategy Strategy) (Maintainer, Strategy, error) {
+	switch strategy {
+	case StrategySimple:
+		m, err := NewSimpleMaintainer(mv, NewCentralAccess(mv.Base))
+		if err != nil {
+			return nil, strategy, err
+		}
+		if w := mv.Query.Within; w != "" {
+			m.Access = &CentralAccess{S: mv.Base, Within: w}
+		}
+		return m, StrategySimple, nil
+	case StrategyGeneral:
+		m, err := NewGeneralMaintainer(mv)
+		return m, StrategyGeneral, err
+	case StrategyDag:
+		access := NewCentralAccess(mv.Base)
+		if w := mv.Query.Within; w != "" {
+			access = &CentralAccess{S: mv.Base, Within: w}
+		}
+		m, err := NewDagMaintainer(mv, access)
+		return m, StrategyDag, err
+	case StrategyRecompute:
+		return recomputeMaintainer{mv}, StrategyRecompute, nil
+	default: // StrategyAuto
+		if _, ok := Simplify(mv.Query); ok {
+			return newMaintainer(mv, StrategySimple)
+		}
+		return newMaintainer(mv, StrategyGeneral)
+	}
+}
+
+// dropMaterialized removes a materialized view's objects from the store,
+// used to roll back a partially failed Define.
+func (r *Registry) dropMaterialized(mv *MaterializedView) error {
+	vo, err := r.base.Get(mv.OID)
+	if err != nil {
+		return err
+	}
+	for _, d := range vo.Set {
+		if r.base.Has(d) {
+			if err := r.base.Remove(d); err != nil {
+				return err
+			}
+		}
+	}
+	return r.base.Remove(mv.OID)
+}
+
+// Drop unregisters a view and removes its objects from the store.
+func (r *Registry) Drop(name string) error {
+	v, ok := r.views[name]
+	if !ok {
+		return fmt.Errorf("core: view %s not defined", name)
+	}
+	delete(r.views, name)
+	if v.Materialized != nil {
+		return r.dropMaterialized(v.Materialized)
+	}
+	return r.base.Remove(oem.OID(name))
+}
+
+// Get returns a registered view by name.
+func (r *Registry) Get(name string) (*View, bool) {
+	v, ok := r.views[name]
+	return v, ok
+}
+
+// Names returns the registered view names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.views))
+	for n := range r.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Evaluate returns the current members of a view. Virtual views are
+// re-evaluated (and their view object refreshed); materialized views are
+// read from their stored delegates.
+func (r *Registry) Evaluate(name string) ([]oem.OID, error) {
+	v, ok := r.views[name]
+	if !ok {
+		return nil, fmt.Errorf("core: view %s not defined", name)
+	}
+	if v.Materialized != nil {
+		return v.Materialized.Members()
+	}
+	members, err := query.NewEvaluator(r.base).Eval(v.Query)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.base.SetValue(oem.OID(v.Name), members); err != nil {
+		return nil, err
+	}
+	return members, nil
+}
+
+// Apply routes one base update to every materialized view's maintainer.
+// Note that view-store mutations performed by maintainers are themselves
+// logged updates in the (shared) store; Apply must only be called with
+// *base* updates. The Watch helper does this filtering.
+func (r *Registry) Apply(u store.Update) error {
+	for _, name := range r.Names() {
+		v := r.views[name]
+		if v.Maintainer == nil {
+			continue
+		}
+		if err := v.Maintainer.Apply(u); err != nil {
+			return fmt.Errorf("core: maintaining %s after %s: %w", name, u, err)
+		}
+	}
+	return nil
+}
+
+// ApplyAll applies a sequence of updates in order.
+func (r *Registry) ApplyAll(us []store.Update) error {
+	for _, u := range us {
+		if err := r.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsViewObject reports whether an OID belongs to view machinery — a view
+// object or one of its delegates — rather than to the base data. Watch
+// uses it to keep maintenance from feeding on its own writes when views
+// live in the base store.
+func (r *Registry) IsViewObject(oid oem.OID) bool {
+	if _, ok := r.views[string(oid)]; ok {
+		return true
+	}
+	if view, _, ok := SplitDelegateOID(oid); ok {
+		if _, reg := r.views[string(view)]; reg {
+			return true
+		}
+	}
+	return false
+}
+
+// Watch subscribes the registry to the base store: every future base
+// update is routed to the maintainers, skipping updates that touch view
+// objects or delegates. Maintenance errors are reported to onErr (which
+// may be nil to ignore them). Updates are buffered during the synchronous
+// callback and drained afterwards, because maintainers read and write the
+// store.
+func (r *Registry) Watch(onErr func(error)) {
+	var pending []store.Update
+	var draining bool
+	r.base.Subscribe(func(u store.Update) {
+		pending = append(pending, u)
+	})
+	drain := func() {
+		if draining {
+			return
+		}
+		draining = true
+		defer func() { draining = false }()
+		for len(pending) > 0 {
+			u := pending[0]
+			pending = pending[1:]
+			if u.Seq <= r.skipThrough || r.IsViewObject(u.N1) {
+				continue
+			}
+			if err := r.Apply(u); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+	// Wrap the public mutation points by polling after each subscription
+	// callback: the store calls subscribers with its lock held, so the
+	// drain must happen on the caller's side. Registry.Drain is exported
+	// for explicit draining; tests and the CLI call it after each update.
+	r.drain = drain
+}
+
+// Drain processes updates buffered by Watch. It must be called after base
+// mutations when Watch is active; the gsv facade does this automatically.
+func (r *Registry) Drain() {
+	if r.drain != nil {
+		r.drain()
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func newRegistry(t testing.TB) (*store.Store, *Registry) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	return s, NewRegistry(s)
+}
+
+func TestRegistryDefineVirtual(t *testing.T) {
+	s, r := newRegistry(t)
+	v, err := r.Define("define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Materialized != nil {
+		t.Fatal("virtual view got materialized")
+	}
+	got, err := r.Evaluate("VJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, []oem.OID{"P1", "P3"}) {
+		t.Fatalf("VJ = %v", got)
+	}
+	// The view object exists and is usable as a query entry point
+	// (expression 3.3: ANS INT VJ).
+	ans, err := query.NewEvaluator(s).Eval(query.MustParse("SELECT ROOT.professor X ANS INT VJ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(ans, []oem.OID{"P1"}) {
+		t.Fatalf("ANS INT VJ answer = %v, want [P1]", ans)
+	}
+}
+
+func TestRegistryVirtualViewRefreshesOnEvaluate(t *testing.T) {
+	s, r := newRegistry(t)
+	if _, err := r.Define("define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Modify("N3", oem.String_("Jane")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Evaluate("VJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("refreshed VJ = %v, want [P1]", got)
+	}
+}
+
+func TestRegistryDefineMaterializedAuto(t *testing.T) {
+	_, r := newRegistry(t)
+	v, err := r.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Materialized == nil || v.Maintainer == nil {
+		t.Fatal("mview not materialized")
+	}
+	if v.Strategy != StrategySimple {
+		t.Fatalf("strategy = %v, want simple for a simple view", v.Strategy)
+	}
+	// Wildcard views route to the general maintainer automatically.
+	v2, err := r.Define("define mview MVJ as: SELECT ROOT.* X WHERE X.name = 'John'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Strategy != StrategyGeneral {
+		t.Fatalf("strategy = %v, want general for a wildcard view", v2.Strategy)
+	}
+}
+
+func TestRegistryDuplicateName(t *testing.T) {
+	_, r := newRegistry(t)
+	if _, err := r.Define("define view V as: SELECT ROOT.professor X"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Define("define view V as: SELECT ROOT.secretary X"); err == nil {
+		t.Fatal("duplicate view name accepted")
+	}
+}
+
+func TestRegistryApplyMaintainsAllViews(t *testing.T) {
+	s, r := newRegistry(t)
+	if _, err := r.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Define("define mview OLD as: SELECT ROOT.professor X WHERE X.age > 45"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Seq()
+	if err := s.Modify("A1", oem.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyAll(s.LogSince(before)); err != nil {
+		t.Fatal(err)
+	}
+	yp, _ := r.Evaluate("YP")
+	old, _ := r.Evaluate("OLD")
+	if len(yp) != 0 || !oem.SameMembers(old, []oem.OID{"P1"}) {
+		t.Fatalf("YP=%v OLD=%v", yp, old)
+	}
+}
+
+func TestRegistryWatchDrain(t *testing.T) {
+	s, r := newRegistry(t)
+	if _, err := r.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"); err != nil {
+		t.Fatal(err)
+	}
+	var errs []error
+	r.Watch(func(err error) { errs = append(errs, err) })
+	s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+	if err := s.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	r.Drain()
+	if len(errs) != 0 {
+		t.Fatalf("maintenance errors: %v", errs)
+	}
+	got, _ := r.Evaluate("YP")
+	if !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("YP after watch = %v", got)
+	}
+	// A second drain with nothing pending is a no-op.
+	r.Drain()
+}
+
+func TestRegistryDrop(t *testing.T) {
+	s, r := newRegistry(t)
+	if _, err := r.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drop("YP"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("YP") || s.Has("YP.P1") {
+		t.Fatal("dropped view left objects behind")
+	}
+	if err := r.Drop("YP"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+	// The name is reusable.
+	if _, err := r.Define("define view YP as: SELECT ROOT.secretary X"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryStrategyRecompute(t *testing.T) {
+	s, r := newRegistry(t)
+	vs := query.MustParseView("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45")
+	v, err := r.DefineParsed(vs, StrategyRecompute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Strategy != StrategyRecompute {
+		t.Fatalf("strategy = %v", v.Strategy)
+	}
+	before := s.Seq()
+	if err := s.Modify("A1", oem.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyAll(s.LogSince(before)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Evaluate("YP")
+	if len(got) != 0 {
+		t.Fatalf("recompute strategy YP = %v", got)
+	}
+}
+
+func TestRegistryNamesAndGet(t *testing.T) {
+	_, r := newRegistry(t)
+	for _, stmt := range []string{
+		"define view B as: SELECT ROOT.professor X",
+		"define view A as: SELECT ROOT.secretary X",
+	} {
+		if _, err := r.Define(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("Names = %v", names)
+	}
+	if _, ok := r.Get("A"); !ok {
+		t.Fatal("Get(A) missing")
+	}
+	if _, ok := r.Get("Z"); ok {
+		t.Fatal("Get(Z) found")
+	}
+	if _, err := r.Evaluate("Z"); err == nil {
+		t.Fatal("Evaluate(Z) succeeded")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		StrategyAuto: "auto", StrategySimple: "simple",
+		StrategyGeneral: "general", StrategyRecompute: "recompute",
+	} {
+		if s.String() != want {
+			t.Errorf("String(%d) = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestIsViewObject(t *testing.T) {
+	_, r := newRegistry(t)
+	if _, err := r.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsViewObject("YP") || !r.IsViewObject("YP.P1") {
+		t.Fatal("view objects not recognized")
+	}
+	if r.IsViewObject("P1") || r.IsViewObject("OTHER.P1") {
+		t.Fatal("base objects misclassified")
+	}
+}

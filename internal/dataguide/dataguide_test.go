@@ -1,0 +1,270 @@
+package dataguide
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func personGuide(t testing.TB) (*store.Store, *Guide) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	g, err := Build(s, "ROOT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestBuildPerson(t *testing.T) {
+	_, g := personGuide(t)
+	// Every label path appears exactly once; HasPath answers the
+	// Section 5.2 schema questions.
+	for _, p := range []string{"professor", "professor.age", "professor.student.major", "student.name", "secretary.age"} {
+		if !g.HasPath(pathexpr.MustParsePath(p)) {
+			t.Errorf("missing path %s", p)
+		}
+	}
+	// "objects labeled student do not have a child object with label
+	// salary" — the paper's example of path knowledge.
+	for _, p := range []string{"student.salary", "professor.major", "salary", "secretary.salary"} {
+		if g.HasPath(pathexpr.MustParsePath(p)) {
+			t.Errorf("phantom path %s", p)
+		}
+	}
+}
+
+func TestBuildMissingRoot(t *testing.T) {
+	s := store.NewDefault()
+	if _, err := Build(s, "NOPE"); err == nil {
+		t.Fatal("missing root accepted")
+	}
+}
+
+func TestTargets(t *testing.T) {
+	_, g := personGuide(t)
+	if got := g.Targets(pathexpr.MustParsePath("professor")); !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("Targets(professor) = %v", got)
+	}
+	if got := g.Targets(pathexpr.MustParsePath("professor.student.age")); !oem.SameMembers(got, []oem.OID{"A3"}) {
+		t.Fatalf("Targets(professor.student.age) = %v", got)
+	}
+	if got := g.Targets(pathexpr.MustParsePath("nosuch")); got != nil {
+		t.Fatalf("Targets(nosuch) = %v", got)
+	}
+	if got := g.Targets(pathexpr.Path{}); !oem.SameMembers(got, []oem.OID{"ROOT"}) {
+		t.Fatalf("Targets(ε) = %v", got)
+	}
+}
+
+func TestGuideSkipsGroupingAndDelegates(t *testing.T) {
+	s, _ := personGuide(t)
+	// Add a delegate-looking object and a database edge; neither may
+	// appear in guide paths.
+	s.MustPut(oem.NewSet("MV.P1", "professor", "N1"))
+	if err := s.Insert("ROOT", "MV.P1"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(s, "ROOT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range g.Targets(pathexpr.MustParsePath("professor")) {
+		if tgt == "MV.P1" {
+			t.Fatal("delegate leaked into guide targets")
+		}
+	}
+}
+
+// guideVsData cross-checks Guide.Eval against a data-level evaluation.
+func guideVsData(t testing.TB, s *store.Store, g *Guide, root oem.OID, expr string) {
+	t.Helper()
+	e := pathexpr.MustParse(expr)
+	got := g.Eval(e)
+	data := pathexpr.Eval(dataGraph(s), []oem.OID{root}, e)
+	if !oem.SameMembers(got, data) {
+		t.Fatalf("%s: guide %v != data %v", expr, got, data)
+	}
+}
+
+func dataGraph(s *store.Store) pathexpr.Graph {
+	return pathexpr.GraphFunc(func(oid oem.OID) []pathexpr.Neighbor {
+		kids, err := s.Children(oid)
+		if err != nil {
+			return nil
+		}
+		var nbs []pathexpr.Neighbor
+		for _, c := range kids {
+			lbl, err := s.Label(c)
+			if err != nil || oem.IsGroupingLabel(lbl) {
+				continue
+			}
+			nbs = append(nbs, pathexpr.Neighbor{Label: lbl, To: c})
+		}
+		return nbs
+	})
+}
+
+func TestGuideEvalMatchesData(t *testing.T) {
+	s, g := personGuide(t)
+	for _, expr := range []string{
+		"professor", "professor.age", "*", "*.age", "?.name",
+		"(professor|secretary).age", "professor.*", "?", "nosuch.*",
+	} {
+		guideVsData(t, s, g, "ROOT", expr)
+	}
+}
+
+func TestGuideEvalOnDAG(t *testing.T) {
+	s := store.NewDefault()
+	workload.FigureOneDB(s)
+	g, err := Build(s, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, expr := range []string{"*", "b.d.f", "?.?", "*.g", "e.f.g"} {
+		guideVsData(t, s, g, "A", expr)
+	}
+}
+
+func TestGuideSizeIndependentOfCardinality(t *testing.T) {
+	sizeFor := func(tuples int) int {
+		s := store.NewDefault()
+		workload.RelationLike(s, workload.RelationConfig{
+			Relations: 2, TuplesPerRelation: tuples, FieldsPerTuple: 3, Seed: 1,
+		})
+		g, err := Build(s, "REL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Size()
+	}
+	small, large := sizeFor(5), sizeFor(200)
+	if small != large {
+		t.Fatalf("guide size grew with cardinality: %d vs %d", small, large)
+	}
+}
+
+func TestPaths(t *testing.T) {
+	_, g := personGuide(t)
+	paths := g.Paths(2)
+	want := map[string]bool{
+		"professor": true, "student": true, "secretary": true,
+		"professor.age": true, "professor.student": true, "student.major": true,
+	}
+	got := map[string]bool{}
+	for _, p := range paths {
+		got[p.String()] = true
+		if len(p) > 2 {
+			t.Fatalf("path %v exceeds maxLen", p)
+		}
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("Paths missing %s (have %v)", w, paths)
+		}
+	}
+}
+
+func TestPairOccurs(t *testing.T) {
+	_, g := personGuide(t)
+	cases := []struct {
+		parent, child string
+		want          bool
+	}{
+		{"", "professor", true},
+		{"", "salary", false},
+		{"professor", "age", true},
+		{"professor", "student", true},
+		{"student", "major", true},
+		{"student", "salary", false}, // the paper's example
+		{"secretary", "major", false},
+	}
+	for _, c := range cases {
+		if got := g.PairOccurs(c.parent, c.child); got != c.want {
+			t.Errorf("PairOccurs(%q,%q) = %v, want %v", c.parent, c.child, got, c.want)
+		}
+	}
+}
+
+func TestStale(t *testing.T) {
+	s, g := personGuide(t)
+	if g.Stale(s) {
+		t.Fatal("fresh guide reported stale")
+	}
+	if err := s.Modify("A1", oem.Int(46)); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Stale(s) {
+		t.Fatal("guide not stale after update")
+	}
+}
+
+// TestPropertyGuideEvalMatchesData builds random trees and cross-checks
+// guide evaluation against data evaluation for assorted expressions.
+func TestPropertyGuideEvalMatchesData(t *testing.T) {
+	exprs := []string{"*", "?.?", "*.age", "item*", "(item|part).*", "?.name"}
+	for seed := int64(0); seed < 5; seed++ {
+		s := store.NewDefault()
+		db := workload.RandomTree(s, workload.TreeConfig{Depth: 3, Fanout: 3, Seed: seed})
+		g, err := Build(s, db.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, expr := range exprs {
+			e := pathexpr.MustParse(expr)
+			got := g.Eval(e)
+			want := pathexpr.Eval(dataGraph(s), []oem.OID{db.Root}, e)
+			if !oem.SameMembers(got, want) {
+				t.Fatalf("seed %d %s: guide %v != data %v", seed, expr, got, want)
+			}
+		}
+	}
+}
+
+func TestNodeOIDRoundTrip(t *testing.T) {
+	for _, id := range []int{0, 1, 42, 12345} {
+		if got := nodeIndex(nodeOID(id)); got != id {
+			t.Errorf("round trip %d -> %d", id, got)
+		}
+	}
+	for _, bad := range []oem.OID{"", "#", "x1", "#1x", "P1"} {
+		if nodeIndex(bad) >= 0 && bad != "#1x" { // "#1x" rejected by digit check
+			t.Errorf("nodeIndex(%q) accepted", bad)
+		}
+	}
+	if nodeIndex("#1x") != -1 {
+		t.Error("nodeIndex(#1x) accepted")
+	}
+}
+
+func BenchmarkGuideVsDataWildcard(b *testing.B) {
+	s := store.NewDefault()
+	workload.RelationLike(s, workload.RelationConfig{
+		Relations: 2, TuplesPerRelation: 500, FieldsPerTuple: 3, Seed: 1,
+	})
+	g, err := Build(s, "REL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := pathexpr.MustParse("*.age")
+	b.Run("guide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(g.Eval(e)) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("data", func(b *testing.B) {
+		graph := dataGraph(s)
+		for i := 0; i < b.N; i++ {
+			if len(pathexpr.Eval(graph, []oem.OID{"REL"}, e)) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}

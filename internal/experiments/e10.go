@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"gsv/internal/dataguide"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// E10DataGuide measures the structural-summary payoff the paper gestures
+// at in Section 5.2 by citing DataGuides [GW97]: wildcard path expressions
+// evaluated on the guide touch states proportional to the database's
+// *structure*, not its cardinality.
+func E10DataGuide(cfg Config) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "DataGuide [GW97] evaluation vs data traversal for wildcard paths",
+		Caption: "Section 5.2: path knowledge as 'a type of schema'. A strong " +
+			"DataGuide summarizes every label path once; evaluating *.age on the " +
+			"guide is independent of tuple count, while a data traversal scales " +
+			"with it. Same answers (asserted).",
+		Headers: []string{"tuples", "objects", "guide nodes", "guide us/eval", "data us/eval", "speedup"},
+	}
+	expr := pathexpr.MustParse("*.age")
+	for _, tuples := range []int{100, 400, 1600} {
+		tuples *= cfg.Scale
+		s := store.NewDefault()
+		workload.RelationLike(s, workload.RelationConfig{
+			Relations: 2, TuplesPerRelation: tuples, FieldsPerTuple: 3, Seed: cfg.Seed,
+		})
+		g, err := dataguide.Build(s, "REL")
+		if err != nil {
+			panic(err)
+		}
+		graph := pathexpr.GraphFunc(func(oid oem.OID) []pathexpr.Neighbor {
+			kids, err := s.Children(oid)
+			if err != nil {
+				return nil
+			}
+			var nbs []pathexpr.Neighbor
+			for _, c := range kids {
+				lbl, err := s.Label(c)
+				if err != nil || oem.IsGroupingLabel(lbl) {
+					continue
+				}
+				nbs = append(nbs, pathexpr.Neighbor{Label: lbl, To: c})
+			}
+			return nbs
+		})
+		// Sanity: identical answers.
+		guideAns := g.Eval(expr)
+		dataAns := pathexpr.Eval(graph, []oem.OID{"REL"}, expr)
+		if !oem.SameMembers(guideAns, dataAns) {
+			panic("E10: guide and data answers differ")
+		}
+		iters := max(10, cfg.Updates/10)
+		guideD := timed(func() {
+			for i := 0; i < iters; i++ {
+				g.Eval(expr)
+			}
+		})
+		dataD := timed(func() {
+			for i := 0; i < iters; i++ {
+				pathexpr.Eval(graph, []oem.OID{"REL"}, expr)
+			}
+		})
+		guideUS := float64(guideD.Microseconds()) / float64(iters)
+		dataUS := float64(dataD.Microseconds()) / float64(iters)
+		t.AddRow(tuples, s.Len(), g.Size(), guideUS, dataUS, ratio(dataUS, guideUS))
+	}
+	return t
+}

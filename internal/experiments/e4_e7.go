@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/warehouse"
+	"gsv/internal/workload"
+)
+
+// warehouseRun replays one update stream through a source/warehouse pair
+// and returns per-update communication costs.
+type warehouseCosts struct {
+	Updates    int
+	QueryBacks float64 // per update (maintenance only, initial sync excluded)
+	Objects    float64
+	Bytes      float64
+	Screened   float64
+	LocalFrac  float64
+	CacheBytes int
+}
+
+func runWarehouse(cfg Config, level warehouse.ReportLevel, vcfg warehouse.ViewConfig, tuples int) warehouseCosts {
+	s := store.NewDefault()
+	db := workload.RelationLike(s, workload.RelationConfig{
+		Relations: 2, TuplesPerRelation: tuples, FieldsPerTuple: 3, Seed: cfg.Seed,
+	})
+	tr := warehouse.NewTransport(2 * time.Millisecond)
+	src := warehouse.NewSource("rel", s, "REL", level, tr)
+	src.DrainReports()
+	w := warehouse.New(src)
+	if vcfg.Knowledge != nil {
+		vcfg.Knowledge = warehouse.LearnFromSource(s, "REL")
+	}
+	v, err := w.DefineView("SEL", query.MustParse(relViewQuery), vcfg)
+	if err != nil {
+		panic(err)
+	}
+	var sets, atoms []oem.OID
+	for _, r := range db.Relations {
+		sets = append(sets, r.OID)
+		sets = append(sets, r.Tuples...)
+		for _, tu := range r.Tuples {
+			kids, _ := s.Children(tu)
+			atoms = append(atoms, kids...)
+		}
+	}
+	stream := workload.NewStream(s, workload.StreamConfig{Seed: cfg.Seed + 1, ValueRange: 60}, sets, atoms)
+	before := tr.Snapshot()
+	applied := 0
+	for i := 0; i < cfg.Updates; i++ {
+		if _, ok := stream.Next(); !ok {
+			break
+		}
+		reports := src.DrainReports()
+		if err := w.ProcessAll(reports); err != nil {
+			panic(err)
+		}
+		applied += len(reports)
+	}
+	used := tr.Sub(before)
+	n := float64(max(1, applied))
+	out := warehouseCosts{
+		Updates:    applied,
+		QueryBacks: float64(used.QueryBacks) / n,
+		Objects:    float64(used.ObjectsShipped) / n,
+		Bytes:      float64(used.Bytes) / n,
+		Screened:   float64(v.Stats.Screened) / n,
+		LocalFrac:  float64(v.Stats.LocalOnly) / float64(max(1, v.Stats.Reports)),
+	}
+	if v.Cache != nil {
+		out.CacheBytes = v.Cache.Bytes()
+	}
+	return out
+}
+
+// E4ReportingLevels measures the three Section 5.1 update-reporting
+// scenarios: per-update query backs, objects shipped and bytes moved for
+// the same stream under Levels 1, 2 (with label screening) and 3.
+//
+// Expected shape: query backs fall as the level rises; report bytes rise
+// slightly (richer reports) while response bytes fall.
+func E4ReportingLevels(cfg Config) *Table {
+	t := &Table{
+		ID:    "E4",
+		Title: "warehouse maintenance under the three update-reporting levels",
+		Caption: "Section 5.1 scenarios: (1) OIDs only, (2) + labels and values " +
+			"enabling local screening, (3) + path(ROOT,N) with OIDs. No auxiliary " +
+			"cache; every helper evaluation not answered by the report queries the source.",
+		Headers: []string{"level", "updates", "queries/upd", "objects/upd", "bytes/upd",
+			"screened/upd"},
+	}
+	tuples := 100 * cfg.Scale
+	for _, level := range []warehouse.ReportLevel{warehouse.Level1, warehouse.Level2, warehouse.Level3} {
+		vcfg := warehouse.ViewConfig{Screening: level >= warehouse.Level2}
+		c := runWarehouse(cfg, level, vcfg, tuples)
+		t.AddRow(level.String(), c.Updates, c.QueryBacks, c.Objects, c.Bytes, c.Screened)
+	}
+	return t
+}
+
+// E5Caching measures the Section 5.2 auxiliary caching strategies at
+// Level 2: no cache, screening only, partial structural cache (no atom
+// values), full cache, and full cache plus path knowledge.
+//
+// Expected shape: the full cache answers everything locally (zero
+// query backs); the partial cache pays only for condition value tests;
+// screening alone already removes the irrelevant-label traffic.
+func E5Caching(cfg Config) *Table {
+	t := &Table{
+		ID:    "E5",
+		Title: "auxiliary caching at the warehouse (Level 2 reports)",
+		Caption: "Section 5.2 / Example 10: 'the warehouse can maintain the view " +
+			"locally, for any base update' with the full auxiliary structure; " +
+			"partial caching trades queries for cache bytes.",
+		Headers: []string{"configuration", "queries/upd", "local frac", "screened/upd",
+			"cache bytes"},
+	}
+	tuples := 100 * cfg.Scale
+	rows := []struct {
+		name string
+		cfg  warehouse.ViewConfig
+	}{
+		{"no cache, no screening", warehouse.ViewConfig{}},
+		{"screening only", warehouse.ViewConfig{Screening: true}},
+		{"partial cache + screening", warehouse.ViewConfig{Cache: warehouse.CachePartial, Screening: true}},
+		{"full cache + screening", warehouse.ViewConfig{Cache: warehouse.CacheFull, Screening: true}},
+		{"full cache + screening + knowledge", warehouse.ViewConfig{Cache: warehouse.CacheFull, Screening: true, Knowledge: &warehouse.PathKnowledge{}}},
+	}
+	for _, r := range rows {
+		c := runWarehouse(cfg, warehouse.Level2, r.cfg, tuples)
+		t.AddRow(r.name, c.QueryBacks, c.LocalFrac, c.Screened, c.CacheBytes)
+	}
+	return t
+}
+
+// nestedFixture builds a uniformly labeled containment tree (person
+// containing person ...) whose interior objects all enter a wildcard view,
+// so that swizzling has many intra-view edges to rewrite.
+func nestedFixture(depth, fanout int) (*store.Store, int) {
+	s := store.NewDefault()
+	count := 0
+	var build func(d int) oem.OID
+	build = func(d int) oem.OID {
+		oid := oem.OID(fmt.Sprintf("e%d", count))
+		count++
+		if d == 0 {
+			s.MustPut(oem.NewAtom(oid, "badge", oem.Int(int64(count))))
+			return oid
+		}
+		kids := make([]oem.OID, 0, fanout)
+		for i := 0; i < fanout; i++ {
+			kids = append(kids, build(d-1))
+		}
+		s.MustPut(oem.NewSet(oid, "person", kids...))
+		return oid
+	}
+	root := build(depth)
+	// Rename the root distinctly so queries can anchor at it.
+	o, _ := s.Get(root)
+	_ = o
+	return s, count
+}
+
+// E6Swizzling measures the Section 3.2 swizzling argument: queries with a
+// WITHIN MV clause are cheaper on a swizzled materialized view because
+// membership is syntactic (the delegate prefix) instead of requiring a
+// delegate-existence check per traversed edge.
+//
+// Expected shape: identical answers; the unswizzled path pays a resolve
+// lookup per edge.
+func E6Swizzling(cfg Config) *Table {
+	t := &Table{
+		ID:    "E6",
+		Title: "edge swizzling vs delegate-existence checks for WITHIN-view queries",
+		Caption: "Section 3.2: 'If edge swizzling is done, it is easy to check that " +
+			"the edges traversed are in MVJ. Without swizzling ... it must then " +
+			"check if the delegate for P3 is in MVJ.' Same answers either way.",
+		Headers: []string{"view objects", "query", "unswizzled us/query", "swizzled us/query", "speedup"},
+	}
+	for _, depth := range []int{4, 6} {
+		s, _ := nestedFixture(depth, 3)
+		mv, err := core.Materialize("MV", query.MustParse("SELECT e0.* X"), s, s)
+		if err != nil {
+			panic(err)
+		}
+		q := query.MustParse("SELECT MV.person.person X WITHIN MV")
+		iters := max(20, cfg.Updates/4)
+
+		run := func() float64 {
+			var sink int
+			d := timed(func() {
+				for i := 0; i < iters; i++ {
+					res, err := mv.QueryView(q)
+					if err != nil {
+						panic(err)
+					}
+					sink += len(res)
+				}
+			})
+			if sink == 0 {
+				panic("E6 query returned nothing")
+			}
+			return float64(d.Microseconds()) / float64(iters)
+		}
+
+		unswizzledUS := run()
+		if err := mv.Swizzle(); err != nil {
+			panic(err)
+		}
+		swizzledUS := run()
+		vo, _ := s.Get("MV")
+		t.AddRow(len(vo.Set), q.String(), unswizzledUS, swizzledUS, ratio(unswizzledUS, swizzledUS))
+	}
+	return t
+}
+
+// E7GeneralizedViews measures the Section 6 extensions' overhead: the same
+// simple view maintained by Algorithm 1, by the generalized maintainer and
+// by recomputation, plus a wildcard view only the generalized maintainer
+// and recomputation can handle.
+//
+// Expected shape: simple < general < recompute; the generalized
+// maintainer's candidate-set work is the price of wildcard support.
+func E7GeneralizedViews(cfg Config) *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: "generalized maintenance (Section 6 extensions) vs Algorithm 1",
+		Caption: "Maintenance cost ladder on the same stream: Algorithm 1 where it " +
+			"applies, the candidate-reconciliation general maintainer, and full " +
+			"recomputation; then a wildcard view that only the latter two support.",
+		Headers: []string{"view", "strategy", "us/upd"},
+	}
+	tuples := 100 * cfg.Scale
+	views := []struct {
+		name, q  string
+		strategy []core.Strategy
+	}{
+		{"simple (r0.tuple, age>30)", relViewQuery,
+			[]core.Strategy{core.StrategySimple, core.StrategyGeneral, core.StrategyRecompute}},
+		{"wildcard (REL.*, age>30)", "SELECT REL.* X WHERE X.age > 30",
+			[]core.Strategy{core.StrategyGeneral, core.StrategyRecompute}},
+	}
+	for _, v := range views {
+		for _, strat := range v.strategy {
+			s, _, sets, atoms := relFixture(tuples, cfg.Seed)
+			vstore := s // general maintainer needs parent access on base; keep centralized
+			mv, err := core.Materialize("V", query.MustParse(v.q), s, vstore)
+			if err != nil {
+				panic(err)
+			}
+			var maint core.Maintainer
+			switch strat {
+			case core.StrategySimple:
+				m, err := core.NewSimpleMaintainer(mv, core.NewCentralAccess(s))
+				if err != nil {
+					panic(err)
+				}
+				maint = m
+			case core.StrategyGeneral:
+				m, err := core.NewGeneralMaintainer(mv)
+				if err != nil {
+					panic(err)
+				}
+				maint = m
+			default:
+				maint = recomputeAdapter{mv}
+			}
+			stream := workload.NewStream(s, workload.StreamConfig{Seed: cfg.Seed + 1, ValueRange: 60}, sets, atoms)
+			applied := 0
+			d := timed(func() {
+				for i := 0; i < cfg.Updates/2; i++ {
+					before := s.Seq()
+					if _, ok := stream.Next(); !ok {
+						break
+					}
+					for _, u := range s.LogSince(before) {
+						if _, _, isDel := core.SplitDelegateOID(u.N1); isDel || u.N1 == "V" {
+							continue
+						}
+						if err := maint.Apply(u); err != nil {
+							panic(err)
+						}
+						applied++
+					}
+				}
+			})
+			t.AddRow(v.name, strat.String(), float64(d.Microseconds())/float64(max(1, applied)))
+		}
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// E8BulkUpdateIntent measures the paper's final Section 6 open problem:
+// maintenance when the update *query* is known, not just the updated
+// objects. A bulk raise for one selector is applied while several views
+// are registered; intent screening skips the views the raise provably
+// cannot touch, and the table compares individual-update maintenance work
+// with and without the intent.
+func E8BulkUpdateIntent(cfg Config) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "update-intent screening for bulk updates (Section 6)",
+		Caption: "'We may know that the salary of each person named Mark was " +
+			"increased by $1000. Then a view containing the salary of persons " +
+			"named John should be unaffected.' One bulk raise, several views; " +
+			"with the intent, unaffected views process zero individual updates.",
+		Headers: []string{"view", "screening", "reason", "updates processed"},
+	}
+	build := func() (*store.Store, *core.Registry, core.BulkUpdate) {
+		s := store.NewDefault()
+		n := 40 * cfg.Scale
+		var people []oem.OID
+		for i := 0; i < n; i++ {
+			name := "Mark"
+			if i%2 == 1 {
+				name = "John"
+			}
+			nm := oem.OID(fmt.Sprintf("N%d", i))
+			sal := oem.OID(fmt.Sprintf("S%d", i))
+			age := oem.OID(fmt.Sprintf("A%d", i))
+			s.MustPut(oem.NewAtom(nm, "name", oem.String_(name)))
+			s.MustPut(oem.NewTypedAtom(sal, "salary", "dollar", oem.Int(int64(40000+i*100))))
+			s.MustPut(oem.NewAtom(age, "age", oem.Int(int64(25+i%40))))
+			p := oem.OID(fmt.Sprintf("P%d", i))
+			s.MustPut(oem.NewSet(p, "person", nm, sal, age))
+			people = append(people, p)
+		}
+		s.MustPut(oem.NewSet("ROOT", "people", people...))
+		r := core.NewRegistry(s)
+		for _, stmt := range []string{
+			"define mview JOHNS as: SELECT ROOT.person X WHERE X.name = 'John'",
+			"define mview YOUNG as: SELECT ROOT.person X WHERE X.age < 35",
+			"define mview RICH as: SELECT ROOT.person X WHERE X.salary > 42000",
+		} {
+			if _, err := r.Define(stmt); err != nil {
+				panic(err)
+			}
+		}
+		bu := core.BulkUpdate{
+			Selector: core.SimpleDef{
+				Entry:    "ROOT",
+				SelPath:  pathexpr.MustParsePath("person"),
+				CondPath: pathexpr.MustParsePath("name"),
+				Cond:     core.CondTest{Op: query.OpEq, Literal: oem.String_("Mark")},
+			},
+			EffectPath: pathexpr.MustParsePath("salary"),
+		}
+		return s, r, bu
+	}
+
+	raise := func(v oem.Atom) oem.Atom { return oem.Int(v.I + 1000) }
+
+	// Without intent: every view processes every individual update.
+	{
+		s, r, bu := build()
+		before := s.Seq()
+		if _, err := core.ApplyBulk(s, bu, raise); err != nil {
+			panic(err)
+		}
+		updates := s.LogSince(before)
+		if err := r.ApplyAll(updates); err != nil {
+			panic(err)
+		}
+		for _, name := range r.Names() {
+			t.AddRow(name, "off", "-", len(updates))
+		}
+	}
+
+	// With intent: screened views process nothing.
+	{
+		_, r, bu := build()
+		outcomes, err := r.ApplyBulk(bu, raise, true)
+		if err != nil {
+			panic(err)
+		}
+		for _, oc := range outcomes {
+			t.AddRow(oc.View, "on", oc.Reason.String(), oc.Applied)
+		}
+	}
+	return t
+}
+
+// E9ClusterSharing measures the Section 3.2 view-cluster note: "if a
+// remote site defines several views that share common objects, it may end
+// up with multiple delegates for the same base object. The notion of a
+// view cluster avoids this." Three nested selections over the same
+// relation, clustered vs separate.
+func E9ClusterSharing(cfg Config) *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "view clusters: shared delegates vs one delegate per view",
+		Caption: "Section 3.2: overlapping views in a cluster share delegates " +
+			"with reference counting; separate materialized views duplicate them.",
+		Headers: []string{"views", "total memberships", "separate delegates", "cluster delegates", "saving"},
+	}
+	for _, tuples := range []int{50, 200} {
+		tuples *= cfg.Scale
+		s := store.NewDefault()
+		workload.RelationLike(s, workload.RelationConfig{
+			Relations: 1, TuplesPerRelation: tuples, FieldsPerTuple: 2, Seed: cfg.Seed, AgeRange: 100,
+		})
+		queries := []string{
+			"SELECT REL.r0.tuple X WHERE X.age >= 0",
+			"SELECT REL.r0.tuple X WHERE X.age >= 25",
+			"SELECT REL.r0.tuple X WHERE X.age >= 50",
+			"SELECT REL.r0.tuple X WHERE X.age >= 75",
+		}
+		cl := core.NewCluster("CL", s, s)
+		total := 0
+		for i, qs := range queries {
+			name := oem.OID(fmt.Sprintf("CV%d", i))
+			if err := cl.AddView(name, query.MustParse(qs)); err != nil {
+				panic(err)
+			}
+			ms, err := cl.Members(name)
+			if err != nil {
+				panic(err)
+			}
+			total += len(ms)
+		}
+		separate := total // one delegate per (view, member) pair
+		shared := cl.DelegateCount()
+		t.AddRow(len(queries), total, separate, shared,
+			fmt.Sprintf("%.0f%%", 100*(1-float64(shared)/float64(max(1, separate)))))
+	}
+	return t
+}

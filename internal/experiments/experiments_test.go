@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Caption: "caption text", Headers: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", "y")
+	var buf bytes.Buffer
+	tb.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"T — demo", "caption text", "a", "bb", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tb.Markdown(&buf)
+	if !strings.Contains(buf.String(), "| a | bb |") {
+		t.Errorf("markdown header missing:\n%s", buf.String())
+	}
+}
+
+func TestE1ShapeIncrementalWins(t *testing.T) {
+	cfg := SmallConfig()
+	tb := E1IncrementalVsRecompute(cfg)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// On the largest size, incremental must beat recomputation clearly.
+	last := tb.Rows[len(tb.Rows)-1]
+	incr := parseCell(t, last[3])
+	recomp := parseCell(t, last[4])
+	if recomp <= incr {
+		t.Errorf("recompute (%v us) not slower than incremental (%v us) at max size", recomp, incr)
+	}
+	// The speedup should grow with database size (shape check between the
+	// smallest and largest rows).
+	first := tb.Rows[0]
+	sp0 := parseCell(t, first[5])
+	spN := parseCell(t, last[5])
+	if spN < sp0 {
+		t.Errorf("speedup shrank with size: %v -> %v", sp0, spN)
+	}
+}
+
+func TestE2ShapeIndexHelps(t *testing.T) {
+	tb := E2ParentIndexAblation(SmallConfig())
+	last := tb.Rows[len(tb.Rows)-1]
+	idxObjs := parseCell(t, last[3])
+	scanObjs := parseCell(t, last[5])
+	if scanObjs <= idxObjs {
+		t.Errorf("index-free maintenance touched %v objs/upd, indexed %v — expected more", scanObjs, idxObjs)
+	}
+}
+
+func TestE3ShapeGSDBWins(t *testing.T) {
+	tb := E3RelationalBaseline(SmallConfig())
+	for _, row := range tb.Rows {
+		deltas := parseCell(t, row[5])
+		if deltas < 1.0 {
+			t.Errorf("table deltas per update %v < 1", deltas)
+		}
+	}
+	// At the largest size the relational side should not be faster.
+	last := tb.Rows[len(tb.Rows)-1]
+	gs := parseCell(t, last[2])
+	rel := parseCell(t, last[3])
+	if rel < gs {
+		t.Logf("note: relational faster (%v vs %v) at this size — acceptable at small scale", rel, gs)
+	}
+}
+
+func TestE4ShapeLevelsMonotone(t *testing.T) {
+	tb := E4ReportingLevels(SmallConfig())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	q1 := parseCell(t, tb.Rows[0][2])
+	q2 := parseCell(t, tb.Rows[1][2])
+	q3 := parseCell(t, tb.Rows[2][2])
+	if !(q1 >= q2 && q2 >= q3) {
+		t.Errorf("queries per update not monotone: %v %v %v", q1, q2, q3)
+	}
+	if q1 == 0 {
+		t.Error("level 1 issued no queries at all")
+	}
+}
+
+func TestE5ShapeFullCacheLocal(t *testing.T) {
+	tb := E5Caching(SmallConfig())
+	byName := map[string][]string{}
+	for _, row := range tb.Rows {
+		byName[row[0]] = row
+	}
+	none := parseCell(t, byName["no cache, no screening"][1])
+	full := parseCell(t, byName["full cache + screening"][1])
+	if full != 0 {
+		t.Errorf("full cache still queries: %v/upd", full)
+	}
+	if none <= full {
+		t.Errorf("no-cache (%v) not more expensive than full cache (%v)", none, full)
+	}
+	partial := parseCell(t, byName["partial cache + screening"][1])
+	if partial > none {
+		t.Errorf("partial cache (%v) worse than no cache (%v)", partial, none)
+	}
+	if c := parseCell(t, byName["full cache + screening"][4]); c <= 0 {
+		t.Error("full cache reports zero bytes")
+	}
+}
+
+func TestE6ShapeSwizzlingSameAnswers(t *testing.T) {
+	tb := E6Swizzling(SmallConfig())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if parseCell(t, row[2]) <= 0 || parseCell(t, row[3]) <= 0 {
+			t.Errorf("non-positive timings: %v", row)
+		}
+	}
+}
+
+func TestE7ShapeLadder(t *testing.T) {
+	tb := E7GeneralizedViews(SmallConfig())
+	var simple, general, recompute float64
+	for _, row := range tb.Rows {
+		if row[0] != "simple (r0.tuple, age>30)" {
+			continue
+		}
+		v := parseCell(t, row[2])
+		switch row[1] {
+		case "simple":
+			simple = v
+		case "general":
+			general = v
+		case "recompute":
+			recompute = v
+		}
+	}
+	if simple <= 0 || general <= 0 || recompute <= 0 {
+		t.Fatalf("missing ladder rows: %v %v %v", simple, general, recompute)
+	}
+	if recompute < simple {
+		t.Errorf("recompute (%v) faster than Algorithm 1 (%v)", recompute, simple)
+	}
+}
+
+func TestE8ShapeIntentScreens(t *testing.T) {
+	tb := E8BulkUpdateIntent(SmallConfig())
+	// Six rows: three views without screening, three with.
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var offUpdates, johnsOn, richOn float64
+	for _, row := range tb.Rows {
+		switch {
+		case row[1] == "off" && row[0] == "JOHNS":
+			offUpdates = parseCell(t, row[3])
+		case row[1] == "on" && row[0] == "JOHNS":
+			johnsOn = parseCell(t, row[3])
+		case row[1] == "on" && row[0] == "RICH":
+			richOn = parseCell(t, row[3])
+		}
+	}
+	if offUpdates == 0 {
+		t.Fatal("bulk update produced no individual updates")
+	}
+	if johnsOn != 0 {
+		t.Errorf("JOHNS processed %v updates despite intent screening", johnsOn)
+	}
+	if richOn == 0 {
+		t.Error("RICH (salary view) was screened but is affected")
+	}
+}
+
+func TestE9ShapeClusterSaves(t *testing.T) {
+	tb := E9ClusterSharing(SmallConfig())
+	for _, row := range tb.Rows {
+		sep := parseCell(t, row[2])
+		shared := parseCell(t, row[3])
+		if shared >= sep {
+			t.Errorf("cluster (%v) not smaller than separate (%v)", shared, sep)
+		}
+	}
+}
+
+func TestE10ShapeGuideScales(t *testing.T) {
+	tb := E10DataGuide(SmallConfig())
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if first[2] != last[2] {
+		t.Errorf("guide nodes grew with cardinality: %s vs %s", first[2], last[2])
+	}
+	if parseCell(t, last[3]) >= parseCell(t, last[4]) {
+		t.Errorf("guide eval (%s us) not faster than data eval (%s us) at max size", last[3], last[4])
+	}
+}
+
+func TestE11ShapeWireMatchesSimulation(t *testing.T) {
+	tb := E11WireValidation(SmallConfig())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %v (a third row signals a query-count mismatch)", tb.Rows)
+	}
+	simQ := parseCell(t, tb.Rows[0][2])
+	tcpQ := parseCell(t, tb.Rows[1][2])
+	if simQ != tcpQ {
+		t.Fatalf("query backs differ: simulated %v vs TCP %v", simQ, tcpQ)
+	}
+	if parseCell(t, tb.Rows[1][4]) <= 0 {
+		t.Fatal("TCP bytes not measured")
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Updates = 30
+	tables := All(cfg)
+	if len(tables) != 11 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s has no rows", tb.ID)
+		}
+		tb.Write(&buf)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}

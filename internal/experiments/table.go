@@ -1,0 +1,151 @@
+// Package experiments turns the paper's qualitative performance arguments
+// into measured tables. The paper (ICDE 1998) has no quantitative
+// evaluation section; its claims live in the Section 4.4 discussion, the
+// Section 5.1 warehouse scenarios and the Section 5.2 caching example.
+// Each experiment here is a parameter sweep producing a formatted table;
+// cmd/benchviews prints them all and EXPERIMENTS.md records a run.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result: a title, a caption tying it back to
+// the paper, column headers and rows of formatted cells.
+type Table struct {
+	ID      string
+	Title   string
+	Caption string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(w, "%s\n", wrap(t.Caption, 78))
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(w, "%s\n\n", t.Caption)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+func wrap(s string, width int) string {
+	words := strings.Fields(s)
+	var b strings.Builder
+	line := 0
+	for i, w := range words {
+		if line+len(w)+1 > width && line > 0 {
+			b.WriteByte('\n')
+			line = 0
+		} else if i > 0 {
+			b.WriteByte(' ')
+			line++
+		}
+		b.WriteString(w)
+		line += len(w)
+	}
+	return b.String()
+}
+
+// Config bounds experiment sizes so the suite stays laptop-friendly. The
+// Small preset keeps the full sweep under a couple of seconds for tests;
+// Default is what cmd/benchviews runs.
+type Config struct {
+	// Scale multiplies workload sizes. 1 = the default sweep.
+	Scale int
+	// Updates is the number of updates per measured stream.
+	Updates int
+	// Seed drives all generators.
+	Seed int64
+}
+
+// DefaultConfig is the cmd/benchviews configuration.
+func DefaultConfig() Config { return Config{Scale: 1, Updates: 400, Seed: 42} }
+
+// SmallConfig keeps experiment tests fast.
+func SmallConfig() Config { return Config{Scale: 1, Updates: 60, Seed: 42} }
+
+// All runs every experiment and returns the tables in order.
+func All(cfg Config) []*Table {
+	return []*Table{
+		E1IncrementalVsRecompute(cfg),
+		E2ParentIndexAblation(cfg),
+		E3RelationalBaseline(cfg),
+		E4ReportingLevels(cfg),
+		E5Caching(cfg),
+		E6Swizzling(cfg),
+		E7GeneralizedViews(cfg),
+		E8BulkUpdateIntent(cfg),
+		E9ClusterSharing(cfg),
+		E10DataGuide(cfg),
+		E11WireValidation(cfg),
+	}
+}

@@ -1,0 +1,190 @@
+package oem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AtomKind enumerates the representations an atomic value can take. The
+// paper's examples use integers, strings and a "dollar" type; dollars are
+// represented as integers with a distinct type name on the object.
+type AtomKind int
+
+const (
+	// AtomNone is the zero Atom, the value of no-value placeholders.
+	AtomNone AtomKind = iota
+	// AtomInt is a 64-bit signed integer.
+	AtomInt
+	// AtomFloat is a 64-bit float.
+	AtomFloat
+	// AtomString is a string.
+	AtomString
+	// AtomBool is a boolean.
+	AtomBool
+)
+
+// String returns the canonical name of the kind.
+func (k AtomKind) String() string {
+	switch k {
+	case AtomNone:
+		return "none"
+	case AtomInt:
+		return "integer"
+	case AtomFloat:
+		return "real"
+	case AtomString:
+		return "string"
+	case AtomBool:
+		return "boolean"
+	default:
+		return fmt.Sprintf("AtomKind(%d)", int(k))
+	}
+}
+
+// Atom is the value of an atomic object: a small tagged union. The zero
+// Atom has kind AtomNone and compares equal only to itself.
+type Atom struct {
+	Kind AtomKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Int returns an integer atom.
+func Int(v int64) Atom { return Atom{Kind: AtomInt, I: v} }
+
+// Float returns a real-valued atom.
+func Float(v float64) Atom { return Atom{Kind: AtomFloat, F: v} }
+
+// String_ returns a string atom. The underscore avoids colliding with the
+// String method required by fmt.Stringer.
+func String_(v string) Atom { return Atom{Kind: AtomString, S: v} }
+
+// Bool returns a boolean atom.
+func Bool(v bool) Atom { return Atom{Kind: AtomBool, B: v} }
+
+// TypeName returns the default type field for an object holding this atom.
+func (a Atom) TypeName() string { return a.Kind.String() }
+
+// IsZero reports whether the atom is the zero (no-value) atom.
+func (a Atom) IsZero() bool { return a.Kind == AtomNone }
+
+// Equal reports whether two atoms hold the same value. Integers and floats
+// compare numerically across kinds, so Int(45) equals Float(45).
+func (a Atom) Equal(b Atom) bool {
+	c, ok := a.Compare(b)
+	return ok && c == 0
+}
+
+// Compare orders two atoms. It returns -1, 0 or +1 and ok=true when the
+// atoms are comparable: both numeric (integers and floats compare
+// numerically across kinds), both strings, or both booleans (false < true).
+// Incomparable atoms return ok=false; the query evaluator treats such
+// comparisons as unsatisfied rather than as errors, since GSDB data carries
+// no schema to rule them out.
+func (a Atom) Compare(b Atom) (int, bool) {
+	switch {
+	case a.isNumeric() && b.isNumeric():
+		af, bf := a.asFloat(), b.asFloat()
+		// Compare exactly when both are integers to avoid float rounding on
+		// large values.
+		if a.Kind == AtomInt && b.Kind == AtomInt {
+			switch {
+			case a.I < b.I:
+				return -1, true
+			case a.I > b.I:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case a.Kind == AtomString && b.Kind == AtomString:
+		return strings.Compare(a.S, b.S), true
+	case a.Kind == AtomBool && b.Kind == AtomBool:
+		switch {
+		case a.B == b.B:
+			return 0, true
+		case !a.B:
+			return -1, true
+		default:
+			return 1, true
+		}
+	case a.Kind == AtomNone && b.Kind == AtomNone:
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+func (a Atom) isNumeric() bool { return a.Kind == AtomInt || a.Kind == AtomFloat }
+
+func (a Atom) asFloat() float64 {
+	if a.Kind == AtomInt {
+		return float64(a.I)
+	}
+	return a.F
+}
+
+// String renders the atom's value. Strings are quoted in the paper's style.
+func (a Atom) String() string {
+	switch a.Kind {
+	case AtomNone:
+		return "<none>"
+	case AtomInt:
+		return strconv.FormatInt(a.I, 10)
+	case AtomFloat:
+		return strconv.FormatFloat(a.F, 'g', -1, 64)
+	case AtomString:
+		return "'" + a.S + "'"
+	case AtomBool:
+		return strconv.FormatBool(a.B)
+	default:
+		return fmt.Sprintf("Atom(%d)", int(a.Kind))
+	}
+}
+
+// EncodedSize estimates the wire size of the atom in bytes.
+func (a Atom) EncodedSize() int {
+	switch a.Kind {
+	case AtomInt, AtomFloat:
+		return 8
+	case AtomString:
+		return len(a.S) + 1
+	case AtomBool:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// ParseAtom interprets a literal string as an atom: integers, floats and
+// booleans parse to their kinds; quoted text ('...' or "...") parses to a
+// string atom; anything else is a bare string atom. It is used by the query
+// lexer and the CLI.
+func ParseAtom(s string) Atom {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return String_(s[1 : len(s)-1])
+		}
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(v)
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(v)
+	}
+	if v, err := strconv.ParseBool(s); err == nil {
+		return Bool(v)
+	}
+	return String_(s)
+}

@@ -1,0 +1,158 @@
+package oem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomConstructors(t *testing.T) {
+	cases := []struct {
+		a    Atom
+		kind AtomKind
+		name string
+	}{
+		{Int(5), AtomInt, "integer"},
+		{Float(2.5), AtomFloat, "real"},
+		{String_("hi"), AtomString, "string"},
+		{Bool(true), AtomBool, "boolean"},
+		{Atom{}, AtomNone, "none"},
+	}
+	for _, c := range cases {
+		if c.a.Kind != c.kind {
+			t.Errorf("%v Kind = %v, want %v", c.a, c.a.Kind, c.kind)
+		}
+		if c.a.TypeName() != c.name {
+			t.Errorf("%v TypeName = %q, want %q", c.a, c.a.TypeName(), c.name)
+		}
+	}
+}
+
+func TestAtomCompareNumericCrossKind(t *testing.T) {
+	if !Int(45).Equal(Float(45)) {
+		t.Error("Int(45) != Float(45)")
+	}
+	if c, ok := Int(40).Compare(Float(45.5)); !ok || c != -1 {
+		t.Errorf("Int(40) vs Float(45.5) = %d,%v", c, ok)
+	}
+	if c, ok := Float(50).Compare(Int(45)); !ok || c != 1 {
+		t.Errorf("Float(50) vs Int(45) = %d,%v", c, ok)
+	}
+}
+
+func TestAtomCompareLargeInts(t *testing.T) {
+	// Large int64 values that would collide after float64 rounding must
+	// still compare exactly.
+	a := Int(1<<62 + 1)
+	b := Int(1 << 62)
+	if c, ok := a.Compare(b); !ok || c != 1 {
+		t.Errorf("large int compare = %d,%v, want 1,true", c, ok)
+	}
+}
+
+func TestAtomCompareStrings(t *testing.T) {
+	if c, ok := String_("abc").Compare(String_("abd")); !ok || c != -1 {
+		t.Errorf("'abc' vs 'abd' = %d,%v", c, ok)
+	}
+	if !String_("x").Equal(String_("x")) {
+		t.Error("identical strings not equal")
+	}
+}
+
+func TestAtomCompareBools(t *testing.T) {
+	if c, ok := Bool(false).Compare(Bool(true)); !ok || c != -1 {
+		t.Errorf("false vs true = %d,%v", c, ok)
+	}
+	if c, ok := Bool(true).Compare(Bool(true)); !ok || c != 0 {
+		t.Errorf("true vs true = %d,%v", c, ok)
+	}
+}
+
+func TestAtomCompareIncomparable(t *testing.T) {
+	pairs := [][2]Atom{
+		{String_("45"), Int(45)},
+		{Bool(true), Int(1)},
+		{String_("true"), Bool(true)},
+		{Atom{}, Int(0)},
+	}
+	for _, p := range pairs {
+		if _, ok := p[0].Compare(p[1]); ok {
+			t.Errorf("%v vs %v comparable, want incomparable", p[0], p[1])
+		}
+		if p[0].Equal(p[1]) {
+			t.Errorf("%v Equal %v", p[0], p[1])
+		}
+	}
+	if c, ok := (Atom{}).Compare(Atom{}); !ok || c != 0 {
+		t.Errorf("none vs none = %d,%v, want 0,true", c, ok)
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	cases := []struct {
+		a    Atom
+		want string
+	}{
+		{Int(45), "45"},
+		{Float(2.5), "2.5"},
+		{String_("John"), "'John'"},
+		{Bool(true), "true"},
+		{Atom{}, "<none>"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseAtom(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Atom
+	}{
+		{"45", Int(45)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"true", Bool(true)},
+		{"'John'", String_("John")},
+		{`"Jane"`, String_("Jane")},
+		{"hello", String_("hello")},
+	}
+	for _, c := range cases {
+		got := ParseAtom(c.in)
+		if got.Kind != c.want.Kind || !got.Equal(c.want) {
+			t.Errorf("ParseAtom(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := Int(a).Compare(Int(b))
+		c2, ok2 := Int(b).Compare(Int(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStringCompareMatchesGo(t *testing.T) {
+	f := func(a, b string) bool {
+		c, ok := String_(a).Compare(String_(b))
+		if !ok {
+			return false
+		}
+		switch {
+		case a < b:
+			return c == -1
+		case a > b:
+			return c == 1
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

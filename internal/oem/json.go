@@ -1,0 +1,104 @@
+package oem
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonAtom is the wire form of an Atom: the kind tag plus only the field
+// that kind uses, so integers survive without float rounding.
+type jsonAtom struct {
+	Kind int      `json:"k"`
+	I    *int64   `json:"i,omitempty"`
+	F    *float64 `json:"f,omitempty"`
+	S    *string  `json:"s,omitempty"`
+	B    *bool    `json:"b,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with a compact tagged encoding.
+func (a Atom) MarshalJSON() ([]byte, error) {
+	ja := jsonAtom{Kind: int(a.Kind)}
+	switch a.Kind {
+	case AtomInt:
+		ja.I = &a.I
+	case AtomFloat:
+		ja.F = &a.F
+	case AtomString:
+		ja.S = &a.S
+	case AtomBool:
+		ja.B = &a.B
+	case AtomNone:
+	default:
+		return nil, fmt.Errorf("oem: cannot marshal atom kind %d", int(a.Kind))
+	}
+	return json.Marshal(ja)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *Atom) UnmarshalJSON(data []byte) error {
+	var ja jsonAtom
+	if err := json.Unmarshal(data, &ja); err != nil {
+		return err
+	}
+	*a = Atom{Kind: AtomKind(ja.Kind)}
+	switch a.Kind {
+	case AtomInt:
+		if ja.I != nil {
+			a.I = *ja.I
+		}
+	case AtomFloat:
+		if ja.F != nil {
+			a.F = *ja.F
+		}
+	case AtomString:
+		if ja.S != nil {
+			a.S = *ja.S
+		}
+	case AtomBool:
+		if ja.B != nil {
+			a.B = *ja.B
+		}
+	case AtomNone:
+	default:
+		return fmt.Errorf("oem: cannot unmarshal atom kind %d", ja.Kind)
+	}
+	return nil
+}
+
+// jsonObject is the wire form of an Object.
+type jsonObject struct {
+	OID   OID    `json:"oid"`
+	Label string `json:"label"`
+	Kind  int    `json:"kind"`
+	Type  string `json:"type"`
+	Atom  *Atom  `json:"atom,omitempty"`
+	Set   []OID  `json:"set,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (o *Object) MarshalJSON() ([]byte, error) {
+	jo := jsonObject{OID: o.OID, Label: o.Label, Kind: int(o.Kind), Type: o.Type}
+	if o.IsAtomic() {
+		a := o.Atom
+		jo.Atom = &a
+	} else {
+		jo.Set = o.Set
+	}
+	return json.Marshal(jo)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (o *Object) UnmarshalJSON(data []byte) error {
+	var jo jsonObject
+	if err := json.Unmarshal(data, &jo); err != nil {
+		return err
+	}
+	*o = Object{OID: jo.OID, Label: jo.Label, Kind: Kind(jo.Kind), Type: jo.Type, Set: jo.Set}
+	if o.Kind == KindAtomic {
+		if jo.Atom == nil {
+			return fmt.Errorf("oem: atomic object %s without atom", jo.OID)
+		}
+		o.Atom = *jo.Atom
+	}
+	return nil
+}

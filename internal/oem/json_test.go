@@ -1,0 +1,115 @@
+package oem
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripObject(t *testing.T, o *Object) *Object {
+	t.Helper()
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatalf("marshal %v: %v", o, err)
+	}
+	var back Object
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	return &back
+}
+
+func TestJSONRoundTripObjects(t *testing.T) {
+	objs := []*Object{
+		NewSet("P1", "professor", "N1", "A1"),
+		NewSet("E", "empty"),
+		NewAtom("A1", "age", Int(45)),
+		NewAtom("N1", "name", String_("John")),
+		NewAtom("F", "score", Float(2.5)),
+		NewAtom("B", "flag", Bool(true)),
+		NewTypedAtom("S1", "salary", "dollar", Int(1<<60)),
+	}
+	for _, o := range objs {
+		back := roundTripObject(t, o)
+		if !o.Equal(back) || o.Type != back.Type {
+			t.Errorf("round trip changed %v -> %v", o, back)
+		}
+	}
+}
+
+func TestJSONAtomKindsExact(t *testing.T) {
+	// Large integers must not round-trip through float64.
+	a := Int(1<<62 + 1)
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Atom
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.I != a.I || back.Kind != AtomInt {
+		t.Fatalf("large int round trip: %v -> %v", a, back)
+	}
+	// Zero values are preserved per kind.
+	for _, a := range []Atom{Int(0), Float(0), String_(""), Bool(false), {}} {
+		data, _ := json.Marshal(a)
+		var b Atom
+		if err := json.Unmarshal(data, &b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Kind != a.Kind || !b.Equal(a) {
+			t.Errorf("zero round trip: %v -> %v", a, b)
+		}
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	var o Object
+	for _, data := range []string{
+		`{`,
+		`{"oid":"A","label":"x","kind":0,"type":"integer"}`, // atomic, no atom
+	} {
+		if err := json.Unmarshal([]byte(data), &o); err == nil {
+			t.Errorf("unmarshal(%q) succeeded", data)
+		}
+	}
+	var a Atom
+	if err := json.Unmarshal([]byte(`{"k":99}`), &a); err == nil {
+		t.Error("unknown atom kind accepted")
+	}
+}
+
+func TestPropertyJSONAtomRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool, sel uint8) bool {
+		var a Atom
+		switch sel % 5 {
+		case 0:
+			a = Int(i)
+		case 1:
+			a = Float(fl)
+		case 2:
+			a = String_(s)
+		case 3:
+			a = Bool(b)
+		default:
+			a = Atom{}
+		}
+		data, err := json.Marshal(a)
+		if err != nil {
+			return false
+		}
+		var back Atom
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		if a.Kind == AtomFloat {
+			// NaN does not compare equal; accept kind equality there.
+			return back.Kind == AtomFloat && (a.F != a.F || back.Equal(a))
+		}
+		return back.Kind == a.Kind && back.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

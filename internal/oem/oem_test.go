@@ -1,0 +1,222 @@
+package oem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetDeduplicates(t *testing.T) {
+	o := NewSet("S", "people", "P1", "P2", "P1", "P3", "P2")
+	want := []OID{"P1", "P2", "P3"}
+	if len(o.Set) != len(want) {
+		t.Fatalf("Set = %v, want %v", o.Set, want)
+	}
+	for i, m := range want {
+		if o.Set[i] != m {
+			t.Fatalf("Set = %v, want %v", o.Set, want)
+		}
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	o := NewSet("S", "people")
+	if o.Contains("P1") {
+		t.Fatal("empty set contains P1")
+	}
+	if !o.Add("P1") {
+		t.Fatal("first Add returned false")
+	}
+	if o.Add("P1") {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !o.Contains("P1") {
+		t.Fatal("set does not contain P1 after Add")
+	}
+	if !o.Remove("P1") {
+		t.Fatal("Remove of present member returned false")
+	}
+	if o.Remove("P1") {
+		t.Fatal("Remove of absent member returned true")
+	}
+	if o.Contains("P1") {
+		t.Fatal("set still contains P1 after Remove")
+	}
+}
+
+func TestAddOnAtomicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on atomic object did not panic")
+		}
+	}()
+	NewAtom("A", "age", Int(45)).Add("X")
+}
+
+func TestRemoveOnAtomicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove on atomic object did not panic")
+		}
+	}()
+	NewAtom("A", "age", Int(45)).Remove("X")
+}
+
+func TestReplace(t *testing.T) {
+	o := NewSet("S", "people", "P1", "P2", "P3")
+	if !o.Replace("P2", "MV.P2") {
+		t.Fatal("Replace of present member returned false")
+	}
+	if o.Set[1] != "MV.P2" {
+		t.Fatalf("Replace did not preserve position: %v", o.Set)
+	}
+	if o.Replace("P9", "X") {
+		t.Fatal("Replace of absent member returned true")
+	}
+	// Replacing with an OID already present must not create a duplicate.
+	if !o.Replace("P1", "P3") {
+		t.Fatal("Replace(P1,P3) returned false")
+	}
+	if got := len(o.Set); got != 2 {
+		t.Fatalf("after collapsing replace, len = %d (%v), want 2", got, o.Set)
+	}
+	if o.Contains("P1") {
+		t.Fatal("P1 still present after Replace")
+	}
+}
+
+func TestReplaceOnAtomic(t *testing.T) {
+	a := NewAtom("A", "age", Int(3))
+	if a.Replace("X", "Y") {
+		t.Fatal("Replace on atomic object returned true")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	o := NewSet("S", "people", "P1", "P2")
+	c := o.Clone()
+	c.Add("P3")
+	if o.Contains("P3") {
+		t.Fatal("mutating clone changed original")
+	}
+	if !o.Equal(o.Clone()) {
+		t.Fatal("object not equal to its own clone")
+	}
+}
+
+func TestEqualIgnoresSetOrder(t *testing.T) {
+	a := NewSet("S", "people", "P1", "P2", "P3")
+	b := NewSet("S", "people", "P3", "P1", "P2")
+	if !a.Equal(b) {
+		t.Fatal("sets with same members in different order not Equal")
+	}
+	b.Remove("P3")
+	if a.Equal(b) {
+		t.Fatal("sets with different members Equal")
+	}
+}
+
+func TestEqualNils(t *testing.T) {
+	var a, b *Object
+	if !a.Equal(b) {
+		t.Fatal("nil != nil")
+	}
+	if a.Equal(NewSet("S", "s")) {
+		t.Fatal("nil == non-nil")
+	}
+}
+
+func TestEqualAtomic(t *testing.T) {
+	a := NewAtom("A", "age", Int(45))
+	b := NewAtom("A", "age", Int(45))
+	if !a.Equal(b) {
+		t.Fatal("identical atoms not Equal")
+	}
+	b.Atom = Int(46)
+	if a.Equal(b) {
+		t.Fatal("different atom values Equal")
+	}
+	c := NewAtom("A", "salary", Int(45))
+	if a.Equal(c) {
+		t.Fatal("different labels Equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	set := NewSet("P1", "professor", "N1", "A1")
+	if got, want := set.String(), "<P1, professor, set, {N1,A1}>"; got != want {
+		t.Errorf("set String = %q, want %q", got, want)
+	}
+	atom := NewAtom("A1", "age", Int(45))
+	if got, want := atom.String(), "<A1, age, integer, 45>"; got != want {
+		t.Errorf("atom String = %q, want %q", got, want)
+	}
+	str := NewAtom("N1", "name", String_("John"))
+	if got, want := str.String(), "<N1, name, string, 'John'>"; got != want {
+		t.Errorf("string atom String = %q, want %q", got, want)
+	}
+	var nilObj *Object
+	if nilObj.String() != "<nil>" {
+		t.Errorf("nil String = %q", nilObj.String())
+	}
+}
+
+func TestTypedAtom(t *testing.T) {
+	s := NewTypedAtom("S1", "salary", "dollar", Int(100000))
+	if s.Type != "dollar" {
+		t.Fatalf("Type = %q, want dollar", s.Type)
+	}
+	if s.Atom.Kind != AtomInt {
+		t.Fatalf("Kind = %v, want AtomInt", s.Atom.Kind)
+	}
+}
+
+func TestSameMembers(t *testing.T) {
+	cases := []struct {
+		a, b []OID
+		want bool
+	}{
+		{nil, nil, true},
+		{[]OID{}, nil, true},
+		{[]OID{"A"}, []OID{"A"}, true},
+		{[]OID{"A", "B"}, []OID{"B", "A"}, true},
+		{[]OID{"A"}, []OID{"B"}, false},
+		{[]OID{"A"}, []OID{"A", "B"}, false},
+	}
+	for _, c := range cases {
+		if got := SameMembers(c.a, c.b); got != c.want {
+			t.Errorf("SameMembers(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEncodedSizePositive(t *testing.T) {
+	if NewSet("S", "s", "A", "B").EncodedSize() <= 0 {
+		t.Fatal("set EncodedSize not positive")
+	}
+	if NewAtom("A", "a", String_("hello")).EncodedSize() <= 0 {
+		t.Fatal("atom EncodedSize not positive")
+	}
+}
+
+func TestPropertyAddRemoveRoundTrip(t *testing.T) {
+	f := func(members []string, extra string) bool {
+		o := NewSet("S", "s")
+		for _, m := range members {
+			o.Add(OID(m))
+		}
+		before := o.Clone()
+		if o.Contains(OID(extra)) {
+			// Removing and re-adding a present member keeps membership.
+			o.Remove(OID(extra))
+			o.Add(OID(extra))
+		} else {
+			// Adding then removing an absent member restores the set.
+			o.Add(OID(extra))
+			o.Remove(OID(extra))
+		}
+		return before.Equal(o)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

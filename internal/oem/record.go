@@ -1,0 +1,66 @@
+package oem
+
+import "sort"
+
+// Field is one named field of a record, in the paper's Section 2 sense:
+// "a multi-field employee object <name:'Joe', salary:50k> can be
+// represented as
+//
+//	<E1, employee, set, {N1, S1}>
+//	  <N1, name, string, 'Joe'>
+//	  <S1, salary, dollars, 50k>"
+type Field struct {
+	// Label is the field name, used as the subobject's label.
+	Label string
+	// Type optionally overrides the atom's default type name ("dollar").
+	Type string
+	// Value is the field's atomic value.
+	Value Atom
+}
+
+// Record flattens a multi-field record into OEM objects: one set object
+// carrying the record label, plus one atomic subobject per field with OID
+// <oid>_<label>. Fields are emitted in sorted label order for determinism;
+// the record object is last so stores that validate children can insert
+// the fields first. Fixed-format records ("the schema defines the first
+// field to be a name") are represented identically — the field names
+// simply repeat in every record, as the paper describes.
+func Record(oid OID, label string, fields []Field) []*Object {
+	sorted := append([]Field(nil), fields...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+	out := make([]*Object, 0, len(sorted)+1)
+	members := make([]OID, 0, len(sorted))
+	for _, f := range sorted {
+		foid := OID(string(oid) + "_" + f.Label)
+		var o *Object
+		if f.Type != "" {
+			o = NewTypedAtom(foid, f.Label, f.Type, f.Value)
+		} else {
+			o = NewAtom(foid, f.Label, f.Value)
+		}
+		out = append(out, o)
+		members = append(members, foid)
+	}
+	out = append(out, NewSet(oid, label, members...))
+	return out
+}
+
+// RecordValues inverts Record for an object whose children are atomic
+// fields: it returns label → value for every atomic child found through
+// lookup. Children that are missing or set objects are skipped. With
+// repeated labels the last one in value order wins; OEM permits repeats
+// and callers needing them should read the children directly.
+func RecordValues(o *Object, lookup func(OID) (*Object, error)) map[string]Atom {
+	out := map[string]Atom{}
+	if o == nil || !o.IsSet() {
+		return out
+	}
+	for _, c := range o.Set {
+		child, err := lookup(c)
+		if err != nil || child == nil || !child.IsAtomic() {
+			continue
+		}
+		out[child.Label] = child.Atom
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package oem
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRecordPaperExample(t *testing.T) {
+	// <name:'Joe', salary:50k> as an employee record.
+	objs := Record("E1", "employee", []Field{
+		{Label: "name", Value: String_("Joe")},
+		{Label: "salary", Type: "dollars", Value: Int(50000)},
+	})
+	if len(objs) != 3 {
+		t.Fatalf("objects = %d", len(objs))
+	}
+	rec := objs[len(objs)-1]
+	if rec.OID != "E1" || rec.Label != "employee" || !rec.IsSet() {
+		t.Fatalf("record object = %v", rec)
+	}
+	byOID := map[OID]*Object{}
+	for _, o := range objs {
+		byOID[o.OID] = o
+	}
+	name := byOID["E1_name"]
+	if name == nil || name.Label != "name" || !name.Atom.Equal(String_("Joe")) {
+		t.Fatalf("name field = %v", name)
+	}
+	sal := byOID["E1_salary"]
+	if sal == nil || sal.Type != "dollars" || !sal.Atom.Equal(Int(50000)) {
+		t.Fatalf("salary field = %v", sal)
+	}
+	if !rec.Contains("E1_name") || !rec.Contains("E1_salary") {
+		t.Fatalf("record value = %v", rec.Set)
+	}
+}
+
+func TestRecordDeterministicOrder(t *testing.T) {
+	a := Record("R", "r", []Field{{Label: "z", Value: Int(1)}, {Label: "a", Value: Int(2)}})
+	b := Record("R", "r", []Field{{Label: "a", Value: Int(2)}, {Label: "z", Value: Int(1)}})
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("order depends on input: %v vs %v", a[i], b[i])
+		}
+	}
+	if a[0].Label != "a" {
+		t.Fatalf("fields not sorted: %v", a[0])
+	}
+}
+
+func TestRecordEmpty(t *testing.T) {
+	objs := Record("R", "r", nil)
+	if len(objs) != 1 || !objs[0].IsSet() || len(objs[0].Set) != 0 {
+		t.Fatalf("empty record = %v", objs)
+	}
+}
+
+func TestRecordValues(t *testing.T) {
+	objs := Record("E1", "employee", []Field{
+		{Label: "name", Value: String_("Joe")},
+		{Label: "salary", Value: Int(50000)},
+	})
+	byOID := map[OID]*Object{}
+	for _, o := range objs {
+		byOID[o.OID] = o
+	}
+	lookup := func(oid OID) (*Object, error) {
+		if o, ok := byOID[oid]; ok {
+			return o, nil
+		}
+		return nil, fmt.Errorf("missing %s", oid)
+	}
+	rec := byOID["E1"]
+	vals := RecordValues(rec, lookup)
+	if len(vals) != 2 || !vals["name"].Equal(String_("Joe")) || !vals["salary"].Equal(Int(50000)) {
+		t.Fatalf("values = %v", vals)
+	}
+	// Dangling and set children are skipped.
+	rec.Add("missing")
+	vals = RecordValues(rec, lookup)
+	if len(vals) != 2 {
+		t.Fatalf("values with dangling = %v", vals)
+	}
+	// Nil and atomic inputs yield empty maps.
+	if len(RecordValues(nil, lookup)) != 0 {
+		t.Fatal("nil record produced values")
+	}
+	if len(RecordValues(byOID["E1_name"], lookup)) != 0 {
+		t.Fatal("atomic record produced values")
+	}
+}

@@ -1,0 +1,197 @@
+package pathexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gsv/internal/oem"
+)
+
+// mapGraph is a test Graph backed by adjacency lists.
+type mapGraph map[oem.OID][]Neighbor
+
+func (g mapGraph) Out(oid oem.OID) []Neighbor { return g[oid] }
+
+// personGraph mirrors the paper's Figure 2.
+func personGraph() mapGraph {
+	return mapGraph{
+		"ROOT": {{"professor", "P1"}, {"professor", "P2"}, {"student", "P3"}, {"secretary", "P4"}},
+		"P1":   {{"name", "N1"}, {"age", "A1"}, {"salary", "S1"}, {"student", "P3"}},
+		"P3":   {{"name", "N3"}, {"age", "A3"}, {"major", "M3"}},
+		"P2":   {{"name", "N2"}, {"address", "ADD2"}},
+		"P4":   {{"name", "N4"}, {"age", "A4"}},
+	}
+}
+
+func oids(ss ...string) []oem.OID {
+	out := make([]oem.OID, len(ss))
+	for i, s := range ss {
+		out[i] = oem.OID(s)
+	}
+	return out
+}
+
+func TestEvalConstPaths(t *testing.T) {
+	g := personGraph()
+	cases := []struct {
+		path string
+		want []oem.OID
+	}{
+		{"professor", oids("P1", "P2")},
+		{"professor.age", oids("A1")},
+		{"professor.student", oids("P3")},
+		{"professor.student.age", oids("A3")},
+		{"student", oids("P3")},
+		{"nosuch", nil},
+		{"", oids("ROOT")},
+	}
+	for _, c := range cases {
+		got := EvalPath(g, oids("ROOT"), MustParsePath(c.path))
+		if !oem.SameMembers(got, c.want) {
+			t.Errorf("ROOT.%s = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestEvalWildcards(t *testing.T) {
+	g := personGraph()
+	cases := []struct {
+		expr string
+		want []oem.OID
+	}{
+		// ROOT.* includes ROOT itself (empty instance) and every descendant.
+		{"*", oids("ROOT", "P1", "P2", "P3", "P4", "N1", "A1", "S1", "N2", "ADD2", "N3", "A3", "M3", "N4", "A4")},
+		{"?", oids("P1", "P2", "P3", "P4")},
+		{"?.age", oids("A1", "A3", "A4")},
+		{"*.age", oids("A1", "A3", "A4")},
+		{"professor.*", oids("P1", "P2", "N1", "A1", "S1", "P3", "N2", "ADD2", "N3", "A3", "M3")},
+		{"professor.?", oids("N1", "A1", "S1", "P3", "N2", "ADD2")},
+		{"(professor|secretary).age", oids("A1", "A4")},
+		{"professor.student|secretary", oids("P3", "P4")},
+		{"*.name", oids("N1", "N2", "N3", "N4")},
+	}
+	for _, c := range cases {
+		got := Eval(g, oids("ROOT"), MustParse(c.expr))
+		if !oem.SameMembers(got, c.want) {
+			t.Errorf("ROOT.%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEvalMultipleStarts(t *testing.T) {
+	g := personGraph()
+	got := Eval(g, oids("P1", "P4"), MustParse("age"))
+	if !oem.SameMembers(got, oids("A1", "A4")) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalEmptyExprAndStarts(t *testing.T) {
+	g := personGraph()
+	if got := Eval(g, nil, MustParse("*")); len(got) != 0 {
+		t.Errorf("no starts gave %v", got)
+	}
+	if got := Eval(g, oids("ROOT"), Empty()); len(got) != 0 {
+		t.Errorf("empty expr gave %v", got)
+	}
+}
+
+func TestEvalCycleSafe(t *testing.T) {
+	// A cycle: A -> B -> A, both labeled "n".
+	g := mapGraph{
+		"A": {{"n", "B"}},
+		"B": {{"n", "A"}},
+	}
+	got := Eval(g, oids("A"), MustParse("n*"))
+	if !oem.SameMembers(got, oids("A", "B")) {
+		t.Errorf("cycle closure = %v", got)
+	}
+	got = Eval(g, oids("A"), MustParse("n.n"))
+	if !oem.SameMembers(got, oids("A")) {
+		t.Errorf("n.n on cycle = %v", got)
+	}
+}
+
+func TestEvalSelfLoop(t *testing.T) {
+	g := mapGraph{"A": {{"self", "A"}, {"x", "B"}}}
+	got := Eval(g, oids("A"), MustParse("self*.x"))
+	if !oem.SameMembers(got, oids("B")) {
+		t.Errorf("self*.x = %v", got)
+	}
+}
+
+func TestEvalDiamondDAG(t *testing.T) {
+	// Two distinct paths to D; D must appear once.
+	g := mapGraph{
+		"A": {{"l", "B"}, {"r", "C"}},
+		"B": {{"d", "D"}},
+		"C": {{"d", "D"}},
+	}
+	got := Eval(g, oids("A"), MustParse("?.d"))
+	if !oem.SameMembers(got, oids("D")) {
+		t.Errorf("diamond = %v", got)
+	}
+}
+
+// bruteEval enumerates all label paths up to maxLen from the start and
+// keeps objects whose path matches e — an oracle for Eval on small DAGs.
+func bruteEval(g mapGraph, start oem.OID, e Expr, maxLen int) []oem.OID {
+	result := map[oem.OID]bool{}
+	var walk func(oid oem.OID, p Path)
+	walk = func(oid oem.OID, p Path) {
+		if Matches(e, p) {
+			result[oid] = true
+		}
+		if len(p) == maxLen {
+			return
+		}
+		for _, nb := range g[oid] {
+			walk(nb.To, p.Concat(Path{nb.Label}))
+		}
+	}
+	walk(start, Path{})
+	out := make([]oem.OID, 0, len(result))
+	for oid := range result {
+		out = append(out, oid)
+	}
+	return oem.SortOIDs(out)
+}
+
+// randomDAG builds a layered random DAG so brute-force path enumeration
+// terminates.
+func randomDAG(rng *rand.Rand) (mapGraph, oem.OID) {
+	labels := []string{"a", "b", "c"}
+	g := mapGraph{}
+	const layers, perLayer = 4, 3
+	node := func(l, i int) oem.OID { return oem.OID(string(rune('A'+l)) + string(rune('0'+i))) }
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < perLayer; i++ {
+			n := node(l, i)
+			edges := rng.Intn(3)
+			for e := 0; e < edges; e++ {
+				g[n] = append(g[n], Neighbor{labels[rng.Intn(len(labels))], node(l+1, rng.Intn(perLayer))})
+			}
+		}
+	}
+	root := oem.OID("R")
+	for i := 0; i < perLayer; i++ {
+		g[root] = append(g[root], Neighbor{labels[rng.Intn(len(labels))], node(0, i)})
+	}
+	return g, root
+}
+
+func TestPropertyEvalMatchesBruteForce(t *testing.T) {
+	exprs := []string{"*", "a.*", "(a|b)*", "?.b", "a.b", "*.c", "a*.b", "(a|b).(b|c)"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, root := randomDAG(rng)
+		e := MustParse(exprs[rng.Intn(len(exprs))])
+		got := Eval(g, []oem.OID{root}, e)
+		want := bruteEval(g, root, e, 6)
+		return oem.SameMembers(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,389 @@
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a path expression: a regular expression whose alphabet is object
+// labels. The concrete forms are label literals, the single-label wildcard
+// "?", concatenation (dot), alternation "|", grouping, and the Kleene
+// closure "*" applied to a group or label; the bare element "*" is sugar
+// for "(?)*" — any path, including the empty one. Expressions are
+// immutable; all combinators return fresh values.
+type Expr interface {
+	// String renders the expression in parseable concrete syntax.
+	String() string
+	// nullable reports whether the expression matches the empty path.
+	nullable() bool
+	// derive returns the Brzozowski derivative with respect to one label:
+	// the expression matching exactly the suffixes q such that label.q
+	// matches the original. It returns Empty() when no continuation exists.
+	derive(label string) Expr
+	// isEmpty reports whether the expression matches nothing at all.
+	isEmpty() bool
+}
+
+type (
+	// emptySet matches nothing (∅).
+	emptySet struct{}
+	// epsilon matches only the empty path.
+	epsilon struct{}
+	// labelExpr matches the single-label path with exactly this label.
+	labelExpr struct{ name string }
+	// anyLabel matches any single-label path ("?").
+	anyLabel struct{}
+	// seqExpr matches concatenations: left then right.
+	seqExpr struct{ left, right Expr }
+	// altExpr matches either branch.
+	altExpr struct{ left, right Expr }
+	// starExpr matches zero or more repetitions of its body.
+	starExpr struct{ body Expr }
+)
+
+// Empty returns the expression matching no path at all.
+func Empty() Expr { return emptySet{} }
+
+// Eps returns the expression matching only the empty path.
+func Eps() Expr { return epsilon{} }
+
+// Label returns the expression matching the one-label path `name`.
+func Label(name string) Expr { return labelExpr{name} }
+
+// AnyLabel returns "?": any single label.
+func AnyLabel() Expr { return anyLabel{} }
+
+// AnyPath returns "*": any path of zero or more labels, i.e. (?)*.
+func AnyPath() Expr { return Star(AnyLabel()) }
+
+// Seq concatenates expressions, simplifying around ε and ∅.
+func Seq(es ...Expr) Expr {
+	out := Expr(epsilon{})
+	for i := len(es) - 1; i >= 0; i-- {
+		out = seq2(es[i], out)
+	}
+	return out
+}
+
+func seq2(a, b Expr) Expr {
+	if a.isEmpty() || b.isEmpty() {
+		return emptySet{}
+	}
+	if _, ok := a.(epsilon); ok {
+		return b
+	}
+	if _, ok := b.(epsilon); ok {
+		return a
+	}
+	return seqExpr{a, b}
+}
+
+// Alt returns the alternation of the expressions, simplifying around ∅.
+func Alt(es ...Expr) Expr {
+	out := Expr(emptySet{})
+	for _, e := range es {
+		out = alt2(out, e)
+	}
+	return out
+}
+
+func alt2(a, b Expr) Expr {
+	if a.isEmpty() {
+		return b
+	}
+	if b.isEmpty() {
+		return a
+	}
+	if a.String() == b.String() {
+		return a
+	}
+	return altExpr{a, b}
+}
+
+// Star returns the Kleene closure of e.
+func Star(e Expr) Expr {
+	switch e.(type) {
+	case emptySet, epsilon:
+		return epsilon{}
+	case starExpr:
+		return e
+	}
+	return starExpr{e}
+}
+
+// Const returns the expression matching exactly the constant path p.
+func Const(p Path) Expr {
+	es := make([]Expr, len(p))
+	for i, l := range p {
+		es[i] = Label(l)
+	}
+	return Seq(es...)
+}
+
+func (emptySet) String() string    { return "∅" }
+func (epsilon) String() string     { return "ε" }
+func (e labelExpr) String() string { return e.name }
+func (anyLabel) String() string    { return "?" }
+
+func (e seqExpr) String() string {
+	return childString(e.left, false) + "." + childString(e.right, false)
+}
+
+func (e altExpr) String() string {
+	return "(" + e.left.String() + "|" + e.right.String() + ")"
+}
+
+func (e starExpr) String() string {
+	if _, ok := e.body.(anyLabel); ok {
+		return "*"
+	}
+	return childString(e.body, true) + "*"
+}
+
+func childString(e Expr, starBody bool) string {
+	switch e.(type) {
+	case altExpr:
+		return e.String() // already parenthesized
+	case seqExpr:
+		if starBody {
+			return "(" + e.String() + ")"
+		}
+		return e.String()
+	default:
+		return e.String()
+	}
+}
+
+func (emptySet) nullable() bool  { return false }
+func (epsilon) nullable() bool   { return true }
+func (labelExpr) nullable() bool { return false }
+func (anyLabel) nullable() bool  { return false }
+func (e seqExpr) nullable() bool { return e.left.nullable() && e.right.nullable() }
+func (e altExpr) nullable() bool { return e.left.nullable() || e.right.nullable() }
+func (starExpr) nullable() bool  { return true }
+
+func (emptySet) isEmpty() bool  { return true }
+func (epsilon) isEmpty() bool   { return false }
+func (labelExpr) isEmpty() bool { return false }
+func (anyLabel) isEmpty() bool  { return false }
+func (e seqExpr) isEmpty() bool { return e.left.isEmpty() || e.right.isEmpty() }
+func (e altExpr) isEmpty() bool { return e.left.isEmpty() && e.right.isEmpty() }
+func (starExpr) isEmpty() bool  { return false }
+
+func (emptySet) derive(string) Expr { return emptySet{} }
+func (epsilon) derive(string) Expr  { return emptySet{} }
+
+func (e labelExpr) derive(label string) Expr {
+	if e.name == label {
+		return epsilon{}
+	}
+	return emptySet{}
+}
+
+func (anyLabel) derive(string) Expr { return epsilon{} }
+
+func (e seqExpr) derive(label string) Expr {
+	d := seq2(e.left.derive(label), e.right)
+	if e.left.nullable() {
+		return alt2(d, e.right.derive(label))
+	}
+	return d
+}
+
+func (e altExpr) derive(label string) Expr {
+	return alt2(e.left.derive(label), e.right.derive(label))
+}
+
+func (e starExpr) derive(label string) Expr {
+	return seq2(e.body.derive(label), Expr(e))
+}
+
+// Nullable reports whether e matches the empty path.
+func Nullable(e Expr) bool { return e.nullable() }
+
+// IsEmpty reports whether e matches no path at all.
+func IsEmpty(e Expr) bool { return e.isEmpty() }
+
+// Derive returns the residual of e after consuming the constant path p:
+// the expression matching exactly the suffixes q such that p.q matches e.
+// Algorithm 1's wildcard extension uses it to test whether
+// path(ROOT,N1).label(N2) can still be extended to an instance of
+// sel_path.cond_path, and what remains to be matched below N2.
+func Derive(e Expr, p Path) Expr {
+	for _, l := range p {
+		e = e.derive(l)
+		if e.isEmpty() {
+			return Empty()
+		}
+	}
+	return e
+}
+
+// Matches reports whether the constant path p is an instance of e.
+func Matches(e Expr, p Path) bool { return Derive(e, p).nullable() }
+
+// IsConst reports whether e denotes exactly one constant path, and returns
+// that path. Simple views (Section 4.2) require constant selection and
+// condition paths; the view layer uses IsConst to classify definitions.
+func IsConst(e Expr) (Path, bool) {
+	var p Path
+	for {
+		switch v := e.(type) {
+		case epsilon:
+			return p, true
+		case labelExpr:
+			return append(p, v.name), true
+		case seqExpr:
+			l, ok := v.left.(labelExpr)
+			if !ok {
+				return nil, false
+			}
+			p = append(p, l.name)
+			e = v.right
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Parse parses the concrete syntax of path expressions:
+//
+//	expr   := seq
+//	seq    := starred { "." starred }
+//	starred:= atom [ "*" ]
+//	atom   := label | "?" | "*" | "(" alt ")"
+//	alt    := seq { "|" seq }
+//
+// A bare "*" element is any path; "name*" is zero-or-more repetitions of
+// the label. The empty string parses to ε.
+func Parse(s string) (Expr, error) {
+	p := &exprParser{input: s}
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return Eps(), nil
+	}
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("pathexpr: trailing input at %d in %q", p.pos, s)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for constant expressions in tests and examples.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type exprParser struct {
+	input string
+	pos   int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) parseAlt() (Expr, error) {
+	e, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			return e, nil
+		}
+		p.pos++
+		r, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		e = alt2(e, r)
+	}
+}
+
+func (p *exprParser) parseSeq() (Expr, error) {
+	e, err := p.parseStarred()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '.' {
+			return e, nil
+		}
+		p.pos++
+		r, err := p.parseStarred()
+		if err != nil {
+			return nil, err
+		}
+		e = seq2(e, r)
+	}
+}
+
+func (p *exprParser) parseStarred() (Expr, error) {
+	p.skipSpace()
+	switch p.peek() {
+	case '*':
+		// Bare "*" element: any path. A following "*" is redundant but legal.
+		p.pos++
+		return AnyPath(), nil
+	case '?':
+		p.pos++
+		if p.peek() == '*' {
+			p.pos++
+			return AnyPath(), nil
+		}
+		return AnyLabel(), nil
+	case '(':
+		p.pos++
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("pathexpr: missing ')' at %d in %q", p.pos, p.input)
+		}
+		p.pos++
+		if p.peek() == '*' {
+			p.pos++
+			return Star(e), nil
+		}
+		return e, nil
+	case 0, ')', '|', '.':
+		return nil, fmt.Errorf("pathexpr: expected path element at %d in %q", p.pos, p.input)
+	default:
+		start := p.pos
+		for p.pos < len(p.input) && !strings.ContainsRune(".*?()| \t", rune(p.input[p.pos])) {
+			p.pos++
+		}
+		name := p.input[start:p.pos]
+		if name == "" {
+			return nil, fmt.Errorf("pathexpr: expected label at %d in %q", start, p.input)
+		}
+		e := Expr(labelExpr{name})
+		if p.peek() == '*' {
+			p.pos++
+			return Star(e), nil
+		}
+		return e, nil
+	}
+}

@@ -1,0 +1,223 @@
+package pathexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseExpr(t *testing.T) {
+	cases := []struct {
+		in, out string
+	}{
+		{"", "ε"},
+		{"professor", "professor"},
+		{"professor.age", "professor.age"},
+		{"?", "?"},
+		{"*", "*"},
+		{"?*", "*"},
+		{"professor.*", "professor.*"},
+		{"professor.?", "professor.?"},
+		{"(a|b)", "(a|b)"},
+		{"(a|b).c", "(a|b).c"},
+		{"(a.b)*", "(a.b)*"},
+		{"a*", "a*"},
+		{"a.(b|c)*.d", "a.(b|c)*.d"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if got := e.String(); got != c.out {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.out)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, in := range []string{"(a", "a|", "a..b", ".a", "a.(b))", "|a", "()"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("(a")
+}
+
+func TestMatches(t *testing.T) {
+	cases := []struct {
+		expr string
+		path string
+		want bool
+	}{
+		{"professor", "professor", true},
+		{"professor", "student", false},
+		{"professor.age", "professor.age", true},
+		{"professor.age", "professor", false},
+		{"?", "anything", true},
+		{"?", "", false},
+		{"*", "", true},
+		{"*", "a.b.c", true},
+		{"professor.*", "professor", true},
+		{"professor.*", "professor.student.age", true},
+		{"professor.*", "student", false},
+		{"professor.?", "professor.age", true},
+		{"professor.?", "professor.student.age", false},
+		{"(a|b).c", "a.c", true},
+		{"(a|b).c", "b.c", true},
+		{"(a|b).c", "c.c", false},
+		{"(a.b)*", "", true},
+		{"(a.b)*", "a.b.a.b", true},
+		{"(a.b)*", "a.b.a", false},
+		{"a*", "a.a.a", true},
+		{"a*", "a.b", false},
+		{"a.(b|c)*.d", "a.d", true},
+		{"a.(b|c)*.d", "a.b.c.b.d", true},
+		{"a.(b|c)*.d", "a.b.c.e.d", false},
+	}
+	for _, c := range cases {
+		e := MustParse(c.expr)
+		var p Path
+		if c.path != "" {
+			p = MustParsePath(c.path)
+		}
+		if got := Matches(e, p); got != c.want {
+			t.Errorf("Matches(%q, %q) = %v, want %v", c.expr, c.path, got, c.want)
+		}
+	}
+}
+
+func TestDeriveResidual(t *testing.T) {
+	// Consuming "professor" from professor.age leaves age.
+	e := MustParse("professor.age")
+	d := Derive(e, MustParsePath("professor"))
+	if d.String() != "age" {
+		t.Errorf("residual = %q, want age", d.String())
+	}
+	// Consuming a non-matching label yields the empty language.
+	if !IsEmpty(Derive(e, MustParsePath("student"))) {
+		t.Error("residual of mismatched label not empty")
+	}
+	// Consuming from * leaves *.
+	if got := Derive(MustParse("*"), MustParsePath("a.b")).String(); got != "*" {
+		t.Errorf("residual of * = %q", got)
+	}
+	// ε is the residual of a fully consumed path.
+	if d := Derive(e, MustParsePath("professor.age")); !Nullable(d) {
+		t.Error("fully consumed expression not nullable")
+	}
+}
+
+func TestIsConst(t *testing.T) {
+	p, ok := IsConst(MustParse("professor.age"))
+	if !ok || !p.Equal(MustParsePath("professor.age")) {
+		t.Errorf("IsConst(professor.age) = %v,%v", p, ok)
+	}
+	p, ok = IsConst(MustParse(""))
+	if !ok || len(p) != 0 {
+		t.Errorf("IsConst(ε) = %v,%v", p, ok)
+	}
+	for _, s := range []string{"*", "?", "a.*", "(a|b)", "a*", "a.(b|c)"} {
+		if _, ok := IsConst(MustParse(s)); ok {
+			t.Errorf("IsConst(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestConstRoundTrip(t *testing.T) {
+	p := MustParsePath("a.b.c")
+	got, ok := IsConst(Const(p))
+	if !ok || !got.Equal(p) {
+		t.Fatalf("IsConst(Const(%v)) = %v,%v", p, got, ok)
+	}
+}
+
+func TestCombinatorSimplifications(t *testing.T) {
+	if !IsEmpty(Seq(Label("a"), Empty())) {
+		t.Error("a.∅ not empty")
+	}
+	if got := Seq(Eps(), Label("a")).String(); got != "a" {
+		t.Errorf("ε.a = %q", got)
+	}
+	if got := Alt(Empty(), Label("a")).String(); got != "a" {
+		t.Errorf("∅|a = %q", got)
+	}
+	if got := Alt(Label("a"), Label("a")).String(); got != "a" {
+		t.Errorf("a|a = %q", got)
+	}
+	if got := Star(Eps()).String(); got != "ε" {
+		t.Errorf("ε* = %q", got)
+	}
+	if got := Star(Star(Label("a"))).String(); got != "a*" {
+		t.Errorf("(a*)* = %q", got)
+	}
+	if got := Star(Empty()).String(); got != "ε" {
+		t.Errorf("∅* = %q", got)
+	}
+}
+
+func TestNormalizeCanonicalizesAlt(t *testing.T) {
+	a := Normalize(Alt(Label("b"), Label("a"), Label("b")))
+	b := Normalize(Alt(Label("a"), Label("b")))
+	if a.String() != b.String() {
+		t.Errorf("normalized alts differ: %q vs %q", a.String(), b.String())
+	}
+	// Nested alternations in any association normalize identically.
+	c := Normalize(altExpr{altExpr{Label("c"), Label("a")}, Label("b")})
+	d := Normalize(altExpr{Label("a"), altExpr{Label("b"), Label("c")}})
+	if c.String() != d.String() {
+		t.Errorf("flattened alts differ: %q vs %q", c.String(), d.String())
+	}
+}
+
+// randPath builds a random path over a tiny alphabet, to exercise Matches
+// against a brute-force instance check.
+func randPath(rng *rand.Rand, n int) Path {
+	labels := []string{"a", "b", "c"}
+	p := make(Path, n)
+	for i := range p {
+		p[i] = labels[rng.Intn(len(labels))]
+	}
+	return p
+}
+
+// TestPropertyDeriveSoundness checks that for random paths p and q,
+// Matches(e, p.q) == Matches(Derive(e,p), q) — the defining property of the
+// derivative.
+func TestPropertyDeriveSoundness(t *testing.T) {
+	exprs := []string{"*", "a.*", "(a|b)*.c", "a.(b|c)*", "?.?", "a.b.c", "(a.b)*"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := MustParse(exprs[rng.Intn(len(exprs))])
+		p := randPath(rng, rng.Intn(4))
+		q := randPath(rng, rng.Intn(4))
+		return Matches(e, p.Concat(q)) == Matches(Derive(e, p), q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNormalizePreservesLanguage samples random short paths and
+// checks Normalize does not change acceptance.
+func TestPropertyNormalizePreservesLanguage(t *testing.T) {
+	exprs := []string{"*", "a.*", "(b|a)*.c", "a.(c|b)*", "?.?", "a.b.c", "(a.b)*", "(a|a).b"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := MustParse(exprs[rng.Intn(len(exprs))])
+		p := randPath(rng, rng.Intn(5))
+		return Matches(e, p) == Matches(Normalize(e), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package pathexpr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Path
+		err  bool
+	}{
+		{"", Path{}, false},
+		{"professor", Path{"professor"}, false},
+		{"professor.age", Path{"professor", "age"}, false},
+		{"professor..age", nil, true},
+		{".age", nil, true},
+		{"professor.*", nil, true},
+		{"a?b", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePath(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParsePath(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && !got.Equal(c.want) {
+			t.Errorf("ParsePath(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMustParsePathPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParsePath did not panic on bad input")
+		}
+	}()
+	MustParsePath("..")
+}
+
+func TestPathString(t *testing.T) {
+	if got := MustParsePath("professor.student").String(); got != "professor.student" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Path{}).String(); got != "ε" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestPathPrefixSuffix(t *testing.T) {
+	p := MustParsePath("a.b.c")
+	if !p.HasPrefix(MustParsePath("a.b")) || !p.HasPrefix(Path{}) || !p.HasPrefix(p) {
+		t.Error("HasPrefix false negatives")
+	}
+	if p.HasPrefix(MustParsePath("b")) || p.HasPrefix(MustParsePath("a.b.c.d")) {
+		t.Error("HasPrefix false positives")
+	}
+	if !p.HasSuffix(MustParsePath("b.c")) || !p.HasSuffix(Path{}) || !p.HasSuffix(p) {
+		t.Error("HasSuffix false negatives")
+	}
+	if p.HasSuffix(MustParsePath("a.b")) {
+		t.Error("HasSuffix false positive")
+	}
+}
+
+func TestPathConcatClone(t *testing.T) {
+	a := MustParsePath("x.y")
+	b := MustParsePath("z")
+	c := a.Concat(b)
+	if !c.Equal(MustParsePath("x.y.z")) {
+		t.Fatalf("Concat = %v", c)
+	}
+	c[0] = "mutated"
+	if a[0] != "x" {
+		t.Fatal("Concat aliased its input")
+	}
+	d := a.Clone()
+	d[0] = "w"
+	if a[0] != "x" {
+		t.Fatal("Clone aliased its input")
+	}
+}
+
+func TestPropertyConcatAssociative(t *testing.T) {
+	mk := func(ss []string) Path {
+		var p Path
+		for _, s := range ss {
+			if s != "" && !strings.ContainsAny(s, ".*?()|") {
+				p = append(p, s)
+			}
+		}
+		return p
+	}
+	f := func(a, b, c []string) bool {
+		pa, pb, pc := mk(a), mk(b), mk(c)
+		return pa.Concat(pb).Concat(pc).Equal(pa.Concat(pb.Concat(pc)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

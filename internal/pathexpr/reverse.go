@@ -1,0 +1,19 @@
+package pathexpr
+
+// Reverse returns the expression matching exactly the label-wise reversals
+// of the paths e matches. The generalized view maintainer uses it to decide
+// whether an object belongs to entry.e by walking *up* parent edges: Y is
+// in entry.e iff entry is reached from Y over the reversed graph along
+// Reverse(e).
+func Reverse(e Expr) Expr {
+	switch v := e.(type) {
+	case seqExpr:
+		return seq2(Reverse(v.right), Reverse(v.left))
+	case altExpr:
+		return alt2(Reverse(v.left), Reverse(v.right))
+	case starExpr:
+		return Star(Reverse(v.body))
+	default:
+		return e
+	}
+}

@@ -1,0 +1,261 @@
+// Package query implements the paper's query language for graph structured
+// databases (Section 2, expression 2.1):
+//
+//	SELECT OBJ.sel_path_exp X
+//	WHERE cond(X.cond_path_exp)
+//	[WITHIN DB1]
+//	[ANS INT DB2]
+//
+// plus the view-definition statements of Section 3
+// (define view V as: ... / define mview MV as: ...) and the Section 6
+// extensions the paper calls straightforward: multiple selection paths
+// (comma-separated SELECT items) and multiple conditions combined with AND
+// and OR. The package provides a lexer, a recursive-descent parser, and an
+// evaluator over a store.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+)
+
+// Query is a parsed query.
+type Query struct {
+	// Selects lists the selection items. The paper's core language has
+	// exactly one; multiple items are the Section 6 extension and denote
+	// the union of their candidate sets.
+	Selects []SelectItem
+	// Where is the condition, or nil when absent.
+	Where Cond
+	// Within names the database that limits the search (WITHIN DB1), or ""
+	// when absent: OIDs outside the database are completely ignored.
+	Within oem.OID
+	// AnsInt names the database the answer is intersected with
+	// (ANS INT DB2), or "" when absent.
+	AnsInt oem.OID
+}
+
+// SelectItem is one OBJ.path_expr X selection.
+type SelectItem struct {
+	// Entry is the entry-point OID (an object or database name).
+	Entry oem.OID
+	// Path is the selection path expression.
+	Path pathexpr.Expr
+	// Binder names the selected object in conditions; it defaults to "X".
+	Binder string
+}
+
+// Clone returns a copy of the query that shares no mutable state with the
+// original (condition trees and path expressions are immutable and are
+// shared).
+func (q *Query) Clone() *Query {
+	out := *q
+	out.Selects = append([]SelectItem(nil), q.Selects...)
+	return &out
+}
+
+// String renders the query in concrete syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, s := range q.Selects {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s.%s %s", s.Entry, s.Path, s.Binder)
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if q.Within != "" {
+		fmt.Fprintf(&b, " WITHIN %s", q.Within)
+	}
+	if q.AnsInt != "" {
+		fmt.Fprintf(&b, " ANS INT %s", q.AnsInt)
+	}
+	return b.String()
+}
+
+// Op is a comparison operator in a condition.
+type Op int
+
+// Comparison operators. OpContains tests substring containment on string
+// atoms; OpExists tests that the condition path reaches at least one object.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpContains
+	OpExists
+)
+
+// String returns the operator's concrete syntax.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpContains:
+		return "CONTAINS"
+	case OpExists:
+		return "EXISTS"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Negate returns the operator accepting exactly the complementary
+// comparable values (e.g. < becomes >=). Contains and Exists have no
+// comparison complement and return ok=false.
+func (o Op) Negate() (Op, bool) {
+	switch o {
+	case OpEq:
+		return OpNe, true
+	case OpNe:
+		return OpEq, true
+	case OpLt:
+		return OpGe, true
+	case OpLe:
+		return OpGt, true
+	case OpGt:
+		return OpLe, true
+	case OpGe:
+		return OpLt, true
+	default:
+		return o, false
+	}
+}
+
+// Apply evaluates the operator on an atomic value against the literal.
+// Incomparable pairs are unsatisfied, not errors: GSDB data is schemaless.
+func (o Op) Apply(v, lit oem.Atom) bool {
+	switch o {
+	case OpContains:
+		return v.Kind == oem.AtomString && lit.Kind == oem.AtomString && strings.Contains(v.S, lit.S)
+	case OpExists:
+		return true
+	}
+	c, ok := v.Compare(lit)
+	if !ok {
+		// "=" and "!=" across kinds: unequal kinds are simply not equal.
+		if o == OpNe {
+			return true
+		}
+		return false
+	}
+	switch o {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Cond is a boolean condition tree over path comparisons.
+type Cond interface {
+	String() string
+	// Binders appends the binder names the condition refers to.
+	Binders(set map[string]bool)
+}
+
+// Compare is the leaf condition cond(X.cond_path): it holds when any object
+// in X.cond_path has an atomic value v with Op.Apply(v, Literal) true, or —
+// for OpExists — when X.cond_path is non-empty.
+type Compare struct {
+	Binder  string
+	Path    pathexpr.Expr
+	Op      Op
+	Literal oem.Atom
+}
+
+// String renders the comparison.
+func (c *Compare) String() string {
+	if c.Op == OpExists {
+		return fmt.Sprintf("EXISTS %s.%s", c.Binder, c.Path)
+	}
+	return fmt.Sprintf("%s.%s %s %s", c.Binder, c.Path, c.Op, c.Literal)
+}
+
+// Binders implements Cond.
+func (c *Compare) Binders(set map[string]bool) { set[c.Binder] = true }
+
+// And is a conjunction of conditions.
+type And struct{ Conds []Cond }
+
+// String renders the conjunction.
+func (a *And) String() string {
+	parts := make([]string, len(a.Conds))
+	for i, c := range a.Conds {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Binders implements Cond.
+func (a *And) Binders(set map[string]bool) {
+	for _, c := range a.Conds {
+		c.Binders(set)
+	}
+}
+
+// Or is a disjunction of conditions.
+type Or struct{ Conds []Cond }
+
+// String renders the disjunction.
+func (o *Or) String() string {
+	parts := make([]string, len(o.Conds))
+	for i, c := range o.Conds {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Binders implements Cond.
+func (o *Or) Binders(set map[string]bool) {
+	for _, c := range o.Conds {
+		c.Binders(set)
+	}
+}
+
+// ViewStmt is a parsed view definition: define view V as: <query> or
+// define mview MV as: <query>.
+type ViewStmt struct {
+	Name         string
+	Materialized bool
+	Query        *Query
+}
+
+// String renders the statement.
+func (v *ViewStmt) String() string {
+	kw := "view"
+	if v.Materialized {
+		kw = "mview"
+	}
+	return fmt.Sprintf("define %s %s as: %s", kw, v.Name, v.Query)
+}

@@ -1,0 +1,194 @@
+package query
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/store"
+)
+
+// Stats counts the work done by one evaluation; the benchmark harness uses
+// it to compare query strategies (e.g. swizzled versus unswizzled views).
+type Stats struct {
+	// ObjectsVisited counts Out() expansions during path traversals.
+	ObjectsVisited int
+}
+
+// Evaluator runs queries against a store.
+type Evaluator struct {
+	Store *store.Store
+	// Stats, when non-nil, accumulates evaluation work counters.
+	Stats *Stats
+	// Resolve, when non-nil, maps each OID encountered while following
+	// edges before it is looked up. Materialized views use it to redirect
+	// base OIDs in unswizzled delegate values to the delegates themselves
+	// ("check if the delegate for P3 is in MVJ", Section 3.2).
+	Resolve func(oem.OID) oem.OID
+}
+
+// NewEvaluator returns an evaluator over s.
+func NewEvaluator(s *store.Store) *Evaluator { return &Evaluator{Store: s} }
+
+// graph adapts the store to pathexpr.Graph, restricted to a database scope
+// when the query carries a WITHIN clause: objects outside the scope are
+// completely ignored — they are neither traversed nor returned.
+func (ev *Evaluator) graph(scope map[oem.OID]bool) pathexpr.Graph {
+	return pathexpr.GraphFunc(func(oid oem.OID) []pathexpr.Neighbor {
+		if scope != nil && !scope[oid] {
+			return nil
+		}
+		if ev.Stats != nil {
+			ev.Stats.ObjectsVisited++
+		}
+		o, err := ev.Store.Get(oid)
+		if err != nil || !o.IsSet() {
+			return nil
+		}
+		nbs := make([]pathexpr.Neighbor, 0, len(o.Set))
+		for _, c := range o.Set {
+			if ev.Resolve != nil {
+				c = ev.Resolve(c)
+			}
+			if scope != nil && !scope[c] {
+				continue
+			}
+			co, err := ev.Store.Get(c)
+			if err != nil {
+				continue // dangling OID: not traversable
+			}
+			nbs = append(nbs, pathexpr.Neighbor{Label: co.Label, To: c})
+		}
+		return nbs
+	})
+}
+
+// Eval evaluates the query and returns the answer's member OIDs, sorted.
+// The answer is not stored; see EvalToObject for the paper's reified
+// <ANS, answer, set, ...> form.
+func (ev *Evaluator) Eval(q *Query) ([]oem.OID, error) {
+	var scope map[oem.OID]bool
+	if q.Within != "" {
+		m, err := ev.Store.DatabaseMembers(q.Within)
+		if err != nil {
+			return nil, fmt.Errorf("query: WITHIN %s: %w", q.Within, err)
+		}
+		// The database object itself is in scope, so it can serve as the
+		// query's entry point (e.g. SELECT MVJ.professor WITHIN MVJ).
+		m[q.Within] = true
+		scope = m
+	}
+	g := ev.graph(scope)
+
+	seen := map[oem.OID]bool{}
+	var members []oem.OID
+	for _, item := range q.Selects {
+		if scope != nil && !scope[item.Entry] {
+			continue // the entry point itself is ignored outside the scope
+		}
+		if !ev.Store.Has(item.Entry) {
+			return nil, fmt.Errorf("query: entry point %s: %w", item.Entry, store.ErrNotFound)
+		}
+		candidates := pathexpr.Eval(g, []oem.OID{item.Entry}, item.Path)
+		for _, x := range candidates {
+			if seen[x] {
+				continue
+			}
+			ok, err := ev.holds(q.Where, item.Binder, x, g)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				seen[x] = true
+				members = append(members, x)
+			}
+		}
+	}
+
+	if q.AnsInt != "" {
+		keep, err := ev.Store.DatabaseMembers(q.AnsInt)
+		if err != nil {
+			return nil, fmt.Errorf("query: ANS INT %s: %w", q.AnsInt, err)
+		}
+		filtered := members[:0]
+		for _, m := range members {
+			if keep[m] {
+				filtered = append(filtered, m)
+			}
+		}
+		members = filtered
+	}
+	return oem.SortOIDs(members), nil
+}
+
+// holds evaluates the condition tree for candidate x bound to binder.
+// Conditions on other binders are vacuously true for this candidate: with
+// the multi-select extension each item contributes independently, and a
+// well-formed query uses one binder per item's conditions.
+func (ev *Evaluator) holds(c Cond, binder string, x oem.OID, g pathexpr.Graph) (bool, error) {
+	if c == nil {
+		return true, nil
+	}
+	switch v := c.(type) {
+	case *Compare:
+		if v.Binder != binder {
+			return true, nil
+		}
+		return ev.compareHolds(v, x, g), nil
+	case *And:
+		for _, sub := range v.Conds {
+			ok, err := ev.holds(sub, binder, x, g)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case *Or:
+		for _, sub := range v.Conds {
+			ok, err := ev.holds(sub, binder, x, g)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("query: unknown condition %T", c)
+	}
+}
+
+// compareHolds implements the paper's cond(): it evaluates X.cond_path and
+// returns true if any reached object satisfies the comparison. OpExists is
+// satisfied by any reached object; other operators require an atomic value.
+func (ev *Evaluator) compareHolds(c *Compare, x oem.OID, g pathexpr.Graph) bool {
+	reached := pathexpr.Eval(g, []oem.OID{x}, c.Path)
+	for _, oid := range reached {
+		if c.Op == OpExists {
+			return true
+		}
+		o, err := ev.Store.Get(oid)
+		if err != nil || !o.IsAtomic() {
+			continue
+		}
+		if c.Op.Apply(o.Atom, c.Literal) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalToObject evaluates the query and stores the answer as the paper's
+// <ANS, answer, set, value(ANS)> object, returning its OID.
+func (ev *Evaluator) EvalToObject(q *Query) (oem.OID, error) {
+	members, err := ev.Eval(q)
+	if err != nil {
+		return oem.NoOID, err
+	}
+	oid := ev.Store.GenOID("ANS")
+	if err := ev.Store.Put(oem.NewSet(oid, "answer", members...)); err != nil {
+		return oem.NoOID, err
+	}
+	return oid, nil
+}

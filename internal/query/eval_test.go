@@ -1,0 +1,256 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func personStore(t testing.TB) *store.Store {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	return s
+}
+
+func evalStr(t *testing.T, s *store.Store, q string) []oem.OID {
+	t.Helper()
+	got, err := NewEvaluator(s).Eval(MustParse(q))
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", q, err)
+	}
+	return got
+}
+
+func TestEvalSection2Example(t *testing.T) {
+	// "SELECT ROOT.professor X WHERE X.age > 40 will return
+	//  <ANS, answer, set, {P1}>".
+	s := personStore(t)
+	got := evalStr(t, s, "SELECT ROOT.professor X WHERE X.age > 40")
+	if !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("got %v, want [P1]", got)
+	}
+}
+
+func TestEvalExample3ViewQuery(t *testing.T) {
+	// View VJ: persons named John within PERSON -> {P1, P3}.
+	s := personStore(t)
+	got := evalStr(t, s, "SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON")
+	if !oem.SameMembers(got, []oem.OID{"P1", "P3"}) {
+		t.Fatalf("got %v, want [P1 P3]", got)
+	}
+}
+
+func TestEvalWithinExcludesRemoteObjects(t *testing.T) {
+	// Section 2: all objects in D1 except A1. The query with WITHIN D1 has
+	// an empty result because the condition path cannot reach A1.
+	s := personStore(t)
+	var d1 []oem.OID
+	for _, oid := range workload.PersonOIDs {
+		if oid != "A1" {
+			d1 = append(d1, oid)
+		}
+	}
+	if err := s.NewDatabase("D1", "database", d1...); err != nil {
+		t.Fatal(err)
+	}
+	got := evalStr(t, s, "SELECT ROOT.professor X WHERE X.age > 40 WITHIN D1")
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestEvalAnsIntFollowsRemotePointers(t *testing.T) {
+	// Section 2: with ANS INT D1 (A1 outside D1), the answer is {P1}: the
+	// WHERE evaluation may follow remote pointers, only the answer is
+	// intersected.
+	s := personStore(t)
+	var d1 []oem.OID
+	for _, oid := range workload.PersonOIDs {
+		if oid != "A1" {
+			d1 = append(d1, oid)
+		}
+	}
+	if err := s.NewDatabase("D1", "database", d1...); err != nil {
+		t.Fatal(err)
+	}
+	got := evalStr(t, s, "SELECT ROOT.professor X WHERE X.age > 40 ANS INT D1")
+	if !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("got %v, want [P1]", got)
+	}
+
+	// "However, if all nodes except P1 are in D1, the same query will
+	// return an empty set."
+	var d2 []oem.OID
+	for _, oid := range workload.PersonOIDs {
+		if oid != "P1" {
+			d2 = append(d2, oid)
+		}
+	}
+	if err := s.NewDatabase("D2", "database", d2...); err != nil {
+		t.Fatal(err)
+	}
+	got = evalStr(t, s, "SELECT ROOT.professor X WHERE X.age > 40 ANS INT D2")
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestEvalViewsOnViews(t *testing.T) {
+	// Expression 3.4: PROF selects professors at any depth; STUDENT selects
+	// their direct students.
+	s := personStore(t)
+	prof := evalStr(t, s, "SELECT ROOT.*.professor X")
+	if !oem.SameMembers(prof, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("PROF = %v, want [P1 P2]", prof)
+	}
+	if err := s.NewDatabase("PROF", "view", prof...); err != nil {
+		t.Fatal(err)
+	}
+	student := evalStr(t, s, "SELECT PROF.?.student X")
+	if !oem.SameMembers(student, []oem.OID{"P3"}) {
+		t.Fatalf("STUDENT = %v, want [P3]", student)
+	}
+}
+
+func TestEvalFollowOnQuery(t *testing.T) {
+	// "SELECT VJ.?.age" gives the ages of persons named John.
+	s := personStore(t)
+	vj := evalStr(t, s, "SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON")
+	if err := s.NewDatabase("VJ", "view", vj...); err != nil {
+		t.Fatal(err)
+	}
+	got := evalStr(t, s, "SELECT VJ.?.age")
+	if !oem.SameMembers(got, []oem.OID{"A1", "A3"}) {
+		t.Fatalf("got %v, want [A1 A3]", got)
+	}
+}
+
+func TestEvalMultiSelectUnion(t *testing.T) {
+	s := personStore(t)
+	got := evalStr(t, s, "SELECT ROOT.professor X, ROOT.secretary X WHERE X.age >= 40")
+	if !oem.SameMembers(got, []oem.OID{"P1", "P4"}) {
+		t.Fatalf("got %v, want [P1 P4]", got)
+	}
+}
+
+func TestEvalAndOr(t *testing.T) {
+	s := personStore(t)
+	got := evalStr(t, s, "SELECT ROOT.? X WHERE X.name = 'John' AND X.age > 30")
+	if !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("AND: got %v, want [P1]", got)
+	}
+	got = evalStr(t, s, "SELECT ROOT.? X WHERE X.name = 'Sally' OR X.name = 'Tom'")
+	if !oem.SameMembers(got, []oem.OID{"P2", "P4"}) {
+		t.Fatalf("OR: got %v, want [P2 P4]", got)
+	}
+}
+
+func TestEvalExistsContains(t *testing.T) {
+	s := personStore(t)
+	got := evalStr(t, s, "SELECT ROOT.? X WHERE EXISTS X.student")
+	if !oem.SameMembers(got, []oem.OID{"P1"}) {
+		t.Fatalf("EXISTS: got %v, want [P1]", got)
+	}
+	got = evalStr(t, s, "SELECT ROOT.? X WHERE X.name CONTAINS 'o'")
+	// John (P1), Tom (P4), and P3's name John.
+	if !oem.SameMembers(got, []oem.OID{"P1", "P3", "P4"}) {
+		t.Fatalf("CONTAINS: got %v, want [P1 P3 P4]", got)
+	}
+}
+
+func TestEvalBareBinderCondition(t *testing.T) {
+	// Selecting atomic objects and conditioning on their own value.
+	s := personStore(t)
+	got := evalStr(t, s, "SELECT ROOT.?.age X WHERE X >= 40")
+	if !oem.SameMembers(got, []oem.OID{"A1", "A4"}) {
+		t.Fatalf("got %v, want [A1 A4]", got)
+	}
+}
+
+func TestEvalNoWhere(t *testing.T) {
+	s := personStore(t)
+	got := evalStr(t, s, "SELECT ROOT.professor X")
+	if !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("got %v, want [P1 P2]", got)
+	}
+}
+
+func TestEvalEntryErrors(t *testing.T) {
+	s := personStore(t)
+	_, err := NewEvaluator(s).Eval(MustParse("SELECT NOSUCH.professor X"))
+	if !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	_, err = NewEvaluator(s).Eval(MustParse("SELECT ROOT.professor X WITHIN NOSUCH"))
+	if err == nil {
+		t.Fatal("missing WITHIN database did not error")
+	}
+	_, err = NewEvaluator(s).Eval(MustParse("SELECT ROOT.professor X ANS INT NOSUCH"))
+	if err == nil {
+		t.Fatal("missing ANS INT database did not error")
+	}
+}
+
+func TestEvalEntryOutsideWithinIsIgnored(t *testing.T) {
+	s := personStore(t)
+	if err := s.NewDatabase("EMPTY", "database"); err != nil {
+		t.Fatal(err)
+	}
+	got := evalStr(t, s, "SELECT ROOT.professor X WITHIN EMPTY")
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestEvalDanglingOIDsIgnored(t *testing.T) {
+	s := store.NewDefault()
+	s.MustPut(oem.NewSet("R", "root", "gone", "A"))
+	s.MustPut(oem.NewAtom("A", "age", oem.Int(50)))
+	got := evalStr(t, s, "SELECT R.? X")
+	if !oem.SameMembers(got, []oem.OID{"A"}) {
+		t.Fatalf("got %v, want [A]", got)
+	}
+}
+
+func TestEvalToObject(t *testing.T) {
+	s := personStore(t)
+	oid, err := NewEvaluator(s).EvalToObject(MustParse("SELECT ROOT.professor X WHERE X.age > 40"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := s.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Label != "answer" || !oem.SameMembers(o.Set, []oem.OID{"P1"}) {
+		t.Fatalf("answer object = %v", o)
+	}
+}
+
+func TestEvalStats(t *testing.T) {
+	s := personStore(t)
+	ev := NewEvaluator(s)
+	ev.Stats = &Stats{}
+	if _, err := ev.Eval(MustParse("SELECT ROOT.* X WHERE X.name = 'John'")); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats.ObjectsVisited == 0 {
+		t.Fatal("stats did not count visits")
+	}
+}
+
+func TestEvalCyclicData(t *testing.T) {
+	// GSDBs are graphs; queries must terminate on cycles.
+	s := store.NewDefault()
+	s.MustPut(oem.NewSet("A", "node", "B"))
+	s.MustPut(oem.NewSet("B", "node", "A", "V"))
+	s.MustPut(oem.NewAtom("V", "age", oem.Int(99)))
+	got := evalStr(t, s, "SELECT A.* X WHERE X.*.age > 0")
+	if !oem.SameMembers(got, []oem.OID{"A", "B"}) {
+		t.Fatalf("got %v, want [A B]", got)
+	}
+}

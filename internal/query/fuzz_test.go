@@ -1,0 +1,82 @@
+package query
+
+import (
+	"testing"
+
+	"gsv/internal/pathexpr"
+)
+
+// FuzzParse checks that the query parser never panics, and that any input
+// it accepts has a String rendering the parser accepts again, unchanged
+// (a fixed point). Run with `go test -fuzz=FuzzParse ./internal/query`;
+// under plain `go test` the seed corpus doubles as a regression test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT ROOT.professor X WHERE X.age > 40",
+		"SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON",
+		"SELECT A.a X, B.(b|c)*.d Y WHERE X.v >= 2.5 AND Y.w != true ANS INT D",
+		"SELECT R.p X WHERE EXISTS X.q OR X.r CONTAINS 'z'",
+		"select root.? x where x <= -1 within db ans int db2",
+		"SELECT",
+		"SELECT ROOT..a X",
+		"SELECT ROOT.a X WHERE",
+		"DEFINE VIEW V AS: SELECT ROOT.a X",
+		"\x00\xff",
+		"SELECT R.a X WHERE X.b = 'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, s1, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Fatalf("String not a fixed point: %q -> %q", s1, s2)
+		}
+	})
+}
+
+// FuzzParsePathExpr checks the path-expression parser the same way, and
+// additionally that accepted expressions survive Normalize without
+// changing acceptance of a probe path.
+func FuzzParsePathExpr(f *testing.F) {
+	seeds := []string{
+		"", "a", "a.b", "*", "?", "a.*", "(a|b).c", "a*", "(a.b)*", "a.(b|c)*.d",
+		"((((a))))", "a|", "(a", "a..b", "*.?.*",
+	}
+	for _, s := range seeds {
+		f.Add(s, "a.b")
+	}
+	f.Fuzz(func(t *testing.T, input, probe string) {
+		e, err := pathexpr.Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		if rendered == "∅" || rendered == "ε" {
+			return // not input syntax by design
+		}
+		e2, err := pathexpr.Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, rendered, err)
+		}
+		p, perr := pathexpr.ParsePath(probe)
+		if perr != nil {
+			return
+		}
+		if pathexpr.Matches(e, p) != pathexpr.Matches(e2, p) {
+			t.Fatalf("rendering changed the language: %q vs %q on %q", input, rendered, probe)
+		}
+		n := pathexpr.Normalize(e)
+		if pathexpr.Matches(e, p) != pathexpr.Matches(n, p) {
+			t.Fatalf("Normalize changed acceptance of %q for %q", probe, input)
+		}
+	})
+}

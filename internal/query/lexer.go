@@ -1,0 +1,153 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds. Keywords are not distinguished by
+// the lexer — the parser matches identifier text case-insensitively where a
+// keyword is expected, so labels may reuse keyword spellings in path
+// positions.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokDot
+	tokStar
+	tokQMark
+	tokLParen
+	tokRParen
+	tokPipe
+	tokComma
+	tokColon
+	tokOp // = != < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes an input string. It returns an error for characters outside
+// the language.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '?':
+			toks = append(toks, token{tokQMark, "?", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokPipe, "|", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '!' at %d", i)
+			}
+		case c == '<' || c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, string(c) + "=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, string(c), i})
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(input) && input[j] != quote {
+				j++
+			}
+			if j == len(input) {
+				return nil, fmt.Errorf("query: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c == '-' || isDigit(c):
+			j := i
+			if c == '-' {
+				j++
+				if j == len(input) || !isDigit(input[j]) {
+					return nil, fmt.Errorf("query: unexpected '-' at %d", i)
+				}
+			}
+			sawDot := false
+			for j < len(input) && (isDigit(input[j]) || (input[j] == '.' && !sawDot && j+1 < len(input) && isDigit(input[j+1]))) {
+				if input[j] == '.' {
+					sawDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+// isKeyword reports whether an identifier token spells the given keyword,
+// case-insensitively.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

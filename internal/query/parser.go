@@ -1,0 +1,448 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+)
+
+// Parse parses a SELECT query.
+func Parse(input string) (*Query, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for constant queries in tests and examples.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseView parses a view definition statement:
+// define view NAME as: <query> or define mview NAME as: <query>.
+func ParseView(input string) (*ViewStmt, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.parseViewStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustParseView is ParseView for constant statements.
+func MustParseView(input string) *ViewStmt {
+	v, err := ParseView(input)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(input string) (*parser, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, fmt.Errorf("query: expected %s at %d, got %s", what, t.pos, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if !isKeyword(t, kw) {
+		return fmt.Errorf("query: expected %s at %d, got %s", strings.ToUpper(kw), t.pos, t)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectEOF() error {
+	if t := p.cur(); t.kind != tokEOF {
+		return fmt.Errorf("query: trailing input at %d: %s", t.pos, t)
+	}
+	return nil
+}
+
+func (p *parser) parseViewStmt() (*ViewStmt, error) {
+	if err := p.expectKeyword("define"); err != nil {
+		return nil, err
+	}
+	var materialized bool
+	switch {
+	case isKeyword(p.cur(), "view"):
+		p.pos++
+	case isKeyword(p.cur(), "mview"):
+		materialized = true
+		p.pos++
+	default:
+		return nil, fmt.Errorf("query: expected VIEW or MVIEW at %d, got %s", p.cur().pos, p.cur())
+	}
+	name, err := p.expect(tokIdent, "view name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokColon {
+		p.pos++
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return &ViewStmt{Name: name.text, Materialized: materialized, Query: q}, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Selects = append(q.Selects, item)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.pos++
+	}
+	if isKeyword(p.cur(), "where") {
+		p.pos++
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = cond
+	}
+	if isKeyword(p.cur(), "within") {
+		p.pos++
+		t, err := p.expect(tokIdent, "database name after WITHIN")
+		if err != nil {
+			return nil, err
+		}
+		q.Within = oem.OID(t.text)
+	}
+	if isKeyword(p.cur(), "ans") {
+		p.pos++
+		if err := p.expectKeyword("int"); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokIdent, "database name after ANS INT")
+		if err != nil {
+			return nil, err
+		}
+		q.AnsInt = oem.OID(t.text)
+	}
+	if err := p.validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// validate enforces that conditions refer only to binders introduced by the
+// SELECT clause.
+func (p *parser) validate(q *Query) error {
+	bound := make(map[string]bool, len(q.Selects))
+	for _, s := range q.Selects {
+		bound[s.Binder] = true
+	}
+	if q.Where == nil {
+		return nil
+	}
+	used := map[string]bool{}
+	q.Where.Binders(used)
+	for b := range used {
+		if !bound[b] {
+			return fmt.Errorf("query: condition refers to unbound binder %q", b)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	entry, err := p.expect(tokIdent, "entry point")
+	if err != nil {
+		return SelectItem{}, err
+	}
+	expr := pathexpr.Eps()
+	if p.cur().kind == tokDot {
+		p.pos++
+		expr, err = p.parsePathSeq()
+		if err != nil {
+			return SelectItem{}, err
+		}
+	}
+	binder := "X"
+	if t := p.cur(); t.kind == tokIdent &&
+		!isKeyword(t, "where") && !isKeyword(t, "within") && !isKeyword(t, "ans") {
+		binder = t.text
+		p.pos++
+	}
+	return SelectItem{Entry: oem.OID(entry.text), Path: expr, Binder: binder}, nil
+}
+
+// parsePathSeq parses a dot-separated path expression from the token
+// stream: elem { "." elem } with elem := label["*"] | "?"["*"] | "*" |
+// "(" alt ")"["*"].
+func (p *parser) parsePathSeq() (pathexpr.Expr, error) {
+	var elems []pathexpr.Expr
+	for {
+		e, err := p.parsePathElem()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if p.cur().kind != tokDot {
+			break
+		}
+		p.pos++
+	}
+	return pathexpr.Seq(elems...), nil
+}
+
+func (p *parser) parsePathElem() (pathexpr.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokStar:
+		p.pos++
+		return pathexpr.AnyPath(), nil
+	case tokQMark:
+		p.pos++
+		if p.cur().kind == tokStar {
+			p.pos++
+			return pathexpr.AnyPath(), nil
+		}
+		return pathexpr.AnyLabel(), nil
+	case tokIdent, tokNumber:
+		p.pos++
+		e := pathexpr.Label(t.text)
+		if p.cur().kind == tokStar {
+			p.pos++
+			return pathexpr.Star(e), nil
+		}
+		return e, nil
+	case tokLParen:
+		p.pos++
+		var branches []pathexpr.Expr
+		for {
+			b, err := p.parsePathSeq()
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, b)
+			if p.cur().kind != tokPipe {
+				break
+			}
+			p.pos++
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		e := pathexpr.Alt(branches...)
+		if p.cur().kind == tokStar {
+			p.pos++
+			return pathexpr.Star(e), nil
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("query: expected path element at %d, got %s", t.pos, t)
+	}
+}
+
+func (p *parser) parseOr() (Cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	conds := []Cond{left}
+	for isKeyword(p.cur(), "or") {
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, right)
+	}
+	if len(conds) == 1 {
+		return conds[0], nil
+	}
+	return &Or{Conds: conds}, nil
+}
+
+func (p *parser) parseAnd() (Cond, error) {
+	left, err := p.parseCondPrimary()
+	if err != nil {
+		return nil, err
+	}
+	conds := []Cond{left}
+	for isKeyword(p.cur(), "and") {
+		p.pos++
+		right, err := p.parseCondPrimary()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, right)
+	}
+	if len(conds) == 1 {
+		return conds[0], nil
+	}
+	return &And{Conds: conds}, nil
+}
+
+func (p *parser) parseCondPrimary() (Cond, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokLParen:
+		p.pos++
+		c, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case isKeyword(t, "exists"):
+		p.pos++
+		binder, path, err := p.parseBinderPath()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Binder: binder, Path: path, Op: OpExists}, nil
+	default:
+		binder, path, err := p.parseBinderPath()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.parseOp()
+		if err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Binder: binder, Path: path, Op: op, Literal: lit}, nil
+	}
+}
+
+// parseBinderPath parses X.path_expr; a bare binder denotes the empty path
+// (a condition on the selected object's own value).
+func (p *parser) parseBinderPath() (string, pathexpr.Expr, error) {
+	b, err := p.expect(tokIdent, "binder")
+	if err != nil {
+		return "", nil, err
+	}
+	if p.cur().kind != tokDot {
+		return b.text, pathexpr.Eps(), nil
+	}
+	p.pos++
+	e, err := p.parsePathSeq()
+	if err != nil {
+		return "", nil, err
+	}
+	return b.text, e, nil
+}
+
+func (p *parser) parseOp() (Op, error) {
+	t := p.cur()
+	if isKeyword(t, "contains") {
+		p.pos++
+		return OpContains, nil
+	}
+	if t.kind != tokOp {
+		return 0, fmt.Errorf("query: expected comparison operator at %d, got %s", t.pos, t)
+	}
+	p.pos++
+	switch t.text {
+	case "=":
+		return OpEq, nil
+	case "!=":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	default:
+		return 0, fmt.Errorf("query: unknown operator %q at %d", t.text, t.pos)
+	}
+}
+
+func (p *parser) parseLiteral() (oem.Atom, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return oem.String_(t.text), nil
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return oem.Atom{}, fmt.Errorf("query: bad number %q at %d", t.text, t.pos)
+			}
+			return oem.Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return oem.Atom{}, fmt.Errorf("query: bad number %q at %d", t.text, t.pos)
+		}
+		return oem.Int(i), nil
+	case tokIdent:
+		if strings.EqualFold(t.text, "true") {
+			return oem.Bool(true), nil
+		}
+		if strings.EqualFold(t.text, "false") {
+			return oem.Bool(false), nil
+		}
+		// A bare word literal is a string atom, matching the paper's
+		// unquoted example values.
+		return oem.String_(t.text), nil
+	default:
+		return oem.Atom{}, fmt.Errorf("query: expected literal at %d, got %s", t.pos, t)
+	}
+}

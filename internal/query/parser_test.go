@@ -1,0 +1,302 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"gsv/internal/oem"
+)
+
+func TestParseBasicQuery(t *testing.T) {
+	q, err := Parse("SELECT ROOT.professor X WHERE X.age > 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Selects) != 1 {
+		t.Fatalf("selects = %d", len(q.Selects))
+	}
+	s := q.Selects[0]
+	if s.Entry != "ROOT" || s.Binder != "X" || s.Path.String() != "professor" {
+		t.Fatalf("select = %+v", s)
+	}
+	c, ok := q.Where.(*Compare)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if c.Binder != "X" || c.Path.String() != "age" || c.Op != OpGt || !c.Literal.Equal(oem.Int(40)) {
+		t.Fatalf("compare = %+v", c)
+	}
+}
+
+func TestParsePaperExamples(t *testing.T) {
+	// Every query and view definition that appears in the paper must parse.
+	stmts := []string{
+		"SELECT ROOT.professor X WHERE X.age > 40",
+		"SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON",
+		"SELECT ROOT.professor X ANS INT VJ",
+		"SELECT ROOT.*.professor X",
+		"SELECT PROF.?.student X",
+		"SELECT VJ.?.age",
+		"SELECT MVJ.professor.student WITHIN MVJ",
+		"SELECT REL.r.tuple X WHERE X.age > 30",
+		"SELECT ROOT.professor X WHERE X.age <= 45",
+		"SELECT ROOT.student.?",
+	}
+	for _, s := range stmts {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+	views := []string{
+		"define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON",
+		"define mview MVJ as: SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON",
+		"define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45",
+		"define view PROF as: SELECT ROOT.*.professor X",
+		"define view STUDENT as: SELECT PROF.?.student X",
+		"define mview SEL as: SELECT REL.r.tuple X WHERE X.age > 30",
+	}
+	for _, s := range views {
+		if _, err := ParseView(s); err != nil {
+			t.Errorf("ParseView(%q): %v", s, err)
+		}
+	}
+}
+
+func TestParseViewStmt(t *testing.T) {
+	v, err := ParseView("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "YP" || !v.Materialized {
+		t.Fatalf("stmt = %+v", v)
+	}
+	if v.Query.Where.(*Compare).Op != OpLe {
+		t.Fatalf("op = %v", v.Query.Where.(*Compare).Op)
+	}
+	// The colon is optional.
+	v2, err := ParseView("define view V as SELECT ROOT.a X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Name != "V" || v2.Materialized {
+		t.Fatalf("stmt = %+v", v2)
+	}
+}
+
+func TestParseDefaultBinder(t *testing.T) {
+	q := MustParse("SELECT VJ.?.age")
+	if q.Selects[0].Binder != "X" {
+		t.Fatalf("binder = %q", q.Selects[0].Binder)
+	}
+}
+
+func TestParseClauses(t *testing.T) {
+	q := MustParse("SELECT ROOT.professor X WHERE X.age > 40 WITHIN D1 ANS INT D2")
+	if q.Within != "D1" || q.AnsInt != "D2" {
+		t.Fatalf("clauses = %q %q", q.Within, q.AnsInt)
+	}
+}
+
+func TestParseMultiSelect(t *testing.T) {
+	q := MustParse("SELECT ROOT.professor X, ROOT.secretary X WHERE X.age > 30")
+	if len(q.Selects) != 2 {
+		t.Fatalf("selects = %d", len(q.Selects))
+	}
+	if q.Selects[1].Path.String() != "secretary" {
+		t.Fatalf("second select = %+v", q.Selects[1])
+	}
+}
+
+func TestParseAndOrConditions(t *testing.T) {
+	q := MustParse("SELECT ROOT.professor X WHERE X.age > 30 AND X.name = 'John' OR X.salary >= 100000")
+	or, ok := q.Where.(*Or)
+	if !ok {
+		t.Fatalf("where = %T, want *Or", q.Where)
+	}
+	if len(or.Conds) != 2 {
+		t.Fatalf("or arms = %d", len(or.Conds))
+	}
+	and, ok := or.Conds[0].(*And)
+	if !ok {
+		t.Fatalf("first arm = %T, want *And", or.Conds[0])
+	}
+	if len(and.Conds) != 2 {
+		t.Fatalf("and arms = %d", len(and.Conds))
+	}
+}
+
+func TestParseParenthesizedCondition(t *testing.T) {
+	q := MustParse("SELECT ROOT.p X WHERE X.a = 1 AND (X.b = 2 OR X.c = 3)")
+	and, ok := q.Where.(*And)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if _, ok := and.Conds[1].(*Or); !ok {
+		t.Fatalf("second arm = %T, want *Or", and.Conds[1])
+	}
+}
+
+func TestParseExistsAndContains(t *testing.T) {
+	q := MustParse("SELECT ROOT.p X WHERE EXISTS X.student")
+	c := q.Where.(*Compare)
+	if c.Op != OpExists || c.Path.String() != "student" {
+		t.Fatalf("exists = %+v", c)
+	}
+	q = MustParse("SELECT ROOT.p X WHERE X.name CONTAINS 'oh'")
+	c = q.Where.(*Compare)
+	if c.Op != OpContains || !c.Literal.Equal(oem.String_("oh")) {
+		t.Fatalf("contains = %+v", c)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	cases := []struct {
+		in   string
+		want oem.Atom
+	}{
+		{"SELECT R.a X WHERE X.v = 45", oem.Int(45)},
+		{"SELECT R.a X WHERE X.v = -3", oem.Int(-3)},
+		{"SELECT R.a X WHERE X.v = 2.5", oem.Float(2.5)},
+		{"SELECT R.a X WHERE X.v = true", oem.Bool(true)},
+		{"SELECT R.a X WHERE X.v = 'John'", oem.String_("John")},
+		{`SELECT R.a X WHERE X.v = "Jane"`, oem.String_("Jane")},
+		{"SELECT R.a X WHERE X.v = education", oem.String_("education")},
+	}
+	for _, c := range cases {
+		q := MustParse(c.in)
+		lit := q.Where.(*Compare).Literal
+		if lit.Kind != c.want.Kind || !lit.Equal(c.want) {
+			t.Errorf("%q literal = %v, want %v", c.in, lit, c.want)
+		}
+	}
+}
+
+func TestParseBareBinderCondition(t *testing.T) {
+	// A condition on the selected object's own value uses the empty path.
+	q := MustParse("SELECT ROOT.?.age X WHERE X >= 45")
+	c := q.Where.(*Compare)
+	if c.Path.String() != "ε" {
+		t.Fatalf("path = %q, want ε", c.Path.String())
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	q, err := Parse("select ROOT.professor X where X.age > 40 within D1 ans int D2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Within != "D1" || q.AnsInt != "D2" {
+		t.Fatalf("clauses = %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM x",
+		"SELECT",
+		"SELECT .professor X",
+		"SELECT ROOT. professor ! X",
+		"SELECT ROOT.professor X WHERE",
+		"SELECT ROOT.professor X WHERE X.age >",
+		"SELECT ROOT.professor X WHERE X.age ? 40",
+		"SELECT ROOT.professor X WITHIN",
+		"SELECT ROOT.professor X ANS D2",
+		"SELECT ROOT.professor X WHERE Y.age > 40", // unbound binder
+		"SELECT ROOT.professor X WHERE X.age > 40 garbage",
+		"SELECT ROOT.(professor X",
+		"define mview as: SELECT ROOT.a X",
+		"define table T as: SELECT ROOT.a X",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			if _, verr := ParseView(s); verr == nil {
+				t.Errorf("Parse(%q) succeeded, want error", s)
+			}
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, s := range []string{"a ! b", "a @ b", "'unterminated", "a - b"} {
+		if _, err := lex(s); err == nil {
+			t.Errorf("lex(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"SELECT ROOT.professor X WHERE X.age > 40 WITHIN D1 ANS INT D2",
+		"SELECT ROOT.* X WHERE X.name = 'John'",
+		"SELECT A.a X, B.b Y",
+		"SELECT R.p X WHERE X.a = 1 AND X.b = 2",
+		"SELECT R.p X WHERE EXISTS X.q",
+	}
+	for _, in := range inputs {
+		q := MustParse(in)
+		again, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", in, q.String(), err)
+			continue
+		}
+		if again.String() != q.String() {
+			t.Errorf("round trip changed: %q -> %q", q.String(), again.String())
+		}
+	}
+}
+
+func TestViewStmtString(t *testing.T) {
+	v := MustParseView("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45")
+	s := v.String()
+	if !strings.Contains(s, "mview YP") || !strings.Contains(s, "X.age <= 45") {
+		t.Fatalf("String = %q", s)
+	}
+	if _, err := ParseView(s); err != nil {
+		t.Fatalf("reparse of %q: %v", s, err)
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	pairs := map[Op]Op{OpEq: OpNe, OpNe: OpEq, OpLt: OpGe, OpLe: OpGt, OpGt: OpLe, OpGe: OpLt}
+	for op, want := range pairs {
+		got, ok := op.Negate()
+		if !ok || got != want {
+			t.Errorf("Negate(%v) = %v,%v, want %v", op, got, ok, want)
+		}
+	}
+	for _, op := range []Op{OpContains, OpExists} {
+		if _, ok := op.Negate(); ok {
+			t.Errorf("Negate(%v) ok, want not ok", op)
+		}
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	cases := []struct {
+		op   Op
+		v    oem.Atom
+		lit  oem.Atom
+		want bool
+	}{
+		{OpEq, oem.Int(45), oem.Int(45), true},
+		{OpNe, oem.Int(45), oem.Int(45), false},
+		{OpLt, oem.Int(40), oem.Int(45), true},
+		{OpLe, oem.Int(45), oem.Int(45), true},
+		{OpGt, oem.Int(50), oem.Float(45), true},
+		{OpGe, oem.Int(44), oem.Int(45), false},
+		{OpEq, oem.String_("John"), oem.String_("John"), true},
+		{OpContains, oem.String_("John"), oem.String_("oh"), true},
+		{OpContains, oem.String_("John"), oem.String_("xx"), false},
+		{OpContains, oem.Int(5), oem.String_("5"), false},
+		// Cross-kind: = is false, != is true.
+		{OpEq, oem.String_("45"), oem.Int(45), false},
+		{OpNe, oem.String_("45"), oem.Int(45), true},
+		{OpLt, oem.String_("45"), oem.Int(45), false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.v, c.lit); got != c.want {
+			t.Errorf("%v.Apply(%v,%v) = %v, want %v", c.op, c.v, c.lit, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// bruteEval is an oracle: enumerate all label paths from the entry up to
+// maxLen, keep objects whose path matches the select expression, then test
+// the condition by enumerating condition paths the same way.
+func bruteEval(s *store.Store, q *Query, maxLen int) []oem.OID {
+	result := map[oem.OID]bool{}
+	for _, item := range q.Selects {
+		for _, x := range bruteReach(s, item.Entry, item.Path, maxLen) {
+			if bruteCond(s, q.Where, item.Binder, x, maxLen) {
+				result[x] = true
+			}
+		}
+	}
+	out := make([]oem.OID, 0, len(result))
+	for oid := range result {
+		out = append(out, oid)
+	}
+	return oem.SortOIDs(out)
+}
+
+func bruteReach(s *store.Store, start oem.OID, e pathexpr.Expr, maxLen int) []oem.OID {
+	found := map[oem.OID]bool{}
+	var walk func(oid oem.OID, p pathexpr.Path)
+	walk = func(oid oem.OID, p pathexpr.Path) {
+		if pathexpr.Matches(e, p) {
+			found[oid] = true
+		}
+		if len(p) == maxLen {
+			return
+		}
+		kids, err := s.Children(oid)
+		if err != nil {
+			return
+		}
+		for _, c := range kids {
+			lbl, err := s.Label(c)
+			if err != nil {
+				continue
+			}
+			walk(c, p.Concat(pathexpr.Path{lbl}))
+		}
+	}
+	if s.Has(start) {
+		walk(start, pathexpr.Path{})
+	}
+	out := make([]oem.OID, 0, len(found))
+	for oid := range found {
+		out = append(out, oid)
+	}
+	return oem.SortOIDs(out)
+}
+
+func bruteCond(s *store.Store, c Cond, binder string, x oem.OID, maxLen int) bool {
+	switch v := c.(type) {
+	case nil:
+		return true
+	case *Compare:
+		if v.Binder != binder {
+			return true
+		}
+		for _, oid := range bruteReach(s, x, v.Path, maxLen) {
+			if v.Op == OpExists {
+				return true
+			}
+			o, err := s.Get(oid)
+			if err != nil || !o.IsAtomic() {
+				continue
+			}
+			if v.Op.Apply(o.Atom, v.Literal) {
+				return true
+			}
+		}
+		return false
+	case *And:
+		for _, sub := range v.Conds {
+			if !bruteCond(s, sub, binder, x, maxLen) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, sub := range v.Conds {
+			if bruteCond(s, sub, binder, x, maxLen) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// TestPropertyEvaluatorMatchesBruteForce runs assorted query shapes over
+// random trees and compares the evaluator against the path-enumeration
+// oracle.
+func TestPropertyEvaluatorMatchesBruteForce(t *testing.T) {
+	queries := []string{
+		"SELECT n0.* X WHERE X.age > 50",
+		"SELECT n0.? X WHERE EXISTS X.?.name",
+		"SELECT n0.?.? X WHERE X.name CONTAINS 'name1'",
+		"SELECT n0.* X WHERE X.age > 20 AND X.age < 80",
+		"SELECT n0.*.age X WHERE X >= 50 OR X < 10",
+		"SELECT n0.? X, n0.?.? X WHERE X.score >= 50",
+		"SELECT n0.(item|part).* X WHERE X.age != 30",
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		s := store.NewDefault()
+		workload.RandomTree(s, workload.TreeConfig{Depth: 3, Fanout: 3, Seed: seed})
+		ev := NewEvaluator(s)
+		for _, qs := range queries {
+			q := MustParse(qs)
+			got, err := ev.Eval(q)
+			if err != nil {
+				t.Fatalf("seed %d %q: %v", seed, qs, err)
+			}
+			want := bruteEval(s, q, 5)
+			if !oem.SameMembers(got, want) {
+				t.Fatalf("seed %d %q:\n got %v\nwant %v", seed, qs, got, want)
+			}
+		}
+	}
+}
+
+// TestPropertyParseStringRoundTrip generates random queries from grammar
+// pieces and checks Parse(q.String()) is a fixed point.
+func TestPropertyParseStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := []string{"ROOT", "DB1", "V"}
+	paths := []string{"a", "a.b", "*", "?", "a.*", "(a|b).c", "a.b*.c", "?.name"}
+	ops := []string{"=", "!=", "<", "<=", ">", ">=", "CONTAINS"}
+	lits := []string{"5", "2.5", "'x'", "hello", "true"}
+	randCond := func() string {
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("X.%s %s %s", paths[rng.Intn(len(paths))], ops[rng.Intn(len(ops))], lits[rng.Intn(len(lits))])
+		case 1:
+			return fmt.Sprintf("EXISTS X.%s", paths[rng.Intn(len(paths))])
+		default:
+			return fmt.Sprintf("X.%s %s %s AND X.%s %s %s",
+				paths[rng.Intn(len(paths))], ops[rng.Intn(len(ops))], lits[rng.Intn(len(lits))],
+				paths[rng.Intn(len(paths))], ops[rng.Intn(len(ops))], lits[rng.Intn(len(lits))])
+		}
+	}
+	for i := 0; i < 200; i++ {
+		qs := fmt.Sprintf("SELECT %s.%s X", entries[rng.Intn(len(entries))], paths[rng.Intn(len(paths))])
+		if rng.Intn(2) == 0 {
+			qs += " WHERE " + randCond()
+		}
+		if rng.Intn(3) == 0 {
+			qs += " WITHIN DBX"
+		}
+		if rng.Intn(3) == 0 {
+			qs += " ANS INT DBY"
+		}
+		q, err := Parse(qs)
+		if err != nil {
+			t.Fatalf("generated query failed to parse: %q: %v", qs, err)
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %q -> %q: %v", qs, s1, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Fatalf("String not a fixed point: %q -> %q", s1, s2)
+		}
+	}
+}

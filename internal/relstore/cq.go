@@ -1,0 +1,217 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+
+	"gsv/internal/query"
+)
+
+// Term is one position in a body atom: a variable or a constant.
+type Term struct {
+	Var   string
+	Const Val
+	// IsConst selects between the two.
+	IsConst bool
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v Val) Term { return Term{Const: v, IsConst: true} }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsConst {
+		return t.Const.String()
+	}
+	return t.Var
+}
+
+// BodyAtom is one R(t1, ..., tk) conjunct.
+type BodyAtom struct {
+	Table string
+	Terms []Term
+}
+
+// String renders the atom.
+func (a BodyAtom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Table, strings.Join(parts, ","))
+}
+
+// Selection is a comparison applied to a bound variable, e.g. v > 30.
+type Selection struct {
+	Var     string
+	Op      query.Op
+	Literal Val
+}
+
+// String renders the selection.
+func (s Selection) String() string {
+	return fmt.Sprintf("%s %s %s", s.Var, s.Op, s.Literal)
+}
+
+// CQ is a conjunctive query with selections:
+//
+//	Head(head...) :- atom1, atom2, ..., sel1, sel2, ...
+type CQ struct {
+	Head       []string
+	Atoms      []BodyAtom
+	Selections []Selection
+}
+
+// String renders the query in Datalog-ish syntax.
+func (q *CQ) String() string {
+	var parts []string
+	for _, a := range q.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, s := range q.Selections {
+		parts = append(parts, s.String())
+	}
+	return fmt.Sprintf("V(%s) :- %s", strings.Join(q.Head, ","), strings.Join(parts, ", "))
+}
+
+// binding maps variables to values during join evaluation.
+type binding map[string]Val
+
+// Engine evaluates and maintains conjunctive queries over a set of named
+// tables.
+type Engine struct {
+	Tables map[string]*Table
+	// Stats, when non-nil, accumulates low-level operation counters.
+	Stats *Stats
+}
+
+// NewEngine returns an engine over the given tables.
+func NewEngine(tables ...*Table) *Engine {
+	e := &Engine{Tables: make(map[string]*Table)}
+	for _, t := range tables {
+		e.Tables[t.Name] = t
+	}
+	return e
+}
+
+// Eval computes the head tuples of q with their multiplicities (number of
+// derivations), by backtracking join with index probes.
+func (e *Engine) Eval(q *CQ) map[string]ViewRow {
+	out := make(map[string]ViewRow)
+	e.join(q, 0, binding{}, nil, func(b binding) {
+		head := headRow(q, b)
+		k := head.key()
+		vr := out[k]
+		vr.Row = head
+		vr.Count++
+		out[k] = vr
+	})
+	return out
+}
+
+// ViewRow is one materialized view tuple with its derivation count.
+type ViewRow struct {
+	Row   Row
+	Count int
+}
+
+func headRow(q *CQ, b binding) Row {
+	head := make(Row, len(q.Head))
+	for i, v := range q.Head {
+		head[i] = b[v]
+	}
+	return head
+}
+
+// fixed pins one body atom to a specific row during delta evaluation; the
+// exclude function suppresses rows at other occurrences of the same table.
+type fixed struct {
+	atom int
+	row  Row
+	// excludeBelow suppresses `row` at occurrences with index < atom;
+	// occurrences > atom see the full table. This implements the
+	// first-occurrence partition of counting IVM.
+	excludeRow Row
+}
+
+// join enumerates bindings satisfying atoms[i:] given b, honoring an
+// optional fixed atom, and calls emit for complete bindings that pass the
+// selections.
+func (e *Engine) join(q *CQ, i int, b binding, fx *fixed, emit func(binding)) {
+	if i == len(q.Atoms) {
+		for _, sel := range q.Selections {
+			v, ok := b[sel.Var]
+			if !ok || !sel.Op.Apply(v, sel.Literal) {
+				return
+			}
+		}
+		emit(b)
+		return
+	}
+	atom := q.Atoms[i]
+	t := e.Tables[atom.Table]
+	if t == nil {
+		return
+	}
+
+	tryRow := func(r Row) bool {
+		// First-occurrence partition: occurrences before the fixed one must
+		// not re-use the delta row.
+		if fx != nil && i < fx.atom && atom.Table == q.Atoms[fx.atom].Table && r.Equal(fx.excludeRow) {
+			return true
+		}
+		undo := make([]string, 0, len(atom.Terms))
+		ok := true
+		for c, term := range atom.Terms {
+			if term.IsConst {
+				if !r[c].Equal(term.Const) {
+					ok = false
+					break
+				}
+				continue
+			}
+			if bv, bound := b[term.Var]; bound {
+				if !bv.Equal(r[c]) {
+					ok = false
+					break
+				}
+				continue
+			}
+			b[term.Var] = r[c]
+			undo = append(undo, term.Var)
+		}
+		if ok {
+			e.join(q, i+1, b, fx, emit)
+		}
+		for _, v := range undo {
+			delete(b, v)
+		}
+		return true
+	}
+
+	if fx != nil && i == fx.atom {
+		tryRow(fx.row)
+		return
+	}
+
+	// Pick the most selective access path: a constant or bound column.
+	bestCol, bestVal := -1, Val{}
+	for c, term := range atom.Terms {
+		if term.IsConst {
+			bestCol, bestVal = c, term.Const
+			break
+		}
+		if v, bound := b[term.Var]; bound {
+			bestCol, bestVal = c, v
+			break
+		}
+	}
+	if bestCol >= 0 {
+		t.Probe(e.Stats, bestCol, bestVal, tryRow)
+	} else {
+		t.Scan(e.Stats, tryRow)
+	}
+}

@@ -1,0 +1,168 @@
+package relstore
+
+import (
+	"fmt"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// Table and column names of the three-relation flattening (Example 8).
+const (
+	TableObj   = "OBJ"   // OBJ(OID, LABEL)
+	TableChild = "CHILD" // CHILD(PARENT, CHILD)
+	TableAtom  = "ATOM"  // ATOM(OID, TYPE, VALUE)
+)
+
+// Flatten builds the three tables from a GSDB store. Grouping objects
+// (databases, views) are skipped: they are conceptual aids, not data, and
+// the relational baseline should compete on the same data the GSDB
+// algorithm maintains.
+func Flatten(s *store.Store) *Engine {
+	obj := NewTable(TableObj, "OID", "LABEL")
+	child := NewTable(TableChild, "PARENT", "CHILD")
+	atom := NewTable(TableAtom, "OID", "TYPE", "VALUE")
+	s.ForEach(func(o *oem.Object) {
+		if oem.IsGroupingLabel(o.Label) {
+			return
+		}
+		obj.Insert(Row{OIDVal(o.OID), StrVal(o.Label)})
+		if o.IsAtomic() {
+			// The TYPE column holds the representation type (integer,
+			// string, ...), not the object's descriptive type name, so
+			// that modify deltas — which carry only atoms — can produce
+			// exactly matching delete rows.
+			atom.Insert(Row{OIDVal(o.OID), StrVal(o.Atom.TypeName()), o.Atom})
+			return
+		}
+		for _, c := range o.Set {
+			child.Insert(Row{OIDVal(o.OID), OIDVal(c)})
+		}
+	})
+	return NewEngine(obj, child, atom)
+}
+
+// CompileSimpleView translates a simple GSDB view definition (Section 4.2)
+// into the select-project-join query of Example 8's discussion: one CHILD
+// self-join per path step, an OBJ label constraint per step, and an ATOM
+// join plus selection for the condition. The head is the OID of the
+// selected object X.
+//
+//	SELECT REL.r.tuple X WHERE X.age > 30
+//
+// becomes
+//
+//	V(o2) :- CHILD('REL',o1), OBJ(o1,'r'), CHILD(o1,o2), OBJ(o2,'tuple'),
+//	         CHILD(o2,c1), OBJ(c1,'age'), ATOM(c1,ty,v), v > 30
+func CompileSimpleView(def core.SimpleDef) (*CQ, error) {
+	if len(def.SelPath) == 0 {
+		return nil, fmt.Errorf("relstore: empty selection path")
+	}
+	if def.Within != "" {
+		return nil, fmt.Errorf("relstore: WITHIN views are not supported by the relational baseline")
+	}
+	q := &CQ{}
+	prev := C(OIDVal(def.Entry))
+	var x string
+	for i, lbl := range def.SelPath {
+		v := fmt.Sprintf("o%d", i+1)
+		q.Atoms = append(q.Atoms,
+			BodyAtom{TableChild, []Term{prev, V(v)}},
+			BodyAtom{TableObj, []Term{V(v), C(StrVal(lbl))}},
+		)
+		prev = V(v)
+		x = v
+	}
+	q.Head = []string{x}
+	curr := prev
+	for i, lbl := range def.CondPath {
+		v := fmt.Sprintf("c%d", i+1)
+		q.Atoms = append(q.Atoms,
+			BodyAtom{TableChild, []Term{curr, V(v)}},
+			BodyAtom{TableObj, []Term{V(v), C(StrVal(lbl))}},
+		)
+		curr = V(v)
+	}
+	if !def.Cond.Always {
+		// Bind the condition object's atomic value and select on it. With
+		// an empty condition path the selected object itself is tested.
+		q.Atoms = append(q.Atoms, BodyAtom{TableAtom, []Term{curr, V("ty"), V("val")}})
+		q.Selections = append(q.Selections, Selection{Var: "val", Op: def.Cond.Op, Literal: def.Cond.Literal})
+	}
+	return q, nil
+}
+
+// TranslateUpdate maps one GSDB basic update to the table deltas of the
+// flattened representation — the multi-table expansion the paper warns
+// about: "an insertion of an atomic object needs to modify all three
+// tables".
+func TranslateUpdate(u store.Update) []Delta {
+	switch u.Kind {
+	case store.UpdateCreate:
+		o := u.Object
+		if o == nil || oem.IsGroupingLabel(o.Label) {
+			return nil
+		}
+		ds := []Delta{{TableObj, Row{OIDVal(o.OID), StrVal(o.Label)}, true}}
+		if o.IsAtomic() {
+			ds = append(ds, Delta{TableAtom, Row{OIDVal(o.OID), StrVal(o.Atom.TypeName()), o.Atom}, true})
+		} else {
+			for _, c := range o.Set {
+				ds = append(ds, Delta{TableChild, Row{OIDVal(o.OID), OIDVal(c)}, true})
+			}
+		}
+		return ds
+	case store.UpdateInsert:
+		return []Delta{{TableChild, Row{OIDVal(u.N1), OIDVal(u.N2)}, true}}
+	case store.UpdateDelete:
+		return []Delta{{TableChild, Row{OIDVal(u.N1), OIDVal(u.N2)}, false}}
+	case store.UpdateModify:
+		// The TYPE column is not tracked through modifications here: the
+		// view compilation never constrains it, so old/new rows use the
+		// atom's own type name consistently.
+		return []Delta{
+			{TableAtom, Row{OIDVal(u.N1), StrVal(u.Old.TypeName()), u.Old}, false},
+			{TableAtom, Row{OIDVal(u.N1), StrVal(u.New.TypeName()), u.New}, true},
+		}
+	default:
+		return nil
+	}
+}
+
+// GSDBView is the complete relational pipeline for one simple GSDB view:
+// flattened tables, a compiled SPJ query, and a counting-maintained
+// materialization. It mirrors the MaterializedView + SimpleMaintainer pair
+// on the relational side.
+type GSDBView struct {
+	Engine *Engine
+	View   *MaterializedCQ
+}
+
+// NewGSDBView flattens the store and materializes the compiled view.
+func NewGSDBView(s *store.Store, def core.SimpleDef) (*GSDBView, error) {
+	q, err := CompileSimpleView(def)
+	if err != nil {
+		return nil, err
+	}
+	e := Flatten(s)
+	return &GSDBView{Engine: e, View: MaterializeCQ(e, q)}, nil
+}
+
+// Apply maintains the relational view under one GSDB update.
+func (g *GSDBView) Apply(u store.Update) {
+	for _, d := range TranslateUpdate(u) {
+		g.View.ApplyDelta(d)
+	}
+}
+
+// MemberOIDs returns the view's member OIDs, for comparison with the GSDB
+// materialized view.
+func (g *GSDBView) MemberOIDs() []oem.OID {
+	rows := g.View.Rows()
+	out := make([]oem.OID, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, oem.OID(r[0].S))
+	}
+	return oem.SortOIDs(out)
+}

@@ -1,0 +1,258 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func TestFlattenPerson(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	e := Flatten(s)
+	// 15 data objects (the PERSON database object is skipped).
+	if got := e.Tables[TableObj].Len(); got != 15 {
+		t.Fatalf("OBJ rows = %d, want 15", got)
+	}
+	// Edges: ROOT(4) + P1(4) + P2(2) + P3(3) + P4(2) = 15.
+	if got := e.Tables[TableChild].Len(); got != 15 {
+		t.Fatalf("CHILD rows = %d, want 15", got)
+	}
+	// Atomic objects: 10.
+	if got := e.Tables[TableAtom].Len(); got != 10 {
+		t.Fatalf("ATOM rows = %d, want 10", got)
+	}
+	if !e.Tables[TableChild].Has(Row{OIDVal("ROOT"), OIDVal("P1")}) {
+		t.Fatal("missing CHILD(ROOT,P1)")
+	}
+	if !e.Tables[TableObj].Has(Row{OIDVal("P1"), StrVal("professor")}) {
+		t.Fatal("missing OBJ(P1,professor)")
+	}
+}
+
+func simpleDef(t testing.TB, q string) core.SimpleDef {
+	t.Helper()
+	def, ok := core.Simplify(query.MustParse(q))
+	if !ok {
+		t.Fatalf("not a simple view: %s", q)
+	}
+	return def
+}
+
+func TestCompileSimpleView(t *testing.T) {
+	def := simpleDef(t, "SELECT REL.r.tuple X WHERE X.age > 30")
+	cq, err := CompileSimpleView(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sel steps + 1 cond step, each CHILD+OBJ, plus the ATOM join.
+	if len(cq.Atoms) != 7 {
+		t.Fatalf("atoms = %d (%s)", len(cq.Atoms), cq)
+	}
+	if len(cq.Selections) != 1 {
+		t.Fatalf("selections = %v", cq.Selections)
+	}
+	if cq.Head[0] != "o2" {
+		t.Fatalf("head = %v", cq.Head)
+	}
+	s := cq.String()
+	if !strings.Contains(s, "CHILD('REL',o1)") || !strings.Contains(s, "OBJ(o2,'tuple')") {
+		t.Fatalf("rendered query = %s", s)
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	if _, err := CompileSimpleView(core.SimpleDef{}); err == nil {
+		t.Fatal("empty sel path accepted")
+	}
+	def := simpleDef(t, "SELECT REL.r.tuple X WHERE X.age > 30")
+	def.Within = "DB"
+	if _, err := CompileSimpleView(def); err == nil {
+		t.Fatal("WITHIN accepted")
+	}
+}
+
+func TestGSDBViewMatchesQuery(t *testing.T) {
+	s := store.NewDefault()
+	workload.RelationLike(s, workload.RelationConfig{
+		Relations: 2, TuplesPerRelation: 8, FieldsPerTuple: 2, Seed: 3,
+	})
+	def := simpleDef(t, "SELECT REL.r0.tuple X WHERE X.age > 30")
+	g, err := NewGSDBView(s, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := query.NewEvaluator(s).Eval(query.MustParse("SELECT REL.r0.tuple X WHERE X.age > 30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MemberOIDs(); !oem.SameMembers(got, want) {
+		t.Fatalf("relational view %v != query %v", got, want)
+	}
+}
+
+func TestCompileCondOnSelectedAtom(t *testing.T) {
+	// A view selecting atomic objects with a condition on their own value:
+	// empty condition path, ATOM join directly on the head variable.
+	s := store.NewDefault()
+	workload.RelationLike(s, workload.RelationConfig{
+		Relations: 1, TuplesPerRelation: 6, FieldsPerTuple: 2, Seed: 9,
+	})
+	def := simpleDef(t, "SELECT REL.r0.tuple.age X WHERE X > 30")
+	g, err := NewGSDBView(s, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := query.NewEvaluator(s).Eval(query.MustParse("SELECT REL.r0.tuple.age X WHERE X > 30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MemberOIDs(); !oem.SameMembers(got, want) {
+		t.Fatalf("relational %v != query %v", got, want)
+	}
+	// Maintenance under a modify that flips membership.
+	target := want[0]
+	before := s.Seq()
+	if err := s.Modify(target, oem.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range s.LogSince(before) {
+		g.Apply(u)
+	}
+	want, _ = query.NewEvaluator(s).Eval(query.MustParse("SELECT REL.r0.tuple.age X WHERE X > 30"))
+	if got := g.MemberOIDs(); !oem.SameMembers(got, want) {
+		t.Fatalf("after modify: relational %v != query %v", got, want)
+	}
+}
+
+func TestTranslateUpdateMultiTable(t *testing.T) {
+	// "An insertion of an atomic object needs to modify all three tables":
+	// creation touches OBJ and ATOM, the connecting insert touches CHILD.
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	before := s.Seq()
+	s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+	if err := s.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	var all []Delta
+	for _, u := range s.LogSince(before) {
+		all = append(all, TranslateUpdate(u)...)
+	}
+	if len(all) != 3 {
+		t.Fatalf("deltas = %v, want 3", all)
+	}
+	tables := map[string]bool{}
+	for _, d := range all {
+		tables[d.Table] = true
+		if !d.Insert {
+			t.Fatalf("unexpected delete delta: %+v", d)
+		}
+	}
+	if !tables[TableObj] || !tables[TableAtom] || !tables[TableChild] {
+		t.Fatalf("tables touched = %v", tables)
+	}
+	// Modify touches ATOM twice (delete old, insert new).
+	before = s.Seq()
+	if err := s.Modify("A2", oem.Int(41)); err != nil {
+		t.Fatal(err)
+	}
+	all = nil
+	for _, u := range s.LogSince(before) {
+		all = append(all, TranslateUpdate(u)...)
+	}
+	if len(all) != 2 || all[0].Insert || !all[1].Insert {
+		t.Fatalf("modify deltas = %v", all)
+	}
+}
+
+func TestTranslateSkipsGroupingObjects(t *testing.T) {
+	s := store.NewDefault()
+	u := store.Update{Kind: store.UpdateCreate, N1: "DB", Object: oem.NewSet("DB", "database", "A")}
+	if ds := TranslateUpdate(u); len(ds) != 0 {
+		t.Fatalf("database create produced deltas: %v", ds)
+	}
+	_ = s
+}
+
+// TestPropertyRelationalMatchesGSDB is the E3 correctness cross-check: the
+// relational counting view and the native Algorithm 1 view track the same
+// members through a long random update stream.
+func TestPropertyRelationalMatchesGSDB(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			base := store.NewDefault()
+			db := workload.RelationLike(base, workload.RelationConfig{
+				Relations: 2, TuplesPerRelation: 6, FieldsPerTuple: 2, Seed: seed,
+			})
+			def := simpleDef(t, "SELECT REL.r0.tuple X WHERE X.age > 40")
+			rel, err := NewGSDBView(base, def)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+			mv, err := core.Materialize("V", query.MustParse("SELECT REL.r0.tuple X WHERE X.age > 40"), base, vstore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sm, err := core.NewSimpleMaintainer(mv, core.NewCentralAccess(base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sets, atoms []oem.OID
+			for _, r := range db.Relations {
+				sets = append(sets, r.OID)
+				sets = append(sets, r.Tuples...)
+				for _, tu := range r.Tuples {
+					kids, _ := base.Children(tu)
+					atoms = append(atoms, kids...)
+				}
+			}
+			stream := workload.NewStream(base, workload.StreamConfig{
+				Seed: seed + 100, Mix: workload.Mix{Insert: 3, Delete: 2, Modify: 5}, ValueRange: 90,
+			}, sets, atoms)
+			for step := 0; step < 150; step++ {
+				us, ok := stream.Next()
+				if !ok {
+					break
+				}
+				for _, u := range us {
+					rel.Apply(u)
+					if err := sm.Apply(u); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if step%15 == 0 {
+					gsdbMembers, err := mv.Members()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := rel.MemberOIDs(); !oem.SameMembers(got, gsdbMembers) {
+						t.Fatalf("step %d: relational %v != gsdb %v", step, got, gsdbMembers)
+					}
+				}
+			}
+			gsdbMembers, _ := mv.Members()
+			if got := rel.MemberOIDs(); !oem.SameMembers(got, gsdbMembers) {
+				t.Fatalf("final: relational %v != gsdb %v", got, gsdbMembers)
+			}
+		})
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var a, b Stats
+	b.RowsScanned, b.IndexProbes, b.DeltaRows = 1, 2, 3
+	a.Add(b)
+	a.Add(b)
+	if a.RowsScanned != 2 || a.IndexProbes != 4 || a.DeltaRows != 6 {
+		t.Fatalf("stats = %+v", a)
+	}
+}

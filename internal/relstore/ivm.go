@@ -1,0 +1,122 @@
+package relstore
+
+import (
+	"sort"
+)
+
+// MaterializedCQ is a materialized conjunctive view with derivation counts
+// — the counting algorithm's bookkeeping: a head tuple stays in the view
+// while its count is positive, so deletions need no recomputation.
+type MaterializedCQ struct {
+	Q      *CQ
+	Engine *Engine
+	rows   map[string]ViewRow
+}
+
+// MaterializeCQ evaluates q and stores the result with counts.
+func MaterializeCQ(e *Engine, q *CQ) *MaterializedCQ {
+	return &MaterializedCQ{Q: q, Engine: e, rows: e.Eval(q)}
+}
+
+// Rows returns the current view tuples (count > 0), sorted.
+func (m *MaterializedCQ) Rows() []Row {
+	keys := make([]string, 0, len(m.rows))
+	for k, vr := range m.rows {
+		if vr.Count > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Row, len(keys))
+	for i, k := range keys {
+		out[i] = m.rows[k].Row
+	}
+	return out
+}
+
+// Len returns the number of distinct view tuples.
+func (m *MaterializedCQ) Len() int {
+	n := 0
+	for _, vr := range m.rows {
+		if vr.Count > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the derivation count of a head row.
+func (m *MaterializedCQ) Count(r Row) int { return m.rows[r.key()].Count }
+
+// Delta is a single-tuple change to a base table.
+type Delta struct {
+	Table  string
+	Row    Row
+	Insert bool // false = delete
+}
+
+// ApplyDelta maintains the view incrementally under one base delta and
+// applies the delta to the base table. The delta joins are computed with
+// the tuple present in its table (inserts are applied first, deletes are
+// removed last), partitioned by the first body occurrence binding the
+// tuple so each new/lost derivation is counted exactly once.
+func (m *MaterializedCQ) ApplyDelta(d Delta) {
+	t := m.Engine.Tables[d.Table]
+	if t == nil {
+		return
+	}
+	if d.Insert {
+		if !t.Insert(d.Row) {
+			return // duplicate insert: set semantics, no change
+		}
+		m.propagate(d, +1)
+		return
+	}
+	if !t.Has(d.Row) {
+		return
+	}
+	m.propagate(d, -1)
+	t.Delete(d.Row)
+}
+
+// propagate adds sign to the count of every derivation using d.Row,
+// partitioned by first occurrence.
+func (m *MaterializedCQ) propagate(d Delta, sign int) {
+	for i, atom := range m.Q.Atoms {
+		if atom.Table != d.Table {
+			continue
+		}
+		// Unify the delta row with the atom's constants before joining.
+		if !deltaMatchesAtom(atom, d.Row) {
+			continue
+		}
+		fx := &fixed{atom: i, row: d.Row, excludeRow: d.Row}
+		m.Engine.join(m.Q, 0, binding{}, fx, func(b binding) {
+			head := headRow(m.Q, b)
+			k := head.key()
+			vr := m.rows[k]
+			vr.Row = head
+			vr.Count += sign
+			if m.Engine.Stats != nil {
+				m.Engine.Stats.DeltaRows++
+			}
+			if vr.Count == 0 {
+				delete(m.rows, k)
+			} else {
+				m.rows[k] = vr
+			}
+		})
+	}
+}
+
+func deltaMatchesAtom(atom BodyAtom, r Row) bool {
+	if len(atom.Terms) != len(r) {
+		return false
+	}
+	for c, term := range atom.Terms {
+		if term.IsConst && !term.Const.Equal(r[c]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package relstore
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+)
+
+func TestTableInsertDeleteHas(t *testing.T) {
+	tb := NewTable("T", "A", "B")
+	r := Row{StrVal("x"), oem.Int(1)}
+	if !tb.Insert(r) {
+		t.Fatal("first insert returned false")
+	}
+	if tb.Insert(r) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if !tb.Has(r) || tb.Len() != 1 {
+		t.Fatal("Has/Len wrong")
+	}
+	if !tb.Delete(r) {
+		t.Fatal("delete returned false")
+	}
+	if tb.Delete(r) {
+		t.Fatal("double delete returned true")
+	}
+	if tb.Has(r) || tb.Len() != 0 {
+		t.Fatal("row survived delete")
+	}
+}
+
+func TestTableArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	NewTable("T", "A").Insert(Row{StrVal("x"), StrVal("y")})
+}
+
+func TestTableProbe(t *testing.T) {
+	tb := NewTable("T", "A", "B")
+	tb.Insert(Row{StrVal("x"), oem.Int(1)})
+	tb.Insert(Row{StrVal("x"), oem.Int(2)})
+	tb.Insert(Row{StrVal("y"), oem.Int(3)})
+	var st Stats
+	var got []Row
+	tb.Probe(&st, 0, StrVal("x"), func(r Row) bool {
+		got = append(got, r)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("probe found %d rows, want 2", len(got))
+	}
+	if st.IndexProbes != 1 || st.RowsScanned != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Index is maintained across deletes.
+	tb.Delete(Row{StrVal("x"), oem.Int(1)})
+	got = nil
+	tb.Probe(nil, 0, StrVal("x"), func(r Row) bool { got = append(got, r); return true })
+	if len(got) != 1 {
+		t.Fatalf("after delete probe found %d rows", len(got))
+	}
+}
+
+func TestRowKeyDistinguishesKinds(t *testing.T) {
+	a := Row{oem.Int(1)}
+	b := Row{oem.String_("1")}
+	if a.key() == b.key() {
+		t.Fatal("int 1 and string '1' share a key")
+	}
+}
+
+// triangleEngine builds E(a,b) edges for a small graph and a 2-hop query.
+func twoHopFixture() (*Engine, *CQ) {
+	e := NewEngine(NewTable("E", "SRC", "DST"))
+	for _, edge := range [][2]string{{"a", "b"}, {"b", "c"}, {"b", "d"}, {"c", "d"}} {
+		e.Tables["E"].Insert(Row{StrVal(edge[0]), StrVal(edge[1])})
+	}
+	q := &CQ{
+		Head:  []string{"z"},
+		Atoms: []BodyAtom{{"E", []Term{C(StrVal("a")), V("y")}}, {"E", []Term{V("y"), V("z")}}},
+	}
+	return e, q
+}
+
+func TestEvalTwoHop(t *testing.T) {
+	e, q := twoHopFixture()
+	res := e.Eval(q)
+	// a->b->{c,d}: two results, each with one derivation.
+	if len(res) != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	for _, vr := range res {
+		if vr.Count != 1 {
+			t.Fatalf("count = %d", vr.Count)
+		}
+	}
+}
+
+func TestEvalCountsMultipleDerivations(t *testing.T) {
+	e, q := twoHopFixture()
+	// Add a->c so d gets a second derivation (a->b->d and a->c->d).
+	e.Tables["E"].Insert(Row{StrVal("a"), StrVal("c")})
+	res := e.Eval(q)
+	d := res[Row{StrVal("d")}.key()]
+	if d.Count != 2 {
+		t.Fatalf("count(d) = %d, want 2", d.Count)
+	}
+}
+
+func TestEvalSelections(t *testing.T) {
+	e := NewEngine(NewTable("R", "X", "V"))
+	e.Tables["R"].Insert(Row{StrVal("p"), oem.Int(10)})
+	e.Tables["R"].Insert(Row{StrVal("q"), oem.Int(50)})
+	q := &CQ{
+		Head:       []string{"x"},
+		Atoms:      []BodyAtom{{"R", []Term{V("x"), V("v")}}},
+		Selections: []Selection{{Var: "v", Op: query.OpGt, Literal: oem.Int(20)}},
+	}
+	res := e.Eval(q)
+	if len(res) != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	if _, ok := res[Row{StrVal("q")}.key()]; !ok {
+		t.Fatal("q missing")
+	}
+}
+
+func TestIVMInsertDeleteMatchesRecompute(t *testing.T) {
+	e, q := twoHopFixture()
+	m := MaterializeCQ(e, q)
+	check := func(when string) {
+		t.Helper()
+		fresh := e.Eval(q)
+		if len(fresh) != m.Len() {
+			t.Fatalf("%s: view %d rows, recompute %d", when, m.Len(), len(fresh))
+		}
+		for k, vr := range fresh {
+			if m.rows[k].Count != vr.Count {
+				t.Fatalf("%s: count mismatch for %v: %d vs %d", when, vr.Row, m.rows[k].Count, vr.Count)
+			}
+		}
+	}
+	check("initial")
+	// New 2-hop derivations via a->c.
+	m.ApplyDelta(Delta{"E", Row{StrVal("a"), StrVal("c")}, true})
+	check("after insert a->c")
+	if m.Count(Row{StrVal("d")}) != 2 {
+		t.Fatalf("count(d) = %d, want 2", m.Count(Row{StrVal("d")}))
+	}
+	// Removing b->d drops one derivation of d; d stays via c->d.
+	m.ApplyDelta(Delta{"E", Row{StrVal("b"), StrVal("d")}, false})
+	check("after delete b->d")
+	if m.Count(Row{StrVal("d")}) != 1 {
+		t.Fatalf("count(d) = %d, want 1", m.Count(Row{StrVal("d")}))
+	}
+	// Removing c->d eliminates d entirely.
+	m.ApplyDelta(Delta{"E", Row{StrVal("c"), StrVal("d")}, false})
+	check("after delete c->d")
+	if m.Count(Row{StrVal("d")}) != 0 {
+		t.Fatal("d survived with no derivations")
+	}
+	// Duplicate insert and spurious delete are no-ops.
+	m.ApplyDelta(Delta{"E", Row{StrVal("a"), StrVal("b")}, true})
+	m.ApplyDelta(Delta{"E", Row{StrVal("z"), StrVal("z")}, false})
+	check("after no-ops")
+}
+
+func TestIVMSelfJoinDeltaTouchesBothOccurrences(t *testing.T) {
+	// A self-loop edge binds both body occurrences; the first-occurrence
+	// partition must count exactly the right number of new derivations.
+	e := NewEngine(NewTable("E", "SRC", "DST"))
+	q := &CQ{
+		Head:  []string{"z"},
+		Atoms: []BodyAtom{{"E", []Term{V("y"), V("z")}}, {"E", []Term{V("z"), V("y")}}},
+	}
+	m := MaterializeCQ(e, q)
+	m.ApplyDelta(Delta{"E", Row{StrVal("a"), StrVal("a")}, true})
+	fresh := e.Eval(q)
+	if len(fresh) != m.Len() || m.Count(Row{StrVal("a")}) != fresh[Row{StrVal("a")}.key()].Count {
+		t.Fatalf("self-join IVM diverged: view=%v fresh=%v", m.rows, fresh)
+	}
+	m.ApplyDelta(Delta{"E", Row{StrVal("a"), StrVal("b")}, true})
+	m.ApplyDelta(Delta{"E", Row{StrVal("b"), StrVal("a")}, true})
+	fresh = e.Eval(q)
+	for k, vr := range fresh {
+		if m.rows[k].Count != vr.Count {
+			t.Fatalf("count mismatch for %v: %d vs %d", vr.Row, m.rows[k].Count, vr.Count)
+		}
+	}
+	m.ApplyDelta(Delta{"E", Row{StrVal("a"), StrVal("a")}, false})
+	fresh = e.Eval(q)
+	if len(fresh) != m.Len() {
+		t.Fatalf("after delete: view %d, fresh %d", m.Len(), len(fresh))
+	}
+}

@@ -1,0 +1,203 @@
+// Package relstore implements the paper's Section 4.4 relational baseline
+// (Example 8): graph structured data flattened into three relations —
+//
+//	OBJ(OID, LABEL)      labels of all objects
+//	CHILD(PARENT, CHILD) edges of all set objects
+//	ATOM(OID, TYPE, VALUE) values of all atomic objects
+//
+// — with GSDB views compiled into select-project-join queries over many
+// self-joins of CHILD, maintained incrementally by counting-based delta
+// propagation (the standard relational IVM technique of Gupta, Mumick and
+// Subrahmanian, which the paper cites as [GMS93]). The module exists to
+// answer the paper's second discussion question: is maintaining the view
+// on the relational representation competitive with the native GSDB
+// algorithm? Experiment E3 measures both.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsv/internal/oem"
+)
+
+// Val is one column value. Relational columns hold OIDs, labels (strings)
+// or atomic values; oem.Atom covers all of them.
+type Val = oem.Atom
+
+// Row is one tuple.
+type Row []Val
+
+// key renders a row as a canonical map key.
+func (r Row) key() string {
+	var b strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(fmt.Sprintf("%d:%v", int(v.Kind), v))
+	}
+	return b.String()
+}
+
+// Equal reports whether two rows hold the same values.
+func (r Row) Equal(s Row) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the row.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Stats counts low-level relational work — the "table operations" compared
+// against GSDB object touches in experiment E3.
+type Stats struct {
+	// RowsScanned counts rows visited by scans and index probes.
+	RowsScanned int
+	// IndexProbes counts hash-index lookups.
+	IndexProbes int
+	// DeltaRows counts view delta tuples produced.
+	DeltaRows int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.RowsScanned += other.RowsScanned
+	s.IndexProbes += other.IndexProbes
+	s.DeltaRows += other.DeltaRows
+}
+
+// Table is a set-semantics relation with hash indexes on every column.
+type Table struct {
+	Name string
+	Cols []string
+	rows map[string]Row
+	// idx[c][valkey] lists row keys with that value in column c.
+	idx []map[string]map[string]struct{}
+}
+
+// NewTable returns an empty table with the given columns.
+func NewTable(name string, cols ...string) *Table {
+	t := &Table{Name: name, Cols: cols, rows: make(map[string]Row)}
+	t.idx = make([]map[string]map[string]struct{}, len(cols))
+	for i := range t.idx {
+		t.idx[i] = make(map[string]map[string]struct{})
+	}
+	return t
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Has reports whether the table contains the row.
+func (t *Table) Has(r Row) bool {
+	_, ok := t.rows[r.key()]
+	return ok
+}
+
+// Insert adds a row; it reports whether the table changed (set semantics).
+func (t *Table) Insert(r Row) bool {
+	if len(r) != len(t.Cols) {
+		panic(fmt.Sprintf("relstore: arity mismatch inserting into %s: %v", t.Name, r))
+	}
+	k := r.key()
+	if _, ok := t.rows[k]; ok {
+		return false
+	}
+	t.rows[k] = append(Row(nil), r...)
+	for c, v := range r {
+		vk := valKey(v)
+		m := t.idx[c][vk]
+		if m == nil {
+			m = make(map[string]struct{})
+			t.idx[c][vk] = m
+		}
+		m[k] = struct{}{}
+	}
+	return true
+}
+
+// Delete removes a row; it reports whether the table changed.
+func (t *Table) Delete(r Row) bool {
+	k := r.key()
+	row, ok := t.rows[k]
+	if !ok {
+		return false
+	}
+	delete(t.rows, k)
+	for c, v := range row {
+		vk := valKey(v)
+		if m := t.idx[c][vk]; m != nil {
+			delete(m, k)
+			if len(m) == 0 {
+				delete(t.idx[c], vk)
+			}
+		}
+	}
+	return true
+}
+
+// Scan calls fn for every row.
+func (t *Table) Scan(st *Stats, fn func(Row) bool) {
+	for _, r := range t.rows {
+		if st != nil {
+			st.RowsScanned++
+		}
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Probe calls fn for every row whose column col holds v, using the index.
+func (t *Table) Probe(st *Stats, col int, v Val, fn func(Row) bool) {
+	if st != nil {
+		st.IndexProbes++
+	}
+	for k := range t.idx[col][valKey(v)] {
+		if st != nil {
+			st.RowsScanned++
+		}
+		if !fn(t.rows[k]) {
+			return
+		}
+	}
+}
+
+// Rows returns all rows, sorted by key for deterministic output.
+func (t *Table) Rows() []Row {
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Row, len(keys))
+	for i, k := range keys {
+		out[i] = t.rows[k]
+	}
+	return out
+}
+
+func valKey(v Val) string {
+	return fmt.Sprintf("%d:%v", int(v.Kind), v)
+}
+
+// OIDVal wraps an OID as a column value.
+func OIDVal(oid oem.OID) Val { return oem.String_(string(oid)) }
+
+// StrVal wraps a string as a column value.
+func StrVal(s string) Val { return oem.String_(s) }

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gsv/internal/oem"
+)
+
+// TestConcurrentReadersAndWriter hammers a store with parallel readers
+// while one writer mutates; run with -race this verifies the locking
+// discipline of every read path.
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	const readers = 8
+	const iters = 300
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 6 {
+				case 0:
+					_, _ = s.Get("P1")
+				case 1:
+					_, _ = s.Children("ROOT")
+				case 2:
+					_, _ = s.Parents("P3")
+				case 3:
+					_ = s.ByLabel("professor")
+				case 4:
+					_ = s.OIDs()
+				default:
+					_ = s.Log()
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < iters; i++ {
+		oid := oem.OID(fmt.Sprintf("w%d", i))
+		s.MustPut(oem.NewAtom(oid, "age", oem.Int(int64(i))))
+		if err := s.Insert("P2", oid); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Modify(oid, oem.Int(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete("P2", oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// 15 creations from the fixture, then create+insert+modify+delete per
+	// iteration.
+	if s.Seq() != uint64(15+4*iters) {
+		t.Fatalf("Seq = %d, want %d", s.Seq(), 15+4*iters)
+	}
+}
+
+// TestConcurrentWriters runs parallel writers on disjoint parents; the
+// final state must contain every insert exactly once.
+func TestConcurrentWriters(t *testing.T) {
+	s := NewDefault()
+	const writers = 6
+	const perWriter = 100
+	for w := 0; w < writers; w++ {
+		s.MustPut(oem.NewSet(oem.OID(fmt.Sprintf("S%d", w)), "bucket"))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parent := oem.OID(fmt.Sprintf("S%d", w))
+			for i := 0; i < perWriter; i++ {
+				oid := oem.OID(fmt.Sprintf("o%d_%d", w, i))
+				if err := s.Put(oem.NewAtom(oid, "item", oem.Int(int64(i)))); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Insert(parent, oid); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		kids, err := s.Children(oem.OID(fmt.Sprintf("S%d", w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kids) != perWriter {
+			t.Fatalf("bucket %d has %d children, want %d", w, len(kids), perWriter)
+		}
+	}
+	// The log is a total order: sequence numbers are dense and unique.
+	log := s.Log()
+	for i, u := range log {
+		if u.Seq != uint64(i+1) {
+			t.Fatalf("log[%d].Seq = %d", i, u.Seq)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gsv/internal/oem"
+)
+
+// WriteDOT renders the objects reachable from the given roots as a
+// Graphviz digraph in the style of the paper's figures: set objects as
+// boxes labeled "<OID, label>", atomic objects as ellipses labeled
+// "<OID, label, value>", and parent-child edges as arrows. With no roots,
+// the whole store is rendered. Grouping objects (databases, views) are
+// drawn with dashed borders so the data graph stays legible.
+func (s *Store) WriteDOT(w io.Writer, roots ...oem.OID) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph gsdb {")
+	fmt.Fprintln(bw, "  rankdir=TB;")
+	fmt.Fprintln(bw, "  node [fontname=\"Helvetica\", fontsize=10];")
+
+	include := map[oem.OID]bool{}
+	if len(roots) == 0 {
+		for _, oid := range s.OIDs() {
+			include[oid] = true
+		}
+	} else {
+		stack := append([]oem.OID(nil), roots...)
+		for len(stack) > 0 {
+			oid := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if include[oid] || !s.Has(oid) {
+				continue
+			}
+			include[oid] = true
+			if kids, err := s.Children(oid); err == nil {
+				stack = append(stack, kids...)
+			}
+		}
+	}
+
+	var oids []oem.OID
+	for oid := range include {
+		oids = append(oids, oid)
+	}
+	oem.SortOIDs(oids)
+	for _, oid := range oids {
+		o, err := s.Get(oid)
+		if err != nil {
+			continue
+		}
+		attrs := nodeAttrs(o)
+		fmt.Fprintf(bw, "  %s [%s];\n", dotID(oid), attrs)
+	}
+	for _, oid := range oids {
+		o, err := s.Get(oid)
+		if err != nil || !o.IsSet() {
+			continue
+		}
+		for _, c := range o.Set {
+			if !include[c] {
+				// Dangling or out-of-scope reference: a grey stub.
+				fmt.Fprintf(bw, "  %s [label=\"%s\", shape=plaintext, fontcolor=gray];\n",
+					dotID(c), escape(string(c)))
+				include[c] = true
+			}
+			fmt.Fprintf(bw, "  %s -> %s;\n", dotID(oid), dotID(c))
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func nodeAttrs(o *oem.Object) string {
+	if o.IsAtomic() {
+		return fmt.Sprintf("label=\"<%s, %s, %s>\", shape=ellipse",
+			escape(string(o.OID)), escape(o.Label), escape(o.Atom.String()))
+	}
+	style := ""
+	if oem.IsGroupingLabel(o.Label) {
+		style = ", style=dashed"
+	}
+	return fmt.Sprintf("label=\"<%s, %s>\", shape=box%s",
+		escape(string(o.OID)), escape(o.Label), style)
+}
+
+// dotID produces a safe Graphviz identifier for an OID.
+func dotID(oid oem.OID) string {
+	return `"` + escape(string(oid)) + `"`
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

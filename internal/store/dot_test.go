@@ -1,0 +1,76 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gsv/internal/oem"
+)
+
+func TestWriteDOTWholeStore(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	var buf bytes.Buffer
+	if err := s.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph gsdb {",
+		`"P1" [label="<P1, professor>", shape=box];`,
+		`"A1" [label="<A1, age, 45>", shape=ellipse];`,
+		`"ROOT" -> "P1";`,
+		`"P1" -> "P3";`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTRooted(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	var buf bytes.Buffer
+	if err := s.WriteDOT(&buf, "P1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"P1"`) || !strings.Contains(out, `"N1"`) {
+		t.Fatalf("rooted DOT missing subtree:\n%s", out)
+	}
+	if strings.Contains(out, `"P4"`) {
+		t.Fatalf("rooted DOT leaked unrelated objects:\n%s", out)
+	}
+}
+
+func TestWriteDOTDanglingAndGrouping(t *testing.T) {
+	s := NewDefault()
+	s.MustPut(oem.NewSet("R", "root", "gone"))
+	if err := s.NewDatabase("DB", "database", "R"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fontcolor=gray") {
+		t.Errorf("dangling reference not stubbed:\n%s", out)
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Errorf("grouping object not dashed:\n%s", out)
+	}
+}
+
+func TestWriteDOTEscaping(t *testing.T) {
+	s := NewDefault()
+	s.MustPut(oem.NewAtom(`Q"1`, `la"bel`, oem.String_(`va"lue\`)))
+	var buf bytes.Buffer
+	if err := s.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), `\"`) < 3 {
+		t.Fatalf("quotes not escaped:\n%s", buf.String())
+	}
+}

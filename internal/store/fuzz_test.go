@@ -1,0 +1,51 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks that the snapshot loader never panics on arbitrary
+// input, and that whatever it accepts re-saves to a snapshot that loads to
+// an equal store (idempotent round trip).
+func FuzzLoad(f *testing.F) {
+	// Seed with a real snapshot and assorted corruptions.
+	s := buildPerson(f, DefaultOptions())
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("gsv-snapshot-v1\n")
+	f.Add("gsv-snapshot-v1\n{}\n")
+	f.Add("gsv-snapshot-v1\n{\"oid\":\"A\",\"label\":\"x\",\"kind\":1,\"type\":\"set\",\"set\":[\"B\"]}\n")
+	f.Add("not a snapshot")
+	f.Add(strings.Replace(buf.String(), "45", "\"45\"", 1))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		first := NewDefault()
+		if err := first.Load(strings.NewReader(input)); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := first.Save(&out); err != nil {
+			t.Fatalf("accepted input failed to save: %v", err)
+		}
+		second := NewDefault()
+		if err := second.Load(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-save failed to load: %v", err)
+		}
+		if first.Len() != second.Len() {
+			t.Fatalf("round trip changed object count: %d -> %d", first.Len(), second.Len())
+		}
+		for _, oid := range first.OIDs() {
+			a, _ := first.Get(oid)
+			b, err := second.Get(oid)
+			if err != nil || !a.Equal(b) {
+				t.Fatalf("round trip changed %s: %v vs %v (%v)", oid, a, b, err)
+			}
+		}
+	})
+}

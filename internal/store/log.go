@@ -1,0 +1,126 @@
+package store
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+)
+
+// UpdateKind enumerates the basic updates of the paper's Section 4.1, plus
+// object creation (which the paper notes "has no impact on any queries"
+// until an insert connects the object).
+type UpdateKind int
+
+const (
+	// UpdateCreate records that a new object entered the store.
+	UpdateCreate UpdateKind = iota
+	// UpdateInsert records insert(N1,N2): N2 became a child of N1.
+	UpdateInsert
+	// UpdateDelete records delete(N1,N2): N2 ceased to be a child of N1.
+	UpdateDelete
+	// UpdateModify records modify(N,oldv,newv) on atomic object N1.
+	UpdateModify
+)
+
+// String returns the paper's name for the update kind.
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateCreate:
+		return "create"
+	case UpdateInsert:
+		return "insert"
+	case UpdateDelete:
+		return "delete"
+	case UpdateModify:
+		return "modify"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", int(k))
+	}
+}
+
+// Update is one logged mutation. The fields used depend on Kind:
+//
+//   - UpdateCreate: N1 is the new OID and Object a copy of the object.
+//   - UpdateInsert / UpdateDelete: N1 is the parent, N2 the child.
+//   - UpdateModify: N1 is the atomic object, Old and New its values.
+//
+// Seq is assigned contiguously from 1 by the store that applied the update.
+type Update struct {
+	Seq    uint64
+	Kind   UpdateKind
+	N1, N2 oem.OID
+	Old    oem.Atom
+	New    oem.Atom
+	Object *oem.Object
+}
+
+// String renders the update in the paper's functional notation.
+func (u Update) String() string {
+	switch u.Kind {
+	case UpdateCreate:
+		return fmt.Sprintf("create(%s)", u.N1)
+	case UpdateInsert:
+		return fmt.Sprintf("insert(%s, %s)", u.N1, u.N2)
+	case UpdateDelete:
+		return fmt.Sprintf("delete(%s, %s)", u.N1, u.N2)
+	case UpdateModify:
+		return fmt.Sprintf("modify(%s, %s, %s)", u.N1, u.Old, u.New)
+	default:
+		return fmt.Sprintf("update(%d)", int(u.Kind))
+	}
+}
+
+// emitLocked assigns the next sequence number, appends to the (possibly
+// bounded) log, and notifies subscribers. Callers hold s.mu; subscriber
+// callbacks therefore must not call back into the store — monitors enqueue
+// and process updates on their own goroutine or after the call returns.
+func (s *Store) emitLocked(u Update) {
+	s.seq++
+	u.Seq = s.seq
+	s.log = append(s.log, u)
+	if s.opts.LogCapacity > 0 && len(s.log) > s.opts.LogCapacity {
+		s.log = s.log[len(s.log)-s.opts.LogCapacity:]
+	}
+	for _, fn := range s.subs {
+		fn(u)
+	}
+}
+
+// Seq returns the sequence number of the most recent update, or zero.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Log returns a copy of the retained update log in sequence order.
+func (s *Store) Log() []Update {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Update, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// LogSince returns retained updates with sequence numbers greater than seq.
+func (s *Store) LogSince(seq uint64) []Update {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Update
+	for _, u := range s.log {
+		if u.Seq > seq {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Subscribe registers fn to be called synchronously with every subsequent
+// update, in sequence order. The callback runs with the store's lock held
+// and must not call store methods; copy the update and return. Subscribe is
+// how source monitors (Section 5) observe changes.
+func (s *Store) Subscribe(fn func(Update)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, fn)
+}

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gsv/internal/oem"
+)
+
+// persistHeader identifies the snapshot format.
+const persistHeader = "gsv-snapshot-v1"
+
+// jsonObject is the serialized form of one object. Atom values round-trip
+// through a tagged representation so integers survive undamaged.
+type jsonObject struct {
+	OID   oem.OID   `json:"oid"`
+	Label string    `json:"label"`
+	Kind  int       `json:"kind"`
+	Type  string    `json:"type"`
+	Atom  *jsonAtom `json:"atom,omitempty"`
+	Set   []oem.OID `json:"set,omitempty"`
+}
+
+type jsonAtom struct {
+	Kind int     `json:"kind"`
+	I    int64   `json:"i,omitempty"`
+	F    float64 `json:"f,omitempty"`
+	S    string  `json:"s,omitempty"`
+	B    bool    `json:"b,omitempty"`
+}
+
+// Save writes a snapshot of the store's objects as line-delimited JSON
+// preceded by a header line. The update log, sequence counters and
+// subscriptions are not part of a snapshot: a snapshot is a database, not
+// a replication stream.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, persistHeader); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	var encErr error
+	s.ForEach(func(o *oem.Object) {
+		if encErr != nil {
+			return
+		}
+		jo := jsonObject{OID: o.OID, Label: o.Label, Kind: int(o.Kind), Type: o.Type}
+		if o.IsAtomic() {
+			jo.Atom = &jsonAtom{Kind: int(o.Atom.Kind), I: o.Atom.I, F: o.Atom.F, S: o.Atom.S, B: o.Atom.B}
+		} else {
+			jo.Set = o.Set
+		}
+		encErr = enc.Encode(jo)
+	})
+	if encErr != nil {
+		return encErr
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot produced by Save into an empty store. Loading into
+// a non-empty store fails: snapshots restore databases, they do not merge.
+func (s *Store) Load(r io.Reader) error {
+	if s.Len() != 0 {
+		return fmt.Errorf("store: Load requires an empty store (have %d objects)", s.Len())
+	}
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot header: %w", err)
+	}
+	if header != persistHeader+"\n" {
+		return fmt.Errorf("store: bad snapshot header %q", header)
+	}
+	dec := json.NewDecoder(br)
+	for {
+		var jo jsonObject
+		if err := dec.Decode(&jo); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("store: decoding snapshot: %w", err)
+		}
+		if jo.OID == "" {
+			return fmt.Errorf("store: snapshot object without OID")
+		}
+		if k := oem.Kind(jo.Kind); k != oem.KindAtomic && k != oem.KindSet {
+			return fmt.Errorf("store: snapshot object %s has invalid kind %d", jo.OID, jo.Kind)
+		}
+		o := &oem.Object{OID: jo.OID, Label: jo.Label, Kind: oem.Kind(jo.Kind), Type: jo.Type}
+		if o.Kind == oem.KindAtomic {
+			if jo.Atom == nil {
+				return fmt.Errorf("store: atomic object %s without atom", jo.OID)
+			}
+			if k := oem.AtomKind(jo.Atom.Kind); k < oem.AtomNone || k > oem.AtomBool {
+				return fmt.Errorf("store: snapshot object %s has invalid atom kind %d", jo.OID, jo.Atom.Kind)
+			}
+			o.Atom = oem.Atom{Kind: oem.AtomKind(jo.Atom.Kind), I: jo.Atom.I, F: jo.Atom.F, S: jo.Atom.S, B: jo.Atom.B}
+		} else {
+			o.Set = jo.Set
+		}
+		if err := s.Put(o); err != nil {
+			return err
+		}
+	}
+}

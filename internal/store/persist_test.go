@@ -1,0 +1,113 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gsv/internal/oem"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewDefault()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() {
+		t.Fatalf("restored %d objects, want %d", restored.Len(), s.Len())
+	}
+	s.ForEach(func(o *oem.Object) {
+		r, err := restored.Get(o.OID)
+		if err != nil {
+			t.Fatalf("missing %s: %v", o.OID, err)
+		}
+		if !r.Equal(o) {
+			t.Fatalf("object %s differs: %v vs %v", o.OID, r, o)
+		}
+	})
+	// Indexes are rebuilt on load.
+	ps, err := restored.Parents("P3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(ps, []oem.OID{"ROOT", "P1"}) {
+		t.Fatalf("Parents after load = %v", ps)
+	}
+	if got := restored.ByLabel("professor"); !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("ByLabel after load = %v", got)
+	}
+}
+
+func TestSaveLoadAtomKinds(t *testing.T) {
+	s := NewDefault()
+	s.MustPut(oem.NewAtom("I", "i", oem.Int(1<<60)))
+	s.MustPut(oem.NewAtom("F", "f", oem.Float(2.5)))
+	s.MustPut(oem.NewAtom("S", "s", oem.String_("hello world")))
+	s.MustPut(oem.NewAtom("B", "b", oem.Bool(true)))
+	s.MustPut(oem.NewTypedAtom("D", "salary", "dollar", oem.Int(100)))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := NewDefault()
+	if err := r.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	i, _ := r.Get("I")
+	if !i.Atom.Equal(oem.Int(1 << 60)) {
+		t.Fatalf("large int lost: %v", i.Atom)
+	}
+	d, _ := r.Get("D")
+	if d.Type != "dollar" {
+		t.Fatalf("custom type lost: %q", d.Type)
+	}
+	b, _ := r.Get("B")
+	if !b.Atom.B {
+		t.Fatal("bool lost")
+	}
+}
+
+func TestLoadRejectsNonEmptyStore(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(&buf); err == nil {
+		t.Fatal("Load into non-empty store succeeded")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a snapshot\n",
+		"gsv-snapshot-v1\n{broken json",
+		"gsv-snapshot-v1\n" + `{"oid":"A","label":"x","kind":0,"type":"integer"}` + "\n", // atomic without atom
+	}
+	for _, c := range cases {
+		s := NewDefault()
+		if err := s.Load(strings.NewReader(c)); err == nil {
+			t.Errorf("Load(%q) succeeded", c)
+		}
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	var a, b bytes.Buffer
+	if err := s.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two saves of the same store differ")
+	}
+}

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+)
+
+// Union implements the paper's union(S1,S2): it creates a new set object
+// whose value is value(S1) ∪ value(S2), with an arbitrary unique OID and
+// the label of S1, stores it, and returns its OID. Both operands must be
+// set objects.
+func (s *Store) Union(s1, s2 oem.OID) (oem.OID, error) {
+	return s.setOp(s1, s2, func(a, b []oem.OID) []oem.OID {
+		seen := make(map[oem.OID]bool, len(a)+len(b))
+		out := make([]oem.OID, 0, len(a)+len(b))
+		for _, lists := range [][]oem.OID{a, b} {
+			for _, m := range lists {
+				if !seen[m] {
+					seen[m] = true
+					out = append(out, m)
+				}
+			}
+		}
+		return out
+	})
+}
+
+// Intersect implements the paper's int(S1,S2): a new set object whose value
+// is value(S1) ∩ value(S2), with a fresh OID and the label of S1.
+func (s *Store) Intersect(s1, s2 oem.OID) (oem.OID, error) {
+	return s.setOp(s1, s2, func(a, b []oem.OID) []oem.OID {
+		inB := make(map[oem.OID]bool, len(b))
+		for _, m := range b {
+			inB[m] = true
+		}
+		var out []oem.OID
+		for _, m := range a {
+			if inB[m] {
+				out = append(out, m)
+			}
+		}
+		return out
+	})
+}
+
+// Difference creates a new set object whose value is value(S1) \ value(S2).
+// The paper defines only union and int; difference completes the family and
+// is used by access-control helpers.
+func (s *Store) Difference(s1, s2 oem.OID) (oem.OID, error) {
+	return s.setOp(s1, s2, func(a, b []oem.OID) []oem.OID {
+		inB := make(map[oem.OID]bool, len(b))
+		for _, m := range b {
+			inB[m] = true
+		}
+		var out []oem.OID
+		for _, m := range a {
+			if !inB[m] {
+				out = append(out, m)
+			}
+		}
+		return out
+	})
+}
+
+func (s *Store) setOp(s1, s2 oem.OID, combine func(a, b []oem.OID) []oem.OID) (oem.OID, error) {
+	o1, err := s.Get(s1)
+	if err != nil {
+		return oem.NoOID, err
+	}
+	o2, err := s.Get(s2)
+	if err != nil {
+		return oem.NoOID, err
+	}
+	if !o1.IsSet() {
+		return oem.NoOID, fmt.Errorf("%w: %s", ErrNotSet, s1)
+	}
+	if !o2.IsSet() {
+		return oem.NoOID, fmt.Errorf("%w: %s", ErrNotSet, s2)
+	}
+	oid := s.GenOID("setop")
+	res := oem.NewSet(oid, o1.Label, combine(o1.Set, o2.Set)...)
+	if err := s.Put(res); err != nil {
+		return oem.NoOID, err
+	}
+	return oid, nil
+}
+
+// NewDatabase creates a database object: an ordinary set object whose value
+// lists the member OIDs, per the paper's Section 2 ("a database is simply a
+// way to group objects together"). The label defaults to "database".
+func (s *Store) NewDatabase(oid oem.OID, label string, members ...oem.OID) error {
+	if label == "" {
+		label = "database"
+	}
+	return s.Put(oem.NewSet(oid, label, members...))
+}
+
+// DatabaseMembers returns the member set of a database object as a lookup
+// map, used by WITHIN / ANS INT evaluation. The database object itself is
+// not a member unless listed.
+func (s *Store) DatabaseMembers(db oem.OID) (map[oem.OID]bool, error) {
+	o, err := s.Get(db)
+	if err != nil {
+		return nil, err
+	}
+	if !o.IsSet() {
+		return nil, fmt.Errorf("%w: %s", ErrNotSet, db)
+	}
+	m := make(map[oem.OID]bool, len(o.Set))
+	for _, oid := range o.Set {
+		m[oid] = true
+	}
+	return m, nil
+}

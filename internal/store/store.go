@@ -1,0 +1,495 @@
+// Package store implements an in-memory storage engine for graph structured
+// databases (GSDBs). A Store holds OEM objects, applies the three basic
+// updates of the paper's Section 4.1 — insert(N1,N2), delete(N1,N2) and
+// modify(N,oldv,newv) — assigns every mutation a sequence number in an
+// update log, and notifies subscribed monitors. Optional parent and label
+// indexes accelerate the helper functions used by incremental view
+// maintenance; they can be disabled to reproduce the paper's cost
+// discussion for index-free sources.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gsv/internal/oem"
+)
+
+// Common errors returned by store operations.
+var (
+	// ErrNotFound reports that an OID does not name an object in the store.
+	ErrNotFound = errors.New("store: object not found")
+	// ErrExists reports an attempt to create an object whose OID is taken.
+	ErrExists = errors.New("store: object already exists")
+	// ErrNotSet reports a child operation on an atomic object.
+	ErrNotSet = errors.New("store: object is not a set object")
+	// ErrNotAtomic reports a modify on a set object.
+	ErrNotAtomic = errors.New("store: object is not an atomic object")
+	// ErrNotChild reports a delete of an edge that does not exist.
+	ErrNotChild = errors.New("store: not a child of parent")
+)
+
+// Options configure a Store.
+type Options struct {
+	// ParentIndex maintains, for every object, the set of its parents. With
+	// the index, path(ROOT,N) and ancestor(N,p) walk up from N; without it
+	// they traverse down from the root, which the paper identifies as the
+	// expensive case (Section 4.4).
+	ParentIndex bool
+	// LabelIndex maintains a map from label to the OIDs carrying it.
+	LabelIndex bool
+	// LogCapacity bounds the retained update log; zero keeps every update.
+	// The sequence counter is monotonic regardless of trimming.
+	LogCapacity int
+	// AllowDangling permits Insert to add a child OID that names no object
+	// in this store. OEM values are just sets of OIDs and remote references
+	// are legitimate; warehouse view stores enable this so delegate values
+	// can keep pointing at base objects that live at the sources.
+	AllowDangling bool
+}
+
+// DefaultOptions enables both indexes and an unbounded log.
+func DefaultOptions() Options {
+	return Options{ParentIndex: true, LabelIndex: true}
+}
+
+// Store is a mutable collection of OEM objects. All methods are safe for
+// concurrent use. Objects returned by read methods are defensive copies;
+// mutations must go through the update methods so that indexes, the log and
+// subscribers stay consistent.
+type Store struct {
+	mu      sync.RWMutex
+	opts    Options
+	objects map[oem.OID]*oem.Object
+	parents map[oem.OID]map[oem.OID]struct{} // child -> parents, when ParentIndex
+	byLabel map[string]map[oem.OID]struct{}  // label -> objects, when LabelIndex
+	log     []Update
+	seq     uint64
+	genSeq  uint64
+	subs    []func(Update)
+}
+
+// New returns an empty store with the given options.
+func New(opts Options) *Store {
+	return &Store{
+		opts:    opts,
+		objects: make(map[oem.OID]*oem.Object),
+		parents: make(map[oem.OID]map[oem.OID]struct{}),
+		byLabel: make(map[string]map[oem.OID]struct{}),
+	}
+}
+
+// NewDefault returns an empty store with DefaultOptions.
+func NewDefault() *Store { return New(DefaultOptions()) }
+
+// Options returns the options the store was created with.
+func (s *Store) Options() Options { return s.opts }
+
+// Len returns the number of objects in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Get returns a copy of the object named by oid.
+func (s *Store) Get(oid oem.OID) (*oem.Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
+	}
+	return o.Clone(), nil
+}
+
+// Has reports whether oid names an object in the store.
+func (s *Store) Has(oid oem.OID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[oid]
+	return ok
+}
+
+// Label returns the label of the object named by oid.
+func (s *Store) Label(oid oem.OID) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, oid)
+	}
+	return o.Label, nil
+}
+
+// Children returns the value of a set object: the OIDs of its children.
+// Atomic objects have no children; Children returns nil for them.
+func (s *Store) Children(oid oem.OID) ([]oem.OID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
+	}
+	if o.Kind != oem.KindSet {
+		return nil, nil
+	}
+	out := make([]oem.OID, len(o.Set))
+	copy(out, o.Set)
+	return out, nil
+}
+
+// Parents returns the OIDs of objects whose set value contains oid. With
+// the parent index the lookup is O(parents); without it the whole store is
+// scanned, mirroring the cost asymmetry the paper discusses.
+func (s *Store) Parents(oid oem.OID) ([]oem.OID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.objects[oid]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
+	}
+	if s.opts.ParentIndex {
+		ps := s.parents[oid]
+		out := make([]oem.OID, 0, len(ps))
+		for p := range ps {
+			out = append(out, p)
+		}
+		return oem.SortOIDs(out), nil
+	}
+	var out []oem.OID
+	for poid, p := range s.objects {
+		if p.Contains(oid) {
+			out = append(out, poid)
+		}
+	}
+	return oem.SortOIDs(out), nil
+}
+
+// ByLabel returns the OIDs of all objects carrying the given label. With
+// the label index the lookup is O(matches); without it the store is scanned.
+func (s *Store) ByLabel(label string) []oem.OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.opts.LabelIndex {
+		m := s.byLabel[label]
+		out := make([]oem.OID, 0, len(m))
+		for oid := range m {
+			out = append(out, oid)
+		}
+		return oem.SortOIDs(out)
+	}
+	var out []oem.OID
+	for oid, o := range s.objects {
+		if o.Label == label {
+			out = append(out, oid)
+		}
+	}
+	return oem.SortOIDs(out)
+}
+
+// OIDs returns every OID in the store, sorted.
+func (s *Store) OIDs() []oem.OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]oem.OID, 0, len(s.objects))
+	for oid := range s.objects {
+		out = append(out, oid)
+	}
+	return oem.SortOIDs(out)
+}
+
+// ForEach calls fn with a copy of every object, in sorted OID order. It
+// takes a snapshot of the OIDs first, so fn may call read methods.
+func (s *Store) ForEach(fn func(*oem.Object)) {
+	for _, oid := range s.OIDs() {
+		if o, err := s.Get(oid); err == nil {
+			fn(o)
+		}
+	}
+}
+
+// GenOID returns a fresh OID with the given prefix that is not currently in
+// use. It is used for query answers, view objects and set-operation results
+// ("an arbitrary unique OID" in the paper's terms).
+func (s *Store) GenOID(prefix string) oem.OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.genOIDLocked(prefix)
+}
+
+func (s *Store) genOIDLocked(prefix string) oem.OID {
+	for {
+		s.genSeq++
+		oid := oem.OID(fmt.Sprintf("%s_%d", prefix, s.genSeq))
+		if _, ok := s.objects[oid]; !ok {
+			return oid
+		}
+	}
+}
+
+// Put creates a new object. The object's children need not exist yet — OEM
+// is schemaless and dangling OIDs are permitted (a query simply cannot
+// traverse them). Put records a Create update in the log.
+func (s *Store) Put(o *oem.Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[o.OID]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, o.OID)
+	}
+	c := o.Clone()
+	s.objects[c.OID] = c
+	s.indexAdd(c)
+	s.emitLocked(Update{Kind: UpdateCreate, N1: c.OID, Object: c.Clone()})
+	return nil
+}
+
+// MustPut is Put for construction code where a duplicate OID is a bug.
+func (s *Store) MustPut(o *oem.Object) {
+	if err := s.Put(o); err != nil {
+		panic(err)
+	}
+}
+
+// Insert applies insert(N1,N2): it adds OID N2 to the set value of N1,
+// making N2 a child of N1. N1 must exist and be a set object. N2 must
+// exist: the basic updates of Section 4.1 manipulate edges between existing
+// objects (new objects are first created with Put, which has no effect on
+// views until an insert connects them).
+func (s *Store) Insert(n1, n2 oem.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.objects[n1]
+	if !ok {
+		return fmt.Errorf("%w: parent %s", ErrNotFound, n1)
+	}
+	if p.Kind != oem.KindSet {
+		return fmt.Errorf("%w: %s", ErrNotSet, n1)
+	}
+	if _, ok := s.objects[n2]; !ok && !s.opts.AllowDangling {
+		return fmt.Errorf("%w: child %s", ErrNotFound, n2)
+	}
+	if !p.Add(n2) {
+		return nil // already a child; value unchanged, nothing to log
+	}
+	if s.opts.ParentIndex {
+		ps := s.parents[n2]
+		if ps == nil {
+			ps = make(map[oem.OID]struct{})
+			s.parents[n2] = ps
+		}
+		ps[n1] = struct{}{}
+	}
+	s.emitLocked(Update{Kind: UpdateInsert, N1: n1, N2: n2})
+	return nil
+}
+
+// Delete applies delete(N1,N2): it removes OID N2 from the set value of N1.
+// Orphaned objects are not reclaimed here; see CollectGarbage.
+func (s *Store) Delete(n1, n2 oem.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.objects[n1]
+	if !ok {
+		return fmt.Errorf("%w: parent %s", ErrNotFound, n1)
+	}
+	if p.Kind != oem.KindSet {
+		return fmt.Errorf("%w: %s", ErrNotSet, n1)
+	}
+	if !p.Remove(n2) {
+		return fmt.Errorf("%w: %s not in %s", ErrNotChild, n2, n1)
+	}
+	if s.opts.ParentIndex {
+		if ps := s.parents[n2]; ps != nil {
+			delete(ps, n1)
+			if len(ps) == 0 {
+				delete(s.parents, n2)
+			}
+		}
+	}
+	s.emitLocked(Update{Kind: UpdateDelete, N1: n1, N2: n2})
+	return nil
+}
+
+// Modify applies modify(N,oldv,newv): it changes the value of atomic object
+// N. The old value is recorded in the update, as Algorithm 1 requires.
+func (s *Store) Modify(n oem.OID, newv oem.Atom) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[n]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, n)
+	}
+	if o.Kind != oem.KindAtomic {
+		return fmt.Errorf("%w: %s", ErrNotAtomic, n)
+	}
+	oldv := o.Atom
+	o.Atom = newv
+	o.Type = newTypeFor(o.Type, oldv, newv)
+	s.emitLocked(Update{Kind: UpdateModify, N1: n, Old: oldv, New: newv})
+	return nil
+}
+
+// newTypeFor keeps a custom type name (such as "dollar") when the
+// representation kind is unchanged, and falls back to the atom's own type
+// name when the kind changes.
+func newTypeFor(cur string, oldv, newv oem.Atom) string {
+	if oldv.Kind == newv.Kind {
+		return cur
+	}
+	return newv.TypeName()
+}
+
+// SetValue replaces the whole value of a set object. The paper models this
+// as a series of insertions and deletions, and so does SetValue: one logged
+// update per edge changed.
+func (s *Store) SetValue(n oem.OID, members []oem.OID) error {
+	cur, err := s.Children(n)
+	if err != nil {
+		return err
+	}
+	curSet := make(map[oem.OID]bool, len(cur))
+	for _, c := range cur {
+		curSet[c] = true
+	}
+	newSet := make(map[oem.OID]bool, len(members))
+	for _, m := range members {
+		newSet[m] = true
+	}
+	for _, c := range cur {
+		if !newSet[c] {
+			if err := s.Delete(n, c); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range members {
+		if !curSet[m] {
+			if err := s.Insert(n, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Remove deletes an object outright, detaching it from all parents first.
+// It is not one of the paper's basic updates — sources model removal as
+// edge deletions followed by garbage collection — but tools need it.
+func (s *Store) Remove(oid oem.OID) error {
+	parents, err := s.Parents(oid)
+	if err != nil {
+		return err
+	}
+	for _, p := range parents {
+		if err := s.Delete(p, oid); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[oid]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, oid)
+	}
+	s.indexRemove(o)
+	delete(s.objects, oid)
+	// Children lose this parent.
+	if s.opts.ParentIndex && o.Kind == oem.KindSet {
+		for _, c := range o.Set {
+			if ps := s.parents[c]; ps != nil {
+				delete(ps, oid)
+				if len(ps) == 0 {
+					delete(s.parents, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CollectGarbage removes every object not reachable from the given roots,
+// following set values. It returns the OIDs removed. The paper notes that
+// objects no longer pointed at "may be garbage collected"; roots typically
+// include the database objects and any view objects.
+func (s *Store) CollectGarbage(roots ...oem.OID) []oem.OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reachable := make(map[oem.OID]bool, len(s.objects))
+	stack := make([]oem.OID, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := s.objects[r]; ok && !reachable[r] {
+			reachable[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		oid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		o := s.objects[oid]
+		if o == nil || o.Kind != oem.KindSet {
+			continue
+		}
+		for _, c := range o.Set {
+			if _, ok := s.objects[c]; ok && !reachable[c] {
+				reachable[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	var removed []oem.OID
+	for oid, o := range s.objects {
+		if !reachable[oid] {
+			removed = append(removed, oid)
+			s.indexRemove(o)
+			delete(s.objects, oid)
+			delete(s.parents, oid)
+		}
+	}
+	// Drop parent-index entries that point at removed parents.
+	if s.opts.ParentIndex {
+		for c, ps := range s.parents {
+			for p := range ps {
+				if _, ok := s.objects[p]; !ok {
+					delete(ps, p)
+				}
+			}
+			if len(ps) == 0 {
+				delete(s.parents, c)
+			}
+		}
+	}
+	return oem.SortOIDs(removed)
+}
+
+func (s *Store) indexAdd(o *oem.Object) {
+	if s.opts.LabelIndex {
+		m := s.byLabel[o.Label]
+		if m == nil {
+			m = make(map[oem.OID]struct{})
+			s.byLabel[o.Label] = m
+		}
+		m[o.OID] = struct{}{}
+	}
+	if s.opts.ParentIndex && o.Kind == oem.KindSet {
+		for _, c := range o.Set {
+			ps := s.parents[c]
+			if ps == nil {
+				ps = make(map[oem.OID]struct{})
+				s.parents[c] = ps
+			}
+			ps[o.OID] = struct{}{}
+		}
+	}
+}
+
+func (s *Store) indexRemove(o *oem.Object) {
+	if s.opts.LabelIndex {
+		if m := s.byLabel[o.Label]; m != nil {
+			delete(m, o.OID)
+			if len(m) == 0 {
+				delete(s.byLabel, o.Label)
+			}
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gsv/internal/oem"
+)
+
+// buildPerson loads the paper's Example 2 PERSON objects into a store.
+// (The workload package has a richer builder; tests here stay local to
+// avoid an import cycle in coverage tooling.)
+func buildPerson(t testing.TB, opts Options) *Store {
+	t.Helper()
+	s := New(opts)
+	s.MustPut(oem.NewSet("ROOT", "person", "P1", "P2", "P3", "P4"))
+	s.MustPut(oem.NewSet("P1", "professor", "N1", "A1", "S1", "P3"))
+	s.MustPut(oem.NewAtom("N1", "name", oem.String_("John")))
+	s.MustPut(oem.NewAtom("A1", "age", oem.Int(45)))
+	s.MustPut(oem.NewTypedAtom("S1", "salary", "dollar", oem.Int(100000)))
+	s.MustPut(oem.NewSet("P3", "student", "N3", "A3", "M3"))
+	s.MustPut(oem.NewAtom("N3", "name", oem.String_("John")))
+	s.MustPut(oem.NewAtom("A3", "age", oem.Int(20)))
+	s.MustPut(oem.NewAtom("M3", "major", oem.String_("education")))
+	s.MustPut(oem.NewSet("P2", "professor", "N2", "ADD2"))
+	s.MustPut(oem.NewAtom("N2", "name", oem.String_("Sally")))
+	s.MustPut(oem.NewAtom("ADD2", "address", oem.String_("Palo Alto")))
+	s.MustPut(oem.NewSet("P4", "secretary", "N4", "A4"))
+	s.MustPut(oem.NewAtom("N4", "name", oem.String_("Tom")))
+	s.MustPut(oem.NewAtom("A4", "age", oem.Int(40)))
+	return s
+}
+
+func TestPutGet(t *testing.T) {
+	s := NewDefault()
+	s.MustPut(oem.NewAtom("A1", "age", oem.Int(45)))
+	o, err := s.Get("A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Label != "age" || !o.Atom.Equal(oem.Int(45)) {
+		t.Fatalf("Get = %v", o)
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) err = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(oem.NewAtom("A1", "age", oem.Int(1))); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Put err = %v, want ErrExists", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewDefault()
+	s.MustPut(oem.NewSet("S", "s", "A"))
+	s.MustPut(oem.NewAtom("A", "a", oem.Int(1)))
+	o, _ := s.Get("S")
+	o.Add("B") // must not leak into the store
+	o2, _ := s.Get("S")
+	if o2.Contains("B") {
+		t.Fatal("mutating a Get result changed the store")
+	}
+}
+
+func TestInsertDeleteAndParents(t *testing.T) {
+	for _, withIndex := range []bool{true, false} {
+		opts := DefaultOptions()
+		opts.ParentIndex = withIndex
+		s := buildPerson(t, opts)
+
+		ps, err := s.Parents("P3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !oem.SameMembers(ps, []oem.OID{"ROOT", "P1"}) {
+			t.Fatalf("index=%v: Parents(P3) = %v, want [P1 ROOT]", withIndex, ps)
+		}
+
+		// insert(P2, A2): the update from Example 5.
+		s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+		if err := s.Insert("P2", "A2"); err != nil {
+			t.Fatal(err)
+		}
+		kids, _ := s.Children("P2")
+		if !oem.SameMembers(kids, []oem.OID{"N2", "ADD2", "A2"}) {
+			t.Fatalf("index=%v: Children(P2) = %v", withIndex, kids)
+		}
+		ps, _ = s.Parents("A2")
+		if !oem.SameMembers(ps, []oem.OID{"P2"}) {
+			t.Fatalf("index=%v: Parents(A2) = %v", withIndex, ps)
+		}
+
+		if err := s.Delete("P2", "A2"); err != nil {
+			t.Fatal(err)
+		}
+		ps, _ = s.Parents("A2")
+		if len(ps) != 0 {
+			t.Fatalf("index=%v: Parents(A2) after delete = %v", withIndex, ps)
+		}
+		if err := s.Delete("P2", "A2"); !errors.Is(err, ErrNotChild) {
+			t.Fatalf("index=%v: double delete err = %v", withIndex, err)
+		}
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	if err := s.Insert("missing", "P1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if err := s.Insert("ROOT", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if err := s.Insert("A1", "P1"); !errors.Is(err, ErrNotSet) {
+		t.Fatalf("insert under atomic err = %v, want ErrNotSet", err)
+	}
+	// Re-inserting an existing child is a no-op, not an error.
+	before := s.Seq()
+	if err := s.Insert("ROOT", "P1"); err != nil {
+		t.Fatalf("idempotent insert err = %v", err)
+	}
+	if s.Seq() != before {
+		t.Fatal("idempotent insert was logged")
+	}
+}
+
+func TestModify(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	if err := s.Modify("A1", oem.Int(46)); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := s.Get("A1")
+	if !o.Atom.Equal(oem.Int(46)) {
+		t.Fatalf("A1 = %v after modify", o)
+	}
+	if err := s.Modify("ROOT", oem.Int(1)); !errors.Is(err, ErrNotAtomic) {
+		t.Fatalf("modify set object err = %v, want ErrNotAtomic", err)
+	}
+	if err := s.Modify("missing", oem.Int(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("modify missing err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestModifyKeepsCustomType(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	if err := s.Modify("S1", oem.Int(120000)); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := s.Get("S1")
+	if o.Type != "dollar" {
+		t.Fatalf("salary type after modify = %q, want dollar", o.Type)
+	}
+	// Changing representation kind falls back to the atom's type name.
+	if err := s.Modify("S1", oem.String_("n/a")); err != nil {
+		t.Fatal(err)
+	}
+	o, _ = s.Get("S1")
+	if o.Type != "string" {
+		t.Fatalf("salary type after kind change = %q, want string", o.Type)
+	}
+}
+
+func TestUpdateLog(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	base := s.Seq()
+	s.MustPut(oem.NewAtom("A2", "age", oem.Int(40)))
+	if err := s.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Modify("A2", oem.Int(41)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	log := s.LogSince(base)
+	if len(log) != 4 {
+		t.Fatalf("log len = %d, want 4", len(log))
+	}
+	wantKinds := []UpdateKind{UpdateCreate, UpdateInsert, UpdateModify, UpdateDelete}
+	for i, u := range log {
+		if u.Kind != wantKinds[i] {
+			t.Errorf("log[%d].Kind = %v, want %v", i, u.Kind, wantKinds[i])
+		}
+		if u.Seq != base+uint64(i)+1 {
+			t.Errorf("log[%d].Seq = %d, want %d", i, u.Seq, base+uint64(i)+1)
+		}
+	}
+	if got := log[2]; !got.Old.Equal(oem.Int(40)) || !got.New.Equal(oem.Int(41)) {
+		t.Errorf("modify old/new = %v/%v", got.Old, got.New)
+	}
+	if got, want := log[1].String(), "insert(P2, A2)"; got != want {
+		t.Errorf("insert String = %q, want %q", got, want)
+	}
+	if got, want := log[3].String(), "delete(P2, A2)"; got != want {
+		t.Errorf("delete String = %q, want %q", got, want)
+	}
+}
+
+func TestLogCapacity(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LogCapacity = 3
+	s := New(opts)
+	s.MustPut(oem.NewSet("S", "s"))
+	for i := 0; i < 10; i++ {
+		s.MustPut(oem.NewAtom(oem.OID(rune('a'+i)), "x", oem.Int(int64(i))))
+	}
+	log := s.Log()
+	if len(log) != 3 {
+		t.Fatalf("log len = %d, want 3", len(log))
+	}
+	if s.Seq() != 11 {
+		t.Fatalf("Seq = %d, want 11 (trimming must not reset the counter)", s.Seq())
+	}
+	if log[len(log)-1].Seq != 11 {
+		t.Fatalf("last retained Seq = %d, want 11", log[len(log)-1].Seq)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	s := NewDefault()
+	var got []Update
+	s.Subscribe(func(u Update) { got = append(got, u) })
+	s.MustPut(oem.NewSet("S", "s"))
+	s.MustPut(oem.NewAtom("A", "a", oem.Int(1)))
+	if err := s.Insert("S", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("subscriber saw %d updates, want 3", len(got))
+	}
+	if got[2].Kind != UpdateInsert || got[2].N1 != "S" || got[2].N2 != "A" {
+		t.Fatalf("subscriber update = %+v", got[2])
+	}
+}
+
+func TestByLabel(t *testing.T) {
+	for _, withIndex := range []bool{true, false} {
+		opts := DefaultOptions()
+		opts.LabelIndex = withIndex
+		s := buildPerson(t, opts)
+		got := s.ByLabel("professor")
+		if !oem.SameMembers(got, []oem.OID{"P1", "P2"}) {
+			t.Fatalf("index=%v: ByLabel(professor) = %v", withIndex, got)
+		}
+		if len(s.ByLabel("nosuch")) != 0 {
+			t.Fatalf("index=%v: ByLabel(nosuch) non-empty", withIndex)
+		}
+	}
+}
+
+func TestByLabelTracksRemoval(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	if err := s.Remove("P4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ByLabel("secretary"); len(got) != 0 {
+		t.Fatalf("ByLabel(secretary) after Remove = %v", got)
+	}
+	if s.Has("P4") {
+		t.Fatal("P4 still present after Remove")
+	}
+	kids, _ := s.Children("ROOT")
+	if oem.SameMembers(kids, []oem.OID{"P1", "P2", "P3", "P4"}) {
+		t.Fatal("ROOT still points at removed P4")
+	}
+}
+
+func TestSetValue(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	before := s.Seq()
+	if err := s.SetValue("ROOT", []oem.OID{"P1", "P3"}); err != nil {
+		t.Fatal(err)
+	}
+	kids, _ := s.Children("ROOT")
+	if !oem.SameMembers(kids, []oem.OID{"P1", "P3"}) {
+		t.Fatalf("Children = %v", kids)
+	}
+	// Two deletions (P2, P4), zero insertions.
+	if got := s.Seq() - before; got != 2 {
+		t.Fatalf("SetValue logged %d updates, want 2", got)
+	}
+}
+
+func TestCollectGarbage(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	if err := s.Delete("ROOT", "P4"); err != nil {
+		t.Fatal(err)
+	}
+	removed := s.CollectGarbage("ROOT")
+	if !oem.SameMembers(removed, []oem.OID{"P4", "N4", "A4"}) {
+		t.Fatalf("removed = %v, want [A4 N4 P4]", removed)
+	}
+	if s.Has("P4") || s.Has("N4") || s.Has("A4") {
+		t.Fatal("garbage still present")
+	}
+	// P3 is still reachable via both ROOT and P1.
+	if !s.Has("P3") {
+		t.Fatal("reachable object collected")
+	}
+	// Parent index must stay consistent for survivors.
+	ps, err := s.Parents("P3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(ps, []oem.OID{"ROOT", "P1"}) {
+		t.Fatalf("Parents(P3) after GC = %v", ps)
+	}
+}
+
+func TestGenOIDUnique(t *testing.T) {
+	s := NewDefault()
+	seen := make(map[oem.OID]bool)
+	for i := 0; i < 100; i++ {
+		oid := s.GenOID("ans")
+		if seen[oid] {
+			t.Fatalf("GenOID repeated %s", oid)
+		}
+		seen[oid] = true
+		s.MustPut(oem.NewSet(oid, "answer"))
+	}
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	s := NewDefault()
+	s.MustPut(oem.NewSet("S1", "people", "A", "B", "C"))
+	s.MustPut(oem.NewSet("S2", "others", "B", "C", "D"))
+	for _, oid := range []oem.OID{"A", "B", "C", "D"} {
+		s.MustPut(oem.NewAtom(oid, "x", oem.Int(1)))
+	}
+
+	u, err := s.Union("S1", "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uo, _ := s.Get(u)
+	if !oem.SameMembers(uo.Set, []oem.OID{"A", "B", "C", "D"}) {
+		t.Fatalf("union = %v", uo.Set)
+	}
+	if uo.Label != "people" {
+		t.Fatalf("union label = %q, want label of S1", uo.Label)
+	}
+
+	i, err := s.Intersect("S1", "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io, _ := s.Get(i)
+	if !oem.SameMembers(io.Set, []oem.OID{"B", "C"}) {
+		t.Fatalf("intersect = %v", io.Set)
+	}
+
+	d, err := s.Difference("S1", "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	do, _ := s.Get(d)
+	if !oem.SameMembers(do.Set, []oem.OID{"A"}) {
+		t.Fatalf("difference = %v", do.Set)
+	}
+
+	if _, err := s.Union("S1", "A"); !errors.Is(err, ErrNotSet) {
+		t.Fatalf("union with atomic err = %v, want ErrNotSet", err)
+	}
+	if _, err := s.Intersect("S1", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("intersect with missing err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDatabaseHelpers(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	all := s.OIDs()
+	if err := s.NewDatabase("PERSON", "", all...); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := s.Get("PERSON")
+	if o.Label != "database" {
+		t.Fatalf("default database label = %q", o.Label)
+	}
+	m, err := s.DatabaseMembers("PERSON")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m["P1"] || !m["A4"] {
+		t.Fatal("database members missing expected OIDs")
+	}
+	if _, err := s.DatabaseMembers("A1"); !errors.Is(err, ErrNotSet) {
+		t.Fatalf("DatabaseMembers on atomic err = %v", err)
+	}
+}
+
+func TestForEachSortedAndComplete(t *testing.T) {
+	s := buildPerson(t, DefaultOptions())
+	var oids []oem.OID
+	s.ForEach(func(o *oem.Object) { oids = append(oids, o.OID) })
+	if len(oids) != s.Len() {
+		t.Fatalf("ForEach visited %d of %d", len(oids), s.Len())
+	}
+	for i := 1; i < len(oids); i++ {
+		if oids[i-1] >= oids[i] {
+			t.Fatalf("ForEach order not sorted: %v", oids)
+		}
+	}
+}
+
+// TestPropertyParentIndexMatchesScan drives random edge mutations against
+// two stores — one with a parent index, one without — and checks that
+// Parents agrees, i.e. the index is exactly the materialization of the scan.
+func TestPropertyParentIndexMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		withIdx := New(Options{ParentIndex: true, LabelIndex: true})
+		noIdx := New(Options{ParentIndex: false, LabelIndex: false})
+		const n = 12
+		oids := make([]oem.OID, n)
+		for i := range oids {
+			oids[i] = oem.OID(rune('A' + i))
+			obj := oem.NewSet(oids[i], "node")
+			withIdx.MustPut(obj)
+			noIdx.MustPut(obj.Clone())
+		}
+		for step := 0; step < 60; step++ {
+			a, b := oids[rng.Intn(n)], oids[rng.Intn(n)]
+			if rng.Intn(2) == 0 {
+				_ = withIdx.Insert(a, b)
+				_ = noIdx.Insert(a, b)
+			} else {
+				e1 := withIdx.Delete(a, b)
+				e2 := noIdx.Delete(a, b)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			}
+		}
+		for _, oid := range oids {
+			p1, err1 := withIdx.Parents(oid)
+			p2, err2 := noIdx.Parents(oid)
+			if (err1 == nil) != (err2 == nil) || !oem.SameMembers(p1, p2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package warehouse
+
+import (
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+)
+
+// SourceAPI is the warehouse's entire view of a data source: the Example 9
+// query interface plus the report stream and cost accounting. *Source
+// implements it in-process; RemoteSource implements it over TCP (see
+// net.go), so the same Warehouse runs centralized, simulated-distributed
+// and genuinely distributed.
+type SourceAPI interface {
+	// ID names the source; update reports carry it for routing.
+	ID() string
+	// DrainReports returns the update reports accumulated since the last
+	// drain, in order.
+	DrainReports() []*UpdateReport
+
+	// FetchObject retrieves one object.
+	FetchObject(oid oem.OID) (*oem.Object, error)
+	// FetchPath answers path(ROOT, n) with the OIDs along it.
+	FetchPath(n oem.OID) (*PathInfo, bool, error)
+	// FetchAncestor answers ancestor(n, p).
+	FetchAncestor(n oem.OID, p pathexpr.Path) (oem.OID, bool, error)
+	// FetchEval returns the objects in n.p with their values.
+	FetchEval(n oem.OID, p pathexpr.Path) ([]*oem.Object, error)
+	// FetchSubtree ships the objects within depth hops of n.
+	FetchSubtree(n oem.OID, depth int) ([]*oem.Object, error)
+	// FetchQuery evaluates a full view query at the source.
+	FetchQuery(q *query.Query) ([]*oem.Object, error)
+
+	// TransportRef exposes the cost counters all traffic is charged to.
+	TransportRef() *Transport
+	// LastKnownSeq is the highest source sequence number observed — the
+	// store's own counter in-process, the highest seq seen in reports and
+	// responses over the network. Interference detection compares it with
+	// the report being processed.
+	LastKnownSeq() uint64
+}
+
+// ID implements SourceAPI.
+func (s *Source) ID() string { return s.Name }
+
+// TransportRef implements SourceAPI.
+func (s *Source) TransportRef() *Transport { return s.Transport }
+
+// LastKnownSeq implements SourceAPI.
+func (s *Source) LastKnownSeq() uint64 { return s.Store.Seq() }
+
+var _ SourceAPI = (*Source)(nil)

@@ -1,0 +1,379 @@
+package warehouse
+
+import (
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/store"
+)
+
+// CacheMode selects the Section 5.2 auxiliary caching strategy for one
+// warehouse view.
+type CacheMode int
+
+const (
+	// CacheNone keeps only the materialized view; every helper function
+	// evaluation queries the source.
+	CacheNone CacheMode = iota
+	// CachePartial caches the structure reachable from the entry along
+	// prefixes of sel_path.cond_path — labels and edges but not atomic
+	// values ("the warehouse may choose to cache part of the above
+	// structure, e.g., without the values of atomic nodes"). Condition
+	// tests still query the source.
+	CachePartial
+	// CacheFull caches the structure including atomic values: maintenance
+	// becomes fully local for reported updates.
+	CacheFull
+)
+
+// String names the mode.
+func (m CacheMode) String() string {
+	switch m {
+	case CacheNone:
+		return "none"
+	case CachePartial:
+		return "partial"
+	case CacheFull:
+		return "full"
+	default:
+		return "cache?"
+	}
+}
+
+// AuxCache mirrors, at the warehouse, every source object reachable from
+// the view's entry along prefixes of sel_path.cond_path (Example 10's
+// auxiliary structure). It is itself a small GSDB store maintained from
+// update reports; the helper functions of Algorithm 1 are then answered by
+// a CentralAccess over the mirror instead of by source queries.
+type AuxCache struct {
+	Mode CacheMode
+	Def  core.SimpleDef
+
+	store  *store.Store
+	access *core.CentralAccess
+	// labelsOnPath[i] is the set of labels acceptable at depth i+1 from
+	// the entry (exactly full[i], since simple views have constant paths).
+	full pathexpr.Path
+}
+
+// NewAuxCache builds the cache by walking the source store along the
+// view's paths. The initial build is charged to the transport as one
+// subtree fetch per path level batch — in a real system it would piggyback
+// on the initial view materialization.
+func NewAuxCache(def core.SimpleDef, src SourceAPI, mode CacheMode) (*AuxCache, error) {
+	c := &AuxCache{
+		Mode: mode,
+		Def:  def,
+		store: store.New(store.Options{
+			ParentIndex: true, LabelIndex: true, AllowDangling: true,
+		}),
+		full: def.FullPath(),
+	}
+	c.access = core.NewCentralAccess(c.store)
+	objs, err := src.FetchSubtree(def.Entry, len(c.full))
+	if err != nil {
+		return nil, err
+	}
+	byOID := make(map[oem.OID]*oem.Object, len(objs))
+	for _, o := range objs {
+		byOID[o.OID] = o
+	}
+	root := byOID[def.Entry]
+	if root == nil {
+		return c, nil
+	}
+	// Admit only objects lying on prefix paths of full; FetchSubtree
+	// returns the whole depth-bounded subtree, which may be wider.
+	type frame struct {
+		oid   oem.OID
+		depth int
+	}
+	admitted := map[oem.OID]bool{def.Entry: true}
+	queue := []frame{{def.Entry, 0}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		o := byOID[f.oid]
+		if o == nil || !o.IsSet() || f.depth >= len(c.full) {
+			continue
+		}
+		for _, ch := range o.Set {
+			co := byOID[ch]
+			if co == nil || co.Label != c.full[f.depth] {
+				continue
+			}
+			if !admitted[ch] {
+				admitted[ch] = true
+				queue = append(queue, frame{ch, f.depth + 1})
+			}
+		}
+	}
+	for oid := range admitted {
+		c.admit(byOID[oid])
+	}
+	return c, nil
+}
+
+// admit stores a copy of the object in the mirror, stripping atomic values
+// under CachePartial.
+func (c *AuxCache) admit(o *oem.Object) {
+	if o == nil || c.store.Has(o.OID) {
+		return
+	}
+	cp := o.Clone()
+	if c.Mode == CachePartial && cp.IsAtomic() {
+		cp.Atom = oem.Atom{}
+	}
+	c.store.MustPut(cp)
+}
+
+// Size returns the number of mirrored objects.
+func (c *AuxCache) Size() int { return c.store.Len() }
+
+// Bytes estimates the cache's memory footprint.
+func (c *AuxCache) Bytes() int {
+	n := 0
+	c.store.ForEach(func(o *oem.Object) { n += o.EncodedSize() })
+	return n
+}
+
+// Has reports whether the cache mirrors an object.
+func (c *AuxCache) Has(oid oem.OID) bool { return c.store.Has(oid) }
+
+// HasValues reports whether atomic values are trustworthy in the mirror.
+func (c *AuxCache) HasValues() bool { return c.Mode == CacheFull }
+
+// Access returns a BaseAccess over the mirror for locally answerable
+// helper calls.
+func (c *AuxCache) Access() *core.CentralAccess { return c.access }
+
+// Apply maintains the mirror under one update report. It returns the
+// number of source queries it had to issue (through src) to stay complete:
+// zero for most updates; one subtree fetch when an insert attaches
+// structure the report does not carry.
+func (c *AuxCache) Apply(r *UpdateReport, src SourceAPI) (queries int, err error) {
+	u := r.Update
+	switch u.Kind {
+	case store.UpdateCreate:
+		// Nothing to do until an insert attaches the object; admission
+		// happens then, with the attached position known.
+		return 0, nil
+	case store.UpdateModify:
+		if !c.store.Has(u.N1) || c.Mode == CachePartial {
+			return 0, nil
+		}
+		if r.Level >= Level2 {
+			if o := r.Objects[u.N1]; o != nil && o.IsAtomic() {
+				return 0, c.store.Modify(u.N1, o.Atom)
+			}
+		}
+		if !u.New.IsZero() {
+			return 0, c.store.Modify(u.N1, u.New)
+		}
+		// Level 1 withholds the value; fetch it.
+		o, err := src.FetchObject(u.N1)
+		if err != nil {
+			return 1, err
+		}
+		return 1, c.store.Modify(u.N1, o.Atom)
+	case store.UpdateDelete:
+		if !c.store.Has(u.N1) {
+			return 0, nil
+		}
+		if cur, err := c.store.Get(u.N1); err != nil || !cur.Contains(u.N2) {
+			return 0, nil
+		}
+		// The detached subtree is NOT reclaimed here: Algorithm 1's delete
+		// case still needs to evaluate within it. The warehouse calls
+		// Compact after maintenance completes.
+		return 0, c.store.Delete(u.N1, u.N2)
+	case store.UpdateInsert:
+		return c.applyInsert(r, src)
+	default:
+		return 0, nil
+	}
+}
+
+// applyInsert admits newly reachable structure.
+func (c *AuxCache) applyInsert(r *UpdateReport, src SourceAPI) (int, error) {
+	u := r.Update
+	parent := u.N1
+	if !c.store.Has(parent) {
+		return 0, nil // outside the mirrored region
+	}
+	// Mirror the edge unconditionally: set values of mirrored objects must
+	// stay exact so the warehouse can build delegates from the cache; an
+	// irrelevant-label child simply dangles in the mirror.
+	if err := c.store.Insert(parent, u.N2); err != nil {
+		return 0, err
+	}
+	depth := c.depthOf(parent)
+	if depth < 0 || depth >= len(c.full) {
+		return 0, nil
+	}
+	wantLabel := c.full[depth]
+	// Does the child carry a relevant label? Level >= 2 knows from the
+	// report; Level 1 must fetch the object to find out.
+	queries := 0
+	var childObj *oem.Object
+	if r.Level >= Level2 {
+		childObj = r.Objects[u.N2]
+	}
+	if childObj == nil {
+		o, err := src.FetchObject(u.N2)
+		if err != nil {
+			return 1, nil // dangling child: nothing to mirror
+		}
+		childObj = o
+		queries++
+	}
+	if childObj.Label != wantLabel {
+		return queries, nil
+	}
+	// Admit the child and, if deeper levels remain, the subtree below it
+	// along the remaining path — one subtree fetch.
+	c.admit(childObj)
+	remaining := len(c.full) - depth - 1
+	if remaining > 0 && childObj.IsSet() {
+		objs, err := src.FetchSubtree(u.N2, remaining)
+		if err != nil {
+			return queries + 1, err
+		}
+		queries++
+		byOID := make(map[oem.OID]*oem.Object, len(objs))
+		for _, o := range objs {
+			byOID[o.OID] = o
+		}
+		type frame struct {
+			oid oem.OID
+			d   int
+		}
+		queue := []frame{{u.N2, depth + 1}}
+		for len(queue) > 0 {
+			f := queue[0]
+			queue = queue[1:]
+			o := byOID[f.oid]
+			if o == nil || !o.IsSet() || f.d >= len(c.full) {
+				continue
+			}
+			for _, ch := range o.Set {
+				co := byOID[ch]
+				if co == nil || co.Label != c.full[f.d] {
+					continue
+				}
+				c.admit(co)
+				if !c.store.Has(f.oid) {
+					continue
+				}
+				if cur, err := c.store.Get(f.oid); err == nil && !cur.Contains(ch) {
+					if err := c.store.Insert(f.oid, ch); err != nil {
+						return queries, err
+					}
+				}
+				queue = append(queue, frame{ch, f.d + 1})
+			}
+		}
+	}
+	return queries, nil
+}
+
+// Compact reclaims mirrored objects no longer reachable from the entry.
+// The warehouse calls it after view maintenance for each report, so that
+// Algorithm 1's delete case can still evaluate within detached subtrees.
+func (c *AuxCache) Compact() {
+	c.store.CollectGarbage(c.Def.Entry)
+}
+
+// depthOf returns the path depth of a mirrored object below the entry, or
+// -1 if it is not on a mirrored path. Depth 0 is the entry itself.
+func (c *AuxCache) depthOf(oid oem.OID) int {
+	if oid == c.Def.Entry {
+		return 0
+	}
+	p, ok, err := c.access.Path(c.Def.Entry, oid)
+	if err != nil || !ok {
+		return -1
+	}
+	return len(p)
+}
+
+// PathKnowledge is the Section 5.2 closing idea: static knowledge of which
+// parent-label → child-label pairs occur at the source (a DataGuide-like
+// "schema"). The warehouse screens reported updates against it: an insert
+// whose (parent label, child label) pair can never lie on the view's path
+// is discarded without any query.
+type PathKnowledge struct {
+	// pairs maps parent label -> set of child labels that occur. The
+	// virtual parent label "" stands for the root.
+	pairs map[string]map[string]bool
+}
+
+// LearnFromGuide builds path knowledge from a strong DataGuide — the
+// [GW97] "schema" the paper points at. The guide enumerates exactly the
+// label pairs that occur, so the knowledge is as precise as a full scan
+// at a fraction of the cost on structurally regular data.
+func LearnFromGuide(g interface {
+	Paths(maxLen int) []pathexpr.Path
+}) *PathKnowledge {
+	pk := &PathKnowledge{pairs: map[string]map[string]bool{}}
+	for _, p := range g.Paths(16) {
+		parent := ""
+		if len(p) > 1 {
+			parent = p[len(p)-2]
+		}
+		pk.Observe(parent, p[len(p)-1])
+	}
+	return pk
+}
+
+// LearnFromSource builds path knowledge by scanning a source store.
+func LearnFromSource(s *store.Store, root oem.OID) *PathKnowledge {
+	pk := &PathKnowledge{pairs: map[string]map[string]bool{}}
+	s.ForEach(func(o *oem.Object) {
+		if !o.IsSet() || oem.IsGroupingLabel(o.Label) {
+			return
+		}
+		plbl := o.Label
+		if o.OID == root {
+			plbl = ""
+		}
+		for _, c := range o.Set {
+			lbl, err := s.Label(c)
+			if err != nil {
+				continue
+			}
+			m := pk.pairs[plbl]
+			if m == nil {
+				m = map[string]bool{}
+				pk.pairs[plbl] = m
+			}
+			m[lbl] = true
+		}
+	})
+	return pk
+}
+
+// Observe records a parent→child label pair seen in a report, keeping the
+// knowledge sound as the source evolves.
+func (pk *PathKnowledge) Observe(parentLabel, childLabel string) {
+	m := pk.pairs[parentLabel]
+	if m == nil {
+		m = map[string]bool{}
+		pk.pairs[parentLabel] = m
+	}
+	m[childLabel] = true
+}
+
+// Occurs reports whether the pair is known to occur.
+func (pk *PathKnowledge) Occurs(parentLabel, childLabel string) bool {
+	return pk.pairs[parentLabel][childLabel]
+}
+
+// PairCount returns the number of known pairs, a proxy for knowledge size.
+func (pk *PathKnowledge) PairCount() int {
+	n := 0
+	for _, m := range pk.pairs {
+		n += len(m)
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package warehouse
+
+import (
+	"fmt"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// WCluster hosts a view cluster at the warehouse — the setting the paper
+// actually motivates clusters for: "if a remote site defines several views
+// that share common objects, it may end up with multiple delegates for the
+// same base object. The notion of a view cluster avoids this" (Section
+// 3.2). Shared delegates live in the warehouse's view store; membership is
+// maintained by Algorithm 1 over the warehouse's RemoteAccess, so helper
+// evaluations use report enrichment and query backs like any other
+// warehouse view.
+type WCluster struct {
+	OID     oem.OID
+	Cluster *core.Cluster
+	access  *RemoteAccess
+	src     SourceAPI
+	// Stats aggregates the cluster's maintenance outcomes.
+	Stats ViewStats
+}
+
+// NewCluster creates a warehouse-resident cluster. Views are added with
+// AddView; reports flow through ProcessReport (the warehouse does not
+// route to clusters automatically — they have their own delegate
+// lifecycle).
+func (w *Warehouse) NewCluster(oid oem.OID) *WCluster {
+	wc := &WCluster{OID: oid, src: w.Src}
+	wc.access = &RemoteAccess{Src: w.Src}
+	wc.Cluster = core.NewClusterWith(oid, w.Store, core.ClusterBackend{
+		Evaluate: func(q *query.Query) ([]oem.OID, error) {
+			objs, err := w.Src.FetchQuery(q)
+			if err != nil {
+				return nil, err
+			}
+			oids := make([]oem.OID, len(objs))
+			for i, o := range objs {
+				oids[i] = o.OID
+			}
+			return oids, nil
+		},
+		Fetch:  wc.fetchCounted,
+		Access: wc.access,
+	})
+	return wc
+}
+
+// fetchCounted retrieves a base object, preferring the current report's
+// enrichment over a query back.
+func (wc *WCluster) fetchCounted(oid oem.OID) (*oem.Object, error) {
+	return wc.access.Fetch(oid)
+}
+
+// AddView defines one simple member view in the cluster. The definition
+// must not use WITHIN (warehouse views are scoped to their source).
+func (wc *WCluster) AddView(name string, q *query.Query) error {
+	def, ok := core.Simplify(q)
+	if !ok {
+		return fmt.Errorf("warehouse: cluster view %s is not a simple view", name)
+	}
+	if def.Within != "" {
+		return fmt.Errorf("warehouse: cluster view %s uses WITHIN", name)
+	}
+	wc.access.Def = def // anchor report-path shortcuts at the last-added view's entry
+	return wc.Cluster.AddView(oem.OID(name), q)
+}
+
+// ProcessReport maintains every member view under one update report.
+func (wc *WCluster) ProcessReport(r *UpdateReport) error {
+	wc.Stats.Reports++
+	before := wc.src.TransportRef().Snapshot()
+	wc.access.SetReport(r)
+	defer wc.access.SetReport(nil)
+	u := r.Update
+	if u.Kind == store.UpdateModify && r.Level < Level2 {
+		// Level 1 withholds modify values; re-derive per member view via
+		// the recheck protocol, mirroring WView.level1Modify.
+		if err := wc.level1Modify(u); err != nil {
+			return err
+		}
+	} else if err := wc.Cluster.Apply(u); err != nil {
+		return err
+	}
+	used := wc.src.TransportRef().Sub(before)
+	wc.Stats.QueryBacks += used.QueryBacks
+	if used.QueryBacks == 0 {
+		wc.Stats.LocalOnly++
+	}
+	return nil
+}
+
+// level1Modify re-derives membership for every member view after a modify
+// whose values were withheld.
+func (wc *WCluster) level1Modify(u store.Update) error {
+	for _, name := range wc.Cluster.ViewNames() {
+		def, ok := wc.Cluster.ViewDef(name)
+		if !ok {
+			continue
+		}
+		full := def.FullPath()
+		p, found, err := wc.access.Path(def.Entry, u.N1)
+		if err != nil {
+			return err
+		}
+		if !found || !p.Equal(full) {
+			continue
+		}
+		y, found, err := wc.access.Ancestor(u.N1, def.CondPath)
+		if err != nil || !found {
+			return err
+		}
+		remaining, err := wc.access.EvalCond(y, def.CondPath, def.Cond)
+		if err != nil {
+			return err
+		}
+		if len(remaining) > 0 {
+			if err := wc.Cluster.VInsert(name, y); err != nil {
+				return err
+			}
+		} else if err := wc.Cluster.VDelete(name, y); err != nil {
+			return err
+		}
+	}
+	// Delegate values of atomic members cannot be refreshed from a Level-1
+	// report; fetch the current object when a shared delegate exists.
+	if wc.Cluster.ViewStore.Has(core.DelegateOID(wc.OID, u.N1)) {
+		o, err := wc.access.Fetch(u.N1)
+		if err != nil {
+			return err
+		}
+		return wc.Cluster.RefreshDelegateFrom(o)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package warehouse
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// newWCluster builds a warehouse cluster with two overlapping views over
+// the PERSON source.
+func newWCluster(t testing.TB, level ReportLevel) (*Source, *Warehouse, *WCluster) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	tr := NewTransport(0)
+	src := NewSource("persons", s, "ROOT", level, tr)
+	src.DrainReports()
+	w := New(src)
+	wc := w.NewCluster("CL")
+	if err := wc.AddView("YOUNG", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.AddView("NAMED", query.MustParse("SELECT ROOT.professor X WHERE EXISTS X.name")); err != nil {
+		t.Fatal(err)
+	}
+	return src, w, wc
+}
+
+func TestWClusterInitialState(t *testing.T) {
+	_, w, wc := newWCluster(t, Level2)
+	young, err := wc.Cluster.Members("YOUNG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(young, []oem.OID{"P1"}) {
+		t.Fatalf("YOUNG = %v", young)
+	}
+	named, _ := wc.Cluster.Members("NAMED")
+	if !oem.SameMembers(named, []oem.OID{"P1", "P2"}) {
+		t.Fatalf("NAMED = %v", named)
+	}
+	// One shared delegate per member, at the warehouse.
+	if wc.Cluster.DelegateCount() != 2 {
+		t.Fatalf("delegates = %d", wc.Cluster.DelegateCount())
+	}
+	if !w.Store.Has("CL.P1") || w.Store.Has("YOUNG.P1") {
+		t.Fatal("delegate placement wrong")
+	}
+}
+
+func TestWClusterMaintenanceAcrossLevels(t *testing.T) {
+	for _, level := range []ReportLevel{Level1, Level2, Level3} {
+		t.Run(level.String(), func(t *testing.T) {
+			src, w, wc := newWCluster(t, level)
+			_ = w
+			feed := func(rs []*UpdateReport, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range rs {
+					if err := wc.ProcessReport(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// P1 ages out of YOUNG; stays in NAMED, delegate survives.
+			feed(src.Modify("A1", oem.Int(60)))
+			young, _ := wc.Cluster.Members("YOUNG")
+			named, _ := wc.Cluster.Members("NAMED")
+			if len(young) != 0 {
+				t.Fatalf("YOUNG = %v", young)
+			}
+			if !oem.SameMembers(named, []oem.OID{"P1", "P2"}) {
+				t.Fatalf("NAMED = %v", named)
+			}
+			if wc.Cluster.DelegateCount() != 2 {
+				t.Fatalf("delegates = %d", wc.Cluster.DelegateCount())
+			}
+			// Remove P1's name: out of NAMED too; delegate reclaimed.
+			feed(src.Delete("P1", "N1"))
+			named, _ = wc.Cluster.Members("NAMED")
+			if !oem.SameMembers(named, []oem.OID{"P2"}) {
+				t.Fatalf("NAMED after name removal = %v", named)
+			}
+			if wc.Cluster.DelegateCount() != 1 {
+				t.Fatalf("delegates = %d", wc.Cluster.DelegateCount())
+			}
+			// A new professor enters both views through reports.
+			feed(src.Put(oem.NewAtom("N9", "name", oem.String_("Ada"))))
+			feed(src.Put(oem.NewAtom("A9", "age", oem.Int(30))))
+			feed(src.Put(oem.NewSet("P9", "professor", "N9", "A9")))
+			feed(src.Insert("ROOT", "P9"))
+			young, _ = wc.Cluster.Members("YOUNG")
+			named, _ = wc.Cluster.Members("NAMED")
+			if !oem.SameMembers(young, []oem.OID{"P9"}) {
+				t.Fatalf("YOUNG after insert = %v", young)
+			}
+			if !oem.SameMembers(named, []oem.OID{"P2", "P9"}) {
+				t.Fatalf("NAMED after insert = %v", named)
+			}
+		})
+	}
+}
+
+func TestWClusterCountsQueries(t *testing.T) {
+	src, _, wc := newWCluster(t, Level1)
+	rs, err := src.Modify("A1", oem.Int(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if err := wc.ProcessReport(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wc.Stats.Reports != 1 {
+		t.Fatalf("reports = %d", wc.Stats.Reports)
+	}
+	if wc.Stats.QueryBacks == 0 {
+		t.Fatal("level-1 modify cost no query backs")
+	}
+}
+
+func TestWClusterRejects(t *testing.T) {
+	_, _, wc := newWCluster(t, Level2)
+	if err := wc.AddView("W", query.MustParse("SELECT ROOT.* X")); err == nil {
+		t.Fatal("wildcard cluster view accepted")
+	}
+	if err := wc.AddView("W2", query.MustParse("SELECT ROOT.professor X WITHIN PERSON")); err == nil {
+		t.Fatal("WITHIN cluster view accepted")
+	}
+	if err := wc.AddView("YOUNG", query.MustParse("SELECT ROOT.professor X")); err == nil {
+		t.Fatal("duplicate cluster view accepted")
+	}
+}
+
+// TestPropertyWClusterMatchesFreshEval replays a random stream through a
+// warehouse cluster and cross-checks every member view against fresh
+// source evaluation.
+func TestPropertyWClusterMatchesFreshEval(t *testing.T) {
+	for _, level := range []ReportLevel{Level1, Level2, Level3} {
+		for seed := int64(0); seed < 2; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", level, seed), func(t *testing.T) {
+				s := store.NewDefault()
+				db := workload.RelationLike(s, workload.RelationConfig{
+					Relations: 1, TuplesPerRelation: 5, FieldsPerTuple: 2, Seed: seed,
+				})
+				tr := NewTransport(0)
+				src := NewSource("rel", s, "REL", level, tr)
+				src.DrainReports()
+				w := New(src)
+				wc := w.NewCluster("CL")
+				queries := map[string]string{
+					"Q40": "SELECT REL.r0.tuple X WHERE X.age > 40",
+					"Q20": "SELECT REL.r0.tuple X WHERE X.age > 20",
+				}
+				for name, qs := range queries {
+					if err := wc.AddView(name, query.MustParse(qs)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var sets, atoms []oem.OID
+				sets = append(sets, db.Relations[0].OID)
+				sets = append(sets, db.Relations[0].Tuples...)
+				for _, tu := range db.Relations[0].Tuples {
+					kids, _ := s.Children(tu)
+					atoms = append(atoms, kids...)
+				}
+				stream := workload.NewStream(s, workload.StreamConfig{
+					Seed: seed + 5, Mix: workload.Mix{Insert: 3, Delete: 2, Modify: 5}, ValueRange: 60,
+				}, sets, atoms)
+				for step := 0; step < 60; step++ {
+					if _, ok := stream.Next(); !ok {
+						break
+					}
+					for _, r := range src.DrainReports() {
+						if err := wc.ProcessReport(r); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if step%10 != 0 {
+						continue
+					}
+					for name, qs := range queries {
+						fresh, err := query.NewEvaluator(s).Eval(query.MustParse(qs))
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := wc.Cluster.Members(oem.OID(name))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !oem.SameMembers(got, fresh) {
+							t.Fatalf("step %d %s: cluster %v != fresh %v", step, name, got, fresh)
+						}
+					}
+				}
+			})
+		}
+	}
+}

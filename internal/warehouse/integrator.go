@@ -1,0 +1,151 @@
+package warehouse
+
+import (
+	"fmt"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+)
+
+// Integrator is the component of Figure 6 that sits between the sources
+// and the warehouse views: it owns one Warehouse per source, routes each
+// update report to the right one by source name, and exposes cross-source
+// *union views* — the same view shape defined over several sources, whose
+// combined membership is the union of the per-source memberships (the
+// paper's union(S1,S2) applied across sites).
+type Integrator struct {
+	sources    map[string]SourceAPI
+	warehouses map[string]*Warehouse
+	// unions maps a union view name to its per-source member view names.
+	unions map[string][]unionPart
+}
+
+type unionPart struct {
+	source string
+	view   string
+}
+
+// NewIntegrator returns an empty integrator.
+func NewIntegrator() *Integrator {
+	return &Integrator{
+		sources:    map[string]SourceAPI{},
+		warehouses: map[string]*Warehouse{},
+		unions:     map[string][]unionPart{},
+	}
+}
+
+// AddSource registers a source and creates its warehouse.
+func (i *Integrator) AddSource(src SourceAPI) (*Warehouse, error) {
+	if _, ok := i.sources[src.ID()]; ok {
+		return nil, fmt.Errorf("warehouse: source %s already added", src.ID())
+	}
+	w := New(src)
+	i.sources[src.ID()] = src
+	i.warehouses[src.ID()] = w
+	return w, nil
+}
+
+// Warehouse returns the warehouse for a source.
+func (i *Integrator) Warehouse(source string) (*Warehouse, bool) {
+	w, ok := i.warehouses[source]
+	return w, ok
+}
+
+// DefineView defines a simple view over one source.
+func (i *Integrator) DefineView(source, name string, q *query.Query, cfg ViewConfig) (*WView, error) {
+	w, ok := i.warehouses[source]
+	if !ok {
+		return nil, fmt.Errorf("warehouse: unknown source %s", source)
+	}
+	return w.DefineView(name, q, cfg)
+}
+
+// DefineUnionView defines the same view query over every listed source and
+// registers their union under the given name. The per-source member views
+// are named <name>@<source>.
+func (i *Integrator) DefineUnionView(name string, q *query.Query, cfg ViewConfig, sources ...string) error {
+	if _, ok := i.unions[name]; ok {
+		return fmt.Errorf("warehouse: union view %s already defined", name)
+	}
+	var parts []unionPart
+	for _, src := range sources {
+		member := fmt.Sprintf("%s@%s", name, src)
+		if _, err := i.DefineView(src, member, q, cfg); err != nil {
+			return err
+		}
+		parts = append(parts, unionPart{source: src, view: member})
+	}
+	i.unions[name] = parts
+	return nil
+}
+
+// UnionMembers returns the combined membership of a union view, sorted and
+// deduplicated (universally unique OIDs make cross-source duplicates
+// impossible unless sources genuinely replicate an object — the paper
+// notes unique OIDs "can be helpful in eliminating duplicates").
+func (i *Integrator) UnionMembers(name string) ([]oem.OID, error) {
+	parts, ok := i.unions[name]
+	if !ok {
+		return nil, fmt.Errorf("warehouse: union view %s not defined", name)
+	}
+	seen := map[oem.OID]bool{}
+	var out []oem.OID
+	for _, p := range parts {
+		w := i.warehouses[p.source]
+		v, ok := w.View(p.view)
+		if !ok {
+			return nil, fmt.Errorf("warehouse: union member %s missing", p.view)
+		}
+		ms, err := v.MV.Members()
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return oem.SortOIDs(out), nil
+}
+
+// ProcessReport routes one report to its source's warehouse.
+func (i *Integrator) ProcessReport(r *UpdateReport) error {
+	w, ok := i.warehouses[r.Source]
+	if !ok {
+		return fmt.Errorf("warehouse: report from unknown source %s", r.Source)
+	}
+	return w.ProcessReport(r)
+}
+
+// Pump drains every source's pending reports and processes them. It
+// returns the number of reports processed. Call it after source
+// mutations; in a deployment this is the continuous report stream.
+func (i *Integrator) Pump() (int, error) {
+	n := 0
+	for _, name := range i.sourceNames() {
+		src := i.sources[name]
+		for _, r := range src.DrainReports() {
+			if err := i.ProcessReport(r); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (i *Integrator) sourceNames() []string {
+	out := make([]string, 0, len(i.sources))
+	for n := range i.sources {
+		out = append(out, n)
+	}
+	// Deterministic routing order.
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && out[b-1] > out[b]; b-- {
+			out[b-1], out[b] = out[b], out[b-1]
+		}
+	}
+	return out
+}

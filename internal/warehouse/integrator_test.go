@@ -1,0 +1,222 @@
+package warehouse
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// twoSourceFixture builds two relation-like sources behind one integrator.
+func twoSourceFixture(t testing.TB) (*Integrator, map[string]*store.Store, map[string]*Source) {
+	t.Helper()
+	i := NewIntegrator()
+	stores := map[string]*store.Store{}
+	sources := map[string]*Source{}
+	for n, seed := range map[string]int64{"east": 1, "west": 2} {
+		s := store.New(store.Options{ParentIndex: true, LabelIndex: true})
+		// Distinct OIDs per source: RelationLike uses fixed OIDs, so
+		// build by hand with a prefix.
+		buildPrefixed(s, n, seed)
+		tr := NewTransport(0)
+		src := NewSource(n, s, oem.OID(n+"_REL"), Level2, tr)
+		src.DrainReports()
+		if _, err := i.AddSource(src); err != nil {
+			t.Fatal(err)
+		}
+		stores[n] = s
+		sources[n] = src
+	}
+	return i, stores, sources
+}
+
+// buildPrefixed creates <p>_REL -> <p>_r0 -> tuples with age fields, all
+// OIDs prefixed so two sources never collide (universally unique OIDs).
+func buildPrefixed(s *store.Store, p string, seed int64) {
+	var tuples []oem.OID
+	for t := 0; t < 4; t++ {
+		age := oem.OID(fmt.Sprintf("%s_A%d", p, t))
+		s.MustPut(oem.NewAtom(age, "age", oem.Int(int64(20+t*20+int(seed)))))
+		tup := oem.OID(fmt.Sprintf("%s_T%d", p, t))
+		s.MustPut(oem.NewSet(tup, "tuple", age))
+		tuples = append(tuples, tup)
+	}
+	s.MustPut(oem.NewSet(oem.OID(p+"_r0"), "r0", tuples...))
+	s.MustPut(oem.NewSet(oem.OID(p+"_REL"), "relations", oem.OID(p+"_r0")))
+}
+
+func TestIntegratorRoutesBySource(t *testing.T) {
+	i, stores, sources := twoSourceFixture(t)
+	for n := range sources {
+		q := query.MustParse(fmt.Sprintf("SELECT %s_REL.r0.tuple X WHERE X.age > 30", n))
+		if _, err := i.DefineView(n, "SEL", q, ViewConfig{Screening: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Update one source only; only its view moves.
+	east := stores["east"]
+	if err := east.Modify("east_A0", oem.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := i.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	we, _ := i.Warehouse("east")
+	ve, _ := we.View("SEL")
+	gotE, _ := ve.MV.Members()
+	if !contains(gotE, "east_T0") {
+		t.Fatalf("east view missing east_T0: %v", gotE)
+	}
+	ww, _ := i.Warehouse("west")
+	vw, _ := ww.View("SEL")
+	if vw.Stats.Reports != 0 {
+		t.Fatalf("west view saw %d reports for an east update", vw.Stats.Reports)
+	}
+}
+
+func TestIntegratorUnionView(t *testing.T) {
+	// DefineUnionView anchors one query at every source, so the sources
+	// must share the entry OID; member OIDs stay globally unique.
+	stores := map[string]*store.Store{}
+	shared := NewIntegrator()
+	for _, n := range []string{"a", "b"} {
+		s := store.New(store.Options{ParentIndex: true, LabelIndex: true})
+		// Same entry OID "REL" in both stores; member OIDs prefixed.
+		var tuples []oem.OID
+		for t2 := 0; t2 < 3; t2++ {
+			age := oem.OID(fmt.Sprintf("%s_A%d", n, t2))
+			s.MustPut(oem.NewAtom(age, "age", oem.Int(int64(25+t2*25))))
+			tup := oem.OID(fmt.Sprintf("%s_T%d", n, t2))
+			s.MustPut(oem.NewSet(tup, "tuple", age))
+			tuples = append(tuples, tup)
+		}
+		s.MustPut(oem.NewSet("r0", "r0", tuples...))
+		s.MustPut(oem.NewSet("REL", "relations", "r0"))
+		tr := NewTransport(0)
+		src := NewSource(n, s, "REL", Level2, tr)
+		src.DrainReports()
+		if _, err := shared.AddSource(src); err != nil {
+			t.Fatal(err)
+		}
+		stores[n] = s
+	}
+	q := query.MustParse("SELECT REL.r0.tuple X WHERE X.age > 30")
+	if err := shared.DefineUnionView("BIG", q, ViewConfig{Screening: true}, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := shared.UnionMembers("BIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ages 25,50,75 per source: two qualify each.
+	if !oem.SameMembers(members, []oem.OID{"a_T1", "a_T2", "b_T1", "b_T2"}) {
+		t.Fatalf("union = %v", members)
+	}
+	// Maintenance flows through per source.
+	if err := stores["a"].Modify("a_A0", oem.Int(31)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shared.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	members, _ = shared.UnionMembers("BIG")
+	if !contains(members, "a_T0") {
+		t.Fatalf("union after update = %v", members)
+	}
+	// Duplicate union name rejected.
+	if err := shared.DefineUnionView("BIG", q, ViewConfig{}, "a"); err == nil {
+		t.Fatal("duplicate union accepted")
+	}
+}
+
+func TestIntegratorErrors(t *testing.T) {
+	i := NewIntegrator()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("only", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	if _, err := i.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := i.AddSource(src); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+	if _, err := i.DefineView("nosuch", "V", query.MustParse("SELECT ROOT.professor X"), ViewConfig{}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if err := i.ProcessReport(&UpdateReport{Source: "ghost"}); err == nil {
+		t.Fatal("report from unknown source accepted")
+	}
+	if _, err := i.UnionMembers("nosuch"); err == nil {
+		t.Fatal("unknown union accepted")
+	}
+}
+
+// TestInterferenceDetectionAndConvergence reproduces the Section 5.1
+// consistency discussion: the warehouse processes reports in delayed
+// batches while the autonomous source keeps changing, so query backs
+// observe later states. The interference counter must notice, and the
+// view must still converge once all reports are processed.
+func TestInterferenceDetectionAndConvergence(t *testing.T) {
+	s := store.NewDefault()
+	db := workload.RelationLike(s, workload.RelationConfig{
+		Relations: 1, TuplesPerRelation: 6, FieldsPerTuple: 2, Seed: 4,
+	})
+	tr := NewTransport(0)
+	src := NewSource("rel", s, "REL", Level1, tr) // level 1 maximizes query backs
+	src.DrainReports()
+	w := New(src)
+	v, err := w.DefineView("SEL", query.MustParse("SELECT REL.r0.tuple X WHERE X.age > 40"), ViewConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sets, atoms []oem.OID
+	sets = append(sets, db.Relations[0].OID)
+	sets = append(sets, db.Relations[0].Tuples...)
+	for _, tu := range db.Relations[0].Tuples {
+		kids, _ := s.Children(tu)
+		atoms = append(atoms, kids...)
+	}
+	stream := workload.NewStream(s, workload.StreamConfig{
+		Seed: 8, Mix: workload.Mix{Insert: 2, Delete: 1, Modify: 7}, ValueRange: 90,
+	}, sets, atoms)
+	// Apply updates in bursts of 5, shipping the whole burst before
+	// processing: every report after the first in a burst is processed
+	// with the source already ahead.
+	for burst := 0; burst < 20; burst++ {
+		for k := 0; k < 5; k++ {
+			stream.Next()
+		}
+		if err := w.ProcessAll(src.DrainReports()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Stats.Interference == 0 {
+		t.Fatal("no interference detected despite batched processing")
+	}
+	// Convergence: after the final batch the view equals a fresh
+	// evaluation.
+	fresh, err := query.NewEvaluator(s).Eval(v.MV.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.MV.Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, fresh) {
+		t.Fatalf("diverged: view %v != fresh %v", got, fresh)
+	}
+}
+
+func contains(oids []oem.OID, want oem.OID) bool {
+	for _, o := range oids {
+		if o == want {
+			return true
+		}
+	}
+	return false
+}

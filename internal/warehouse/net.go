@@ -1,0 +1,470 @@
+package warehouse
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+)
+
+// This file makes the Figure 6 architecture genuinely distributed: a
+// Server exposes a Source over TCP with a line-delimited JSON protocol,
+// and RemoteSource implements SourceAPI on the warehouse side, so the
+// unchanged Warehouse/Integrator machinery maintains views across real
+// sockets. The protocol has two connection modes, chosen by the first
+// line a client sends:
+//
+//   - "query": request/response pairs, one JSON object per line each way.
+//   - "reports": the server pushes update reports, one JSON object per
+//     line; the client never writes.
+//
+// Every response and report carries the source's current sequence number,
+// which feeds the warehouse's interference detection.
+
+// netRequest is one query-mode request.
+type netRequest struct {
+	Op    string        `json:"op"`
+	OID   oem.OID       `json:"oid,omitempty"`
+	Path  pathexpr.Path `json:"path,omitempty"`
+	Depth int           `json:"depth,omitempty"`
+	Query string        `json:"query,omitempty"`
+}
+
+// netResponse is one query-mode response.
+type netResponse struct {
+	Err     string        `json:"err,omitempty"`
+	Found   bool          `json:"found,omitempty"`
+	OID     oem.OID       `json:"oid,omitempty"`
+	Objects []*oem.Object `json:"objects,omitempty"`
+	Info    *PathInfo     `json:"info,omitempty"`
+	Seq     uint64        `json:"seq"`
+}
+
+// Server exposes one Source on a listener.
+type Server struct {
+	Src *Source
+
+	mu      sync.Mutex
+	ln      net.Listener
+	streams []chan []byte
+	done    chan struct{}
+}
+
+// NewServer returns a server for src. Call Serve with a listener.
+func NewServer(src *Source) *Server {
+	return &Server{Src: src, done: make(chan struct{})}
+}
+
+// Serve accepts connections until the listener closes. It returns the
+// listener's final error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting and disconnects report streams.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	for _, ch := range s.streams {
+		close(ch)
+	}
+	s.streams = nil
+}
+
+// Broadcast ships update reports to every connected report stream. The
+// serving application calls it with the reports returned by the source's
+// mutation methods (or DrainReports).
+func (s *Server) Broadcast(reports []*UpdateReport) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, 0, len(reports))
+	for _, r := range reports {
+		data, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("warehouse: encoding report: %w", err)
+		}
+		payloads = append(payloads, data)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.streams {
+		for _, p := range payloads {
+			ch <- p
+		}
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	mode, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	switch mode {
+	case "query\n":
+		s.handleQueries(conn, br)
+	case "reports\n":
+		s.handleReports(conn)
+	}
+}
+
+func (s *Server) handleQueries(conn net.Conn, br *bufio.Reader) {
+	dec := json.NewDecoder(br)
+	enc := json.NewEncoder(conn)
+	for {
+		var req netRequest
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect or garbage: drop the connection
+		}
+		resp := s.dispatch(req)
+		resp.Seq = s.Src.Store.Seq()
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the source. The source-side
+// wrapper methods are used directly, but their transport charges are the
+// *source's* transport; the warehouse-side client charges its own, so the
+// double-entry stays separated per site.
+func (s *Server) dispatch(req netRequest) netResponse {
+	switch req.Op {
+	case "object":
+		o, err := s.Src.FetchObject(req.OID)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		return netResponse{Found: true, Objects: []*oem.Object{o}}
+	case "path":
+		info, ok, err := s.Src.FetchPath(req.OID)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		return netResponse{Found: ok, Info: info}
+	case "ancestor":
+		y, ok, err := s.Src.FetchAncestor(req.OID, req.Path)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		return netResponse{Found: ok, OID: y}
+	case "eval":
+		objs, err := s.Src.FetchEval(req.OID, req.Path)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		return netResponse{Found: true, Objects: objs}
+	case "subtree":
+		objs, err := s.Src.FetchSubtree(req.OID, req.Depth)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		return netResponse{Found: true, Objects: objs}
+	case "query":
+		q, err := query.Parse(req.Query)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		objs, err := s.Src.FetchQuery(q)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		return netResponse{Found: true, Objects: objs}
+	default:
+		return netResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) handleReports(conn net.Conn) {
+	ch := make(chan []byte, 256)
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	s.streams = append(s.streams, ch)
+	s.mu.Unlock()
+	// Acknowledge registration so the dialer knows subsequent broadcasts
+	// will reach this stream.
+	if _, err := io.WriteString(conn, "ready\n"); err != nil {
+		return
+	}
+	w := bufio.NewWriter(conn)
+	for data := range ch {
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			break
+		}
+		if err := w.Flush(); err != nil {
+			break
+		}
+	}
+}
+
+// RemoteSource implements SourceAPI over two TCP connections to a Server.
+// All traffic is charged to a local Transport with the *actual* payload
+// byte counts — the simulated-transport numbers of the in-process mode can
+// be validated against these.
+type RemoteSource struct {
+	name string
+	tr   *Transport
+
+	qmu  sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	rmu          sync.Mutex
+	reports      []*UpdateReport
+	lastSeq      uint64
+	rconn        net.Conn
+	streamClosed bool
+}
+
+// Dial connects to a served source at addr. The name must match the
+// served source's name (reports carry it).
+func Dial(name, addr string, tr *Transport) (*RemoteSource, error) {
+	qconn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.WriteString(qconn, "query\n"); err != nil {
+		qconn.Close()
+		return nil, err
+	}
+	rconn, err := net.Dial("tcp", addr)
+	if err != nil {
+		qconn.Close()
+		return nil, err
+	}
+	if _, err := io.WriteString(rconn, "reports\n"); err != nil {
+		qconn.Close()
+		rconn.Close()
+		return nil, err
+	}
+	// Wait for the server's registration ack: broadcasts sent after Dial
+	// returns are guaranteed to reach this stream.
+	rbr := bufio.NewReader(rconn)
+	if _, err := rbr.ReadString('\n'); err != nil {
+		qconn.Close()
+		rconn.Close()
+		return nil, fmt.Errorf("warehouse: report stream handshake: %w", err)
+	}
+	rs := &RemoteSource{
+		name:  name,
+		tr:    tr,
+		conn:  qconn,
+		enc:   json.NewEncoder(qconn),
+		dec:   json.NewDecoder(bufio.NewReader(qconn)),
+		rconn: rconn,
+	}
+	go rs.readReportsFrom(rbr)
+	return rs, nil
+}
+
+// Close disconnects both connections.
+func (rs *RemoteSource) Close() {
+	rs.qmu.Lock()
+	_ = rs.conn.Close()
+	rs.qmu.Unlock()
+	_ = rs.rconn.Close()
+}
+
+func (rs *RemoteSource) readReportsFrom(r io.Reader) {
+	defer func() {
+		rs.rmu.Lock()
+		rs.streamClosed = true
+		rs.rmu.Unlock()
+	}()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var r UpdateReport
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue
+		}
+		rs.rmu.Lock()
+		rs.reports = append(rs.reports, &r)
+		if r.Update.Seq > rs.lastSeq {
+			rs.lastSeq = r.Update.Seq
+		}
+		rs.tr.OneWay(len(line)+1, len(r.Objects))
+		rs.rmu.Unlock()
+	}
+}
+
+// ID implements SourceAPI.
+func (rs *RemoteSource) ID() string { return rs.name }
+
+// TransportRef implements SourceAPI.
+func (rs *RemoteSource) TransportRef() *Transport { return rs.tr }
+
+// LastKnownSeq implements SourceAPI.
+func (rs *RemoteSource) LastKnownSeq() uint64 {
+	rs.rmu.Lock()
+	defer rs.rmu.Unlock()
+	return rs.lastSeq
+}
+
+// DrainReports implements SourceAPI: reports received so far, in order.
+func (rs *RemoteSource) DrainReports() []*UpdateReport {
+	rs.rmu.Lock()
+	defer rs.rmu.Unlock()
+	out := rs.reports
+	rs.reports = nil
+	return out
+}
+
+// WaitReports blocks until at least n reports are buffered or the stream
+// closes, then drains. Tests and pull-style integrators use it to
+// synchronize with the asynchronous stream.
+func (rs *RemoteSource) WaitReports(n int) []*UpdateReport {
+	for {
+		rs.rmu.Lock()
+		if len(rs.reports) >= n {
+			out := rs.reports
+			rs.reports = nil
+			rs.rmu.Unlock()
+			return out
+		}
+		closed := rs.streamClosed
+		rs.rmu.Unlock()
+		if closed {
+			return rs.DrainReports()
+		}
+		// The reader goroutine fills the buffer; yield briefly.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// roundTrip sends one request and decodes the response, charging actual
+// bytes to the transport.
+func (rs *RemoteSource) roundTrip(req netRequest) (netResponse, error) {
+	rs.qmu.Lock()
+	defer rs.qmu.Unlock()
+	reqBytes, err := json.Marshal(req)
+	if err != nil {
+		return netResponse{}, err
+	}
+	if err := rs.enc.Encode(req); err != nil {
+		return netResponse{}, fmt.Errorf("warehouse: sending %s: %w", req.Op, err)
+	}
+	var resp netResponse
+	if err := rs.dec.Decode(&resp); err != nil {
+		return netResponse{}, fmt.Errorf("warehouse: receiving %s: %w", req.Op, err)
+	}
+	respBytes, _ := json.Marshal(resp)
+	rs.tr.RoundTrip(len(reqBytes)+1, len(respBytes)+1, len(resp.Objects))
+	rs.rmu.Lock()
+	if resp.Seq > rs.lastSeq {
+		rs.lastSeq = resp.Seq
+	}
+	rs.rmu.Unlock()
+	return resp, nil
+}
+
+// FetchObject implements SourceAPI.
+func (rs *RemoteSource) FetchObject(oid oem.OID) (*oem.Object, error) {
+	resp, err := rs.roundTrip(netRequest{Op: "object", OID: oid})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	if len(resp.Objects) == 0 {
+		return nil, fmt.Errorf("warehouse: remote returned no object for %s", oid)
+	}
+	return resp.Objects[0], nil
+}
+
+// FetchPath implements SourceAPI.
+func (rs *RemoteSource) FetchPath(n oem.OID) (*PathInfo, bool, error) {
+	resp, err := rs.roundTrip(netRequest{Op: "path", OID: n})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Err != "" {
+		return nil, false, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	return resp.Info, resp.Found, nil
+}
+
+// FetchAncestor implements SourceAPI.
+func (rs *RemoteSource) FetchAncestor(n oem.OID, p pathexpr.Path) (oem.OID, bool, error) {
+	resp, err := rs.roundTrip(netRequest{Op: "ancestor", OID: n, Path: p})
+	if err != nil {
+		return oem.NoOID, false, err
+	}
+	if resp.Err != "" {
+		return oem.NoOID, false, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	return resp.OID, resp.Found, nil
+}
+
+// FetchEval implements SourceAPI.
+func (rs *RemoteSource) FetchEval(n oem.OID, p pathexpr.Path) ([]*oem.Object, error) {
+	resp, err := rs.roundTrip(netRequest{Op: "eval", OID: n, Path: p})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	return resp.Objects, nil
+}
+
+// FetchSubtree implements SourceAPI.
+func (rs *RemoteSource) FetchSubtree(n oem.OID, depth int) ([]*oem.Object, error) {
+	resp, err := rs.roundTrip(netRequest{Op: "subtree", OID: n, Depth: depth})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	return resp.Objects, nil
+}
+
+// FetchQuery implements SourceAPI.
+func (rs *RemoteSource) FetchQuery(q *query.Query) ([]*oem.Object, error) {
+	resp, err := rs.roundTrip(netRequest{Op: "query", Query: q.String()})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	return resp.Objects, nil
+}
+
+var _ SourceAPI = (*RemoteSource)(nil)

@@ -1,0 +1,360 @@
+package warehouse
+
+import (
+	"testing"
+
+	"gsv/internal/core"
+	"gsv/internal/dataguide"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+func buildGuide(t testing.TB, s *store.Store) *dataguide.Guide {
+	t.Helper()
+	g, err := dataguide.Build(s, "ROOT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newPersonSource(t testing.TB, level ReportLevel) (*Source, *Transport) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	tr := NewTransport(0)
+	src := NewSource("persons", s, "ROOT", level, tr)
+	src.DrainReports()
+	return src, tr
+}
+
+func TestSourceFetchObject(t *testing.T) {
+	src, tr := newPersonSource(t, Level2)
+	o, err := src.FetchObject("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Label != "professor" {
+		t.Fatalf("fetched %v", o)
+	}
+	if tr.QueryBacks != 1 || tr.ObjectsShipped != 1 || tr.Bytes == 0 {
+		t.Fatalf("transport = %+v", tr)
+	}
+	if _, err := src.FetchObject("missing"); err == nil {
+		t.Fatal("missing fetch succeeded")
+	}
+	// Failed fetches still cost a round trip.
+	if tr.QueryBacks != 2 {
+		t.Fatalf("QueryBacks = %d", tr.QueryBacks)
+	}
+}
+
+func TestSourceFetchPathWithOIDs(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	info, ok, err := src.FetchPath("A3")
+	if err != nil || !ok {
+		t.Fatalf("FetchPath: %v %v", ok, err)
+	}
+	// A3 is reachable as student.age (direct) or professor.student.age;
+	// the labels and OIDs must be consistent with each other.
+	if len(info.OIDs) != len(info.Labels) {
+		t.Fatalf("ragged path info: %v / %v", info.OIDs, info.Labels)
+	}
+	if info.OIDs[len(info.OIDs)-1] != "A3" {
+		t.Fatalf("path does not end at A3: %v", info.OIDs)
+	}
+	if info.Labels[len(info.Labels)-1] != "age" {
+		t.Fatalf("last label = %v", info.Labels)
+	}
+	// Unreachable object.
+	if _, ok, _ := src.FetchPath("PERSON"); ok {
+		t.Fatal("path to grouping object reported")
+	}
+	// Root itself: empty path.
+	info, ok, _ = src.FetchPath("ROOT")
+	if !ok || len(info.OIDs) != 0 {
+		t.Fatalf("root path = %v %v", info, ok)
+	}
+}
+
+func TestSourceFetchAncestorAndEval(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	y, ok, err := src.FetchAncestor("A1", pathexpr.MustParsePath("age"))
+	if err != nil || !ok || y != "P1" {
+		t.Fatalf("FetchAncestor = %v %v %v", y, ok, err)
+	}
+	objs, err := src.FetchEval("P1", pathexpr.MustParsePath("age"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].OID != "A1" {
+		t.Fatalf("FetchEval = %v", objs)
+	}
+	if src.Stats.Queries < 2 || src.Stats.ObjectsTouched == 0 {
+		t.Fatalf("wrapper stats = %+v", src.Stats)
+	}
+}
+
+func TestSourceFetchSubtree(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	objs, err := src.FetchSubtree("P1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[oem.OID]bool{}
+	for _, o := range objs {
+		got[o.OID] = true
+	}
+	for _, want := range []oem.OID{"P1", "N1", "A1", "S1", "P3"} {
+		if !got[want] {
+			t.Errorf("subtree missing %s", want)
+		}
+	}
+	// Depth 1 must not include P3's children.
+	if got["N3"] {
+		t.Error("depth-1 subtree included grandchild")
+	}
+	// Depth 2 does.
+	objs, _ = src.FetchSubtree("P1", 2)
+	got = map[oem.OID]bool{}
+	for _, o := range objs {
+		got[o.OID] = true
+	}
+	if !got["N3"] {
+		t.Error("depth-2 subtree missing grandchild")
+	}
+}
+
+func TestSourceFetchQuery(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	objs, err := src.FetchQuery(query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].OID != "P1" {
+		t.Fatalf("FetchQuery = %v", objs)
+	}
+	if _, err := src.FetchQuery(query.MustParse("SELECT MISSING.x X")); err == nil {
+		t.Fatal("bad query succeeded")
+	}
+}
+
+func TestSourcePutReportsCreation(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	rs, err := src.Put(oem.NewAtom("A2", "age", oem.Int(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Update.Kind != store.UpdateCreate {
+		t.Fatalf("reports = %+v", rs)
+	}
+	if rs[0].Objects["A2"] == nil {
+		t.Fatal("level 2 creation report missing object")
+	}
+}
+
+func TestSourceMutationErrorsPropagate(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	if _, err := src.Insert("missing", "P1"); err == nil {
+		t.Fatal("bad insert succeeded")
+	}
+	if _, err := src.Delete("ROOT", "notachild"); err == nil {
+		t.Fatal("bad delete succeeded")
+	}
+	if _, err := src.Modify("ROOT", oem.Int(1)); err == nil {
+		t.Fatal("modify of set succeeded")
+	}
+	if _, err := src.Put(oem.NewAtom("P1", "dup", oem.Int(1))); err == nil {
+		t.Fatal("duplicate put succeeded")
+	}
+}
+
+func TestAuxCacheModes(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	def, ok := core.Simplify(query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"))
+	if !ok {
+		t.Fatal("not simple")
+	}
+	full, err := NewAuxCache(def, src, CacheFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := NewAuxCache(def, src, CachePartial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mirror holds ROOT, the professors and their age atoms — not
+	// names, salaries or the student subtree.
+	for _, want := range []oem.OID{"ROOT", "P1", "P2", "A1"} {
+		if !full.Has(want) {
+			t.Errorf("full cache missing %s", want)
+		}
+	}
+	for _, not := range []oem.OID{"N1", "S1", "P3", "P4"} {
+		if full.Has(not) {
+			t.Errorf("full cache mirrors off-path object %s", not)
+		}
+	}
+	if !full.HasValues() || partial.HasValues() {
+		t.Fatal("HasValues wrong")
+	}
+	// Partial caches strip atomic values.
+	a1, err := partial.Access().Fetch("A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Atom.IsZero() {
+		t.Fatalf("partial cache kept a value: %v", a1.Atom)
+	}
+	// Full caches keep them.
+	a1, _ = full.Access().Fetch("A1")
+	if !a1.Atom.Equal(oem.Int(45)) {
+		t.Fatalf("full cache lost the value: %v", a1.Atom)
+	}
+	if full.Bytes() <= partial.Bytes() {
+		t.Fatalf("full (%d B) not larger than partial (%d B)", full.Bytes(), partial.Bytes())
+	}
+	if full.Size() != partial.Size() {
+		t.Fatalf("sizes differ: %d vs %d", full.Size(), partial.Size())
+	}
+}
+
+func TestAuxCacheMaintainsMirror(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	def, _ := core.Simplify(query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"))
+	c, err := NewAuxCache(def, src, CacheFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert an age under P2: one report, no extra queries (the report
+	// carries the object and the subtree below an atom is trivial).
+	rs, err := src.Put(oem.NewAtom("A2", "age", oem.Int(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if _, err := c.Apply(r, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err = src.Insert("P2", "A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.Apply(rs[0], src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Fatalf("level-2 atom insert cost %d cache queries", q)
+	}
+	if !c.Has("A2") {
+		t.Fatal("new age not mirrored")
+	}
+	// Modify propagates.
+	rs, _ = src.Modify("A2", oem.Int(41))
+	if _, err := c.Apply(rs[0], src); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Access().Fetch("A2")
+	if !got.Atom.Equal(oem.Int(41)) {
+		t.Fatalf("mirror atom = %v", got.Atom)
+	}
+	// Delete detaches; Compact prunes.
+	rs, _ = src.Delete("P2", "A2")
+	if _, err := c.Apply(rs[0], src); err != nil {
+		t.Fatal(err)
+	}
+	c.Compact()
+	if c.Has("A2") {
+		t.Fatal("detached atom survived Compact")
+	}
+}
+
+func TestAuxCacheDeepSubtreeInsert(t *testing.T) {
+	// A view with a two-level selection path over relation-like data; the
+	// cache must absorb whole-subtree attachments (a new tuple with
+	// children, and a new relation with tuples) via one FetchSubtree.
+	s := store.NewDefault()
+	workload.RelationLike(s, workload.RelationConfig{
+		Relations: 1, TuplesPerRelation: 3, FieldsPerTuple: 2, Seed: 1,
+	})
+	tr := NewTransport(0)
+	src := NewSource("rel", s, "REL", Level2, tr)
+	src.DrainReports()
+	def, _ := core.Simplify(query.MustParse("SELECT REL.r0.tuple X WHERE X.age > 30"))
+	c, err := NewAuxCache(def, src, CacheFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAll := func(rs []*UpdateReport, err error) int {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := 0
+		for _, r := range rs {
+			q, err := c.Apply(r, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries += q
+		}
+		return queries
+	}
+	// Build a complete tuple subtree, then attach it with one insert.
+	applyAll(src.Put(oem.NewAtom("AX", "age", oem.Int(50))))
+	applyAll(src.Put(oem.NewAtom("FX", "f1", oem.String_("v"))))
+	applyAll(src.Put(oem.NewSet("TX", "tuple", "AX", "FX")))
+	db, _ := s.Get("REL")
+	r0 := db.Set[0]
+	q := applyAll(src.Insert(r0, "TX"))
+	if q == 0 {
+		t.Fatal("deep attachment needed no subtree fetch (unexpectedly free)")
+	}
+	if !c.Has("TX") || !c.Has("AX") {
+		t.Fatal("attached subtree not mirrored")
+	}
+	if c.Has("FX") {
+		t.Fatal("off-path field mirrored")
+	}
+	// The mirrored structure answers eval locally.
+	got, err := c.Access().EvalCond("TX", def.CondPath, def.Cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, []oem.OID{"AX"}) {
+		t.Fatalf("local eval = %v", got)
+	}
+	// An irrelevant-label child under a mirrored tuple is edge-mirrored
+	// (value exactness) but not admitted as an object.
+	applyAll(src.Put(oem.NewAtom("GX", "note", oem.String_("x"))))
+	applyAll(src.Insert("TX", "GX"))
+	tx, _ := c.Access().Fetch("TX")
+	if !tx.Contains("GX") {
+		t.Fatalf("mirrored tuple value stale: %v", tx.Set)
+	}
+	if c.Has("GX") {
+		t.Fatal("irrelevant child admitted")
+	}
+}
+
+func TestLearnFromGuideMatchesScan(t *testing.T) {
+	src, _ := newPersonSource(t, Level2)
+	g := buildGuide(t, src.Store)
+	fromGuide := LearnFromGuide(g)
+	fromScan := LearnFromSource(src.Store, "ROOT")
+	pairs := [][2]string{
+		{"", "professor"}, {"professor", "age"}, {"student", "major"},
+		{"student", "salary"}, {"secretary", "age"}, {"", "salary"},
+	}
+	for _, p := range pairs {
+		if fromGuide.Occurs(p[0], p[1]) != fromScan.Occurs(p[0], p[1]) {
+			t.Errorf("pair (%q,%q): guide %v != scan %v", p[0], p[1],
+				fromGuide.Occurs(p[0], p[1]), fromScan.Occurs(p[0], p[1]))
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package warehouse implements the paper's Section 5: incremental view
+// maintenance in a data warehousing architecture (Figure 6). Base objects
+// live at autonomous sources; each source has a wrapper that answers
+// queries and a monitor that reports updates at one of three levels of
+// detail. Materialized views live at the warehouse, which runs the *same*
+// Algorithm 1 as the centralized case — its BaseAccess implementation
+// simply turns path/ancestor/eval into source queries, optionally answered
+// from auxiliary caches (Section 5.2) instead of the network.
+//
+// The distributed system is simulated in-process: all traffic flows
+// through a Transport that counts messages, shipped objects and bytes, and
+// accumulates virtual latency. The paper's cost arguments are about
+// exactly these quantities.
+package warehouse
+
+import (
+	"fmt"
+	"time"
+)
+
+// Transport accounts for warehouse-source communication. It does not move
+// bytes — sources and the warehouse share a process — but every query back
+// to a source and every update report passes through RoundTrip or OneWay,
+// so the counters faithfully reflect what a real deployment would ship.
+type Transport struct {
+	// Messages counts all messages in either direction.
+	Messages int
+	// QueryBacks counts request/response query pairs sent to sources.
+	QueryBacks int
+	// ObjectsShipped counts objects serialized into responses and reports.
+	ObjectsShipped int
+	// Bytes estimates total payload bytes in both directions.
+	Bytes int
+	// RoundTripLatency is the virtual cost charged per query back.
+	RoundTripLatency time.Duration
+	// VirtualTime accumulates charged latency (nothing actually sleeps).
+	VirtualTime time.Duration
+}
+
+// NewTransport returns a transport charging the given latency per round
+// trip. A zero latency still counts messages and bytes.
+func NewTransport(rtt time.Duration) *Transport {
+	return &Transport{RoundTripLatency: rtt}
+}
+
+// RoundTrip records one query to a source and its response.
+func (t *Transport) RoundTrip(reqBytes, respBytes, objects int) {
+	t.Messages += 2
+	t.QueryBacks++
+	t.ObjectsShipped += objects
+	t.Bytes += reqBytes + respBytes
+	t.VirtualTime += t.RoundTripLatency
+}
+
+// OneWay records one pushed message (an update report).
+func (t *Transport) OneWay(bytes, objects int) {
+	t.Messages++
+	t.ObjectsShipped += objects
+	t.Bytes += bytes
+	// Reports are pushed asynchronously; they charge half a round trip.
+	t.VirtualTime += t.RoundTripLatency / 2
+}
+
+// Snapshot returns a copy of the counters for diffing around an operation.
+func (t *Transport) Snapshot() Transport { return *t }
+
+// Sub returns the counter difference t - earlier.
+func (t *Transport) Sub(earlier Transport) Transport {
+	return Transport{
+		Messages:       t.Messages - earlier.Messages,
+		QueryBacks:     t.QueryBacks - earlier.QueryBacks,
+		ObjectsShipped: t.ObjectsShipped - earlier.ObjectsShipped,
+		Bytes:          t.Bytes - earlier.Bytes,
+		VirtualTime:    t.VirtualTime - earlier.VirtualTime,
+	}
+}
+
+// String renders the counters.
+func (t *Transport) String() string {
+	return fmt.Sprintf("msgs=%d queries=%d objects=%d bytes=%d vtime=%s",
+		t.Messages, t.QueryBacks, t.ObjectsShipped, t.Bytes, t.VirtualTime)
+}

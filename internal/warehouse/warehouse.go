@@ -1,0 +1,490 @@
+package warehouse
+
+import (
+	"fmt"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// RemoteStats counts how one view's helper-function calls were answered.
+type RemoteStats struct {
+	// LocalAnswers counts calls satisfied from the report or the cache.
+	LocalAnswers int
+	// SourceCalls counts calls that resulted in at least one query back.
+	SourceCalls int
+}
+
+// RemoteAccess implements core.BaseAccess for a warehouse view: each helper
+// function is answered, in order of preference, from the current update
+// report's enrichment (Level 2/3), from the auxiliary cache, or by a query
+// back to the source (Section 5.1). Algorithm 1 itself is unchanged.
+type RemoteAccess struct {
+	Src   SourceAPI
+	Def   core.SimpleDef
+	Cache *AuxCache // nil under CacheNone
+	Stats RemoteStats
+
+	report *UpdateReport
+}
+
+// SetReport installs the report whose update is about to be maintained;
+// its enrichment is consulted before any query back.
+func (a *RemoteAccess) SetReport(r *UpdateReport) { a.report = r }
+
+func (a *RemoteAccess) local()  { a.Stats.LocalAnswers++ }
+func (a *RemoteAccess) remote() { a.Stats.SourceCalls++ }
+
+// Label implements core.BaseAccess.
+func (a *RemoteAccess) Label(n oem.OID) (string, error) {
+	if r := a.report; r != nil {
+		if o := r.Objects[n]; o != nil {
+			a.local()
+			return o.Label, nil
+		}
+	}
+	if a.Cache != nil && a.Cache.Has(n) {
+		a.local()
+		return a.Cache.store.Label(n)
+	}
+	a.remote()
+	o, err := a.Src.FetchObject(n)
+	if err != nil {
+		return "", err
+	}
+	return o.Label, nil
+}
+
+// Fetch implements core.BaseAccess. Set values come from the report or the
+// cache when exact; atomic values require a full cache.
+func (a *RemoteAccess) Fetch(n oem.OID) (*oem.Object, error) {
+	if r := a.report; r != nil {
+		if o := r.Objects[n]; o != nil {
+			a.local()
+			return o.Clone(), nil
+		}
+	}
+	if a.Cache != nil && a.Cache.Has(n) {
+		o, err := a.Cache.store.Get(n)
+		if err == nil && (o.IsSet() || a.Cache.HasValues()) {
+			a.local()
+			return o, nil
+		}
+	}
+	a.remote()
+	return a.Src.FetchObject(n)
+}
+
+// Path implements core.BaseAccess: path(ROOT, n).
+func (a *RemoteAccess) Path(root, n oem.OID) (pathexpr.Path, bool, error) {
+	if r := a.report; r != nil && r.Path != nil && n == r.Update.N1 && root == a.Def.Entry {
+		a.local()
+		return r.Path.Labels.Clone(), true, nil
+	}
+	if a.Cache != nil {
+		// The cache mirrors every object on a relevant path. An unmirrored
+		// object has no path that could prefix sel_path.cond_path, which
+		// is all Algorithm 1 asks; report "not a relevant descendant".
+		a.local()
+		if n == root {
+			return pathexpr.Path{}, true, nil
+		}
+		if !a.Cache.Has(n) {
+			return nil, false, nil
+		}
+		return a.Cache.Access().Path(root, n)
+	}
+	a.remote()
+	info, ok, err := a.Src.FetchPath(n)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return info.Labels, true, nil
+}
+
+// Ancestor implements core.BaseAccess: ancestor(n, p).
+func (a *RemoteAccess) Ancestor(n oem.OID, p pathexpr.Path) (oem.OID, bool, error) {
+	if len(p) == 0 {
+		a.local()
+		return n, true, nil
+	}
+	if r := a.report; r != nil && r.Path != nil && n == r.Update.N1 {
+		if y, ok := ancestorFromPath(a.Def.Entry, r.Path, p); ok {
+			a.local()
+			return y, true, nil
+		}
+	}
+	if a.Cache != nil {
+		a.local()
+		if !a.Cache.Has(n) {
+			return oem.NoOID, false, nil
+		}
+		return a.Cache.Access().Ancestor(n, p)
+	}
+	a.remote()
+	return a.Src.FetchAncestor(n, p)
+}
+
+// ancestorFromPath answers ancestor(N1, p) from a Level-3 reported path:
+// if p is a suffix of the reported labels, the ancestor is the object just
+// above that suffix (or the root when the suffix is the whole path).
+func ancestorFromPath(root oem.OID, info *PathInfo, p pathexpr.Path) (oem.OID, bool) {
+	if !info.Labels.HasSuffix(p) {
+		return oem.NoOID, false
+	}
+	idx := len(info.Labels) - len(p) // position above the suffix
+	if idx == 0 {
+		return root, true
+	}
+	return info.OIDs[idx-1], true
+}
+
+// EvalCond implements core.BaseAccess: eval(n, p, cond).
+func (a *RemoteAccess) EvalCond(n oem.OID, p pathexpr.Path, cond core.CondTest) ([]oem.OID, error) {
+	// Example 7's shortcut: with an empty residual path the condition is
+	// tested on the reported object itself, no source access needed.
+	if len(p) == 0 {
+		if r := a.report; r != nil {
+			if o := r.Objects[n]; o != nil {
+				a.local()
+				if cond.HoldsObject(o) {
+					return []oem.OID{n}, nil
+				}
+				return nil, nil
+			}
+		}
+	}
+	if a.Cache != nil && a.Cache.Has(n) {
+		if a.Cache.HasValues() || cond.Always {
+			a.local()
+			return a.Cache.Access().EvalCond(n, p, cond)
+		}
+		// Partial cache: structure is local but values are not; one query
+		// fetches the candidates with values, tested locally (Example 9).
+		a.remote()
+		objs, err := a.Src.FetchEval(n, p)
+		if err != nil {
+			return nil, err
+		}
+		return filterCond(objs, cond), nil
+	}
+	if a.Cache != nil {
+		a.local()
+		return nil, nil // not mirrored: not on a relevant path
+	}
+	a.remote()
+	objs, err := a.Src.FetchEval(n, p)
+	if err != nil {
+		return nil, err
+	}
+	return filterCond(objs, cond), nil
+}
+
+func filterCond(objs []*oem.Object, cond core.CondTest) []oem.OID {
+	var out []oem.OID
+	for _, o := range objs {
+		if cond.HoldsObject(o) {
+			out = append(out, o.OID)
+		}
+	}
+	return oem.SortOIDs(out)
+}
+
+// ViewConfig selects the maintenance optimizations for one warehouse view.
+type ViewConfig struct {
+	Cache CacheMode
+	// Screening discards reports whose labels cannot affect the view
+	// before any other work (Section 5.1, scenario 2). Requires Level 2+
+	// reports to be effective; Level 1 reports are never screened.
+	Screening bool
+	// Knowledge, when non-nil, additionally screens with parent→child
+	// label pair knowledge (Section 5.2's closing idea).
+	Knowledge *PathKnowledge
+}
+
+// ViewStats aggregates per-view maintenance outcomes.
+type ViewStats struct {
+	Reports  int
+	Screened int
+	// LocalOnly counts reports maintained with zero query backs.
+	LocalOnly int
+	// QueryBacks counts source queries attributable to this view.
+	QueryBacks int
+	// Interference counts reports processed while the autonomous source
+	// had already moved past the reported update — any query back during
+	// such processing observes a later state than the update (the
+	// consistency hazard of Section 5.1, citing [ZGMHW95]). Algorithm 1's
+	// decisions re-derive from current state and converge once the
+	// remaining reports are processed; the counter makes the exposure
+	// visible.
+	Interference int
+}
+
+// WView is one materialized view hosted at the warehouse.
+type WView struct {
+	Name   string
+	MV     *core.MaterializedView
+	Def    core.SimpleDef
+	Access *RemoteAccess
+	Maint  *core.SimpleMaintainer
+	Cache  *AuxCache
+	Config ViewConfig
+	Stats  ViewStats
+
+	fullLabels map[string]bool
+}
+
+// Warehouse hosts materialized views over one source (Figure 6 shows many
+// sources; multi-source deployments run one Warehouse value per source,
+// sharing the view store).
+type Warehouse struct {
+	Src   SourceAPI
+	Store *store.Store
+	views map[string]*WView
+}
+
+// New returns a warehouse over src with its own view store.
+func New(src SourceAPI) *Warehouse {
+	return &Warehouse{
+		Src: src,
+		Store: store.New(store.Options{
+			ParentIndex: true, LabelIndex: true, AllowDangling: true,
+		}),
+		views: make(map[string]*WView),
+	}
+}
+
+// DefineView registers a simple materialized view at the warehouse. The
+// initial content is fetched from the source with one query; subsequent
+// maintenance is driven by ProcessReport.
+func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WView, error) {
+	if _, ok := w.views[name]; ok {
+		return nil, fmt.Errorf("warehouse: view %s already defined", name)
+	}
+	def, ok := core.Simplify(q)
+	if !ok {
+		return nil, fmt.Errorf("warehouse: %s is not a simple view; the warehouse protocol of Section 5 maintains simple views", name)
+	}
+	if def.Within != "" {
+		return nil, fmt.Errorf("warehouse: %s uses WITHIN; warehouse views are scoped to their source instead", name)
+	}
+	objs, err := w.Src.FetchQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	oid := oem.OID(name)
+	viewObj := oem.NewSet(oid, core.ViewLabel)
+	for _, o := range objs {
+		viewObj.Add(core.DelegateOID(oid, o.OID))
+	}
+	if err := w.Store.Put(viewObj); err != nil {
+		return nil, err
+	}
+	// Base is nil: a warehouse view's base data lives at the source, and
+	// all base access flows through RemoteAccess. (Recompute, which needs
+	// Base, is not part of the warehouse protocol.)
+	mv := &core.MaterializedView{OID: oid, Query: q, Base: nil, ViewStore: w.Store}
+	for _, o := range objs {
+		d := o.Clone()
+		d.OID = core.DelegateOID(oid, o.OID)
+		if err := w.Store.Put(d); err != nil {
+			return nil, err
+		}
+	}
+	var cache *AuxCache
+	if cfg.Cache != CacheNone {
+		cache, err = NewAuxCache(def, w.Src, cfg.Cache)
+		if err != nil {
+			return nil, err
+		}
+	}
+	access := &RemoteAccess{Src: w.Src, Def: def, Cache: cache}
+	maint := &core.SimpleMaintainer{View: mv, Def: def, Access: access}
+	v := &WView{
+		Name: name, MV: mv, Def: def, Access: access, Maint: maint,
+		Cache: cache, Config: cfg, fullLabels: map[string]bool{},
+	}
+	for _, l := range def.FullPath() {
+		v.fullLabels[l] = true
+	}
+	w.views[name] = v
+	return v, nil
+}
+
+// View returns a registered view.
+func (w *Warehouse) View(name string) (*WView, bool) {
+	v, ok := w.views[name]
+	return v, ok
+}
+
+// ProcessReport routes one update report to every view.
+func (w *Warehouse) ProcessReport(r *UpdateReport) error {
+	for _, v := range w.views {
+		if err := v.process(r, w.Src); err != nil {
+			return fmt.Errorf("warehouse: view %s on %s: %w", v.Name, r.Update, err)
+		}
+	}
+	return nil
+}
+
+// ProcessAll routes a batch of reports.
+func (w *Warehouse) ProcessAll(rs []*UpdateReport) error {
+	for _, r := range rs {
+		if err := w.ProcessReport(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *WView) process(r *UpdateReport, src SourceAPI) error {
+	v.Stats.Reports++
+	if v.screened(r) {
+		v.Stats.Screened++
+		return nil
+	}
+	if src.LastKnownSeq() > r.Update.Seq {
+		v.Stats.Interference++
+	}
+	before := src.TransportRef().Snapshot()
+	if v.Cache != nil {
+		if _, err := v.Cache.Apply(r, src); err != nil {
+			return err
+		}
+	}
+	v.Access.SetReport(r)
+	defer v.Access.SetReport(nil)
+
+	u := r.Update
+	var err error
+	if u.Kind == store.UpdateModify && r.Level < Level2 {
+		err = v.level1Modify(u, src)
+	} else {
+		err = v.Maint.Apply(u)
+	}
+	if err != nil {
+		return err
+	}
+	// Only deletes can detach mirrored structure; compacting after every
+	// report would rescan the mirror needlessly.
+	if v.Cache != nil && u.Kind == store.UpdateDelete {
+		v.Cache.Compact()
+	}
+	used := src.TransportRef().Sub(before)
+	v.Stats.QueryBacks += used.QueryBacks
+	if used.QueryBacks == 0 {
+		v.Stats.LocalOnly++
+	}
+	return nil
+}
+
+// screened implements the label screening of Section 5.1 scenario 2 and
+// the path-knowledge screening of Section 5.2. An update is kept when it
+// could change membership or touches a current member's value.
+func (v *WView) screened(r *UpdateReport) bool {
+	if !v.Config.Screening || r.Level < Level2 {
+		return false
+	}
+	u := r.Update
+	if u.Kind == store.UpdateCreate {
+		return true // creation never affects a view
+	}
+	if v.MV.Contains(u.N1) {
+		return false // member value refresh required
+	}
+	switch u.Kind {
+	case store.UpdateInsert, store.UpdateDelete:
+		child := r.Objects[u.N2]
+		if child == nil {
+			return false // cannot judge; process normally
+		}
+		if !v.fullLabels[child.Label] {
+			return true // label(N2) not on sel_path.cond_path
+		}
+		if pk := v.Config.Knowledge; pk != nil && u.Kind == store.UpdateInsert {
+			if parent := r.Objects[u.N1]; parent != nil {
+				pk.Observe(parent.Label, child.Label)
+				if !v.pairOnPath(parent, child) {
+					return true
+				}
+			}
+		}
+		return false
+	case store.UpdateModify:
+		full := v.Def.FullPath()
+		if len(full) == 0 {
+			return false
+		}
+		if o := r.Objects[u.N1]; o != nil && o.Label != full[len(full)-1] {
+			return true // only objects at the condition label matter
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// pairOnPath reports whether (label(N1) -> label(N2)) can lie on the
+// view's full path: consecutive labels must match, with the entry allowed
+// as the anonymous parent of the first label.
+func (v *WView) pairOnPath(parent, child *oem.Object) bool {
+	full := v.Def.FullPath()
+	for i, l := range full {
+		if l != child.Label {
+			continue
+		}
+		if i == 0 {
+			if parent.OID == v.Def.Entry {
+				return true
+			}
+			continue
+		}
+		if parent.Label == full[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// level1Modify re-derives membership after a modify whose values were
+// withheld (Level 1): if N lies at sel_path.cond_path, the condition on
+// its ancestor Y is re-evaluated at the source and Y is inserted or
+// deleted accordingly; a member delegate's value is refreshed by fetching
+// the object.
+func (v *WView) level1Modify(u store.Update, src SourceAPI) error {
+	full := v.Def.FullPath()
+	p, ok, err := v.Access.Path(v.Def.Entry, u.N1)
+	if err != nil {
+		return err
+	}
+	if ok && p.Equal(full) {
+		y, found, err := v.Access.Ancestor(u.N1, v.Def.CondPath)
+		if err != nil {
+			return err
+		}
+		if found {
+			remaining, err := v.Access.EvalCond(y, v.Def.CondPath, v.Def.Cond)
+			if err != nil {
+				return err
+			}
+			if len(remaining) > 0 {
+				if err := v.Maint.VInsert(y); err != nil {
+					return err
+				}
+			} else if err := v.Maint.VDelete(y); err != nil {
+				return err
+			}
+		}
+	}
+	if v.MV.Contains(u.N1) {
+		o, err := v.Access.Fetch(u.N1)
+		if err != nil {
+			return err
+		}
+		return v.MV.RefreshDelegateFrom(o)
+	}
+	return nil
+}

@@ -1,0 +1,455 @@
+package warehouse
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// fixture builds a PERSON source at the given level and a warehouse with
+// the YP view (professors aged <= 45) under the given config.
+func fixture(t testing.TB, level ReportLevel, cfg ViewConfig) (*Source, *Warehouse, *WView) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	tr := NewTransport(0)
+	src := NewSource("persons", s, "ROOT", level, tr)
+	src.DrainReports() // discard construction-time updates
+	w := New(src)
+	v, err := w.DefineView("YP", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, w, v
+}
+
+func wantMembers(t testing.TB, v *WView, want ...oem.OID) {
+	t.Helper()
+	got, err := v.MV.Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, want) {
+		t.Fatalf("members = %v, want %v", got, want)
+	}
+}
+
+func TestWarehouseInitialMaterialization(t *testing.T) {
+	src, w, v := fixture(t, Level2, ViewConfig{})
+	wantMembers(t, v, "P1")
+	// Delegates live at the warehouse, not the source.
+	if !w.Store.Has("YP.P1") || src.Store.Has("YP.P1") {
+		t.Fatal("delegate placement wrong")
+	}
+	d, _ := w.Store.Get("YP.P1")
+	if !oem.SameMembers(d.Set, []oem.OID{"N1", "A1", "S1", "P3"}) {
+		t.Fatalf("delegate value = %v", d.Set)
+	}
+	if src.Transport.QueryBacks == 0 {
+		t.Fatal("initial materialization cost not accounted")
+	}
+}
+
+func TestWarehouseExample5AtEveryLevel(t *testing.T) {
+	for _, level := range []ReportLevel{Level1, Level2, Level3} {
+		for _, cache := range []CacheMode{CacheNone, CachePartial, CacheFull} {
+			name := fmt.Sprintf("%s/%s", level, cache)
+			t.Run(name, func(t *testing.T) {
+				src, w, v := fixture(t, level, ViewConfig{Cache: cache})
+				// insert(P2, A2): P2 joins the view.
+				if _, err := src.Put(oem.NewAtom("A2", "age", oem.Int(40))); err != nil {
+					t.Fatal(err)
+				}
+				rs, err := src.Insert("P2", "A2")
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Feed the creation report too (cache pre-learning).
+				all := append(src.DrainReports(), rs...)
+				if err := w.ProcessAll(all); err != nil {
+					t.Fatal(err)
+				}
+				wantMembers(t, v, "P1", "P2")
+
+				// modify(A1, 45, 50): P1 leaves.
+				rs, err = src.Modify("A1", oem.Int(50))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.ProcessAll(rs); err != nil {
+					t.Fatal(err)
+				}
+				wantMembers(t, v, "P2")
+
+				// delete(ROOT, P2)? P2 still has age 40 — delete the edge
+				// and the member must go.
+				rs, err = src.Delete("ROOT", "P2")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.ProcessAll(rs); err != nil {
+					t.Fatal(err)
+				}
+				wantMembers(t, v)
+			})
+		}
+	}
+}
+
+func TestWarehouseLevel1StripsValues(t *testing.T) {
+	src, _, _ := fixture(t, Level1, ViewConfig{})
+	rs, err := src.Modify("A1", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("reports = %d", len(rs))
+	}
+	r := rs[0]
+	if !r.Update.Old.IsZero() || !r.Update.New.IsZero() || r.Objects != nil || r.Path != nil {
+		t.Fatalf("level 1 report leaks data: %+v", r)
+	}
+}
+
+func TestWarehouseLevel2CarriesObjects(t *testing.T) {
+	src, _, _ := fixture(t, Level2, ViewConfig{})
+	rs, err := src.Modify("A1", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[0]
+	if r.Objects["A1"] == nil || !r.Objects["A1"].Atom.Equal(oem.Int(50)) {
+		t.Fatalf("level 2 report objects = %v", r.Objects)
+	}
+	if r.Path != nil {
+		t.Fatal("level 2 report carries a path")
+	}
+}
+
+func TestWarehouseLevel3CarriesPath(t *testing.T) {
+	src, _, _ := fixture(t, Level3, ViewConfig{})
+	rs, err := src.Modify("A1", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[0]
+	if r.Path == nil {
+		t.Fatal("level 3 report has no path")
+	}
+	if r.Path.Labels.String() != "professor.age" {
+		t.Fatalf("path labels = %v", r.Path.Labels)
+	}
+	if len(r.Path.OIDs) != 2 || r.Path.OIDs[0] != "P1" || r.Path.OIDs[1] != "A1" {
+		t.Fatalf("path OIDs = %v", r.Path.OIDs)
+	}
+}
+
+func TestWarehouseQueryBacksDecreaseWithLevel(t *testing.T) {
+	// The §5.1 shape: higher report levels need fewer query backs for the
+	// same update sequence.
+	cost := func(level ReportLevel) int {
+		src, w, v := fixture(t, level, ViewConfig{})
+		base := v.Stats.QueryBacks
+		if _, err := src.Put(oem.NewAtom("A2", "age", oem.Int(40))); err != nil {
+			t.Fatal(err)
+		}
+		reports, err := src.Insert("P2", "A2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.ProcessAll(reports); err != nil {
+			t.Fatal(err)
+		}
+		if rs, err := src.Modify("A1", oem.Int(50)); err != nil {
+			t.Fatal(err)
+		} else if err := w.ProcessAll(rs); err != nil {
+			t.Fatal(err)
+		}
+		return v.Stats.QueryBacks - base
+	}
+	c1, c2, c3 := cost(Level1), cost(Level2), cost(Level3)
+	if !(c1 >= c2 && c2 >= c3) {
+		t.Fatalf("query backs not monotone: level1=%d level2=%d level3=%d", c1, c2, c3)
+	}
+	if c1 == c3 {
+		t.Fatalf("level 3 saves nothing over level 1 (%d vs %d)", c3, c1)
+	}
+}
+
+func TestWarehouseFullCacheMaintainsLocally(t *testing.T) {
+	// Example 10: with the full auxiliary structure cached, maintenance
+	// needs no source queries for reported updates.
+	src, w, v := fixture(t, Level2, ViewConfig{Cache: CacheFull})
+	queriesBefore := src.Transport.QueryBacks
+	if _, err := src.Put(oem.NewAtom("A2", "age", oem.Int(40))); err != nil {
+		t.Fatal(err)
+	}
+	all := src.DrainReports()
+	rs, err := src.Insert("P2", "A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, rs...)
+	rs, err = src.Modify("A1", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, rs...)
+	rs, err = src.Delete("P2", "A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, rs...)
+	if err := w.ProcessAll(all); err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, v) // P1 out (age 50), P2 in then out again
+	if got := src.Transport.QueryBacks - queriesBefore; got != 0 {
+		t.Fatalf("full cache still issued %d query backs", got)
+	}
+	if v.Stats.LocalOnly != v.Stats.Reports-v.Stats.Screened {
+		t.Fatalf("stats: %+v", v.Stats)
+	}
+}
+
+func TestWarehousePartialCacheQueriesOnlyForValues(t *testing.T) {
+	src, w, v := fixture(t, Level2, ViewConfig{Cache: CachePartial})
+	queriesBefore := src.Transport.QueryBacks
+	// A modify that affects membership needs one value query under the
+	// partial cache (structure is local, values are not).
+	rs, err := src.Modify("A1", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ProcessAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, v)
+	used := src.Transport.QueryBacks - queriesBefore
+	if used == 0 {
+		t.Fatal("partial cache answered a value test locally")
+	}
+	if used > 2 {
+		t.Fatalf("partial cache used %d query backs, want <= 2", used)
+	}
+}
+
+func TestWarehouseScreeningSkipsIrrelevant(t *testing.T) {
+	src, w, v := fixture(t, Level2, ViewConfig{Screening: true})
+	queriesBefore := src.Transport.QueryBacks
+	// Insert an object whose label is not on professor.age.
+	if _, err := src.Put(oem.NewAtom("H4", "hobby", oem.String_("golf"))); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := src.Insert("P4", "H4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(src.DrainReports(), rs...)
+	if err := w.ProcessAll(all); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats.Screened == 0 {
+		t.Fatal("irrelevant update not screened")
+	}
+	if got := src.Transport.QueryBacks - queriesBefore; got != 0 {
+		t.Fatalf("screened update cost %d query backs", got)
+	}
+	wantMembers(t, v, "P1")
+}
+
+func TestWarehouseScreeningKeepsMemberRefresh(t *testing.T) {
+	// An irrelevant-label insert under a current member must NOT be
+	// screened: the delegate value needs the new child.
+	src, w, v := fixture(t, Level2, ViewConfig{Screening: true})
+	if _, err := src.Put(oem.NewAtom("H1", "hobby", oem.String_("chess"))); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := src.Insert("P1", "H1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(src.DrainReports(), rs...)
+	if err := w.ProcessAll(all); err != nil {
+		t.Fatal(err)
+	}
+	d, err := v.MV.Delegate("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Contains("H1") {
+		t.Fatalf("delegate value stale after screened-adjacent insert: %v", d.Set)
+	}
+}
+
+func TestWarehousePathKnowledgeScreening(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	tr := NewTransport(0)
+	src := NewSource("persons", s, "ROOT", Level2, tr)
+	src.DrainReports()
+	pk := LearnFromSource(s, "ROOT")
+	w := New(src)
+	v, err := w.DefineView("YP", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"),
+		ViewConfig{Screening: true, Knowledge: pk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An age object under a *student* cannot lie on professor.age: pair
+	// knowledge screens it even though the label "age" is on the path.
+	if _, err := src.Put(oem.NewAtom("A3b", "age", oem.Int(22))); err != nil {
+		t.Fatal(err)
+	}
+	queriesBefore := src.Transport.QueryBacks
+	rs, err := src.Insert("P3", "A3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(src.DrainReports(), rs...)
+	if err := w.ProcessAll(all); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats.Screened == 0 {
+		t.Fatal("pair knowledge did not screen the student.age insert")
+	}
+	if got := src.Transport.QueryBacks - queriesBefore; got != 0 {
+		t.Fatalf("screened insert cost %d query backs", got)
+	}
+	wantMembers(t, v, "P1")
+}
+
+func TestPathKnowledge(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	pk := LearnFromSource(s, "ROOT")
+	if !pk.Occurs("", "professor") || !pk.Occurs("professor", "age") || !pk.Occurs("student", "major") {
+		t.Fatal("expected pairs missing")
+	}
+	if pk.Occurs("student", "salary") {
+		t.Fatal("impossible pair present")
+	}
+	pk.Observe("student", "salary")
+	if !pk.Occurs("student", "salary") {
+		t.Fatal("Observe did not record")
+	}
+	if pk.PairCount() == 0 {
+		t.Fatal("PairCount zero")
+	}
+}
+
+func TestWarehouseRejectsNonSimpleAndWithin(t *testing.T) {
+	src, w, _ := fixture(t, Level2, ViewConfig{})
+	_ = src
+	if _, err := w.DefineView("W", query.MustParse("SELECT ROOT.* X"), ViewConfig{}); err == nil {
+		t.Fatal("wildcard view accepted")
+	}
+	if _, err := w.DefineView("W2", query.MustParse("SELECT ROOT.professor X WITHIN PERSON"), ViewConfig{}); err == nil {
+		t.Fatal("WITHIN view accepted")
+	}
+	if _, err := w.DefineView("YP", query.MustParse("SELECT ROOT.professor X"), ViewConfig{}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestTransportAccounting(t *testing.T) {
+	tr := NewTransport(10)
+	tr.RoundTrip(100, 200, 3)
+	tr.OneWay(50, 1)
+	if tr.Messages != 3 || tr.QueryBacks != 1 || tr.ObjectsShipped != 4 || tr.Bytes != 350 {
+		t.Fatalf("transport = %+v", tr)
+	}
+	if tr.VirtualTime != 15 {
+		t.Fatalf("virtual time = %v", tr.VirtualTime)
+	}
+	snap := tr.Snapshot()
+	tr.RoundTrip(1, 1, 0)
+	d := tr.Sub(snap)
+	if d.QueryBacks != 1 || d.Bytes != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if tr.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// TestPropertyWarehouseMatchesCentral replays a random stream through the
+// warehouse at every (level, cache) combination and cross-checks the view
+// against a centrally maintained twin after every update.
+func TestPropertyWarehouseMatchesCentral(t *testing.T) {
+	for _, level := range []ReportLevel{Level1, Level2, Level3} {
+		for _, cache := range []CacheMode{CacheNone, CachePartial, CacheFull} {
+			for seed := int64(0); seed < 2; seed++ {
+				name := fmt.Sprintf("%s/%s/seed%d", level, cache, seed)
+				t.Run(name, func(t *testing.T) {
+					s := store.NewDefault()
+					db := workload.RelationLike(s, workload.RelationConfig{
+						Relations: 2, TuplesPerRelation: 5, FieldsPerTuple: 2, Seed: seed,
+					})
+					tr := NewTransport(0)
+					src := NewSource("rel", s, "REL", level, tr)
+					src.DrainReports()
+					w := New(src)
+					v, err := w.DefineView("SEL",
+						query.MustParse("SELECT REL.r0.tuple X WHERE X.age > 40"),
+						ViewConfig{Cache: cache, Screening: level >= Level2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sets, atoms []oem.OID
+					for _, r := range db.Relations {
+						sets = append(sets, r.OID)
+						sets = append(sets, r.Tuples...)
+						for _, tu := range r.Tuples {
+							kids, _ := s.Children(tu)
+							atoms = append(atoms, kids...)
+						}
+					}
+					stream := workload.NewStream(s, workload.StreamConfig{
+						Seed: seed + 7, Mix: workload.Mix{Insert: 3, Delete: 2, Modify: 5}, ValueRange: 90,
+					}, sets, atoms)
+					for step := 0; step < 80; step++ {
+						if _, ok := stream.Next(); !ok {
+							break
+						}
+						if err := w.ProcessAll(src.DrainReports()); err != nil {
+							t.Fatalf("step %d: %v", step, err)
+						}
+						if step%8 == 0 {
+							fresh, err := query.NewEvaluator(s).Eval(v.MV.Query)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := v.MV.Members()
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !oem.SameMembers(got, fresh) {
+								t.Fatalf("step %d: warehouse %v != fresh %v", step, got, fresh)
+							}
+						}
+					}
+					fresh, _ := query.NewEvaluator(s).Eval(v.MV.Query)
+					got, _ := v.MV.Members()
+					if !oem.SameMembers(got, fresh) {
+						t.Fatalf("final: warehouse %v != fresh %v", got, fresh)
+					}
+					// Delegate values must match base values too.
+					for _, b := range fresh {
+						d, err := v.MV.Delegate(b)
+						if err != nil {
+							t.Fatalf("missing delegate %s: %v", b, err)
+						}
+						o, _ := s.Get(b)
+						if o.IsSet() && !oem.SameMembers(d.Set, o.Set) {
+							t.Fatalf("delegate %s value %v != base %v", b, d.Set, o.Set)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// Mix gives the relative weights of the three basic update kinds in a
+// generated stream. Weights need not sum to any particular value.
+type Mix struct {
+	Insert int
+	Delete int
+	Modify int
+}
+
+// DefaultMix is an update mix dominated by modifications, with some churn.
+var DefaultMix = Mix{Insert: 2, Delete: 1, Modify: 7}
+
+// StreamConfig parameterizes an update stream.
+type StreamConfig struct {
+	Mix  Mix
+	Seed int64
+	// InsertLabel is the label given to newly created atomic children; the
+	// default "age" makes inserts relevant to the standard benchmark views.
+	InsertLabel string
+	// ValueRange bounds generated integer values: [0, ValueRange). Zero
+	// means 100.
+	ValueRange int
+}
+
+// Stream generates a deterministic sequence of valid basic updates against
+// a store. It tracks the set objects and atomic objects it can target and
+// the edges it has added, so deletes always name existing edges.
+type Stream struct {
+	cfg     StreamConfig
+	rng     *rand.Rand
+	s       *store.Store
+	sets    []oem.OID
+	atoms   []oem.OID
+	created int
+	// removable tracks (parent, child) edges this stream inserted and has
+	// not yet deleted, so deletions never damage the base fixture.
+	removable [][2]oem.OID
+}
+
+// NewStream builds a stream over s targeting the given set objects (as
+// insertion points) and atomic objects (as modify targets).
+func NewStream(s *store.Store, cfg StreamConfig, sets, atoms []oem.OID) *Stream {
+	if cfg.ValueRange <= 0 {
+		cfg.ValueRange = 100
+	}
+	if cfg.InsertLabel == "" {
+		cfg.InsertLabel = "age"
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix
+	}
+	return &Stream{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		s:     s,
+		sets:  append([]oem.OID(nil), sets...),
+		atoms: append([]oem.OID(nil), atoms...),
+	}
+}
+
+// Next applies one random update to the store and returns the logged
+// updates it produced (an insert of a fresh atom produces a create followed
+// by an insert). It reports false if no update could be generated.
+func (st *Stream) Next() ([]store.Update, bool) {
+	total := st.cfg.Mix.Insert + st.cfg.Mix.Delete + st.cfg.Mix.Modify
+	if total == 0 || (len(st.sets) == 0 && len(st.atoms) == 0) {
+		return nil, false
+	}
+	before := st.s.Seq()
+	for attempts := 0; attempts < 10; attempts++ {
+		r := st.rng.Intn(total)
+		var err error
+		switch {
+		case r < st.cfg.Mix.Insert:
+			err = st.doInsert()
+		case r < st.cfg.Mix.Insert+st.cfg.Mix.Delete:
+			err = st.doDelete()
+		default:
+			err = st.doModify()
+		}
+		if err == nil && st.s.Seq() > before {
+			return st.s.LogSince(before), true
+		}
+	}
+	return nil, false
+}
+
+// Run applies n updates and returns the flattened logged updates.
+func (st *Stream) Run(n int) []store.Update {
+	var out []store.Update
+	for i := 0; i < n; i++ {
+		us, ok := st.Next()
+		if !ok {
+			break
+		}
+		out = append(out, us...)
+	}
+	return out
+}
+
+func (st *Stream) doInsert() error {
+	if len(st.sets) == 0 {
+		return errNoTarget
+	}
+	parent := st.sets[st.rng.Intn(len(st.sets))]
+	st.created++
+	oid := oem.OID(fmt.Sprintf("u%d_%d", st.cfg.Seed, st.created))
+	atom := oem.NewAtom(oid, st.cfg.InsertLabel, oem.Int(int64(st.rng.Intn(st.cfg.ValueRange))))
+	if err := st.s.Put(atom); err != nil {
+		return err
+	}
+	if err := st.s.Insert(parent, oid); err != nil {
+		return err
+	}
+	st.atoms = append(st.atoms, oid)
+	st.removable = append(st.removable, [2]oem.OID{parent, oid})
+	return nil
+}
+
+func (st *Stream) doDelete() error {
+	if len(st.removable) == 0 {
+		return errNoTarget
+	}
+	i := st.rng.Intn(len(st.removable))
+	edge := st.removable[i]
+	st.removable[i] = st.removable[len(st.removable)-1]
+	st.removable = st.removable[:len(st.removable)-1]
+	return st.s.Delete(edge[0], edge[1])
+}
+
+func (st *Stream) doModify() error {
+	if len(st.atoms) == 0 {
+		return errNoTarget
+	}
+	target := st.atoms[st.rng.Intn(len(st.atoms))]
+	if !st.s.Has(target) {
+		return errNoTarget
+	}
+	return st.s.Modify(target, oem.Int(int64(st.rng.Intn(st.cfg.ValueRange))))
+}
+
+var errNoTarget = fmt.Errorf("workload: no valid update target")

@@ -1,0 +1,259 @@
+// Package workload builds the synthetic graph structured databases and
+// update streams used by the tests, the examples and the benchmark
+// harness. It includes the paper's own examples — the Figure 1 object
+// graph, the Figure 2 PERSON database, and the Figure 5 relation-like
+// database of Example 7 — plus parameterized generators for trees, deep
+// label chains and DAGs, and seeded update streams.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// PersonOIDs lists the member OIDs of the paper's PERSON database
+// (Example 2), excluding the database object itself.
+var PersonOIDs = []oem.OID{
+	"ROOT", "P1", "P2", "P3", "P4",
+	"N1", "A1", "S1", "N2", "ADD2", "N3", "A3", "M3", "N4", "A4",
+}
+
+// PersonDB loads the paper's Example 2 objects into s and creates the
+// PERSON database object grouping them. It returns the database OID.
+//
+//	<ROOT, person, set, {P1,P2,P3,P4}>
+//	  <P1, professor, set, {N1,A1,S1,P3}> with name John, age 45, salary $100k
+//	  <P3, student, set, {N3,A3,M3}> with name John, age 20, major education
+//	  <P2, professor, set, {N2,ADD2}> with name Sally, address Palo Alto
+//	  <P4, secretary, set, {N4,A4}> with name Tom, age 40
+func PersonDB(s *store.Store) oem.OID {
+	s.MustPut(oem.NewSet("ROOT", "person", "P1", "P2", "P3", "P4"))
+	s.MustPut(oem.NewSet("P1", "professor", "N1", "A1", "S1", "P3"))
+	s.MustPut(oem.NewAtom("N1", "name", oem.String_("John")))
+	s.MustPut(oem.NewAtom("A1", "age", oem.Int(45)))
+	s.MustPut(oem.NewTypedAtom("S1", "salary", "dollar", oem.Int(100000)))
+	s.MustPut(oem.NewSet("P3", "student", "N3", "A3", "M3"))
+	s.MustPut(oem.NewAtom("N3", "name", oem.String_("John")))
+	s.MustPut(oem.NewAtom("A3", "age", oem.Int(20)))
+	s.MustPut(oem.NewAtom("M3", "major", oem.String_("education")))
+	s.MustPut(oem.NewSet("P2", "professor", "N2", "ADD2"))
+	s.MustPut(oem.NewAtom("N2", "name", oem.String_("Sally")))
+	s.MustPut(oem.NewAtom("ADD2", "address", oem.String_("Palo Alto")))
+	s.MustPut(oem.NewSet("P4", "secretary", "N4", "A4"))
+	s.MustPut(oem.NewAtom("N4", "name", oem.String_("Tom")))
+	s.MustPut(oem.NewAtom("A4", "age", oem.Int(40)))
+	if err := s.NewDatabase("PERSON", "database", PersonOIDs...); err != nil {
+		panic(err)
+	}
+	return "PERSON"
+}
+
+// FigureOneDB loads the seven-object graph of the paper's Figure 1 (objects
+// A–G with parent-child edges A→B, A→E, B→C, B→D, D→F, E→F, F→G, C→G) and
+// returns the root OID A. Leaves are atomic; interior nodes are sets.
+func FigureOneDB(s *store.Store) oem.OID {
+	s.MustPut(oem.NewSet("A", "a", "B", "E"))
+	s.MustPut(oem.NewSet("B", "b", "C", "D"))
+	s.MustPut(oem.NewSet("C", "c", "G"))
+	s.MustPut(oem.NewSet("D", "d", "F"))
+	s.MustPut(oem.NewSet("E", "e", "F"))
+	s.MustPut(oem.NewSet("F", "f", "G"))
+	s.MustPut(oem.NewAtom("G", "g", oem.Int(7)))
+	return "A"
+}
+
+// RelationConfig parameterizes the relation-like database of Example 7 /
+// Figure 5: a REL root whose children are "relations", each holding
+// "tuple" children, each tuple holding atomic fields.
+type RelationConfig struct {
+	// Relations is the number of relation objects under REL.
+	Relations int
+	// TuplesPerRelation is the number of tuple objects per relation.
+	TuplesPerRelation int
+	// FieldsPerTuple is the number of atomic fields per tuple; the first
+	// field is always an integer "age" so views can select on it.
+	FieldsPerTuple int
+	// AgeRange bounds the generated age values: ages are uniform in
+	// [0, AgeRange). Zero means 100.
+	AgeRange int
+	// Seed drives the deterministic random generator.
+	Seed int64
+}
+
+// Relation describes one generated relation.
+type Relation struct {
+	OID    oem.OID
+	Name   string
+	Tuples []oem.OID
+}
+
+// RelationDB is the handle returned by RelationLike.
+type RelationDB struct {
+	Root      oem.OID // the REL object
+	DB        oem.OID // the database object listing every OID
+	Relations []Relation
+}
+
+// RelationLike builds the Figure 5 database: REL with relation children
+// r0, r1, ..., each with tuple children, each tuple with an age field and
+// FieldsPerTuple-1 string fields. It returns handles to the generated
+// structure for use by update streams.
+func RelationLike(s *store.Store, cfg RelationConfig) *RelationDB {
+	if cfg.AgeRange <= 0 {
+		cfg.AgeRange = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := &RelationDB{Root: "REL"}
+	all := []oem.OID{"REL"}
+	var relOIDs []oem.OID
+	for r := 0; r < cfg.Relations; r++ {
+		rel := Relation{
+			OID:  oem.OID(fmt.Sprintf("R%d", r)),
+			Name: fmt.Sprintf("r%d", r),
+		}
+		var tupleOIDs []oem.OID
+		for t := 0; t < cfg.TuplesPerRelation; t++ {
+			toid := oem.OID(fmt.Sprintf("T%d_%d", r, t))
+			var fields []oem.OID
+			ageOID := oem.OID(fmt.Sprintf("F%d_%d_age", r, t))
+			s.MustPut(oem.NewAtom(ageOID, "age", oem.Int(int64(rng.Intn(cfg.AgeRange)))))
+			fields = append(fields, ageOID)
+			all = append(all, ageOID)
+			for f := 1; f < cfg.FieldsPerTuple; f++ {
+				foid := oem.OID(fmt.Sprintf("F%d_%d_%d", r, t, f))
+				s.MustPut(oem.NewAtom(foid, fmt.Sprintf("f%d", f), oem.String_(fmt.Sprintf("v%d", rng.Intn(1000)))))
+				fields = append(fields, foid)
+				all = append(all, foid)
+			}
+			s.MustPut(oem.NewSet(toid, "tuple", fields...))
+			tupleOIDs = append(tupleOIDs, toid)
+			all = append(all, toid)
+		}
+		s.MustPut(oem.NewSet(rel.OID, rel.Name, tupleOIDs...))
+		rel.Tuples = tupleOIDs
+		relOIDs = append(relOIDs, rel.OID)
+		all = append(all, rel.OID)
+		db.Relations = append(db.Relations, rel)
+	}
+	s.MustPut(oem.NewSet("REL", "relations", relOIDs...))
+	dbOID := oem.OID("RELDB")
+	if err := s.NewDatabase(dbOID, "database", all...); err != nil {
+		panic(err)
+	}
+	db.DB = dbOID
+	return db
+}
+
+// DeepChain builds a database that is a chain of set objects of the given
+// depth — C0.l.l.l...l — ending in an atomic "age" leaf, with `width`
+// irrelevant sibling leaves at every level to give traversals something to
+// wade through. It returns the root OID and the leaf OID. Deep chains make
+// the cost of path(ROOT,N) and ancestor(N,p) without a parent index visible
+// (experiment E2).
+func DeepChain(s *store.Store, depth, width int) (root, leaf oem.OID) {
+	if depth < 1 {
+		depth = 1
+	}
+	root = "C0"
+	prev := oem.NoOID
+	for d := depth; d >= 0; d-- {
+		oid := oem.OID(fmt.Sprintf("C%d", d))
+		var kids []oem.OID
+		if prev != oem.NoOID {
+			kids = append(kids, prev)
+		}
+		for w := 0; w < width; w++ {
+			woid := oem.OID(fmt.Sprintf("W%d_%d", d, w))
+			s.MustPut(oem.NewAtom(woid, "pad", oem.Int(int64(w))))
+			kids = append(kids, woid)
+		}
+		if d == depth {
+			leaf = oem.OID(fmt.Sprintf("L%d", d))
+			s.MustPut(oem.NewAtom(leaf, "age", oem.Int(30)))
+			kids = append(kids, leaf)
+		}
+		s.MustPut(oem.NewSet(oid, "l", kids...))
+		prev = oid
+	}
+	return "C0", leaf
+}
+
+// TreeConfig parameterizes RandomTree.
+type TreeConfig struct {
+	// Depth is the tree height below the root.
+	Depth int
+	// Fanout is the number of children per interior node.
+	Fanout int
+	// Labels is the label vocabulary for interior nodes; leaves cycle
+	// through "name" (string), "age" (int) and "score" (float).
+	Labels []string
+	// Seed drives the deterministic random generator.
+	Seed int64
+}
+
+// TreeDB is the handle returned by RandomTree.
+type TreeDB struct {
+	Root oem.OID
+	DB   oem.OID
+	// Interior and Leaves list the generated set and atomic objects.
+	Interior []oem.OID
+	Leaves   []oem.OID
+}
+
+// RandomTree builds a random tree with the given shape and returns handles
+// to its parts. OIDs are "n<k>" for interior nodes and "a<k>" for leaves.
+func RandomTree(s *store.Store, cfg TreeConfig) *TreeDB {
+	if len(cfg.Labels) == 0 {
+		cfg.Labels = []string{"item", "part", "widget"}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := &TreeDB{Root: "n0"}
+	var all []oem.OID
+	counter := 0
+	var leafCounter int
+	var build func(depth int) oem.OID
+	build = func(depth int) oem.OID {
+		oid := oem.OID(fmt.Sprintf("n%d", counter))
+		counter++
+		all = append(all, oid)
+		db.Interior = append(db.Interior, oid)
+		var kids []oem.OID
+		for f := 0; f < cfg.Fanout; f++ {
+			if depth <= 1 {
+				leaf := oem.OID(fmt.Sprintf("a%d", leafCounter))
+				leafCounter++
+				switch leafCounter % 3 {
+				case 0:
+					s.MustPut(oem.NewAtom(leaf, "name", oem.String_(fmt.Sprintf("name%d", rng.Intn(50)))))
+				case 1:
+					s.MustPut(oem.NewAtom(leaf, "age", oem.Int(int64(rng.Intn(100)))))
+				default:
+					s.MustPut(oem.NewAtom(leaf, "score", oem.Float(rng.Float64()*100)))
+				}
+				kids = append(kids, leaf)
+				all = append(all, leaf)
+				db.Leaves = append(db.Leaves, leaf)
+			} else {
+				kids = append(kids, build(depth-1))
+			}
+		}
+		label := cfg.Labels[rng.Intn(len(cfg.Labels))]
+		if oid == "n0" {
+			label = "root"
+		}
+		s.MustPut(oem.NewSet(oid, label, kids...))
+		return oid
+	}
+	// Build children-first ordering requires care: build() Puts the node
+	// after its children, so the root Put happens last; the store permits
+	// dangling references anyway.
+	build(cfg.Depth)
+	db.DB = "TREEDB"
+	if err := s.NewDatabase(db.DB, "database", all...); err != nil {
+		panic(err)
+	}
+	return db
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+func TestPersonDBMatchesFigure2(t *testing.T) {
+	s := store.NewDefault()
+	db := PersonDB(s)
+	if db != "PERSON" {
+		t.Fatalf("db = %s", db)
+	}
+	// 15 objects + the database object.
+	if s.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", s.Len())
+	}
+	root, err := s.Get("ROOT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(root.Set, []oem.OID{"P1", "P2", "P3", "P4"}) {
+		t.Fatalf("ROOT = %v", root.Set)
+	}
+	p1, _ := s.Get("P1")
+	if p1.Label != "professor" || !p1.Contains("P3") {
+		t.Fatalf("P1 = %v", p1)
+	}
+	a1, _ := s.Get("A1")
+	if !a1.Atom.Equal(oem.Int(45)) {
+		t.Fatalf("A1 = %v", a1)
+	}
+	s1, _ := s.Get("S1")
+	if s1.Type != "dollar" {
+		t.Fatalf("S1 type = %q", s1.Type)
+	}
+	members, _ := s.DatabaseMembers("PERSON")
+	if len(members) != 15 {
+		t.Fatalf("PERSON members = %d, want 15", len(members))
+	}
+}
+
+func TestFigureOneDB(t *testing.T) {
+	s := store.NewDefault()
+	root := FigureOneDB(s)
+	if root != "A" {
+		t.Fatalf("root = %s", root)
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", s.Len())
+	}
+	// F is reachable from both D and E (a DAG, not a tree).
+	ps, err := s.Parents("F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(ps, []oem.OID{"D", "E"}) {
+		t.Fatalf("Parents(F) = %v", ps)
+	}
+}
+
+func TestRelationLikeShape(t *testing.T) {
+	s := store.NewDefault()
+	db := RelationLike(s, RelationConfig{Relations: 2, TuplesPerRelation: 3, FieldsPerTuple: 2, Seed: 1})
+	if len(db.Relations) != 2 {
+		t.Fatalf("relations = %d", len(db.Relations))
+	}
+	rel, err := s.Get("REL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Set) != 2 {
+		t.Fatalf("REL children = %v", rel.Set)
+	}
+	r0, _ := s.Get(db.Relations[0].OID)
+	if r0.Label != "r0" || len(r0.Set) != 3 {
+		t.Fatalf("r0 = %v", r0)
+	}
+	tup, _ := s.Get(db.Relations[0].Tuples[0])
+	if tup.Label != "tuple" || len(tup.Set) != 2 {
+		t.Fatalf("tuple = %v", tup)
+	}
+	// First field is an integer age.
+	age, _ := s.Get(tup.Set[0])
+	if age.Label != "age" || age.Atom.Kind != oem.AtomInt {
+		t.Fatalf("age field = %v", age)
+	}
+	// Total objects: REL + 2 relations + 6 tuples + 12 fields + database.
+	if s.Len() != 22 {
+		t.Fatalf("Len = %d, want 22", s.Len())
+	}
+}
+
+func TestRelationLikeDeterministic(t *testing.T) {
+	build := func() []string {
+		s := store.NewDefault()
+		RelationLike(s, RelationConfig{Relations: 2, TuplesPerRelation: 2, FieldsPerTuple: 3, Seed: 42})
+		var out []string
+		s.ForEach(func(o *oem.Object) { out = append(out, o.String()) })
+		return out
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("different sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("object %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	s := store.NewDefault()
+	root, leaf := DeepChain(s, 5, 2)
+	if root != "C0" {
+		t.Fatalf("root = %s", root)
+	}
+	// Walk down the chain: 5 hops of label l reach C5 whose children
+	// include the leaf.
+	cur := root
+	for d := 1; d <= 5; d++ {
+		kids, err := s.Children(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := oem.NoOID
+		for _, k := range kids {
+			o, _ := s.Get(k)
+			if o.Label == "l" {
+				next = k
+			}
+		}
+		if next == oem.NoOID {
+			t.Fatalf("no chain child under %s", cur)
+		}
+		cur = next
+	}
+	kids, _ := s.Children(cur)
+	found := false
+	for _, k := range kids {
+		if k == leaf {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leaf %s not under %s", leaf, cur)
+	}
+	lo, _ := s.Get(leaf)
+	if lo.Label != "age" {
+		t.Fatalf("leaf label = %q", lo.Label)
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	s := store.NewDefault()
+	db := RandomTree(s, TreeConfig{Depth: 3, Fanout: 2, Seed: 7})
+	root, err := s.Get(db.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Label != "root" || len(root.Set) != 2 {
+		t.Fatalf("root = %v", root)
+	}
+	// Depth 3, fanout 2: 1+2+4 interior, 8 leaves.
+	if len(db.Interior) != 7 {
+		t.Fatalf("interior = %d, want 7", len(db.Interior))
+	}
+	if len(db.Leaves) != 8 {
+		t.Fatalf("leaves = %d, want 8", len(db.Leaves))
+	}
+	for _, l := range db.Leaves {
+		o, err := s.Get(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.IsAtomic() {
+			t.Fatalf("leaf %s not atomic", l)
+		}
+	}
+}
+
+func TestStreamProducesValidUpdates(t *testing.T) {
+	s := store.NewDefault()
+	db := RelationLike(s, RelationConfig{Relations: 2, TuplesPerRelation: 5, FieldsPerTuple: 2, Seed: 3})
+	var sets, atoms []oem.OID
+	for _, r := range db.Relations {
+		sets = append(sets, r.Tuples...)
+		for _, tu := range r.Tuples {
+			kids, _ := s.Children(tu)
+			atoms = append(atoms, kids...)
+		}
+	}
+	st := NewStream(s, StreamConfig{Seed: 9, Mix: Mix{Insert: 3, Delete: 2, Modify: 5}}, sets, atoms)
+	updates := st.Run(200)
+	if len(updates) < 200 {
+		t.Fatalf("got %d logged updates, want >= 200", len(updates))
+	}
+	counts := map[store.UpdateKind]int{}
+	for _, u := range updates {
+		counts[u.Kind]++
+	}
+	for _, k := range []store.UpdateKind{store.UpdateInsert, store.UpdateDelete, store.UpdateModify} {
+		if counts[k] == 0 {
+			t.Errorf("no %v updates generated", k)
+		}
+	}
+	if counts[store.UpdateDelete] > counts[store.UpdateInsert] {
+		t.Errorf("more deletes (%d) than inserts (%d): stream deleted fixture edges",
+			counts[store.UpdateDelete], counts[store.UpdateInsert])
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	run := func() []string {
+		s := store.NewDefault()
+		db := RelationLike(s, RelationConfig{Relations: 1, TuplesPerRelation: 3, FieldsPerTuple: 2, Seed: 3})
+		st := NewStream(s, StreamConfig{Seed: 11}, db.Relations[0].Tuples, nil)
+		var out []string
+		for _, u := range st.Run(50) {
+			out = append(out, u.String())
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("update %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	s := store.NewDefault()
+	st := NewStream(s, StreamConfig{Seed: 1}, nil, nil)
+	if _, ok := st.Next(); ok {
+		t.Fatal("stream with no targets produced an update")
+	}
+}

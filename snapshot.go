@@ -1,0 +1,178 @@
+package gsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"os"
+
+	"gsv/internal/core"
+	"gsv/internal/query"
+)
+
+// This file implements full-database snapshots: base objects plus view
+// definitions. DB.Save (extensions.go) writes only the raw store; SaveDB
+// strips the view machinery and records the definitions instead, so
+// LoadDB can rebuild the registry and re-materialize every view against
+// the restored base — delegates come back fresh rather than fossilized.
+
+const dbSnapshotHeader = "gsv-db-v1"
+
+// viewDef is the serialized form of one registered view.
+type viewDef struct {
+	Name         string `json:"name"`
+	Materialized bool   `json:"materialized"`
+	Strategy     string `json:"strategy,omitempty"`
+	Query        string `json:"query"`
+}
+
+// SaveDB writes the database — base objects and view definitions — to w.
+// View objects, delegates and other view machinery are omitted from the
+// object section; the definitions section lets LoadDB recreate them.
+// Aggregates and partial views (which live in side stores) are not part
+// of a snapshot; re-register them after loading.
+func (db *DB) SaveDB(w io.Writer) error {
+	db.Sync()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, dbSnapshotHeader); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	var encErr error
+	db.Store.ForEach(func(o *Object) {
+		if encErr != nil || db.Views.IsViewObject(o.OID) {
+			return
+		}
+		if _, _, isDelegate := core.SplitDelegateOID(o.OID); isDelegate {
+			return
+		}
+		encErr = enc.Encode(o)
+	})
+	if encErr != nil {
+		return encErr
+	}
+	if _, err := fmt.Fprintln(bw, "----views----"); err != nil {
+		return err
+	}
+	for _, name := range db.Views.Names() {
+		v, _ := db.Views.Get(name)
+		vd := viewDef{Name: name, Materialized: v.Materialized != nil, Query: v.Query.String()}
+		if v.Materialized != nil {
+			vd.Strategy = v.Strategy.String()
+		}
+		if err := enc.Encode(vd); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadDB reads a SaveDB snapshot into a fresh DB, re-defining (and
+// re-materializing) every recorded view.
+func LoadDB(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("gsv: reading snapshot header: %w", err)
+	}
+	if strings.TrimSpace(header) != dbSnapshotHeader {
+		return nil, fmt.Errorf("gsv: bad snapshot header %q", strings.TrimSpace(header))
+	}
+	db := Open()
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inViews := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "----views----" {
+			inViews = true
+			continue
+		}
+		if !inViews {
+			var o Object
+			if err := json.Unmarshal([]byte(line), &o); err != nil {
+				return nil, fmt.Errorf("gsv: decoding object: %w", err)
+			}
+			if o.OID == "" {
+				return nil, fmt.Errorf("gsv: snapshot object without OID")
+			}
+			if err := db.Store.Put(&o); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var vd viewDef
+		if err := json.Unmarshal([]byte(line), &vd); err != nil {
+			return nil, fmt.Errorf("gsv: decoding view definition: %w", err)
+		}
+		if err := db.redefine(vd); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	db.Sync()
+	return db, nil
+}
+
+// redefine re-registers one view from its serialized definition.
+func (db *DB) redefine(vd viewDef) error {
+	kw := "view"
+	if vd.Materialized {
+		kw = "mview"
+	}
+	stmt := fmt.Sprintf("define %s %s as: %s", kw, vd.Name, vd.Query)
+	strategy := core.StrategyAuto
+	switch vd.Strategy {
+	case "simple":
+		strategy = core.StrategySimple
+	case "general":
+		strategy = core.StrategyGeneral
+	case "dag":
+		strategy = core.StrategyDag
+	case "recompute":
+		strategy = core.StrategyRecompute
+	}
+	vs, err := parseViewStmt(stmt)
+	if err != nil {
+		return err
+	}
+	_, err = db.Views.DefineParsed(vs, strategy)
+	db.Sync()
+	return err
+}
+
+// SaveDBFile and LoadDBFile are file-path conveniences over SaveDB/LoadDB.
+func (db *DB) SaveDBFile(path string) error {
+	f, err := createFile(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.SaveDB(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDBFile opens a SaveDB snapshot from a file.
+func LoadDBFile(path string) (*DB, error) {
+	f, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDB(f)
+}
+
+func parseViewStmt(stmt string) (*query.ViewStmt, error) { return query.ParseView(stmt) }
+
+func createFile(path string) (*os.File, error) { return os.Create(path) }
+func openFile(path string) (*os.File, error)   { return os.Open(path) }

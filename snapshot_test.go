@@ -1,0 +1,139 @@
+package gsv_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gsv"
+	"gsv/internal/oem"
+	"gsv/internal/workload"
+)
+
+func TestSaveDBRoundTripsViews(t *testing.T) {
+	db := buildPerson(t)
+	if _, err := db.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Define("define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.SaveDB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The object section must not contain view machinery.
+	if strings.Contains(buf.String(), "YP.P1") {
+		t.Fatal("snapshot contains delegates")
+	}
+
+	restored, err := gsv.LoadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := restored.ViewMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(members, []gsv.OID{"P1"}) {
+		t.Fatalf("restored YP = %v", members)
+	}
+	vj, err := restored.ViewMembers("VJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(vj, []gsv.OID{"P1", "P3"}) {
+		t.Fatalf("restored VJ = %v", vj)
+	}
+	// The restored view is live: maintenance continues.
+	restored.MustPutAtom("A2", "age", gsv.Int(40))
+	if err := restored.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	members, _ = restored.ViewMembers("YP")
+	if !oem.SameMembers(members, []gsv.OID{"P1", "P2"}) {
+		t.Fatalf("restored YP not live: %v", members)
+	}
+}
+
+func TestSaveDBPreservesStrategy(t *testing.T) {
+	db := buildPerson(t)
+	if _, err := db.Define("define mview W as: SELECT ROOT.* X WHERE X.name = 'John'"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.SaveDB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := gsv.LoadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := restored.Views.Get("W")
+	if !ok {
+		t.Fatal("view W lost")
+	}
+	if v.Strategy.String() != "general" {
+		t.Fatalf("strategy = %v, want general", v.Strategy)
+	}
+}
+
+func TestSaveDBFileRoundTrip(t *testing.T) {
+	db := buildPerson(t)
+	if _, err := db.Define("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.gsv")
+	if err := db.SaveDBFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := gsv.LoadDBFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, _ := restored.ViewMembers("YP")
+	if !oem.SameMembers(members, []gsv.OID{"P1"}) {
+		t.Fatalf("restored = %v", members)
+	}
+	if _, err := gsv.LoadDBFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestLoadDBRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\n",
+		"gsv-db-v1\nnot json\n",
+		"gsv-db-v1\n{\"oid\":\"\",\"label\":\"x\",\"kind\":1,\"type\":\"set\"}\n",
+		"gsv-db-v1\n----views----\nnot json\n",
+		"gsv-db-v1\n----views----\n{\"name\":\"V\",\"materialized\":true,\"query\":\"garbage\"}\n",
+	}
+	for _, c := range cases {
+		if _, err := gsv.LoadDB(strings.NewReader(c)); err == nil {
+			t.Errorf("LoadDB(%q) succeeded", c)
+		}
+	}
+}
+
+func TestSaveDBOmitsWorkloadDatabaseObjectSafely(t *testing.T) {
+	// Database grouping objects are ordinary data and must survive.
+	db := gsv.Open()
+	workload.PersonDB(db.Store)
+	db.Sync()
+	var buf bytes.Buffer
+	if err := db.SaveDB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := gsv.LoadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Store.Has("PERSON") {
+		t.Fatal("database object lost")
+	}
+	if restored.Store.Len() != db.Store.Len() {
+		t.Fatalf("restored %d objects, want %d", restored.Store.Len(), db.Store.Len())
+	}
+}

@@ -3,9 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz fmt vet clean
+.PHONY: all build test race cover bench experiments examples fuzz fmt vet ci demo-feed clean
 
 all: build vet test
+
+# Exactly what .github/workflows/ci.yml runs.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -44,6 +52,22 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/query/
 	$(GO) test -fuzz='^FuzzParsePathExpr$$' -fuzztime=30s ./internal/query/
 	$(GO) test -fuzz='^FuzzLoad$$' -fuzztime=30s ./internal/store/
+	$(GO) test -fuzz='^FuzzNetFrame$$' -fuzztime=30s ./internal/warehouse/
+
+# End-to-end changefeed demo: gsdbserve hosts a view and drives updates;
+# gsdbwatch -follow tails its delta feed (docs/CHANGEFEED.md). Built
+# binaries, not `go run`, so the server can be killed by pid.
+demo-feed:
+	@mkdir -p bin
+	@$(GO) build -o bin/gsdbserve ./cmd/gsdbserve
+	@$(GO) build -o bin/gsdbwatch ./cmd/gsdbwatch
+	@./bin/gsdbserve -addr 127.0.0.1:7071 -sample relations -tuples 20 \
+		-updates 60 -interval 100ms \
+		-feed 'HOT=SELECT REL.r0.tuple X WHERE X.age > 30' & \
+	SERVE=$$!; sleep 1; \
+	./bin/gsdbwatch -addr 127.0.0.1:7071 -follow HOT -from 0 -for 8s; \
+	kill $$SERVE 2>/dev/null || true
 
 clean:
+	rm -rf bin
 	rm -f cover.out test_output.txt bench_output.txt

@@ -3,11 +3,19 @@
 // update stream against it so connected warehouses have something to
 // maintain.
 //
+// With one or more -feed NAME=QUERY flags it additionally hosts a
+// warehouse co-located with the source, maintains the named views against
+// every driven update, and exposes their delta changefeeds through the
+// "subscribe" connection mode (see docs/CHANGEFEED.md); gsdbwatch -follow
+// tails them.
+//
 // Usage:
 //
 //	gsdbserve -addr :7070 -sample relations -tuples 50 \
 //	          -level 2 -updates 100 -interval 200ms
 //	gsdbserve -addr :7070 -snapshot db.gsv -root ROOT
+//	gsdbserve -addr :7070 -sample relations -updates 200 \
+//	          -feed 'HOT=SELECT REL.r0.tuple X WHERE X.age > 30'
 //
 // Every applied update is broadcast to connected report streams; progress
 // is logged to stderr.
@@ -18,15 +26,29 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
+	"gsv/internal/feed"
 	"gsv/internal/oem"
+	"gsv/internal/query"
 	"gsv/internal/store"
 	"gsv/internal/warehouse"
 	"gsv/internal/workload"
 )
 
+// feedSpecs collects repeated -feed NAME=QUERY flags.
+type feedSpecs []string
+
+func (f *feedSpecs) String() string { return strings.Join(*f, ", ") }
+
+func (f *feedSpecs) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
 func main() {
+	var feeds feedSpecs
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
 		sample   = flag.String("sample", "relations", "sample database: person|figure1|relations")
@@ -37,7 +59,9 @@ func main() {
 		updates  = flag.Int("updates", 0, "updates to drive (0 = serve statically)")
 		interval = flag.Duration("interval", 250*time.Millisecond, "delay between driven updates")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		feedRing = flag.Int("feedring", 1024, "changefeed replay ring size per view")
 	)
+	flag.Var(&feeds, "feed", "host a warehouse view NAME=QUERY and expose its changefeed (repeatable)")
 	flag.Parse()
 
 	s := store.NewDefault()
@@ -84,6 +108,32 @@ func main() {
 	src := warehouse.NewSource("gsdbserve", s, rootOID, warehouse.ReportLevel(*level), tr)
 	src.DrainReports()
 	server := warehouse.NewServer(src)
+
+	// -feed views live in a warehouse co-located with the source; their
+	// maintenance publishes into the hub the server exposes in subscribe
+	// mode. The hub must be sized before the first DefineView registers
+	// with it.
+	var lw *warehouse.Warehouse
+	if len(feeds) > 0 {
+		lw = warehouse.New(src)
+		lw.Feed = feed.NewHub(feed.Options{RingSize: *feedRing})
+		for _, spec := range feeds {
+			name, qs, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("-feed wants NAME=QUERY, got %q", spec)
+			}
+			q, err := query.Parse(qs)
+			if err != nil {
+				log.Fatalf("feed %s query: %v", name, err)
+			}
+			if _, err := lw.DefineView(name, q, warehouse.ViewConfig{Screening: *level >= 2}); err != nil {
+				log.Fatalf("feed view %s: %v", name, err)
+			}
+			log.Printf("feed %s: %s", name, qs)
+		}
+		server.Feed = lw.Feed
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -91,14 +141,14 @@ func main() {
 	log.Printf("serving %d objects on %s (root %s, level %d)", s.Len(), ln.Addr(), rootOID, *level)
 
 	if *updates > 0 && len(sets) > 0 {
-		go drive(src, server, sets, atoms, *updates, *interval, *seed)
+		go drive(src, server, lw, sets, atoms, *updates, *interval, *seed)
 	}
 	if err := server.Serve(ln); err != nil {
 		log.Printf("server stopped: %v", err)
 	}
 }
 
-func drive(src *warehouse.Source, server *warehouse.Server,
+func drive(src *warehouse.Source, server *warehouse.Server, lw *warehouse.Warehouse,
 	sets, atoms []oem.OID, n int, interval time.Duration, seed int64) {
 	stream := workload.NewStream(src.Store, workload.StreamConfig{Seed: seed + 7, ValueRange: 60}, sets, atoms)
 	for i := 0; i < n; i++ {
@@ -107,6 +157,14 @@ func drive(src *warehouse.Source, server *warehouse.Server,
 			return
 		}
 		reports := src.DrainReports()
+		if lw != nil {
+			// Maintain the feed views first so subscribe-mode events are
+			// published no later than the corresponding report broadcast.
+			if err := lw.ProcessAll(reports); err != nil {
+				log.Printf("feed maintenance: %v", err)
+				return
+			}
+		}
 		if err := server.Broadcast(reports); err != nil {
 			log.Printf("broadcast: %v", err)
 			return

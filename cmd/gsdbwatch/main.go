@@ -1,21 +1,39 @@
-// Command gsdbwatch connects to a served GSDB source (see cmd/gsdbserve),
-// defines a materialized view at this process — the warehouse — and prints
-// the view's membership whenever an incoming update report changes it.
+// Command gsdbwatch connects to a served GSDB source (see cmd/gsdbserve)
+// and watches a view in one of two modes:
+//
+//   - Default: define a materialized view at this process — the warehouse
+//     — and print its membership whenever an incoming update report
+//     changes it. Maintenance runs here, with the full protocol cost.
+//   - -follow NAME: tail the changefeed of a view maintained at the
+//     server (gsdbserve -feed), printing each delta event. Maintenance
+//     runs there; this process only consumes cursors and deltas, and can
+//     resume from its last cursor after a disconnect (docs/CHANGEFEED.md).
 //
 // Usage:
 //
 //	gsdbwatch -addr 127.0.0.1:7070 \
 //	          -view "SELECT REL.r0.tuple X WHERE X.age > 30" \
 //	          [-cache full|partial|none] [-for 30s]
+//	gsdbwatch -addr 127.0.0.1:7070 -follow HOT [-from N] [-snapshot] \
+//	          [-policy block|drop|disconnect] [-events N] [-for 30s]
+//
+// -from -1 (default) tails from now; -from 0 replays the whole retained
+// history; -from N resumes after cursor N. When the cursor has been
+// evicted from the server's replay ring, rerun with -snapshot to receive
+// a full membership snapshot and tail from there.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 	"time"
 
+	"gsv/internal/feed"
 	"gsv/internal/oem"
 	"gsv/internal/query"
 	"gsv/internal/warehouse"
@@ -23,69 +41,182 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7070", "source address")
-		vq    = flag.String("view", "SELECT REL.r0.tuple X WHERE X.age > 30", "view definition query")
-		cache = flag.String("cache", "none", "auxiliary cache: none|partial|full")
-		dur   = flag.Duration("for", 30*time.Second, "how long to watch")
+		addr    = flag.String("addr", "127.0.0.1:7070", "source address")
+		vq      = flag.String("view", "SELECT REL.r0.tuple X WHERE X.age > 30", "view definition query")
+		cache   = flag.String("cache", "none", "auxiliary cache: none|partial|full")
+		dur     = flag.Duration("for", 30*time.Second, "how long to watch")
+		follow  = flag.String("follow", "", "follow a server-maintained view's changefeed instead of defining a view here")
+		from    = flag.Int64("from", -1, "changefeed resume cursor: -1 tail, 0 full history, N resume after N")
+		snap    = flag.Bool("snapshot", false, "fall back to a full snapshot when the resume cursor has expired")
+		policy  = flag.String("policy", "", "slow-consumer policy to request: block|drop|disconnect (server default when empty)")
+		nevents = flag.Int("events", 0, "stop -follow after this many events (0 = until -for elapses)")
 	)
 	flag.Parse()
 
-	var mode warehouse.CacheMode
-	switch strings.ToLower(*cache) {
-	case "none":
-		mode = warehouse.CacheNone
-	case "partial":
-		mode = warehouse.CachePartial
-	case "full":
-		mode = warehouse.CacheFull
-	default:
-		log.Fatalf("unknown cache mode %q", *cache)
+	if *follow != "" {
+		err := followFeed(os.Stdout, followConfig{
+			addr: *addr, view: *follow, from: *from, snapshot: *snap,
+			policy: *policy, maxEvents: *nevents, dur: *dur,
+		})
+		if err != nil {
+			log.Fatalf("follow: %v", err)
+		}
+		return
 	}
 
-	q, err := query.Parse(*vq)
+	mode, err := parseCache(*cache)
 	if err != nil {
-		log.Fatalf("view query: %v", err)
+		log.Fatal(err)
+	}
+	if err := watchView(os.Stdout, watchConfig{
+		addr: *addr, query: *vq, cache: mode, dur: *dur,
+	}); err != nil {
+		log.Fatalf("watch: %v", err)
+	}
+}
+
+func parseCache(s string) (warehouse.CacheMode, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return warehouse.CacheNone, nil
+	case "partial":
+		return warehouse.CachePartial, nil
+	case "full":
+		return warehouse.CacheFull, nil
+	default:
+		return warehouse.CacheNone, fmt.Errorf("unknown cache mode %q", s)
+	}
+}
+
+// watchConfig parameterizes the local-view (warehouse) mode.
+type watchConfig struct {
+	addr  string
+	query string
+	cache warehouse.CacheMode
+	dur   time.Duration
+	// maxReports stops the watch after this many processed reports;
+	// 0 means watch until dur elapses. Tests use it for determinism.
+	maxReports int
+}
+
+// watchView runs the default mode: a warehouse at this process maintains
+// the view over the report stream and prints membership changes to out.
+func watchView(out io.Writer, cfg watchConfig) error {
+	q, err := query.Parse(cfg.query)
+	if err != nil {
+		return fmt.Errorf("view query: %w", err)
 	}
 	tr := warehouse.NewTransport(0)
-	remote, err := warehouse.Dial("gsdbserve", *addr, tr)
+	remote, err := warehouse.Dial("gsdbserve", cfg.addr, tr)
 	if err != nil {
-		log.Fatalf("dial %s: %v", *addr, err)
+		return fmt.Errorf("dial %s: %w", cfg.addr, err)
 	}
 	defer remote.Close()
 
 	w := warehouse.New(remote)
-	v, err := w.DefineView("WATCH", q, warehouse.ViewConfig{Screening: true, Cache: mode})
+	v, err := w.DefineView("WATCH", q, warehouse.ViewConfig{Screening: true, Cache: cfg.cache})
 	if err != nil {
-		log.Fatalf("define view: %v", err)
+		return fmt.Errorf("define view: %w", err)
 	}
-	last := printMembers(v, nil)
+	last, err := printMembers(out, v, nil)
+	if err != nil {
+		return err
+	}
 
-	deadline := time.Now().Add(*dur)
+	seen := 0
+	deadline := time.Now().Add(cfg.dur)
 	for time.Now().Before(deadline) {
 		reports := remote.DrainReports()
 		if len(reports) == 0 {
-			time.Sleep(50 * time.Millisecond)
+			time.Sleep(10 * time.Millisecond)
 			continue
 		}
 		if err := w.ProcessAll(reports); err != nil {
-			log.Fatalf("maintenance: %v", err)
+			return fmt.Errorf("maintenance: %w", err)
 		}
-		last = printMembers(v, last)
+		seen += len(reports)
+		if last, err = printMembers(out, v, last); err != nil {
+			return err
+		}
+		if cfg.maxReports > 0 && seen >= cfg.maxReports {
+			break
+		}
 	}
-	fmt.Printf("\nwatched %s; wire traffic: %s\n", *dur, tr)
-	fmt.Printf("view stats: %d reports, %d screened, %d fully local, %d query backs\n",
+	fmt.Fprintf(out, "\nwatched %d reports; wire traffic: %s\n", seen, tr)
+	fmt.Fprintf(out, "view stats: %d reports, %d screened, %d fully local, %d query backs\n",
 		v.Stats.Reports, v.Stats.Screened, v.Stats.LocalOnly, v.Stats.QueryBacks)
+	return nil
 }
 
 // printMembers prints the membership when it changed and returns it.
-func printMembers(v *warehouse.WView, last []oem.OID) []oem.OID {
+func printMembers(out io.Writer, v *warehouse.WView, last []oem.OID) ([]oem.OID, error) {
 	members, err := v.MV.Members()
 	if err != nil {
-		log.Fatalf("members: %v", err)
+		return nil, fmt.Errorf("members: %w", err)
 	}
 	if last != nil && oem.SameMembers(members, last) {
-		return members
+		return members, nil
 	}
-	fmt.Printf("%s  value(WATCH) = %v\n", time.Now().Format("15:04:05.000"), members)
-	return members
+	fmt.Fprintf(out, "value(WATCH) = %v\n", members)
+	return members, nil
+}
+
+// followConfig parameterizes -follow mode.
+type followConfig struct {
+	addr     string
+	view     string
+	from     int64 // -1 tail, >= 0 resume after cursor
+	snapshot bool
+	policy   string
+	// maxEvents stops after this many events; 0 means follow until dur.
+	maxEvents int
+	dur       time.Duration
+}
+
+// followFeed tails a server-maintained view's changefeed, printing one
+// line per delta event.
+func followFeed(out io.Writer, cfg followConfig) error {
+	req := warehouse.FeedRequest{View: cfg.view, Snapshot: cfg.snapshot, Policy: cfg.policy}
+	if cfg.from >= 0 {
+		req.Resume = true
+		req.From = uint64(cfg.from)
+	}
+	fc, err := warehouse.DialFeed(cfg.addr, req)
+	if err != nil {
+		if errors.Is(err, feed.ErrCursorExpired) {
+			return fmt.Errorf("%w (rerun with -snapshot to recover from a full snapshot)", err)
+		}
+		return err
+	}
+	defer fc.Close()
+
+	fmt.Fprintf(out, "following %s at cursor %d (oldest retained %d)\n", fc.View, fc.Cursor, fc.Oldest)
+	if fc.Snapshot != nil {
+		fmt.Fprintf(out, "snapshot@%d value(%s) = %v\n", fc.Snapshot.Cursor, fc.View, fc.Snapshot.Members)
+	}
+
+	var deadline time.Time
+	if cfg.dur > 0 {
+		deadline = time.Now().Add(cfg.dur)
+		// FeedClient.Next has no timeout of its own; closing the client
+		// unblocks it when the watch window ends.
+		timer := time.AfterFunc(cfg.dur, fc.Close)
+		defer timer.Stop()
+	}
+
+	n := 0
+	for cfg.maxEvents == 0 || n < cfg.maxEvents {
+		ev, err := fc.Next()
+		if err != nil {
+			if err == io.EOF || (!deadline.IsZero() && !time.Now().Before(deadline)) {
+				break // stream ended, or our own deadline closed it
+			}
+			return err
+		}
+		fmt.Fprintf(out, "cursor=%d seq=%d %s(%s) +%v -%v\n",
+			ev.Cursor, ev.Seq, ev.Kind, ev.N1, ev.Insert, ev.Delete)
+		n++
+	}
+	fmt.Fprintf(out, "\nfollowed %d events on %s\n", n, fc.View)
+	return nil
 }

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"gsv/internal/feed"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/warehouse"
+	"gsv/internal/workload"
+)
+
+// startServer serves the PERSON database on a loopback listener with a
+// co-located warehouse maintaining the YP view into a changefeed hub —
+// the gsdbserve -feed arrangement, in process.
+func startServer(t *testing.T, ring int) (*warehouse.Source, *warehouse.Warehouse, *warehouse.Server, string) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := warehouse.NewSource("gsdbserve", s, "ROOT", warehouse.Level2, warehouse.NewTransport(0))
+	src.DrainReports()
+	lw := warehouse.New(src)
+	lw.Feed = feed.NewHub(feed.Options{RingSize: ring})
+	q := query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45")
+	if _, err := lw.DefineView("YP", q, warehouse.ViewConfig{Screening: true}); err != nil {
+		t.Fatal(err)
+	}
+	server := warehouse.NewServer(src)
+	server.Feed = lw.Feed
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = server.Serve(ln) }()
+	t.Cleanup(server.Close)
+	return src, lw, server, ln.Addr().String()
+}
+
+// toggle flips P1 in and out of YP n times: each call is one feed event.
+// Reports are broadcast so warehouse-mode watchers see them too.
+func toggle(t *testing.T, src *warehouse.Source, lw *warehouse.Warehouse, server *warehouse.Server, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		val := int64(60)
+		if i%2 == 1 {
+			val = 30
+		}
+		rs, err := src.Modify("A1", oem.Int(val))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lw.ProcessAll(rs); err != nil {
+			t.Fatal(err)
+		}
+		if err := server.Broadcast(rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFollowFeedReplay(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+	toggle(t, src, lw, server, 2)
+
+	var out strings.Builder
+	err := followFeed(&out, followConfig{
+		addr: addr, view: "YP", from: 0, maxEvents: 2, dur: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"following YP at cursor 2 (oldest retained 1)",
+		"cursor=1",
+		"-[P1]",
+		"cursor=2",
+		"+[P1]",
+		"followed 2 events on YP",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFollowFeedTail(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+	toggle(t, src, lw, server, 2) // history a tail must NOT see
+
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- followFeed(&out, followConfig{
+			addr: addr, view: "YP", from: -1, maxEvents: 1, dur: 5 * time.Second,
+		})
+	}()
+	// Drive the next event only once the tail is attached.
+	deadline := time.Now().Add(5 * time.Second)
+	for lw.Feed.Subscribers("YP") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("tail never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	toggle(t, src, lw, server, 1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "cursor=1") || strings.Contains(got, "cursor=2") {
+		t.Fatalf("tail replayed history:\n%s", got)
+	}
+	if !strings.Contains(got, "cursor=3") || !strings.Contains(got, "followed 1 events") {
+		t.Fatalf("tail output:\n%s", got)
+	}
+}
+
+func TestFollowFeedExpiredAndSnapshot(t *testing.T) {
+	src, lw, server, addr := startServer(t, 2)
+	toggle(t, src, lw, server, 8) // ring of 2 retains only cursors 7..8
+
+	var out strings.Builder
+	err := followFeed(&out, followConfig{addr: addr, view: "YP", from: 1, dur: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "-snapshot") {
+		t.Fatalf("expired follow error = %v", err)
+	}
+
+	out.Reset()
+	err = followFeed(&out, followConfig{
+		addr: addr, view: "YP", from: 1, snapshot: true, maxEvents: 0, dur: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// After 8 toggles P1 is back in: snapshot carries the membership.
+	if !strings.Contains(got, "snapshot@8 value(YP) = [P1]") {
+		t.Fatalf("snapshot output:\n%s", got)
+	}
+}
+
+func TestFollowFeedUnknownView(t *testing.T) {
+	_, _, _, addr := startServer(t, 16)
+	err := followFeed(&strings.Builder{}, followConfig{addr: addr, view: "NOPE", from: -1, dur: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "unknown view") {
+		t.Fatalf("unknown view error = %v", err)
+	}
+}
+
+func TestWatchViewOverTCP(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		// Keep toggling until the watcher has seen enough reports; each
+		// broadcast reaches report streams registered at that moment.
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			val := int64(60)
+			if i%2 == 1 {
+				val = 30
+			}
+			rs, err := src.Modify("A1", oem.Int(val))
+			if err != nil {
+				return
+			}
+			_ = lw.ProcessAll(rs)
+			_ = server.Broadcast(rs)
+		}
+	}()
+
+	var out strings.Builder
+	err := watchView(&out, watchConfig{
+		addr: addr, query: "SELECT ROOT.professor X WHERE X.age <= 45",
+		cache: warehouse.CacheNone, dur: 10 * time.Second, maxReports: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "value(WATCH) = [") {
+		t.Fatalf("no membership output:\n%s", got)
+	}
+	if !strings.Contains(got, "view stats:") || !strings.Contains(got, "watched") {
+		t.Fatalf("no summary output:\n%s", got)
+	}
+}
+
+func TestParseCache(t *testing.T) {
+	for s, want := range map[string]warehouse.CacheMode{
+		"none": warehouse.CacheNone, "Partial": warehouse.CachePartial, "FULL": warehouse.CacheFull,
+	} {
+		got, err := parseCache(s)
+		if err != nil || got != want {
+			t.Fatalf("parseCache(%q) = %v %v", s, got, err)
+		}
+	}
+	if _, err := parseCache("bogus"); err == nil {
+		t.Fatal("bogus cache mode parsed")
+	}
+}

@@ -23,6 +23,9 @@ type Cluster struct {
 	// Base is the base store in the centralized arrangement; nil when the
 	// cluster was built with NewClusterWith over remote access.
 	Base *store.Store
+	// Observer, when non-nil, receives the membership deltas each member
+	// view's Apply actually performed, keyed by the member view's OID.
+	Observer DeltaObserver
 
 	// evaluate answers a view-definition query over the base data and
 	// fetch retrieves one base object; access backs the member views'
@@ -177,6 +180,16 @@ func (c *Cluster) Delegate(b oem.OID) (*oem.Object, error) {
 	return c.ViewStore.Get(c.sharedDelegateOID(b))
 }
 
+// ContainsMember reports whether base object b is currently a member of
+// the named member view.
+func (c *Cluster) ContainsMember(view, b oem.OID) bool {
+	vo, err := c.ViewStore.Get(view)
+	if err != nil {
+		return false
+	}
+	return vo.Contains(c.sharedDelegateOID(b))
+}
+
 // DelegateCount returns the number of live shared delegates — the space
 // the cluster actually uses, compared against one-delegate-per-view.
 func (c *Cluster) DelegateCount() int { return len(c.refs) }
@@ -225,7 +238,8 @@ func (c *Cluster) VInsert(view, y oem.OID) error {
 	if !ok {
 		return fmt.Errorf("core: cluster %s has no view %s", c.OID, view)
 	}
-	return cv.m.(*clusterMaintainer).vInsert(y)
+	_, err := cv.m.(*clusterMaintainer).vInsert(y)
+	return err
 }
 
 // VDelete exposes the cluster-aware V_delete; see VInsert.
@@ -234,7 +248,8 @@ func (c *Cluster) VDelete(view, y oem.OID) error {
 	if !ok {
 		return fmt.Errorf("core: cluster %s has no view %s", c.OID, view)
 	}
-	return cv.m.(*clusterMaintainer).vDelete(y)
+	_, err := cv.m.(*clusterMaintainer).vDelete(y)
+	return err
 }
 
 func (c *Cluster) viewOIDs() []oem.OID {
@@ -261,47 +276,62 @@ func (cm *clusterMaintainer) Apply(u store.Update) error {
 	if err != nil {
 		return err
 	}
+	var applied Deltas
 	for _, y := range d.Insert {
-		if err := cm.vInsert(y); err != nil {
+		changed, err := cm.vInsert(y)
+		if err != nil {
 			return err
+		}
+		if changed {
+			applied.Insert = append(applied.Insert, y)
 		}
 	}
 	for _, y := range d.Delete {
-		if err := cm.vDelete(y); err != nil {
+		changed, err := cm.vDelete(y)
+		if err != nil {
 			return err
 		}
+		if changed {
+			applied.Delete = append(applied.Delete, y)
+		}
 	}
-	return cm.refresh(u)
+	if err := cm.refresh(u); err != nil {
+		return err
+	}
+	if cm.c.Observer != nil {
+		cm.c.Observer(cm.view, u, applied)
+	}
+	return nil
 }
 
-func (cm *clusterMaintainer) vInsert(y oem.OID) error {
+func (cm *clusterMaintainer) vInsert(y oem.OID) (bool, error) {
 	vo, err := cm.c.ViewStore.Get(cm.view)
 	if err != nil {
-		return err
+		return false, err
 	}
 	d := cm.c.sharedDelegateOID(y)
 	if vo.Contains(d) {
-		return nil
+		return false, nil
 	}
 	if err := cm.c.retain(y); err != nil {
-		return err
+		return false, err
 	}
-	return cm.c.ViewStore.Insert(cm.view, d)
+	return true, cm.c.ViewStore.Insert(cm.view, d)
 }
 
-func (cm *clusterMaintainer) vDelete(y oem.OID) error {
+func (cm *clusterMaintainer) vDelete(y oem.OID) (bool, error) {
 	vo, err := cm.c.ViewStore.Get(cm.view)
 	if err != nil {
-		return err
+		return false, err
 	}
 	d := cm.c.sharedDelegateOID(y)
 	if !vo.Contains(d) {
-		return nil
+		return false, nil
 	}
 	if err := cm.c.ViewStore.Delete(cm.view, d); err != nil {
-		return err
+		return false, err
 	}
-	return cm.c.release(y)
+	return true, cm.c.release(y)
 }
 
 // refresh keeps the shared delegate value synchronized, once per cluster

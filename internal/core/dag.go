@@ -134,6 +134,9 @@ type DagMaintainer struct {
 	View   *MaterializedView
 	Def    SimpleDef
 	Access DagAccess
+	// Observer, when non-nil, receives the membership deltas each Apply
+	// actually performed.
+	Observer DeltaObserver
 }
 
 // NewDagMaintainer builds the DAG maintainer for a simple view over a
@@ -148,27 +151,34 @@ func NewDagMaintainer(mv *MaterializedView, access DagAccess) (*DagMaintainer, e
 
 // Apply implements Maintainer.
 func (m *DagMaintainer) Apply(u store.Update) error {
+	var applied Deltas
 	switch u.Kind {
 	case store.UpdateInsert:
-		if err := m.onEdge(u.N1, u.N2, true); err != nil {
+		if err := m.onEdge(u.N1, u.N2, true, &applied); err != nil {
 			return err
 		}
 	case store.UpdateDelete:
-		if err := m.onEdge(u.N1, u.N2, false); err != nil {
+		if err := m.onEdge(u.N1, u.N2, false, &applied); err != nil {
 			return err
 		}
 	case store.UpdateModify:
-		if err := m.onModify(u.N1, u.Old, u.New); err != nil {
+		if err := m.onModify(u.N1, u.Old, u.New, &applied); err != nil {
 			return err
 		}
 	}
-	return refreshDelegate(m.View, u)
+	if err := refreshDelegate(m.View, u); err != nil {
+		return err
+	}
+	if m.Observer != nil {
+		m.Observer(m.View.OID, u, applied)
+	}
+	return nil
 }
 
 // onEdge handles insert and delete symmetrically: it collects the
 // candidate members whose derivations pass through the changed edge, then
 // reconciles each against the current base state.
-func (m *DagMaintainer) onEdge(n1, n2 oem.OID, isInsert bool) error {
+func (m *DagMaintainer) onEdge(n1, n2 oem.OID, isInsert bool, applied *Deltas) error {
 	full := m.Def.FullPath()
 	paths, err := m.Access.AllPaths(m.Def.Entry, n1)
 	if err != nil {
@@ -210,15 +220,24 @@ func (m *DagMaintainer) onEdge(n1, n2 oem.OID, isInsert bool) error {
 			}
 		}
 	}
-	for y := range candidates {
-		if err := m.reconcile(y); err != nil {
+	for _, y := range oem.SortOIDs(oidKeys(candidates)) {
+		if err := m.reconcile(y, applied); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (m *DagMaintainer) onModify(n oem.OID, oldv, newv oem.Atom) error {
+// oidKeys collects a set's keys for deterministic iteration.
+func oidKeys(set map[oem.OID]bool) []oem.OID {
+	out := make([]oem.OID, 0, len(set))
+	for oid := range set {
+		out = append(out, oid)
+	}
+	return out
+}
+
+func (m *DagMaintainer) onModify(n oem.OID, oldv, newv oem.Atom, applied *Deltas) error {
 	full := m.Def.FullPath()
 	paths, err := m.Access.AllPaths(m.Def.Entry, n)
 	if err != nil {
@@ -239,7 +258,7 @@ func (m *DagMaintainer) onModify(n oem.OID, oldv, newv oem.Atom) error {
 		return err
 	}
 	for _, y := range ys {
-		if err := m.reconcile(y); err != nil {
+		if err := m.reconcile(y, applied); err != nil {
 			return err
 		}
 	}
@@ -248,15 +267,24 @@ func (m *DagMaintainer) onModify(n oem.OID, oldv, newv oem.Atom) error {
 
 // reconcile re-derives Y's membership: Y is a member iff some root path to
 // Y matches sel_path and some condition-path descendant satisfies cond.
-func (m *DagMaintainer) reconcile(y oem.OID) error {
+// Actual changes are recorded in applied.
+func (m *DagMaintainer) reconcile(y oem.OID, applied *Deltas) error {
 	member, err := m.isMember(y)
 	if err != nil {
 		return err
 	}
 	if member {
-		return viewInsert(m.View, m.Access, y)
+		changed, err := viewInsert(m.View, m.Access, y)
+		if changed {
+			applied.Insert = append(applied.Insert, y)
+		}
+		return err
 	}
-	return viewDelete(m.View, y)
+	changed, err := viewDelete(m.View, y)
+	if changed {
+		applied.Delete = append(applied.Delete, y)
+	}
+	return err
 }
 
 func (m *DagMaintainer) isMember(y oem.OID) (bool, error) {

@@ -31,6 +31,9 @@ import (
 // warehouse scenarios of Section 5 do not export.
 type GeneralMaintainer struct {
 	View *MaterializedView
+	// Observer, when non-nil, receives the membership deltas each Apply
+	// actually performed.
+	Observer DeltaObserver
 	// access wraps the base store for delegate creation.
 	access *CentralAccess
 	// scopeOID is the view's WITHIN database, if any.
@@ -62,28 +65,44 @@ func (g *GeneralMaintainer) Apply(u store.Update) error {
 		candidates = g.ancestorsAndSelf(u.N1)
 	}
 	seen := map[oem.OID]bool{}
+	var applied Deltas
 	for _, y := range candidates {
 		if seen[y] {
 			continue
 		}
 		seen[y] = true
-		if err := g.reconcile(y); err != nil {
+		member, changed, err := g.reconcile(y)
+		if err != nil {
 			return err
 		}
+		if changed && member {
+			applied.Insert = append(applied.Insert, y)
+		} else if changed {
+			applied.Delete = append(applied.Delete, y)
+		}
 	}
-	return refreshDelegate(g.View, u)
-}
-
-// reconcile recomputes Y's membership and updates the view to match.
-func (g *GeneralMaintainer) reconcile(y oem.OID) error {
-	member, err := g.isMember(y)
-	if err != nil {
+	if err := refreshDelegate(g.View, u); err != nil {
 		return err
 	}
-	if member {
-		return viewInsert(g.View, g.access, y)
+	if g.Observer != nil {
+		g.Observer(g.View.OID, u, applied)
 	}
-	return viewDelete(g.View, y)
+	return nil
+}
+
+// reconcile recomputes Y's membership and updates the view to match; it
+// reports the decided membership and whether the view changed.
+func (g *GeneralMaintainer) reconcile(y oem.OID) (member, changed bool, err error) {
+	member, err = g.isMember(y)
+	if err != nil {
+		return false, false, err
+	}
+	if member {
+		changed, err = viewInsert(g.View, g.access, y)
+		return member, changed, err
+	}
+	changed, err = viewDelete(g.View, y)
+	return member, changed, err
 }
 
 // isMember decides whether y currently belongs to the view.

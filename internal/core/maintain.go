@@ -16,6 +16,16 @@ type Maintainer interface {
 	Apply(u store.Update) error
 }
 
+// DeltaObserver is notified after a maintainer successfully applies one
+// base update: view is the view's OID, u the triggering update, and d the
+// membership changes that were *actually* applied (idempotent re-inserts
+// and re-deletes are filtered out, so the stream of observed deltas
+// replays to exactly the view's membership history). The changefeed
+// subsystem (internal/feed) is the canonical observer; observers must not
+// mutate the view and should return quickly — they run on the maintenance
+// path.
+type DeltaObserver func(view oem.OID, u store.Update, d Deltas)
+
 // SimpleMaintainer is the paper's Algorithm 1 (Section 4.3): incremental
 // maintenance of a simple materialized view — constant sel_path and
 // cond_path over a tree-structured base — under the three basic updates.
@@ -31,6 +41,9 @@ type SimpleMaintainer struct {
 	View   *MaterializedView
 	Def    SimpleDef
 	Access BaseAccess
+	// Observer, when non-nil, receives the membership deltas each Apply
+	// actually performed.
+	Observer DeltaObserver
 }
 
 // NewSimpleMaintainer builds Algorithm 1 for mv, classifying its query as
@@ -61,17 +74,32 @@ func (m *SimpleMaintainer) Apply(u store.Update) error {
 	if err != nil {
 		return err
 	}
+	var applied Deltas
 	for _, y := range d.Insert {
-		if err := m.vInsert(y); err != nil {
+		changed, err := viewInsert(m.View, m.Access, y)
+		if err != nil {
 			return err
+		}
+		if changed {
+			applied.Insert = append(applied.Insert, y)
 		}
 	}
 	for _, y := range d.Delete {
-		if err := m.vDelete(y); err != nil {
+		changed, err := viewDelete(m.View, y)
+		if err != nil {
 			return err
 		}
+		if changed {
+			applied.Delete = append(applied.Delete, y)
+		}
 	}
-	return m.refreshDelegate(u)
+	if err := m.refreshDelegate(u); err != nil {
+		return err
+	}
+	if m.Observer != nil {
+		m.Observer(m.View.OID, u, applied)
+	}
+	return nil
 }
 
 // ComputeDeltas runs Algorithm 1's case analysis for one update without
@@ -237,26 +265,20 @@ func (m *SimpleMaintainer) onModify(n oem.OID, oldv, newv oem.Atom) (Deltas, err
 	return d, nil
 }
 
-// vInsert is the paper's V_insert(MV, MV.Y): create the delegate of Y and
-// add it to the view object. Inserting an existing delegate is ignored.
-func (m *SimpleMaintainer) vInsert(y oem.OID) error {
-	return viewInsert(m.View, m.Access, y)
-}
-
-// vDelete is the paper's V_delete(MV, MV.Y): remove Y's delegate from the
-// view object and reclaim it. Deleting an absent delegate does nothing.
-func (m *SimpleMaintainer) vDelete(y oem.OID) error {
-	return viewDelete(m.View, y)
-}
-
 // VInsert exposes V_insert for callers that derive membership changes by
 // other means — the warehouse uses it for the Level-1 modify protocol,
 // where old and new values are withheld and membership is re-derived by
 // querying the source.
-func (m *SimpleMaintainer) VInsert(y oem.OID) error { return m.vInsert(y) }
+func (m *SimpleMaintainer) VInsert(y oem.OID) error {
+	_, err := viewInsert(m.View, m.Access, y)
+	return err
+}
 
 // VDelete exposes V_delete; see VInsert.
-func (m *SimpleMaintainer) VDelete(y oem.OID) error { return m.vDelete(y) }
+func (m *SimpleMaintainer) VDelete(y oem.OID) error {
+	_, err := viewDelete(m.View, y)
+	return err
+}
 
 // refreshDelegate keeps delegate values equal to their originals when an
 // update touches an object that (still) has a delegate in the view.
@@ -264,50 +286,53 @@ func (m *SimpleMaintainer) refreshDelegate(u store.Update) error {
 	return refreshDelegate(m.View, u)
 }
 
-// viewInsert implements V_insert for any maintainer. The new delegate is
-// created unswizzled, then swizzled — and cross-references from existing
-// delegates fixed up — when the view is currently swizzled.
-func viewInsert(mv *MaterializedView, access BaseAccess, y oem.OID) error {
+// viewInsert implements V_insert for any maintainer; it reports whether
+// membership actually changed (inserting an existing delegate is
+// ignored). The new delegate is created unswizzled, then swizzled — and
+// cross-references from existing delegates fixed up — when the view is
+// currently swizzled.
+func viewInsert(mv *MaterializedView, access BaseAccess, y oem.OID) (bool, error) {
 	d := DelegateOID(mv.OID, y)
 	vo, err := mv.ViewStore.Get(mv.OID)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if vo.Contains(d) {
-		return nil
+		return false, nil
 	}
 	o, err := access.Fetch(y)
 	if err != nil {
-		return fmt.Errorf("core: V_insert(%s, %s): %w", mv.OID, d, err)
+		return false, fmt.Errorf("core: V_insert(%s, %s): %w", mv.OID, d, err)
 	}
 	del := o.Clone()
 	del.OID = d
 	if mv.ViewStore.Has(d) {
 		// A stale delegate object survived an earlier removal; overwrite.
 		if err := mv.setDelegate(del); err != nil {
-			return err
+			return false, err
 		}
 	} else if err := mv.ViewStore.Put(del); err != nil {
-		return err
+		return false, err
 	}
 	if err := mv.ViewStore.Insert(mv.OID, d); err != nil {
-		return err
+		return false, err
 	}
 	if mv.Swizzled {
-		return reswizzleAround(mv, y)
+		return true, reswizzleAround(mv, y)
 	}
-	return nil
+	return true, nil
 }
 
-// viewDelete implements V_delete for any maintainer.
-func viewDelete(mv *MaterializedView, y oem.OID) error {
+// viewDelete implements V_delete for any maintainer; it reports whether
+// membership actually changed (deleting an absent delegate does nothing).
+func viewDelete(mv *MaterializedView, y oem.OID) (bool, error) {
 	d := DelegateOID(mv.OID, y)
 	vo, err := mv.ViewStore.Get(mv.OID)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if !vo.Contains(d) {
-		return nil
+		return false, nil
 	}
 	if mv.Swizzled {
 		// Other delegates pointing at MV.y fall back to the base OID y.
@@ -317,13 +342,39 @@ func viewDelete(mv *MaterializedView, y oem.OID) error {
 			}
 			return mem, false
 		}); err != nil {
-			return err
+			return false, err
 		}
 	}
 	if err := mv.ViewStore.Delete(mv.OID, d); err != nil {
-		return err
+		return false, err
 	}
-	return mv.ViewStore.Remove(d)
+	return true, mv.ViewStore.Remove(d)
+}
+
+// DiffMembers computes the Deltas that transform the sorted membership
+// before into after — the observer payload for maintainers that
+// reconcile instead of computing deltas directly (general, DAG,
+// recompute). Inputs must be sorted ascending (MaterializedView.Members
+// returns sorted slices).
+func DiffMembers(before, after []oem.OID) Deltas {
+	var d Deltas
+	i, j := 0, 0
+	for i < len(before) && j < len(after) {
+		switch {
+		case before[i] == after[j]:
+			i++
+			j++
+		case before[i] < after[j]:
+			d.Delete = append(d.Delete, before[i])
+			i++
+		default:
+			d.Insert = append(d.Insert, after[j])
+			j++
+		}
+	}
+	d.Delete = append(d.Delete, before[i:]...)
+	d.Insert = append(d.Insert, after[j:]...)
+	return d
 }
 
 // reswizzleAround restores the swizzling invariant after delegate y was

@@ -50,10 +50,32 @@ func (s Strategy) String() string {
 
 // recomputeMaintainer adapts full recomputation to the Maintainer
 // interface.
-type recomputeMaintainer struct{ mv *MaterializedView }
+type recomputeMaintainer struct {
+	mv       *MaterializedView
+	observer DeltaObserver
+}
 
-// Apply implements Maintainer by rebuilding the view from scratch.
-func (r recomputeMaintainer) Apply(store.Update) error { return r.mv.Recompute() }
+// Apply implements Maintainer by rebuilding the view from scratch. With
+// an observer installed, the deltas are derived by diffing membership
+// around the rebuild — recomputation is O(view) anyway.
+func (r *recomputeMaintainer) Apply(u store.Update) error {
+	if r.observer == nil {
+		return r.mv.Recompute()
+	}
+	before, err := r.mv.Members()
+	if err != nil {
+		return err
+	}
+	if err := r.mv.Recompute(); err != nil {
+		return err
+	}
+	after, err := r.mv.Members()
+	if err != nil {
+		return err
+	}
+	r.observer(r.mv.OID, u, DiffMembers(before, after))
+	return nil
+}
 
 // View is one registered view: virtual (Materialized nil) or materialized.
 type View struct {
@@ -73,9 +95,10 @@ type View struct {
 // materialized view's maintainer. (The warehouse package has its own
 // registry-like Warehouse type for the distributed setting.)
 type Registry struct {
-	base  *store.Store
-	views map[string]*View
-	drain func()
+	base     *store.Store
+	views    map[string]*View
+	drain    func()
+	observer DeltaObserver
 	// skipThrough suppresses Watch-buffered updates with sequence numbers
 	// at or below it — used after ApplyBulk, which maintains the views
 	// itself, so draining must not re-apply the same updates.
@@ -125,6 +148,7 @@ func (r *Registry) DefineParsed(vs *query.ViewStmt, strategy Strategy) (*View, e
 		v.Materialized = mv
 		v.Maintainer = m
 		v.Strategy = actual
+		setMaintainerObserver(m, r.observer)
 	} else {
 		// A virtual view is still represented by a view object so that it
 		// can serve as a query entry point and in ANS INT clauses; its
@@ -164,12 +188,40 @@ func newMaintainer(mv *MaterializedView, strategy Strategy) (Maintainer, Strateg
 		m, err := NewDagMaintainer(mv, access)
 		return m, StrategyDag, err
 	case StrategyRecompute:
-		return recomputeMaintainer{mv}, StrategyRecompute, nil
+		return &recomputeMaintainer{mv: mv}, StrategyRecompute, nil
 	default: // StrategyAuto
 		if _, ok := Simplify(mv.Query); ok {
 			return newMaintainer(mv, StrategySimple)
 		}
 		return newMaintainer(mv, StrategyGeneral)
+	}
+}
+
+// SetObserver installs a DeltaObserver on every registered materialized
+// view's maintainer and on maintainers of views defined later — the
+// wiring point for the internal/feed changefeed in the centralized
+// setting. Passing nil removes the observer.
+func (r *Registry) SetObserver(obs DeltaObserver) {
+	r.observer = obs
+	for _, v := range r.views {
+		if v.Maintainer != nil {
+			setMaintainerObserver(v.Maintainer, obs)
+		}
+	}
+}
+
+// setMaintainerObserver attaches obs to any maintainer type that
+// supports delta observation; unknown maintainers are left alone.
+func setMaintainerObserver(m Maintainer, obs DeltaObserver) {
+	switch mt := m.(type) {
+	case *SimpleMaintainer:
+		mt.Observer = obs
+	case *GeneralMaintainer:
+		mt.Observer = obs
+	case *DagMaintainer:
+		mt.Observer = obs
+	case *recomputeMaintainer:
+		mt.observer = obs
 	}
 }
 

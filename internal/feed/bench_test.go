@@ -1,0 +1,70 @@
+package feed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// BenchmarkPublish measures publish + fan-out cost as the subscriber
+// count grows. Subscribers drain concurrently under PolicyBlock, so the
+// number also reflects backpressure overhead.
+func BenchmarkPublish(b *testing.B) {
+	for _, subs := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			h := NewHub(Options{Buffer: 1024})
+			h.RegisterView("V", nil)
+			var wg sync.WaitGroup
+			sl := make([]*Subscription, subs)
+			for i := range sl {
+				sub, err := h.Subscribe("V", SubOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sl[i] = sub
+				wg.Add(1)
+				go func(sub *Subscription) {
+					defer wg.Done()
+					for range sub.Events() {
+					}
+				}(sub)
+			}
+			u := store.Update{Kind: store.UpdateInsert, N1: "ROOT", N2: "X"}
+			d := core.Deltas{Insert: []oem.OID{"X"}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Publish("V", u, d)
+			}
+			b.StopTimer()
+			for _, sub := range sl {
+				sub.Close()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkSubscribeResume measures resume-with-replay cost against a
+// full ring.
+func BenchmarkSubscribeResume(b *testing.B) {
+	h := NewHub(Options{RingSize: 1024})
+	h.RegisterView("V", nil)
+	u := store.Update{Kind: store.UpdateInsert, N1: "ROOT", N2: "X"}
+	d := core.Deltas{Insert: []oem.OID{"X"}}
+	for i := 0; i < 1024; i++ {
+		h.Publish("V", u, d)
+	}
+	from := h.OldestRetained("V") - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := h.Subscribe("V", SubOptions{Resume: true, From: from})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub.Close()
+	}
+}

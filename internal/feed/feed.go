@@ -1,0 +1,167 @@
+// Package feed is the view-delta changefeed: it turns the membership
+// deltas Algorithm 1 computes during incremental maintenance into a
+// durable-enough event stream that downstream consumers can tail, instead
+// of re-querying or re-snapshotting views after every base update.
+//
+// A Hub assigns each view an independent, monotonically increasing cursor,
+// buffers the most recent events in a bounded per-view ring, and fans them
+// out to any number of subscribers. A subscriber that disconnects can
+// resume from its last cursor and — as long as the ring still holds the
+// missed events — observes exactly the delta sequence an always-connected
+// subscriber saw, with no gaps and no duplicates. When the cursor has
+// been evicted from the ring, Subscribe fails with ErrCursorExpired; the
+// subscriber then falls back to a full snapshot of the current membership
+// (SubOptions.SnapshotOnExpire) and tails from the current cursor.
+//
+// The package is deliberately independent of where views live: the
+// centralized Registry and the distributed Warehouse both publish through
+// the same core.DeltaObserver hook, and internal/warehouse/net.go exposes
+// a Hub over TCP as the "subscribe" connection mode.
+package feed
+
+import (
+	"errors"
+
+	"gsv/internal/oem"
+)
+
+// Event is one view-delta changefeed entry: the membership changes one
+// base update actually caused in one view. Insert and Delete hold base
+// OIDs (the delegates are view-local); Seq is the base update's sequence
+// number, Cursor the view-local feed position.
+type Event struct {
+	View   string `json:"view"`
+	Cursor uint64 `json:"cursor"`
+	Seq    uint64 `json:"seq,omitempty"`
+	// Kind, N1 and N2 identify the triggering base update
+	// (insert/delete/modify/create with the paper's argument order).
+	Kind   string    `json:"kind,omitempty"`
+	N1     oem.OID   `json:"n1,omitempty"`
+	N2     oem.OID   `json:"n2,omitempty"`
+	Insert []oem.OID `json:"insert,omitempty"`
+	Delete []oem.OID `json:"delete,omitempty"`
+}
+
+// Empty reports whether the event carries no membership change.
+func (e Event) Empty() bool { return len(e.Insert) == 0 && len(e.Delete) == 0 }
+
+// Policy selects what Publish does when a subscriber's channel is full.
+type Policy int
+
+const (
+	// PolicyBlock applies backpressure: the publisher waits until the
+	// subscriber drains (or the subscription closes). Lossless, but a
+	// stalled consumer stalls maintenance.
+	PolicyBlock Policy = iota
+	// PolicyDropOldest evicts the oldest undelivered event to make room.
+	// The subscriber detects the loss as a cursor gap and can resume the
+	// missed range from the ring.
+	PolicyDropOldest
+	// PolicyDisconnect closes the subscription with ErrSlowConsumer.
+	PolicyDisconnect
+)
+
+// String names the policy as the wire protocol spells it.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyDropOldest:
+		return "drop"
+	case PolicyDisconnect:
+		return "disconnect"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePolicy converts a wire/CLI spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "block":
+		return PolicyBlock, nil
+	case "drop", "drop-oldest":
+		return PolicyDropOldest, nil
+	case "disconnect":
+		return PolicyDisconnect, nil
+	default:
+		return 0, errors.New("feed: unknown policy " + s)
+	}
+}
+
+var (
+	// ErrUnknownView is returned by Subscribe for a view the hub has
+	// never seen (neither registered nor published to).
+	ErrUnknownView = errors.New("feed: unknown view")
+	// ErrCursorExpired is returned by Subscribe when the resume cursor
+	// precedes the oldest event retained in the view's ring.
+	ErrCursorExpired = errors.New("feed: cursor expired")
+	// ErrFutureCursor is returned by Subscribe when the resume cursor is
+	// beyond the view's current cursor.
+	ErrFutureCursor = errors.New("feed: cursor in the future")
+	// ErrSlowConsumer closes subscriptions under PolicyDisconnect.
+	ErrSlowConsumer = errors.New("feed: slow consumer disconnected")
+)
+
+// Options configures a Hub.
+type Options struct {
+	// RingSize bounds the per-view replay ring (default 1024). Zero or
+	// negative means the default; resume windows shrink accordingly.
+	RingSize int
+	// Buffer is the default per-subscription channel capacity (default
+	// 64, minimum 1).
+	Buffer int
+	// Policy is the default slow-consumer policy (default PolicyBlock).
+	Policy Policy
+}
+
+const (
+	defaultRingSize = 1024
+	defaultBuffer   = 64
+)
+
+func (o Options) withDefaults() Options {
+	if o.RingSize <= 0 {
+		o.RingSize = defaultRingSize
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = defaultBuffer
+	}
+	return o
+}
+
+// SubOptions configures one subscription.
+type SubOptions struct {
+	// Resume replays events after cursor From instead of tailing from
+	// the current cursor. From = 0 replays the whole retained history.
+	Resume bool
+	// From is the last cursor the subscriber has consumed; replay starts
+	// at From+1. Only meaningful with Resume.
+	From uint64
+	// Buffer overrides the hub's default channel capacity. Replayed
+	// events never block: the channel is grown to hold them.
+	Buffer int
+	// Policy overrides the hub's default slow-consumer policy. Use
+	// PolicyBlock explicitly via the hub default; a non-zero value here
+	// always wins.
+	Policy Policy
+	// HasPolicy marks Policy as explicitly set (PolicyBlock is the zero
+	// value, so a flag is needed to distinguish "unset").
+	HasPolicy bool
+	// SnapshotOnExpire converts an expired resume cursor into a full
+	// membership snapshot (Subscription.Snapshot) plus a tail from the
+	// current cursor, instead of failing with ErrCursorExpired. It
+	// requires the view to have been registered with a snapshot
+	// function.
+	SnapshotOnExpire bool
+}
+
+// Snapshot is the full-membership fallback a subscription receives when
+// its resume cursor had been evicted: the view's members as of Cursor.
+// Events with cursors at or below Cursor may still be delivered by the
+// publisher racing the snapshot; they re-announce membership the snapshot
+// already reflects, so appliers treat inserts/deletes as idempotent.
+type Snapshot struct {
+	Cursor  uint64    `json:"cursor"`
+	Members []oem.OID `json:"members"`
+}

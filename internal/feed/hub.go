@@ -1,0 +1,266 @@
+package feed
+
+import (
+	"fmt"
+	"sync"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// Hub is the changefeed fan-out point. One Hub serves any number of
+// views; each view has its own cursor sequence, replay ring and
+// subscriber set. All methods are safe for concurrent use; per-view
+// event order is total even with concurrent publishers.
+type Hub struct {
+	opts Options
+
+	mu    sync.Mutex
+	views map[string]*viewFeed
+}
+
+// viewFeed is one view's cursor, ring and subscribers.
+type viewFeed struct {
+	// pubMu serializes publishes to this view so every subscriber sees
+	// the same total order. Lock order: pubMu before Hub.mu.
+	pubMu sync.Mutex
+
+	cursor uint64  // last assigned cursor; 0 = nothing published yet
+	ring   []Event // circular buffer, capacity Options.RingSize
+	head   int     // index of the oldest retained event
+	count  int     // retained events
+	subs   map[*Subscription]struct{}
+	// snapshot answers the full current membership for the
+	// expired-cursor fallback; nil when the view was never registered.
+	snapshot func() ([]oem.OID, error)
+}
+
+// NewHub returns an empty hub.
+func NewHub(o Options) *Hub {
+	return &Hub{opts: o.withDefaults(), views: make(map[string]*viewFeed)}
+}
+
+// feedLocked returns the viewFeed for name, creating it if needed.
+// Callers hold h.mu.
+func (h *Hub) feedLocked(name string) *viewFeed {
+	vf, ok := h.views[name]
+	if !ok {
+		vf = &viewFeed{
+			ring: make([]Event, h.opts.RingSize),
+			subs: make(map[*Subscription]struct{}),
+		}
+		h.views[name] = vf
+	}
+	return vf
+}
+
+// RegisterView announces a view to the hub and installs its snapshot
+// function, used as the fallback when a resume cursor has been evicted.
+// snapshot may be nil; registering an existing view replaces it.
+func (h *Hub) RegisterView(name string, snapshot func() ([]oem.OID, error)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.feedLocked(name).snapshot = snapshot
+}
+
+// Publish appends one delta event to a view's feed and fans it out. The
+// cursor it was assigned is returned; empty deltas are not published and
+// return 0. Publish is the core.DeltaObserver shape after currying the
+// hub: maintainers call it once per successfully applied base update.
+func (h *Hub) Publish(view string, u store.Update, d core.Deltas) uint64 {
+	if len(d.Insert) == 0 && len(d.Delete) == 0 {
+		return 0
+	}
+	ev := Event{
+		View: view, Seq: u.Seq, Kind: u.Kind.String(), N1: u.N1, N2: u.N2,
+		Insert: append([]oem.OID(nil), d.Insert...),
+		Delete: append([]oem.OID(nil), d.Delete...),
+	}
+
+	h.mu.Lock()
+	vf := h.feedLocked(view)
+	h.mu.Unlock()
+
+	vf.pubMu.Lock()
+	defer vf.pubMu.Unlock()
+
+	h.mu.Lock()
+	vf.cursor++
+	ev.Cursor = vf.cursor
+	vf.append(ev)
+	subs := make([]*Subscription, 0, len(vf.subs))
+	for s := range vf.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+
+	// Delivery happens outside h.mu so a blocking subscriber never
+	// prevents other views from publishing or new subscribers from
+	// attaching; pubMu keeps this view's order total.
+	for _, s := range subs {
+		if !s.deliver(ev) {
+			h.remove(s)
+		}
+	}
+	return ev.Cursor
+}
+
+// Observer adapts the hub to core.DeltaObserver for one published view
+// name, for installing directly on a maintainer.
+func (h *Hub) Observer(view string) core.DeltaObserver {
+	return func(_ oem.OID, u store.Update, d core.Deltas) { h.Publish(view, u, d) }
+}
+
+// append stores ev in the ring, evicting the oldest event when full.
+func (vf *viewFeed) append(ev Event) {
+	if len(vf.ring) == 0 {
+		return
+	}
+	if vf.count < len(vf.ring) {
+		vf.ring[(vf.head+vf.count)%len(vf.ring)] = ev
+		vf.count++
+		return
+	}
+	vf.ring[vf.head] = ev
+	vf.head = (vf.head + 1) % len(vf.ring)
+}
+
+// oldestRetained is the cursor of the oldest event still in the ring;
+// 0 when the ring is empty.
+func (vf *viewFeed) oldestRetained() uint64 {
+	if vf.count == 0 {
+		return 0
+	}
+	return vf.cursor - uint64(vf.count) + 1
+}
+
+// replayAfter collects the retained events with cursors > from, oldest
+// first.
+func (vf *viewFeed) replayAfter(from uint64) []Event {
+	var out []Event
+	for i := 0; i < vf.count; i++ {
+		ev := vf.ring[(vf.head+i)%len(vf.ring)]
+		if ev.Cursor > from {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Subscribe attaches a subscriber to a view's feed. Without Resume the
+// subscription starts at the current cursor (only future events are
+// delivered). With Resume, events after SubOptions.From are replayed
+// from the ring first — gap-free and duplicate-free — or, when the ring
+// has already evicted them, Subscribe either fails with ErrCursorExpired
+// or (with SnapshotOnExpire) delivers a full membership snapshot and
+// tails from the current cursor.
+func (h *Hub) Subscribe(view string, o SubOptions) (*Subscription, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vf, ok := h.views[view]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownView, view)
+	}
+
+	var replay []Event
+	var snap *Snapshot
+	if o.Resume {
+		switch {
+		case o.From > vf.cursor:
+			return nil, fmt.Errorf("%w: resume after %d, view at %d", ErrFutureCursor, o.From, vf.cursor)
+		case o.From+1 >= vf.oldestRetained() || vf.cursor == 0:
+			replay = vf.replayAfter(o.From)
+		case o.SnapshotOnExpire && vf.snapshot != nil:
+			members, err := vf.snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("feed: snapshot fallback for %s: %w", view, err)
+			}
+			snap = &Snapshot{Cursor: vf.cursor, Members: members}
+		default:
+			return nil, fmt.Errorf("%w: resume after %d, oldest retained %d (ring %d)",
+				ErrCursorExpired, o.From, vf.oldestRetained(), len(vf.ring))
+		}
+	}
+
+	policy := h.opts.Policy
+	if o.HasPolicy {
+		policy = o.Policy
+	}
+	buffer := h.opts.Buffer
+	if o.Buffer > 0 {
+		buffer = o.Buffer
+	}
+	if buffer < len(replay) {
+		buffer = len(replay) // replay must never block
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+
+	s := &Subscription{
+		hub: h, view: view, policy: policy,
+		ch: make(chan Event, buffer), done: make(chan struct{}),
+		snap: snap,
+	}
+	for _, ev := range replay {
+		s.ch <- ev
+	}
+	vf.subs[s] = struct{}{}
+	return s, nil
+}
+
+// remove detaches a subscription from its view.
+func (h *Hub) remove(s *Subscription) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if vf, ok := h.views[s.view]; ok {
+		delete(vf.subs, s)
+	}
+}
+
+// Cursor returns a view's last assigned cursor; ok is false for views
+// the hub has never seen.
+func (h *Hub) Cursor(view string) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vf, ok := h.views[view]
+	if !ok {
+		return 0, false
+	}
+	return vf.cursor, true
+}
+
+// OldestRetained returns the cursor of the oldest event a view's ring
+// still holds (0 when nothing is retained).
+func (h *Hub) OldestRetained(view string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vf, ok := h.views[view]
+	if !ok {
+		return 0
+	}
+	return vf.oldestRetained()
+}
+
+// Views returns the names the hub knows, unsorted.
+func (h *Hub) Views() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.views))
+	for name := range h.views {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Subscribers returns how many subscriptions a view currently has.
+func (h *Hub) Subscribers(view string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vf, ok := h.views[view]
+	if !ok {
+		return 0
+	}
+	return len(vf.subs)
+}

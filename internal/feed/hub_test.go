@@ -1,0 +1,435 @@
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// pub publishes a single-insert delta event numbered i and returns the
+// assigned cursor.
+func pub(h *Hub, view string, i int) uint64 {
+	u := store.Update{Seq: uint64(i), Kind: store.UpdateInsert, N1: "ROOT", N2: oem.OID(fmt.Sprintf("X%d", i))}
+	return h.Publish(view, u, core.Deltas{Insert: []oem.OID{oem.OID(fmt.Sprintf("X%d", i))}})
+}
+
+// collect drains n events from a subscription, failing the test on a
+// stall.
+func collect(t *testing.T, sub *Subscription, n int) []Event {
+	t.Helper()
+	out := make([]Event, 0, n)
+	for len(out) < n {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				t.Fatalf("subscription closed after %d of %d events (err %v)", len(out), n, sub.Err())
+			}
+			out = append(out, ev)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled after %d of %d events", len(out), n)
+		}
+	}
+	return out
+}
+
+func cursors(evs []Event) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Cursor
+	}
+	return out
+}
+
+func TestHubCursorsPerView(t *testing.T) {
+	h := NewHub(Options{})
+	if got := pub(h, "A", 1); got != 1 {
+		t.Fatalf("first cursor = %d", got)
+	}
+	if got := pub(h, "A", 2); got != 2 {
+		t.Fatalf("second cursor = %d", got)
+	}
+	// Views have independent cursor sequences.
+	if got := pub(h, "B", 1); got != 1 {
+		t.Fatalf("view B first cursor = %d", got)
+	}
+	if c, ok := h.Cursor("A"); !ok || c != 2 {
+		t.Fatalf("Cursor(A) = %d %v", c, ok)
+	}
+	// Empty deltas are not published.
+	if got := h.Publish("A", store.Update{}, core.Deltas{}); got != 0 {
+		t.Fatalf("empty publish assigned cursor %d", got)
+	}
+	if c, _ := h.Cursor("A"); c != 2 {
+		t.Fatalf("cursor moved on empty publish: %d", c)
+	}
+}
+
+func TestHubTailSeesOnlyFutureEvents(t *testing.T) {
+	h := NewHub(Options{})
+	pub(h, "V", 1)
+	pub(h, "V", 2)
+	sub, err := h.Subscribe("V", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub(h, "V", 3)
+	evs := collect(t, sub, 1)
+	if evs[0].Cursor != 3 {
+		t.Fatalf("tail got cursor %d", evs[0].Cursor)
+	}
+}
+
+func TestHubResumeReplaysExactly(t *testing.T) {
+	h := NewHub(Options{})
+	for i := 1; i <= 10; i++ {
+		pub(h, "V", i)
+	}
+	sub, err := h.Subscribe("V", SubOptions{Resume: true, From: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub(h, "V", 11)
+	evs := collect(t, sub, 7)
+	for i, ev := range evs {
+		if want := uint64(5 + i); ev.Cursor != want {
+			t.Fatalf("cursors = %v, want 5..11", cursors(evs))
+		}
+	}
+	// From = 0 replays the whole retained history.
+	all, err := h.Subscribe("V", SubOptions{Resume: true, From: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer all.Close()
+	if evs := collect(t, all, 11); evs[0].Cursor != 1 || evs[10].Cursor != 11 {
+		t.Fatalf("full replay cursors = %v", cursors(evs))
+	}
+}
+
+func TestHubSubscribeErrors(t *testing.T) {
+	h := NewHub(Options{RingSize: 4})
+	if _, err := h.Subscribe("NOPE", SubOptions{}); !errors.Is(err, ErrUnknownView) {
+		t.Fatalf("unknown view error = %v", err)
+	}
+	for i := 1; i <= 10; i++ {
+		pub(h, "V", i)
+	}
+	if _, err := h.Subscribe("V", SubOptions{Resume: true, From: 99}); !errors.Is(err, ErrFutureCursor) {
+		t.Fatalf("future cursor error = %v", err)
+	}
+	// Ring holds 7..10; resuming after 4 needs 5 and 6, both evicted.
+	if _, err := h.Subscribe("V", SubOptions{Resume: true, From: 4}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("expired cursor error = %v", err)
+	}
+	// SnapshotOnExpire without a registered snapshot still expires.
+	if _, err := h.Subscribe("V", SubOptions{Resume: true, From: 4, SnapshotOnExpire: true}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("snapshotless fallback error = %v", err)
+	}
+	// The edge of the ring is still replayable: From 6 needs 7..10.
+	sub, err := h.Subscribe("V", SubOptions{Resume: true, From: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if evs := collect(t, sub, 4); evs[0].Cursor != 7 {
+		t.Fatalf("edge replay cursors = %v", cursors(evs))
+	}
+	if h.OldestRetained("V") != 7 {
+		t.Fatalf("OldestRetained = %d", h.OldestRetained("V"))
+	}
+}
+
+func TestHubSnapshotFallback(t *testing.T) {
+	h := NewHub(Options{RingSize: 2})
+	members := []oem.OID{"X9", "X10"}
+	h.RegisterView("V", func() ([]oem.OID, error) { return members, nil })
+	for i := 1; i <= 10; i++ {
+		pub(h, "V", i)
+	}
+	sub, err := h.Subscribe("V", SubOptions{Resume: true, From: 3, SnapshotOnExpire: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	snap := sub.Snapshot()
+	if snap == nil || snap.Cursor != 10 || !oem.SameMembers(snap.Members, members) {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The subscription tails from the snapshot cursor.
+	pub(h, "V", 11)
+	if evs := collect(t, sub, 1); evs[0].Cursor != 11 {
+		t.Fatalf("post-snapshot cursor = %d", evs[0].Cursor)
+	}
+
+	// A failing snapshot function surfaces its error.
+	h.RegisterView("V", func() ([]oem.OID, error) { return nil, errors.New("boom") })
+	if _, err := h.Subscribe("V", SubOptions{Resume: true, From: 3, SnapshotOnExpire: true}); err == nil {
+		t.Fatal("failing snapshot did not error")
+	}
+}
+
+func TestHubPolicyDropOldest(t *testing.T) {
+	h := NewHub(Options{Policy: PolicyDropOldest, Buffer: 2})
+	h.RegisterView("V", nil)
+	sub, err := h.Subscribe("V", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	for i := 1; i <= 5; i++ {
+		pub(h, "V", i)
+	}
+	// Buffer 2: events 1..3 were evicted to admit 4 and 5.
+	if sub.Dropped() != 3 {
+		t.Fatalf("dropped = %d", sub.Dropped())
+	}
+	evs := collect(t, sub, 2)
+	if evs[0].Cursor != 4 || evs[1].Cursor != 5 {
+		t.Fatalf("retained cursors = %v", cursors(evs))
+	}
+	// The gap is recoverable: resume from the last seen cursor.
+	re, err := h.Subscribe("V", SubOptions{Resume: true, From: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if evs := collect(t, re, 5); evs[0].Cursor != 1 {
+		t.Fatalf("recovery replay = %v", cursors(evs))
+	}
+}
+
+func TestHubPolicyDisconnect(t *testing.T) {
+	h := NewHub(Options{Buffer: 1})
+	h.RegisterView("V", nil)
+	sub, err := h.Subscribe("V", SubOptions{Policy: PolicyDisconnect, HasPolicy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub(h, "V", 1) // fills the buffer
+	pub(h, "V", 2) // overflows: disconnect
+	if !errors.Is(sub.Err(), ErrSlowConsumer) {
+		t.Fatalf("err = %v", sub.Err())
+	}
+	// The channel closes after the buffered event.
+	if ev, ok := <-sub.Events(); !ok || ev.Cursor != 1 {
+		t.Fatalf("buffered event = %+v %v", ev, ok)
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("channel still open after disconnect")
+	}
+	if h.Subscribers("V") != 0 {
+		t.Fatalf("subscribers = %d", h.Subscribers("V"))
+	}
+}
+
+func TestHubPolicyBlockBackpressure(t *testing.T) {
+	h := NewHub(Options{Buffer: 1})
+	h.RegisterView("V", nil)
+	sub, err := h.Subscribe("V", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub(h, "V", 1) // fills the buffer
+	published := make(chan uint64)
+	go func() { published <- pub(h, "V", 2) }()
+	select {
+	case <-published:
+		t.Fatal("publish did not block on a full subscriber")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Draining unblocks the publisher.
+	if ev := <-sub.Events(); ev.Cursor != 1 {
+		t.Fatalf("drained cursor = %d", ev.Cursor)
+	}
+	select {
+	case c := <-published:
+		if c != 2 {
+			t.Fatalf("published cursor = %d", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish still blocked after drain")
+	}
+	sub.Close()
+}
+
+func TestHubCloseUnblocksPublisher(t *testing.T) {
+	h := NewHub(Options{Buffer: 1})
+	h.RegisterView("V", nil)
+	sub, err := h.Subscribe("V", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub(h, "V", 1)
+	published := make(chan struct{})
+	go func() { pub(h, "V", 2); close(published) }()
+	time.Sleep(10 * time.Millisecond) // let the publisher block
+	sub.Close()
+	select {
+	case <-published:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the publisher")
+	}
+	if h.Subscribers("V") != 0 {
+		t.Fatalf("subscribers = %d", h.Subscribers("V"))
+	}
+}
+
+func TestHubObserverAdapter(t *testing.T) {
+	h := NewHub(Options{})
+	obs := h.Observer("V")
+	sub, errSub := func() (*Subscription, error) {
+		h.RegisterView("V", nil)
+		return h.Subscribe("V", SubOptions{})
+	}()
+	if errSub != nil {
+		t.Fatal(errSub)
+	}
+	defer sub.Close()
+	obs("ignored", store.Update{Seq: 9, Kind: store.UpdateModify, N1: "A1"}, core.Deltas{Delete: []oem.OID{"P1"}})
+	evs := collect(t, sub, 1)
+	if evs[0].View != "V" || evs[0].Seq != 9 || evs[0].Kind != "modify" || evs[0].Delete[0] != "P1" {
+		t.Fatalf("observed event = %+v", evs[0])
+	}
+	// Empty deltas never reach subscribers.
+	obs("ignored", store.Update{Seq: 10}, core.Deltas{})
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("empty delta produced event %+v", ev)
+	case <-time.After(10 * time.Millisecond):
+	}
+}
+
+func TestHubViewsAndSubscribers(t *testing.T) {
+	h := NewHub(Options{})
+	h.RegisterView("A", nil)
+	pub(h, "B", 1)
+	views := h.Views()
+	if len(views) != 2 {
+		t.Fatalf("views = %v", views)
+	}
+	sub, err := h.Subscribe("A", SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Subscribers("A") != 1 || h.Subscribers("B") != 0 {
+		t.Fatalf("subscriber counts = %d %d", h.Subscribers("A"), h.Subscribers("B"))
+	}
+	sub.Close()
+	if h.Subscribers("A") != 0 {
+		t.Fatal("Close left the subscription attached")
+	}
+	// Closing twice is safe.
+	sub.Close()
+}
+
+// TestHubConcurrentPublishSubscribe exercises the hub under -race:
+// concurrent publishers to separate views, subscribers joining, leaving
+// and resuming mid-stream. Per-view cursor order must stay total and
+// gap-free for every fully-connected subscriber.
+func TestHubConcurrentPublishSubscribe(t *testing.T) {
+	const perView = 200
+	h := NewHub(Options{RingSize: perView * 2, Buffer: 8})
+	views := []string{"V0", "V1", "V2"}
+	for _, v := range views {
+		h.RegisterView(v, nil)
+	}
+
+	var wg sync.WaitGroup
+	// One full-history subscriber per view, draining concurrently.
+	type result struct {
+		evs []Event
+		err error
+	}
+	results := make([]result, len(views))
+	for i, v := range views {
+		sub, err := h.Subscribe(v, SubOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, sub *Subscription) {
+			defer wg.Done()
+			for len(results[i].evs) < perView {
+				ev, ok := <-sub.Events()
+				if !ok {
+					results[i].err = errors.New("closed early")
+					return
+				}
+				results[i].evs = append(results[i].evs, ev)
+			}
+			sub.Close()
+		}(i, sub)
+	}
+	// Churning subscribers that join and leave while publishing runs.
+	for _, v := range views {
+		wg.Add(1)
+		go func(v string) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sub, err := h.Subscribe(v, SubOptions{Resume: true, From: 0, Policy: PolicyDropOldest, HasPolicy: true})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				<-sub.Events()
+				sub.Close()
+			}
+		}(v)
+	}
+	// Publishers.
+	for _, v := range views {
+		wg.Add(1)
+		go func(v string) {
+			defer wg.Done()
+			for i := 1; i <= perView; i++ {
+				pub(h, v, i)
+			}
+		}(v)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("view %s: %v", views[i], r.err)
+		}
+		for j, ev := range r.evs {
+			if ev.Cursor != uint64(j+1) {
+				t.Fatalf("view %s: cursor %d at position %d", views[i], ev.Cursor, j)
+			}
+		}
+	}
+}
+
+func TestPolicyStringsRoundTrip(t *testing.T) {
+	for _, p := range []Policy{PolicyBlock, PolicyDropOldest, PolicyDisconnect} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: %v %v", p, got, err)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != PolicyBlock {
+		t.Fatalf("empty policy = %v %v", p, err)
+	}
+	if p, err := ParsePolicy("drop-oldest"); err != nil || p != PolicyDropOldest {
+		t.Fatalf("drop-oldest = %v %v", p, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy parsed")
+	}
+}
+
+func TestEventEmpty(t *testing.T) {
+	if !(Event{}).Empty() {
+		t.Fatal("zero event not empty")
+	}
+	if (Event{Insert: []oem.OID{"X"}}).Empty() {
+		t.Fatal("insert event empty")
+	}
+}

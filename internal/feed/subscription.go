@@ -1,0 +1,110 @@
+package feed
+
+import "sync"
+
+// Subscription is one subscriber's attachment to a view's feed. Consume
+// with Events; the channel closes when the subscription is closed by
+// either side. After the channel closes, Err reports why (nil for a
+// local Close, ErrSlowConsumer under PolicyDisconnect).
+type Subscription struct {
+	hub    *Hub
+	view   string
+	policy Policy
+	done   chan struct{}
+	once   sync.Once
+
+	mu      sync.Mutex
+	ch      chan Event
+	closed  bool
+	err     error
+	dropped uint64
+	snap    *Snapshot
+}
+
+// Events returns the receive channel. Replayed events (resume) are
+// already buffered when Subscribe returns.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// View names the subscribed view.
+func (s *Subscription) View() string { return s.view }
+
+// Snapshot returns the full-membership fallback taken at subscribe time,
+// or nil when the subscription resumed (or tailed) normally.
+func (s *Subscription) Snapshot() *Snapshot { return s.snap }
+
+// Dropped counts events evicted under PolicyDropOldest.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Err reports why the subscription ended (nil while live or after a
+// local Close).
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close detaches the subscription and closes its channel. Safe to call
+// any number of times and concurrently with publishes.
+func (s *Subscription) Close() {
+	// Unblock a publisher stuck in PolicyBlock delivery first: it holds
+	// s.mu while waiting, and releases it once done closes.
+	s.once.Do(func() { close(s.done) })
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.mu.Unlock()
+	s.hub.remove(s)
+}
+
+// deliver hands one event to the subscriber, applying the slow-consumer
+// policy. It returns false when the subscription disconnected itself
+// (PolicyDisconnect) and must be removed from the view.
+func (s *Subscription) deliver(ev Event) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return true
+	}
+	switch s.policy {
+	case PolicyDropOldest:
+		for {
+			select {
+			case s.ch <- ev:
+				return true
+			default:
+			}
+			// Full: evict the oldest undelivered event and retry. The
+			// consumer may race us draining; the loop converges because
+			// nothing but this (per-view serialized) publisher sends.
+			select {
+			case <-s.ch:
+				s.dropped++
+			default:
+			}
+		}
+	case PolicyDisconnect:
+		select {
+		case s.ch <- ev:
+			return true
+		default:
+			s.err = ErrSlowConsumer
+			s.closed = true
+			s.once.Do(func() { close(s.done) })
+			close(s.ch)
+			return false
+		}
+	default: // PolicyBlock
+		select {
+		case s.ch <- ev:
+		case <-s.done:
+			// Closing: the pending Close owns the channel teardown.
+		}
+		return true
+	}
+}

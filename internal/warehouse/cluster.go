@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gsv/internal/core"
+	"gsv/internal/feed"
 	"gsv/internal/oem"
 	"gsv/internal/query"
 	"gsv/internal/store"
@@ -22,6 +23,7 @@ type WCluster struct {
 	Cluster *core.Cluster
 	access  *RemoteAccess
 	src     SourceAPI
+	feed    *feed.Hub
 	// Stats aggregates the cluster's maintenance outcomes.
 	Stats ViewStats
 }
@@ -31,7 +33,7 @@ type WCluster struct {
 // route to clusters automatically — they have their own delegate
 // lifecycle).
 func (w *Warehouse) NewCluster(oid oem.OID) *WCluster {
-	wc := &WCluster{OID: oid, src: w.Src}
+	wc := &WCluster{OID: oid, src: w.Src, feed: w.Feed}
 	wc.access = &RemoteAccess{Src: w.Src}
 	wc.Cluster = core.NewClusterWith(oid, w.Store, core.ClusterBackend{
 		Evaluate: func(q *query.Query) ([]oem.OID, error) {
@@ -48,6 +50,9 @@ func (w *Warehouse) NewCluster(oid oem.OID) *WCluster {
 		Fetch:  wc.fetchCounted,
 		Access: wc.access,
 	})
+	wc.Cluster.Observer = func(view oem.OID, u store.Update, d core.Deltas) {
+		wc.feed.Publish(string(view), u, d)
+	}
 	return wc
 }
 
@@ -68,7 +73,13 @@ func (wc *WCluster) AddView(name string, q *query.Query) error {
 		return fmt.Errorf("warehouse: cluster view %s uses WITHIN", name)
 	}
 	wc.access.Def = def // anchor report-path shortcuts at the last-added view's entry
-	return wc.Cluster.AddView(oem.OID(name), q)
+	if err := wc.Cluster.AddView(oem.OID(name), q); err != nil {
+		return err
+	}
+	wc.feed.RegisterView(name, func() ([]oem.OID, error) {
+		return wc.Cluster.Members(oem.OID(name))
+	})
+	return nil
 }
 
 // ProcessReport maintains every member view under one update report.
@@ -119,12 +130,24 @@ func (wc *WCluster) level1Modify(u store.Update) error {
 		if err != nil {
 			return err
 		}
+		// Like WView.level1Modify, this bypasses the maintainer's Apply,
+		// so the changefeed event is published here after a membership
+		// comparison.
+		was := wc.Cluster.ContainsMember(name, y)
 		if len(remaining) > 0 {
 			if err := wc.Cluster.VInsert(name, y); err != nil {
 				return err
 			}
-		} else if err := wc.Cluster.VDelete(name, y); err != nil {
-			return err
+			if !was {
+				wc.feed.Publish(string(name), u, core.Deltas{Insert: []oem.OID{y}})
+			}
+		} else {
+			if err := wc.Cluster.VDelete(name, y); err != nil {
+				return err
+			}
+			if was {
+				wc.feed.Publish(string(name), u, core.Deltas{Delete: []oem.OID{y}})
+			}
 		}
 	}
 	// Delegate values of atomic members cannot be refreshed from a Level-1

@@ -2,13 +2,16 @@ package warehouse
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
 
+	"gsv/internal/feed"
 	"gsv/internal/oem"
 	"gsv/internal/pathexpr"
 	"gsv/internal/query"
@@ -18,15 +21,50 @@ import (
 // Server exposes a Source over TCP with a line-delimited JSON protocol,
 // and RemoteSource implements SourceAPI on the warehouse side, so the
 // unchanged Warehouse/Integrator machinery maintains views across real
-// sockets. The protocol has two connection modes, chosen by the first
+// sockets. The protocol has three connection modes, chosen by the first
 // line a client sends:
 //
 //   - "query": request/response pairs, one JSON object per line each way.
 //   - "reports": the server pushes update reports, one JSON object per
 //     line; the client never writes.
+//   - "subscribe": the client sends one feedRequest line naming a view
+//     (and optionally a resume cursor); the server answers a feedHello
+//     and then pushes one feed.Event per line (docs/CHANGEFEED.md).
 //
 // Every response and report carries the source's current sequence number,
 // which feeds the warehouse's interference detection.
+
+// maxFrame bounds one protocol line; longer frames fail the connection
+// (queries) or the decode (everything decodeFrame guards).
+const maxFrame = 1 << 20
+
+// errFrameTooLarge rejects frames longer than maxFrame.
+var errFrameTooLarge = errors.New("warehouse: frame exceeds 1MiB limit")
+
+// decodeFrame parses one line-delimited JSON frame into v. A frame is a
+// single JSON object — malformed JSON, trailing data after the object,
+// and oversized lines all error cleanly so a hostile peer can never
+// panic the server.
+func decodeFrame(line []byte, v any) error {
+	if len(line) > maxFrame {
+		return errFrameTooLarge
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("warehouse: bad frame: %w", err)
+	}
+	if dec.More() {
+		return errors.New("warehouse: trailing data after frame")
+	}
+	return nil
+}
+
+// frameScanner wraps a reader in a line scanner bounded at maxFrame.
+func frameScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4096), maxFrame)
+	return sc
+}
 
 // netRequest is one query-mode request.
 type netRequest struct {
@@ -50,11 +88,17 @@ type netResponse struct {
 // Server exposes one Source on a listener.
 type Server struct {
 	Src *Source
+	// Feed, when non-nil, enables the "subscribe" connection mode over
+	// this hub's changefeed. Set it before Serve; the serving
+	// application (cmd/gsdbserve) points it at the hub of the warehouse
+	// hosting its views.
+	Feed *feed.Hub
 
-	mu      sync.Mutex
-	ln      net.Listener
-	streams []chan []byte
-	done    chan struct{}
+	mu       sync.Mutex
+	ln       net.Listener
+	streams  []chan []byte
+	feedSubs []*feed.Subscription
+	done     chan struct{}
 }
 
 // NewServer returns a server for src. Call Serve with a listener.
@@ -93,6 +137,10 @@ func (s *Server) Close() {
 		close(ch)
 	}
 	s.streams = nil
+	for _, sub := range s.feedSubs {
+		sub.Close()
+	}
+	s.feedSubs = nil
 }
 
 // Broadcast ships update reports to every connected report stream. The
@@ -132,16 +180,27 @@ func (s *Server) handle(conn net.Conn) {
 		s.handleQueries(conn, br)
 	case "reports\n":
 		s.handleReports(conn)
+	case "subscribe\n":
+		s.handleSubscribe(conn, br)
 	}
 }
 
 func (s *Server) handleQueries(conn net.Conn, br *bufio.Reader) {
-	dec := json.NewDecoder(br)
 	enc := json.NewEncoder(conn)
-	for {
+	sc := frameScanner(br)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
 		var req netRequest
-		if err := dec.Decode(&req); err != nil {
-			return // disconnect or garbage: drop the connection
+		if err := decodeFrame(line, &req); err != nil {
+			// A malformed frame gets an error response; the connection
+			// survives because framing is still intact (line-delimited).
+			if err := enc.Encode(netResponse{Err: err.Error(), Seq: s.Src.Store.Seq()}); err != nil {
+				return
+			}
+			continue
 		}
 		resp := s.dispatch(req)
 		resp.Seq = s.Src.Store.Seq()
@@ -228,6 +287,247 @@ func (s *Server) handleReports(conn net.Conn) {
 		}
 	}
 }
+
+// feedRequest is the first (and only) frame a subscribe-mode client
+// sends: which view to follow and how.
+type feedRequest struct {
+	// View names the feed to follow.
+	View string `json:"view"`
+	// Resume, when true, asks for replay of every event after From.
+	Resume bool `json:"resume,omitempty"`
+	// From is the last cursor the client consumed; meaningful only with
+	// Resume.
+	From uint64 `json:"from,omitempty"`
+	// Snapshot requests a full-membership snapshot instead of an error
+	// when the resume cursor has been evicted from the replay ring.
+	Snapshot bool `json:"snapshot,omitempty"`
+	// Policy selects the slow-consumer policy ("block", "drop-oldest",
+	// "disconnect"); empty means the hub default.
+	Policy string `json:"policy,omitempty"`
+	// Buffer sizes the per-subscriber channel; 0 means the hub default.
+	Buffer int `json:"buffer,omitempty"`
+}
+
+// FeedSnapshot carries a full view membership when a resume cursor has
+// expired and the client asked for snapshot fallback.
+type FeedSnapshot struct {
+	// Cursor is the feed position the membership corresponds to; resume
+	// from it after applying Members.
+	Cursor uint64 `json:"cursor"`
+	// Members is the complete view membership at Cursor.
+	Members []oem.OID `json:"members"`
+}
+
+// feedHello is the server's first frame in subscribe mode. Either Err is
+// set (and the connection closes), or the subscription is live.
+type feedHello struct {
+	Err string `json:"err,omitempty"`
+	// Expired marks Err as a cursor-expiry (feed.ErrCursorExpired), so
+	// clients can distinguish "resubscribe with snapshot" from fatal
+	// errors.
+	Expired bool   `json:"expired,omitempty"`
+	View    string `json:"view,omitempty"`
+	// Cursor is the feed's current position at subscribe time.
+	Cursor uint64 `json:"cursor"`
+	// Oldest is the oldest cursor still in the replay ring.
+	Oldest uint64 `json:"oldest"`
+	// Snapshot is present when the resume cursor was evicted and the
+	// client asked for snapshot fallback.
+	Snapshot *FeedSnapshot `json:"snapshot,omitempty"`
+}
+
+func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
+	enc := json.NewEncoder(conn)
+	s.mu.Lock()
+	hub := s.Feed
+	s.mu.Unlock()
+	if hub == nil {
+		_ = enc.Encode(feedHello{Err: "warehouse: server has no feed"})
+		return
+	}
+	sc := frameScanner(br)
+	if !sc.Scan() {
+		return
+	}
+	var req feedRequest
+	if err := decodeFrame(sc.Bytes(), &req); err != nil {
+		_ = enc.Encode(feedHello{Err: err.Error()})
+		return
+	}
+	policy, err := feed.ParsePolicy(req.Policy)
+	if err != nil {
+		_ = enc.Encode(feedHello{Err: err.Error()})
+		return
+	}
+	sub, err := hub.Subscribe(req.View, feed.SubOptions{
+		Resume:           req.Resume,
+		From:             req.From,
+		Buffer:           req.Buffer,
+		Policy:           policy,
+		HasPolicy:        req.Policy != "",
+		SnapshotOnExpire: req.Snapshot,
+	})
+	if err != nil {
+		_ = enc.Encode(feedHello{Err: err.Error(), Expired: errors.Is(err, feed.ErrCursorExpired)})
+		return
+	}
+	defer sub.Close()
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	s.feedSubs = append(s.feedSubs, sub)
+	s.mu.Unlock()
+
+	hello := feedHello{View: req.View}
+	hello.Cursor, _ = hub.Cursor(req.View)
+	hello.Oldest = hub.OldestRetained(req.View)
+	if snap := sub.Snapshot(); snap != nil {
+		hello.Snapshot = &FeedSnapshot{Cursor: snap.Cursor, Members: snap.Members}
+	}
+	if err := enc.Encode(hello); err != nil {
+		return
+	}
+	// Drain the client side so a peer disconnect tears the subscription
+	// down even while the event loop is idle (or blocked publishing).
+	go func() {
+		_, _ = io.Copy(io.Discard, br)
+		sub.Close()
+	}()
+	for ev := range sub.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+}
+
+// FeedRequest configures DialFeed.
+type FeedRequest struct {
+	// View names the feed to follow.
+	View string
+	// Resume asks for replay of every event after From.
+	Resume bool
+	// From is the last cursor consumed; meaningful only with Resume.
+	From uint64
+	// Snapshot requests full-membership fallback when From has been
+	// evicted from the server's replay ring.
+	Snapshot bool
+	// Policy selects the server-side slow-consumer policy ("block",
+	// "drop-oldest", "disconnect"); empty means the server default.
+	Policy string
+	// Buffer sizes the server-side subscriber channel; 0 means default.
+	Buffer int
+}
+
+// FeedClient follows one view's changefeed over TCP (subscribe mode).
+type FeedClient struct {
+	// View is the followed view's name.
+	View string
+	// Cursor was the feed position at subscribe time.
+	Cursor uint64
+	// Oldest was the oldest replayable cursor at subscribe time.
+	Oldest uint64
+	// Snapshot is non-nil when the server answered a resume with a full
+	// membership snapshot (the requested cursor had expired).
+	Snapshot *FeedSnapshot
+
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+// DialFeed opens a subscribe-mode connection for one view. When the
+// server reports that the resume cursor has expired and no snapshot was
+// requested, the returned error wraps feed.ErrCursorExpired so callers
+// can retry with FeedRequest.Snapshot set.
+func DialFeed(addr string, req FeedRequest) (*FeedClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.WriteString(conn, "subscribe\n"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	frame, err := json.Marshal(feedRequest{
+		View:     req.View,
+		Resume:   req.Resume,
+		From:     req.From,
+		Snapshot: req.Snapshot,
+		Policy:   req.Policy,
+		Buffer:   req.Buffer,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Write(append(frame, '\n')); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sc := frameScanner(conn)
+	if !sc.Scan() {
+		conn.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("warehouse: feed handshake: %w", err)
+		}
+		return nil, errors.New("warehouse: feed handshake: connection closed")
+	}
+	var hello feedHello
+	if err := decodeFrame(sc.Bytes(), &hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if hello.Err != "" {
+		conn.Close()
+		// hello.Err already carries the hub's "feed: ..." prefix.
+		if hello.Expired {
+			return nil, &feedExpiredError{msg: "warehouse: " + hello.Err}
+		}
+		return nil, fmt.Errorf("warehouse: %s", hello.Err)
+	}
+	return &FeedClient{
+		View:     hello.View,
+		Cursor:   hello.Cursor,
+		Oldest:   hello.Oldest,
+		Snapshot: hello.Snapshot,
+		conn:     conn,
+		sc:       sc,
+	}, nil
+}
+
+// feedExpiredError carries the server's expired-cursor message while
+// keeping errors.Is(err, feed.ErrCursorExpired) true across the wire,
+// without repeating the sentinel's text in the rendered message.
+type feedExpiredError struct{ msg string }
+
+func (e *feedExpiredError) Error() string { return e.msg }
+func (e *feedExpiredError) Unwrap() error { return feed.ErrCursorExpired }
+
+// Next blocks for the next event. It returns io.EOF when the server
+// closes the stream.
+func (fc *FeedClient) Next() (feed.Event, error) {
+	for fc.sc.Scan() {
+		line := fc.sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev feed.Event
+		if err := decodeFrame(line, &ev); err != nil {
+			return feed.Event{}, err
+		}
+		return ev, nil
+	}
+	if err := fc.sc.Err(); err != nil {
+		return feed.Event{}, err
+	}
+	return feed.Event{}, io.EOF
+}
+
+// Close disconnects the feed.
+func (fc *FeedClient) Close() { _ = fc.conn.Close() }
 
 // RemoteSource implements SourceAPI over two TCP connections to a Server.
 // All traffic is charged to a local Transport with the *actual* payload

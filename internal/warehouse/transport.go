@@ -15,6 +15,7 @@ package warehouse
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -22,7 +23,15 @@ import (
 // bytes — sources and the warehouse share a process — but every query back
 // to a source and every update report passes through RoundTrip or OneWay,
 // so the counters faithfully reflect what a real deployment would ship.
+//
+// A transport built with NewTransport is safe for concurrent use: over TCP
+// the report-reader goroutine charges OneWay while the maintenance path
+// charges RoundTrip. Values returned by Snapshot and Sub are plain,
+// unsynchronized copies for diffing.
 type Transport struct {
+	// mu guards the counters on live transports; it is nil on the value
+	// copies Snapshot and Sub hand out, where lock/unlock are no-ops.
+	mu *sync.Mutex
 	// Messages counts all messages in either direction.
 	Messages int
 	// QueryBacks counts request/response query pairs sent to sources.
@@ -40,11 +49,25 @@ type Transport struct {
 // NewTransport returns a transport charging the given latency per round
 // trip. A zero latency still counts messages and bytes.
 func NewTransport(rtt time.Duration) *Transport {
-	return &Transport{RoundTripLatency: rtt}
+	return &Transport{mu: new(sync.Mutex), RoundTripLatency: rtt}
+}
+
+func (t *Transport) lock() {
+	if t.mu != nil {
+		t.mu.Lock()
+	}
+}
+
+func (t *Transport) unlock() {
+	if t.mu != nil {
+		t.mu.Unlock()
+	}
 }
 
 // RoundTrip records one query to a source and its response.
 func (t *Transport) RoundTrip(reqBytes, respBytes, objects int) {
+	t.lock()
+	defer t.unlock()
 	t.Messages += 2
 	t.QueryBacks++
 	t.ObjectsShipped += objects
@@ -54,6 +77,8 @@ func (t *Transport) RoundTrip(reqBytes, respBytes, objects int) {
 
 // OneWay records one pushed message (an update report).
 func (t *Transport) OneWay(bytes, objects int) {
+	t.lock()
+	defer t.unlock()
 	t.Messages++
 	t.ObjectsShipped += objects
 	t.Bytes += bytes
@@ -62,10 +87,18 @@ func (t *Transport) OneWay(bytes, objects int) {
 }
 
 // Snapshot returns a copy of the counters for diffing around an operation.
-func (t *Transport) Snapshot() Transport { return *t }
+func (t *Transport) Snapshot() Transport {
+	t.lock()
+	defer t.unlock()
+	c := *t
+	c.mu = nil
+	return c
+}
 
 // Sub returns the counter difference t - earlier.
 func (t *Transport) Sub(earlier Transport) Transport {
+	t.lock()
+	defer t.unlock()
 	return Transport{
 		Messages:       t.Messages - earlier.Messages,
 		QueryBacks:     t.QueryBacks - earlier.QueryBacks,
@@ -77,6 +110,8 @@ func (t *Transport) Sub(earlier Transport) Transport {
 
 // String renders the counters.
 func (t *Transport) String() string {
+	t.lock()
+	defer t.unlock()
 	return fmt.Sprintf("msgs=%d queries=%d objects=%d bytes=%d vtime=%s",
 		t.Messages, t.QueryBacks, t.ObjectsShipped, t.Bytes, t.VirtualTime)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gsv/internal/core"
+	"gsv/internal/feed"
 	"gsv/internal/oem"
 	"gsv/internal/pathexpr"
 	"gsv/internal/query"
@@ -234,6 +235,7 @@ type WView struct {
 	Config ViewConfig
 	Stats  ViewStats
 
+	feed       *feed.Hub
 	fullLabels map[string]bool
 }
 
@@ -243,6 +245,11 @@ type WView struct {
 type Warehouse struct {
 	Src   SourceAPI
 	Store *store.Store
+	// Feed is the warehouse's view-delta changefeed: every maintained
+	// view (all cache modes, and cluster member views) publishes its
+	// applied membership deltas here automatically. Replace it before
+	// the first DefineView/NewCluster call to use non-default options.
+	Feed  *feed.Hub
 	views map[string]*WView
 }
 
@@ -253,6 +260,7 @@ func New(src SourceAPI) *Warehouse {
 		Store: store.New(store.Options{
 			ParentIndex: true, LabelIndex: true, AllowDangling: true,
 		}),
+		Feed:  feed.NewHub(feed.Options{}),
 		views: make(map[string]*WView),
 	}
 }
@@ -302,10 +310,12 @@ func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WV
 		}
 	}
 	access := &RemoteAccess{Src: w.Src, Def: def, Cache: cache}
-	maint := &core.SimpleMaintainer{View: mv, Def: def, Access: access}
+	maint := &core.SimpleMaintainer{View: mv, Def: def, Access: access,
+		Observer: w.Feed.Observer(name)}
+	w.Feed.RegisterView(name, mv.Members)
 	v := &WView{
 		Name: name, MV: mv, Def: def, Access: access, Maint: maint,
-		Cache: cache, Config: cfg, fullLabels: map[string]bool{},
+		Cache: cache, Config: cfg, feed: w.Feed, fullLabels: map[string]bool{},
 	}
 	for _, l := range def.FullPath() {
 		v.fullLabels[l] = true
@@ -470,12 +480,24 @@ func (v *WView) level1Modify(u store.Update, src SourceAPI) error {
 			if err != nil {
 				return err
 			}
+			// The recheck path bypasses SimpleMaintainer.Apply, so the
+			// changefeed event is published here; membership is compared
+			// first to keep the stream free of idempotent re-announcements.
+			was := v.MV.Contains(y)
 			if len(remaining) > 0 {
 				if err := v.Maint.VInsert(y); err != nil {
 					return err
 				}
-			} else if err := v.Maint.VDelete(y); err != nil {
-				return err
+				if !was {
+					v.feed.Publish(v.Name, u, core.Deltas{Insert: []oem.OID{y}})
+				}
+			} else {
+				if err := v.Maint.VDelete(y); err != nil {
+					return err
+				}
+				if was {
+					v.feed.Publish(v.Name, u, core.Deltas{Delete: []oem.OID{y}})
+				}
 			}
 		}
 	}

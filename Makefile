@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz fmt vet ci demo-feed clean
+.PHONY: all build test race cover bench bench-json experiments examples fuzz fmt vet ci demo-feed clean
 
 all: build vet test
 
@@ -35,6 +35,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark report: experiment tables plus the E1
+# maintenance micro-benchmarks, written to BENCH_<timestamp>.json
+# (schema documented in EXPERIMENTS.md). CI uploads one per run.
+bench-json:
+	$(GO) run ./cmd/benchviews -e E1 -updates 300 -json
 
 # The paper-reproduction tables (EXPERIMENTS.md records a run).
 experiments:

@@ -1,0 +1,206 @@
+// JSON report mode: -json writes the experiment tables plus a set of
+// Go micro-benchmarks to a machine-readable file (BENCH_<timestamp>.json
+// by default; schema documented in EXPERIMENTS.md). CI uploads the file
+// as an artifact so runs can be compared across commits.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gsv/internal/core"
+	"gsv/internal/experiments"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// benchSchema names the report layout; bump it when fields change shape.
+const benchSchema = "gsv-bench/1"
+
+// benchReport is the top-level document written by -json.
+type benchReport struct {
+	Schema string    `json:"schema"`
+	Date   time.Time `json:"date"`
+	Go     string    `json:"go"`
+	OS     string    `json:"os"`
+	Arch   string    `json:"arch"`
+	CPUs   int       `json:"cpus"`
+	Config struct {
+		Scale   int   `json:"scale"`
+		Updates int   `json:"updates"`
+		Seed    int64 `json:"seed"`
+	} `json:"config"`
+	Tables     []benchTable  `json:"tables"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+type benchTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Caption string     `json:"caption,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// writeJSONReport runs the micro-benchmarks and writes the full report.
+func writeJSONReport(path string, cfg experiments.Config, tables []*experiments.Table) error {
+	var doc benchReport
+	doc.Schema = benchSchema
+	doc.Date = time.Now().UTC()
+	doc.Go = runtime.Version()
+	doc.OS = runtime.GOOS
+	doc.Arch = runtime.GOARCH
+	doc.CPUs = runtime.NumCPU()
+	doc.Config.Scale = cfg.Scale
+	doc.Config.Updates = cfg.Updates
+	doc.Config.Seed = cfg.Seed
+
+	for _, t := range tables {
+		doc.Tables = append(doc.Tables, benchTable{
+			ID: t.ID, Title: t.Title, Caption: t.Caption,
+			Headers: t.Headers, Rows: t.Rows,
+		})
+	}
+
+	for _, mb := range microBenchmarks() {
+		r := testing.Benchmark(mb.run)
+		res := benchResult{
+			Name:        mb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := encodeReport(f, &doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func encodeReport(w io.Writer, doc *benchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// microBenchmarks replicates the E1-style maintenance micro-benchmarks
+// from the root package's bench_test.go (test files are not importable,
+// so the fixtures are rebuilt here from the same workload primitives).
+func microBenchmarks() []struct {
+	name string
+	run  func(b *testing.B)
+} {
+	const benchView = "SELECT REL.r0.tuple X WHERE X.age > 30"
+	fixture := func(b *testing.B, tuples int) (*store.Store, []oem.OID, []oem.OID) {
+		b.Helper()
+		s := store.NewDefault()
+		db := workload.RelationLike(s, workload.RelationConfig{
+			Relations: 2, TuplesPerRelation: tuples, FieldsPerTuple: 3, Seed: 7,
+		})
+		var sets, atoms []oem.OID
+		for _, r := range db.Relations {
+			sets = append(sets, r.OID)
+			sets = append(sets, r.Tuples...)
+			for _, tu := range r.Tuples {
+				kids, _ := s.Children(tu)
+				atoms = append(atoms, kids...)
+			}
+		}
+		return s, sets, atoms
+	}
+	incremental := func(tuples int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			s, sets, atoms := fixture(b, tuples)
+			vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+			mv, err := core.Materialize("V", query.MustParse(benchView), s, vstore)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := core.NewSimpleMaintainer(mv, core.NewCentralAccess(s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 60}, sets, atoms)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				us, ok := stream.Next()
+				if !ok {
+					b.Fatal("stream exhausted")
+				}
+				for _, u := range us {
+					if err := m.Apply(u); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	recompute := func(tuples int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			s, sets, atoms := fixture(b, tuples)
+			vstore := store.New(store.Options{ParentIndex: true, AllowDangling: true})
+			mv, err := core.Materialize("V", query.MustParse(benchView), s, vstore)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 60}, sets, atoms)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := stream.Next(); !ok {
+					b.Fatal("stream exhausted")
+				}
+				if err := mv.Recompute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"E1IncrementalMaintenance/tuples=100", incremental(100)},
+		{"E1IncrementalMaintenance/tuples=1000", incremental(1000)},
+		{"E1Recompute/tuples=100", recompute(100)},
+		{"E1Recompute/tuples=1000", recompute(1000)},
+	}
+}
+
+// defaultJSONPath names the report file after the wall clock, matching
+// the BENCH_<timestamp>.json convention in EXPERIMENTS.md.
+func defaultJSONPath(now time.Time) string {
+	return fmt.Sprintf("BENCH_%s.json", now.UTC().Format("20060102T150405"))
+}

@@ -2,9 +2,15 @@
 // prints their tables (see DESIGN.md §4 for the experiment index and
 // EXPERIMENTS.md for a recorded run).
 //
+// With -json the tables plus a set of E1 maintenance micro-benchmarks
+// are written to a machine-readable report (BENCH_<timestamp>.json, or
+// -out PATH); EXPERIMENTS.md documents the schema and `make bench-json`
+// is the one-command entry point.
+//
 // Usage:
 //
 //	benchviews [-e E1,E4] [-scale N] [-updates N] [-seed N] [-markdown]
+//	benchviews -e E1 -json [-out bench.json]
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gsv/internal/experiments"
 )
@@ -23,6 +30,8 @@ func main() {
 		updates  = flag.Int("updates", 400, "updates per measured stream")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+		jsonOut  = flag.Bool("json", false, "write tables + micro-benchmarks to a JSON report instead of stdout")
+		outPath  = flag.String("out", "", "JSON report path (default BENCH_<timestamp>.json)")
 	)
 	flag.Parse()
 
@@ -50,21 +59,35 @@ func main() {
 		{"E10", experiments.E10DataGuide},
 		{"E11", experiments.E11WireValidation},
 	}
-	ran := 0
+	var tables []*experiments.Table
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.id] {
 			continue
 		}
 		t := r.run(cfg)
-		if *markdown {
+		tables = append(tables, t)
+		switch {
+		case *jsonOut:
+			// Collected into the report below.
+		case *markdown:
 			t.Markdown(os.Stdout)
-		} else {
+		default:
 			t.Write(os.Stdout)
 		}
-		ran++
 	}
-	if ran == 0 {
+	if len(tables) == 0 {
 		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E11)\n", *only)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		path := *outPath
+		if path == "" {
+			path = defaultJSONPath(time.Now())
+		}
+		if err := writeJSONReport(path, cfg, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "benchviews: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d tables, E1 micro-benchmarks)\n", path, len(tables))
 	}
 }

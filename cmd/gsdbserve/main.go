@@ -16,6 +16,13 @@
 //	gsdbserve -addr :7070 -snapshot db.gsv -root ROOT
 //	gsdbserve -addr :7070 -sample relations -updates 200 \
 //	          -feed 'HOT=SELECT REL.r0.tuple X WHERE X.age > 30'
+//	gsdbserve -addr :7070 -sample relations -updates 200 \
+//	          -feed 'HOT=...' -debugaddr 127.0.0.1:8080
+//
+// With -debugaddr the server additionally serves /metrics (Prometheus
+// text format), /debug/vars (expvar) and /debug/pprof over HTTP, and the
+// same registry is available to remote clients through the "stats" wire
+// request (gsdbwatch -stats); see docs/OBSERVABILITY.md.
 //
 // Every applied update is broadcast to connected report streams; progress
 // is logged to stderr.
@@ -25,11 +32,13 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"gsv/internal/feed"
+	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/query"
 	"gsv/internal/store"
@@ -60,6 +69,7 @@ func main() {
 		interval = flag.Duration("interval", 250*time.Millisecond, "delay between driven updates")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		feedRing = flag.Int("feedring", 1024, "changefeed replay ring size per view")
+		debug    = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	)
 	flag.Var(&feeds, "feed", "host a warehouse view NAME=QUERY and expose its changefeed (repeatable)")
 	flag.Parse()
@@ -109,14 +119,25 @@ func main() {
 	src.DrainReports()
 	server := warehouse.NewServer(src)
 
+	// The metrics registry is always live (atomic counters cost nothing to
+	// keep); -debugaddr and the stats wire request expose it.
+	reg := obs.NewRegistry()
+	src.RegisterObs(reg)
+	tr.RegisterObs(reg, "source")
+	server.Obs = reg
+
 	// -feed views live in a warehouse co-located with the source; their
 	// maintenance publishes into the hub the server exposes in subscribe
 	// mode. The hub must be sized before the first DefineView registers
-	// with it.
+	// with it, and observability enabled before views register their
+	// instruments.
 	var lw *warehouse.Warehouse
 	if len(feeds) > 0 {
 		lw = warehouse.New(src)
 		lw.Feed = feed.NewHub(feed.Options{RingSize: *feedRing})
+		lw.Feed.RegisterObs(reg)
+		lw.EnableObs(reg)
+		server.Traces = lw.Traces
 		for _, spec := range feeds {
 			name, qs, ok := strings.Cut(spec, "=")
 			if !ok {
@@ -132,6 +153,17 @@ func main() {
 			log.Printf("feed %s: %s", name, qs)
 		}
 		server.Feed = lw.Feed
+	}
+
+	if *debug != "" {
+		reg.PublishExpvar("gsv")
+		mux := obs.DebugMux(reg)
+		go func() {
+			log.Printf("debug http on %s (/metrics, /debug/vars, /debug/pprof)", *debug)
+			if err := http.ListenAndServe(*debug, mux); err != nil {
+				log.Printf("debug http: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

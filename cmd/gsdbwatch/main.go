@@ -16,6 +16,13 @@
 //	          [-cache full|partial|none] [-for 30s]
 //	gsdbwatch -addr 127.0.0.1:7070 -follow HOT [-from N] [-snapshot] \
 //	          [-policy block|drop|disconnect] [-events N] [-for 30s]
+//	gsdbwatch -addr 127.0.0.1:7070 -stats [-watch] [-every 2s] [-for 30s]
+//
+// -stats fetches the server's metrics registry and recent maintenance
+// traces over the wire (gsdbserve with observability; see
+// docs/OBSERVABILITY.md) and renders per-view stats; -watch refreshes
+// every -every until -for elapses. A server that predates the stats
+// request is reported as such instead of printing zeros.
 //
 // -from -1 (default) tails from now; -from 0 replays the whole retained
 // history; -from N resumes after cursor N. When the cursor has been
@@ -30,10 +37,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"gsv/internal/feed"
+	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/query"
 	"gsv/internal/warehouse"
@@ -50,8 +59,21 @@ func main() {
 		snap    = flag.Bool("snapshot", false, "fall back to a full snapshot when the resume cursor has expired")
 		policy  = flag.String("policy", "", "slow-consumer policy to request: block|drop|disconnect (server default when empty)")
 		nevents = flag.Int("events", 0, "stop -follow after this many events (0 = until -for elapses)")
+		stats   = flag.Bool("stats", false, "fetch and render the server's per-view stats instead of watching a view")
+		watch   = flag.Bool("watch", false, "with -stats, refresh until -for elapses")
+		every   = flag.Duration("every", 2*time.Second, "refresh interval for -stats -watch")
 	)
 	flag.Parse()
+
+	if *stats {
+		err := runStats(os.Stdout, statsConfig{
+			addr: *addr, watch: *watch, every: *every, dur: *dur,
+		})
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		return
+	}
 
 	if *follow != "" {
 		err := followFeed(os.Stdout, followConfig{
@@ -144,7 +166,7 @@ func watchView(out io.Writer, cfg watchConfig) error {
 	}
 	fmt.Fprintf(out, "\nwatched %d reports; wire traffic: %s\n", seen, tr)
 	fmt.Fprintf(out, "view stats: %d reports, %d screened, %d fully local, %d query backs\n",
-		v.Stats.Reports, v.Stats.Screened, v.Stats.LocalOnly, v.Stats.QueryBacks)
+		v.Stats.Reports.Value(), v.Stats.Screened.Value(), v.Stats.LocalOnly.Value(), v.Stats.QueryBacks.Value())
 	return nil
 }
 
@@ -159,6 +181,96 @@ func printMembers(out io.Writer, v *warehouse.WView, last []oem.OID) ([]oem.OID,
 	}
 	fmt.Fprintf(out, "value(WATCH) = %v\n", members)
 	return members, nil
+}
+
+// statsConfig parameterizes -stats mode.
+type statsConfig struct {
+	addr  string
+	watch bool
+	every time.Duration
+	dur   time.Duration
+	// maxRounds stops -watch after this many renders; 0 means until dur
+	// elapses. Tests use it for determinism.
+	maxRounds int
+}
+
+// runStats fetches the server's registry snapshot and recent traces over
+// the wire and renders per-view stats, optionally refreshing.
+func runStats(out io.Writer, cfg statsConfig) error {
+	remote, err := warehouse.Dial("gsdbserve", cfg.addr, warehouse.NewTransport(0))
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", cfg.addr, err)
+	}
+	defer remote.Close()
+
+	deadline := time.Now().Add(cfg.dur)
+	rounds := 0
+	for {
+		payload, err := remote.FetchStats()
+		if err != nil {
+			if errors.Is(err, warehouse.ErrUnsupportedRequest) {
+				return fmt.Errorf("the server at %s does not support the stats request — it predates the observability protocol; upgrade gsdbserve or use -view/-follow instead", cfg.addr)
+			}
+			return err
+		}
+		renderStats(out, payload)
+		rounds++
+		if !cfg.watch || (cfg.maxRounds > 0 && rounds >= cfg.maxRounds) || !time.Now().Before(deadline) {
+			return nil
+		}
+		time.Sleep(cfg.every)
+	}
+}
+
+// renderStats prints one per-view stats table plus the most recent
+// maintenance traces from a stats payload.
+func renderStats(out io.Writer, p *warehouse.StatsPayload) {
+	views := map[string]bool{}
+	var order []string
+	for _, m := range p.Registry.Metrics {
+		if m.Name != "gsv_view_reports_total" {
+			continue
+		}
+		if v := m.Labels["view"]; v != "" && !views[v] {
+			views[v] = true
+			order = append(order, v)
+		}
+	}
+	sort.Strings(order)
+	fmt.Fprintf(out, "server stats @ %s\n", p.Registry.TakenAt.Format(time.RFC3339))
+	if len(order) == 0 {
+		fmt.Fprintln(out, "no views registered")
+	} else {
+		fmt.Fprintf(out, "%-12s %8s %8s %8s %8s %8s %8s %12s\n",
+			"VIEW", "REPORTS", "SCREENED", "LOCAL", "QBACKS", "INS", "DEL", "AVG-MAINT")
+		for _, view := range order {
+			get := func(name string) float64 {
+				mp, _ := p.Registry.Get(name, obs.L("view", view))
+				return mp.Value
+			}
+			avg := "-"
+			if mp, ok := p.Registry.Get("gsv_view_maintain_seconds", obs.L("view", view)); ok && mp.Count > 0 {
+				avg = fmt.Sprintf("%.1fµs", mp.Sum/float64(mp.Count)*1e6)
+			}
+			fmt.Fprintf(out, "%-12s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %12s\n",
+				view,
+				get("gsv_view_reports_total"), get("gsv_view_screened_total"),
+				get("gsv_view_local_only_total"), get("gsv_view_query_backs_total"),
+				get("gsv_view_delta_inserts_total"), get("gsv_view_delta_deletes_total"), avg)
+		}
+	}
+	if n := len(p.Traces); n > 0 {
+		show := p.Traces
+		if len(show) > 5 {
+			show = show[len(show)-5:]
+		}
+		fmt.Fprintf(out, "recent traces (%d retained):\n", n)
+		for _, tr := range show {
+			fmt.Fprintf(out, "  seq=%d %s view=%s outcome=%s qbacks=%d helpers=%d +%d -%d %.1fµs\n",
+				tr.Seq, tr.Kind, tr.View, tr.Outcome, tr.QueryBacks,
+				tr.Helpers.Total(), tr.Inserts, tr.Deletes, float64(tr.TotalNanos)/1e3)
+		}
+	}
 }
 
 // followConfig parameterizes -follow mode.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gsv/internal/feed"
+	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/query"
 	"gsv/internal/store"
@@ -193,6 +194,62 @@ func TestWatchViewOverTCP(t *testing.T) {
 	}
 	if !strings.Contains(got, "view stats:") || !strings.Contains(got, "watched") {
 		t.Fatalf("no summary output:\n%s", got)
+	}
+}
+
+func TestStatsRendersViewTable(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+	reg := obs.NewRegistry()
+	// Enable observability after the view exists: EnableObs is wired at
+	// DefineView time in gsdbserve, but registration is idempotent enough
+	// for the test to re-register the existing view's instruments.
+	lw.Feed.RegisterObs(reg)
+	lw.EnableObs(reg)
+	server.Obs = reg
+	server.Traces = lw.Traces
+	toggle(t, src, lw, server, 4)
+
+	var out strings.Builder
+	err := runStats(&out, statsConfig{addr: addr, dur: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"server stats @", "VIEW", "YP", "recent traces"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestStatsWatchRefreshes(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+	reg := obs.NewRegistry()
+	lw.Feed.RegisterObs(reg)
+	lw.EnableObs(reg)
+	server.Obs = reg
+	server.Traces = lw.Traces
+	toggle(t, src, lw, server, 2)
+
+	var out strings.Builder
+	err := runStats(&out, statsConfig{
+		addr: addr, watch: true, every: time.Millisecond, dur: 5 * time.Second, maxRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "server stats @"); got != 3 {
+		t.Fatalf("rendered %d rounds, want 3:\n%s", got, out.String())
+	}
+}
+
+func TestStatsAgainstServerWithoutRegistry(t *testing.T) {
+	// startServer wires no registry: the stats mode must report that
+	// clearly rather than render an empty table.
+	_, _, _, addr := startServer(t, 16)
+	err := runStats(&strings.Builder{}, statsConfig{addr: addr, dur: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "no stats registry") {
+		t.Fatalf("no-registry error = %v", err)
 	}
 }
 

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/pathexpr"
 	"gsv/internal/store"
@@ -44,6 +46,22 @@ type SimpleMaintainer struct {
 	// Observer, when non-nil, receives the membership deltas each Apply
 	// actually performed.
 	Observer DeltaObserver
+	// Metrics, when non-nil, records per-stage timings and applied delta
+	// counts for each Apply. Nil means no instrumentation and no clock
+	// reads on the maintenance path.
+	Metrics *MaintainerMetrics
+}
+
+// MaintainerMetrics instruments a maintainer's Apply: how long Algorithm
+// 1's delta derivation takes (ComputeLatency), how long applying the
+// deltas and refreshing the delegate takes (ApplyLatency), and how many
+// membership changes were actually performed. Any field may be nil; the
+// obs instruments are nil-safe.
+type MaintainerMetrics struct {
+	ComputeLatency *obs.Histogram
+	ApplyLatency   *obs.Histogram
+	Inserts        *obs.Counter
+	Deletes        *obs.Counter
 }
 
 // NewSimpleMaintainer builds Algorithm 1 for mv, classifying its query as
@@ -70,9 +88,18 @@ func (d Deltas) Empty() bool { return len(d.Insert) == 0 && len(d.Delete) == 0 }
 // Apply implements Maintainer: it computes the membership deltas, applies
 // them with V_insert/V_delete, then refreshes the touched delegate value.
 func (m *SimpleMaintainer) Apply(u store.Update) error {
+	var t0 time.Time
+	if m.Metrics != nil {
+		t0 = time.Now()
+	}
 	d, err := m.ComputeDeltas(u)
 	if err != nil {
 		return err
+	}
+	if m.Metrics != nil {
+		now := time.Now()
+		m.Metrics.ComputeLatency.Observe(now.Sub(t0).Seconds())
+		t0 = now
 	}
 	var applied Deltas
 	for _, y := range d.Insert {
@@ -95,6 +122,11 @@ func (m *SimpleMaintainer) Apply(u store.Update) error {
 	}
 	if err := m.refreshDelegate(u); err != nil {
 		return err
+	}
+	if m.Metrics != nil {
+		m.Metrics.ApplyLatency.Observe(time.Since(t0).Seconds())
+		m.Metrics.Inserts.Add(uint64(len(applied.Insert)))
+		m.Metrics.Deletes.Add(uint64(len(applied.Delete)))
 	}
 	if m.Observer != nil {
 		m.Observer(m.View.OID, u, applied)

@@ -69,8 +69,8 @@ func runWarehouse(cfg Config, level warehouse.ReportLevel, vcfg warehouse.ViewCo
 		QueryBacks: float64(used.QueryBacks) / n,
 		Objects:    float64(used.ObjectsShipped) / n,
 		Bytes:      float64(used.Bytes) / n,
-		Screened:   float64(v.Stats.Screened) / n,
-		LocalFrac:  float64(v.Stats.LocalOnly) / float64(max(1, v.Stats.Reports)),
+		Screened:   float64(v.Stats.Screened.Value()) / n,
+		LocalFrac:  float64(v.Stats.LocalOnly.Value()) / float64(max(1, int(v.Stats.Reports.Value()))),
 	}
 	if v.Cache != nil {
 		out.CacheBytes = v.Cache.Bytes()

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gsv/internal/core"
+	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/store"
 )
@@ -18,6 +19,7 @@ type Hub struct {
 
 	mu    sync.Mutex
 	views map[string]*viewFeed
+	reg   *obs.Registry // nil until RegisterObs
 }
 
 // viewFeed is one view's cursor, ring and subscribers.
@@ -34,6 +36,16 @@ type viewFeed struct {
 	// snapshot answers the full current membership for the
 	// expired-cursor fallback; nil when the view was never registered.
 	snapshot func() ([]oem.OID, error)
+
+	// Instruments are always allocated (value fields, atomic, no lock)
+	// and updated unconditionally; RegisterObs merely exposes them on a
+	// registry. Because reads are atomic, a metrics scrape never takes
+	// Hub.mu — no lock-order interaction with the publish path.
+	events      obs.Counter // events published to this view
+	dropped     obs.Counter // events evicted under PolicyDropOldest
+	occupancy   obs.Gauge   // events currently retained in the ring
+	subscribers obs.Gauge   // attached subscriptions
+	maxLag      obs.Gauge   // most undelivered events buffered by any subscriber
 }
 
 // NewHub returns an empty hub.
@@ -51,8 +63,42 @@ func (h *Hub) feedLocked(name string) *viewFeed {
 			subs: make(map[*Subscription]struct{}),
 		}
 		h.views[name] = vf
+		h.registerFeedLocked(name, vf)
 	}
 	return vf
+}
+
+// RegisterObs exposes every view feed's instruments on reg: event and
+// drop counters, ring occupancy, subscriber count and the worst
+// subscriber lag, all labeled by view. Feeds created later register
+// automatically. The instruments are live either way; registration only
+// adds exposition.
+func (h *Hub) RegisterObs(reg *obs.Registry) {
+	reg.Help("gsv_feed_events_total", "delta events published to the view's feed")
+	reg.Help("gsv_feed_dropped_total", "events evicted by the drop-oldest slow-consumer policy")
+	reg.Help("gsv_feed_ring_occupancy", "events currently retained in the replay ring")
+	reg.Help("gsv_feed_subscribers", "subscriptions attached to the view's feed")
+	reg.Help("gsv_feed_max_lag", "most undelivered events buffered by any subscriber")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reg = reg
+	for name, vf := range h.views {
+		h.registerFeedLocked(name, vf)
+	}
+}
+
+// registerFeedLocked adopts one feed's instruments into the hub's
+// registry, if any. Callers hold h.mu.
+func (h *Hub) registerFeedLocked(name string, vf *viewFeed) {
+	if h.reg == nil {
+		return
+	}
+	lv := obs.L("view", name)
+	h.reg.RegisterCounter("gsv_feed_events_total", &vf.events, lv)
+	h.reg.RegisterCounter("gsv_feed_dropped_total", &vf.dropped, lv)
+	h.reg.RegisterGauge("gsv_feed_ring_occupancy", &vf.occupancy, lv)
+	h.reg.RegisterGauge("gsv_feed_subscribers", &vf.subscribers, lv)
+	h.reg.RegisterGauge("gsv_feed_max_lag", &vf.maxLag, lv)
 }
 
 // RegisterView announces a view to the hub and installs its snapshot
@@ -94,15 +140,22 @@ func (h *Hub) Publish(view string, u store.Update, d core.Deltas) uint64 {
 		subs = append(subs, s)
 	}
 	h.mu.Unlock()
+	vf.events.Inc()
+	vf.occupancy.Set(int64(vf.count))
 
 	// Delivery happens outside h.mu so a blocking subscriber never
 	// prevents other views from publishing or new subscribers from
 	// attaching; pubMu keeps this view's order total.
+	lag := 0
 	for _, s := range subs {
 		if !s.deliver(ev) {
 			h.remove(s)
 		}
+		if n := len(s.ch); n > lag {
+			lag = n
+		}
 	}
+	vf.maxLag.Set(int64(lag))
 	return ev.Cursor
 }
 
@@ -201,12 +254,13 @@ func (h *Hub) Subscribe(view string, o SubOptions) (*Subscription, error) {
 	s := &Subscription{
 		hub: h, view: view, policy: policy,
 		ch: make(chan Event, buffer), done: make(chan struct{}),
-		snap: snap,
+		snap: snap, drops: &vf.dropped,
 	}
 	for _, ev := range replay {
 		s.ch <- ev
 	}
 	vf.subs[s] = struct{}{}
+	vf.subscribers.Set(int64(len(vf.subs)))
 	return s, nil
 }
 
@@ -216,6 +270,7 @@ func (h *Hub) remove(s *Subscription) {
 	defer h.mu.Unlock()
 	if vf, ok := h.views[s.view]; ok {
 		delete(vf.subs, s)
+		vf.subscribers.Set(int64(len(vf.subs)))
 	}
 }
 

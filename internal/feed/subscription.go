@@ -1,6 +1,10 @@
 package feed
 
-import "sync"
+import (
+	"sync"
+
+	"gsv/internal/obs"
+)
 
 // Subscription is one subscriber's attachment to a view's feed. Consume
 // with Events; the channel closes when the subscription is closed by
@@ -19,6 +23,9 @@ type Subscription struct {
 	err     error
 	dropped uint64
 	snap    *Snapshot
+	// drops points at the view feed's shared drop counter so per-view
+	// drop totals survive subscription churn.
+	drops *obs.Counter
 }
 
 // Events returns the receive channel. Replayed events (resume) are
@@ -85,6 +92,7 @@ func (s *Subscription) deliver(ev Event) bool {
 			select {
 			case <-s.ch:
 				s.dropped++
+				s.drops.Inc()
 			default:
 			}
 		}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency/size histogram. Buckets are chosen
+// at construction and never change, so Observe is a binary search plus
+// two atomic adds — cheap enough for the maintenance hot path. The
+// implicit +Inf bucket catches everything above the last bound.
+//
+// All methods are safe for concurrent use and on a nil receiver.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// LatencyBuckets are the default bounds for maintenance latencies, in
+// seconds: 1µs to ~10s, roughly ×4 per step. Algorithm 1's per-update
+// cost sits in the low microseconds centralized and grows with query
+// backs at a warehouse, so the range covers both regimes.
+var LatencyBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 10,
+}
+
+// NewHistogram builds a histogram with the given upper bounds (sorted and
+// deduplicated; NaNs and a trailing +Inf are dropped — +Inf is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsNaN(b) && !math.IsInf(b, +1) {
+			bs = append(bs, b)
+		}
+	}
+	sort.Float64s(bs)
+	n := 0
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			bs[n] = b
+			n++
+		}
+	}
+	bs = bs[:n]
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the cumulative bucket counts: Buckets()[i] counts
+// observations ≤ Bounds()[i]; the final entry is the total (≤ +Inf).
+func (h *Histogram) Buckets() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Bounds returns the configured upper bounds (+Inf excluded).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves every given registry in the Prometheus text
+// exposition format.
+func MetricsHandler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if r != nil {
+				_ = r.WritePrometheus(w)
+			}
+		}
+	})
+}
+
+// DebugMux builds the standard introspection mux served by gsdbserve
+// -debugaddr: /metrics (Prometheus text format), /debug/vars (expvar,
+// including anything the registries published there), and the
+// net/http/pprof handlers under /debug/pprof/.
+func DebugMux(regs ...*Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(regs...))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,409 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a registered metric.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind as the snapshot spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// metric is one registered instrument: a name, its labels, and exactly
+// one of the instrument pointers.
+type metric struct {
+	name    string
+	labels  []Label
+	kind    Kind
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry names instruments and exposes them. Components keep direct
+// pointers to their instruments (registration returns them), so the
+// registry is never on a hot path — only Snapshot and the exposition
+// writers walk it. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric          // registration order
+	index   map[string]*metric // name + canonical labels
+	help    map[string]string  // per metric name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]*metric{}, help: map[string]string{}}
+}
+
+// metricKey canonicalizes name+labels; labels must be sorted.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('{')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// register installs m unless a metric with the same name+labels exists,
+// in which case the existing one is returned (get-or-create). Registering
+// the same name+labels under a different kind panics: it is a programming
+// error that would silently split a time series.
+func (r *Registry) register(m *metric) *metric {
+	m.labels = sortLabels(m.labels)
+	key := metricKey(m.name, m.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.index[key]; ok {
+		if prev.kind != m.kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, m.kind, prev.kind))
+		}
+		return prev
+	}
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter returns the counter registered under name+labels, creating it
+// if needed.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.register(&metric{name: name, labels: labels, kind: KindCounter, counter: new(Counter)}).counter
+}
+
+// RegisterCounter adopts an externally owned counter (e.g. a field of a
+// stats struct) under name+labels, so hot-path increments stay a direct
+// atomic add while the registry handles exposition. When the series
+// already exists, the existing counter wins and is returned.
+func (r *Registry) RegisterCounter(name string, c *Counter, labels ...Label) *Counter {
+	return r.register(&metric{name: name, labels: labels, kind: KindCounter, counter: c}).counter
+}
+
+// Gauge returns the gauge registered under name+labels, creating it if
+// needed.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.register(&metric{name: name, labels: labels, kind: KindGauge, gauge: new(Gauge)}).gauge
+}
+
+// RegisterGauge adopts an externally owned gauge; see RegisterCounter.
+func (r *Registry) RegisterGauge(name string, g *Gauge, labels ...Label) *Gauge {
+	return r.register(&metric{name: name, labels: labels, kind: KindGauge, gauge: g}).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at snapshot time.
+// fn must be safe to call concurrently and must not call back into the
+// registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	r.register(&metric{name: name, labels: labels, kind: KindGauge, gaugeFn: fn})
+}
+
+// Histogram returns the histogram registered under name+labels, creating
+// it with the given bounds if needed (nil bounds = LatencyBuckets).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	return r.register(&metric{name: name, labels: labels, kind: KindHistogram, hist: NewHistogram(bounds)}).hist
+}
+
+// RegisterHistogram adopts an externally owned histogram; see
+// RegisterCounter.
+func (r *Registry) RegisterHistogram(name string, h *Histogram, labels ...Label) *Histogram {
+	return r.register(&metric{name: name, labels: labels, kind: KindHistogram, hist: h}).hist
+}
+
+// Help sets the help text emitted for a metric name in the Prometheus
+// exposition.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// Snapshot is a point-in-time copy of every registered metric,
+// JSON-serializable for the stats wire request and /debug/vars.
+type Snapshot struct {
+	TakenAt time.Time     `json:"taken_at"`
+	Metrics []MetricPoint `json:"metrics"`
+}
+
+// MetricPoint is one metric's snapshot value.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries the counter or gauge value.
+	Value float64 `json:"value"`
+	// Count, Sum and Buckets are histogram-only.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket: observations ≤ LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Get returns the point for name with exactly the given labels, or false.
+func (s Snapshot) Get(name string, labels ...Label) (MetricPoint, bool) {
+	for _, p := range s.Metrics {
+		if p.Name != name || len(p.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if p.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p, true
+		}
+	}
+	return MetricPoint{}, false
+}
+
+// Snapshot captures every metric. Counters and histograms are read with
+// atomic loads, so a snapshot taken while updates are in flight is
+// race-free and each individual value is monotonic across snapshots.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	s := Snapshot{TakenAt: time.Now(), Metrics: make([]MetricPoint, 0, len(metrics))}
+	for _, m := range metrics {
+		p := MetricPoint{Name: m.name, Kind: m.kind.String()}
+		if len(m.labels) > 0 {
+			p.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				p.Labels[l.Key] = l.Value
+			}
+		}
+		switch m.kind {
+		case KindCounter:
+			p.Value = float64(m.counter.Value())
+		case KindGauge:
+			if m.gaugeFn != nil {
+				p.Value = m.gaugeFn()
+			} else {
+				p.Value = float64(m.gauge.Value())
+			}
+		case KindHistogram:
+			p.Count = m.hist.Count()
+			p.Sum = m.hist.Sum()
+			bounds := m.hist.Bounds()
+			cum := m.hist.Buckets()
+			// The implicit +Inf bucket is omitted: its cumulative count is
+			// Count, and +Inf does not survive JSON encoding.
+			p.Buckets = make([]Bucket, len(bounds))
+			for i := range bounds {
+				p.Buckets[i] = Bucket{LE: bounds[i], Count: cum[i]}
+			}
+		}
+		s.Metrics = append(s.Metrics, p)
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per metric name, then one
+// sample line per series, histograms expanded into _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	// Group series by name, names in first-registration order, so TYPE
+	// headers are emitted exactly once.
+	names := make([]string, 0, len(metrics))
+	byName := map[string][]*metric{}
+	for _, m := range metrics {
+		if _, ok := byName[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	for _, name := range names {
+		group := byName[name]
+		if h := help[name]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(h)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, group[0].kind); err != nil {
+			return err
+		}
+		for _, m := range group {
+			if err := writeSeries(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch m.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, labelString(m.labels, nil),
+			strconv.FormatUint(m.counter.Value(), 10))
+		return err
+	case KindGauge:
+		v := float64(m.gauge.Value())
+		if m.gaugeFn != nil {
+			v = m.gaugeFn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, labelString(m.labels, nil), formatFloat(v))
+		return err
+	case KindHistogram:
+		bounds := m.hist.Bounds()
+		cum := m.hist.Buckets()
+		for i, c := range cum {
+			le := "+Inf"
+			if i < len(bounds) {
+				le = formatFloat(bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name,
+				labelString(m.labels, &Label{Key: "le", Value: le}), c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, labelString(m.labels, nil),
+			formatFloat(m.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, labelString(m.labels, nil), m.hist.Count())
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}; extra (the le label) is appended last.
+func labelString(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extra.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SortedMetrics returns the snapshot's points sorted by name then label
+// string — a stable order for rendering tables.
+func (s Snapshot) SortedMetrics() []MetricPoint {
+	out := append([]MetricPoint(nil), s.Metrics...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelMapString(out[i].Labels) < labelMapString(out[j].Labels)
+	})
+	return out
+}
+
+func labelMapString(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// ExpvarFunc adapts the registry to an expvar.Var whose JSON is the
+// current Snapshot.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any { return r.Snapshot() }
+}
+
+// PublishExpvar publishes the registry's snapshot under name in the
+// process-global expvar namespace (served at /debug/vars). Publishing an
+// already-taken name is a no-op: expvar.Publish panics on duplicates, and
+// restartable callers (tests) must stay safe.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, r.ExpvarFunc())
+	}
+}

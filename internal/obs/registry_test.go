@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Buckets() != nil || h.Bounds() != nil {
+		t.Fatal("nil histogram observed something")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("view", "V1"))
+	b := r.Counter("x_total", L("view", "V1"))
+	if a != b {
+		t.Fatal("same name+labels produced distinct counters")
+	}
+	if other := r.Counter("x_total", L("view", "V2")); other == a {
+		t.Fatal("distinct labels shared a counter")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("g", L("a", "1"), L("b", "2"))
+	g2 := r.Gauge("g", L("b", "2"), L("a", "1"))
+	if g1 != g2 {
+		t.Fatal("label order split a series")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestRegisterExternalCounter(t *testing.T) {
+	r := NewRegistry()
+	var stats struct{ Hits Counter }
+	got := r.RegisterCounter("hits_total", &stats.Hits)
+	if got != &stats.Hits {
+		t.Fatal("adoption did not return the external counter")
+	}
+	stats.Hits.Add(7)
+	p, ok := r.Snapshot().Get("hits_total")
+	if !ok || p.Value != 7 {
+		t.Fatalf("snapshot = %+v, %v", p, ok)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	// SearchFloat64s puts v == bound into that bound's bucket index, i.e.
+	// buckets are [..]: le=1 gets 0.5 and 1.
+	cum := h.Buckets()
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 556.5 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBoundsSanitized(t *testing.T) {
+	h := NewHistogram([]float64{10, 1, 1, math.Inf(1), math.NaN()})
+	if b := h.Bounds(); len(b) != 2 || b[0] != 1 || b[1] != 10 {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+// TestSnapshotWhileUpdatesInFlight hammers instruments from several
+// goroutines while snapshots are taken, checking (under -race) that the
+// snapshot path is race-free and that counter values are monotonic
+// across snapshots.
+func TestSnapshotWhileUpdatesInFlight(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", L("view", "V1"))
+	h := r.Histogram("lat_seconds", nil, L("view", "V1"))
+	r.GaugeFunc("depth", func() float64 { return 42 })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(1e-5)
+				}
+			}
+		}()
+	}
+	var last float64
+	var lastCount uint64
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		p, ok := s.Get("ops_total", L("view", "V1"))
+		if !ok {
+			t.Fatal("ops_total missing")
+		}
+		if p.Value < last {
+			t.Fatalf("counter went backwards: %v -> %v", last, p.Value)
+		}
+		last = p.Value
+		hp, _ := s.Get("lat_seconds", L("view", "V1"))
+		if hp.Count < lastCount {
+			t.Fatalf("histogram count went backwards: %d -> %d", lastCount, hp.Count)
+		}
+		lastCount = hp.Count
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("gsv_view_reports_total", "reports routed to the view")
+	r.Counter("gsv_view_reports_total", L("view", "V1")).Add(3)
+	r.Counter("gsv_view_reports_total", L("view", "V2")).Add(1)
+	r.Gauge("gsv_feed_ring_occupancy", L("view", "V1")).Set(17)
+	h := r.Histogram("gsv_maintain_seconds", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP gsv_view_reports_total reports routed to the view\n",
+		"# TYPE gsv_view_reports_total counter\n",
+		`gsv_view_reports_total{view="V1"} 3`,
+		`gsv_view_reports_total{view="V2"} 1`,
+		"# TYPE gsv_feed_ring_occupancy gauge\n",
+		`gsv_feed_ring_occupancy{view="V1"} 17`,
+		"# TYPE gsv_maintain_seconds histogram\n",
+		`gsv_maintain_seconds_bucket{le="0.001"} 1`,
+		`gsv_maintain_seconds_bucket{le="0.1"} 1`,
+		`gsv_maintain_seconds_bucket{le="+Inf"} 2`,
+		"gsv_maintain_seconds_sum 5.0005",
+		"gsv_maintain_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE header appears once per name even with several series.
+	if strings.Count(out, "# TYPE gsv_view_reports_total") != 1 {
+		t.Fatalf("duplicated TYPE header:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("view", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `{view="a\"b\\c\nd"}`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// /debug/vars is live too (it serves the process expvar namespace).
+	vars, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vars.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(vars.Body).Decode(&doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("view", "V1")).Add(2)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := back.Get("c", L("view", "V1")); !ok || p.Value != 2 {
+		t.Fatalf("round-tripped counter = %+v, %v", p, ok)
+	}
+	if p, ok := back.Get("h"); !ok || p.Count != 1 || len(p.Buckets) != 1 || p.Buckets[0].Count != 1 {
+		t.Fatalf("round-tripped histogram = %+v, %v", p, ok)
+	}
+}

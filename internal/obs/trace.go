@@ -1,0 +1,131 @@
+package obs
+
+import "sync"
+
+// Outcome classifies one maintenance trace: what the warehouse did with
+// the report for one view.
+const (
+	OutcomeScreened  = "screened"   // label/path screening discarded it
+	OutcomeLocal     = "local"      // maintained with zero query backs
+	OutcomeQueryBack = "query-back" // maintenance required source queries
+	OutcomeError     = "error"      // maintenance failed
+)
+
+// HelperCounts breaks down the Algorithm 1 helper-function calls one
+// update triggered (§4.3's path/ancestor/eval plus the label and fetch
+// accessors the implementation adds).
+type HelperCounts struct {
+	Label    int `json:"label,omitempty"`
+	Fetch    int `json:"fetch,omitempty"`
+	Path     int `json:"path,omitempty"`
+	Ancestor int `json:"ancestor,omitempty"`
+	Eval     int `json:"eval,omitempty"`
+}
+
+// Total sums all helper calls.
+func (h HelperCounts) Total() int { return h.Label + h.Fetch + h.Path + h.Ancestor + h.Eval }
+
+// Stage is one timed step of a maintenance trace.
+type Stage struct {
+	Name  string `json:"name"`
+	Nanos int64  `json:"nanos"`
+}
+
+// Trace is the structured record of one UpdateReport's journey through
+// one view's maintenance: the screened/local/query-back decision, the
+// helper-function calls it triggered, cache hits and misses, the applied
+// delta sizes, and per-stage timings. Traces are emitted through a
+// TraceSink alongside the changefeed's DeltaObserver; the ring sink keeps
+// the most recent ones for the stats wire request.
+type Trace struct {
+	View   string `json:"view"`
+	Source string `json:"source,omitempty"`
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Level  int    `json:"level,omitempty"`
+
+	Outcome    string       `json:"outcome"`
+	QueryBacks int          `json:"query_backs,omitempty"`
+	Helpers    HelperCounts `json:"helpers"`
+	CacheHits  int          `json:"cache_hits,omitempty"`
+	CacheMiss  int          `json:"cache_misses,omitempty"`
+	// Inserts and Deletes are the membership delta sizes actually applied.
+	Inserts int `json:"inserts,omitempty"`
+	Deletes int `json:"deletes,omitempty"`
+
+	Stages     []Stage `json:"stages,omitempty"`
+	TotalNanos int64   `json:"total_nanos"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// TraceSink receives completed maintenance traces. Sinks run on the
+// maintenance path and must return quickly; nil sinks mean tracing is
+// off and cost one branch.
+type TraceSink func(Trace)
+
+// TraceRing is a bounded, concurrency-safe buffer of the most recent
+// traces — the canonical TraceSink. The stats wire request snapshots it.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []Trace
+	head  int // oldest retained
+	count int
+	total uint64
+}
+
+// NewTraceRing returns a ring retaining the last n traces (n < 1 is
+// clamped to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]Trace, n)}
+}
+
+// Add appends one trace, evicting the oldest when full. Add is the
+// TraceSink shape; install it with ring.Add or via Sink.
+func (r *TraceRing) Add(t Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = t
+		r.count++
+		return
+	}
+	r.buf[r.head] = t
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Sink returns the ring as a TraceSink; nil-safe so an absent ring
+// disables tracing.
+func (r *TraceRing) Sink() TraceSink {
+	if r == nil {
+		return nil
+	}
+	return r.Add
+}
+
+// Snapshot returns the retained traces, oldest first.
+func (r *TraceRing) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Total counts all traces ever added, including evicted ones.
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

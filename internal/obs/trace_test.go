@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(Trace{Seq: uint64(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0].Seq != 3 || got[2].Seq != 5 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestTraceRingClampsSize(t *testing.T) {
+	r := NewTraceRing(0)
+	r.Add(Trace{Seq: 1})
+	r.Add(Trace{Seq: 2})
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+func TestNilTraceRing(t *testing.T) {
+	var r *TraceRing
+	if r.Sink() != nil {
+		t.Fatal("nil ring produced a sink")
+	}
+	if r.Snapshot() != nil || r.Total() != 0 {
+		t.Fatal("nil ring holds traces")
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(Trace{View: fmt.Sprintf("V%d", g), Seq: uint64(i)})
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 2000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if got := r.Snapshot(); len(got) != 64 {
+		t.Fatalf("retained %d traces", len(got))
+	}
+}
+
+func TestTraceJSONSchema(t *testing.T) {
+	tr := Trace{
+		View: "V1", Source: "s1", Seq: 9, Kind: "insert", Level: 2,
+		Outcome: OutcomeQueryBack, QueryBacks: 2,
+		Helpers:   HelperCounts{Path: 1, Ancestor: 1, Eval: 1},
+		CacheHits: 1, CacheMiss: 1, Inserts: 1,
+		Stages:     []Stage{{Name: "screen", Nanos: 100}, {Name: "maintain", Nanos: 900}},
+		TotalNanos: 1000,
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Helpers.Total() != 3 || back.Outcome != OutcomeQueryBack || len(back.Stages) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}

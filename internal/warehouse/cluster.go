@@ -84,7 +84,7 @@ func (wc *WCluster) AddView(name string, q *query.Query) error {
 
 // ProcessReport maintains every member view under one update report.
 func (wc *WCluster) ProcessReport(r *UpdateReport) error {
-	wc.Stats.Reports++
+	wc.Stats.Reports.Inc()
 	before := wc.src.TransportRef().Snapshot()
 	wc.access.SetReport(r)
 	defer wc.access.SetReport(nil)
@@ -99,9 +99,9 @@ func (wc *WCluster) ProcessReport(r *UpdateReport) error {
 		return err
 	}
 	used := wc.src.TransportRef().Sub(before)
-	wc.Stats.QueryBacks += used.QueryBacks
+	wc.Stats.QueryBacks.Add(uint64(used.QueryBacks))
 	if used.QueryBacks == 0 {
-		wc.Stats.LocalOnly++
+		wc.Stats.LocalOnly.Inc()
 	}
 	return nil
 }

@@ -118,10 +118,10 @@ func TestWClusterCountsQueries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if wc.Stats.Reports != 1 {
-		t.Fatalf("reports = %d", wc.Stats.Reports)
+	if wc.Stats.Reports.Value() != 1 {
+		t.Fatalf("reports = %d", wc.Stats.Reports.Value())
 	}
-	if wc.Stats.QueryBacks == 0 {
+	if wc.Stats.QueryBacks.Value() == 0 {
 		t.Fatal("level-1 modify cost no query backs")
 	}
 }

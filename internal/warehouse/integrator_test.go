@@ -72,8 +72,8 @@ func TestIntegratorRoutesBySource(t *testing.T) {
 	}
 	ww, _ := i.Warehouse("west")
 	vw, _ := ww.View("SEL")
-	if vw.Stats.Reports != 0 {
-		t.Fatalf("west view saw %d reports for an east update", vw.Stats.Reports)
+	if vw.Stats.Reports.Value() != 0 {
+		t.Fatalf("west view saw %d reports for an east update", vw.Stats.Reports.Value())
 	}
 }
 
@@ -194,7 +194,7 @@ func TestInterferenceDetectionAndConvergence(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if v.Stats.Interference == 0 {
+	if v.Stats.Interference.Value() == 0 {
 		t.Fatal("no interference detected despite batched processing")
 	}
 	// Convergence: after the final batch the view equals a fresh

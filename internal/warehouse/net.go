@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gsv/internal/feed"
+	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/pathexpr"
 	"gsv/internal/query"
@@ -82,6 +83,7 @@ type netResponse struct {
 	OID     oem.OID       `json:"oid,omitempty"`
 	Objects []*oem.Object `json:"objects,omitempty"`
 	Info    *PathInfo     `json:"info,omitempty"`
+	Stats   *StatsPayload `json:"stats,omitempty"`
 	Seq     uint64        `json:"seq"`
 }
 
@@ -93,6 +95,12 @@ type Server struct {
 	// application (cmd/gsdbserve) points it at the hub of the warehouse
 	// hosting its views.
 	Feed *feed.Hub
+	// Obs, when non-nil, enables the "stats" query-mode request: clients
+	// receive a snapshot of this registry. Set it before Serve.
+	Obs *obs.Registry
+	// Traces, when non-nil, attaches the most recent maintenance traces
+	// to stats responses.
+	Traces *obs.TraceRing
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -256,6 +264,12 @@ func (s *Server) dispatch(req netRequest) netResponse {
 			return netResponse{Err: err.Error()}
 		}
 		return netResponse{Found: true, Objects: objs}
+	case "stats":
+		payload, errStr := s.statsPayload()
+		if errStr != "" {
+			return netResponse{Err: errStr}
+		}
+		return netResponse{Found: true, Stats: payload}
 	default:
 		return netResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}

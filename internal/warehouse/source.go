@@ -2,8 +2,10 @@ package warehouse
 
 import (
 	"fmt"
+	"sync"
 
 	"gsv/internal/core"
+	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/pathexpr"
 	"gsv/internal/query"
@@ -79,16 +81,31 @@ type Source struct {
 	Level     ReportLevel
 	Transport *Transport
 
-	access  *core.CentralAccess
-	pending []store.Update
+	access *core.CentralAccess
+	// accessMu serializes the access.Stats install/clear in FetchAncestor
+	// and FetchEval: concurrent server query goroutines would otherwise
+	// stomp each other's AccessStats pointer.
+	accessMu sync.Mutex
+	pending  []store.Update
 	// Stats counts wrapper work performed on behalf of the warehouse.
 	Stats WrapperStats
 }
 
-// WrapperStats counts the source-side work done answering queries.
+// WrapperStats counts the source-side work done answering queries. The
+// fields are atomic counters: the server's query goroutines increment
+// them while metrics scrapes and tests read them concurrently.
 type WrapperStats struct {
-	Queries        int
-	ObjectsTouched int
+	Queries        obs.Counter
+	ObjectsTouched obs.Counter
+}
+
+// RegisterObs exposes the wrapper counters on reg, labeled by source.
+func (s *Source) RegisterObs(reg *obs.Registry) {
+	reg.Help("gsv_source_queries_total", "wrapper queries answered for the warehouse")
+	reg.Help("gsv_source_objects_touched_total", "objects touched answering wrapper queries")
+	ls := obs.L("source", s.Name)
+	reg.RegisterCounter("gsv_source_queries_total", &s.Stats.Queries, ls)
+	reg.RegisterCounter("gsv_source_objects_touched_total", &s.Stats.ObjectsTouched, ls)
 }
 
 // NewSource wraps an existing store as a source. The store should already
@@ -238,14 +255,14 @@ func splitDelegate(oid oem.OID) (oem.OID, oem.OID, bool) { return core.SplitDele
 
 // FetchObject answers a warehouse query for one object.
 func (s *Source) FetchObject(oid oem.OID) (*oem.Object, error) {
-	s.Stats.Queries++
+	s.Stats.Queries.Inc()
 	o, err := s.Store.Get(oid)
 	respObjects := 0
 	respBytes := 8
 	if err == nil {
 		respObjects = 1
 		respBytes = o.EncodedSize()
-		s.Stats.ObjectsTouched++
+		s.Stats.ObjectsTouched.Inc()
 	}
 	s.Transport.RoundTrip(len(oid)+16, respBytes, respObjects)
 	return o, err
@@ -253,12 +270,12 @@ func (s *Source) FetchObject(oid oem.OID) (*oem.Object, error) {
 
 // FetchPath answers "fetch the path from ROOT to n" (with OIDs).
 func (s *Source) FetchPath(n oem.OID) (*PathInfo, bool, error) {
-	s.Stats.Queries++
+	s.Stats.Queries.Inc()
 	p, ok, err := s.pathWithOIDs(n)
 	bytes := 8
 	if ok {
 		bytes = len(p.OIDs) * 16
-		s.Stats.ObjectsTouched += len(p.OIDs)
+		s.Stats.ObjectsTouched.Add(uint64(len(p.OIDs)))
 	}
 	s.Transport.RoundTrip(len(n)+16, bytes, 0)
 	return p, ok, err
@@ -266,12 +283,14 @@ func (s *Source) FetchPath(n oem.OID) (*PathInfo, bool, error) {
 
 // FetchAncestor answers "fetch X where path(X, n) = p".
 func (s *Source) FetchAncestor(n oem.OID, p pathexpr.Path) (oem.OID, bool, error) {
-	s.Stats.Queries++
+	s.Stats.Queries.Inc()
 	st := core.AccessStats{}
+	s.accessMu.Lock()
 	s.access.Stats = &st
 	y, ok, err := s.access.Ancestor(n, p)
 	s.access.Stats = nil
-	s.Stats.ObjectsTouched += st.ObjectsTouched
+	s.accessMu.Unlock()
+	s.Stats.ObjectsTouched.Add(uint64(st.ObjectsTouched))
 	s.Transport.RoundTrip(len(n)+len(p.String())+16, 24, 0)
 	return y, ok, err
 }
@@ -279,12 +298,14 @@ func (s *Source) FetchAncestor(n oem.OID, p pathexpr.Path) (oem.OID, bool, error
 // FetchEval answers "fetch all objects X in n.p" with their values; the
 // warehouse tests the condition locally, as in Example 9.
 func (s *Source) FetchEval(n oem.OID, p pathexpr.Path) ([]*oem.Object, error) {
-	s.Stats.Queries++
+	s.Stats.Queries.Inc()
 	st := core.AccessStats{}
+	s.accessMu.Lock()
 	s.access.Stats = &st
 	oids, err := s.access.EvalCond(n, p, core.CondTest{Always: true})
 	s.access.Stats = nil
-	s.Stats.ObjectsTouched += st.ObjectsTouched
+	s.accessMu.Unlock()
+	s.Stats.ObjectsTouched.Add(uint64(st.ObjectsTouched))
 	if err != nil {
 		s.Transport.RoundTrip(len(n)+16, 8, 0)
 		return nil, err
@@ -305,7 +326,7 @@ func (s *Source) FetchEval(n oem.OID, p pathexpr.Path) ([]*oem.Object, error) {
 // used by the auxiliary cache to learn newly attached structure with one
 // query instead of many.
 func (s *Source) FetchSubtree(n oem.OID, depth int) ([]*oem.Object, error) {
-	s.Stats.Queries++
+	s.Stats.Queries.Inc()
 	var out []*oem.Object
 	bytes := 0
 	seen := map[oem.OID]bool{}
@@ -325,7 +346,7 @@ func (s *Source) FetchSubtree(n oem.OID, depth int) ([]*oem.Object, error) {
 		if err != nil {
 			continue
 		}
-		s.Stats.ObjectsTouched++
+		s.Stats.ObjectsTouched.Inc()
 		out = append(out, o)
 		bytes += o.EncodedSize()
 		if f.d < depth && o.IsSet() {
@@ -341,7 +362,7 @@ func (s *Source) FetchSubtree(n oem.OID, depth int) ([]*oem.Object, error) {
 // FetchQuery evaluates a full view query at the source — used for the
 // initial materialization of a warehouse view.
 func (s *Source) FetchQuery(q *query.Query) ([]*oem.Object, error) {
-	s.Stats.Queries++
+	s.Stats.Queries.Inc()
 	members, err := query.NewEvaluator(s.Store).Eval(q)
 	if err != nil {
 		s.Transport.RoundTrip(64, 8, 0)
@@ -353,7 +374,7 @@ func (s *Source) FetchQuery(q *query.Query) ([]*oem.Object, error) {
 		if o, err := s.Store.Get(m); err == nil {
 			out = append(out, o)
 			bytes += o.EncodedSize()
-			s.Stats.ObjectsTouched++
+			s.Stats.ObjectsTouched.Inc()
 		}
 	}
 	s.Transport.RoundTrip(len(q.String()), bytes+8, len(out))

@@ -93,8 +93,9 @@ func TestSourceFetchAncestorAndEval(t *testing.T) {
 	if len(objs) != 1 || objs[0].OID != "A1" {
 		t.Fatalf("FetchEval = %v", objs)
 	}
-	if src.Stats.Queries < 2 || src.Stats.ObjectsTouched == 0 {
-		t.Fatalf("wrapper stats = %+v", src.Stats)
+	if src.Stats.Queries.Value() < 2 || src.Stats.ObjectsTouched.Value() == 0 {
+		t.Fatalf("wrapper stats: queries=%d objects=%d",
+			src.Stats.Queries.Value(), src.Stats.ObjectsTouched.Value())
 	}
 }
 

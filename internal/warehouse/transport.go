@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"gsv/internal/obs"
 )
 
 // Transport accounts for warehouse-source communication. It does not move
@@ -106,6 +108,23 @@ func (t *Transport) Sub(earlier Transport) Transport {
 		Bytes:          t.Bytes - earlier.Bytes,
 		VirtualTime:    t.VirtualTime - earlier.VirtualTime,
 	}
+}
+
+// RegisterObs exposes the transport counters on reg as gauges (they are
+// mutex-guarded ints, read via Snapshot at scrape time), labeled with
+// the site the transport belongs to (e.g. "warehouse", "source").
+func (t *Transport) RegisterObs(reg *obs.Registry, site string) {
+	reg.Help("gsv_transport_messages", "messages in either direction")
+	reg.Help("gsv_transport_query_backs", "request/response query pairs sent to sources")
+	reg.Help("gsv_transport_objects_shipped", "objects serialized into responses and reports")
+	reg.Help("gsv_transport_bytes", "estimated payload bytes in both directions")
+	reg.Help("gsv_transport_virtual_seconds", "accumulated virtual latency")
+	ls := obs.L("site", site)
+	reg.GaugeFunc("gsv_transport_messages", func() float64 { return float64(t.Snapshot().Messages) }, ls)
+	reg.GaugeFunc("gsv_transport_query_backs", func() float64 { return float64(t.Snapshot().QueryBacks) }, ls)
+	reg.GaugeFunc("gsv_transport_objects_shipped", func() float64 { return float64(t.Snapshot().ObjectsShipped) }, ls)
+	reg.GaugeFunc("gsv_transport_bytes", func() float64 { return float64(t.Snapshot().Bytes) }, ls)
+	reg.GaugeFunc("gsv_transport_virtual_seconds", func() float64 { return t.Snapshot().VirtualTime.Seconds() }, ls)
 }
 
 // String renders the counters.

@@ -2,9 +2,11 @@ package warehouse
 
 import (
 	"fmt"
+	"time"
 
 	"gsv/internal/core"
 	"gsv/internal/feed"
+	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/pathexpr"
 	"gsv/internal/query"
@@ -12,11 +14,60 @@ import (
 )
 
 // RemoteStats counts how one view's helper-function calls were answered.
+// All fields are atomic counters (obs.Counter): increments on the
+// maintenance path may run concurrently with reads from other goroutines
+// (the report-reader, a metrics scrape, the stats wire request).
 type RemoteStats struct {
 	// LocalAnswers counts calls satisfied from the report or the cache.
-	LocalAnswers int
+	LocalAnswers obs.Counter
 	// SourceCalls counts calls that resulted in at least one query back.
-	SourceCalls int
+	SourceCalls obs.Counter
+
+	// Per-helper call counts: the Algorithm 1 helper functions plus the
+	// label/fetch accessors the implementation adds.
+	LabelCalls    obs.Counter
+	FetchCalls    obs.Counter
+	PathCalls     obs.Counter
+	AncestorCalls obs.Counter
+	EvalCalls     obs.Counter
+
+	// CacheHits counts helper calls the auxiliary cache answered
+	// (including negative answers derived from the mirror invariant);
+	// CacheMisses counts calls where the cache was consulted but a query
+	// back was still needed.
+	CacheHits   obs.Counter
+	CacheMisses obs.Counter
+}
+
+// remoteStatsSnap is a plain-value copy of RemoteStats for diffing around
+// one processed report.
+type remoteStatsSnap struct {
+	label, fetch, path, ancestor, eval uint64
+	cacheHits, cacheMisses             uint64
+}
+
+func (s *RemoteStats) snap() remoteStatsSnap {
+	return remoteStatsSnap{
+		label:       s.LabelCalls.Value(),
+		fetch:       s.FetchCalls.Value(),
+		path:        s.PathCalls.Value(),
+		ancestor:    s.AncestorCalls.Value(),
+		eval:        s.EvalCalls.Value(),
+		cacheHits:   s.CacheHits.Value(),
+		cacheMisses: s.CacheMisses.Value(),
+	}
+}
+
+// helpersSince converts the counter delta post-pre into trace helper
+// counts.
+func (post remoteStatsSnap) helpersSince(pre remoteStatsSnap) obs.HelperCounts {
+	return obs.HelperCounts{
+		Label:    int(post.label - pre.label),
+		Fetch:    int(post.fetch - pre.fetch),
+		Path:     int(post.path - pre.path),
+		Ancestor: int(post.ancestor - pre.ancestor),
+		Eval:     int(post.eval - pre.eval),
+	}
 }
 
 // RemoteAccess implements core.BaseAccess for a warehouse view: each helper
@@ -36,20 +87,25 @@ type RemoteAccess struct {
 // its enrichment is consulted before any query back.
 func (a *RemoteAccess) SetReport(r *UpdateReport) { a.report = r }
 
-func (a *RemoteAccess) local()  { a.Stats.LocalAnswers++ }
-func (a *RemoteAccess) remote() { a.Stats.SourceCalls++ }
+func (a *RemoteAccess) local()  { a.Stats.LocalAnswers.Inc() }
+func (a *RemoteAccess) remote() { a.Stats.SourceCalls.Inc() }
 
 // Label implements core.BaseAccess.
 func (a *RemoteAccess) Label(n oem.OID) (string, error) {
+	a.Stats.LabelCalls.Inc()
 	if r := a.report; r != nil {
 		if o := r.Objects[n]; o != nil {
 			a.local()
 			return o.Label, nil
 		}
 	}
-	if a.Cache != nil && a.Cache.Has(n) {
-		a.local()
-		return a.Cache.store.Label(n)
+	if a.Cache != nil {
+		if a.Cache.Has(n) {
+			a.Stats.CacheHits.Inc()
+			a.local()
+			return a.Cache.store.Label(n)
+		}
+		a.Stats.CacheMisses.Inc()
 	}
 	a.remote()
 	o, err := a.Src.FetchObject(n)
@@ -62,18 +118,23 @@ func (a *RemoteAccess) Label(n oem.OID) (string, error) {
 // Fetch implements core.BaseAccess. Set values come from the report or the
 // cache when exact; atomic values require a full cache.
 func (a *RemoteAccess) Fetch(n oem.OID) (*oem.Object, error) {
+	a.Stats.FetchCalls.Inc()
 	if r := a.report; r != nil {
 		if o := r.Objects[n]; o != nil {
 			a.local()
 			return o.Clone(), nil
 		}
 	}
-	if a.Cache != nil && a.Cache.Has(n) {
-		o, err := a.Cache.store.Get(n)
-		if err == nil && (o.IsSet() || a.Cache.HasValues()) {
-			a.local()
-			return o, nil
+	if a.Cache != nil {
+		if a.Cache.Has(n) {
+			o, err := a.Cache.store.Get(n)
+			if err == nil && (o.IsSet() || a.Cache.HasValues()) {
+				a.Stats.CacheHits.Inc()
+				a.local()
+				return o, nil
+			}
 		}
+		a.Stats.CacheMisses.Inc()
 	}
 	a.remote()
 	return a.Src.FetchObject(n)
@@ -81,6 +142,7 @@ func (a *RemoteAccess) Fetch(n oem.OID) (*oem.Object, error) {
 
 // Path implements core.BaseAccess: path(ROOT, n).
 func (a *RemoteAccess) Path(root, n oem.OID) (pathexpr.Path, bool, error) {
+	a.Stats.PathCalls.Inc()
 	if r := a.report; r != nil && r.Path != nil && n == r.Update.N1 && root == a.Def.Entry {
 		a.local()
 		return r.Path.Labels.Clone(), true, nil
@@ -89,6 +151,7 @@ func (a *RemoteAccess) Path(root, n oem.OID) (pathexpr.Path, bool, error) {
 		// The cache mirrors every object on a relevant path. An unmirrored
 		// object has no path that could prefix sel_path.cond_path, which
 		// is all Algorithm 1 asks; report "not a relevant descendant".
+		a.Stats.CacheHits.Inc()
 		a.local()
 		if n == root {
 			return pathexpr.Path{}, true, nil
@@ -108,6 +171,7 @@ func (a *RemoteAccess) Path(root, n oem.OID) (pathexpr.Path, bool, error) {
 
 // Ancestor implements core.BaseAccess: ancestor(n, p).
 func (a *RemoteAccess) Ancestor(n oem.OID, p pathexpr.Path) (oem.OID, bool, error) {
+	a.Stats.AncestorCalls.Inc()
 	if len(p) == 0 {
 		a.local()
 		return n, true, nil
@@ -119,6 +183,7 @@ func (a *RemoteAccess) Ancestor(n oem.OID, p pathexpr.Path) (oem.OID, bool, erro
 		}
 	}
 	if a.Cache != nil {
+		a.Stats.CacheHits.Inc()
 		a.local()
 		if !a.Cache.Has(n) {
 			return oem.NoOID, false, nil
@@ -145,6 +210,7 @@ func ancestorFromPath(root oem.OID, info *PathInfo, p pathexpr.Path) (oem.OID, b
 
 // EvalCond implements core.BaseAccess: eval(n, p, cond).
 func (a *RemoteAccess) EvalCond(n oem.OID, p pathexpr.Path, cond core.CondTest) ([]oem.OID, error) {
+	a.Stats.EvalCalls.Inc()
 	// Example 7's shortcut: with an empty residual path the condition is
 	// tested on the reported object itself, no source access needed.
 	if len(p) == 0 {
@@ -160,11 +226,13 @@ func (a *RemoteAccess) EvalCond(n oem.OID, p pathexpr.Path, cond core.CondTest) 
 	}
 	if a.Cache != nil && a.Cache.Has(n) {
 		if a.Cache.HasValues() || cond.Always {
+			a.Stats.CacheHits.Inc()
 			a.local()
 			return a.Cache.Access().EvalCond(n, p, cond)
 		}
 		// Partial cache: structure is local but values are not; one query
 		// fetches the candidates with values, tested locally (Example 9).
+		a.Stats.CacheMisses.Inc()
 		a.remote()
 		objs, err := a.Src.FetchEval(n, p)
 		if err != nil {
@@ -173,6 +241,7 @@ func (a *RemoteAccess) EvalCond(n oem.OID, p pathexpr.Path, cond core.CondTest) 
 		return filterCond(objs, cond), nil
 	}
 	if a.Cache != nil {
+		a.Stats.CacheHits.Inc()
 		a.local()
 		return nil, nil // not mirrored: not on a relevant path
 	}
@@ -206,14 +275,17 @@ type ViewConfig struct {
 	Knowledge *PathKnowledge
 }
 
-// ViewStats aggregates per-view maintenance outcomes.
+// ViewStats aggregates per-view maintenance outcomes. The fields are
+// atomic counters so that the maintenance goroutine can increment them
+// while metrics scrapes, the stats wire request, or test assertions read
+// them concurrently.
 type ViewStats struct {
-	Reports  int
-	Screened int
+	Reports  obs.Counter
+	Screened obs.Counter
 	// LocalOnly counts reports maintained with zero query backs.
-	LocalOnly int
+	LocalOnly obs.Counter
 	// QueryBacks counts source queries attributable to this view.
-	QueryBacks int
+	QueryBacks obs.Counter
 	// Interference counts reports processed while the autonomous source
 	// had already moved past the reported update — any query back during
 	// such processing observes a later state than the update (the
@@ -221,7 +293,11 @@ type ViewStats struct {
 	// decisions re-derive from current state and converge once the
 	// remaining reports are processed; the counter makes the exposure
 	// visible.
-	Interference int
+	Interference obs.Counter
+	// DeltaInserts and DeltaDeletes total the membership delta sizes
+	// actually applied to the view.
+	DeltaInserts obs.Counter
+	DeltaDeletes obs.Counter
 }
 
 // WView is one materialized view hosted at the warehouse.
@@ -237,6 +313,17 @@ type WView struct {
 
 	feed       *feed.Hub
 	fullLabels map[string]bool
+
+	// Observability, nil unless EnableObs ran before DefineView: a latency
+	// histogram for whole-report maintenance, and a sink for per-update
+	// maintenance traces.
+	maintainLatency *obs.Histogram
+	sink            obs.TraceSink
+	// lastInserts/lastDeletes capture the most recent applied delta sizes;
+	// written by the chained DeltaObserver (or level1Modify) on the
+	// maintenance path, read immediately after by process(). Not for
+	// concurrent readers — those use Stats.DeltaInserts/DeltaDeletes.
+	lastInserts, lastDeletes int
 }
 
 // Warehouse hosts materialized views over one source (Figure 6 shows many
@@ -251,6 +338,14 @@ type Warehouse struct {
 	// the first DefineView/NewCluster call to use non-default options.
 	Feed  *feed.Hub
 	views map[string]*WView
+
+	// Obs, when set via EnableObs, receives every per-view counter plus
+	// maintenance latency histograms.
+	Obs *obs.Registry
+	// Traces retains recent maintenance traces for the stats wire
+	// request; TraceSink receives every trace (defaults to Traces.Add).
+	Traces    *obs.TraceRing
+	TraceSink obs.TraceSink
 }
 
 // New returns a warehouse over src with its own view store.
@@ -262,6 +357,74 @@ func New(src SourceAPI) *Warehouse {
 		}),
 		Feed:  feed.NewHub(feed.Options{}),
 		views: make(map[string]*WView),
+	}
+}
+
+// EnableObs turns on metrics and maintenance tracing: every view —
+// already defined or defined afterwards — registers its counters and a
+// maintenance-latency histogram with reg, and emits one obs.Trace per
+// processed report into a ring of recent traces (retained for the stats
+// wire request). Observability is off by default and costs nothing when
+// off.
+func (w *Warehouse) EnableObs(reg *obs.Registry) {
+	w.Obs = reg
+	if w.Traces == nil {
+		w.Traces = obs.NewTraceRing(256)
+	}
+	if w.TraceSink == nil {
+		w.TraceSink = w.Traces.Add
+	}
+	reg.Help("gsv_view_reports_total", "update reports routed to the view")
+	reg.Help("gsv_view_screened_total", "reports discarded by label/path screening")
+	reg.Help("gsv_view_local_only_total", "reports maintained with zero query backs")
+	reg.Help("gsv_view_query_backs_total", "source queries issued during maintenance")
+	reg.Help("gsv_view_interference_total", "reports processed after the source moved past them")
+	reg.Help("gsv_view_delta_inserts_total", "view membership insertions applied")
+	reg.Help("gsv_view_delta_deletes_total", "view membership deletions applied")
+	reg.Help("gsv_view_helper_calls_total", "Algorithm 1 helper-function calls, by helper")
+	reg.Help("gsv_view_cache_hits_total", "helper calls answered by the auxiliary cache")
+	reg.Help("gsv_view_cache_misses_total", "helper calls where the cache could not avoid a query back")
+	reg.Help("gsv_view_maintain_seconds", "whole-report maintenance latency per view")
+	reg.Help("gsv_traces_total", "maintenance traces emitted since startup")
+	reg.GaugeFunc("gsv_traces_total", func() float64 { return float64(w.Traces.Total()) })
+	// Views defined before EnableObs pick up their instruments now; views
+	// defined after register inside DefineView.
+	for _, v := range w.views {
+		w.registerViewObs(v)
+	}
+}
+
+// registerViewObs attaches one view's instruments to the warehouse
+// registry. The counters stay owned by the view (hot path is a direct
+// atomic add); the registry only adopts them for exposition.
+func (w *Warehouse) registerViewObs(v *WView) {
+	reg := w.Obs
+	if reg == nil {
+		return
+	}
+	lv := obs.L("view", v.Name)
+	reg.RegisterCounter("gsv_view_reports_total", &v.Stats.Reports, lv)
+	reg.RegisterCounter("gsv_view_screened_total", &v.Stats.Screened, lv)
+	reg.RegisterCounter("gsv_view_local_only_total", &v.Stats.LocalOnly, lv)
+	reg.RegisterCounter("gsv_view_query_backs_total", &v.Stats.QueryBacks, lv)
+	reg.RegisterCounter("gsv_view_interference_total", &v.Stats.Interference, lv)
+	reg.RegisterCounter("gsv_view_delta_inserts_total", &v.Stats.DeltaInserts, lv)
+	reg.RegisterCounter("gsv_view_delta_deletes_total", &v.Stats.DeltaDeletes, lv)
+	s := &v.Access.Stats
+	reg.RegisterCounter("gsv_view_helper_calls_total", &s.LabelCalls, lv, obs.L("helper", "label"))
+	reg.RegisterCounter("gsv_view_helper_calls_total", &s.FetchCalls, lv, obs.L("helper", "fetch"))
+	reg.RegisterCounter("gsv_view_helper_calls_total", &s.PathCalls, lv, obs.L("helper", "path"))
+	reg.RegisterCounter("gsv_view_helper_calls_total", &s.AncestorCalls, lv, obs.L("helper", "ancestor"))
+	reg.RegisterCounter("gsv_view_helper_calls_total", &s.EvalCalls, lv, obs.L("helper", "eval"))
+	reg.RegisterCounter("gsv_view_cache_hits_total", &s.CacheHits, lv)
+	reg.RegisterCounter("gsv_view_cache_misses_total", &s.CacheMisses, lv)
+	v.maintainLatency = reg.Histogram("gsv_view_maintain_seconds", nil, lv)
+	v.sink = w.TraceSink
+	// Delta counters are fed by the chained observer in DefineView, so the
+	// maintainer metrics carry only the per-stage latency histograms.
+	v.Maint.Metrics = &core.MaintainerMetrics{
+		ComputeLatency: reg.Histogram("gsv_view_compute_seconds", nil, lv),
+		ApplyLatency:   reg.Histogram("gsv_view_apply_seconds", nil, lv),
 	}
 }
 
@@ -310,18 +473,37 @@ func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WV
 		}
 	}
 	access := &RemoteAccess{Src: w.Src, Def: def, Cache: cache}
-	maint := &core.SimpleMaintainer{View: mv, Def: def, Access: access,
-		Observer: w.Feed.Observer(name)}
-	w.Feed.RegisterView(name, mv.Members)
+	maint := &core.SimpleMaintainer{View: mv, Def: def, Access: access}
 	v := &WView{
 		Name: name, MV: mv, Def: def, Access: access, Maint: maint,
 		Cache: cache, Config: cfg, feed: w.Feed, fullLabels: map[string]bool{},
 	}
+	// The maintainer's observer is chained: record the applied delta sizes
+	// on the view (for stats and the maintenance trace), then publish to
+	// the changefeed as before.
+	next := w.Feed.Observer(name)
+	maint.Observer = func(view oem.OID, u store.Update, d core.Deltas) {
+		v.recordDeltas(len(d.Insert), len(d.Delete))
+		next(view, u, d)
+	}
+	w.Feed.RegisterView(name, mv.Members)
 	for _, l := range def.FullPath() {
 		v.fullLabels[l] = true
 	}
+	w.registerViewObs(v)
 	w.views[name] = v
 	return v, nil
+}
+
+// recordDeltas notes the delta sizes applied by one maintenance step.
+func (v *WView) recordDeltas(ins, del int) {
+	v.lastInserts, v.lastDeletes = ins, del
+	if ins > 0 {
+		v.Stats.DeltaInserts.Add(uint64(ins))
+	}
+	if del > 0 {
+		v.Stats.DeltaDeletes.Add(uint64(del))
+	}
 }
 
 // View returns a registered view.
@@ -351,20 +533,79 @@ func (w *Warehouse) ProcessAll(rs []*UpdateReport) error {
 }
 
 func (v *WView) process(r *UpdateReport, src SourceAPI) error {
-	v.Stats.Reports++
+	v.Stats.Reports.Inc()
+
+	// Tracing and latency recording are off unless EnableObs ran; the
+	// disabled path costs one branch and no clock reads.
+	traced := v.sink != nil || v.maintainLatency != nil
+	var t0, stageStart time.Time
+	var stages []obs.Stage
+	var statsPre remoteStatsSnap
+	if traced {
+		t0 = time.Now()
+		stageStart = t0
+		statsPre = v.Access.Stats.snap()
+	}
+	stage := func(name string) {
+		if !traced {
+			return
+		}
+		now := time.Now()
+		stages = append(stages, obs.Stage{Name: name, Nanos: now.Sub(stageStart).Nanoseconds()})
+		stageStart = now
+	}
+	emit := func(outcome string, queryBacks int, err error) {
+		if !traced {
+			return
+		}
+		total := time.Since(t0)
+		v.maintainLatency.Observe(total.Seconds())
+		if v.sink == nil {
+			return
+		}
+		post := v.Access.Stats.snap()
+		tr := obs.Trace{
+			View:       v.Name,
+			Seq:        r.Update.Seq,
+			Kind:       r.Update.Kind.String(),
+			Level:      int(r.Level),
+			Outcome:    outcome,
+			QueryBacks: queryBacks,
+			Helpers:    post.helpersSince(statsPre),
+			CacheHits:  int(post.cacheHits - statsPre.cacheHits),
+			CacheMiss:  int(post.cacheMisses - statsPre.cacheMisses),
+			Inserts:    v.lastInserts,
+			Deletes:    v.lastDeletes,
+			Stages:     stages,
+			TotalNanos: total.Nanoseconds(),
+		}
+		if err != nil {
+			tr.Err = err.Error()
+		}
+		v.sink(tr)
+	}
+
+	// Reset before screening so a screened trace reports zero deltas
+	// rather than the previous report's.
+	v.lastInserts, v.lastDeletes = 0, 0
 	if v.screened(r) {
-		v.Stats.Screened++
+		v.Stats.Screened.Inc()
+		stage("screen")
+		emit(obs.OutcomeScreened, 0, nil)
 		return nil
 	}
+	stage("screen")
 	if src.LastKnownSeq() > r.Update.Seq {
-		v.Stats.Interference++
+		v.Stats.Interference.Inc()
 	}
 	before := src.TransportRef().Snapshot()
 	if v.Cache != nil {
 		if _, err := v.Cache.Apply(r, src); err != nil {
+			emit(obs.OutcomeError, 0, err)
 			return err
 		}
 	}
+	stage("cache")
 	v.Access.SetReport(r)
 	defer v.Access.SetReport(nil)
 
@@ -376,6 +617,8 @@ func (v *WView) process(r *UpdateReport, src SourceAPI) error {
 		err = v.Maint.Apply(u)
 	}
 	if err != nil {
+		stage("maintain")
+		emit(obs.OutcomeError, src.TransportRef().Sub(before).QueryBacks, err)
 		return err
 	}
 	// Only deletes can detach mirrored structure; compacting after every
@@ -383,10 +626,14 @@ func (v *WView) process(r *UpdateReport, src SourceAPI) error {
 	if v.Cache != nil && u.Kind == store.UpdateDelete {
 		v.Cache.Compact()
 	}
+	stage("maintain")
 	used := src.TransportRef().Sub(before)
-	v.Stats.QueryBacks += used.QueryBacks
+	v.Stats.QueryBacks.Add(uint64(used.QueryBacks))
 	if used.QueryBacks == 0 {
-		v.Stats.LocalOnly++
+		v.Stats.LocalOnly.Inc()
+		emit(obs.OutcomeLocal, 0, nil)
+	} else {
+		emit(obs.OutcomeQueryBack, used.QueryBacks, nil)
 	}
 	return nil
 }
@@ -489,6 +736,7 @@ func (v *WView) level1Modify(u store.Update, src SourceAPI) error {
 					return err
 				}
 				if !was {
+					v.recordDeltas(1, 0)
 					v.feed.Publish(v.Name, u, core.Deltas{Insert: []oem.OID{y}})
 				}
 			} else {
@@ -496,6 +744,7 @@ func (v *WView) level1Modify(u store.Update, src SourceAPI) error {
 					return err
 				}
 				if was {
+					v.recordDeltas(0, 1)
 					v.feed.Publish(v.Name, u, core.Deltas{Delete: []oem.OID{y}})
 				}
 			}

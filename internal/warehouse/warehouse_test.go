@@ -151,9 +151,9 @@ func TestWarehouseLevel3CarriesPath(t *testing.T) {
 func TestWarehouseQueryBacksDecreaseWithLevel(t *testing.T) {
 	// The §5.1 shape: higher report levels need fewer query backs for the
 	// same update sequence.
-	cost := func(level ReportLevel) int {
+	cost := func(level ReportLevel) uint64 {
 		src, w, v := fixture(t, level, ViewConfig{})
-		base := v.Stats.QueryBacks
+		base := v.Stats.QueryBacks.Value()
 		if _, err := src.Put(oem.NewAtom("A2", "age", oem.Int(40))); err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +169,7 @@ func TestWarehouseQueryBacksDecreaseWithLevel(t *testing.T) {
 		} else if err := w.ProcessAll(rs); err != nil {
 			t.Fatal(err)
 		}
-		return v.Stats.QueryBacks - base
+		return v.Stats.QueryBacks.Value() - base
 	}
 	c1, c2, c3 := cost(Level1), cost(Level2), cost(Level3)
 	if !(c1 >= c2 && c2 >= c3) {
@@ -211,8 +211,9 @@ func TestWarehouseFullCacheMaintainsLocally(t *testing.T) {
 	if got := src.Transport.QueryBacks - queriesBefore; got != 0 {
 		t.Fatalf("full cache still issued %d query backs", got)
 	}
-	if v.Stats.LocalOnly != v.Stats.Reports-v.Stats.Screened {
-		t.Fatalf("stats: %+v", v.Stats)
+	if v.Stats.LocalOnly.Value() != v.Stats.Reports.Value()-v.Stats.Screened.Value() {
+		t.Fatalf("stats: reports=%d screened=%d local=%d",
+			v.Stats.Reports.Value(), v.Stats.Screened.Value(), v.Stats.LocalOnly.Value())
 	}
 }
 
@@ -253,7 +254,7 @@ func TestWarehouseScreeningSkipsIrrelevant(t *testing.T) {
 	if err := w.ProcessAll(all); err != nil {
 		t.Fatal(err)
 	}
-	if v.Stats.Screened == 0 {
+	if v.Stats.Screened.Value() == 0 {
 		t.Fatal("irrelevant update not screened")
 	}
 	if got := src.Transport.QueryBacks - queriesBefore; got != 0 {
@@ -313,7 +314,7 @@ func TestWarehousePathKnowledgeScreening(t *testing.T) {
 	if err := w.ProcessAll(all); err != nil {
 		t.Fatal(err)
 	}
-	if v.Stats.Screened == 0 {
+	if v.Stats.Screened.Value() == 0 {
 		t.Fatal("pair knowledge did not screen the student.age insert")
 	}
 	if got := src.Transport.QueryBacks - queriesBefore; got != 0 {

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json experiments examples fuzz fmt vet ci demo-feed clean
+.PHONY: all build test race chaos cover bench bench-json experiments examples fuzz fmt vet ci demo-feed clean
 
 all: build vet test
 
@@ -29,6 +29,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The fault-injection drills (CI's chaos-smoke job): kill/restart soak,
+# wire reconnect/gap tests and the follow-reconnect test, all with
+# fixed seeds under the race detector.
+chaos:
+	$(GO) test -race -count=3 -run 'TestChaosSoak|TestNetQuerySurvives|TestNetReportStreamReconnect|TestFollowFeedSurvives' -v ./internal/warehouse/ ./cmd/gsdbwatch/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1

@@ -18,11 +18,21 @@
 //	          -feed 'HOT=SELECT REL.r0.tuple X WHERE X.age > 30'
 //	gsdbserve -addr :7070 -sample relations -updates 200 \
 //	          -feed 'HOT=...' -debugaddr 127.0.0.1:8080
+//	gsdbserve -addr :7070 -sample relations -updates 500 \
+//	          -chaos -chaos-err 0.05 -chaos-drop 0.02 -chaos-seed 42
 //
 // With -debugaddr the server additionally serves /metrics (Prometheus
 // text format), /debug/vars (expvar) and /debug/pprof over HTTP, and the
 // same registry is available to remote clients through the "stats" wire
 // request (gsdbwatch -stats); see docs/OBSERVABILITY.md.
+//
+// With -chaos every accepted connection is wrapped in the deterministic
+// fault injector (internal/faults): reads and writes fail, stall or drop
+// the connection with the configured probabilities, seeded by
+// -chaos-seed so a run is reproducible. This exercises client-side
+// retries, redial and staleness repair (docs/WAREHOUSE.md, "Failure
+// model") without any external tooling. Injected faults are counted in
+// the metrics registry (gsv_faults_injected_total).
 //
 // Every applied update is broadcast to connected report streams; progress
 // is logged to stderr.
@@ -37,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"gsv/internal/faults"
 	"gsv/internal/feed"
 	"gsv/internal/obs"
 	"gsv/internal/oem"
@@ -70,6 +81,13 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		feedRing = flag.Int("feedring", 1024, "changefeed replay ring size per view")
 		debug    = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+
+		chaos      = flag.Bool("chaos", false, "inject deterministic faults into every connection (see internal/faults)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "fault injector seed (same seed = same fault schedule)")
+		chaosDrop  = flag.Float64("chaos-drop", 0.01, "probability a read/write drops the connection")
+		chaosErr   = flag.Float64("chaos-err", 0.03, "probability a read/write fails with an injected error")
+		chaosDelay = flag.Float64("chaos-delay", 0.05, "probability a read/write is delayed")
+		chaosLag   = flag.Duration("chaos-lag", 2*time.Millisecond, "injected delay duration")
 	)
 	flag.Var(&feeds, "feed", "host a warehouse view NAME=QUERY and expose its changefeed (repeatable)")
 	flag.Parse()
@@ -153,6 +171,9 @@ func main() {
 			log.Printf("feed %s: %s", name, qs)
 		}
 		server.Feed = lw.Feed
+		// Views quarantined by a failed maintenance step (or a report gap)
+		// are resynced in the background instead of staying stale forever.
+		lw.StartRepairLoop(5 * time.Second)
 	}
 
 	if *debug != "" {
@@ -169,6 +190,19 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if *chaos {
+		inj := faults.New(faults.Config{
+			Seed:      *chaosSeed,
+			DropProb:  *chaosDrop,
+			ErrProb:   *chaosErr,
+			DelayProb: *chaosDelay,
+			Delay:     *chaosLag,
+		})
+		inj.RegisterObs(reg, "listener")
+		ln = inj.WrapListener(ln)
+		log.Printf("chaos: injecting faults seed=%d drop=%g err=%g delay=%g lag=%s",
+			*chaosSeed, *chaosDrop, *chaosErr, *chaosDelay, *chaosLag)
 	}
 	log.Printf("serving %d objects on %s (root %s, level %d)", s.Len(), ln.Addr(), rootOID, *level)
 
@@ -191,15 +225,16 @@ func drive(src *warehouse.Source, server *warehouse.Server, lw *warehouse.Wareho
 		reports := src.DrainReports()
 		if lw != nil {
 			// Maintain the feed views first so subscribe-mode events are
-			// published no later than the corresponding report broadcast.
+			// published no later than the corresponding report broadcast. A
+			// failure quarantines the affected view (the repair loop resyncs
+			// it); the stream and the other views keep going.
 			if err := lw.ProcessAll(reports); err != nil {
-				log.Printf("feed maintenance: %v", err)
-				return
+				log.Printf("feed maintenance (view quarantined for repair): %v", err)
 			}
 		}
 		if err := server.Broadcast(reports); err != nil {
 			log.Printf("broadcast: %v", err)
-			return
+			continue
 		}
 		for _, r := range reports {
 			log.Printf("update %s", r.Update)

@@ -39,6 +39,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"gsv/internal/feed"
@@ -148,13 +149,24 @@ func watchView(out io.Writer, cfg watchConfig) error {
 	seen := 0
 	deadline := time.Now().Add(cfg.dur)
 	for time.Now().Before(deadline) {
-		reports := remote.DrainReports()
-		if len(reports) == 0 {
-			time.Sleep(10 * time.Millisecond)
-			continue
-		}
+		reports, _ := remote.WaitReportsTimeout(1, 100*time.Millisecond)
+		// A maintenance failure (or a report-stream gap after the server
+		// restarted) quarantines the view rather than ending the watch;
+		// repair resyncs it and the watch continues.
 		if err := w.ProcessAll(reports); err != nil {
-			return fmt.Errorf("maintenance: %w", err)
+			fmt.Fprintf(out, "maintenance error, view quarantined: %v\n", err)
+		}
+		repaired := false
+		if len(w.StaleViews()) > 0 {
+			if n, err := w.RepairAll(); err != nil {
+				fmt.Fprintf(out, "repair failed (will retry): %v\n", err)
+			} else if n > 0 {
+				fmt.Fprintf(out, "view repaired by resync\n")
+				repaired = true
+			}
+		}
+		if len(reports) == 0 && !repaired {
+			continue
 		}
 		seen += len(reports)
 		if last, err = printMembers(out, v, last); err != nil {
@@ -165,8 +177,9 @@ func watchView(out io.Writer, cfg watchConfig) error {
 		}
 	}
 	fmt.Fprintf(out, "\nwatched %d reports; wire traffic: %s\n", seen, tr)
-	fmt.Fprintf(out, "view stats: %d reports, %d screened, %d fully local, %d query backs\n",
-		v.Stats.Reports.Value(), v.Stats.Screened.Value(), v.Stats.LocalOnly.Value(), v.Stats.QueryBacks.Value())
+	fmt.Fprintf(out, "view stats: %d reports, %d screened, %d fully local, %d query backs, state %s\n",
+		v.Stats.Reports.Value(), v.Stats.Screened.Value(), v.Stats.LocalOnly.Value(),
+		v.Stats.QueryBacks.Value(), v.State())
 	return nil
 }
 
@@ -241,8 +254,8 @@ func renderStats(out io.Writer, p *warehouse.StatsPayload) {
 	if len(order) == 0 {
 		fmt.Fprintln(out, "no views registered")
 	} else {
-		fmt.Fprintf(out, "%-12s %8s %8s %8s %8s %8s %8s %12s\n",
-			"VIEW", "REPORTS", "SCREENED", "LOCAL", "QBACKS", "INS", "DEL", "AVG-MAINT")
+		fmt.Fprintf(out, "%-12s %-10s %8s %8s %8s %8s %8s %8s %8s %12s\n",
+			"VIEW", "STATE", "REPORTS", "SCREENED", "LOCAL", "QBACKS", "INS", "DEL", "REPAIRS", "AVG-MAINT")
 		for _, view := range order {
 			get := func(name string) float64 {
 				mp, _ := p.Registry.Get(name, obs.L("view", view))
@@ -252,11 +265,23 @@ func renderStats(out io.Writer, p *warehouse.StatsPayload) {
 			if mp, ok := p.Registry.Get("gsv_view_maintain_seconds", obs.L("view", view)); ok && mp.Count > 0 {
 				avg = fmt.Sprintf("%.1fµs", mp.Sum/float64(mp.Count)*1e6)
 			}
-			fmt.Fprintf(out, "%-12s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %12s\n",
-				view,
+			state := "-"
+			if mp, ok := p.Registry.Get("gsv_view_state", obs.L("view", view)); ok {
+				state = warehouse.ViewState(int32(mp.Value)).String()
+			}
+			fmt.Fprintf(out, "%-12s %-10s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %12s\n",
+				view, state,
 				get("gsv_view_reports_total"), get("gsv_view_screened_total"),
 				get("gsv_view_local_only_total"), get("gsv_view_query_backs_total"),
-				get("gsv_view_delta_inserts_total"), get("gsv_view_delta_deletes_total"), avg)
+				get("gsv_view_delta_inserts_total"), get("gsv_view_delta_deletes_total"),
+				get("gsv_view_repairs_total"), avg)
+		}
+	}
+	if ws := p.RemoteWire; ws != nil {
+		fmt.Fprintf(out, "client wire: reconnects=%d retries=%d gaps=%d bad-frames=%d\n",
+			ws.QueryReconnects+ws.ReportReconnects, ws.Retries, ws.Gaps, ws.BadFrames)
+		if ws.LastDecodeErr != "" {
+			fmt.Fprintf(out, "last report decode error: %s\n", ws.LastDecodeErr)
 		}
 	}
 	if n := len(p.Traces); n > 0 {
@@ -286,7 +311,11 @@ type followConfig struct {
 }
 
 // followFeed tails a server-maintained view's changefeed, printing one
-// line per delta event.
+// line per delta event. A broken stream (server restart, network fault)
+// is redialed with the last consumed cursor, so no events are missed as
+// long as they remain in the server's replay ring; when the cursor has
+// been evicted, the redial falls back to a full-membership snapshot
+// (docs/CHANGEFEED.md) and tails from there.
 func followFeed(out io.Writer, cfg followConfig) error {
 	req := warehouse.FeedRequest{View: cfg.view, Snapshot: cfg.snapshot, Policy: cfg.policy}
 	if cfg.from >= 0 {
@@ -300,35 +329,110 @@ func followFeed(out io.Writer, cfg followConfig) error {
 		}
 		return err
 	}
-	defer fc.Close()
 
-	fmt.Fprintf(out, "following %s at cursor %d (oldest retained %d)\n", fc.View, fc.Cursor, fc.Oldest)
-	if fc.Snapshot != nil {
-		fmt.Fprintf(out, "snapshot@%d value(%s) = %v\n", fc.Snapshot.Cursor, fc.View, fc.Snapshot.Members)
+	// cur is the live client; the deadline timer and reconnects swap it
+	// under mu so the timer always closes the current connection.
+	var mu sync.Mutex
+	cur := fc
+	setCur := func(c *warehouse.FeedClient) {
+		mu.Lock()
+		cur = c
+		mu.Unlock()
 	}
+	closeCur := func() {
+		mu.Lock()
+		cur.Close()
+		mu.Unlock()
+	}
+	defer closeCur()
 
 	var deadline time.Time
 	if cfg.dur > 0 {
 		deadline = time.Now().Add(cfg.dur)
 		// FeedClient.Next has no timeout of its own; closing the client
 		// unblocks it when the watch window ends.
-		timer := time.AfterFunc(cfg.dur, fc.Close)
+		timer := time.AfterFunc(cfg.dur, closeCur)
 		defer timer.Stop()
+	}
+	expired := func() bool { return !deadline.IsZero() && !time.Now().Before(deadline) }
+
+	fmt.Fprintf(out, "following %s at cursor %d (oldest retained %d)\n", fc.View, fc.Cursor, fc.Oldest)
+	lastCursor := fc.Cursor
+	if req.Resume {
+		lastCursor = req.From
+	}
+	if fc.Snapshot != nil {
+		fmt.Fprintf(out, "snapshot@%d value(%s) = %v\n", fc.Snapshot.Cursor, fc.View, fc.Snapshot.Members)
+		lastCursor = fc.Snapshot.Cursor
 	}
 
 	n := 0
 	for cfg.maxEvents == 0 || n < cfg.maxEvents {
-		ev, err := fc.Next()
+		ev, err := cur.Next()
 		if err != nil {
-			if err == io.EOF || (!deadline.IsZero() && !time.Now().Before(deadline)) {
-				break // stream ended, or our own deadline closed it
+			if expired() {
+				break // our own deadline closed the stream
 			}
-			return err
+			// The stream broke (err may be io.EOF on a clean server
+			// shutdown): redial with the last consumed cursor.
+			nc, newLast, rerr := redialFeed(out, cfg, lastCursor, deadline)
+			if nc == nil {
+				if expired() {
+					break
+				}
+				return rerr
+			}
+			lastCursor = newLast
+			setCur(nc)
+			if expired() {
+				// The deadline fired between the timer's close of the old
+				// client and the swap; close the new one and stop.
+				break
+			}
+			continue
 		}
 		fmt.Fprintf(out, "cursor=%d seq=%d %s(%s) +%v -%v\n",
 			ev.Cursor, ev.Seq, ev.Kind, ev.N1, ev.Insert, ev.Delete)
+		lastCursor = ev.Cursor
 		n++
 	}
-	fmt.Fprintf(out, "\nfollowed %d events on %s\n", n, fc.View)
+	fmt.Fprintf(out, "\nfollowed %d events on %s\n", n, cfg.view)
 	return nil
+}
+
+// redialFeed re-establishes a broken follow, resuming after lastCursor,
+// retrying until the deadline. When the cursor has been evicted from the
+// server's replay ring it falls back to a snapshot subscription. It
+// returns the new client and the cursor to resume from next time (the
+// snapshot position, when one was taken).
+func redialFeed(out io.Writer, cfg followConfig, lastCursor uint64, deadline time.Time) (*warehouse.FeedClient, uint64, error) {
+	var lastErr error
+	for attempt := 0; deadline.IsZero() || time.Now().Before(deadline); attempt++ {
+		if attempt > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		req := warehouse.FeedRequest{
+			View: cfg.view, Resume: true, From: lastCursor, Policy: cfg.policy,
+		}
+		fc, err := warehouse.DialFeed(cfg.addr, req)
+		if errors.Is(err, feed.ErrCursorExpired) {
+			// Events since lastCursor are gone; recover via snapshot.
+			req.Snapshot = true
+			fc, err = warehouse.DialFeed(cfg.addr, req)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		fmt.Fprintf(out, "reconnected to %s at cursor %d (resuming after %d)\n", cfg.view, fc.Cursor, lastCursor)
+		if fc.Snapshot != nil {
+			fmt.Fprintf(out, "snapshot@%d value(%s) = %v\n", fc.Snapshot.Cursor, cfg.view, fc.Snapshot.Members)
+			lastCursor = fc.Snapshot.Cursor
+		}
+		return fc, lastCursor, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("follow deadline elapsed during reconnect")
+	}
+	return nil, lastCursor, fmt.Errorf("reconnecting to %s: %w", cfg.view, lastErr)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -144,6 +145,89 @@ func TestFollowFeedExpiredAndSnapshot(t *testing.T) {
 		t.Fatalf("snapshot output:\n%s", got)
 	}
 }
+
+// TestFollowFeedSurvivesServerRestart: a follow whose server dies must
+// redial with its last cursor and pick up exactly the events it missed
+// — the hub's replay ring covers the outage, so nothing is lost or
+// duplicated.
+func TestFollowFeedSurvivesServerRestart(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+
+	done := make(chan error, 1)
+	var mu sync.Mutex
+	var out strings.Builder
+	syncOut := func(f func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		f()
+	}
+	go func() {
+		done <- followFeed(writerFunc(func(p []byte) (int, error) {
+			syncOut(func() { out.Write(p) })
+			return len(p), nil
+		}), followConfig{
+			addr: addr, view: "YP", from: -1, maxEvents: 4, dur: 15 * time.Second,
+		})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for lw.Feed.Subscribers("YP") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follow never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	toggle(t, src, lw, server, 2) // cursors 1..2, delivered live
+
+	// Kill the server. Maintenance continues at the warehouse while it is
+	// down, so cursors 3..4 land in the hub's ring with no one connected.
+	server.Close()
+	toggle(t, src, lw, server, 2)
+
+	// Restart on the same address, sharing the same source and hub.
+	var ln net.Listener
+	var err error
+	for try := 0; ; try++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if try > 100 {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	server2 := warehouse.NewServer(src)
+	server2.Feed = lw.Feed
+	go func() { _ = server2.Serve(ln) }()
+	t.Cleanup(server2.Close)
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	syncOut(func() { got = out.String() })
+	for _, want := range []string{
+		"reconnected to YP", "cursor=1", "cursor=2", "cursor=3", "cursor=4",
+		"followed 4 events on YP",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The resume replays strictly after the last consumed cursor: each
+	// event appears exactly once.
+	for _, c := range []string{"cursor=1", "cursor=2", "cursor=3", "cursor=4"} {
+		if strings.Count(got, c) != 1 {
+			t.Fatalf("%s seen %d times:\n%s", c, strings.Count(got, c), got)
+		}
+	}
+}
+
+// writerFunc adapts a function to io.Writer for race-safe test capture.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
 func TestFollowFeedUnknownView(t *testing.T) {
 	_, _, _, addr := startServer(t, 16)

@@ -1,0 +1,236 @@
+// Package faults is a deterministic, seedable fault-injection layer for
+// the distributed warehouse (Section 5 assumes sources are reachable
+// whenever the warehouse queries back; this package makes that assumption
+// falsifiable on demand). An Injector decides, per operation, whether to
+// pass, delay, error, or drop, from a seeded PRNG — the same seed and the
+// same sequence of decision points replay the same fault schedule, which
+// is what lets the chaos soak test run under a fixed seed in CI.
+//
+// Two integration surfaces:
+//
+//   - Wire level: WrapConn / WrapListener wrap net.Conn so reads and
+//     writes fail, stall, or kill the connection mid-frame. gsdbserve
+//     -chaos serves through a wrapped listener.
+//   - API level: warehouse.FaultySource consults an Injector before each
+//     SourceAPI call, injecting clean query-back failures without
+//     touching the wire.
+//
+// A manual partition (Partition(true)) overrides the probabilities: every
+// decision point errors until the partition heals. All injected errors
+// wrap ErrInjected so tests can tell injected faults from real ones.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"gsv/internal/obs"
+)
+
+// ErrInjected is the sentinel all injected errors wrap; detect it with
+// errors.Is.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Action is one per-operation decision.
+type Action int
+
+const (
+	// Pass lets the operation through untouched.
+	Pass Action = iota
+	// Delay stalls the operation for Config.Delay, then lets it through.
+	Delay
+	// Error fails the operation with an ErrInjected-wrapping error.
+	Error
+	// Drop kills the underlying connection (wire level) or fails the
+	// operation (API level): unlike Error, the transport is gone.
+	Drop
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Config sets the fault schedule. Probabilities are evaluated in order
+// drop, error, delay; each in [0,1]. The zero Config injects nothing.
+type Config struct {
+	// Seed seeds the PRNG; the same seed replays the same decisions.
+	Seed int64
+	// DropProb is the per-op probability of killing the connection.
+	DropProb float64
+	// ErrProb is the per-op probability of an injected error.
+	ErrProb float64
+	// DelayProb is the per-op probability of stalling for Delay.
+	DelayProb float64
+	// Delay is how long a delayed operation stalls.
+	Delay time.Duration
+}
+
+// Stats counts injected faults by kind. The fields are atomic counters,
+// safe to read while injection is live.
+type Stats struct {
+	Passes  obs.Counter
+	Delays  obs.Counter
+	Errors  obs.Counter
+	Drops   obs.Counter
+	Rejects obs.Counter // decisions answered by an active partition
+}
+
+// Injector makes seeded per-op fault decisions.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	cfg         Config
+	partitioned bool
+
+	// Stats counts the decisions taken.
+	Stats Stats
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// Partition opens (true) or heals (false) a full partition: while open,
+// every decision is Error regardless of the probabilities.
+func (in *Injector) Partition(on bool) {
+	in.mu.Lock()
+	in.partitioned = on
+	in.mu.Unlock()
+}
+
+// Partitioned reports whether a partition is open.
+func (in *Injector) Partitioned() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.partitioned
+}
+
+// Decide draws the next decision. The op name is for error rendering
+// only; the decision sequence depends solely on the seed and the number
+// of prior draws.
+func (in *Injector) Decide(op string) Action {
+	in.mu.Lock()
+	if in.partitioned {
+		in.mu.Unlock()
+		in.Stats.Rejects.Inc()
+		return Error
+	}
+	f := in.rng.Float64()
+	cfg := in.cfg
+	in.mu.Unlock()
+	switch {
+	case f < cfg.DropProb:
+		in.Stats.Drops.Inc()
+		return Drop
+	case f < cfg.DropProb+cfg.ErrProb:
+		in.Stats.Errors.Inc()
+		return Error
+	case f < cfg.DropProb+cfg.ErrProb+cfg.DelayProb:
+		in.Stats.Delays.Inc()
+		return Delay
+	default:
+		in.Stats.Passes.Inc()
+		return Pass
+	}
+}
+
+// Sleep stalls for the configured delay.
+func (in *Injector) Sleep() {
+	in.mu.Lock()
+	d := in.cfg.Delay
+	in.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Errf builds an ErrInjected-wrapping error for op.
+func (in *Injector) Errf(op string) error {
+	return fmt.Errorf("%w (%s)", ErrInjected, op)
+}
+
+// RegisterObs exposes the decision counters on reg, labeled by site.
+func (in *Injector) RegisterObs(reg *obs.Registry, site string) {
+	reg.Help("gsv_faults_injected_total", "fault-injection decisions taken, by action")
+	ls := obs.L("site", site)
+	reg.RegisterCounter("gsv_faults_injected_total", &in.Stats.Passes, ls, obs.L("action", "pass"))
+	reg.RegisterCounter("gsv_faults_injected_total", &in.Stats.Delays, ls, obs.L("action", "delay"))
+	reg.RegisterCounter("gsv_faults_injected_total", &in.Stats.Errors, ls, obs.L("action", "error"))
+	reg.RegisterCounter("gsv_faults_injected_total", &in.Stats.Drops, ls, obs.L("action", "drop"))
+	reg.RegisterCounter("gsv_faults_injected_total", &in.Stats.Rejects, ls, obs.L("action", "partition"))
+}
+
+// Conn is a net.Conn whose reads and writes pass through an Injector.
+type Conn struct {
+	net.Conn
+	in *Injector
+}
+
+// WrapConn wraps c so every Read and Write consults the injector.
+func (in *Injector) WrapConn(c net.Conn) net.Conn { return &Conn{Conn: c, in: in} }
+
+func (c *Conn) fault(op string) error {
+	switch c.in.Decide(op) {
+	case Drop:
+		_ = c.Conn.Close()
+		return fmt.Errorf("%w (%s: connection dropped)", ErrInjected, op)
+	case Error:
+		return c.in.Errf(op)
+	case Delay:
+		c.in.Sleep()
+	}
+	return nil
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.fault("read"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.fault("write"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps accepted connections in fault-injecting Conns.
+type Listener struct {
+	net.Listener
+	in *Injector
+}
+
+// WrapListener wraps ln so every accepted conn injects faults.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &Listener{Listener: ln, in: in}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(c), nil
+}

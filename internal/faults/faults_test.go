@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule: the same seed replays the same decisions.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, DropProb: 0.1, ErrProb: 0.2, DelayProb: 0.1}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		if ga, gb := a.Decide("op"), b.Decide("op"); ga != gb {
+			t.Fatalf("decision %d diverged: %v != %v", i, ga, gb)
+		}
+	}
+	c := New(Config{Seed: 43, DropProb: 0.1, ErrProb: 0.2, DelayProb: 0.1})
+	same := true
+	a2 := New(cfg)
+	for i := 0; i < 500; i++ {
+		if a2.Decide("op") != c.Decide("op") {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 500-step schedules")
+	}
+}
+
+func TestZeroConfigPassesEverything(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 100; i++ {
+		if got := in.Decide("op"); got != Pass {
+			t.Fatalf("zero config decided %v", got)
+		}
+	}
+	if in.Stats.Passes.Value() != 100 {
+		t.Fatalf("passes = %d", in.Stats.Passes.Value())
+	}
+}
+
+func TestPartitionOverridesProbabilities(t *testing.T) {
+	in := New(Config{Seed: 1}) // would always pass
+	in.Partition(true)
+	for i := 0; i < 10; i++ {
+		if got := in.Decide("op"); got != Error {
+			t.Fatalf("partitioned decision = %v", got)
+		}
+	}
+	if !in.Partitioned() {
+		t.Fatal("Partitioned() = false while open")
+	}
+	in.Partition(false)
+	if got := in.Decide("op"); got != Pass {
+		t.Fatalf("healed decision = %v", got)
+	}
+	if in.Stats.Rejects.Value() != 10 {
+		t.Fatalf("rejects = %d", in.Stats.Rejects.Value())
+	}
+}
+
+func TestProbabilitiesRoughlyHold(t *testing.T) {
+	in := New(Config{Seed: 7, DropProb: 0.2, ErrProb: 0.3, DelayProb: 0.1})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		in.Decide("op")
+	}
+	frac := func(c uint64) float64 { return float64(c) / n }
+	if f := frac(in.Stats.Drops.Value()); f < 0.17 || f > 0.23 {
+		t.Fatalf("drop fraction = %.3f", f)
+	}
+	if f := frac(in.Stats.Errors.Value()); f < 0.27 || f > 0.33 {
+		t.Fatalf("error fraction = %.3f", f)
+	}
+	if f := frac(in.Stats.Delays.Value()); f < 0.08 || f > 0.12 {
+		t.Fatalf("delay fraction = %.3f", f)
+	}
+}
+
+// TestConnFaults drives a wrapped pipe through error and drop decisions.
+func TestConnFaults(t *testing.T) {
+	// ErrProb 1: every op errors but the conn survives.
+	in := New(Config{Seed: 1, ErrProb: 1})
+	a, b := net.Pipe()
+	defer b.Close()
+	wrapped := in.WrapConn(a)
+	if _, err := wrapped.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error = %v", err)
+	}
+	if _, err := wrapped.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error = %v", err)
+	}
+
+	// DropProb 1: the first op kills the connection for the peer too.
+	in = New(Config{Seed: 1, DropProb: 1})
+	a, b = net.Pipe()
+	wrapped = in.WrapConn(a)
+	if _, err := wrapped.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop error = %v", err)
+	}
+	if _, err := b.Read(make([]byte, 1)); err != io.EOF && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("peer read after drop = %v", err)
+	}
+}
+
+func TestConnPassThrough(t *testing.T) {
+	in := New(Config{Seed: 1}) // pass everything
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	wrapped := in.WrapConn(a)
+	go func() { _, _ = wrapped.Write([]byte("hello")) }()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	in := New(Config{Seed: 1, ErrProb: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := in.WrapListener(ln)
+	defer wrapped.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := wrapped.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Read(make([]byte, 1))
+		done <- err
+	}()
+	c, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Fatalf("server-side read error = %v", err)
+	}
+}

@@ -22,6 +22,11 @@ const (
 	UpdateModify
 )
 
+// UpdateNone marks synthetic updates that do not correspond to a logged
+// store mutation — e.g. the aggregate delta a warehouse view publishes
+// after a staleness resync. The store never emits it.
+const UpdateNone UpdateKind = -1
+
 // String returns the paper's name for the update kind.
 func (k UpdateKind) String() string {
 	switch k {
@@ -33,6 +38,8 @@ func (k UpdateKind) String() string {
 		return "delete"
 	case UpdateModify:
 		return "modify"
+	case UpdateNone:
+		return "resync"
 	default:
 		return fmt.Sprintf("UpdateKind(%d)", int(k))
 	}

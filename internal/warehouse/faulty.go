@@ -1,0 +1,113 @@
+package warehouse
+
+import (
+	"gsv/internal/faults"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+)
+
+// FaultySource wraps a SourceAPI so every fetch consults a fault
+// injector first — the API-level integration surface of internal/faults.
+// Where the wire-level wrapper (faults.WrapConn) breaks connections
+// mid-frame, this one injects clean query-back failures, which is what
+// staleness tests want: the failure arrives exactly at the Algorithm 1
+// helper boundary with no transport noise.
+//
+// Drop and Error decisions both fail the call (there is no connection to
+// kill at this layer); Delay stalls it. DrainReports and the metadata
+// accessors are passed through untouched so report routing itself stays
+// reliable — use the wire-level wrapper to exercise report loss.
+type FaultySource struct {
+	// Inner is the wrapped source.
+	Inner SourceAPI
+	// Inj makes the per-call decisions.
+	Inj *faults.Injector
+}
+
+// WrapSource wraps src with injector inj.
+func WrapSource(src SourceAPI, inj *faults.Injector) *FaultySource {
+	return &FaultySource{Inner: src, Inj: inj}
+}
+
+// fault applies one decision for op; non-nil means the call fails.
+func (f *FaultySource) fault(op string) error {
+	switch f.Inj.Decide(op) {
+	case faults.Drop, faults.Error:
+		return f.Inj.Errf(op)
+	case faults.Delay:
+		f.Inj.Sleep()
+	}
+	return nil
+}
+
+// ID implements SourceAPI.
+func (f *FaultySource) ID() string { return f.Inner.ID() }
+
+// TransportRef implements SourceAPI.
+func (f *FaultySource) TransportRef() *Transport { return f.Inner.TransportRef() }
+
+// LastKnownSeq implements SourceAPI.
+func (f *FaultySource) LastKnownSeq() uint64 { return f.Inner.LastKnownSeq() }
+
+// DrainReports implements SourceAPI; never faulted.
+func (f *FaultySource) DrainReports() []*UpdateReport { return f.Inner.DrainReports() }
+
+// FetchObject implements SourceAPI.
+func (f *FaultySource) FetchObject(oid oem.OID) (*oem.Object, error) {
+	if err := f.fault("object"); err != nil {
+		return nil, err
+	}
+	return f.Inner.FetchObject(oid)
+}
+
+// FetchPath implements SourceAPI.
+func (f *FaultySource) FetchPath(n oem.OID) (*PathInfo, bool, error) {
+	if err := f.fault("path"); err != nil {
+		return nil, false, err
+	}
+	return f.Inner.FetchPath(n)
+}
+
+// FetchAncestor implements SourceAPI.
+func (f *FaultySource) FetchAncestor(n oem.OID, p pathexpr.Path) (oem.OID, bool, error) {
+	if err := f.fault("ancestor"); err != nil {
+		return oem.NoOID, false, err
+	}
+	return f.Inner.FetchAncestor(n, p)
+}
+
+// FetchEval implements SourceAPI.
+func (f *FaultySource) FetchEval(n oem.OID, p pathexpr.Path) ([]*oem.Object, error) {
+	if err := f.fault("eval"); err != nil {
+		return nil, err
+	}
+	return f.Inner.FetchEval(n, p)
+}
+
+// FetchSubtree implements SourceAPI.
+func (f *FaultySource) FetchSubtree(n oem.OID, depth int) ([]*oem.Object, error) {
+	if err := f.fault("subtree"); err != nil {
+		return nil, err
+	}
+	return f.Inner.FetchSubtree(n, depth)
+}
+
+// FetchQuery implements SourceAPI.
+func (f *FaultySource) FetchQuery(q *query.Query) ([]*oem.Object, error) {
+	if err := f.fault("query"); err != nil {
+		return nil, err
+	}
+	return f.Inner.FetchQuery(q)
+}
+
+// TakeGap forwards gap detection when the inner source supports it, so a
+// fault-wrapped RemoteSource still feeds the staleness machinery.
+func (f *FaultySource) TakeGap() (uint64, bool) {
+	if gs, ok := f.Inner.(gapSource); ok {
+		return gs.TakeGap()
+	}
+	return 0, false
+}
+
+var _ SourceAPI = (*FaultySource)(nil)

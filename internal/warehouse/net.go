@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gsv/internal/feed"
@@ -34,6 +36,15 @@ import (
 //
 // Every response and report carries the source's current sequence number,
 // which feeds the warehouse's interference detection.
+//
+// Failure handling (docs/WAREHOUSE.md "Failure model"): every query-mode
+// frame is bounded by a read/write deadline, failed idempotent
+// query-backs are retried under a RetryPolicy, and both connections
+// redial automatically after a drop. A failed exchange closes the query
+// connection instead of reusing it, so a timeout can never desync the
+// encoder/decoder pair. Report-stream outages are detected as *gaps*
+// (reports are broadcast only to connected streams) and surfaced through
+// TakeGap, which the warehouse turns into view staleness.
 
 // maxFrame bounds one protocol line; longer frames fail the connection
 // (queries) or the decode (everything decodeFrame guards).
@@ -41,6 +52,9 @@ const maxFrame = 1 << 20
 
 // errFrameTooLarge rejects frames longer than maxFrame.
 var errFrameTooLarge = errors.New("warehouse: frame exceeds 1MiB limit")
+
+// errClosed marks operations on a closed RemoteSource.
+var errClosed = errors.New("warehouse: remote source closed")
 
 // decodeFrame parses one line-delimited JSON frame into v. A frame is a
 // single JSON object — malformed JSON, trailing data after the object,
@@ -101,9 +115,20 @@ type Server struct {
 	// Traces, when non-nil, attaches the most recent maintenance traces
 	// to stats responses.
 	Traces *obs.TraceRing
+	// IOTimeout, when positive, bounds every frame write the server
+	// performs (query responses, report pushes, feed events) so one
+	// stalled peer cannot wedge a handler goroutine forever. Set it
+	// before Serve.
+	IOTimeout time.Duration
+
+	// DroppedBroadcasts counts report frames discarded because a report
+	// stream's buffer was full (a slow or dead consumer). The consumer
+	// observes the loss as a sequence gap and resyncs.
+	DroppedBroadcasts obs.Counter
 
 	mu       sync.Mutex
 	ln       net.Listener
+	conns    map[net.Conn]struct{}
 	streams  []chan []byte
 	feedSubs []*feed.Subscription
 	done     chan struct{}
@@ -111,7 +136,7 @@ type Server struct {
 
 // NewServer returns a server for src. Call Serve with a listener.
 func NewServer(src *Source) *Server {
-	return &Server{Src: src, done: make(chan struct{})}
+	return &Server{Src: src, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 }
 
 // Serve accepts connections until the listener closes. It returns the
@@ -125,25 +150,40 @@ func (s *Server) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
+		s.mu.Lock()
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		go s.handle(conn)
 	}
 }
 
-// Close stops accepting and disconnects report streams.
+// Close stops accepting, disconnects every open connection (query,
+// report and subscribe alike — a closed server must actually be gone, so
+// restart drills exercise real reconnects), and tears down feed
+// subscriptions.
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ln != nil {
-		_ = s.ln.Close()
-	}
 	select {
 	case <-s.done:
+		return
 	default:
 		close(s.done)
 	}
-	for _, ch := range s.streams {
-		close(ch)
+	if s.ln != nil {
+		_ = s.ln.Close()
 	}
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
 	s.streams = nil
 	for _, sub := range s.feedSubs {
 		sub.Close()
@@ -153,7 +193,9 @@ func (s *Server) Close() {
 
 // Broadcast ships update reports to every connected report stream. The
 // serving application calls it with the reports returned by the source's
-// mutation methods (or DrainReports).
+// mutation methods (or DrainReports). A stream whose buffer is full has
+// the frame dropped rather than blocking the broadcaster; the consumer
+// detects the loss as a report-sequence gap and resyncs.
 func (s *Server) Broadcast(reports []*UpdateReport) error {
 	if len(reports) == 0 {
 		return nil
@@ -168,16 +210,30 @@ func (s *Server) Broadcast(reports []*UpdateReport) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
 	for _, ch := range s.streams {
 		for _, p := range payloads {
-			ch <- p
+			select {
+			case ch <- p:
+			default:
+				s.DroppedBroadcasts.Inc()
+			}
 		}
 	}
 	return nil
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	br := bufio.NewReader(conn)
 	mode, err := br.ReadString('\n')
 	if err != nil {
@@ -193,6 +249,13 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// armWrite applies the server's write deadline to one frame write.
+func (s *Server) armWrite(conn net.Conn) {
+	if s.IOTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.IOTimeout))
+	}
+}
+
 func (s *Server) handleQueries(conn net.Conn, br *bufio.Reader) {
 	enc := json.NewEncoder(conn)
 	sc := frameScanner(br)
@@ -205,6 +268,7 @@ func (s *Server) handleQueries(conn net.Conn, br *bufio.Reader) {
 		if err := decodeFrame(line, &req); err != nil {
 			// A malformed frame gets an error response; the connection
 			// survives because framing is still intact (line-delimited).
+			s.armWrite(conn)
 			if err := enc.Encode(netResponse{Err: err.Error(), Seq: s.Src.Store.Seq()}); err != nil {
 				return
 			}
@@ -212,6 +276,7 @@ func (s *Server) handleQueries(conn net.Conn, br *bufio.Reader) {
 		}
 		resp := s.dispatch(req)
 		resp.Seq = s.Src.Store.Seq()
+		s.armWrite(conn)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -286,18 +351,39 @@ func (s *Server) handleReports(conn net.Conn) {
 	}
 	s.streams = append(s.streams, ch)
 	s.mu.Unlock()
+	defer s.removeStream(ch)
 	// Acknowledge registration so the dialer knows subsequent broadcasts
 	// will reach this stream.
+	s.armWrite(conn)
 	if _, err := io.WriteString(conn, "ready\n"); err != nil {
 		return
 	}
 	w := bufio.NewWriter(conn)
-	for data := range ch {
-		if _, err := w.Write(append(data, '\n')); err != nil {
-			break
+	for {
+		select {
+		case <-s.done:
+			return
+		case data := <-ch:
+			s.armWrite(conn)
+			if _, err := w.Write(append(data, '\n')); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
-		if err := w.Flush(); err != nil {
-			break
+	}
+}
+
+// removeStream unregisters one report stream so broadcasts stop filling
+// its buffer after the consumer is gone.
+func (s *Server) removeStream(ch chan []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.streams {
+		if c == ch {
+			s.streams = append(s.streams[:i], s.streams[i+1:]...)
+			return
 		}
 	}
 }
@@ -356,6 +442,7 @@ func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
 	hub := s.Feed
 	s.mu.Unlock()
 	if hub == nil {
+		s.armWrite(conn)
 		_ = enc.Encode(feedHello{Err: "warehouse: server has no feed"})
 		return
 	}
@@ -365,11 +452,13 @@ func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
 	}
 	var req feedRequest
 	if err := decodeFrame(sc.Bytes(), &req); err != nil {
+		s.armWrite(conn)
 		_ = enc.Encode(feedHello{Err: err.Error()})
 		return
 	}
 	policy, err := feed.ParsePolicy(req.Policy)
 	if err != nil {
+		s.armWrite(conn)
 		_ = enc.Encode(feedHello{Err: err.Error()})
 		return
 	}
@@ -382,6 +471,7 @@ func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
 		SnapshotOnExpire: req.Snapshot,
 	})
 	if err != nil {
+		s.armWrite(conn)
 		_ = enc.Encode(feedHello{Err: err.Error(), Expired: errors.Is(err, feed.ErrCursorExpired)})
 		return
 	}
@@ -402,6 +492,7 @@ func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
 	if snap := sub.Snapshot(); snap != nil {
 		hello.Snapshot = &FeedSnapshot{Cursor: snap.Cursor, Members: snap.Members}
 	}
+	s.armWrite(conn)
 	if err := enc.Encode(hello); err != nil {
 		return
 	}
@@ -412,6 +503,7 @@ func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
 		sub.Close()
 	}()
 	for ev := range sub.Events() {
+		s.armWrite(conn)
 		if err := enc.Encode(ev); err != nil {
 			return
 		}
@@ -543,95 +635,398 @@ func (fc *FeedClient) Next() (feed.Event, error) {
 // Close disconnects the feed.
 func (fc *FeedClient) Close() { _ = fc.conn.Close() }
 
+// DialOptions configures the fault tolerance of a RemoteSource.
+type DialOptions struct {
+	// IOTimeout bounds each frame write and each response read on the
+	// query connection (and connection handshakes). Zero means no
+	// deadline.
+	IOTimeout time.Duration
+	// Retry governs retries of failed idempotent query-backs. Every
+	// SourceAPI call is a read, so a request whose response was lost can
+	// be safely re-sent on a fresh connection. The zero policy means one
+	// attempt (fail fast).
+	Retry RetryPolicy
+	// Redial governs re-establishing the report stream after a drop.
+	// The zero policy is replaced by DefaultRedialPolicy; to disable
+	// redial set MaxAttempts to a negative value.
+	Redial RetryPolicy
+	// Seed seeds the backoff jitter so tests replay identical schedules.
+	// Zero uses a fixed default seed.
+	Seed int64
+}
+
+// DefaultDialOptions is what plain Dial uses: bounded frames, retried
+// query-backs, and automatic report-stream redial.
+func DefaultDialOptions() DialOptions {
+	return DialOptions{
+		IOTimeout: 10 * time.Second,
+		Retry:     DefaultRetryPolicy,
+		Redial:    DefaultRedialPolicy,
+	}
+}
+
+// WireStats counts the client side of the wire protocol's failure
+// handling. The counters are atomic; RegisterObs exposes them.
+type WireStats struct {
+	// BadFrames counts malformed report frames skipped by the reader.
+	BadFrames obs.Counter
+	// QueryReconnects counts re-established query connections.
+	QueryReconnects obs.Counter
+	// ReportReconnects counts re-established report streams.
+	ReportReconnects obs.Counter
+	// Retries counts re-sent query-back requests.
+	Retries obs.Counter
+	// Gaps counts detected report-stream gaps (disconnects and sequence
+	// discontinuities).
+	Gaps obs.Counter
+
+	mu            sync.Mutex
+	lastDecodeErr string
+}
+
+// WireSnapshot is a plain-value copy of WireStats.
+type WireSnapshot struct {
+	BadFrames        uint64 `json:"badFrames,omitempty"`
+	QueryReconnects  uint64 `json:"queryReconnects,omitempty"`
+	ReportReconnects uint64 `json:"reportReconnects,omitempty"`
+	Retries          uint64 `json:"retries,omitempty"`
+	Gaps             uint64 `json:"gaps,omitempty"`
+	LastDecodeErr    string `json:"lastDecodeErr,omitempty"`
+}
+
+func (ws *WireStats) noteDecodeErr(err error) {
+	ws.BadFrames.Inc()
+	ws.mu.Lock()
+	ws.lastDecodeErr = err.Error()
+	ws.mu.Unlock()
+}
+
+func (ws *WireStats) snapshot() WireSnapshot {
+	ws.mu.Lock()
+	last := ws.lastDecodeErr
+	ws.mu.Unlock()
+	return WireSnapshot{
+		BadFrames:        ws.BadFrames.Value(),
+		QueryReconnects:  ws.QueryReconnects.Value(),
+		ReportReconnects: ws.ReportReconnects.Value(),
+		Retries:          ws.Retries.Value(),
+		Gaps:             ws.Gaps.Value(),
+		LastDecodeErr:    last,
+	}
+}
+
 // RemoteSource implements SourceAPI over two TCP connections to a Server.
 // All traffic is charged to a local Transport with the *actual* payload
 // byte counts — the simulated-transport numbers of the in-process mode can
 // be validated against these.
+//
+// A RemoteSource survives connection failures: query-backs retry on a
+// fresh connection under DialOptions.Retry, and a dropped report stream
+// redials under DialOptions.Redial. Reports broadcast while the stream
+// was down are gone (the server does not replay); the loss is recorded
+// as a gap that TakeGap hands to the warehouse staleness machinery.
 type RemoteSource struct {
 	name string
+	addr string
 	tr   *Transport
+	opts DialOptions
 
-	qmu  sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	closed  atomic.Bool
+	closeCh chan struct{}
 
-	rmu          sync.Mutex
-	reports      []*UpdateReport
-	lastSeq      uint64
-	rconn        net.Conn
-	streamClosed bool
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// qmu serializes request/response exchanges; cmu guards the
+	// connection fields (Close must be able to reach them while an
+	// exchange is blocked on I/O).
+	qmu   sync.Mutex
+	cmu   sync.Mutex
+	conn  net.Conn
+	enc   *json.Encoder
+	dec   *json.Decoder
+	rconn net.Conn
+
+	rmu           sync.Mutex
+	rcond         *sync.Cond
+	reports       []*UpdateReport
+	lastSeq       uint64
+	lastReportSeq uint64
+	gapPending    bool
+	gapSeq        uint64
+	streamClosed  bool
+
+	wire WireStats
 }
 
-// Dial connects to a served source at addr. The name must match the
-// served source's name (reports carry it).
+// Dial connects to a served source at addr with DefaultDialOptions. The
+// name must match the served source's name (reports carry it).
 func Dial(name, addr string, tr *Transport) (*RemoteSource, error) {
-	qconn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	return DialWithOptions(name, addr, tr, DefaultDialOptions())
+}
+
+// DialWithOptions connects with explicit fault-tolerance options. The
+// initial dial itself is not retried — callers distinguish "never
+// reachable" from "failed mid-stream".
+func DialWithOptions(name, addr string, tr *Transport, opts DialOptions) (*RemoteSource, error) {
+	if opts.Redial.MaxAttempts == 0 && opts.Redial.BaseDelay == 0 {
+		opts.Redial = DefaultRedialPolicy
 	}
-	if _, err := io.WriteString(qconn, "query\n"); err != nil {
-		qconn.Close()
-		return nil, err
-	}
-	rconn, err := net.Dial("tcp", addr)
-	if err != nil {
-		qconn.Close()
-		return nil, err
-	}
-	if _, err := io.WriteString(rconn, "reports\n"); err != nil {
-		qconn.Close()
-		rconn.Close()
-		return nil, err
-	}
-	// Wait for the server's registration ack: broadcasts sent after Dial
-	// returns are guaranteed to reach this stream.
-	rbr := bufio.NewReader(rconn)
-	if _, err := rbr.ReadString('\n'); err != nil {
-		qconn.Close()
-		rconn.Close()
-		return nil, fmt.Errorf("warehouse: report stream handshake: %w", err)
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
 	}
 	rs := &RemoteSource{
-		name:  name,
-		tr:    tr,
-		conn:  qconn,
-		enc:   json.NewEncoder(qconn),
-		dec:   json.NewDecoder(bufio.NewReader(qconn)),
-		rconn: rconn,
+		name:    name,
+		addr:    addr,
+		tr:      tr,
+		opts:    opts,
+		closeCh: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
 	}
-	go rs.readReportsFrom(rbr)
+	rs.rcond = sync.NewCond(&rs.rmu)
+
+	qconn, err := rs.dialMode("query")
+	if err != nil {
+		return nil, err
+	}
+	rs.conn = qconn
+	rs.enc = json.NewEncoder(qconn)
+	rs.dec = json.NewDecoder(bufio.NewReader(qconn))
+
+	rbr, rconn, err := rs.dialReports()
+	if err != nil {
+		qconn.Close()
+		return nil, err
+	}
+	rs.rconn = rconn
+	go rs.superviseReports(rbr)
 	return rs, nil
 }
 
-// Close disconnects both connections.
-func (rs *RemoteSource) Close() {
-	rs.qmu.Lock()
-	_ = rs.conn.Close()
-	rs.qmu.Unlock()
-	_ = rs.rconn.Close()
+// dialMode opens one connection and sends the mode line.
+func (rs *RemoteSource) dialMode(mode string) (net.Conn, error) {
+	var d net.Dialer
+	d.Timeout = rs.opts.IOTimeout
+	conn, err := d.Dial("tcp", rs.addr)
+	if err != nil {
+		return nil, err
+	}
+	if rs.opts.IOTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(rs.opts.IOTimeout))
+	}
+	if _, err := io.WriteString(conn, mode+"\n"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetWriteDeadline(time.Time{})
+	return conn, nil
 }
 
-func (rs *RemoteSource) readReportsFrom(r io.Reader) {
+// dialReports opens a report-mode connection and waits for the server's
+// registration ack: broadcasts sent after it returns are guaranteed to
+// reach this stream.
+func (rs *RemoteSource) dialReports() (*bufio.Reader, net.Conn, error) {
+	conn, err := rs.dialMode("reports")
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReader(conn)
+	if rs.opts.IOTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(rs.opts.IOTimeout))
+	}
+	if _, err := br.ReadString('\n'); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("warehouse: report stream handshake: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	return br, conn, nil
+}
+
+// Close disconnects both connections and wakes every waiter.
+func (rs *RemoteSource) Close() {
+	if rs.closed.Swap(true) {
+		return
+	}
+	close(rs.closeCh)
+	rs.cmu.Lock()
+	if rs.conn != nil {
+		_ = rs.conn.Close()
+	}
+	if rs.rconn != nil {
+		_ = rs.rconn.Close()
+	}
+	rs.cmu.Unlock()
+	rs.rmu.Lock()
+	rs.streamClosed = true
+	rs.rcond.Broadcast()
+	rs.rmu.Unlock()
+}
+
+// jitter returns the seeded RNG for backoff jitter (callers must not
+// retain it).
+func (rs *RemoteSource) jitter() *rand.Rand {
+	return rs.rng
+}
+
+// sleep waits d, interruptibly. It reports false when the source closed.
+func (rs *RemoteSource) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !rs.closed.Load()
+	}
+	select {
+	case <-rs.closeCh:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// superviseReports owns the report stream: it reads until the connection
+// breaks, records the outage as a gap (broadcasts during it are lost),
+// redials under the Redial policy, and repeats. It exits when the source
+// closes or redial gives up; either way streamClosed wakes any waiter.
+func (rs *RemoteSource) superviseReports(br *bufio.Reader) {
 	defer func() {
 		rs.rmu.Lock()
 		rs.streamClosed = true
+		rs.rcond.Broadcast()
 		rs.rmu.Unlock()
 	}()
+	for {
+		rs.readReportsFrom(br)
+		if rs.closed.Load() {
+			return
+		}
+		// The stream broke: whatever was broadcast from now until the
+		// redial lands is lost. Conservatively that is a gap — the
+		// warehouse decides what to do with it (staleness + repair).
+		rs.rmu.Lock()
+		rs.noteGapLocked()
+		rs.rmu.Unlock()
+		br = rs.redialReports()
+		if br == nil {
+			return
+		}
+		rs.wire.ReportReconnects.Inc()
+	}
+}
+
+// redialReports re-establishes the report stream under the Redial
+// policy. It returns nil when the policy is exhausted or the source
+// closed.
+func (rs *RemoteSource) redialReports() *bufio.Reader {
+	p := rs.opts.Redial
+	if p.MaxAttempts < 0 {
+		return nil
+	}
+	for attempt := 1; attempt <= p.attempts(); attempt++ {
+		rs.rngMu.Lock()
+		d := p.backoff(attempt, rs.jitter())
+		rs.rngMu.Unlock()
+		if !rs.sleep(d) {
+			return nil
+		}
+		br, conn, err := rs.dialReports()
+		if err != nil {
+			continue
+		}
+		rs.cmu.Lock()
+		if rs.closed.Load() {
+			rs.cmu.Unlock()
+			conn.Close()
+			return nil
+		}
+		rs.rconn = conn
+		rs.cmu.Unlock()
+		return br
+	}
+	return nil
+}
+
+// noteGapLocked records a report gap at the current position. Callers
+// hold rmu.
+func (rs *RemoteSource) noteGapLocked() {
+	if !rs.gapPending {
+		rs.gapPending = true
+		rs.gapSeq = rs.lastReportSeq
+		rs.wire.Gaps.Inc()
+	}
+}
+
+// TakeGap returns and clears the report-gap flag: the last report
+// sequence number known to be received before the gap, and whether a gap
+// was pending. The warehouse calls it before routing reports and marks
+// every view stale when it fires (the lost reports can never be
+// replayed; only a resync repairs the views).
+func (rs *RemoteSource) TakeGap() (uint64, bool) {
+	rs.rmu.Lock()
+	defer rs.rmu.Unlock()
+	if !rs.gapPending {
+		return 0, false
+	}
+	rs.gapPending = false
+	return rs.gapSeq, true
+}
+
+// StreamHealthy reports whether the report stream is still being
+// supervised (it is false once redial gave up or the source closed).
+func (rs *RemoteSource) StreamHealthy() bool {
+	rs.rmu.Lock()
+	defer rs.rmu.Unlock()
+	return !rs.streamClosed
+}
+
+// WireStats returns a snapshot of the client-side failure counters.
+func (rs *RemoteSource) WireStats() WireSnapshot { return rs.wire.snapshot() }
+
+// RegisterObs exposes the client-side wire counters on reg, labeled by
+// source.
+func (rs *RemoteSource) RegisterObs(reg *obs.Registry) {
+	reg.Help("gsv_remote_bad_frames_total", "malformed report frames skipped by the reader")
+	reg.Help("gsv_remote_reconnects_total", "re-established connections, by connection kind")
+	reg.Help("gsv_remote_retries_total", "re-sent query-back requests")
+	reg.Help("gsv_remote_gaps_total", "detected report-stream gaps")
+	ls := obs.L("source", rs.name)
+	reg.RegisterCounter("gsv_remote_bad_frames_total", &rs.wire.BadFrames, ls)
+	reg.RegisterCounter("gsv_remote_reconnects_total", &rs.wire.QueryReconnects, ls, obs.L("conn", "query"))
+	reg.RegisterCounter("gsv_remote_reconnects_total", &rs.wire.ReportReconnects, ls, obs.L("conn", "reports"))
+	reg.RegisterCounter("gsv_remote_retries_total", &rs.wire.Retries, ls)
+	reg.RegisterCounter("gsv_remote_gaps_total", &rs.wire.Gaps, ls)
+}
+
+// readReportsFrom consumes the report stream until it breaks. Malformed
+// frames are counted (gsv_remote_bad_frames_total) and the last decode
+// error retained, instead of being silently skipped.
+func (rs *RemoteSource) readReportsFrom(r io.Reader) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 1<<20), maxFrame)
 	for sc.Scan() {
 		line := sc.Bytes()
-		var r UpdateReport
-		if err := json.Unmarshal(line, &r); err != nil {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rep UpdateReport
+		if err := json.Unmarshal(line, &rep); err != nil {
+			rs.wire.noteDecodeErr(err)
 			continue
 		}
 		rs.rmu.Lock()
-		rs.reports = append(rs.reports, &r)
-		if r.Update.Seq > rs.lastSeq {
-			rs.lastSeq = r.Update.Seq
+		// A sequence discontinuity means broadcasts were lost even
+		// though the connection stayed up (e.g. the server dropped
+		// frames for a slow stream).
+		if rs.lastReportSeq > 0 && rep.Update.Seq > rs.lastReportSeq+1 {
+			rs.noteGapLocked()
 		}
-		rs.tr.OneWay(len(line)+1, len(r.Objects))
+		rs.reports = append(rs.reports, &rep)
+		if rep.Update.Seq > rs.lastReportSeq {
+			rs.lastReportSeq = rep.Update.Seq
+		}
+		if rep.Update.Seq > rs.lastSeq {
+			rs.lastSeq = rep.Update.Seq
+		}
+		rs.tr.OneWay(len(line)+1, len(rep.Objects))
+		rs.rcond.Broadcast()
 		rs.rmu.Unlock()
 	}
 }
@@ -659,29 +1054,42 @@ func (rs *RemoteSource) DrainReports() []*UpdateReport {
 }
 
 // WaitReports blocks until at least n reports are buffered or the stream
-// closes, then drains. Tests and pull-style integrators use it to
-// synchronize with the asynchronous stream.
+// closes for good, then drains. Tests and pull-style integrators use it
+// to synchronize with the asynchronous stream.
 func (rs *RemoteSource) WaitReports(n int) []*UpdateReport {
-	for {
-		rs.rmu.Lock()
-		if len(rs.reports) >= n {
-			out := rs.reports
-			rs.reports = nil
+	out, _ := rs.WaitReportsTimeout(n, 0)
+	return out
+}
+
+// WaitReportsTimeout is WaitReports with a deadline: it returns whatever
+// is buffered once n reports arrived, the stream closed, or timeout
+// elapsed (0 means no timeout), and reports whether n were seen.
+func (rs *RemoteSource) WaitReportsTimeout(n int, timeout time.Duration) ([]*UpdateReport, bool) {
+	rs.rmu.Lock()
+	defer rs.rmu.Unlock()
+	timedOut := false
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			rs.rmu.Lock()
+			timedOut = true
+			rs.rcond.Broadcast()
 			rs.rmu.Unlock()
-			return out
-		}
-		closed := rs.streamClosed
-		rs.rmu.Unlock()
-		if closed {
-			return rs.DrainReports()
-		}
-		// The reader goroutine fills the buffer; yield briefly.
-		time.Sleep(time.Millisecond)
+		})
+		defer t.Stop()
 	}
+	for len(rs.reports) < n && !rs.streamClosed && !timedOut {
+		rs.rcond.Wait()
+	}
+	out := rs.reports
+	rs.reports = nil
+	return out, len(out) >= n
 }
 
 // roundTrip sends one request and decodes the response, charging actual
-// bytes to the transport.
+// bytes to the transport. Transient failures (timeouts, drops, resets)
+// close the connection — a half-finished exchange must never leave the
+// encoder/decoder desynced — and retry on a fresh one under the Retry
+// policy.
 func (rs *RemoteSource) roundTrip(req netRequest) (netResponse, error) {
 	rs.qmu.Lock()
 	defer rs.qmu.Unlock()
@@ -689,21 +1097,107 @@ func (rs *RemoteSource) roundTrip(req netRequest) (netResponse, error) {
 	if err != nil {
 		return netResponse{}, err
 	}
-	if err := rs.enc.Encode(req); err != nil {
+	p := rs.opts.Retry
+	var lastErr error
+	for attempt := 1; attempt <= p.attempts(); attempt++ {
+		if attempt > 1 {
+			rs.wire.Retries.Inc()
+			rs.rngMu.Lock()
+			d := p.backoff(attempt-1, rs.jitter())
+			rs.rngMu.Unlock()
+			if !rs.sleep(d) {
+				break
+			}
+		}
+		if rs.closed.Load() {
+			break
+		}
+		resp, err := rs.exchange(req)
+		if err == nil {
+			respBytes, _ := json.Marshal(resp)
+			rs.tr.RoundTrip(len(reqBytes)+1, len(respBytes)+1, len(resp.Objects))
+			rs.rmu.Lock()
+			if resp.Seq > rs.lastSeq {
+				rs.lastSeq = resp.Seq
+			}
+			rs.rmu.Unlock()
+			return resp, nil
+		}
+		lastErr = err
+	}
+	if rs.closed.Load() && lastErr == nil {
+		lastErr = errClosed
+	}
+	if p.attempts() > 1 {
+		return netResponse{}, fmt.Errorf("warehouse: %s failed after %d attempts: %w", req.Op, p.attempts(), lastErr)
+	}
+	return netResponse{}, lastErr
+}
+
+// exchange performs one request/response pair on the current query
+// connection (redialing it if absent), bounded by IOTimeout per frame.
+// Any failure closes the connection so the next attempt starts clean.
+func (rs *RemoteSource) exchange(req netRequest) (netResponse, error) {
+	rs.cmu.Lock()
+	conn, enc, dec := rs.conn, rs.enc, rs.dec
+	rs.cmu.Unlock()
+	if conn == nil {
+		var err error
+		conn, enc, dec, err = rs.redialQuery()
+		if err != nil {
+			return netResponse{}, fmt.Errorf("warehouse: redialing for %s: %w", req.Op, err)
+		}
+	}
+	if t := rs.opts.IOTimeout; t > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	if err := enc.Encode(req); err != nil {
+		rs.dropQueryConn(conn)
 		return netResponse{}, fmt.Errorf("warehouse: sending %s: %w", req.Op, err)
 	}
+	if t := rs.opts.IOTimeout; t > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(t))
+	}
 	var resp netResponse
-	if err := rs.dec.Decode(&resp); err != nil {
+	if err := dec.Decode(&resp); err != nil {
+		rs.dropQueryConn(conn)
 		return netResponse{}, fmt.Errorf("warehouse: receiving %s: %w", req.Op, err)
 	}
-	respBytes, _ := json.Marshal(resp)
-	rs.tr.RoundTrip(len(reqBytes)+1, len(respBytes)+1, len(resp.Objects))
-	rs.rmu.Lock()
-	if resp.Seq > rs.lastSeq {
-		rs.lastSeq = resp.Seq
-	}
-	rs.rmu.Unlock()
+	_ = conn.SetReadDeadline(time.Time{})
+	_ = conn.SetWriteDeadline(time.Time{})
 	return resp, nil
+}
+
+// redialQuery re-establishes the query connection and installs a fresh
+// encoder/decoder pair.
+func (rs *RemoteSource) redialQuery() (net.Conn, *json.Encoder, *json.Decoder, error) {
+	conn, err := rs.dialMode("query")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	rs.cmu.Lock()
+	if rs.closed.Load() {
+		rs.cmu.Unlock()
+		conn.Close()
+		return nil, nil, nil, errClosed
+	}
+	rs.conn, rs.enc, rs.dec = conn, enc, dec
+	rs.cmu.Unlock()
+	rs.wire.QueryReconnects.Inc()
+	return conn, enc, dec, nil
+}
+
+// dropQueryConn discards a failed query connection so the next exchange
+// redials instead of reusing a desynced stream.
+func (rs *RemoteSource) dropQueryConn(c net.Conn) {
+	rs.cmu.Lock()
+	if rs.conn == c {
+		rs.conn, rs.enc, rs.dec = nil, nil, nil
+	}
+	rs.cmu.Unlock()
+	_ = c.Close()
 }
 
 // FetchObject implements SourceAPI.

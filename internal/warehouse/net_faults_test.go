@@ -1,0 +1,253 @@
+package warehouse
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// fastOptions are DialOptions tuned for tests: real retries and redial
+// but with millisecond backoffs so failures resolve quickly.
+func fastOptions() DialOptions {
+	return DialOptions{
+		IOTimeout: 2 * time.Second,
+		Retry: RetryPolicy{
+			MaxAttempts: 10, BaseDelay: time.Millisecond,
+			MaxDelay: 20 * time.Millisecond, Multiplier: 2, Jitter: 0.2,
+		},
+		Redial: RetryPolicy{
+			MaxAttempts: 500, BaseDelay: time.Millisecond,
+			MaxDelay: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.2,
+		},
+		Seed: 7,
+	}
+}
+
+// restartServer rebinds addr (retrying through TIME_WAIT) and serves src
+// on a fresh Server.
+func restartServer(t *testing.T, src *Source, addr string) *Server {
+	t.Helper()
+	var ln net.Listener
+	var err error
+	for try := 0; ; try++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if try > 100 {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	server := NewServer(src)
+	go func() { _ = server.Serve(ln) }()
+	t.Cleanup(server.Close)
+	return server
+}
+
+// TestNetQuerySurvivesServerRestart is the "one failure must not poison
+// the connection" regression test: a fetch that dies mid-exchange (the
+// server went away) is retried on a fresh connection, and after the
+// server returns, the same RemoteSource keeps answering — no desynced
+// encoder/decoder, no manual re-dial.
+func TestNetQuerySurvivesServerRestart(t *testing.T) {
+	s := store.NewDefault()
+	s.MustPut(oem.NewAtom("A1", "age", oem.Int(45)))
+	src := NewSource("persons", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	server := NewServer(src)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go func() { _ = server.Serve(ln) }()
+
+	remote, err := DialWithOptions("persons", addr, NewTransport(0), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	if _, err := remote.FetchObject("A1"); err != nil {
+		t.Fatalf("fetch before restart: %v", err)
+	}
+
+	server.Close()
+	restartServer(t, src, addr)
+
+	// The query connection is dead; the retry loop must redial and
+	// answer this from the restarted server.
+	o, err := remote.FetchObject("A1")
+	if err != nil {
+		t.Fatalf("fetch after restart: %v", err)
+	}
+	if o.Label != "age" {
+		t.Fatalf("fetched %v", o)
+	}
+	ws := remote.WireStats()
+	if ws.QueryReconnects == 0 {
+		t.Fatalf("no query reconnect recorded: %+v", ws)
+	}
+}
+
+// TestNetReportStreamReconnectRecordsGap: a server restart while the
+// report stream is up must (a) redial the stream automatically and (b)
+// flag the outage as a gap — broadcasts during the outage are
+// unrecoverable.
+func TestNetReportStreamReconnectRecordsGap(t *testing.T) {
+	s := store.NewDefault()
+	s.MustPut(oem.NewSet("ROOT", "root"))
+	src := NewSource("persons", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	server := NewServer(src)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go func() { _ = server.Serve(ln) }()
+
+	remote, err := DialWithOptions("persons", addr, NewTransport(0), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// One report through the first server incarnation.
+	s.MustPut(oem.NewAtom("X1", "x", oem.Int(1)))
+	if err := server.Broadcast(src.DrainReports()); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := remote.WaitReportsTimeout(1, 5*time.Second); !ok {
+		t.Fatalf("first report missing: %v", got)
+	}
+
+	server.Close()
+	// Updates while down: their reports are lost.
+	s.MustPut(oem.NewAtom("X2", "x", oem.Int(2)))
+	src.DrainReports()
+	server2 := restartServer(t, src, addr)
+
+	// Wait for the client to re-register, then broadcast through the new
+	// incarnation.
+	deadline := time.Now().Add(10 * time.Second)
+	for remote.WireStats().ReportReconnects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("report stream never reconnected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.MustPut(oem.NewAtom("X3", "x", oem.Int(3)))
+	if err := server2.Broadcast(src.DrainReports()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := remote.WaitReportsTimeout(1, 5*time.Second); !ok {
+		t.Fatal("report after reconnect missing")
+	}
+	if seq, gapped := remote.TakeGap(); !gapped {
+		t.Fatal("no gap recorded across restart")
+	} else if seq == 0 {
+		t.Fatal("gap recorded with zero last-seq")
+	}
+	// The gap is consumed exactly once.
+	if _, gapped := remote.TakeGap(); gapped {
+		t.Fatal("gap not cleared by TakeGap")
+	}
+}
+
+// TestWaitReportsTimeoutExpires: the timeout variant returns (empty,
+// false) instead of blocking forever when no reports arrive.
+func TestWaitReportsTimeoutExpires(t *testing.T) {
+	_, _, remote := startNetSource(t, Level2)
+	start := time.Now()
+	got, ok := remote.WaitReportsTimeout(1, 50*time.Millisecond)
+	if ok || len(got) != 0 {
+		t.Fatalf("WaitReportsTimeout = %v, %v", got, ok)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// fakeReportServer speaks just enough of the protocol to feed the client
+// hand-crafted report frames: it accepts the query connection silently
+// and serves the given raw lines on the reports connection.
+func fakeReportServer(t *testing.T, lines [][]byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				br := bufio.NewReader(conn)
+				mode, err := br.ReadString('\n')
+				if err != nil {
+					conn.Close()
+					return
+				}
+				if mode != "reports\n" {
+					// Hold the query connection open, answering nothing.
+					_, _ = io.Copy(io.Discard, br)
+					conn.Close()
+					return
+				}
+				_, _ = io.WriteString(conn, "ready\n")
+				for _, l := range lines {
+					_, _ = conn.Write(append(l, '\n'))
+				}
+				// Keep the stream open so the client does not redial.
+				buf := make([]byte, 1)
+				_, _ = conn.Read(buf)
+				conn.Close()
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestNetBadReportFramesCounted: malformed report frames are skipped but
+// counted, with the last decode error retained — they are no longer
+// silently dropped.
+func TestNetBadReportFramesCounted(t *testing.T) {
+	good, err := json.Marshal(&UpdateReport{
+		Source: "persons", Level: Level2,
+		Update: store.Update{Seq: 1, Kind: store.UpdateModify, N1: "A1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := fakeReportServer(t, [][]byte{
+		[]byte("this is not json"),
+		[]byte(`{"truncated":`),
+		good,
+	})
+	remote, err := DialWithOptions("persons", addr, NewTransport(0), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	reports, ok := remote.WaitReportsTimeout(1, 5*time.Second)
+	if !ok || len(reports) != 1 || reports[0].Update.Seq != 1 {
+		t.Fatalf("reports = %v, ok=%v", reports, ok)
+	}
+	ws := remote.WireStats()
+	if ws.BadFrames != 2 {
+		t.Fatalf("bad frames = %d, want 2", ws.BadFrames)
+	}
+	if ws.LastDecodeErr == "" {
+		t.Fatal("last decode error not retained")
+	}
+}

@@ -1,0 +1,88 @@
+package warehouse
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is a capped exponential backoff with jitter. It governs
+// both the retry of idempotent query-backs (every SourceAPI fetch is a
+// read, so re-sending a request whose response was lost is safe) and the
+// redial of dropped connections.
+//
+// The zero policy means "one attempt, no waiting": existing callers that
+// never configured retries keep their fail-fast behavior.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of tries; values below one are
+	// treated as one (no retries).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff.
+	MaxDelay time.Duration
+	// Multiplier grows the delay each retry; values below 1 mean 2.
+	Multiplier float64
+	// Jitter spreads each delay uniformly in [d*(1-j), d*(1+j)] so
+	// reconnect storms from many warehouses decorrelate. 0 disables.
+	Jitter float64
+}
+
+// DefaultRetryPolicy retries query-backs a few times over ~100ms — long
+// enough to ride out a dropped connection plus redial, short enough that
+// a genuinely dead source fails maintenance promptly (and the staleness
+// machinery takes over).
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   5 * time.Millisecond,
+	MaxDelay:    250 * time.Millisecond,
+	Multiplier:  2,
+	Jitter:      0.2,
+}
+
+// DefaultRedialPolicy keeps re-dialing a lost report stream for roughly
+// a minute before declaring it dead.
+var DefaultRedialPolicy = RetryPolicy{
+	MaxAttempts: 60,
+	BaseDelay:   10 * time.Millisecond,
+	MaxDelay:    2 * time.Second,
+	Multiplier:  2,
+	Jitter:      0.2,
+}
+
+// attempts returns the effective attempt bound.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the wait before retry number retry (1-based). rng may
+// be nil, in which case no jitter is applied.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}

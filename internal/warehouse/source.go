@@ -86,7 +86,11 @@ type Source struct {
 	// and FetchEval: concurrent server query goroutines would otherwise
 	// stomp each other's AccessStats pointer.
 	accessMu sync.Mutex
-	pending  []store.Update
+	// pendingMu guards pending: the store.Subscribe callback appends from
+	// whatever goroutine mutates the store, while DrainReports swaps the
+	// slice out from the server's broadcast loop.
+	pendingMu sync.Mutex
+	pending   []store.Update
 	// Stats counts wrapper work performed on behalf of the warehouse.
 	Stats WrapperStats
 }
@@ -114,7 +118,11 @@ func (s *Source) RegisterObs(reg *obs.Registry) {
 func NewSource(name string, s *store.Store, root oem.OID, level ReportLevel, tr *Transport) *Source {
 	src := &Source{Name: name, Store: s, Root: root, Level: level, Transport: tr,
 		access: core.NewCentralAccess(s)}
-	s.Subscribe(func(u store.Update) { src.pending = append(src.pending, u) })
+	s.Subscribe(func(u store.Update) {
+		src.pendingMu.Lock()
+		src.pending = append(src.pending, u)
+		src.pendingMu.Unlock()
+	})
 	return src
 }
 
@@ -159,8 +167,10 @@ func (s *Source) Put(o *oem.Object) ([]*UpdateReport, error) {
 // mutation; enrichment reflects the store state at drain time, so drain
 // once per update for faithful Level3 paths.
 func (s *Source) DrainReports() []*UpdateReport {
+	s.pendingMu.Lock()
 	us := s.pending
 	s.pending = nil
+	s.pendingMu.Unlock()
 	reports := make([]*UpdateReport, 0, len(us))
 	for _, u := range us {
 		reports = append(reports, s.enrich(u))

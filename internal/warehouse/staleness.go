@@ -1,0 +1,288 @@
+package warehouse
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// This file is the warehouse's staleness state machine. The paper's
+// Section 5 protocol silently assumes every update report arrives and
+// every query back succeeds; over a real network neither holds. When
+// maintenance of a view fails, or when the report stream loses updates
+// (a gap), the view's membership can no longer be trusted to track the
+// source — but it is still the most recent consistent answer available.
+// So instead of failing reads or wedging maintenance:
+//
+//	Fresh ──failure/gap──▶ Stale ──repair──▶ Repairing ──▶ Fresh
+//	                         ▲                   │
+//	                         └──repair failed────┘
+//
+//   - Stale: membership reads are still served (flagged via State), but
+//     the view is quarantined — incremental maintenance skips it, since
+//     Algorithm 1 applied to an inconsistent base can diverge further.
+//   - Repairing: a resync is re-running the view's query at the source
+//     (the one operation that is always correct regardless of how much
+//     was missed) and diffing the result against the stale membership.
+//   - Fresh: deltas from the resync were applied and published to the
+//     changefeed as one aggregate "resync" event; incremental
+//     maintenance resumes.
+//
+// Repair is driven by Repair/RepairAll (on demand, e.g. from tests or a
+// CLI) or by StartRepairLoop (a background ticker, how gsdbserve and
+// gsdbwatch run it). See docs/WAREHOUSE.md "Failure model".
+
+// ViewState is one warehouse view's staleness state.
+type ViewState int32
+
+const (
+	// ViewFresh means incremental maintenance is tracking the source.
+	ViewFresh ViewState = iota
+	// ViewStale means maintenance failed or reports were lost; reads are
+	// served from the last applied membership, maintenance is paused.
+	ViewStale
+	// ViewRepairing means a resync against the source is in flight.
+	ViewRepairing
+)
+
+// String names the state.
+func (s ViewState) String() string {
+	switch s {
+	case ViewFresh:
+		return "fresh"
+	case ViewStale:
+		return "stale"
+	case ViewRepairing:
+		return "repairing"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// State returns the view's current staleness state. Safe from any
+// goroutine.
+func (v *WView) State() ViewState { return ViewState(v.state.Load()) }
+
+// StaleReason returns why the view left Fresh (empty when Fresh) and
+// when.
+func (v *WView) StaleReason() (string, time.Time) {
+	v.staleMu.Lock()
+	defer v.staleMu.Unlock()
+	return v.staleReason, v.staleSince
+}
+
+// markStale moves the view to Stale, recording the reason. Idempotent:
+// an already-stale view keeps its original reason (the first failure is
+// the interesting one).
+func (v *WView) markStale(reason string) {
+	if !v.state.CompareAndSwap(int32(ViewFresh), int32(ViewStale)) {
+		return
+	}
+	v.Stats.StaleTransitions.Inc()
+	v.staleMu.Lock()
+	v.staleReason = reason
+	v.staleSince = time.Now()
+	v.staleMu.Unlock()
+}
+
+// markFresh returns the view to Fresh and clears the reason.
+func (v *WView) markFresh() {
+	v.state.Store(int32(ViewFresh))
+	v.staleMu.Lock()
+	v.staleReason = ""
+	v.staleSince = time.Time{}
+	v.staleMu.Unlock()
+}
+
+// gapSource is implemented by sources that can lose update reports and
+// know it (RemoteSource). TakeGap returns-and-clears the pending gap.
+type gapSource interface {
+	TakeGap() (lastSeq uint64, gapped bool)
+}
+
+// absorbSourceGap checks the source for a report-stream gap and, when
+// one fired, marks every view stale: the lost reports are unrecoverable
+// (the server does not replay), so only a resync restores correctness.
+func (w *Warehouse) absorbSourceGap() {
+	gs, ok := w.Src.(gapSource)
+	if !ok {
+		return
+	}
+	seq, gapped := gs.TakeGap()
+	if !gapped {
+		return
+	}
+	reason := fmt.Sprintf("report stream gap after seq %d", seq)
+	for _, v := range w.viewsSorted() {
+		v.markStale(reason)
+	}
+}
+
+// StaleViews returns the names of views currently not Fresh, sorted.
+func (w *Warehouse) StaleViews() []string {
+	var out []string
+	for _, v := range w.viewsSorted() {
+		if v.State() != ViewFresh {
+			out = append(out, v.Name)
+		}
+	}
+	return out
+}
+
+// Repair resyncs one view if it is Stale. It reports whether the view is
+// Fresh on return.
+func (w *Warehouse) Repair(name string) (bool, error) {
+	v, ok := w.View(name)
+	if !ok {
+		return false, fmt.Errorf("warehouse: no view %s", name)
+	}
+	if v.State() == ViewFresh {
+		return true, nil
+	}
+	if err := w.resyncView(v); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RepairAll resyncs every non-Fresh view, in name order. It returns the
+// first error (continuing past failed views) and the number of views it
+// returned to Fresh.
+func (w *Warehouse) RepairAll() (int, error) {
+	var firstErr error
+	repaired := 0
+	w.absorbSourceGap()
+	for _, v := range w.viewsSorted() {
+		if v.State() == ViewFresh {
+			continue
+		}
+		if err := w.resyncView(v); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		repaired++
+	}
+	return repaired, firstErr
+}
+
+// StartRepairLoop runs RepairAll every interval on a background
+// goroutine until the returned stop function is called. Failed repairs
+// stay Stale and are retried on the next tick.
+func (w *Warehouse) StartRepairLoop(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_, _ = w.RepairAll()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// resyncView re-runs the view's defining query at the source and applies
+// the difference to the materialization — the repair path. It runs under
+// the view's processing lock, so incremental maintenance and repair
+// never interleave on one view.
+func (w *Warehouse) resyncView(v *WView) error {
+	v.procMu.Lock()
+	defer v.procMu.Unlock()
+	if v.State() == ViewFresh {
+		return nil
+	}
+	v.state.Store(int32(ViewRepairing))
+	if err := w.resyncLocked(v); err != nil {
+		v.Stats.RepairFailures.Inc()
+		v.state.Store(int32(ViewStale))
+		v.staleMu.Lock()
+		v.staleReason = fmt.Sprintf("repair failed: %v", err)
+		v.staleMu.Unlock()
+		return err
+	}
+	v.Stats.Repairs.Inc()
+	v.markFresh()
+	return nil
+}
+
+// resyncLocked does the actual resync with procMu held.
+func (w *Warehouse) resyncLocked(v *WView) error {
+	// Capture the source's sequence number before fetching: every update
+	// at or below preSeq is definitely reflected in the fetch result, so
+	// queued reports up to it can be skipped afterwards. Updates racing
+	// the fetch may or may not be included — their reports replay after
+	// repair and converge, exactly like the interference case of
+	// Section 5.1.
+	preSeq := w.Src.LastKnownSeq()
+	objs, err := w.Src.FetchQuery(v.MV.Query)
+	if err != nil {
+		return fmt.Errorf("refetching %s: %w", v.Name, err)
+	}
+	// The auxiliary cache mirrors source structure that may also have
+	// drifted during the outage; rebuild it from scratch.
+	if v.Config.Cache != CacheNone {
+		cache, err := NewAuxCache(v.Def, w.Src, v.Config.Cache)
+		if err != nil {
+			return fmt.Errorf("rebuilding cache for %s: %w", v.Name, err)
+		}
+		v.Cache = cache
+		v.Access.Cache = cache
+	}
+	after := make([]oem.OID, 0, len(objs))
+	byOID := make(map[oem.OID]*oem.Object, len(objs))
+	for _, o := range objs {
+		after = append(after, o.OID)
+		byOID[o.OID] = o
+	}
+	after = oem.SortOIDs(after)
+	before, err := v.MV.Members()
+	if err != nil {
+		return fmt.Errorf("reading %s membership: %w", v.Name, err)
+	}
+	d := core.DiffMembers(before, after)
+
+	// Seed a synthetic report carrying the fetched objects so VInsert's
+	// access.Fetch is answered locally instead of re-querying per member.
+	synth := &UpdateReport{
+		Source:  w.Src.ID(),
+		Level:   Level3,
+		Update:  store.Update{Seq: preSeq, Kind: store.UpdateNone},
+		Objects: byOID,
+	}
+	v.Access.SetReport(synth)
+	defer v.Access.SetReport(nil)
+	for _, y := range d.Delete {
+		if err := v.Maint.VDelete(y); err != nil {
+			return fmt.Errorf("resync delete %s: %w", y, err)
+		}
+	}
+	// Re-insert every current member, not just the new ones: viewInsert
+	// overwrites the delegate from the fetched object, which refreshes
+	// values that changed while the view was quarantined without
+	// changing membership.
+	for _, y := range after {
+		if err := v.Maint.VInsert(y); err != nil {
+			return fmt.Errorf("resync insert %s: %w", y, err)
+		}
+	}
+	v.resyncSkipSeq = preSeq
+	v.recordDeltas(len(d.Insert), len(d.Delete))
+	// One aggregate changefeed event describes the whole repair; Publish
+	// skips it when the membership did not actually change.
+	v.feed.Publish(v.Name, synth.Update, d)
+	return nil
+}

@@ -1,0 +1,375 @@
+package warehouse
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gsv/internal/faults"
+	"gsv/internal/feed"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// faultFixture builds the PERSON source behind a FaultySource and a
+// warehouse with two YP views: "frail" (no cache — every maintenance
+// step needs query backs, so injected faults hit it) and "sturdy" (full
+// cache — maintained locally, immune to query-back faults).
+func faultFixture(t *testing.T) (*Source, *faults.Injector, *Warehouse, *WView, *WView) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	inj := faults.New(faults.Config{Seed: 1})
+	w := New(WrapSource(src, inj))
+	q := "SELECT ROOT.professor X WHERE X.age <= 45"
+	frail, err := w.DefineView("frail", query.MustParse(q), ViewConfig{Cache: CacheNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sturdy, err := w.DefineView("sturdy", query.MustParse(q), ViewConfig{Cache: CacheFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, inj, w, frail, sturdy
+}
+
+// TestProcessReportFailureQuarantinesOnlyAffectedView: a persistent
+// query-back fault fails one view's maintenance; that view goes Stale
+// with a recorded reason while the other view in the same batch is
+// maintained correctly.
+func TestProcessReportFailureQuarantinesOnlyAffectedView(t *testing.T) {
+	src, inj, w, frail, sturdy := faultFixture(t)
+	inj.Partition(true)
+	rs, err := src.Modify("A1", oem.Int(50)) // P1 leaves the view
+	if err != nil {
+		t.Fatal(err)
+	}
+	procErr := w.ProcessAll(rs)
+	if procErr == nil {
+		t.Fatal("ProcessAll succeeded despite partition")
+	}
+	if !strings.Contains(procErr.Error(), "view frail") {
+		t.Fatalf("error does not name the failed view: %v", procErr)
+	}
+	if strings.Contains(procErr.Error(), "view sturdy") {
+		t.Fatalf("healthy view named in error: %v", procErr)
+	}
+
+	if got := frail.State(); got != ViewStale {
+		t.Fatalf("frail state = %v, want stale", got)
+	}
+	reason, since := frail.StaleReason()
+	if !strings.Contains(reason, "maintenance failed") || since.IsZero() {
+		t.Fatalf("stale reason = %q since %v", reason, since)
+	}
+	if frail.Stats.StaleTransitions.Value() != 1 {
+		t.Fatalf("stale transitions = %d", frail.Stats.StaleTransitions.Value())
+	}
+	// The healthy view was maintained by the same batch.
+	if got := sturdy.State(); got != ViewFresh {
+		t.Fatalf("sturdy state = %v, want fresh", got)
+	}
+	wantMembers(t, sturdy)
+	// Stale reads are still served: the quarantined view answers with its
+	// last applied membership.
+	wantMembers(t, frail, "P1")
+}
+
+// TestStaleViewSkipsFurtherReports: once quarantined, a view receives no
+// incremental maintenance (replaying onto an inconsistent base could
+// diverge further), and processing reports for it is not an error.
+func TestStaleViewSkipsFurtherReports(t *testing.T) {
+	src, inj, w, frail, _ := faultFixture(t)
+	inj.Partition(true)
+	rs, _ := src.Modify("A1", oem.Int(50))
+	if err := w.ProcessAll(rs); err == nil {
+		t.Fatal("expected failure")
+	}
+	inj.Partition(false)
+	// A healed source does not un-quarantine the view: only repair does.
+	rs, _ = src.Modify("A1", oem.Int(40))
+	if err := w.ProcessAll(rs); err != nil {
+		t.Fatalf("processing while quarantined errored: %v", err)
+	}
+	if frail.Stats.SkippedStale.Value() == 0 {
+		t.Fatal("skipped-stale counter did not move")
+	}
+	if got := frail.State(); got != ViewStale {
+		t.Fatalf("state = %v, want stale", got)
+	}
+}
+
+// TestRepairAllResyncsToFresh: after the fault heals, RepairAll re-runs
+// the defining query, applies the diff, returns the view to Fresh, and
+// the membership matches a from-scratch recompute.
+func TestRepairAllResyncsToFresh(t *testing.T) {
+	src, inj, w, frail, sturdy := faultFixture(t)
+	inj.Partition(true)
+	rs, _ := src.Modify("A1", oem.Int(50)) // P1 out
+	_ = w.ProcessAll(rs)
+	// More source churn while quarantined: P2 gains a qualifying age.
+	if _, err := src.Put(oem.NewAtom("A2", "age", oem.Int(40))); err != nil {
+		t.Fatal(err)
+	}
+	src.DrainReports()
+	rs, _ = src.Insert("P2", "A2")
+	_ = w.ProcessAll(rs)
+
+	inj.Partition(false)
+	repaired, err := w.RepairAll()
+	if err != nil {
+		t.Fatalf("RepairAll: %v", err)
+	}
+	if repaired != 1 {
+		t.Fatalf("repaired = %d, want 1", repaired)
+	}
+	if got := frail.State(); got != ViewFresh {
+		t.Fatalf("state after repair = %v", got)
+	}
+	if reason, _ := frail.StaleReason(); reason != "" {
+		t.Fatalf("stale reason not cleared: %q", reason)
+	}
+	if frail.Stats.Repairs.Value() != 1 {
+		t.Fatalf("repairs = %d", frail.Stats.Repairs.Value())
+	}
+	// Membership equals the view that never failed (P1 left, P2 joined —
+	// but P2's insert report was skipped by the quarantine, so only the
+	// resync could have learned it).
+	wantMembers(t, frail, "P2")
+	wantMembers(t, sturdy, "P2")
+}
+
+// TestRepairFailureStaysStale: repairing against a still-faulty source
+// fails, counts a repair failure, and leaves the view Stale with the
+// repair error as reason — the next RepairAll retries.
+func TestRepairFailureStaysStale(t *testing.T) {
+	src, inj, w, frail, _ := faultFixture(t)
+	inj.Partition(true)
+	rs, _ := src.Modify("A1", oem.Int(50))
+	_ = w.ProcessAll(rs)
+	if _, err := w.RepairAll(); err == nil {
+		t.Fatal("RepairAll succeeded against open partition")
+	}
+	if got := frail.State(); got != ViewStale {
+		t.Fatalf("state = %v, want stale", got)
+	}
+	if reason, _ := frail.StaleReason(); !strings.Contains(reason, "repair failed") {
+		t.Fatalf("reason = %q", reason)
+	}
+	if frail.Stats.RepairFailures.Value() != 1 {
+		t.Fatalf("repair failures = %d", frail.Stats.RepairFailures.Value())
+	}
+	// Heal and retry: the standing quarantine repairs cleanly.
+	inj.Partition(false)
+	if _, err := w.RepairAll(); err != nil {
+		t.Fatalf("retry after heal: %v", err)
+	}
+	if got := frail.State(); got != ViewFresh {
+		t.Fatalf("state after retry = %v", got)
+	}
+	wantMembers(t, frail)
+}
+
+// TestProcessAllContinuesPastFailingReport: a batch where an early
+// report fails still applies the later reports to healthy views — the
+// pre-staleness behavior aborted the whole batch.
+func TestProcessAllContinuesPastFailingReport(t *testing.T) {
+	src, inj, w, _, sturdy := faultFixture(t)
+	inj.Partition(true)
+	r1, _ := src.Modify("A1", oem.Int(50)) // fails frail, maintained by sturdy
+	if _, err := src.Put(oem.NewAtom("A2", "age", oem.Int(40))); err != nil {
+		t.Fatal(err)
+	}
+	creation := src.DrainReports()
+	r2, _ := src.Insert("P2", "A2") // second report in the same batch
+	batch := append(append(r1, creation...), r2...)
+	if err := w.ProcessAll(batch); err == nil {
+		t.Fatal("expected joined error from batch")
+	}
+	// The healthy view saw the entire batch.
+	if got := sturdy.State(); got != ViewFresh {
+		t.Fatalf("sturdy state = %v", got)
+	}
+	wantMembers(t, sturdy, "P2")
+}
+
+// TestFailureOnNthViewLeavesEarlierViewsApplied: with several views, a
+// failure on a later view (name order) does not undo or block the
+// earlier ones in the same report.
+func TestFailureOnNthViewLeavesEarlierViewsApplied(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	inj := faults.New(faults.Config{Seed: 1})
+	w := New(WrapSource(src, inj))
+	q := "SELECT ROOT.professor X WHERE X.age <= 45"
+	// Names chosen so the cached (healthy) view sorts first.
+	a, err := w.DefineView("a-cached", query.MustParse(q), ViewConfig{Cache: CacheFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := w.DefineView("z-uncached", query.MustParse(q), ViewConfig{Cache: CacheNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Partition(true)
+	rs, _ := src.Modify("A1", oem.Int(50))
+	if err := w.ProcessAll(rs); err == nil {
+		t.Fatal("expected error from z-uncached")
+	}
+	wantMembers(t, a) // maintained
+	if got := a.State(); got != ViewFresh {
+		t.Fatalf("a-cached state = %v", got)
+	}
+	if got := z.State(); got != ViewStale {
+		t.Fatalf("z-uncached state = %v", got)
+	}
+	if names := w.StaleViews(); len(names) != 1 || names[0] != "z-uncached" {
+		t.Fatalf("StaleViews = %v", names)
+	}
+}
+
+// gappySource wraps a local Source with a settable report gap, to test
+// gap absorption without a network.
+type gappySource struct {
+	*Source
+	mu  sync.Mutex
+	seq uint64
+	gap bool
+}
+
+func (g *gappySource) setGap(seq uint64) {
+	g.mu.Lock()
+	g.seq, g.gap = seq, true
+	g.mu.Unlock()
+}
+
+func (g *gappySource) TakeGap() (uint64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq, gap := g.seq, g.gap
+	g.gap = false
+	return seq, gap
+}
+
+// TestReportGapMarksAllViewsStale: a source-reported gap (lost reports)
+// quarantines every view — nothing downstream can know which views the
+// lost updates would have touched — and repair restores them.
+func TestReportGapMarksAllViewsStale(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	g := &gappySource{Source: src}
+	w := New(g)
+	q := "SELECT ROOT.professor X WHERE X.age <= 45"
+	v1, err := w.DefineView("one", query.MustParse(q), ViewConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := w.DefineView("two", query.MustParse(q), ViewConfig{Cache: CacheFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate "behind the warehouse's back" and signal the loss.
+	if _, err := src.Modify("A1", oem.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+	g.setGap(src.Store.Seq())
+	// Absorption happens on the next processing entry point.
+	if err := w.ProcessAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if v1.State() != ViewStale || v2.State() != ViewStale {
+		t.Fatalf("states = %v, %v; want stale, stale", v1.State(), v2.State())
+	}
+	if reason, _ := v1.StaleReason(); !strings.Contains(reason, "gap") {
+		t.Fatalf("reason = %q", reason)
+	}
+	if _, err := w.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	if v1.State() != ViewFresh || v2.State() != ViewFresh {
+		t.Fatalf("states after repair = %v, %v", v1.State(), v2.State())
+	}
+	wantMembers(t, v1)
+	wantMembers(t, v2)
+}
+
+// TestResyncPublishesAggregateFeedEvent: a repair that changed
+// membership shows up on the changefeed as one "resync" event carrying
+// the net delta.
+func TestResyncPublishesAggregateFeedEvent(t *testing.T) {
+	src, inj, w, frail, _ := faultFixture(t)
+	sub, err := w.Feed.Subscribe("frail", feed.SubOptions{Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	inj.Partition(true)
+	rs, _ := src.Modify("A1", oem.Int(50))
+	_ = w.ProcessAll(rs)
+	inj.Partition(false)
+	if _, err := w.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	_ = frail
+	ev := <-sub.Events()
+	if ev.Kind != "resync" {
+		t.Fatalf("event kind = %q, want resync", ev.Kind)
+	}
+	if len(ev.Delete) != 1 || ev.Delete[0] != "P1" {
+		t.Fatalf("event delete = %v, want [P1]", ev.Delete)
+	}
+}
+
+// TestRepairLoopBackground: StartRepairLoop heals a stale view without
+// an explicit RepairAll call.
+func TestRepairLoopBackground(t *testing.T) {
+	src, inj, w, frail, _ := faultFixture(t)
+	inj.Partition(true)
+	rs, _ := src.Modify("A1", oem.Int(50))
+	_ = w.ProcessAll(rs)
+	inj.Partition(false)
+	stop := w.StartRepairLoop(time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for frail.State() != ViewFresh {
+		if time.Now().After(deadline) {
+			t.Fatal("repair loop never healed the view")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wantMembers(t, frail)
+}
+
+// TestSourcePendingRace is the regression test for the Source.pending
+// data race: the store.Subscribe callback appends while DrainReports
+// swaps the slice out on another goroutine. Run under -race.
+func TestSourcePendingRace(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_, _ = src.Modify("A1", oem.Int(int64(40+i%10)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			src.DrainReports()
+		}
+	}()
+	wg.Wait()
+}

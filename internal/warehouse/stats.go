@@ -19,6 +19,11 @@ import (
 type StatsPayload struct {
 	Registry obs.Snapshot `json:"registry"`
 	Traces   []obs.Trace  `json:"traces,omitempty"`
+	// RemoteWire is filled in client-side by FetchStats: the local
+	// RemoteSource's failure counters (reconnects, retries, gaps, bad
+	// frames and the last report decode error). It never travels on the
+	// wire — the server knows nothing about this client's failures.
+	RemoteWire *WireSnapshot `json:"-"`
 }
 
 // ErrUnsupportedRequest marks a request the connected server does not
@@ -61,5 +66,7 @@ func (rs *RemoteSource) FetchStats() (*StatsPayload, error) {
 	if resp.Stats == nil {
 		return nil, errors.New("warehouse: stats response carried no payload")
 	}
+	wire := rs.wire.snapshot()
+	resp.Stats.RemoteWire = &wire
 	return resp.Stats, nil
 }

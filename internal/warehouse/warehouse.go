@@ -1,7 +1,11 @@
 package warehouse
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gsv/internal/core"
@@ -298,6 +302,16 @@ type ViewStats struct {
 	// actually applied to the view.
 	DeltaInserts obs.Counter
 	DeltaDeletes obs.Counter
+	// StaleTransitions counts Fresh→Stale transitions (maintenance
+	// failures and report-stream gaps).
+	StaleTransitions obs.Counter
+	// Repairs counts successful resyncs back to Fresh; RepairFailures
+	// counts repair attempts that left the view Stale.
+	Repairs        obs.Counter
+	RepairFailures obs.Counter
+	// SkippedStale counts reports dropped because the view was
+	// quarantined (Stale/Repairing) when they arrived.
+	SkippedStale obs.Counter
 }
 
 // WView is one materialized view hosted at the warehouse.
@@ -324,6 +338,23 @@ type WView struct {
 	// maintenance path, read immediately after by process(). Not for
 	// concurrent readers — those use Stats.DeltaInserts/DeltaDeletes.
 	lastInserts, lastDeletes int
+
+	// procMu serializes maintenance and repair on this view: reports are
+	// processed on one goroutine while the background repair loop resyncs
+	// on another.
+	procMu sync.Mutex
+	// state holds the ViewState (staleness.go); membership reads are
+	// served in every state, but only Fresh views receive incremental
+	// maintenance.
+	state atomic.Int32
+	// staleMu guards staleReason and staleSince.
+	staleMu     sync.Mutex
+	staleReason string
+	staleSince  time.Time
+	// resyncSkipSeq is the source sequence number a resync is known to
+	// reflect: queued reports at or below it are already incorporated in
+	// the refetched membership and are skipped instead of replayed.
+	resyncSkipSeq uint64
 }
 
 // Warehouse hosts materialized views over one source (Figure 6 shows many
@@ -336,7 +367,10 @@ type Warehouse struct {
 	// view (all cache modes, and cluster member views) publishes its
 	// applied membership deltas here automatically. Replace it before
 	// the first DefineView/NewCluster call to use non-default options.
-	Feed  *feed.Hub
+	Feed *feed.Hub
+	// mu guards views: DefineView and lookups may race with the
+	// background repair loop.
+	mu    sync.RWMutex
 	views map[string]*WView
 
 	// Obs, when set via EnableObs, receives every per-view counter plus
@@ -385,10 +419,17 @@ func (w *Warehouse) EnableObs(reg *obs.Registry) {
 	reg.Help("gsv_view_cache_hits_total", "helper calls answered by the auxiliary cache")
 	reg.Help("gsv_view_cache_misses_total", "helper calls where the cache could not avoid a query back")
 	reg.Help("gsv_view_maintain_seconds", "whole-report maintenance latency per view")
+	reg.Help("gsv_view_stale_total", "Fresh-to-Stale transitions (failures and report gaps)")
+	reg.Help("gsv_view_repairs_total", "successful resyncs back to Fresh")
+	reg.Help("gsv_view_repair_failures_total", "repair attempts that left the view Stale")
+	reg.Help("gsv_view_skipped_stale_total", "reports dropped while the view was quarantined")
+	reg.Help("gsv_view_state", "view staleness state (0 fresh, 1 stale, 2 repairing)")
 	reg.Help("gsv_traces_total", "maintenance traces emitted since startup")
 	reg.GaugeFunc("gsv_traces_total", func() float64 { return float64(w.Traces.Total()) })
 	// Views defined before EnableObs pick up their instruments now; views
 	// defined after register inside DefineView.
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	for _, v := range w.views {
 		w.registerViewObs(v)
 	}
@@ -410,6 +451,11 @@ func (w *Warehouse) registerViewObs(v *WView) {
 	reg.RegisterCounter("gsv_view_interference_total", &v.Stats.Interference, lv)
 	reg.RegisterCounter("gsv_view_delta_inserts_total", &v.Stats.DeltaInserts, lv)
 	reg.RegisterCounter("gsv_view_delta_deletes_total", &v.Stats.DeltaDeletes, lv)
+	reg.RegisterCounter("gsv_view_stale_total", &v.Stats.StaleTransitions, lv)
+	reg.RegisterCounter("gsv_view_repairs_total", &v.Stats.Repairs, lv)
+	reg.RegisterCounter("gsv_view_repair_failures_total", &v.Stats.RepairFailures, lv)
+	reg.RegisterCounter("gsv_view_skipped_stale_total", &v.Stats.SkippedStale, lv)
+	reg.GaugeFunc("gsv_view_state", func() float64 { return float64(v.State()) }, lv)
 	s := &v.Access.Stats
 	reg.RegisterCounter("gsv_view_helper_calls_total", &s.LabelCalls, lv, obs.L("helper", "label"))
 	reg.RegisterCounter("gsv_view_helper_calls_total", &s.FetchCalls, lv, obs.L("helper", "fetch"))
@@ -432,7 +478,10 @@ func (w *Warehouse) registerViewObs(v *WView) {
 // initial content is fetched from the source with one query; subsequent
 // maintenance is driven by ProcessReport.
 func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WView, error) {
-	if _, ok := w.views[name]; ok {
+	w.mu.RLock()
+	_, exists := w.views[name]
+	w.mu.RUnlock()
+	if exists {
 		return nil, fmt.Errorf("warehouse: view %s already defined", name)
 	}
 	def, ok := core.Simplify(q)
@@ -491,7 +540,9 @@ func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WV
 		v.fullLabels[l] = true
 	}
 	w.registerViewObs(v)
+	w.mu.Lock()
 	w.views[name] = v
+	w.mu.Unlock()
 	return v, nil
 }
 
@@ -508,28 +559,74 @@ func (v *WView) recordDeltas(ins, del int) {
 
 // View returns a registered view.
 func (w *Warehouse) View(name string) (*WView, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	v, ok := w.views[name]
 	return v, ok
 }
 
-// ProcessReport routes one update report to every view.
-func (w *Warehouse) ProcessReport(r *UpdateReport) error {
+// viewsSorted returns the current views in name order, so multi-view
+// processing and error reporting are deterministic.
+func (w *Warehouse) viewsSorted() []*WView {
+	w.mu.RLock()
+	out := make([]*WView, 0, len(w.views))
 	for _, v := range w.views {
-		if err := v.process(r, w.Src); err != nil {
-			return fmt.Errorf("warehouse: view %s on %s: %w", v.Name, r.Update, err)
-		}
+		out = append(out, v)
 	}
-	return nil
+	w.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
-// ProcessAll routes a batch of reports.
-func (w *Warehouse) ProcessAll(rs []*UpdateReport) error {
-	for _, r := range rs {
-		if err := w.ProcessReport(r); err != nil {
-			return err
+// ProcessReport routes one update report to every Fresh view. A view
+// whose maintenance fails is marked Stale with the failure as reason and
+// quarantined — the error does not stop maintenance of the other views.
+// The returned error joins every per-view failure (nil when all views
+// succeeded or were quarantined).
+func (w *Warehouse) ProcessReport(r *UpdateReport) error {
+	w.absorbSourceGap()
+	var errs []error
+	for _, v := range w.viewsSorted() {
+		if err := w.processView(v, r); err != nil {
+			errs = append(errs, fmt.Errorf("warehouse: view %s on %s: %w", v.Name, r.Update, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// processView runs one report through one view under its processing
+// lock, handling quarantine and the Stale transition on failure.
+func (w *Warehouse) processView(v *WView, r *UpdateReport) error {
+	v.procMu.Lock()
+	defer v.procMu.Unlock()
+	if v.State() != ViewFresh {
+		v.Stats.SkippedStale.Inc()
+		return nil
+	}
+	if r.Update.Seq != 0 && r.Update.Seq <= v.resyncSkipSeq {
+		// Already reflected in the membership the last resync fetched.
+		return nil
+	}
+	err := v.process(r, w.Src)
+	if err != nil {
+		v.markStale(fmt.Sprintf("maintenance failed on %s: %v", r.Update, err))
+	}
+	return err
+}
+
+// ProcessAll routes a batch of reports. Unlike the pre-staleness
+// behavior, a failing report does not abort the batch: the affected view
+// is quarantined and the remaining reports still maintain the healthy
+// views. All failures come back joined.
+func (w *Warehouse) ProcessAll(rs []*UpdateReport) error {
+	w.absorbSourceGap()
+	var errs []error
+	for _, r := range rs {
+		if err := w.ProcessReport(r); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 func (v *WView) process(r *UpdateReport, src SourceAPI) error {

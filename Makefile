@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos cover bench bench-json experiments examples fuzz fmt vet ci demo-feed clean
+.PHONY: all build test race chaos cover bench bench-json bench-parallel experiments examples fuzz fmt vet ci demo-feed clean
 
 all: build vet test
 
@@ -47,6 +47,13 @@ bench:
 # (schema documented in EXPERIMENTS.md). CI uploads one per run.
 bench-json:
 	$(GO) run ./cmd/benchviews -e E1 -updates 300 -json
+
+# Serial-vs-parallel batched maintenance benchmark (experiment E12,
+# docs/API.md): the scheduler must beat the literal per-update x
+# per-view loop on a multi-view workload. CI runs this as the
+# bench-parallel job and uploads the JSON report.
+bench-parallel:
+	$(GO) run ./cmd/benchviews -e E12 -updates 400 -json
 
 # The paper-reproduction tables (EXPERIMENTS.md records a run).
 experiments:

@@ -58,6 +58,7 @@ func main() {
 		{"E9", experiments.E9ClusterSharing},
 		{"E10", experiments.E10DataGuide},
 		{"E11", experiments.E11WireValidation},
+		{"E12", experiments.E12ParallelBatchedMaintenance},
 	}
 	var tables []*experiments.Table
 	for _, r := range runners {
@@ -76,7 +77,7 @@ func main() {
 		}
 	}
 	if len(tables) == 0 {
-		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E11)\n", *only)
+		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E12)\n", *only)
 		os.Exit(1)
 	}
 	if *jsonOut {

@@ -153,7 +153,7 @@ func run(db *gsv.DB, line string) (*gsv.DB, error) {
 		}
 		v, ok := db.Views.Get(fields[1])
 		if !ok || v.Materialized == nil {
-			return nil, fmt.Errorf("no materialized view %s", fields[1])
+			return nil, fmt.Errorf("%w: no materialized view %s", gsv.ErrViewNotFound, fields[1])
 		}
 		if cmd == "swizzle" {
 			if err := v.Materialized.Swizzle(); err != nil {

@@ -141,7 +141,7 @@ func watchView(out io.Writer, cfg watchConfig) error {
 	if err != nil {
 		return fmt.Errorf("define view: %w", err)
 	}
-	last, err := printMembers(out, v, nil)
+	last, err := printMembers(out, w, v, nil)
 	if err != nil {
 		return err
 	}
@@ -153,7 +153,7 @@ func watchView(out io.Writer, cfg watchConfig) error {
 		// A maintenance failure (or a report-stream gap after the server
 		// restarted) quarantines the view rather than ending the watch;
 		// repair resyncs it and the watch continues.
-		if err := w.ProcessAll(reports); err != nil {
+		if err := w.ProcessBatch(reports); err != nil {
 			fmt.Fprintf(out, "maintenance error, view quarantined: %v\n", err)
 		}
 		repaired := false
@@ -169,7 +169,7 @@ func watchView(out io.Writer, cfg watchConfig) error {
 			continue
 		}
 		seen += len(reports)
-		if last, err = printMembers(out, v, last); err != nil {
+		if last, err = printMembers(out, w, v, last); err != nil {
 			return err
 		}
 		if cfg.maxReports > 0 && seen >= cfg.maxReports {
@@ -184,8 +184,15 @@ func watchView(out io.Writer, cfg watchConfig) error {
 }
 
 // printMembers prints the membership when it changed and returns it.
-func printMembers(out io.Writer, v *warehouse.WView, last []oem.OID) ([]oem.OID, error) {
-	members, err := v.MV.Members()
+// It reads strictly: a quarantined view reports its staleness instead of
+// a possibly-lagging membership, and the watch keeps running while the
+// repair machinery catches up.
+func printMembers(out io.Writer, w *warehouse.Warehouse, v *warehouse.WView, last []oem.OID) ([]oem.OID, error) {
+	members, err := w.FreshMembers(v.Name)
+	if errors.Is(err, warehouse.ErrStaleView) {
+		fmt.Fprintf(out, "view stale, awaiting repair: %v\n", err)
+		return last, nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("members: %w", err)
 	}

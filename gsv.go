@@ -61,6 +61,39 @@ type (
 	MaterializedView = core.MaterializedView
 	// Registry manages views over one base store.
 	Registry = core.Registry
+	// Strategy selects how a materialized view is maintained.
+	Strategy = core.Strategy
+	// Deltas holds the membership changes one maintenance step applied.
+	Deltas = core.Deltas
+	// DeltaObserver is notified per applied base update that changed a view.
+	DeltaObserver = core.DeltaObserver
+	// BatchObserver is notified once per view per batch with coalesced deltas.
+	BatchObserver = core.BatchObserver
+)
+
+// Maintenance strategies, re-exported for WithStrategy.
+const (
+	// StrategyAuto picks Algorithm 1 for simple views, general otherwise.
+	StrategyAuto = core.StrategyAuto
+	// StrategySimple forces Algorithm 1.
+	StrategySimple = core.StrategySimple
+	// StrategyGeneral forces the generalized maintainer.
+	StrategyGeneral = core.StrategyGeneral
+	// StrategyRecompute rebuilds the view from scratch on every update.
+	StrategyRecompute = core.StrategyRecompute
+	// StrategyDag forces the Section 6 DAG variant of Algorithm 1.
+	StrategyDag = core.StrategyDag
+)
+
+// Sentinel errors, surfaced through errors.Is from DB, Registry and view
+// operations.
+var (
+	// ErrViewNotFound reports an operation on an unregistered view name.
+	ErrViewNotFound = core.ErrViewNotFound
+	// ErrViewExists reports a Define for a name already taken.
+	ErrViewExists = core.ErrViewExists
+	// ErrNotSimple reports a definition outside the paper's simple-view class.
+	ErrNotSimple = core.ErrNotSimple
 )
 
 // Atom constructors.
@@ -110,15 +143,6 @@ type DB struct {
 	extras   []extra
 	extraSeq uint64
 }
-
-// Open returns an empty database with default indexing.
-func Open() *DB {
-	s := store.NewDefault()
-	return open(s)
-}
-
-// OpenWith wraps an existing store.
-func OpenWith(s *Store) *DB { return open(s) }
 
 func open(s *Store) *DB {
 	db := &DB{

@@ -96,7 +96,7 @@ func (c *Cluster) AddView(name oem.OID, q *query.Query) error {
 	}
 	def, ok := Simplify(q)
 	if !ok {
-		return fmt.Errorf("core: cluster view %s is not a simple view", name)
+		return fmt.Errorf("%w: cluster view %s", ErrNotSimple, name)
 	}
 	members, err := c.evaluate(q)
 	if err != nil {

@@ -144,7 +144,7 @@ type DagMaintainer struct {
 func NewDagMaintainer(mv *MaterializedView, access DagAccess) (*DagMaintainer, error) {
 	def, ok := Simplify(mv.Query)
 	if !ok {
-		return nil, fmt.Errorf("core: view %s is not a simple view", mv.OID)
+		return nil, fmt.Errorf("%w: %s", ErrNotSimple, mv.OID)
 	}
 	return &DagMaintainer{View: mv, Def: def, Access: access}, nil
 }

@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the registry and maintainer layer. Callers match
+// them with errors.Is rather than string comparison; every error the
+// package returns for these conditions wraps one of them with context
+// (the view name, the triggering statement, and so on).
+var (
+	// ErrViewNotFound reports an operation on a view name that is not
+	// registered.
+	ErrViewNotFound = errors.New("core: view not found")
+
+	// ErrViewExists reports a Define for a name that is already taken.
+	ErrViewExists = errors.New("core: view already defined")
+
+	// ErrNotSimple reports that a view definition falls outside the
+	// paper's simple-view class (constant sel_path/cond_path, single
+	// select, comparison condition) and therefore cannot use Algorithm 1
+	// or the DAG variant; use the general maintainer instead.
+	ErrNotSimple = errors.New("core: not a simple view")
+)

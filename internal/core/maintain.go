@@ -69,7 +69,7 @@ type MaintainerMetrics struct {
 func NewSimpleMaintainer(mv *MaterializedView, access BaseAccess) (*SimpleMaintainer, error) {
 	def, ok := Simplify(mv.Query)
 	if !ok {
-		return nil, fmt.Errorf("core: view %s is not a simple view; use the general maintainer", mv.OID)
+		return nil, fmt.Errorf("%w: %s (use the general maintainer)", ErrNotSimple, mv.OID)
 	}
 	return &SimpleMaintainer{View: mv, Def: def, Access: access}, nil
 }

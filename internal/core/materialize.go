@@ -109,12 +109,11 @@ func (mv *MaterializedView) Members() ([]oem.OID, error) {
 }
 
 // Contains reports whether base object b has a delegate in the view.
+// With the view store's parent index this is O(1) — no clone of the view
+// object — so it is cheap enough for the screening index's per-update
+// membership probe.
 func (mv *MaterializedView) Contains(b oem.OID) bool {
-	vo, err := mv.ViewStore.Get(mv.OID)
-	if err != nil {
-		return false
-	}
-	return vo.Contains(DelegateOID(mv.OID, b))
+	return mv.ViewStore.HasChild(mv.OID, DelegateOID(mv.OID, b))
 }
 
 // Delegate returns the delegate object of base object b.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -97,40 +98,99 @@ type View struct {
 type Registry struct {
 	base     *store.Store
 	views    map[string]*View
-	drain    func()
 	observer DeltaObserver
+	// batchObserver receives one coalesced delta per view per applied
+	// batch; see SetBatchObserver.
+	batchObserver BatchObserver
+	// defaultStrategy is what Define uses; StrategyAuto unless
+	// SetDefaultStrategy overrides it.
+	defaultStrategy Strategy
+	// sched fans per-view batch work out over a bounded pool.
+	sched *Scheduler
+	// screen/tail are rebuilt lazily after Define/Drop (nil screen =
+	// dirty). tail holds views whose queries reference other views; they
+	// are unscreenable and must run after the fan-out, serially.
+	screen *ScreenIndex
+	tail   []*View
+	// screening toggles the label index; off means every update routes to
+	// every view, the literal serial loop.
+	screening bool
+	// buf group-commits store updates between Watch and Drain.
+	buf      *store.Buffer
+	onErr    func(error)
+	draining bool
 	// skipThrough suppresses Watch-buffered updates with sequence numbers
 	// at or below it — used after ApplyBulk, which maintains the views
 	// itself, so draining must not re-apply the same updates.
 	skipThrough uint64
 }
 
+// BatchObserver is notified once per view per batch with the coalesced
+// membership delta: last is the final contributing update (its Seq stamps
+// the event), n how many updates contributed, and d the net change.
+// Observers must be safe for concurrent use when parallelism > 1 — they
+// run on worker goroutines.
+type BatchObserver func(view oem.OID, last store.Update, n int, d Deltas)
+
 // SkipThrough tells a watching registry to discard buffered updates whose
 // sequence number is at or below seq. Callers that maintain views through
 // a side channel (Registry.ApplyBulk) use it to avoid double application.
 func (r *Registry) SkipThrough(seq uint64) { r.skipThrough = seq }
 
-// NewRegistry returns an empty registry over base.
+// NewRegistry returns an empty registry over base. Maintenance defaults
+// to serial (parallelism 1) with screening on; SetParallelism widens the
+// worker pool.
 func NewRegistry(base *store.Store) *Registry {
-	return &Registry{base: base, views: make(map[string]*View)}
+	return &Registry{
+		base:      base,
+		views:     make(map[string]*View),
+		sched:     NewScheduler(1),
+		screening: true,
+	}
 }
+
+// SetDefaultStrategy sets the maintenance strategy Define uses for views
+// registered afterwards (DefineParsed still takes an explicit one).
+func (r *Registry) SetDefaultStrategy(s Strategy) { r.defaultStrategy = s }
+
+// DefaultStrategy returns the strategy Define currently uses.
+func (r *Registry) DefaultStrategy() Strategy { return r.defaultStrategy }
+
+// SetParallelism bounds the maintenance worker pool; n <= 0 means
+// runtime.NumCPU(), 1 (the default) keeps maintenance on the calling
+// goroutine.
+func (r *Registry) SetParallelism(n int) { r.sched.SetParallelism(n) }
+
+// Parallelism returns the current worker-pool bound.
+func (r *Registry) Parallelism() int { return r.sched.Parallelism() }
+
+// SetScreening toggles the label screening index. On (the default),
+// ApplyBatch routes each update only to the views it can affect; off
+// reproduces the exhaustive updates × views loop. Results are identical
+// either way — screening only skips provably no-op maintainer calls.
+func (r *Registry) SetScreening(on bool) { r.screening = on }
+
+// Scheduler exposes the registry's maintenance scheduler, e.g. to
+// register its metrics on an obs.Registry.
+func (r *Registry) Scheduler() *Scheduler { return r.sched }
 
 // Define parses and registers a view definition statement, materializing
 // the view if the statement says mview. The view name becomes the OID of
-// the view object. Materialized views use StrategyAuto.
+// the view object. Materialized views use the registry's default
+// strategy (StrategyAuto unless SetDefaultStrategy changed it).
 func (r *Registry) Define(stmt string) (*View, error) {
 	vs, err := query.ParseView(stmt)
 	if err != nil {
 		return nil, err
 	}
-	return r.DefineParsed(vs, StrategyAuto)
+	return r.DefineParsed(vs, r.defaultStrategy)
 }
 
 // DefineParsed registers a parsed view statement with an explicit
 // maintenance strategy.
 func (r *Registry) DefineParsed(vs *query.ViewStmt, strategy Strategy) (*View, error) {
 	if _, ok := r.views[vs.Name]; ok {
-		return nil, fmt.Errorf("core: view %s already defined", vs.Name)
+		return nil, fmt.Errorf("%w: %s", ErrViewExists, vs.Name)
 	}
 	v := &View{Name: vs.Name, Query: vs.Query, Strategy: strategy}
 	if vs.Materialized {
@@ -162,6 +222,7 @@ func (r *Registry) DefineParsed(vs *query.ViewStmt, strategy Strategy) (*View, e
 		}
 	}
 	r.views[vs.Name] = v
+	r.screen, r.tail = nil, nil // new view: rebuild the screening index
 	return v, nil
 }
 
@@ -210,6 +271,14 @@ func (r *Registry) SetObserver(obs DeltaObserver) {
 	}
 }
 
+// SetBatchObserver installs the observer that receives one coalesced
+// membership delta per view per ApplyBatch — the wiring point for
+// batch-mode changefeeds (feed.Hub.BatchObserver). It composes with
+// SetObserver: the per-update observer still fires for every applied
+// update, the batch observer once at the end of each view's share.
+// Passing nil removes it.
+func (r *Registry) SetBatchObserver(fn BatchObserver) { r.batchObserver = fn }
+
 // setMaintainerObserver attaches obs to any maintainer type that
 // supports delta observation; unknown maintainers are left alone.
 func setMaintainerObserver(m Maintainer, obs DeltaObserver) {
@@ -246,9 +315,10 @@ func (r *Registry) dropMaterialized(mv *MaterializedView) error {
 func (r *Registry) Drop(name string) error {
 	v, ok := r.views[name]
 	if !ok {
-		return fmt.Errorf("core: view %s not defined", name)
+		return fmt.Errorf("%w: %s", ErrViewNotFound, name)
 	}
 	delete(r.views, name)
+	r.screen, r.tail = nil, nil // dropped view: rebuild the screening index
 	if v.Materialized != nil {
 		return r.dropMaterialized(v.Materialized)
 	}
@@ -277,7 +347,7 @@ func (r *Registry) Names() []string {
 func (r *Registry) Evaluate(name string) ([]oem.OID, error) {
 	v, ok := r.views[name]
 	if !ok {
-		return nil, fmt.Errorf("core: view %s not defined", name)
+		return nil, fmt.Errorf("%w: %s", ErrViewNotFound, name)
 	}
 	if v.Materialized != nil {
 		return v.Materialized.Members()
@@ -292,31 +362,167 @@ func (r *Registry) Evaluate(name string) ([]oem.OID, error) {
 	return members, nil
 }
 
-// Apply routes one base update to every materialized view's maintainer.
-// Note that view-store mutations performed by maintainers are themselves
-// logged updates in the (shared) store; Apply must only be called with
-// *base* updates. The Watch helper does this filtering.
-func (r *Registry) Apply(u store.Update) error {
+// screenIndex returns the current screening index, rebuilding it after
+// Define/Drop. Views whose queries reference another registered view
+// (entry point, WITHIN or ANS INT naming a view object) go to the serial
+// tail instead: their membership depends on view objects the fan-out is
+// concurrently rewriting, so they run after it, in name order, against
+// every update.
+func (r *Registry) screenIndex() *ScreenIndex {
+	if r.screen != nil {
+		return r.screen
+	}
+	var indexable []*View
+	r.tail = nil
 	for _, name := range r.Names() {
 		v := r.views[name]
 		if v.Maintainer == nil {
 			continue
 		}
-		if err := v.Maintainer.Apply(u); err != nil {
-			return fmt.Errorf("core: maintaining %s after %s: %w", name, u, err)
+		if r.refsView(v.Query) {
+			r.tail = append(r.tail, v)
+		} else {
+			indexable = append(indexable, v)
 		}
+	}
+	r.screen = BuildScreenIndex(indexable)
+	return r.screen
+}
+
+// refsView reports whether q mentions a registered view's object.
+func (r *Registry) refsView(q *query.Query) bool {
+	for _, s := range q.Selects {
+		if r.IsViewObject(s.Entry) {
+			return true
+		}
+	}
+	return (q.Within != "" && r.IsViewObject(q.Within)) ||
+		(q.AnsInt != "" && r.IsViewObject(q.AnsInt))
+}
+
+// ApplyBatch is the one maintenance entrypoint: it group-commits a batch
+// of base updates through screening and the scheduler. Each update is
+// routed to the views it can affect (all of them with screening off),
+// each view's share runs as one task applying its updates in sequence
+// order, and tasks fan out over the worker pool. Per-view ordering is
+// exact; cross-view interleaving is unspecified, which is fine because
+// fanned-out views never read each other (view-referencing views run in
+// the serial tail). A view that fails stops processing its own share and
+// reports one error; other views complete, and ApplyBatch returns the
+// per-view errors joined.
+//
+// Note that view-store mutations performed by maintainers are themselves
+// logged updates in the (shared) store; ApplyBatch must only be called
+// with *base* updates. The Watch/Drain pair does this filtering.
+func (r *Registry) ApplyBatch(us []store.Update) error {
+	if len(us) == 0 {
+		return nil
+	}
+	ix := r.screenIndex()
+	views := ix.Views()
+	if len(views) == 0 && len(r.tail) == 0 {
+		return nil
+	}
+	m := &r.sched.Metrics
+	m.BatchSize.Observe(float64(len(us)))
+
+	perView := make([][]store.Update, len(views))
+	if r.screening {
+		stamp := make([]int, len(views))
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		label := func(oid oem.OID) (string, bool) {
+			l, err := r.base.Label(oid)
+			return l, err == nil
+		}
+		routed := 0
+		for k, u := range us {
+			ix.Route(u, k, stamp, label, func(i int) {
+				perView[i] = append(perView[i], u)
+				routed++
+			})
+		}
+		m.RoutedPairs.Add(uint64(routed))
+		m.ScreenedPairs.Add(uint64(len(us)*len(views) - routed))
+	} else {
+		for i := range views {
+			perView[i] = us
+		}
+		m.RoutedPairs.Add(uint64(len(us) * len(views)))
+	}
+
+	tasks := make([]Task, 0, len(views))
+	for i, ups := range perView {
+		if len(ups) == 0 {
+			continue
+		}
+		v := views[i]
+		tasks = append(tasks, Task{Name: v.Name, Fn: func() error {
+			return r.applyViewBatch(v, ups)
+		}})
+	}
+	var all []error
+	for _, err := range r.sched.Run(tasks) {
+		if err != nil {
+			all = append(all, err)
+		}
+	}
+	for _, v := range r.tail {
+		m.RoutedPairs.Add(uint64(len(us)))
+		if err := r.applyViewBatch(v, us); err != nil {
+			all = append(all, err)
+		}
+	}
+	return errors.Join(all...)
+}
+
+// applyViewBatch applies one view's share of a batch in order, feeding
+// the legacy per-update observer as before and publishing one coalesced
+// delta to the batch observer at the end. It temporarily intercepts the
+// maintainer's observer; safe because each view belongs to exactly one
+// task per batch.
+func (r *Registry) applyViewBatch(v *View, ups []store.Update) error {
+	if v.Maintainer == nil || len(ups) == 0 {
+		return nil
+	}
+	legacy := r.observer
+	var co *DeltaCoalescer
+	if r.batchObserver != nil {
+		co = NewDeltaCoalescer()
+	}
+	if co != nil {
+		setMaintainerObserver(v.Maintainer, func(view oem.OID, u store.Update, d Deltas) {
+			if legacy != nil {
+				legacy(view, u, d)
+			}
+			co.Add(u, d)
+		})
+		defer setMaintainerObserver(v.Maintainer, legacy)
+	}
+	for _, u := range ups {
+		if err := v.Maintainer.Apply(u); err != nil {
+			return fmt.Errorf("core: maintaining %s after %s: %w", v.Name, u, err)
+		}
+	}
+	if co != nil && co.Count() > 0 {
+		r.batchObserver(v.Materialized.OID, co.Last(), co.Count(), co.Deltas())
 	}
 	return nil
 }
 
+// Apply routes one base update through the batch path — a one-element
+// ApplyBatch.
+func (r *Registry) Apply(u store.Update) error {
+	return r.ApplyBatch([]store.Update{u})
+}
+
 // ApplyAll applies a sequence of updates in order.
+//
+// Deprecated: ApplyAll is ApplyBatch under its pre-batching name; call
+// ApplyBatch directly.
 func (r *Registry) ApplyAll(us []store.Update) error {
-	for _, u := range us {
-		if err := r.Apply(u); err != nil {
-			return err
-		}
-	}
-	return nil
+	return r.ApplyBatch(us)
 }
 
 // IsViewObject reports whether an OID belongs to view machinery — a view
@@ -335,46 +541,60 @@ func (r *Registry) IsViewObject(oid oem.OID) bool {
 	return false
 }
 
-// Watch subscribes the registry to the base store: every future base
-// update is routed to the maintainers, skipping updates that touch view
-// objects or delegates. Maintenance errors are reported to onErr (which
-// may be nil to ignore them). Updates are buffered during the synchronous
-// callback and drained afterwards, because maintainers read and write the
-// store.
+// Watch subscribes the registry to the base store: updates are
+// group-committed into a store.Buffer during the synchronous callback
+// (the store calls subscribers with its lock held, so maintenance must
+// happen on the caller's side) and Drain later routes each buffered
+// batch through ApplyBatch, skipping updates that touch view objects or
+// delegates. Maintenance errors are reported to onErr (nil to ignore
+// them), one call per failed view.
 func (r *Registry) Watch(onErr func(error)) {
-	var pending []store.Update
-	var draining bool
-	r.base.Subscribe(func(u store.Update) {
-		pending = append(pending, u)
-	})
-	drain := func() {
-		if draining {
+	r.onErr = onErr
+	if r.buf != nil {
+		return // already subscribed; just replace the error sink
+	}
+	r.buf = store.NewBuffer()
+	r.base.Subscribe(r.buf.Observe)
+}
+
+// Drain processes updates buffered since the last Drain as one batch (or
+// several, when maintenance itself logs more base-relevant updates). It
+// must be called after base mutations when Watch is active; the gsv
+// facade does this automatically on Sync.
+func (r *Registry) Drain() {
+	if r.buf == nil || r.draining {
+		return
+	}
+	r.draining = true
+	defer func() { r.draining = false }()
+	for {
+		us := r.buf.Take()
+		if len(us) == 0 {
 			return
 		}
-		draining = true
-		defer func() { draining = false }()
-		for len(pending) > 0 {
-			u := pending[0]
-			pending = pending[1:]
+		batch := make([]store.Update, 0, len(us))
+		for _, u := range us {
 			if u.Seq <= r.skipThrough || r.IsViewObject(u.N1) {
 				continue
 			}
-			if err := r.Apply(u); err != nil && onErr != nil {
-				onErr(err)
+			batch = append(batch, u)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if err := r.ApplyBatch(batch); err != nil && r.onErr != nil {
+			for _, e := range unwrapJoined(err) {
+				r.onErr(e)
 			}
 		}
 	}
-	// Wrap the public mutation points by polling after each subscription
-	// callback: the store calls subscribers with its lock held, so the
-	// drain must happen on the caller's side. Registry.Drain is exported
-	// for explicit draining; tests and the CLI call it after each update.
-	r.drain = drain
 }
 
-// Drain processes updates buffered by Watch. It must be called after base
-// mutations when Watch is active; the gsv facade does this automatically.
-func (r *Registry) Drain() {
-	if r.drain != nil {
-		r.drain()
+// unwrapJoined flattens an errors.Join result into its parts; a plain
+// error comes back as a one-element slice.
+func unwrapJoined(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
 	}
+	return []error{err}
 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gsv/internal/obs"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// Task is one unit of maintenance work the Scheduler fans out: typically
+// "apply this view's share of a batch". Name identifies the task in
+// errors; Fn does the work.
+type Task struct {
+	Name string
+	Fn   func() error
+}
+
+// SchedMetrics instruments a Scheduler. The instruments are always
+// allocated and updated (atomics, no locks); RegisterObs exposes them on
+// an obs.Registry. BatchSize and the screening counters are recorded by
+// the callers that know batch composition (Registry.ApplyBatch, the
+// warehouse); the Scheduler itself records batches, latency, queue depth
+// and achieved parallel speedup.
+type SchedMetrics struct {
+	Batches       obs.Counter    // batches run through the scheduler
+	BatchSize     *obs.Histogram // base updates per batch
+	BatchLatency  *obs.Histogram // wall-clock seconds per batch
+	Speedup       *obs.Histogram // busy-time / wall-time per batch (effective parallelism)
+	ScreenedPairs obs.Counter    // (view, update) pairs eliminated by screening
+	RoutedPairs   obs.Counter    // (view, update) pairs routed to maintainers
+	QueueDepth    obs.Gauge      // tasks admitted but not yet finished
+}
+
+// sizeBuckets bounds batch-size histograms: 1 update to ~64k, ×4 per step.
+var sizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+
+func newSchedMetrics() SchedMetrics {
+	return SchedMetrics{
+		BatchSize:    obs.NewHistogram(sizeBuckets),
+		BatchLatency: obs.NewHistogram(obs.LatencyBuckets),
+		Speedup:      obs.NewHistogram([]float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+	}
+}
+
+// RegisterObs exposes the scheduler's instruments on reg under the given
+// subsystem label (e.g. "registry", "warehouse").
+func (m *SchedMetrics) RegisterObs(reg *obs.Registry, subsystem string) {
+	reg.Help("gsv_sched_batches_total", "update batches run through the maintenance scheduler")
+	reg.Help("gsv_sched_batch_updates", "base updates per scheduled batch")
+	reg.Help("gsv_sched_batch_seconds", "wall-clock latency per scheduled batch")
+	reg.Help("gsv_sched_parallel_speedup", "per-batch busy-time over wall-time (effective parallelism)")
+	reg.Help("gsv_sched_pairs_screened_total", "(view, update) pairs eliminated by the screening index")
+	reg.Help("gsv_sched_pairs_routed_total", "(view, update) pairs routed to maintainers")
+	reg.Help("gsv_sched_queue_depth", "maintenance tasks admitted but not yet finished")
+	ls := obs.L("subsystem", subsystem)
+	reg.RegisterCounter("gsv_sched_batches_total", &m.Batches, ls)
+	reg.RegisterHistogram("gsv_sched_batch_updates", m.BatchSize, ls)
+	reg.RegisterHistogram("gsv_sched_batch_seconds", m.BatchLatency, ls)
+	reg.RegisterHistogram("gsv_sched_parallel_speedup", m.Speedup, ls)
+	reg.RegisterCounter("gsv_sched_pairs_screened_total", &m.ScreenedPairs, ls)
+	reg.RegisterCounter("gsv_sched_pairs_routed_total", &m.RoutedPairs, ls)
+	reg.RegisterGauge("gsv_sched_queue_depth", &m.QueueDepth, ls)
+}
+
+// Scheduler fans maintenance tasks out over a bounded worker pool. One
+// batch of tasks at a time: Run admits every task, bounds concurrency at
+// the configured parallelism, and collects per-task errors positionally.
+// Per-view ordering is the caller's concern — the scheduler guarantees
+// only that each Task runs exactly once; callers make a task process its
+// view's updates in sequence order internally.
+type Scheduler struct {
+	parallelism atomic.Int64
+	// Metrics is updated on every Run; see SchedMetrics.
+	Metrics SchedMetrics
+}
+
+// NewScheduler returns a scheduler bounded at n concurrent tasks; n <= 0
+// means runtime.NumCPU().
+func NewScheduler(n int) *Scheduler {
+	s := &Scheduler{Metrics: newSchedMetrics()}
+	s.SetParallelism(n)
+	return s
+}
+
+// SetParallelism rebounds the worker pool; n <= 0 means runtime.NumCPU().
+// Safe to call between batches; a Run already in flight keeps its bound.
+func (s *Scheduler) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	s.parallelism.Store(int64(n))
+}
+
+// Parallelism returns the current concurrency bound.
+func (s *Scheduler) Parallelism() int { return int(s.parallelism.Load()) }
+
+// Run executes every task and returns a slice of per-task errors aligned
+// with tasks (nil entries for successes). With parallelism 1 — or a
+// single task — everything runs inline on the caller's goroutine; no
+// goroutines, no channels, so the serial path costs what a plain loop
+// costs.
+func (s *Scheduler) Run(tasks []Task) []error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	p := s.Parallelism()
+	errs := make([]error, len(tasks))
+	start := time.Now()
+	s.Metrics.QueueDepth.Add(int64(len(tasks)))
+
+	var busy atomic.Int64 // summed task nanoseconds
+	runOne := func(i int) {
+		t0 := time.Now()
+		errs[i] = tasks[i].Fn()
+		busy.Add(int64(time.Since(t0)))
+		s.Metrics.QueueDepth.Add(-1)
+	}
+
+	if p <= 1 || len(tasks) == 1 {
+		for i := range tasks {
+			runOne(i)
+		}
+	} else {
+		sem := make(chan struct{}, p)
+		var wg sync.WaitGroup
+		wg.Add(len(tasks))
+		for i := range tasks {
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	wall := time.Since(start)
+	s.Metrics.Batches.Inc()
+	s.Metrics.BatchLatency.Observe(wall.Seconds())
+	if wall > 0 {
+		s.Metrics.Speedup.Observe(float64(busy.Load()) / float64(wall))
+	}
+	return errs
+}
+
+// DeltaCoalescer nets a view's membership deltas over a batch of updates
+// so the changefeed publishes one event per batch. Because maintainers
+// report only deltas that were actually applied (no idempotent
+// re-inserts), insert/delete pairs for the same member cancel exactly:
+// replaying the coalesced delta reaches the same membership as replaying
+// the per-update stream. Not safe for concurrent use; each view task owns
+// its own coalescer.
+type DeltaCoalescer struct {
+	ops   map[oem.OID]int8 // +1 net insert, -1 net delete, 0 cancelled
+	order []oem.OID        // first-touch order, for deterministic output
+	n     int              // updates that contributed a non-empty delta
+	last  store.Update     // most recent contributing update
+}
+
+// NewDeltaCoalescer returns an empty coalescer.
+func NewDeltaCoalescer() *DeltaCoalescer {
+	return &DeltaCoalescer{ops: make(map[oem.OID]int8)}
+}
+
+// Add folds one update's applied deltas in. Empty deltas are ignored.
+func (c *DeltaCoalescer) Add(u store.Update, d Deltas) {
+	if d.Empty() {
+		return
+	}
+	c.n++
+	c.last = u
+	for _, y := range d.Insert {
+		c.toggle(y, +1)
+	}
+	for _, y := range d.Delete {
+		c.toggle(y, -1)
+	}
+}
+
+func (c *DeltaCoalescer) toggle(y oem.OID, dir int8) {
+	prev, seen := c.ops[y]
+	if !seen {
+		c.order = append(c.order, y)
+	}
+	if prev == -dir {
+		c.ops[y] = 0
+		return
+	}
+	c.ops[y] = dir
+}
+
+// Count returns how many updates contributed non-empty deltas.
+func (c *DeltaCoalescer) Count() int { return c.n }
+
+// Last returns the most recent contributing update (zero Update when
+// Count is 0); its Seq stamps the coalesced event.
+func (c *DeltaCoalescer) Last() store.Update { return c.last }
+
+// Deltas returns the net membership change in first-touch order.
+func (c *DeltaCoalescer) Deltas() Deltas {
+	var d Deltas
+	for _, y := range c.order {
+		switch c.ops[y] {
+		case +1:
+			d.Insert = append(d.Insert, y)
+		case -1:
+			d.Delete = append(d.Delete, y)
+		}
+	}
+	return d
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+func TestSchedulerRunsEveryTaskOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		s := NewScheduler(p)
+		var counts [20]atomic.Int64
+		tasks := make([]Task, len(counts))
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{Name: fmt.Sprintf("t%d", i), Fn: func() error {
+				counts[i].Add(1)
+				return nil
+			}}
+		}
+		for _, err := range s.Run(tasks) {
+			if err != nil {
+				t.Fatalf("p=%d: unexpected error %v", p, err)
+			}
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("p=%d: task %d ran %d times", p, i, got)
+			}
+		}
+		if got := s.Metrics.Batches.Value(); got != 1 {
+			t.Fatalf("p=%d: batches = %d", p, got)
+		}
+		if got := s.Metrics.QueueDepth.Value(); got != 0 {
+			t.Fatalf("p=%d: queue depth left at %d", p, got)
+		}
+	}
+}
+
+func TestSchedulerErrorsArePositional(t *testing.T) {
+	s := NewScheduler(4)
+	boom := errors.New("boom")
+	errs := s.Run([]Task{
+		{Name: "ok", Fn: func() error { return nil }},
+		{Name: "bad", Fn: func() error { return boom }},
+		{Name: "ok2", Fn: func() error { return nil }},
+	})
+	if errs[0] != nil || errs[2] != nil || !errors.Is(errs[1], boom) {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	const bound = 3
+	s := NewScheduler(bound)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	tasks := make([]Task, 24)
+	for i := range tasks {
+		tasks[i] = Task{Fn: func() error {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			runtime.Gosched()
+			cur.Add(-1)
+			return nil
+		}}
+	}
+	s.Run(tasks)
+	if p := peak.Load(); p > bound {
+		t.Fatalf("peak concurrency %d exceeds bound %d", p, bound)
+	}
+}
+
+func TestSchedulerParallelismDefaultsToNumCPU(t *testing.T) {
+	s := NewScheduler(0)
+	if got := s.Parallelism(); got != runtime.NumCPU() {
+		t.Fatalf("Parallelism() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	s.SetParallelism(5)
+	if got := s.Parallelism(); got != 5 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(5)", got)
+	}
+	s.SetParallelism(-1)
+	if got := s.Parallelism(); got != runtime.NumCPU() {
+		t.Fatalf("Parallelism() = %d, want NumCPU after SetParallelism(-1)", got)
+	}
+}
+
+func TestDeltaCoalescerNetsInsertDeletePairs(t *testing.T) {
+	c := NewDeltaCoalescer()
+	u := func(seq uint64) store.Update { return store.Update{Seq: seq, Kind: store.UpdateInsert} }
+
+	c.Add(u(1), Deltas{Insert: []oem.OID{"A", "B"}})
+	c.Add(u(2), Deltas{})                       // empty: ignored
+	c.Add(u(3), Deltas{Delete: []oem.OID{"A"}}) // cancels A's insert
+	c.Add(u(4), Deltas{Insert: []oem.OID{"C"}}) //
+	c.Add(u(5), Deltas{Delete: []oem.OID{"D"}}) // net delete of pre-batch member
+	c.Add(u(6), Deltas{Insert: []oem.OID{"D"}}) // cancels D's delete
+	c.Add(u(7), Deltas{Delete: []oem.OID{"B"}}) // cancels B
+	c.Add(u(8), Deltas{Insert: []oem.OID{"B"}}) // re-inserts B: net insert again
+
+	if c.Count() != 7 {
+		t.Fatalf("Count = %d, want 7 (empty delta must not count)", c.Count())
+	}
+	if c.Last().Seq != 8 {
+		t.Fatalf("Last().Seq = %d, want 8", c.Last().Seq)
+	}
+	d := c.Deltas()
+	if !oem.SameMembers(d.Insert, []oem.OID{"B", "C"}) {
+		t.Fatalf("net Insert = %v, want [B C]", d.Insert)
+	}
+	if len(d.Delete) != 0 {
+		t.Fatalf("net Delete = %v, want none", d.Delete)
+	}
+}
+
+func TestDeltaCoalescerReplayEquivalence(t *testing.T) {
+	// Replaying the coalesced delta over a starting membership must land
+	// on the same set as replaying the per-update stream.
+	apply := func(set map[oem.OID]bool, d Deltas) {
+		for _, y := range d.Insert {
+			set[y] = true
+		}
+		for _, y := range d.Delete {
+			delete(set, y)
+		}
+	}
+	stream := []Deltas{
+		{Insert: []oem.OID{"A"}},
+		{Delete: []oem.OID{"Z"}},
+		{Insert: []oem.OID{"B"}, Delete: []oem.OID{"A"}},
+		{Insert: []oem.OID{"A"}},
+	}
+	serial := map[oem.OID]bool{"Z": true}
+	c := NewDeltaCoalescer()
+	for i, d := range stream {
+		apply(serial, d)
+		c.Add(store.Update{Seq: uint64(i + 1)}, d)
+	}
+	coalesced := map[oem.OID]bool{"Z": true}
+	apply(coalesced, c.Deltas())
+	if len(serial) != len(coalesced) {
+		t.Fatalf("serial %v vs coalesced %v", serial, coalesced)
+	}
+	for m := range serial {
+		if !coalesced[m] {
+			t.Fatalf("serial %v vs coalesced %v", serial, coalesced)
+		}
+	}
+}

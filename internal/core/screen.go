@@ -1,0 +1,149 @@
+package core
+
+import (
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// ScreenIndex is the static analogue of Algorithm 1's screening step
+// (Section 4) and the Section 5.2 auxiliary structures, lifted from one
+// view to the whole registry: an index from the edge labels that appear
+// in each view's sel_path.cond_path to the views an update can possibly
+// affect. Routing one update costs one label lookup plus two map probes
+// instead of running every view's maintainer, so a batch touching k of n
+// views costs O(k) maintainer calls rather than O(n).
+//
+// Soundness: a view's membership or delegate values can change only when
+//
+//   - an insert/delete's child (or a create's object) carries a label on
+//     the view's full path — any entry-to-member path through the new or
+//     removed edge must spell out sel_path.cond_path, so an edge whose
+//     child label never occurs on that path cannot appear on one;
+//   - a modify hits an atom whose label is the *last* label of the full
+//     path — Algorithm 1 requires path(entry, N) = sel_path.cond_path,
+//     whose final label is the label of N itself; or
+//   - the update's N1 is already a member, in which case only the
+//     delegate's copied value needs refreshing (the membership logic
+//     cannot fire, but V's delegates must track originals).
+//
+// Views whose queries fall outside the simple class (wildcards, ANS INT,
+// non-comparison conditions) are unscreenable and land in the always
+// bucket: every update routes to them, exactly as the serial path did.
+type ScreenIndex struct {
+	views   []*View          // maintained views, name order
+	byLabel map[string][]int // label on full path -> views (insert/delete/create)
+	byLast  map[string][]int // last label of full path -> views (modify)
+	always  []int            // unscreenable views: routed every update
+}
+
+// BuildScreenIndex indexes the given views (any without a maintainer are
+// skipped). Views retains the given order; routing preserves it.
+func BuildScreenIndex(views []*View) *ScreenIndex {
+	ix := &ScreenIndex{
+		byLabel: make(map[string][]int),
+		byLast:  make(map[string][]int),
+	}
+	for _, v := range views {
+		if v.Maintainer == nil {
+			continue
+		}
+		i := len(ix.views)
+		ix.views = append(ix.views, v)
+		def, ok := Simplify(v.Query)
+		full := def.FullPath()
+		if !ok || len(full) == 0 {
+			ix.always = append(ix.always, i)
+			continue
+		}
+		seen := map[string]bool{}
+		for _, l := range full {
+			if !seen[l] {
+				seen[l] = true
+				ix.byLabel[l] = append(ix.byLabel[l], i)
+			}
+		}
+		ix.byLast[full[len(full)-1]] = append(ix.byLast[full[len(full)-1]], i)
+	}
+	return ix
+}
+
+// Views returns the indexed views in routing order.
+func (ix *ScreenIndex) Views() []*View { return ix.views }
+
+// Route determines which views update k (the update's position in its
+// batch) can affect and calls emit(i) exactly once per affected view
+// index, in no particular order. stamp must be a caller-owned slice of
+// len(ix.Views()) ints, initialized to -1 and reused across the batch; it
+// dedupes emissions when an update hits a view through both the label
+// index and the membership check. label resolves an OID's edge label;
+// when it fails (the object is already gone, e.g. mid-Remove) the update
+// routes to every view, preserving the serial path's error behavior.
+func (ix *ScreenIndex) Route(u store.Update, k int, stamp []int, label func(oem.OID) (string, bool), emit func(int)) {
+	hit := func(i int) {
+		if stamp[i] != k {
+			stamp[i] = k
+			emit(i)
+		}
+	}
+	all := func() {
+		for i := range ix.views {
+			hit(i)
+		}
+	}
+
+	var byKind map[string][]int
+	var labelOf oem.OID
+	switch u.Kind {
+	case store.UpdateInsert, store.UpdateDelete:
+		byKind, labelOf = ix.byLabel, u.N2
+	case store.UpdateCreate:
+		// A created object can attach to pre-existing dangling references,
+		// so it screens like an inserted child keyed on its own label.
+		byKind, labelOf = ix.byLabel, u.N1
+	case store.UpdateModify:
+		byKind, labelOf = ix.byLast, u.N1
+	default:
+		// Synthetic or unknown kinds are unscreenable.
+		all()
+		return
+	}
+
+	l, ok := label(labelOf)
+	if !ok {
+		all()
+		return
+	}
+	for _, i := range byKind[l] {
+		hit(i)
+	}
+	for _, i := range ix.always {
+		hit(i)
+	}
+	// Membership check: an update whose N1 already has a delegate must
+	// reach the view regardless of labels, so the delegate's copied value
+	// stays synchronized with the original.
+	for i, v := range ix.views {
+		if stamp[i] != k && v.Materialized != nil && v.Materialized.Contains(u.N1) {
+			hit(i)
+		}
+	}
+}
+
+// Affected returns the indices (into Views) of the views u can affect,
+// ascending. It is Route with the bookkeeping handled internally —
+// convenient for tests and one-off callers.
+func (ix *ScreenIndex) Affected(u store.Update, label func(oem.OID) (string, bool)) []int {
+	stamp := make([]int, len(ix.views))
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var out []int
+	ix.Route(u, 0, stamp, label, func(i int) { out = append(out, i) })
+	// Route emits label hits before always hits, so restore index order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

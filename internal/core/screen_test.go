@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// screenFixture builds a relation-like base (labels REL, r0/r1, tuple,
+// age, f1, f2) with one registry holding views over distinct labels.
+func screenFixture(t testing.TB) (*store.Store, *Registry) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.RelationLike(s, workload.RelationConfig{
+		Relations: 2, TuplesPerRelation: 20, FieldsPerTuple: 3, Seed: 7,
+	})
+	r := NewRegistry(s)
+	for _, stmt := range []string{
+		"define mview A0 as: SELECT REL.r0.tuple X WHERE X.age > 30",
+		"define mview A1 as: SELECT REL.r1.tuple X WHERE X.age > 30",
+		"define mview F1 as: SELECT REL.r0.tuple X WHERE X.f1 = 'v1'",
+	} {
+		if _, err := r.Define(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, r
+}
+
+// names maps Affected indices back to view names.
+func affectedNames(ix *ScreenIndex, u store.Update, label func(oem.OID) (string, bool)) []string {
+	var out []string
+	for _, i := range ix.Affected(u, label) {
+		out = append(out, ix.Views()[i].Name)
+	}
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScreenRoutesByKindAndLabel(t *testing.T) {
+	s, r := screenFixture(t)
+	ix := r.screenIndex()
+	if len(ix.Views()) != 3 {
+		t.Fatalf("indexed %d views", len(ix.Views()))
+	}
+	label := func(oid oem.OID) (string, bool) {
+		l, err := s.Label(oid)
+		return l, err == nil
+	}
+
+	// A modify of an age atom reaches exactly the age views (byLast).
+	s.MustPut(oem.NewAtom("ZAGE", "age", oem.Int(99)))
+	mod := store.Update{Kind: store.UpdateModify, N1: "ZAGE"}
+	if got := affectedNames(ix, mod, label); !sameStrings(got, []string{"A0", "A1"}) {
+		t.Fatalf("modify(age) routed to %v, want [A0 A1]", got)
+	}
+
+	// A modify of an f1 atom reaches only F1.
+	s.MustPut(oem.NewAtom("ZF1", "f1", oem.String_("v1")))
+	mod1 := store.Update{Kind: store.UpdateModify, N1: "ZF1"}
+	if got := affectedNames(ix, mod1, label); !sameStrings(got, []string{"F1"}) {
+		t.Fatalf("modify(f1) routed to %v, want [F1]", got)
+	}
+
+	// An insert whose child is an age atom reaches the age views; an
+	// insert of an f2 atom reaches nothing (no view mentions f2).
+	ins := store.Update{Kind: store.UpdateInsert, N1: "REL", N2: "ZAGE"}
+	if got := affectedNames(ix, ins, label); !sameStrings(got, []string{"A0", "A1"}) {
+		t.Fatalf("insert(age) routed to %v, want [A0 A1]", got)
+	}
+	s.MustPut(oem.NewAtom("ZF2", "f2", oem.String_("x")))
+	ins2 := store.Update{Kind: store.UpdateInsert, N1: "REL", N2: "ZF2"}
+	if got := affectedNames(ix, ins2, label); len(got) != 0 {
+		t.Fatalf("insert(f2) routed to %v, want none", got)
+	}
+
+	// Creates screen on the created object's own label (dangling
+	// references may attach to it).
+	crt := store.Update{Kind: store.UpdateCreate, N1: "ZAGE"}
+	if got := affectedNames(ix, crt, label); !sameStrings(got, []string{"A0", "A1"}) {
+		t.Fatalf("create(age) routed to %v, want [A0 A1]", got)
+	}
+
+	// An unresolvable label routes everywhere — the maintainers own the
+	// error semantics, not the screen.
+	gone := store.Update{Kind: store.UpdateInsert, N1: "REL", N2: "NOPE"}
+	if got := affectedNames(ix, gone, label); len(got) != 3 {
+		t.Fatalf("unknown label routed to %v, want all 3", got)
+	}
+}
+
+func TestScreenMembershipSweepReachesDelegates(t *testing.T) {
+	s, r := screenFixture(t)
+	ix := r.screenIndex()
+	label := func(oid oem.OID) (string, bool) {
+		l, err := s.Label(oid)
+		return l, err == nil
+	}
+	members, err := r.Evaluate("A0")
+	if err != nil || len(members) == 0 {
+		t.Fatalf("A0 members: %v err %v", members, err)
+	}
+	// An insert under a member tuple with an unindexed child label cannot
+	// change any membership, but A0's delegate for that tuple must track
+	// its value — the sweep routes it to A0 (and only the views holding
+	// the member).
+	s.MustPut(oem.NewAtom("ZZZ", "zzz", oem.Int(1)))
+	u := store.Update{Kind: store.UpdateInsert, N1: members[0], N2: "ZZZ"}
+	got := affectedNames(ix, u, label)
+	if !sameStrings(got, []string{"A0"}) {
+		t.Fatalf("member-touching insert routed to %v, want [A0]", got)
+	}
+}
+
+func TestScreenUnsimplifiableViewIsAlwaysRouted(t *testing.T) {
+	s, r := screenFixture(t)
+	// A wildcard sel_path is outside the simple class: unscreenable.
+	if _, err := r.Define("define mview W as: SELECT REL.* X WHERE X.age > 0"); err != nil {
+		t.Fatal(err)
+	}
+	ix := r.screenIndex()
+	label := func(oid oem.OID) (string, bool) {
+		l, err := s.Label(oid)
+		return l, err == nil
+	}
+	s.MustPut(oem.NewAtom("ZF2b", "f2", oem.String_("x")))
+	u := store.Update{Kind: store.UpdateInsert, N1: "REL", N2: "ZF2b"}
+	if got := affectedNames(ix, u, label); !sameStrings(got, []string{"W"}) {
+		t.Fatalf("insert(f2) routed to %v, want just the wildcard view", got)
+	}
+}
+
+func TestScreenViewReferencingViewsGoToSerialTail(t *testing.T) {
+	_, r := screenFixture(t)
+	if _, err := r.Define("define mview VV as: SELECT A0.* X WHERE X.age > 40"); err != nil {
+		t.Fatal(err)
+	}
+	ix := r.screenIndex()
+	for _, v := range ix.Views() {
+		if v.Name == "VV" {
+			t.Fatal("view-over-view was indexed for parallel fan-out")
+		}
+	}
+	found := false
+	for _, v := range r.tail {
+		found = found || v.Name == "VV"
+	}
+	if !found {
+		t.Fatal("view-over-view missing from the serial tail")
+	}
+}

@@ -147,5 +147,6 @@ func All(cfg Config) []*Table {
 		E9ClusterSharing(cfg),
 		E10DataGuide(cfg),
 		E11WireValidation(cfg),
+		E12ParallelBatchedMaintenance(cfg),
 	}
 }

@@ -1,0 +1,128 @@
+package feed
+
+import (
+	"testing"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+func TestPublishBatchCoalescedEvent(t *testing.T) {
+	h := NewHub(Options{})
+	h.RegisterView("V", nil)
+	sub, err := h.Subscribe("V", SubOptions{Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := store.Update{Seq: 40, Kind: store.UpdateModify, N1: "F1"}
+	cur := h.PublishBatch("V", last, 3, core.Deltas{
+		Insert: []oem.OID{"A", "B"}, Delete: []oem.OID{"C"},
+	})
+	if cur != 1 {
+		t.Fatalf("cursor = %d", cur)
+	}
+	ev := collect(t, sub, 1)[0]
+	if ev.Kind != KindBatch || ev.Updates != 3 || ev.Seq != 40 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !oem.SameMembers(ev.Insert, []oem.OID{"A", "B"}) || !oem.SameMembers(ev.Delete, []oem.OID{"C"}) {
+		t.Fatalf("deltas = %+v", ev)
+	}
+}
+
+func TestPublishBatchDegradations(t *testing.T) {
+	h := NewHub(Options{})
+	// A batch that netted to nothing is invisible.
+	if cur := h.PublishBatch("V", store.Update{Seq: 9}, 5, core.Deltas{}); cur != 0 {
+		t.Fatalf("empty batch assigned cursor %d", cur)
+	}
+	if c, ok := h.Cursor("V"); ok && c != 0 {
+		t.Fatalf("cursor moved on empty batch: %d", c)
+	}
+	// A single-update batch is published as an ordinary per-update event,
+	// indistinguishable from the serial feed.
+	u := store.Update{Seq: 3, Kind: store.UpdateInsert, N1: "ROOT", N2: "X"}
+	h.RegisterView("V", nil)
+	sub, err := h.Subscribe("V", SubOptions{Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.PublishBatch("V", u, 1, core.Deltas{Insert: []oem.OID{"X"}})
+	ev := collect(t, sub, 1)[0]
+	if ev.Kind != store.UpdateInsert.String() || ev.Updates != 0 || ev.N2 != "X" {
+		t.Fatalf("single-update batch event = %+v", ev)
+	}
+}
+
+// TestBatchObserverEndToEnd wires a hub to a registry via the adapter and
+// checks that one batch yields one coalesced event per touched view whose
+// replay matches the view's membership change.
+func TestBatchObserverEndToEnd(t *testing.T) {
+	s := store.NewDefault()
+	s.MustPut(oem.NewSet("ROOT", "root"))
+	for i, age := range []int64{20, 40, 60} {
+		oid := oem.OID(rune('A' + i))
+		s.MustPut(oem.NewAtom(oid, "age", oem.Int(age)))
+		s.MustPut(oem.NewSet("P"+oid, "person", oid))
+		if err := s.Insert("ROOT", "P"+oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := core.NewRegistry(s)
+	if _, err := r.Define("define mview OLD as: SELECT ROOT.person X WHERE X.age > 30"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := r.Evaluate("OLD")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := NewHub(Options{})
+	r.SetBatchObserver(h.BatchObserver())
+	h.RegisterView("OLD", nil)
+	sub, err := h.Subscribe("OLD", SubOptions{Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two membership-changing modifies in one batch: A ages into the view,
+	// C ages out.
+	seq0 := s.Seq()
+	if err := s.Modify("A", oem.Int(35)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Modify("C", oem.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyBatch(s.LogSince(seq0)); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := collect(t, sub, 1)[0]
+	if ev.Kind != KindBatch || ev.Updates != 2 {
+		t.Fatalf("event = %+v", ev)
+	}
+	set := map[oem.OID]bool{}
+	for _, m := range before {
+		set[m] = true
+	}
+	for _, y := range ev.Insert {
+		set[y] = true
+	}
+	for _, y := range ev.Delete {
+		delete(set, y)
+	}
+	after, err := r.Evaluate("OLD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != len(after) {
+		t.Fatalf("replay %v != membership %v", set, after)
+	}
+	for _, m := range after {
+		if !set[m] {
+			t.Fatalf("replay %v != membership %v", set, after)
+		}
+	}
+}

@@ -40,6 +40,12 @@ type Event struct {
 	N2     oem.OID   `json:"n2,omitempty"`
 	Insert []oem.OID `json:"insert,omitempty"`
 	Delete []oem.OID `json:"delete,omitempty"`
+	// Updates is how many base updates a coalesced batch event nets
+	// together (Kind "batch"); 0 or 1 means a per-update event. Seq is
+	// then the sequence number of the last contributing update, and
+	// Insert/Delete the net membership change — replaying them reaches
+	// the same membership as replaying the per-update stream.
+	Updates int `json:"updates,omitempty"`
 }
 
 // Empty reports whether the event carries no membership change.

@@ -118,11 +118,49 @@ func (h *Hub) Publish(view string, u store.Update, d core.Deltas) uint64 {
 	if len(d.Insert) == 0 && len(d.Delete) == 0 {
 		return 0
 	}
-	ev := Event{
+	return h.publish(Event{
 		View: view, Seq: u.Seq, Kind: u.Kind.String(), N1: u.N1, N2: u.N2,
 		Insert: append([]oem.OID(nil), d.Insert...),
 		Delete: append([]oem.OID(nil), d.Delete...),
+	})
+}
+
+// KindBatch is the Event.Kind of coalesced batch events.
+const KindBatch = "batch"
+
+// PublishBatch appends one coalesced event netting n base updates, as
+// produced by a core.DeltaCoalescer: last is the final contributing
+// update and d the net membership change. With n <= 1 it degrades to a
+// plain Publish so single-update batches look exactly like the
+// per-update feed. Empty deltas are not published and return 0 — a batch
+// whose inserts and deletes cancelled entirely is invisible, which is
+// consistent with replay semantics (the net change is nothing).
+func (h *Hub) PublishBatch(view string, last store.Update, n int, d core.Deltas) uint64 {
+	if len(d.Insert) == 0 && len(d.Delete) == 0 {
+		return 0
 	}
+	if n <= 1 {
+		return h.Publish(view, last, d)
+	}
+	return h.publish(Event{
+		View: view, Seq: last.Seq, Kind: KindBatch, Updates: n,
+		Insert: append([]oem.OID(nil), d.Insert...),
+		Delete: append([]oem.OID(nil), d.Delete...),
+	})
+}
+
+// BatchObserver adapts the hub to core.BatchObserver: install it with
+// Registry.SetBatchObserver to get one cursored event per view per
+// batch. The view's OID doubles as its feed name, as in Observer.
+func (h *Hub) BatchObserver() core.BatchObserver {
+	return func(view oem.OID, last store.Update, n int, d core.Deltas) {
+		h.PublishBatch(string(view), last, n, d)
+	}
+}
+
+// publish assigns ev a cursor on its view's feed and fans it out.
+func (h *Hub) publish(ev Event) uint64 {
+	view := ev.View
 
 	h.mu.Lock()
 	vf := h.feedLocked(view)

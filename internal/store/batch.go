@@ -1,0 +1,46 @@
+package store
+
+import "sync"
+
+// Buffer is the group-commit handoff between the store's synchronous
+// update log and a batch consumer. Subscribe Observe on a store; each
+// logged update is appended under the buffer's own lock, so mutators on
+// any goroutine — including maintainer goroutines writing view objects
+// into the same store — can log concurrently while a drainer on another
+// goroutine snapshots whole batches with Take. This replaces the
+// unsynchronized pending slice the registry's Watch used to keep, which
+// was safe only while all mutation and draining happened on one
+// goroutine.
+type Buffer struct {
+	mu      sync.Mutex
+	pending []Update
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Observe appends one update. It is the Store.Subscribe callback shape
+// and safe to call with the store's lock held: it only takes the
+// buffer's own lock and never calls back into the store.
+func (b *Buffer) Observe(u Update) {
+	b.mu.Lock()
+	b.pending = append(b.pending, u)
+	b.mu.Unlock()
+}
+
+// Take removes and returns everything buffered so far, in log order.
+// It returns nil when the buffer is empty.
+func (b *Buffer) Take() []Update {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.pending
+	b.pending = nil
+	return out
+}
+
+// Len reports how many updates are currently buffered.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}

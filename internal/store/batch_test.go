@@ -1,0 +1,95 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"gsv/internal/oem"
+)
+
+func TestBufferCollectsAndSwaps(t *testing.T) {
+	b := NewBuffer()
+	if got := b.Take(); got != nil {
+		t.Fatalf("fresh buffer Take = %v", got)
+	}
+	b.Observe(Update{Seq: 1, Kind: UpdateCreate, N1: "A"})
+	b.Observe(Update{Seq: 2, Kind: UpdateInsert, N1: "A", N2: "B"})
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	got := b.Take()
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("Take = %v", got)
+	}
+	if b.Len() != 0 || b.Take() != nil {
+		t.Fatal("Take did not swap the pending slice out")
+	}
+}
+
+// TestBufferUnderStoreLock is the regression test for the unsynchronized
+// pending slice Buffer replaced: subscribers run with the store's lock
+// held, possibly from many mutating goroutines, while a drainer Takes.
+func TestBufferUnderStoreLock(t *testing.T) {
+	s := NewDefault()
+	s.MustPut(oem.NewSet("ROOT", "root"))
+	b := NewBuffer()
+	s.Subscribe(b.Observe)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				oid := oem.OID(rune('A'+g)) + oem.OID(rune('a'+i%26))
+				s.Put(oem.NewAtom(oid+"x", "n", oem.Int(int64(i))))
+			}
+		}()
+	}
+	drained := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for {
+		drained += len(b.Take())
+		select {
+		case <-done:
+			drained += len(b.Take())
+			if drained == 0 {
+				t.Error("observed nothing")
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestHasChildMatchesContains(t *testing.T) {
+	for _, indexed := range []bool{true, false} {
+		s := New(Options{ParentIndex: indexed})
+		s.MustPut(oem.NewAtom("A", "a", oem.Int(1)))
+		s.MustPut(oem.NewAtom("B", "b", oem.Int(2)))
+		s.MustPut(oem.NewSet("P", "p", "A"))
+		if !s.HasChild("P", "A") {
+			t.Fatalf("indexed=%v: HasChild(P,A) = false", indexed)
+		}
+		if s.HasChild("P", "B") || s.HasChild("A", "B") || s.HasChild("NOPE", "A") {
+			t.Fatalf("indexed=%v: false positive", indexed)
+		}
+		if err := s.Insert("P", "B"); err != nil {
+			t.Fatal(err)
+		}
+		if !s.HasChild("P", "B") {
+			t.Fatalf("indexed=%v: HasChild misses inserted edge", indexed)
+		}
+		if err := s.Delete("P", "A"); err != nil {
+			t.Fatal(err)
+		}
+		if s.HasChild("P", "A") {
+			t.Fatalf("indexed=%v: HasChild sees deleted edge", indexed)
+		}
+	}
+}

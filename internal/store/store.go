@@ -112,6 +112,21 @@ func (s *Store) Has(oid oem.OID) bool {
 	return ok
 }
 
+// HasChild reports whether child is in the set value of parent. With the
+// parent index this is two map probes — no object clone — which is what
+// makes per-update membership screening affordable; without it the
+// parent's value is scanned in place.
+func (s *Store) HasChild(parent, child oem.OID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.opts.ParentIndex {
+		_, ok := s.parents[child][parent]
+		return ok
+	}
+	o, ok := s.objects[parent]
+	return ok && o.Contains(child)
+}
+
 // Label returns the label of the object named by oid.
 func (s *Store) Label(oid oem.OID) (string, error) {
 	s.mu.RLock()

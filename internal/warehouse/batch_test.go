@@ -1,0 +1,128 @@
+package warehouse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gsv/internal/feed"
+	"gsv/internal/oem"
+)
+
+// TestProcessBatchCoalescesFeedEvents: a batch with several
+// membership-changing reports yields ONE coalesced changefeed event for
+// the view, whose replay lands on the view's final membership.
+func TestProcessBatchCoalescesFeedEvents(t *testing.T) {
+	src, w, v := fixture(t, Level2, ViewConfig{})
+	sub, err := w.Feed.Subscribe("YP", feed.SubOptions{Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := v.MV.Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// P1 ages out of the view; a new young professor P9 arrives. Two
+	// contributing updates, net delta {insert P9, delete P1}.
+	var rs []*UpdateReport
+	add := func(batch []*UpdateReport, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, batch...)
+	}
+	add(src.Modify("A1", oem.Int(50)))
+	add(src.Put(oem.NewAtom("A9", "age", oem.Int(30))))
+	add(src.Put(oem.NewSet("P9", "professor", "A9")))
+	add(src.Insert("ROOT", "P9"))
+
+	if err := w.ProcessBatch(rs); err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, v, "P9")
+
+	evs := drainNow(sub)
+	if len(evs) != 1 {
+		t.Fatalf("batch published %d events, want 1: %+v", len(evs), evs)
+	}
+	ev := evs[0]
+	if ev.Kind != feed.KindBatch || ev.Updates < 2 {
+		t.Fatalf("event = %+v, want coalesced batch of >= 2 updates", ev)
+	}
+	if got := applyEvents(before, evs); !oem.SameMembers(got, []oem.OID{"P9"}) {
+		t.Fatalf("replaying the coalesced event gives %v, want [P9]", got)
+	}
+
+	// A later single-report batch degrades to an ordinary per-update
+	// event, so per-report consumers notice nothing new.
+	rs2, err := src.Modify("A9", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ProcessBatch(rs2); err != nil {
+		t.Fatal(err)
+	}
+	evs = drainNow(sub)
+	if len(evs) != 1 || evs[0].Kind == feed.KindBatch {
+		t.Fatalf("single-report batch events = %+v", evs)
+	}
+}
+
+// TestProcessBatchQuarantineMidBatch: a view failing inside a batch is
+// marked Stale, skips its remaining reports, and does not disturb the
+// healthy view processing the same batch in parallel.
+func TestProcessBatchQuarantineMidBatch(t *testing.T) {
+	src, inj, w, frail, sturdy := faultFixture(t)
+	inj.Partition(true)
+	var rs []*UpdateReport
+	r1, err := src.Modify("A1", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := src.Modify("A1", oem.Int(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs = append(rs, r1...)
+	rs = append(rs, r2...)
+
+	procErr := w.ProcessBatch(rs)
+	if procErr == nil {
+		t.Fatal("ProcessBatch succeeded despite partition")
+	}
+	if !strings.Contains(procErr.Error(), "view frail") || strings.Contains(procErr.Error(), "view sturdy") {
+		t.Fatalf("joined error = %v", procErr)
+	}
+	if frail.State() != ViewStale {
+		t.Fatalf("frail state = %v", frail.State())
+	}
+	if frail.Stats.SkippedStale.Value() == 0 {
+		t.Fatal("remaining reports were not counted as skipped-stale")
+	}
+	if sturdy.State() != ViewFresh {
+		t.Fatalf("sturdy state = %v", sturdy.State())
+	}
+	wantMembers(t, sturdy, "P1") // 50 then back to 44: P1 ends inside
+
+	// FreshMembers refuses the quarantined view with the typed sentinel
+	// and serves the healthy one.
+	if _, err := w.FreshMembers("frail"); !errors.Is(err, ErrStaleView) {
+		t.Fatalf("FreshMembers(frail) err = %v, want ErrStaleView", err)
+	}
+	if ms, err := w.FreshMembers("sturdy"); err != nil || !oem.SameMembers(ms, []oem.OID{"P1"}) {
+		t.Fatalf("FreshMembers(sturdy) = %v, %v", ms, err)
+	}
+	if _, err := w.FreshMembers("nope"); !errors.Is(err, ErrViewNotFound) {
+		t.Fatalf("FreshMembers(nope) err = %v, want ErrViewNotFound", err)
+	}
+
+	// Repair heals the quarantine; FreshMembers serves again.
+	inj.Partition(false)
+	if _, err := w.Repair("frail"); err != nil {
+		t.Fatal(err)
+	}
+	if ms, err := w.FreshMembers("frail"); err != nil || !oem.SameMembers(ms, []oem.OID{"P1"}) {
+		t.Fatalf("after repair FreshMembers(frail) = %v, %v", ms, err)
+	}
+}

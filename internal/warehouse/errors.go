@@ -1,0 +1,28 @@
+package warehouse
+
+import (
+	"errors"
+
+	"gsv/internal/core"
+)
+
+// Sentinel errors, matched with errors.Is. The view-identity sentinels
+// are shared with the core registry so a caller can test one symbol
+// regardless of which layer produced the failure.
+var (
+	// ErrViewNotFound reports an operation on a view name the warehouse
+	// does not host.
+	ErrViewNotFound = core.ErrViewNotFound
+
+	// ErrViewExists reports a DefineView for a name already taken.
+	ErrViewExists = core.ErrViewExists
+
+	// ErrNotSimple reports a view definition outside the simple class;
+	// the warehouse protocol of Section 5 maintains simple views only.
+	ErrNotSimple = core.ErrNotSimple
+
+	// ErrStaleView reports a strict read against a view that is
+	// quarantined (Stale or Repairing) and whose membership may lag the
+	// source; see Warehouse.FreshMembers.
+	ErrStaleView = errors.New("warehouse: view is stale")
+)

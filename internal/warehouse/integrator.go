@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"errors"
 	"fmt"
 
 	"gsv/internal/oem"
@@ -119,21 +120,24 @@ func (i *Integrator) ProcessReport(r *UpdateReport) error {
 	return w.ProcessReport(r)
 }
 
-// Pump drains every source's pending reports and processes them. It
-// returns the number of reports processed. Call it after source
-// mutations; in a deployment this is the continuous report stream.
+// Pump drains every source's pending reports and processes each source's
+// drain as one batch through its warehouse's scheduler (group commit:
+// one coalesced changefeed event per view per pump). It returns the
+// number of reports processed; per-source failures are joined, and a
+// failing source does not stop the others — its views are quarantined by
+// the staleness machinery instead.
 func (i *Integrator) Pump() (int, error) {
 	n := 0
+	var errs []error
 	for _, name := range i.sourceNames() {
-		src := i.sources[name]
-		for _, r := range src.DrainReports() {
-			if err := i.ProcessReport(r); err != nil {
-				return n, err
-			}
-			n++
+		w := i.warehouses[name]
+		rs := i.sources[name].DrainReports()
+		n += len(rs)
+		if err := w.ProcessBatch(rs); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return n, nil
+	return n, errors.Join(errs...)
 }
 
 func (i *Integrator) sourceNames() []string {

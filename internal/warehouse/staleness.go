@@ -138,7 +138,7 @@ func (w *Warehouse) StaleViews() []string {
 func (w *Warehouse) Repair(name string) (bool, error) {
 	v, ok := w.View(name)
 	if !ok {
-		return false, fmt.Errorf("warehouse: no view %s", name)
+		return false, fmt.Errorf("%w: warehouse view %s", ErrViewNotFound, name)
 	}
 	if v.State() == ViewFresh {
 		return true, nil

@@ -343,6 +343,11 @@ type WView struct {
 	// processed on one goroutine while the background repair loop resyncs
 	// on another.
 	procMu sync.Mutex
+	// accum, when non-nil, collects this view's applied deltas instead of
+	// publishing them per update; ProcessBatch installs it for the span of
+	// one batch and publishes the coalesced result once. Guarded by
+	// procMu, like all maintenance state.
+	accum *core.DeltaCoalescer
 	// state holds the ViewState (staleness.go); membership reads are
 	// served in every state, but only Fresh views receive incremental
 	// maintenance.
@@ -373,6 +378,11 @@ type Warehouse struct {
 	mu    sync.RWMutex
 	views map[string]*WView
 
+	// Sched fans ProcessBatch's per-view work out over a bounded worker
+	// pool (default runtime.NumCPU()); ProcessReport/ProcessAll stay
+	// serial and per-report.
+	Sched *core.Scheduler
+
 	// Obs, when set via EnableObs, receives every per-view counter plus
 	// maintenance latency histograms.
 	Obs *obs.Registry
@@ -390,6 +400,7 @@ func New(src SourceAPI) *Warehouse {
 			ParentIndex: true, LabelIndex: true, AllowDangling: true,
 		}),
 		Feed:  feed.NewHub(feed.Options{}),
+		Sched: core.NewScheduler(0),
 		views: make(map[string]*WView),
 	}
 }
@@ -426,6 +437,7 @@ func (w *Warehouse) EnableObs(reg *obs.Registry) {
 	reg.Help("gsv_view_state", "view staleness state (0 fresh, 1 stale, 2 repairing)")
 	reg.Help("gsv_traces_total", "maintenance traces emitted since startup")
 	reg.GaugeFunc("gsv_traces_total", func() float64 { return float64(w.Traces.Total()) })
+	w.Sched.Metrics.RegisterObs(reg, "warehouse")
 	// Views defined before EnableObs pick up their instruments now; views
 	// defined after register inside DefineView.
 	w.mu.RLock()
@@ -482,11 +494,11 @@ func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WV
 	_, exists := w.views[name]
 	w.mu.RUnlock()
 	if exists {
-		return nil, fmt.Errorf("warehouse: view %s already defined", name)
+		return nil, fmt.Errorf("%w: warehouse view %s", ErrViewExists, name)
 	}
 	def, ok := core.Simplify(q)
 	if !ok {
-		return nil, fmt.Errorf("warehouse: %s is not a simple view; the warehouse protocol of Section 5 maintains simple views", name)
+		return nil, fmt.Errorf("%w: %s (the warehouse protocol of Section 5 maintains simple views)", ErrNotSimple, name)
 	}
 	if def.Within != "" {
 		return nil, fmt.Errorf("warehouse: %s uses WITHIN; warehouse views are scoped to their source instead", name)
@@ -529,11 +541,11 @@ func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WV
 	}
 	// The maintainer's observer is chained: record the applied delta sizes
 	// on the view (for stats and the maintenance trace), then publish to
-	// the changefeed as before.
-	next := w.Feed.Observer(name)
+	// the changefeed — per update normally, into the batch accumulator
+	// when ProcessBatch has one installed.
 	maint.Observer = func(view oem.OID, u store.Update, d core.Deltas) {
 		v.recordDeltas(len(d.Insert), len(d.Delete))
-		next(view, u, d)
+		v.publish(u, d)
 	}
 	w.Feed.RegisterView(name, mv.Members)
 	for _, l := range def.FullPath() {
@@ -544,6 +556,16 @@ func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WV
 	w.views[name] = v
 	w.mu.Unlock()
 	return v, nil
+}
+
+// publish routes one applied delta to the changefeed: straight to the
+// hub normally, into the batch accumulator during ProcessBatch.
+func (v *WView) publish(u store.Update, d core.Deltas) {
+	if v.accum != nil {
+		v.accum.Add(u, d)
+		return
+	}
+	v.feed.Publish(v.Name, u, d)
 }
 
 // recordDeltas notes the delta sizes applied by one maintenance step.
@@ -627,6 +649,81 @@ func (w *Warehouse) ProcessAll(rs []*UpdateReport) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// ProcessBatch group-commits a batch of reports: every view gets the
+// whole batch as one task, the tasks fan out over the warehouse
+// scheduler, and each view publishes a single coalesced changefeed event
+// for the batch instead of one per report. Per-view report order and the
+// per-view staleness quarantine are exactly those of ProcessReport — a
+// view that fails mid-batch is marked Stale and skips its remaining
+// reports, counting them as SkippedStale, without disturbing the other
+// views. Failures come back joined.
+func (w *Warehouse) ProcessBatch(rs []*UpdateReport) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	w.absorbSourceGap()
+	views := w.viewsSorted()
+	w.Sched.Metrics.BatchSize.Observe(float64(len(rs)))
+	w.Sched.Metrics.RoutedPairs.Add(uint64(len(rs) * len(views)))
+	tasks := make([]core.Task, len(views))
+	for i, v := range views {
+		tasks[i] = core.Task{Name: v.Name, Fn: func() error {
+			return w.processViewBatch(v, rs)
+		}}
+	}
+	var errs []error
+	for _, err := range w.Sched.Run(tasks) {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// processViewBatch runs one view through a whole batch under its
+// processing lock, accumulating deltas and publishing them coalesced.
+func (w *Warehouse) processViewBatch(v *WView, rs []*UpdateReport) error {
+	v.procMu.Lock()
+	defer v.procMu.Unlock()
+	co := core.NewDeltaCoalescer()
+	v.accum = co
+	defer func() { v.accum = nil }()
+	var errs []error
+	for _, r := range rs {
+		if v.State() != ViewFresh {
+			v.Stats.SkippedStale.Inc()
+			continue
+		}
+		if r.Update.Seq != 0 && r.Update.Seq <= v.resyncSkipSeq {
+			continue
+		}
+		if err := v.process(r, w.Src); err != nil {
+			v.markStale(fmt.Sprintf("maintenance failed on %s: %v", r.Update, err))
+			errs = append(errs, fmt.Errorf("warehouse: view %s on %s: %w", v.Name, r.Update, err))
+		}
+	}
+	if co.Count() > 0 {
+		w.Feed.PublishBatch(v.Name, co.Last(), co.Count(), co.Deltas())
+	}
+	return errors.Join(errs...)
+}
+
+// FreshMembers returns a view's membership, but only when the view is
+// Fresh: a quarantined view answers ErrStaleView (test with errors.Is)
+// so strict readers never act on known-lagging data. Relaxed readers
+// keep using View + MV.Members, which serves in every state.
+func (w *Warehouse) FreshMembers(name string) ([]oem.OID, error) {
+	v, ok := w.View(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: warehouse view %s", ErrViewNotFound, name)
+	}
+	if v.State() != ViewFresh {
+		reason, _ := v.StaleReason()
+		return nil, fmt.Errorf("%w: %s (%s)", ErrStaleView, name, reason)
+	}
+	return v.MV.Members()
 }
 
 func (v *WView) process(r *UpdateReport, src SourceAPI) error {
@@ -834,7 +931,7 @@ func (v *WView) level1Modify(u store.Update, src SourceAPI) error {
 				}
 				if !was {
 					v.recordDeltas(1, 0)
-					v.feed.Publish(v.Name, u, core.Deltas{Insert: []oem.OID{y}})
+					v.publish(u, core.Deltas{Insert: []oem.OID{y}})
 				}
 			} else {
 				if err := v.Maint.VDelete(y); err != nil {
@@ -842,7 +939,7 @@ func (v *WView) level1Modify(u store.Update, src SourceAPI) error {
 				}
 				if was {
 					v.recordDeltas(0, 1)
-					v.feed.Publish(v.Name, u, core.Deltas{Delete: []oem.OID{y}})
+					v.publish(u, core.Deltas{Delete: []oem.OID{y}})
 				}
 			}
 		}

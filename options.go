@@ -1,0 +1,107 @@
+package gsv
+
+import (
+	"runtime"
+
+	"gsv/internal/core"
+	"gsv/internal/store"
+)
+
+// Option configures Open. Options replace the old constructor-per-knob
+// pattern (OpenWith and ad-hoc setters); see docs/API.md for the
+// migration notes.
+type Option func(*openConfig)
+
+type openConfig struct {
+	store       *Store
+	strategy    Strategy
+	parallelism int
+	screening   *bool
+	observer    DeltaObserver
+	batchObs    BatchObserver
+}
+
+// WithStore opens the database over an existing store instead of a fresh
+// one with default indexing.
+func WithStore(s *Store) Option {
+	return func(c *openConfig) { c.store = s }
+}
+
+// WithStrategy sets the maintenance strategy Define uses for every view
+// registered through this DB (default StrategyAuto: Algorithm 1 for
+// simple views, the general maintainer otherwise).
+func WithStrategy(s Strategy) Option {
+	return func(c *openConfig) { c.strategy = s }
+}
+
+// WithParallelism bounds the maintenance worker pool that fans batched
+// updates out across views. n <= 0 means runtime.NumCPU(); the default
+// is 1 (serial maintenance on the syncing goroutine). Observers
+// installed with WithObserver or WithBatchObserver must be safe for
+// concurrent use when n > 1.
+func WithParallelism(n int) Option {
+	return func(c *openConfig) {
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		c.parallelism = n
+	}
+}
+
+// WithScreening toggles the registry's label screening index (default
+// on). Screening only skips provably no-op maintainer calls; results
+// are identical either way, so turning it off is mainly for baselines
+// and debugging.
+func WithScreening(on bool) Option {
+	return func(c *openConfig) { c.screening = &on }
+}
+
+// WithObserver installs a per-update delta observer: it fires once for
+// every applied base update that changed a view, exactly as maintainers
+// report them.
+func WithObserver(fn DeltaObserver) Option {
+	return func(c *openConfig) { c.observer = fn }
+}
+
+// WithBatchObserver installs a batch delta observer: it fires once per
+// view per synced batch with the coalesced membership change (see
+// Registry.SetBatchObserver and feed.Hub.BatchObserver).
+func WithBatchObserver(fn BatchObserver) Option {
+	return func(c *openConfig) { c.batchObs = fn }
+}
+
+// Open returns a database configured by the given options; with none it
+// is an empty database with default indexing, serial maintenance and
+// screening on.
+func Open(opts ...Option) *DB {
+	var c openConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	s := c.store
+	if s == nil {
+		s = store.NewDefault()
+	}
+	db := open(s)
+	if c.strategy != core.StrategyAuto {
+		db.Views.SetDefaultStrategy(c.strategy)
+	}
+	if c.parallelism > 0 {
+		db.Views.SetParallelism(c.parallelism)
+	}
+	if c.screening != nil {
+		db.Views.SetScreening(*c.screening)
+	}
+	if c.observer != nil {
+		db.Views.SetObserver(c.observer)
+	}
+	if c.batchObs != nil {
+		db.Views.SetBatchObserver(c.batchObs)
+	}
+	return db
+}
+
+// OpenWith wraps an existing store.
+//
+// Deprecated: use Open(WithStore(s)).
+func OpenWith(s *Store) *DB { return Open(WithStore(s)) }

@@ -1,0 +1,141 @@
+package gsv_test
+
+import (
+	"errors"
+	"testing"
+
+	"gsv"
+	"gsv/internal/store"
+)
+
+func TestOpenDefaults(t *testing.T) {
+	db := gsv.Open()
+	if db.Store == nil || db.Views == nil {
+		t.Fatal("Open() returned an unwired DB")
+	}
+	if got := db.Views.Parallelism(); got != 1 {
+		t.Fatalf("default parallelism = %d, want 1 (serial)", got)
+	}
+	if db.Views.DefaultStrategy() != gsv.StrategyAuto {
+		t.Fatalf("default strategy = %v", db.Views.DefaultStrategy())
+	}
+}
+
+func TestOpenWithOptions(t *testing.T) {
+	s := store.NewDefault()
+	var batches int
+	db := gsv.Open(
+		gsv.WithStore(s),
+		gsv.WithStrategy(gsv.StrategyRecompute),
+		gsv.WithParallelism(4),
+		gsv.WithScreening(false),
+		gsv.WithBatchObserver(func(view gsv.OID, last gsv.Update, n int, d gsv.Deltas) {
+			batches++
+		}),
+	)
+	if db.Store != s {
+		t.Fatal("WithStore ignored")
+	}
+	if got := db.Views.Parallelism(); got != 4 {
+		t.Fatalf("parallelism = %d", got)
+	}
+	if db.Views.DefaultStrategy() != gsv.StrategyRecompute {
+		t.Fatalf("strategy = %v", db.Views.DefaultStrategy())
+	}
+
+	db.MustPutAtom("A", "age", gsv.Int(40))
+	db.MustPutSet("P", "person", "A")
+	db.MustPutSet("ROOT", "root", "P")
+	if _, err := db.Define("define mview M as: SELECT ROOT.person X WHERE X.age > 30"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := db.Views.Get("M")
+	if v.Strategy != gsv.StrategyRecompute {
+		t.Fatalf("view strategy = %v, want the DB default", v.Strategy)
+	}
+	if err := db.Modify("A", gsv.Int(20)); err != nil {
+		t.Fatal(err)
+	}
+	if batches == 0 {
+		t.Fatal("batch observer never fired")
+	}
+	ms, err := db.ViewMembers("M")
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("members = %v, %v", ms, err)
+	}
+}
+
+func TestOpenWithShim(t *testing.T) {
+	s := store.NewDefault()
+	db := gsv.OpenWith(s)
+	if db.Store != s {
+		t.Fatal("OpenWith did not adopt the store")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	db := gsv.Open()
+	db.MustPutSet("ROOT", "root")
+
+	if _, err := db.ViewMembers("missing"); !errors.Is(err, gsv.ErrViewNotFound) {
+		t.Fatalf("ViewMembers err = %v, want ErrViewNotFound", err)
+	}
+	if _, err := db.Define("define view V as: SELECT ROOT.x X"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Define("define view V as: SELECT ROOT.y X"); !errors.Is(err, gsv.ErrViewExists) {
+		t.Fatalf("redefine err = %v, want ErrViewExists", err)
+	}
+}
+
+// TestParallelOpenEquivalence drives the same mutations through a serial
+// DB and a parallel screened DB and expects identical view memberships.
+func TestParallelOpenEquivalence(t *testing.T) {
+	build := func(opts ...gsv.Option) *gsv.DB {
+		db := gsv.Open(opts...)
+		db.MustPutSet("ROOT", "root")
+		for i, age := range []int64{10, 35, 60, 80} {
+			a := gsv.OID(rune('A' + i))
+			db.MustPutAtom(a, "age", gsv.Int(age))
+			db.MustPutSet("P"+a, "person", a)
+			if err := db.Insert("ROOT", "P"+a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, stmt := range []string{
+			"define mview OLD as: SELECT ROOT.person X WHERE X.age > 30",
+			"define mview VERYOLD as: SELECT ROOT.person X WHERE X.age > 70",
+		} {
+			if _, err := db.Define(stmt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Modify("A", gsv.Int(90)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Modify("D", gsv.Int(5)); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	serial := build(gsv.WithParallelism(1), gsv.WithScreening(false))
+	parallel := build(gsv.WithParallelism(8), gsv.WithScreening(true))
+	for _, name := range []string{"OLD", "VERYOLD"} {
+		a, err := serial.ViewMembers(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.ViewMembers(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: serial %v != parallel %v", name, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: serial %v != parallel %v", name, a, b)
+			}
+		}
+	}
+}

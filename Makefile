@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos cover bench bench-json bench-parallel experiments examples fuzz fmt vet ci demo-feed clean
+.PHONY: all build test race chaos crash cover bench bench-json bench-parallel experiments examples fuzz fmt vet ci demo-feed clean
 
 all: build vet test
 
@@ -35,6 +35,14 @@ race:
 # fixed seeds under the race detector.
 chaos:
 	$(GO) test -race -count=3 -run 'TestChaosSoak|TestNetQuerySurvives|TestNetReportStreamReconnect|TestFollowFeedSurvives' -v ./internal/warehouse/ ./cmd/gsdbwatch/
+
+# The durability drills (CI's crash-smoke job): seeded kill/restart
+# soaks at the WAL and checkpoint crash points, the recovery-equivalence
+# property (checkpoint + tail replay == never crashing, byte for byte)
+# and the WAL/checkpoint torn-write tests, all under the race detector
+# (docs/DURABILITY.md).
+crash:
+	$(GO) test -race -count=2 -run 'TestDurableCrashSoak|TestDurableRecoveryEquivalenceProperty|TestWarehouseDurableCrashSoak|TestWALCrashPoints|TestCheckpointCrashPoints' -v . ./internal/warehouse/ ./internal/wal/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
@@ -72,6 +80,7 @@ fuzz:
 	$(GO) test -fuzz='^FuzzParsePathExpr$$' -fuzztime=30s ./internal/query/
 	$(GO) test -fuzz='^FuzzLoad$$' -fuzztime=30s ./internal/store/
 	$(GO) test -fuzz='^FuzzNetFrame$$' -fuzztime=30s ./internal/warehouse/
+	$(GO) test -fuzz='^FuzzDecodeRecord$$' -fuzztime=30s ./internal/wal/
 
 # End-to-end changefeed demo: gsdbserve hosts a view and drives updates;
 # gsdbwatch -follow tails its delta feed (docs/CHANGEFEED.md). Built

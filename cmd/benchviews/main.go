@@ -59,6 +59,7 @@ func main() {
 		{"E10", experiments.E10DataGuide},
 		{"E11", experiments.E11WireValidation},
 		{"E12", experiments.E12ParallelBatchedMaintenance},
+		{"E13", experiments.E13CrashRecovery},
 	}
 	var tables []*experiments.Table
 	for _, r := range runners {

@@ -26,6 +26,20 @@
 // same registry is available to remote clients through the "stats" wire
 // request (gsdbwatch -stats); see docs/OBSERVABILITY.md.
 //
+// With -data DIR the -feed warehouse is durable (docs/DURABILITY.md): a
+// write-ahead log of update reports plus periodic checkpoints land in
+// DIR, and a restarted server recovers its views from the newest
+// checkpoint and the WAL tail instead of re-materializing them. Reports
+// the source emitted while the server was down are detected as a
+// sequence gap; the affected views come back quarantined (stale) and the
+// background repair loop resyncs them. -fsync picks the WAL fsync
+// policy, -checkpoint-every and -checkpoint-interval the checkpoint
+// cadence; SIGINT/SIGTERM checkpoints before exiting so the next start
+// recovers instantly:
+//
+//	gsdbserve -addr :7070 -sample relations -updates 500 \
+//	          -feed 'HOT=...' -data /var/lib/gsdb -fsync always
+//
 // With -chaos every accepted connection is wrapped in the deterministic
 // fault injector (internal/faults): reads and writes fail, stall or drop
 // the connection with the configured probabilities, seeded by
@@ -44,7 +58,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"gsv/internal/faults"
@@ -53,6 +69,7 @@ import (
 	"gsv/internal/oem"
 	"gsv/internal/query"
 	"gsv/internal/store"
+	"gsv/internal/wal"
 	"gsv/internal/warehouse"
 	"gsv/internal/workload"
 )
@@ -81,6 +98,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		feedRing = flag.Int("feedring", 1024, "changefeed replay ring size per view")
 		debug    = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+
+		dataDir  = flag.String("data", "", "durability directory for the -feed warehouse: WAL + checkpoints, recovered on restart (empty = in-memory)")
+		fsync    = flag.String("fsync", "interval", "WAL fsync policy with -data: always|interval|never")
+		ckptN    = flag.Int("checkpoint-every", 1024, "checkpoint after this many logged reports with -data")
+		ckptWait = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period with -data (0 = only count-triggered)")
 
 		chaos      = flag.Bool("chaos", false, "inject deterministic faults into every connection (see internal/faults)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "fault injector seed (same seed = same fault schedule)")
@@ -150,16 +172,53 @@ func main() {
 	// with it, and observability enabled before views register their
 	// instruments.
 	var lw *warehouse.Warehouse
+	if *dataDir != "" && len(feeds) == 0 {
+		log.Fatal("-data needs at least one -feed view to make durable")
+	}
 	if len(feeds) > 0 {
 		lw = warehouse.New(src)
 		lw.Feed = feed.NewHub(feed.Options{RingSize: *feedRing})
 		lw.Feed.RegisterObs(reg)
 		lw.EnableObs(reg)
 		server.Traces = lw.Traces
+
+		// With -data the warehouse recovers from its last checkpoint plus
+		// the WAL tail before any view definition runs: recovered views
+		// resume incrementally (no re-materialization), and DefineView
+		// below only fills in views the directory did not know about.
+		if *dataDir != "" {
+			policy, err := warehouse.ParseSyncPolicy(*fsync)
+			if err != nil {
+				log.Fatalf("-fsync: %v", err)
+			}
+			wm := wal.NewMetrics()
+			wm.Register(reg, "warehouse")
+			recovered, err := lw.EnableDurability(*dataDir, warehouse.DurabilityOptions{
+				Policy:          policy,
+				Metrics:         wm,
+				CheckpointEvery: *ckptN,
+			})
+			if err != nil {
+				log.Fatalf("-data %s: %v", *dataDir, err)
+			}
+			if recovered {
+				log.Printf("recovered warehouse state from %s (views: %s)", *dataDir, strings.Join(lw.ViewNames(), ", "))
+			} else {
+				log.Printf("durable warehouse in fresh directory %s (fsync=%s)", *dataDir, *fsync)
+			}
+			if *ckptWait > 0 {
+				lw.StartCheckpointLoop(*ckptWait)
+			}
+		}
+
 		for _, spec := range feeds {
 			name, qs, ok := strings.Cut(spec, "=")
 			if !ok {
 				log.Fatalf("-feed wants NAME=QUERY, got %q", spec)
+			}
+			if _, ok := lw.View(name); ok {
+				log.Printf("feed %s: recovered from %s", name, *dataDir)
+				continue
 			}
 			q, err := query.Parse(qs)
 			if err != nil {
@@ -190,6 +249,19 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if lw != nil && lw.Durable() {
+		// A clean shutdown checkpoints and releases the WAL so the next
+		// start recovers instantly instead of replaying the tail.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := lw.Close(); err != nil {
+				log.Printf("shutdown checkpoint: %v", err)
+			}
+			os.Exit(0)
+		}()
 	}
 	if *chaos {
 		inj := faults.New(faults.Config{

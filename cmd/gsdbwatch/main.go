@@ -31,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,6 +61,7 @@ func main() {
 		snap    = flag.Bool("snapshot", false, "fall back to a full snapshot when the resume cursor has expired")
 		policy  = flag.String("policy", "", "slow-consumer policy to request: block|drop|disconnect (server default when empty)")
 		nevents = flag.Int("events", 0, "stop -follow after this many events (0 = until -for elapses)")
+		state   = flag.String("state", "", "with -follow, persist the last consumed cursor to this file and resume from it on restart")
 		stats   = flag.Bool("stats", false, "fetch and render the server's per-view stats instead of watching a view")
 		watch   = flag.Bool("watch", false, "with -stats, refresh until -for elapses")
 		every   = flag.Duration("every", 2*time.Second, "refresh interval for -stats -watch")
@@ -79,7 +81,7 @@ func main() {
 	if *follow != "" {
 		err := followFeed(os.Stdout, followConfig{
 			addr: *addr, view: *follow, from: *from, snapshot: *snap,
-			policy: *policy, maxEvents: *nevents, dur: *dur,
+			policy: *policy, maxEvents: *nevents, dur: *dur, stateFile: *state,
 		})
 		if err != nil {
 			log.Fatalf("follow: %v", err)
@@ -315,6 +317,47 @@ type followConfig struct {
 	// maxEvents stops after this many events; 0 means follow until dur.
 	maxEvents int
 	dur       time.Duration
+	// stateFile, when set, persists the last consumed cursor after every
+	// event; a restart resumes from it (overriding from) so the watcher
+	// never re-prints events it already acknowledged.
+	stateFile string
+}
+
+// cursorState is the JSON payload of a -state file.
+type cursorState struct {
+	View   string `json:"view"`
+	Cursor uint64 `json:"cursor"`
+}
+
+// loadCursorState reads a -state file. A missing file is (zero, false,
+// nil): a fresh watcher.
+func loadCursorState(path string) (cursorState, bool, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return cursorState{}, false, nil
+	}
+	if err != nil {
+		return cursorState{}, false, err
+	}
+	var st cursorState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return cursorState{}, false, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, true, nil
+}
+
+// saveCursorState atomically replaces the -state file (temp + rename),
+// so a crash mid-write leaves the previous cursor intact.
+func saveCursorState(path, view string, cursor uint64) error {
+	b, err := json.Marshal(cursorState{View: view, Cursor: cursor})
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // followFeed tails a server-maintained view's changefeed, printing one
@@ -328,6 +371,21 @@ func followFeed(out io.Writer, cfg followConfig) error {
 	if cfg.from >= 0 {
 		req.Resume = true
 		req.From = uint64(cfg.from)
+	}
+	if cfg.stateFile != "" {
+		st, ok, err := loadCursorState(cfg.stateFile)
+		if err != nil {
+			return fmt.Errorf("state file: %w", err)
+		}
+		if ok {
+			if st.View != cfg.view {
+				return fmt.Errorf("state file %s tracks view %q, not %q (use a separate file per view)",
+					cfg.stateFile, st.View, cfg.view)
+			}
+			req.Resume = true
+			req.From = st.Cursor
+			fmt.Fprintf(out, "resuming %s after cursor %d from %s\n", cfg.view, st.Cursor, cfg.stateFile)
+		}
 	}
 	fc, err := warehouse.DialFeed(cfg.addr, req)
 	if err != nil {
@@ -372,6 +430,17 @@ func followFeed(out io.Writer, cfg followConfig) error {
 		fmt.Fprintf(out, "snapshot@%d value(%s) = %v\n", fc.Snapshot.Cursor, fc.View, fc.Snapshot.Members)
 		lastCursor = fc.Snapshot.Cursor
 	}
+	// persist acknowledges lastCursor in the state file; a write failure
+	// is reported but does not end the follow (the stream is still good).
+	persist := func() {
+		if cfg.stateFile == "" {
+			return
+		}
+		if err := saveCursorState(cfg.stateFile, cfg.view, lastCursor); err != nil {
+			fmt.Fprintf(out, "state file: %v\n", err)
+		}
+	}
+	persist()
 
 	n := 0
 	for cfg.maxEvents == 0 || n < cfg.maxEvents {
@@ -390,6 +459,7 @@ func followFeed(out io.Writer, cfg followConfig) error {
 				return rerr
 			}
 			lastCursor = newLast
+			persist()
 			setCur(nc)
 			if expired() {
 				// The deadline fired between the timer's close of the old
@@ -401,6 +471,7 @@ func followFeed(out io.Writer, cfg followConfig) error {
 		fmt.Fprintf(out, "cursor=%d seq=%d %s(%s) +%v -%v\n",
 			ev.Cursor, ev.Seq, ev.Kind, ev.N1, ev.Insert, ev.Delete)
 		lastCursor = ev.Cursor
+		persist()
 		n++
 	}
 	fmt.Fprintf(out, "\nfollowed %d events on %s\n", n, cfg.view)

@@ -350,3 +350,65 @@ func TestParseCache(t *testing.T) {
 		t.Fatal("bogus cache mode parsed")
 	}
 }
+
+func TestFollowFeedStateFileResume(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+	toggle(t, src, lw, server, 2)
+	state := t.TempDir() + "/yp.cursor"
+
+	// First run consumes two events and acknowledges them in the state
+	// file.
+	var out strings.Builder
+	err := followFeed(&out, followConfig{
+		addr: addr, view: "YP", from: 0, maxEvents: 2, dur: 5 * time.Second,
+		stateFile: state,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok, err := loadCursorState(state)
+	if err != nil || !ok {
+		t.Fatalf("state after first run: ok=%v err=%v", ok, err)
+	}
+	if st.View != "YP" || st.Cursor != 2 {
+		t.Fatalf("state = %+v, want view YP cursor 2", st)
+	}
+
+	// Two more events land; a restarted watcher resumes from the state
+	// file (from is -1: without the file it would tail and see nothing
+	// until a new event).
+	toggle(t, src, lw, server, 2)
+	out.Reset()
+	err = followFeed(&out, followConfig{
+		addr: addr, view: "YP", from: -1, maxEvents: 2, dur: 5 * time.Second,
+		stateFile: state,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"resuming YP after cursor 2",
+		"cursor=3",
+		"cursor=4",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("second run missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "cursor=1\n") || strings.Contains(got, "cursor=2\n") {
+		t.Fatalf("second run re-printed acknowledged events:\n%s", got)
+	}
+	if st, _, _ := loadCursorState(state); st.Cursor != 4 {
+		t.Fatalf("state after second run = %+v, want cursor 4", st)
+	}
+
+	// The state file is per-view: following another view with it is an
+	// error rather than a silently wrong cursor.
+	err = followFeed(&strings.Builder{}, followConfig{
+		addr: addr, view: "OTHER", from: -1, dur: time.Second, stateFile: state,
+	})
+	if err == nil || !strings.Contains(err.Error(), "tracks view") {
+		t.Fatalf("cross-view state reuse error = %v", err)
+	}
+}

@@ -134,6 +134,10 @@ type DB struct {
 
 	maintErrs []error
 
+	// dur is the durability state when the DB was opened with
+	// WithDurability; nil otherwise. See durability.go.
+	dur *durability
+
 	// Extension machinery (see extensions.go): aggregates and partial
 	// views keep their objects in side stores and are fed base updates by
 	// Sync.
@@ -214,14 +218,17 @@ func (db *DB) NewDatabase(oid OID, members ...OID) error {
 	return err
 }
 
-// Sync drains pending maintenance work — registry views first, then
-// aggregates and partial views. DB mutation methods call it automatically;
-// call it manually after mutating Store directly. It returns the
-// maintenance errors accumulated since the previous Sync.
+// Sync drains pending maintenance work — the write-ahead log first (for
+// durable databases), then registry views, then aggregates and partial
+// views. DB mutation methods call it automatically; call it manually
+// after mutating Store directly. It returns the maintenance (and
+// durability) errors accumulated since the previous Sync.
 func (db *DB) Sync() []error {
+	durErrs := db.syncDurability()
 	db.Views.Drain()
 	db.syncExtras()
-	errs := db.maintErrs
+	durErrs = append(durErrs, db.maybeCheckpoint()...)
+	errs := append(durErrs, db.maintErrs...)
 	db.maintErrs = nil
 	return errs
 }
@@ -236,10 +243,18 @@ func (db *DB) Query(q string) ([]OID, error) {
 }
 
 // Define parses and registers a view definition statement
-// (define view V as: ... / define mview MV as: ...).
+// (define view V as: ... / define mview MV as: ...). On a durable DB a
+// successful Define checkpoints immediately: view definitions live in
+// checkpoints, not the WAL, so a definition is only crash-safe once a
+// checkpoint carries it.
 func (db *DB) Define(stmt string) (*View, error) {
 	v, err := db.Views.Define(stmt)
 	db.Sync()
+	if err == nil && db.dur != nil {
+		if cerr := db.Checkpoint(); cerr != nil {
+			return v, cerr
+		}
+	}
 	return v, err
 }
 

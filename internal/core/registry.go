@@ -226,6 +226,36 @@ func (r *Registry) DefineParsed(vs *query.ViewStmt, strategy Strategy) (*View, e
 	return v, nil
 }
 
+// AdoptParsed registers a parsed view statement whose materialized state
+// already exists in the base store — the recovery path: a checkpoint
+// restored the view object and delegates, so re-materializing would both
+// duplicate them and cost O(view), defeating restart-without-recompute.
+// It fails with ErrViewNotFound if the view object is absent (the caller
+// then falls back to DefineParsed, i.e. a fresh materialization).
+func (r *Registry) AdoptParsed(vs *query.ViewStmt, strategy Strategy) (*View, error) {
+	if _, ok := r.views[vs.Name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrViewExists, vs.Name)
+	}
+	if !r.base.Has(oem.OID(vs.Name)) {
+		return nil, fmt.Errorf("%w: %s (no view object to adopt)", ErrViewNotFound, vs.Name)
+	}
+	v := &View{Name: vs.Name, Query: vs.Query, Strategy: strategy}
+	if vs.Materialized {
+		mv := &MaterializedView{OID: oem.OID(vs.Name), Query: vs.Query, Base: r.base, ViewStore: r.base}
+		m, actual, err := newMaintainer(mv, strategy)
+		if err != nil {
+			return nil, err
+		}
+		v.Materialized = mv
+		v.Maintainer = m
+		v.Strategy = actual
+		setMaintainerObserver(m, r.observer)
+	}
+	r.views[vs.Name] = v
+	r.screen, r.tail = nil, nil // new view: rebuild the screening index
+	return v, nil
+}
+
 // newMaintainer builds the maintainer for a strategy, resolving Auto.
 func newMaintainer(mv *MaterializedView, strategy Strategy) (Maintainer, Strategy, error) {
 	switch strategy {

@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestE13DefaultScale(t *testing.T) {
+	if os.Getenv("E13_FULL") == "" {
+		t.Skip("set E13_FULL=1 for the full-scale sweep")
+	}
+	tb := E13CrashRecovery(DefaultConfig())
+	tb.Write(os.Stdout)
+}

@@ -231,7 +231,7 @@ func TestAllRuns(t *testing.T) {
 	cfg := SmallConfig()
 	cfg.Updates = 30
 	tables := All(cfg)
-	if len(tables) != 12 {
+	if len(tables) != 13 {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	var buf bytes.Buffer
@@ -244,4 +244,23 @@ func TestAllRuns(t *testing.T) {
 	if buf.Len() == 0 {
 		t.Fatal("no output")
 	}
+}
+
+func TestE13ShapeRecoveryMatchesAndRuns(t *testing.T) {
+	tb := E13CrashRecovery(SmallConfig())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[6] != "true" {
+			t.Fatalf("memberships diverged: %v", row)
+		}
+		if parseCell(t, row[3]) <= 0 || parseCell(t, row[4]) <= 0 {
+			t.Fatalf("unmeasured leg: %v", row)
+		}
+	}
+	// The headline claim — recovery beats cold start — is asserted only on
+	// the full-size sweep (cmd/benchviews); at test scale the fixed costs
+	// of opening a directory can dominate, so here we only require the
+	// legs to agree and the table to be well-formed.
 }

@@ -148,5 +148,6 @@ func All(cfg Config) []*Table {
 		E10DataGuide(cfg),
 		E11WireValidation(cfg),
 		E12ParallelBatchedMaintenance(cfg),
+		E13CrashRecovery(cfg),
 	}
 }

@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Crash-point injection simulates a process dying at a specific durability
+// boundary — between a WAL append and its fsync, between an fsync and the
+// checkpoint rename, and so on. The WAL and checkpoint writers call
+// Crash(point) at each boundary; an armed CrashPoints panics there with a
+// Crashed sentinel the soak harness recovers, then "restarts" the process
+// by running recovery over whatever state the crash left behind. Unlike
+// the probabilistic Injector, crash points are armed deterministically:
+// the soak decides up front "die at the Nth rename", which makes every
+// torn-state shape reproducible from the seed that chose N.
+//
+// Crash points are named by the durability boundary they precede:
+//
+//	wal.append   — after a record is framed, before it is written
+//	wal.write    — after the segment write, before fsync
+//	wal.fsync    — after the segment fsync returns
+//	ckpt.write   — after the checkpoint temp file is written, before fsync
+//	ckpt.fsync   — after the temp-file fsync, before the rename
+//	ckpt.rename  — after the rename, before the directory fsync
+//	ckpt.gc      — before obsolete WAL segments are truncated
+type CrashPoints struct {
+	mu    sync.Mutex
+	armed map[string]int // point -> remaining hits before crash (1 = next hit)
+	hits  map[string]int // point -> times reached (armed or not)
+}
+
+// Crashed is the panic value raised at an armed crash point. The soak
+// harness recovers it; anything else propagates.
+type Crashed struct{ Point string }
+
+// Error renders the crash for logs; Crashed also satisfies error so
+// recovered values can flow through error paths.
+func (c Crashed) Error() string { return fmt.Sprintf("faults: crashed at %s", c.Point) }
+
+// IsCrash reports whether a recovered panic value is an injected crash.
+func IsCrash(v any) (Crashed, bool) {
+	c, ok := v.(Crashed)
+	return c, ok
+}
+
+// NewCrashPoints returns an empty (fully disarmed) set.
+func NewCrashPoints() *CrashPoints {
+	return &CrashPoints{armed: make(map[string]int), hits: make(map[string]int)}
+}
+
+// Arm schedules a crash at the nth future hit of point (n=1 crashes on
+// the very next hit). n<=0 disarms the point.
+func (p *CrashPoints) Arm(point string, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n <= 0 {
+		delete(p.armed, point)
+		return
+	}
+	p.armed[point] = n
+}
+
+// Disarm clears every armed point but keeps hit counts.
+func (p *CrashPoints) Disarm() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.armed = make(map[string]int)
+}
+
+// Crash notes a hit of point and panics with Crashed if the point's
+// countdown reaches zero. A nil receiver is a no-op, so production code
+// can call it unconditionally on an optional *CrashPoints field.
+func (p *CrashPoints) Crash(point string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.hits[point]++
+	n, ok := p.armed[point]
+	if ok {
+		n--
+		if n > 0 {
+			p.armed[point] = n
+		} else {
+			delete(p.armed, point)
+		}
+	}
+	p.mu.Unlock()
+	if ok && n == 0 {
+		panic(Crashed{Point: point})
+	}
+}
+
+// Hits reports how many times point has been reached.
+func (p *CrashPoints) Hits(point string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits[point]
+}

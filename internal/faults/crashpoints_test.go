@@ -1,0 +1,63 @@
+package faults
+
+import "testing"
+
+func TestCrashPointsArmAndFire(t *testing.T) {
+	p := NewCrashPoints()
+	p.Arm("wal.fsync", 3)
+	for i := 0; i < 2; i++ {
+		p.Crash("wal.fsync") // hits 1 and 2: no crash
+	}
+	fired := func() (c Crashed, ok bool) {
+		defer func() {
+			if v := recover(); v != nil {
+				c, ok = IsCrash(v)
+				if !ok {
+					panic(v)
+				}
+			}
+		}()
+		p.Crash("wal.fsync")
+		return
+	}
+	c, ok := fired()
+	if !ok {
+		t.Fatal("third hit did not crash")
+	}
+	if c.Point != "wal.fsync" {
+		t.Fatalf("crashed at %q, want wal.fsync", c.Point)
+	}
+	// Firing disarms: the fourth hit passes.
+	p.Crash("wal.fsync")
+	if got := p.Hits("wal.fsync"); got != 4 {
+		t.Fatalf("Hits = %d, want 4", got)
+	}
+}
+
+func TestCrashPointsNilAndDisarm(t *testing.T) {
+	var nilp *CrashPoints
+	nilp.Crash("anything") // must not panic
+	if nilp.Hits("anything") != 0 {
+		t.Fatal("nil CrashPoints counted a hit")
+	}
+
+	p := NewCrashPoints()
+	p.Arm("ckpt.rename", 1)
+	p.Disarm()
+	p.Crash("ckpt.rename") // disarmed: no panic
+	p.Arm("ckpt.rename", 0)
+	p.Crash("ckpt.rename")
+	if p.Hits("ckpt.rename") != 2 {
+		t.Fatalf("Hits = %d, want 2", p.Hits("ckpt.rename"))
+	}
+}
+
+func TestCrashedIsError(t *testing.T) {
+	var err error = Crashed{Point: "wal.append"}
+	if err.Error() != "faults: crashed at wal.append" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+	if _, ok := IsCrash("not a crash"); ok {
+		t.Fatal("IsCrash accepted a string")
+	}
+}

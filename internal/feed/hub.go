@@ -312,6 +312,22 @@ func (h *Hub) remove(s *Subscription) {
 	}
 }
 
+// RestoreCursor advances a view's cursor to at least c without
+// publishing an event. Recovery uses it after a restart so cursors
+// persisted by subscribers (gsdbwatch -state) stay meaningful: events
+// published after recovery never reuse cursor numbers that were handed
+// out before the crash. The ring starts empty, so a resume from a
+// restored cursor falls back to the registered snapshot, which is
+// exactly the membership the recovered view serves.
+func (h *Hub) RestoreCursor(view string, c uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vf := h.feedLocked(view)
+	if c > vf.cursor {
+		vf.cursor = c
+	}
+}
+
 // Cursor returns a view's last assigned cursor; ok is false for views
 // the hub has never seen.
 func (h *Hub) Cursor(view string) (uint64, bool) {

@@ -194,12 +194,18 @@ type Compare struct {
 	Literal oem.Atom
 }
 
-// String renders the comparison.
+// String renders the comparison. The result re-parses to the same
+// condition: a bare-binder comparison (empty condition path) renders
+// without the path, since ".ε" would read back as a literal label.
 func (c *Compare) String() string {
-	if c.Op == OpExists {
-		return fmt.Sprintf("EXISTS %s.%s", c.Binder, c.Path)
+	target := c.Binder
+	if c.Path != nil && c.Path != pathexpr.Eps() {
+		target = fmt.Sprintf("%s.%s", c.Binder, c.Path)
 	}
-	return fmt.Sprintf("%s.%s %s %s", c.Binder, c.Path, c.Op, c.Literal)
+	if c.Op == OpExists {
+		return fmt.Sprintf("EXISTS %s", target)
+	}
+	return fmt.Sprintf("%s %s %s", target, c.Op, c.Literal)
 }
 
 // Binders implements Cond.

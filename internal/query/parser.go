@@ -257,6 +257,11 @@ func (p *parser) parsePathElem() (pathexpr.Expr, error) {
 		return pathexpr.AnyLabel(), nil
 	case tokIdent, tokNumber:
 		p.pos++
+		if t.text == "ε" {
+			// The empty path's print form; accept it so rendered
+			// queries round-trip.
+			return pathexpr.Eps(), nil
+		}
 		e := pathexpr.Label(t.text)
 		if p.cur().kind == tokStar {
 			p.pos++

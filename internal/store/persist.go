@@ -9,8 +9,23 @@ import (
 	"gsv/internal/oem"
 )
 
-// persistHeader identifies the snapshot format.
-const persistHeader = "gsv-snapshot-v1"
+// persistHeader identifies the snapshot format. v1 snapshots carry only
+// objects; v2 prepends a meta line persisting the store's counters (the
+// update sequence number and the GenOID counter), so a restored store
+// continues the original timeline instead of restarting both at zero —
+// restarting genSeq can reuse OIDs that departed objects still dangle to,
+// and restarting seq breaks every consumer keyed on source sequence
+// numbers (warehouse resume, WAL replay, feed cursors).
+const (
+	persistHeader   = "gsv-snapshot-v1"
+	persistHeaderV2 = "gsv-snapshot-v2"
+)
+
+// persistMeta is the v2 meta line.
+type persistMeta struct {
+	Seq    uint64 `json:"seq"`
+	GenSeq uint64 `json:"gen_seq"`
+}
 
 // jsonObject is the serialized form of one object. Atom values round-trip
 // through a tagged representation so integers survive undamaged.
@@ -31,13 +46,22 @@ type jsonAtom struct {
 	B    bool    `json:"b,omitempty"`
 }
 
-// Save writes a snapshot of the store's objects as line-delimited JSON
-// preceded by a header line. The update log, sequence counters and
-// subscriptions are not part of a snapshot: a snapshot is a database, not
-// a replication stream.
+// Save writes a snapshot of the store: a v2 header line, a meta line with
+// the sequence counters, then the objects as line-delimited JSON. The
+// update log and subscriptions are not part of a snapshot — a snapshot is
+// a database, not a replication stream — but the counters are, so that a
+// restored store keeps assigning fresh sequence numbers and fresh OIDs.
 func (s *Store) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, persistHeader); err != nil {
+	if _, err := fmt.Fprintln(bw, persistHeaderV2); err != nil {
+		return err
+	}
+	seq, genSeq := s.Counters()
+	meta, err := json.Marshal(persistMeta{Seq: seq, GenSeq: genSeq})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n", meta); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(bw)
@@ -71,13 +95,28 @@ func (s *Store) Load(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("store: reading snapshot header: %w", err)
 	}
-	if header != persistHeader+"\n" {
+	var meta persistMeta
+	switch header {
+	case persistHeader + "\n":
+		// v1: no counters were recorded. Leave meta zero; the counters
+		// advance past the loaded objects' Create updates, which is the
+		// pre-v2 behavior.
+	case persistHeaderV2 + "\n":
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("store: reading snapshot meta: %w", err)
+		}
+		if err := json.Unmarshal([]byte(line), &meta); err != nil {
+			return fmt.Errorf("store: decoding snapshot meta: %w", err)
+		}
+	default:
 		return fmt.Errorf("store: bad snapshot header %q", header)
 	}
 	dec := json.NewDecoder(br)
 	for {
 		var jo jsonObject
 		if err := dec.Decode(&jo); err == io.EOF {
+			s.restoreCounters(meta.Seq, meta.GenSeq)
 			return nil
 		} else if err != nil {
 			return fmt.Errorf("store: decoding snapshot: %w", err)

@@ -98,6 +98,109 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestSaveLoadCounters is the regression test for the round-trip gap where
+// snapshots dropped the store's counters: a store restored from a snapshot
+// restarted GenOID at zero, so an OID freed before the snapshot (removed
+// object, possibly still referenced by dangling edges or external logs)
+// could be handed out again, and restarted the update sequence, breaking
+// every consumer keyed on source sequence numbers.
+func TestSaveLoadCounters(t *testing.T) {
+	s := NewDefault()
+	a := s.GenOID("obj") // obj_1
+	b := s.GenOID("obj") // obj_2
+	s.MustPut(oem.NewAtom(a, "x", oem.Int(1)))
+	s.MustPut(oem.NewAtom(b, "x", oem.Int(2)))
+	if err := s.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+	preSeq, preGen := s.Counters()
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := NewDefault()
+	if err := r.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seq, gen := r.Counters()
+	if seq < preSeq {
+		t.Fatalf("restored seq %d went backwards (saved at %d)", seq, preSeq)
+	}
+	if gen != preGen {
+		t.Fatalf("restored genSeq = %d, want %d", gen, preGen)
+	}
+	// The freed OID obj_2 must not be reissued after restore.
+	if next := r.GenOID("obj"); next == b {
+		t.Fatalf("GenOID reissued freed OID %s after restore", b)
+	}
+	// New updates continue the original sequence timeline.
+	if err := r.Modify(a, oem.Int(9)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Counters(); got <= preSeq {
+		t.Fatalf("post-restore update got seq %d, want > %d", got, preSeq)
+	}
+}
+
+// TestLoadV1Snapshot keeps the v1 object-only format readable.
+func TestLoadV1Snapshot(t *testing.T) {
+	v1 := "gsv-snapshot-v1\n" +
+		`{"oid":"A","label":"x","kind":1,"type":"set","set":["B"]}` + "\n" +
+		`{"oid":"B","label":"y","kind":0,"type":"integer","atom":{"kind":1,"i":7}}` + "\n"
+	s := NewDefault()
+	if err := s.Load(strings.NewReader(v1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("loaded %d objects, want 2", s.Len())
+	}
+	if !s.HasChild("A", "B") {
+		t.Fatal("edge A->B lost")
+	}
+}
+
+func TestApplyUpdateReplaysLog(t *testing.T) {
+	s := NewDefault()
+	s.MustPut(oem.NewSet("R", "root"))
+	s.MustPut(oem.NewAtom("A", "x", oem.Int(1)))
+	if err := s.Insert("R", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Modify("A", oem.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	s.MustPut(oem.NewAtom("B", "x", oem.Int(2)))
+	if err := s.Insert("R", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("R", "A"); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewDefault()
+	for _, u := range s.Log() {
+		if err := r.ApplyUpdate(u); err != nil {
+			t.Fatalf("replaying %s: %v", u, err)
+		}
+	}
+	if r.Len() != s.Len() {
+		t.Fatalf("replayed %d objects, want %d", r.Len(), s.Len())
+	}
+	s.ForEach(func(o *oem.Object) {
+		got, err := r.Get(o.OID)
+		if err != nil {
+			t.Fatalf("missing %s after replay: %v", o.OID, err)
+		}
+		if !got.Equal(o) {
+			t.Fatalf("object %s differs after replay: %v vs %v", o.OID, got, o)
+		}
+	})
+	if rs, _ := r.Counters(); rs != func() uint64 { v, _ := s.Counters(); return v }() {
+		t.Fatalf("replayed seq differs")
+	}
+}
+
 func TestSaveIsDeterministic(t *testing.T) {
 	s := buildPerson(t, DefaultOptions())
 	var a, b bytes.Buffer

@@ -243,6 +243,67 @@ func (s *Store) genOIDLocked(prefix string) oem.OID {
 	}
 }
 
+// Counters returns the store's monotonic counters: the sequence number of
+// the most recent update and the GenOID counter. Snapshots persist both so
+// a restored store continues the original timeline.
+func (s *Store) Counters() (seq, genSeq uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq, s.genSeq
+}
+
+// restoreCounters advances the counters to at least the given values. It
+// never moves a counter backwards: loading a snapshot emits one Create
+// update per object, and the restored sequence must dominate those too.
+func (s *Store) restoreCounters(seq, genSeq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+	if genSeq > s.genSeq {
+		s.genSeq = genSeq
+	}
+}
+
+// AdvanceSeq raises the update sequence counter to at least seq, without
+// emitting anything. Recovery calls it after WAL replay so that future
+// updates are always assigned numbers above everything the durable log
+// has seen, even if replay re-derived slightly fewer machinery updates
+// than the original timeline.
+func (s *Store) AdvanceSeq(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+}
+
+// ApplyUpdate re-executes one logged update against the store — the WAL
+// replay entrypoint. The update is applied through the normal mutation
+// methods, so indexes, the log and subscribers all observe it; the replay
+// is assigned fresh sequence numbers from the store's (restored) counter
+// rather than reusing u.Seq. Synthetic updates (UpdateNone) are ignored.
+func (s *Store) ApplyUpdate(u Update) error {
+	switch u.Kind {
+	case UpdateCreate:
+		if u.Object == nil {
+			return fmt.Errorf("store: replaying create(%s) without object", u.N1)
+		}
+		return s.Put(u.Object)
+	case UpdateInsert:
+		return s.Insert(u.N1, u.N2)
+	case UpdateDelete:
+		return s.Delete(u.N1, u.N2)
+	case UpdateModify:
+		return s.Modify(u.N1, u.New)
+	case UpdateNone:
+		return nil
+	default:
+		return fmt.Errorf("store: cannot replay %s", u)
+	}
+}
+
 // Put creates a new object. The object's children need not exist yet — OEM
 // is schemaless and dangling OIDs are permitted (a query simply cannot
 // traverse them). Put records a Create update in the log.

@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gsv/internal/faults"
+)
+
+// Checkpoint file format:
+//
+//	gsv-checkpoint-v1\n
+//	<8-byte BE body length><4-byte BE IEEE CRC32 of body>
+//	body: repeated sections, each
+//	    {"name":"...","len":N}\n   (JSON section header line)
+//	    N raw bytes                (section body, opaque to this package)
+//
+// The file is written to <name>.tmp in the same directory, fsynced,
+// renamed over the final name, and the directory fsynced — so a
+// checkpoint either exists completely or not at all, and a crash
+// mid-write leaves only a .tmp that LoadCheckpoint ignores. The trailing
+// CRC additionally rejects a checkpoint that was renamed but whose data
+// blocks never reached the platter (the lying-disk case): recovery falls
+// back to the previous checkpoint rather than trusting a torn one.
+const checkpointHeader = "gsv-checkpoint-v1"
+
+const (
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+)
+
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%020d%s", ckptPrefix, seq, ckptSuffix)
+}
+
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+type sectionHeader struct {
+	Name string `json:"name"`
+	Len  int    `json:"len"`
+}
+
+// CheckpointWriter accumulates named sections for one checkpoint.
+// Sections are written in Add order and read back by name.
+type CheckpointWriter struct {
+	body bytes.Buffer
+	err  error
+}
+
+// Add appends a named section. Section names must be unique per
+// checkpoint; the reader keeps the first on duplicates.
+func (w *CheckpointWriter) Add(name string, body []byte) {
+	if w.err != nil {
+		return
+	}
+	hdr, err := json.Marshal(sectionHeader{Name: name, Len: len(body)})
+	if err != nil {
+		w.err = err
+		return
+	}
+	w.body.Write(hdr)
+	w.body.WriteByte('\n')
+	w.body.Write(body)
+}
+
+// AddFunc appends a section produced by a writer function, so callers
+// can stream store snapshots without building them twice.
+func (w *CheckpointWriter) AddFunc(name string, fn func(buf *bytes.Buffer) error) {
+	if w.err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		w.err = err
+		return
+	}
+	w.Add(name, buf.Bytes())
+}
+
+// Checkpoint is a loaded checkpoint: its covering sequence number and
+// its sections.
+type Checkpoint struct {
+	// Seq is the update sequence the checkpoint covers: every base
+	// update with Seq <= this is reflected in the checkpoint, and
+	// recovery replays the WAL strictly above it.
+	Seq      uint64
+	sections map[string][]byte
+}
+
+// Section returns a named section's bytes, or nil if absent.
+func (c *Checkpoint) Section(name string) []byte {
+	if c == nil {
+		return nil
+	}
+	return c.sections[name]
+}
+
+// HasSection reports whether a named section exists (possibly empty).
+func (c *Checkpoint) HasSection(name string) bool {
+	_, ok := c.sections[name]
+	return ok
+}
+
+// writeCheckpoint atomically writes the accumulated sections as
+// ckpt-<seq>.ckpt in dir, with crash points at the write/fsync/rename
+// boundaries.
+func writeCheckpoint(dir string, seq uint64, w *CheckpointWriter, crash *faults.CrashPoints) error {
+	if w.err != nil {
+		return fmt.Errorf("wal: building checkpoint: %w", w.err)
+	}
+	body := w.body.Bytes()
+	final := filepath.Join(dir, ckptName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
+	}
+	// No deferred cleanup: an injected crash must leave the temp file
+	// behind exactly as a real process death would. Manager.Open sweeps
+	// stray .tmp files instead.
+	var hdr bytes.Buffer
+	hdr.WriteString(checkpointHeader)
+	hdr.WriteByte('\n')
+	var trailer [12]byte
+	binary.BigEndian.PutUint64(trailer[0:8], uint64(len(body)))
+	binary.BigEndian.PutUint32(trailer[8:12], crc32.ChecksumIEEE(body))
+	hdr.Write(trailer[:])
+	if _, err := f.Write(hdr.Bytes()); err == nil {
+		_, err = f.Write(body)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	crash.Crash("ckpt.write")
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: fsync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: closing checkpoint: %w", err)
+	}
+	crash.Crash("ckpt.fsync")
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: publishing checkpoint: %w", err)
+	}
+	crash.Crash("ckpt.rename")
+	return syncDir(dir)
+}
+
+// readCheckpoint loads and validates one checkpoint file. Any structural
+// problem returns an error wrapping ErrCorrupt.
+func readCheckpoint(path string, seq uint64) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	want := checkpointHeader + "\n"
+	if len(data) < len(want)+12 || string(data[:len(want)]) != want {
+		return nil, fmt.Errorf("%w: bad checkpoint header", ErrCorrupt)
+	}
+	rest := data[len(want):]
+	bodyLen := binary.BigEndian.Uint64(rest[0:8])
+	sum := binary.BigEndian.Uint32(rest[8:12])
+	body := rest[12:]
+	if uint64(len(body)) != bodyLen {
+		return nil, fmt.Errorf("%w: checkpoint body %d bytes, header says %d", ErrCorrupt, len(body), bodyLen)
+	}
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: checkpoint crc %08x != %08x", ErrCorrupt, got, sum)
+	}
+	c := &Checkpoint{Seq: seq, sections: make(map[string][]byte)}
+	for len(body) > 0 {
+		nl := bytes.IndexByte(body, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("%w: unterminated section header", ErrCorrupt)
+		}
+		var hdr sectionHeader
+		if err := json.Unmarshal(body[:nl], &hdr); err != nil {
+			return nil, fmt.Errorf("%w: section header: %v", ErrCorrupt, err)
+		}
+		body = body[nl+1:]
+		if hdr.Len < 0 || hdr.Len > len(body) {
+			return nil, fmt.Errorf("%w: section %q claims %d of %d bytes", ErrCorrupt, hdr.Name, hdr.Len, len(body))
+		}
+		if _, dup := c.sections[hdr.Name]; !dup {
+			c.sections[hdr.Name] = body[:hdr.Len:hdr.Len]
+		}
+		body = body[hdr.Len:]
+	}
+	return c, nil
+}
+
+// checkpointSeqs lists checkpoint seqs in dir, ascending.
+func checkpointSeqs(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if n, ok := parseCkptName(e.Name()); ok {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}

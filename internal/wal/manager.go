@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Manager owns one durability directory: WAL segments plus checkpoint
+// files, with the retention rule that the newest *valid* checkpoint wins
+// and everything it covers is garbage. Callers append live updates to
+// Log(), periodically write a checkpoint through WriteCheckpoint, and on
+// restart call LatestCheckpoint + Log().Replay to rebuild state.
+type Manager struct {
+	dir  string
+	opts Options
+	log  *Log
+}
+
+// Open opens (creating if needed) the durability directory and its WAL,
+// sweeping temp files a crash may have stranded.
+func Open(dir string, opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	log, err := OpenLog(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{dir: dir, opts: opts, log: log}, nil
+}
+
+// Dir returns the durability directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Log returns the manager's write-ahead log.
+func (m *Manager) Log() *Log { return m.log }
+
+// LatestCheckpoint loads the newest checkpoint that validates, deleting
+// nothing. It returns nil (no error) when no valid checkpoint exists —
+// recovery then replays the WAL from the beginning. Corrupt checkpoints
+// are skipped with their count recorded in Metrics.CheckpointRejected.
+func (m *Manager) LatestCheckpoint() (*Checkpoint, error) {
+	seqs, err := checkpointSeqs(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		c, err := readCheckpoint(filepath.Join(m.dir, ckptName(seqs[i])), seqs[i])
+		if err == nil {
+			return c, nil
+		}
+		if errors.Is(err, ErrCorrupt) {
+			if m.opts.Metrics != nil {
+				m.opts.Metrics.CheckpointRejected.Inc()
+			}
+			continue // fall back to the previous checkpoint
+		}
+		return nil, err
+	}
+	return nil, nil
+}
+
+// WriteCheckpoint atomically publishes a checkpoint covering seq (every
+// WAL record with Seq <= seq is reflected in the sections), then prunes:
+// older checkpoint files are deleted and WAL segments wholly at or below
+// seq are truncated. The WAL is fsynced first so the checkpoint never
+// claims coverage the log cannot back after a crash rolls it back.
+func (m *Manager) WriteCheckpoint(seq uint64, w *CheckpointWriter) error {
+	start := time.Now()
+	if err := m.log.Sync(); err != nil {
+		return err
+	}
+	if err := writeCheckpoint(m.dir, seq, w, m.opts.Crash); err != nil {
+		if m.opts.Metrics != nil {
+			m.opts.Metrics.CheckpointFailures.Inc()
+		}
+		return err
+	}
+	if mm := m.opts.Metrics; mm != nil {
+		mm.Checkpoints.Inc()
+		mm.CheckpointBytes.Add(uint64(w.body.Len()))
+		mm.CheckpointSeconds.ObserveSince(start)
+	}
+	// Pruning is best-effort bookkeeping: the checkpoint is already
+	// durable, and anything left behind is re-collected next time.
+	m.opts.Crash.Crash("ckpt.gc")
+	seqs, err := checkpointSeqs(m.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range seqs {
+		if s < seq {
+			if err := os.Remove(filepath.Join(m.dir, ckptName(s))); err != nil {
+				return fmt.Errorf("wal: removing old checkpoint: %w", err)
+			}
+		}
+	}
+	return m.log.TruncateThrough(seq)
+}
+
+// Close closes the WAL.
+func (m *Manager) Close() error { return m.log.Close() }

@@ -1,0 +1,68 @@
+package wal
+
+import "gsv/internal/obs"
+
+// Metrics counts durability-layer activity. All fields are atomic
+// instruments, safe to share with a live Log/Manager; Register exposes
+// them on an obs.Registry under the gsv_wal_* / gsv_checkpoint_* names.
+type Metrics struct {
+	Appends            obs.Counter // records appended
+	AppendedBytes      obs.Counter // framed bytes appended
+	Fsyncs             obs.Counter // segment fsyncs issued
+	Rolls              obs.Counter // segment rolls
+	SegmentsDeleted    obs.Counter // segments reclaimed by checkpoint GC
+	TornTruncations    obs.Counter // torn tails repaired at open
+	TruncatedBytes     obs.Counter // bytes discarded by tail repair
+	Replayed           obs.Counter // records replayed during recovery
+	Checkpoints        obs.Counter // checkpoints published
+	CheckpointFailures obs.Counter // checkpoint writes that failed
+	CheckpointRejected obs.Counter // corrupt checkpoints skipped at recovery
+	CheckpointBytes    obs.Counter // checkpoint body bytes written
+	CheckpointSeconds  *obs.Histogram
+	Recoveries         obs.Counter // recovery runs completed (set by callers)
+	RecoverySeconds    *obs.Histogram
+}
+
+// NewMetrics returns a Metrics with its histograms allocated.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		CheckpointSeconds: obs.NewHistogram(obs.LatencyBuckets),
+		RecoverySeconds:   obs.NewHistogram(obs.LatencyBuckets),
+	}
+}
+
+// Register exposes the counters on reg, labeled by site (e.g. "db" for
+// the embedded database, "warehouse" for the Section 5 warehouse).
+func (m *Metrics) Register(reg *obs.Registry, site string) {
+	ls := obs.L("site", site)
+	reg.Help("gsv_wal_appends_total", "WAL records appended")
+	reg.RegisterCounter("gsv_wal_appends_total", &m.Appends, ls)
+	reg.Help("gsv_wal_appended_bytes_total", "framed WAL bytes appended")
+	reg.RegisterCounter("gsv_wal_appended_bytes_total", &m.AppendedBytes, ls)
+	reg.Help("gsv_wal_fsyncs_total", "WAL segment fsyncs")
+	reg.RegisterCounter("gsv_wal_fsyncs_total", &m.Fsyncs, ls)
+	reg.Help("gsv_wal_segment_rolls_total", "WAL segment rolls")
+	reg.RegisterCounter("gsv_wal_segment_rolls_total", &m.Rolls, ls)
+	reg.Help("gsv_wal_segments_deleted_total", "WAL segments reclaimed by checkpoint GC")
+	reg.RegisterCounter("gsv_wal_segments_deleted_total", &m.SegmentsDeleted, ls)
+	reg.Help("gsv_wal_torn_truncations_total", "torn WAL tails repaired at open")
+	reg.RegisterCounter("gsv_wal_torn_truncations_total", &m.TornTruncations, ls)
+	reg.Help("gsv_wal_truncated_bytes_total", "bytes discarded repairing torn WAL tails")
+	reg.RegisterCounter("gsv_wal_truncated_bytes_total", &m.TruncatedBytes, ls)
+	reg.Help("gsv_wal_replayed_total", "WAL records replayed during recovery")
+	reg.RegisterCounter("gsv_wal_replayed_total", &m.Replayed, ls)
+	reg.Help("gsv_checkpoint_writes_total", "checkpoints published")
+	reg.RegisterCounter("gsv_checkpoint_writes_total", &m.Checkpoints, ls)
+	reg.Help("gsv_checkpoint_failures_total", "checkpoint writes that failed")
+	reg.RegisterCounter("gsv_checkpoint_failures_total", &m.CheckpointFailures, ls)
+	reg.Help("gsv_checkpoint_rejected_total", "corrupt checkpoints skipped during recovery")
+	reg.RegisterCounter("gsv_checkpoint_rejected_total", &m.CheckpointRejected, ls)
+	reg.Help("gsv_checkpoint_bytes_total", "checkpoint body bytes written")
+	reg.RegisterCounter("gsv_checkpoint_bytes_total", &m.CheckpointBytes, ls)
+	reg.Help("gsv_checkpoint_seconds", "checkpoint publish latency")
+	reg.RegisterHistogram("gsv_checkpoint_seconds", m.CheckpointSeconds, ls)
+	reg.Help("gsv_recovery_total", "recovery runs completed")
+	reg.RegisterCounter("gsv_recovery_total", &m.Recoveries, ls)
+	reg.Help("gsv_recovery_seconds", "time to recover from checkpoint + WAL tail")
+	reg.RegisterHistogram("gsv_recovery_seconds", m.RecoverySeconds, ls)
+}

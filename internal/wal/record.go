@@ -1,0 +1,85 @@
+// Package wal is the durability layer: an append-only, checksummed,
+// segmented write-ahead log of store.Update records plus atomic
+// checkpoint files, so a restarted process resumes from (checkpoint +
+// WAL tail) instead of recomputing every view from scratch — recovery in
+// O(tail) instead of O(database), which is the whole point of Algorithm 1
+// carried across a crash.
+//
+// The package is deliberately schema-light. The Log knows only about
+// store.Update records; the Checkpoint is a named-sections container
+// whose section contents are owned by the callers (gsv persists the base
+// store and view definitions, the warehouse persists view stores,
+// staleness state, auxiliary caches, and feed cursors). Manager ties a
+// directory of both together with the retention rule "newest valid
+// checkpoint wins, WAL records at or below it are garbage".
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"gsv/internal/store"
+)
+
+// recordHeaderSize is the per-record frame overhead: a 4-byte big-endian
+// payload length followed by a 4-byte big-endian IEEE CRC32 of the
+// payload.
+const recordHeaderSize = 8
+
+// maxRecordSize bounds a single record's payload. A store.Update is a
+// few hundred bytes of JSON; anything near this limit is corruption, and
+// the bound keeps a flipped length byte from asking the decoder for a
+// multi-gigabyte allocation.
+const maxRecordSize = 1 << 24
+
+// ErrCorrupt marks a record that failed structural validation — bad
+// length, bad CRC, or undecodable payload. During tail repair it means
+// "truncate here"; anywhere else it is real corruption.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// appendRecord frames u onto buf and returns the extended slice.
+func appendRecord(buf []byte, u store.Update) ([]byte, error) {
+	payload, err := json.Marshal(u)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding record seq=%d: %w", u.Seq, err)
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("wal: record seq=%d is %d bytes, over the %d limit", u.Seq, len(payload), maxRecordSize)
+	}
+	var hdr [recordHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// decodeRecord decodes one framed record from the front of b, returning
+// the update and the number of bytes consumed. It never panics: any
+// malformed input — short frame, oversized length, CRC mismatch, invalid
+// JSON — returns an error wrapping ErrCorrupt (or io.ErrUnexpectedEOF for
+// a frame that is merely cut short, the torn-tail case).
+func decodeRecord(b []byte) (store.Update, int, error) {
+	var u store.Update
+	if len(b) < recordHeaderSize {
+		return u, 0, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > maxRecordSize {
+		return u, 0, fmt.Errorf("%w: length %d over limit", ErrCorrupt, n)
+	}
+	if len(b) < recordHeaderSize+int(n) {
+		return u, 0, io.ErrUnexpectedEOF
+	}
+	payload := b[recordHeaderSize : recordHeaderSize+int(n)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[4:8]); got != want {
+		return u, 0, fmt.Errorf("%w: crc %08x != %08x", ErrCorrupt, got, want)
+	}
+	if err := json.Unmarshal(payload, &u); err != nil {
+		return u, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return u, recordHeaderSize + int(n), nil
+}

@@ -1,0 +1,469 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gsv/internal/faults"
+	"gsv/internal/store"
+)
+
+// SyncPolicy says when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append (batch appends fsync once per
+	// batch). Nothing acknowledged is ever lost; slowest.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs when at least Options.Interval has elapsed
+	// since the last fsync, amortizing the flush over many appends. A
+	// crash loses at most one interval of acknowledged updates.
+	SyncInterval
+	// SyncNever leaves flushing to the OS. A crash can lose everything
+	// since the last kernel writeback; useful for benchmarks and tests.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the CLI spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+	// defaultSegmentBytes rolls segments at 4 MiB. Rolling bounds the
+	// work of tail repair and lets checkpoint GC reclaim space in whole
+	// files.
+	defaultSegmentBytes = 4 << 20
+	// defaultInterval is the SyncInterval flush period.
+	defaultInterval = 50 * time.Millisecond
+)
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the fsync policy; default SyncAlways.
+	Policy SyncPolicy
+	// Interval is the SyncInterval flush period; default 50ms.
+	Interval time.Duration
+	// SegmentBytes rolls to a new segment once the active one exceeds
+	// this size; default 4 MiB.
+	SegmentBytes int64
+	// Crash, if set, injects crash points at durability boundaries
+	// (see faults.CrashPoints). Nil in production.
+	Crash *faults.CrashPoints
+	// Metrics, if set, receives wal counters. Nil is fine.
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = defaultInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	return o
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Log is an append-only, checksummed, segmented write-ahead log of
+// store.Update records. Segments are named wal-<firstSeq>.seg by the
+// sequence number of their first record; only the newest segment is ever
+// written, so a crash can tear at most the newest segment's tail —
+// OpenLog repairs it by truncating at the first bad record.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	opts     Options
+	seg      *os.File // active segment, opened for append
+	segFirst uint64   // first seq in the active segment (0 = empty segment named by next append)
+	segSize  int64
+	lastSeq  uint64 // highest seq appended or replayed
+	lastSync time.Time
+	dirty    bool // unsynced bytes in the active segment
+	closed   bool
+	buf      []byte // reusable encode buffer
+}
+
+// OpenLog opens (creating if needed) the write-ahead log in dir, repairs
+// a torn tail in the newest segment, and positions the log for
+// appending. dir must exist.
+func OpenLog(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	l := &Log{dir: dir, opts: opts}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		lastSeq, size, err := l.repairTail(last)
+		if err != nil {
+			return nil, err
+		}
+		// Scan earlier segments only for their record count bound: the
+		// newest record overall lives in the newest non-empty segment.
+		if lastSeq == 0 {
+			// The newest segment repaired down to nothing; fall back to
+			// scanning backwards for the last intact record.
+			for i := len(segs) - 2; i >= 0 && lastSeq == 0; i-- {
+				lastSeq, err = lastSeqOf(filepath.Join(dir, segName(segs[i])))
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		l.lastSeq = lastSeq
+		f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopening segment: %w", err)
+		}
+		l.seg = f
+		l.segFirst = last
+		l.segSize = size
+	}
+	return l, nil
+}
+
+// segments lists the first-seqs of all segments in ascending order.
+func (l *Log) segments() ([]uint64, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", l.dir, err)
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if n, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// repairTail scans the newest segment and truncates it at the first
+// record that fails validation — the torn-write case — returning the
+// last intact seq in the segment (0 if none) and the repaired size.
+func (l *Log) repairTail(firstSeq uint64) (uint64, int64, error) {
+	path := filepath.Join(l.dir, segName(firstSeq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: reading segment: %w", err)
+	}
+	var lastSeq uint64
+	good := 0
+	for good < len(data) {
+		u, n, err := decodeRecord(data[good:])
+		if err != nil {
+			break // torn or corrupt tail: truncate here
+		}
+		lastSeq = u.Seq
+		good += n
+	}
+	if good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return 0, 0, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if l.opts.Metrics != nil {
+			l.opts.Metrics.TornTruncations.Inc()
+			l.opts.Metrics.TruncatedBytes.Add(uint64(len(data) - good))
+		}
+	}
+	return lastSeq, int64(good), nil
+}
+
+// lastSeqOf returns the seq of the last intact record in a sealed
+// segment (sealed segments are immutable, so every record should be
+// intact; corruption there is still tolerated by stopping early).
+func lastSeqOf(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: reading segment: %w", err)
+	}
+	var lastSeq uint64
+	off := 0
+	for off < len(data) {
+		u, n, err := decodeRecord(data[off:])
+		if err != nil {
+			break
+		}
+		lastSeq = u.Seq
+		off += n
+	}
+	return lastSeq, nil
+}
+
+// LastSeq returns the highest sequence number durably appended (or found
+// during open). Zero means the log is empty.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Append writes the updates as one batch: all records are framed, written
+// to the active segment, and — under SyncAlways — fsynced once. Updates
+// must have strictly increasing, non-zero Seq above everything already in
+// the log (they are a subsequence of a store's update log, so gaps are
+// fine).
+func (l *Log) Append(us ...store.Update) error {
+	if len(us) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: append on closed log")
+	}
+	prev := l.lastSeq
+	buf := l.buf[:0]
+	for _, u := range us {
+		if u.Seq <= prev {
+			return fmt.Errorf("wal: append seq %d not above %d", u.Seq, prev)
+		}
+		prev = u.Seq
+		var err error
+		buf, err = appendRecord(buf, u)
+		if err != nil {
+			return err
+		}
+	}
+	l.buf = buf
+	l.opts.Crash.Crash("wal.append")
+	if err := l.rollLocked(us[0].Seq); err != nil {
+		return err
+	}
+	if _, err := l.seg.Write(buf); err != nil {
+		return fmt.Errorf("wal: writing segment: %w", err)
+	}
+	l.segSize += int64(len(buf))
+	l.lastSeq = prev
+	l.dirty = true
+	if m := l.opts.Metrics; m != nil {
+		m.Appends.Add(uint64(len(us)))
+		m.AppendedBytes.Add(uint64(len(buf)))
+	}
+	l.opts.Crash.Crash("wal.write")
+	switch l.opts.Policy {
+	case SyncAlways:
+		return l.syncLocked()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.Interval {
+			return l.syncLocked()
+		}
+	}
+	return nil
+}
+
+// rollLocked ensures an active segment exists, rolling to a new one when
+// the current segment is over the size limit. nextSeq names the new
+// segment.
+func (l *Log) rollLocked(nextSeq uint64) error {
+	if l.seg != nil && l.segSize < l.opts.SegmentBytes {
+		return nil
+	}
+	if l.seg != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("wal: closing segment: %w", err)
+		}
+		if l.opts.Metrics != nil {
+			l.opts.Metrics.Rolls.Inc()
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(nextSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	l.seg = f
+	l.segFirst = nextSeq
+	l.segSize = 0
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if l.seg == nil || !l.dirty {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	if l.opts.Metrics != nil {
+		l.opts.Metrics.Fsyncs.Inc()
+	}
+	l.opts.Crash.Crash("wal.fsync")
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// Replay calls fn, in sequence order, with every record whose Seq is
+// strictly greater than fromSeq. It reads the segment files directly, so
+// it sees exactly what recovery after a crash would see.
+func (l *Log) Replay(fromSeq uint64, fn func(store.Update) error) error {
+	l.mu.Lock()
+	segs, err := l.segments()
+	dir := l.dir
+	m := l.opts.Metrics
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for i, first := range segs {
+		// Segments strictly below fromSeq+1 whose successor also starts
+		// at or below fromSeq+1 contain only replayed records; skip the
+		// read entirely.
+		if i+1 < len(segs) && segs[i+1] <= fromSeq+1 {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, segName(first)))
+		if err != nil {
+			return fmt.Errorf("wal: reading segment: %w", err)
+		}
+		off := 0
+		for off < len(data) {
+			u, n, err := decodeRecord(data[off:])
+			if err != nil {
+				if i == len(segs)-1 {
+					break // unrepaired torn tail: recovery stops here
+				}
+				return fmt.Errorf("wal: segment %s offset %d: %w", segName(first), off, err)
+			}
+			off += n
+			if u.Seq <= fromSeq {
+				continue
+			}
+			if m != nil {
+				m.Replayed.Inc()
+			}
+			if err := fn(u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TruncateThrough deletes whole segments that contain no record with
+// Seq > seq — the segments a checkpoint at seq has made obsolete. The
+// active segment is never deleted.
+func (l *Log) TruncateThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, first := range segs {
+		if i == len(segs)-1 {
+			break // active segment stays
+		}
+		// All records in segment i have Seq < segs[i+1]; the segment is
+		// obsolete iff that upper bound is covered by the checkpoint.
+		if segs[i+1] > seq+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+			return fmt.Errorf("wal: removing obsolete segment: %w", err)
+		}
+		removed = true
+		if l.opts.Metrics != nil {
+			l.opts.Metrics.SegmentsDeleted.Inc()
+		}
+	}
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// Close fsyncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.seg == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.seg.Close(); err == nil {
+		err = cerr
+	}
+	l.seg = nil
+	return err
+}
+
+// syncDir fsyncs a directory so renames and segment creates/removes are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,443 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsv/internal/faults"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+func upd(seq uint64, kind store.UpdateKind) store.Update {
+	u := store.Update{Seq: seq, Kind: kind, N1: "R", N2: oem.OID("child")}
+	if kind == store.UpdateCreate {
+		u.Object = oem.NewAtom("A", "x", oem.Int(int64(seq)))
+		u.N1 = "A"
+	}
+	if kind == store.UpdateModify {
+		u.Old = oem.Int(1)
+		u.New = oem.Int(int64(seq))
+	}
+	return u
+}
+
+func replayAll(t *testing.T, l *Log, from uint64) []store.Update {
+	t.Helper()
+	var got []store.Update
+	if err := l.Replay(from, func(u store.Update) error { got = append(got, u); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestLogAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []store.Update{
+		upd(1, store.UpdateCreate),
+		upd(3, store.UpdateInsert), // gaps are fine: base updates are a subsequence
+		upd(4, store.UpdateModify),
+		upd(9, store.UpdateDelete),
+	}
+	if err := l.Append(want[:2]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(want[2:]...); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastSeq() != 9 {
+		t.Fatalf("LastSeq = %d, want 9", l.LastSeq())
+	}
+	got := replayAll(t, l, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Kind != want[i].Kind {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[0].Object == nil || !got[0].Object.Atom.Equal(oem.Int(1)) {
+		t.Fatalf("create record lost its object: %+v", got[0])
+	}
+	if tail := replayAll(t, l, 3); len(tail) != 2 || tail[0].Seq != 4 {
+		t.Fatalf("Replay(3) = %+v", tail)
+	}
+	// Non-monotonic appends are rejected.
+	if err := l.Append(upd(9, store.UpdateInsert)); err == nil {
+		t.Fatal("append of duplicate seq succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen resumes the seq position.
+	l2, err := OpenLog(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 9 {
+		t.Fatalf("reopened LastSeq = %d, want 9", l2.LastSeq())
+	}
+}
+
+func TestLogTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics()
+	l, err := OpenLog(dir, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := l.Append(upd(seq, store.UpdateInsert)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-record: drop the last 3 bytes.
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(dir, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 4 {
+		t.Fatalf("LastSeq after torn tail = %d, want 4", l2.LastSeq())
+	}
+	if got := replayAll(t, l2, 0); len(got) != 4 {
+		t.Fatalf("replayed %d records after repair, want 4", len(got))
+	}
+	if m.TornTruncations.Value() == 0 {
+		t.Fatal("torn truncation not counted")
+	}
+	// The log accepts appends after repair, reusing the repaired seq.
+	if err := l2.Append(upd(5, store.UpdateInsert)); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l2, 0); len(got) != 5 || got[4].Seq != 5 {
+		t.Fatalf("post-repair append not replayed: %+v", got)
+	}
+}
+
+func TestLogCorruptMiddleRecordStopsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.Append(upd(seq, store.UpdateInsert)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, _ := os.ReadFile(seg)
+	// Flip a byte inside the second record's payload.
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(seg, data, 0o644)
+	l2, err := OpenLog(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	// Everything from the corrupt record on is discarded.
+	if got := replayAll(t, l2, 0); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("replay after mid-corruption = %+v, want just seq 1", got)
+	}
+}
+
+func TestLogSegmentRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics()
+	// Tiny segments force a roll on nearly every append.
+	l, err := OpenLog(dir, Options{SegmentBytes: 64, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for seq := uint64(1); seq <= 10; seq++ {
+		if err := l.Append(upd(seq, store.UpdateInsert)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := l.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %v", segs)
+	}
+	if m.Rolls.Value() == 0 {
+		t.Fatal("rolls not counted")
+	}
+	if err := l.TruncateThrough(7); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := l.segments()
+	if len(after) >= len(segs) {
+		t.Fatalf("TruncateThrough removed nothing: %v -> %v", segs, after)
+	}
+	// Records above 7 survive.
+	got := replayAll(t, l, 7)
+	if len(got) != 3 || got[0].Seq != 8 {
+		t.Fatalf("tail after truncate = %+v", got)
+	}
+}
+
+func TestCheckpointRoundTripAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	mgr, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if c, err := mgr.LatestCheckpoint(); err != nil || c != nil {
+		t.Fatalf("empty dir LatestCheckpoint = %v, %v", c, err)
+	}
+	var w1 CheckpointWriter
+	w1.Add("store", []byte("alpha"))
+	w1.Add("views", []byte(`{"v":1}`))
+	if err := mgr.WriteCheckpoint(10, &w1); err != nil {
+		t.Fatal(err)
+	}
+	var w2 CheckpointWriter
+	w2.Add("store", []byte("beta"))
+	w2.AddFunc("views", func(buf *bytes.Buffer) error { buf.WriteString(`{"v":2}`); return nil })
+	if err := mgr.WriteCheckpoint(20, &w2); err != nil {
+		t.Fatal(err)
+	}
+	// Old checkpoint pruned, newest wins.
+	if _, err := os.Stat(filepath.Join(dir, ckptName(10))); !os.IsNotExist(err) {
+		t.Fatal("old checkpoint not pruned")
+	}
+	c, err := mgr.LatestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil || c.Seq != 20 {
+		t.Fatalf("LatestCheckpoint = %+v", c)
+	}
+	if string(c.Section("store")) != "beta" || string(c.Section("views")) != `{"v":2}` {
+		t.Fatalf("sections = %q / %q", c.Section("store"), c.Section("views"))
+	}
+	if c.Section("absent") != nil || c.HasSection("absent") {
+		t.Fatal("phantom section")
+	}
+	// Corrupting the newest checkpoint falls back to an older valid one.
+	var w3 CheckpointWriter
+	w3.Add("store", []byte("gamma"))
+	if err := mgr.WriteCheckpoint(30, &w3); err != nil {
+		t.Fatal(err)
+	}
+	// WriteCheckpoint(30) pruned 20; recreate a valid 20 under it, then
+	// corrupt 30.
+	var w2b CheckpointWriter
+	w2b.Add("store", []byte("beta"))
+	if err := writeCheckpoint(dir, 20, &w2b, nil); err != nil {
+		t.Fatal(err)
+	}
+	path30 := filepath.Join(dir, ckptName(30))
+	data, _ := os.ReadFile(path30)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path30, data, 0o644)
+	mm := NewMetrics()
+	mgr2, err := Open(dir, Options{Metrics: mm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	c, err = mgr2.LatestCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil || c.Seq != 20 || string(c.Section("store")) != "beta" {
+		t.Fatalf("fallback checkpoint = %+v", c)
+	}
+	if mm.CheckpointRejected.Value() != 1 {
+		t.Fatalf("CheckpointRejected = %d", mm.CheckpointRejected.Value())
+	}
+}
+
+func TestManagerSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stray := filepath.Join(dir, ckptName(5)+".tmp")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stray, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray .tmp survived Open")
+	}
+	if c, _ := mgr.LatestCheckpoint(); c != nil {
+		t.Fatalf("temp file loaded as checkpoint: %+v", c)
+	}
+}
+
+func TestCheckpointCrashPoints(t *testing.T) {
+	// A crash at each boundary must leave the directory recoverable:
+	// before the rename the old checkpoint wins; after it the new one does.
+	cases := []struct {
+		point   string
+		wantSeq uint64
+	}{
+		{"ckpt.write", 10},
+		{"ckpt.fsync", 10},
+		{"ckpt.rename", 20},
+		{"ckpt.gc", 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			cp := faults.NewCrashPoints()
+			mgr, err := Open(dir, Options{Crash: cp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var w CheckpointWriter
+			w.Add("store", []byte("old"))
+			if err := mgr.WriteCheckpoint(10, &w); err != nil {
+				t.Fatal(err)
+			}
+			cp.Arm(tc.point, 1)
+			crashed := func() (ok bool) {
+				defer func() {
+					if v := recover(); v != nil {
+						_, ok = faults.IsCrash(v)
+						if !ok {
+							panic(v)
+						}
+					}
+				}()
+				var w2 CheckpointWriter
+				w2.Add("store", []byte("new"))
+				_ = mgr.WriteCheckpoint(20, &w2)
+				return
+			}()
+			if !crashed {
+				t.Fatalf("no crash at %s", tc.point)
+			}
+			mgr.Close()
+			// "Restart": reopen and recover.
+			mgr2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mgr2.Close()
+			c, err := mgr2.LatestCheckpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c == nil || c.Seq != tc.wantSeq {
+				t.Fatalf("after crash at %s, recovered checkpoint %+v, want seq %d", tc.point, c, tc.wantSeq)
+			}
+		})
+	}
+}
+
+func TestWALCrashPoints(t *testing.T) {
+	// Crash before the write: the record is lost, the log stays intact.
+	dir := t.TempDir()
+	cp := faults.NewCrashPoints()
+	l, err := OpenLog(dir, Options{Crash: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(upd(1, store.UpdateInsert)); err != nil {
+		t.Fatal(err)
+	}
+	cp.Arm("wal.append", 1)
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := faults.IsCrash(v); !ok {
+					panic(v)
+				}
+			}
+		}()
+		_ = l.Append(upd(2, store.UpdateInsert))
+	}()
+	l2, err := OpenLog(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2, 0); len(got) != 1 {
+		t.Fatalf("after wal.append crash, %d records survive, want 1", len(got))
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, s := range []string{"always", "interval", "never"} {
+		p, err := ParseSyncPolicy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != s {
+			t.Fatalf("round trip %q -> %q", s, p.String())
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	// SyncNever still persists on Close.
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(upd(1, store.UpdateInsert)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := OpenLog(dir, Options{})
+	defer l2.Close()
+	if l2.LastSeq() != 1 {
+		t.Fatalf("SyncNever lost a closed-out record")
+	}
+}
+
+func TestDecodeRecordRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}, // absurd length
+		{0, 0, 0, 2, 0, 0, 0, 0, 'h', 'i'},   // bad crc
+	}
+	for _, c := range cases {
+		if _, _, err := decodeRecord(c); err == nil {
+			t.Errorf("decodeRecord(%v) succeeded", c)
+		}
+	}
+	// Oversized length must be ErrCorrupt, not unexpected EOF, so tail
+	// repair truncates instead of waiting for more bytes.
+	_, _, err := decodeRecord([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length: %v", err)
+	}
+}

@@ -1,0 +1,511 @@
+package warehouse
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gsv/internal/core"
+	"gsv/internal/faults"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/wal"
+)
+
+// This file makes a Warehouse durable. The paper's Section 5 warehouse
+// keeps the materialized views and the Section 5.2 auxiliary cache
+// entirely in memory, so a process crash forces a from-scratch refetch of
+// every view — exactly the cost Algorithm 1 exists to avoid. With
+// EnableDurability:
+//
+//   - every update report's base update is appended to a write-ahead log
+//     before maintenance processes it (reports the WAL cannot take are
+//     not processed);
+//   - checkpoints snapshot the view store (view objects and delegates),
+//     per-view metadata (definition, config, staleness state,
+//     resyncSkipSeq), the auxiliary caches, and the changefeed cursors;
+//   - reopening the same directory restores the newest valid checkpoint
+//     without a single source query, then replays the WAL tail as
+//     Level-1 reports through ProcessBatch — O(tail), not O(database).
+//
+// Replaying a tail report that had already been (partially) processed is
+// safe: Algorithm 1 re-derives its decisions from current state, so
+// re-application converges exactly like the interference scenario of
+// Section 5.1. Reports emitted by the source while the warehouse was
+// down are gone (sources do not replay); recovery detects the gap by
+// comparing the source's sequence number with the recovered one and
+// quarantines the views (Stale) for the repair loop to resync, instead
+// of failing startup.
+
+// checkpoint section names. Aux caches use one section per view,
+// prefixed ckptSectionCachePrefix.
+const (
+	ckptSectionStore       = "store"
+	ckptSectionViews       = "views"
+	ckptSectionFeed        = "feed"
+	ckptSectionCachePrefix = "cache:"
+)
+
+// SyncPolicy re-exports the WAL fsync policies for DurabilityOptions.
+type SyncPolicy = wal.SyncPolicy
+
+// ParseSyncPolicy maps "always", "interval" or "never" to a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// DurabilityOptions configures EnableDurability. The zero value is a
+// always-fsync log with 4 MiB segments and a checkpoint every 1024
+// appended reports.
+type DurabilityOptions struct {
+	// Policy, Interval, SegmentBytes, Crash and Metrics configure the
+	// underlying WAL; see wal.Options.
+	Policy       wal.SyncPolicy
+	Interval     time.Duration
+	SegmentBytes int64
+	Crash        *faults.CrashPoints
+	Metrics      *wal.Metrics
+
+	// CheckpointEvery is how many appended reports accumulate between
+	// automatic checkpoints (default 1024).
+	CheckpointEvery int
+}
+
+// defaultWarehouseCheckpointEvery is the automatic checkpoint threshold.
+const defaultWarehouseCheckpointEvery = 1024
+
+// durability is the warehouse's durability state.
+type durability struct {
+	mgr     *wal.Manager
+	metrics *wal.Metrics
+	every   int
+
+	// mu guards lastSeq and sinceCkpt (the append path may be reached
+	// from ProcessReport and the checkpoint loop concurrently).
+	mu        sync.Mutex
+	lastSeq   uint64 // highest source seq appended (or recovered)
+	sinceCkpt int
+
+	// ckptMu serializes whole checkpoints (manual, automatic and the
+	// background loop).
+	ckptMu sync.Mutex
+}
+
+// viewMeta is one view's checkpointed metadata. The delegates and the
+// view object live in the store section; the aux cache mirror in its own
+// section. Everything else needed to rebuild the WView without touching
+// the source is here.
+type viewMeta struct {
+	Name          string                     `json:"name"`
+	Query         string                     `json:"query"`
+	Cache         string                     `json:"cache"`
+	Screening     bool                       `json:"screening,omitempty"`
+	Knowledge     map[string]map[string]bool `json:"knowledge,omitempty"`
+	State         int32                      `json:"state,omitempty"`
+	StaleReason   string                     `json:"stale_reason,omitempty"`
+	ResyncSkipSeq uint64                     `json:"resync_skip_seq,omitempty"`
+}
+
+// EnableDurability attaches a write-ahead log and checkpoint directory to
+// the warehouse. Call it on a freshly constructed Warehouse, before any
+// DefineView: if dir holds a previous incarnation's state, the views are
+// recovered from it (recovered reports true) and need no re-definition.
+//
+// Reports whose update carries no source sequence number (Seq 0, or
+// synthetic UpdateNone records) cannot be ordered into the log and are
+// processed without durability.
+func (w *Warehouse) EnableDurability(dir string, o DurabilityOptions) (recovered bool, err error) {
+	if w.dur != nil {
+		return false, errors.New("warehouse: durability already enabled")
+	}
+	w.mu.RLock()
+	defined := len(w.views)
+	w.mu.RUnlock()
+	if defined != 0 {
+		return false, errors.New("warehouse: EnableDurability must run before DefineView")
+	}
+	metrics := o.Metrics
+	if metrics == nil {
+		metrics = wal.NewMetrics()
+	}
+	start := time.Now()
+	mgr, err := wal.Open(dir, wal.Options{
+		Policy:       o.Policy,
+		Interval:     o.Interval,
+		SegmentBytes: o.SegmentBytes,
+		Crash:        o.Crash,
+		Metrics:      metrics,
+	})
+	if err != nil {
+		return false, err
+	}
+	ckpt, err := mgr.LatestCheckpoint()
+	if err != nil {
+		mgr.Close()
+		return false, err
+	}
+	d := &durability{mgr: mgr, metrics: metrics, every: o.CheckpointEvery}
+	if d.every <= 0 {
+		d.every = defaultWarehouseCheckpointEvery
+	}
+	if ckpt != nil {
+		if err := w.restoreCheckpoint(ckpt); err != nil {
+			mgr.Close()
+			return false, err
+		}
+	}
+	d.lastSeq = max(ckptSeqOf(ckpt), mgr.Log().LastSeq())
+	w.dur = d
+
+	// Replay the WAL tail as Level-1 reports through the batched path.
+	// Maintenance failures quarantine the affected view (Stale) rather
+	// than failing recovery; the repair loop resyncs it later.
+	var tail []*UpdateReport
+	if err := mgr.Log().Replay(ckptSeqOf(ckpt), func(u store.Update) error {
+		tail = append(tail, &UpdateReport{Source: w.Src.ID(), Level: Level1, Update: u})
+		return nil
+	}); err != nil {
+		w.dur = nil
+		mgr.Close()
+		return false, err
+	}
+	if len(tail) > 0 {
+		_ = w.ProcessBatch(tail) // failing views are marked Stale inside
+	}
+
+	// Restart-gap detection: updates the source emitted while the
+	// warehouse was down were never reported and are not in the WAL.
+	// Sources do not replay, so only a resync can reconcile the views.
+	if ckpt != nil {
+		if srcSeq := w.Src.LastKnownSeq(); srcSeq > d.lastSeq {
+			reason := fmt.Sprintf("restart gap: source at seq %d, recovered through seq %d", srcSeq, d.lastSeq)
+			for _, v := range w.viewsSorted() {
+				v.markStale(reason)
+			}
+		}
+		// Collapse the replayed tail so a crash loop never replays it
+		// twice.
+		if err := w.Checkpoint(); err != nil {
+			w.dur = nil
+			mgr.Close()
+			return false, err
+		}
+	}
+	metrics.Recoveries.Inc()
+	metrics.RecoverySeconds.ObserveSince(start)
+	return ckpt != nil, nil
+}
+
+func ckptSeqOf(c *wal.Checkpoint) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.Seq
+}
+
+// restoreCheckpoint rebuilds the warehouse from one checkpoint: the view
+// store, then each view adopted over its restored delegates — zero
+// source queries on this path.
+func (w *Warehouse) restoreCheckpoint(ckpt *wal.Checkpoint) error {
+	if w.Store.Len() != 0 {
+		return errors.New("warehouse: recovery requires an empty view store")
+	}
+	if err := w.Store.Load(bytes.NewReader(ckpt.Section(ckptSectionStore))); err != nil {
+		return fmt.Errorf("warehouse: restoring view store: %w", err)
+	}
+	if cursors := ckpt.Section(ckptSectionFeed); len(cursors) > 0 {
+		m := map[string]uint64{}
+		if err := json.Unmarshal(cursors, &m); err != nil {
+			return fmt.Errorf("warehouse: restoring feed cursors: %w", err)
+		}
+		for view, c := range m {
+			w.Feed.RestoreCursor(view, c)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(ckpt.Section(ckptSectionViews)))
+	for {
+		var m viewMeta
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("warehouse: decoding view metadata: %w", err)
+		}
+		if err := w.adoptView(m, ckpt); err != nil {
+			return err
+		}
+	}
+}
+
+// adoptView rebuilds one WView from its checkpointed metadata, wiring it
+// exactly as DefineView does but over the restored delegates instead of
+// a source fetch.
+func (w *Warehouse) adoptView(m viewMeta, ckpt *wal.Checkpoint) error {
+	q, err := query.Parse(m.Query)
+	if err != nil {
+		return fmt.Errorf("warehouse: checkpointed view %s: %w", m.Name, err)
+	}
+	def, ok := core.Simplify(q)
+	if !ok {
+		return fmt.Errorf("%w: checkpointed view %s", ErrNotSimple, m.Name)
+	}
+	oid := oem.OID(m.Name)
+	if !w.Store.Has(oid) {
+		return fmt.Errorf("%w: checkpointed view %s has no view object", ErrViewNotFound, m.Name)
+	}
+	cfg := ViewConfig{Cache: cacheModeFromString(m.Cache), Screening: m.Screening}
+	if m.Knowledge != nil {
+		cfg.Knowledge = &PathKnowledge{pairs: m.Knowledge}
+	}
+	mv := &core.MaterializedView{OID: oid, Query: q, Base: nil, ViewStore: w.Store}
+	var cache *AuxCache
+	var staleReason string
+	if cfg.Cache != CacheNone {
+		cache, err = restoreAuxCache(def, cfg.Cache, ckpt.Section(ckptSectionCachePrefix+m.Name))
+		if err != nil {
+			// A view without its mirror cannot maintain incrementally;
+			// quarantine it for the repair loop (which rebuilds the
+			// cache during resync) instead of failing recovery.
+			cache = nil
+			staleReason = fmt.Sprintf("aux cache not recovered: %v", err)
+		}
+	}
+	access := &RemoteAccess{Src: w.Src, Def: def, Cache: cache}
+	maint := &core.SimpleMaintainer{View: mv, Def: def, Access: access}
+	v := &WView{
+		Name: m.Name, MV: mv, Def: def, Access: access, Maint: maint,
+		Cache: cache, Config: cfg, feed: w.Feed, fullLabels: map[string]bool{},
+	}
+	maint.Observer = func(view oem.OID, u store.Update, d core.Deltas) {
+		v.recordDeltas(len(d.Insert), len(d.Delete))
+		v.publish(u, d)
+	}
+	w.Feed.RegisterView(m.Name, mv.Members)
+	for _, l := range def.FullPath() {
+		v.fullLabels[l] = true
+	}
+	v.resyncSkipSeq = m.ResyncSkipSeq
+	if ViewState(m.State) != ViewFresh && m.StaleReason != "" {
+		staleReason = m.StaleReason
+	} else if ViewState(m.State) != ViewFresh {
+		staleReason = "stale at checkpoint"
+	}
+	if staleReason != "" {
+		v.markStale(staleReason)
+	}
+	w.registerViewObs(v)
+	w.mu.Lock()
+	w.views[m.Name] = v
+	w.mu.Unlock()
+	return nil
+}
+
+// restoreAuxCache rebuilds an AuxCache from its checkpointed mirror
+// snapshot without touching the source.
+func restoreAuxCache(def core.SimpleDef, mode CacheMode, snapshot []byte) (*AuxCache, error) {
+	if len(snapshot) == 0 {
+		return nil, errors.New("no cache section in checkpoint")
+	}
+	c := &AuxCache{
+		Mode: mode,
+		Def:  def,
+		store: store.New(store.Options{
+			ParentIndex: true, LabelIndex: true, AllowDangling: true,
+		}),
+		full: def.FullPath(),
+	}
+	c.access = core.NewCentralAccess(c.store)
+	if err := c.store.Load(bytes.NewReader(snapshot)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// cacheModeFromString maps a serialized cache mode name back to the mode;
+// unknown names resolve to CacheNone.
+func cacheModeFromString(s string) CacheMode {
+	switch s {
+	case "partial":
+		return CachePartial
+	case "full":
+		return CacheFull
+	default:
+		return CacheNone
+	}
+}
+
+// logReports appends the reports' base updates to the WAL — the
+// write-ahead step, before any maintenance. Updates without a source
+// sequence number, and updates at or below the last appended sequence
+// (replays, duplicates), are skipped. No-op without EnableDurability.
+func (w *Warehouse) logReports(rs []*UpdateReport) error {
+	d := w.dur
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var us []store.Update
+	for _, r := range rs {
+		u := r.Update
+		if u.Seq == 0 || u.Seq <= d.lastSeq || u.Kind == store.UpdateNone {
+			continue
+		}
+		us = append(us, u)
+		d.lastSeq = u.Seq
+	}
+	if len(us) == 0 {
+		return nil
+	}
+	if err := d.mgr.Log().Append(us...); err != nil {
+		return fmt.Errorf("warehouse: write-ahead log: %w", err)
+	}
+	d.sinceCkpt += len(us)
+	return nil
+}
+
+// maybeCheckpoint runs an automatic checkpoint once enough reports have
+// been appended since the last one.
+func (w *Warehouse) maybeCheckpoint() error {
+	d := w.dur
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	due := d.sinceCkpt >= d.every
+	d.mu.Unlock()
+	if !due {
+		return nil
+	}
+	return w.Checkpoint()
+}
+
+// Checkpoint snapshots the warehouse — view store, per-view metadata,
+// aux caches and feed cursors — as the new recovery baseline, and prunes
+// the WAL behind it. No-op without EnableDurability.
+func (w *Warehouse) Checkpoint() error {
+	d := w.dur
+	if d == nil {
+		return nil
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	// Freeze maintenance on every view so the store section, the view
+	// metadata and the cache sections describe one consistent instant.
+	views := w.viewsSorted()
+	for _, v := range views {
+		v.procMu.Lock()
+	}
+	defer func() {
+		for _, v := range views {
+			v.procMu.Unlock()
+		}
+	}()
+	var cw wal.CheckpointWriter
+	cw.AddFunc(ckptSectionStore, func(buf *bytes.Buffer) error { return w.Store.Save(buf) })
+	cw.AddFunc(ckptSectionViews, func(buf *bytes.Buffer) error {
+		enc := json.NewEncoder(buf)
+		for _, v := range views {
+			m := viewMeta{
+				Name:          v.Name,
+				Query:         v.MV.Query.String(),
+				Cache:         v.Config.Cache.String(),
+				Screening:     v.Config.Screening,
+				State:         int32(v.State()),
+				ResyncSkipSeq: v.resyncSkipSeq,
+			}
+			if pk := v.Config.Knowledge; pk != nil {
+				m.Knowledge = pk.pairs
+			}
+			if m.State != int32(ViewFresh) {
+				m.StaleReason, _ = v.StaleReason()
+			}
+			if err := enc.Encode(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	cw.AddFunc(ckptSectionFeed, func(buf *bytes.Buffer) error {
+		cursors := map[string]uint64{}
+		for _, v := range views {
+			if c, ok := w.Feed.Cursor(v.Name); ok && c > 0 {
+				cursors[v.Name] = c
+			}
+		}
+		return json.NewEncoder(buf).Encode(cursors)
+	})
+	for _, v := range views {
+		if v.Cache == nil {
+			continue
+		}
+		c := v.Cache
+		cw.AddFunc(ckptSectionCachePrefix+v.Name, func(buf *bytes.Buffer) error {
+			return c.store.Save(buf)
+		})
+	}
+	d.mu.Lock()
+	seq := d.lastSeq
+	d.mu.Unlock()
+	if err := d.mgr.WriteCheckpoint(seq, &cw); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.sinceCkpt = 0
+	d.mu.Unlock()
+	return nil
+}
+
+// StartCheckpointLoop checkpoints every interval on a background
+// goroutine until the returned stop function is called — the steady-state
+// bound on recovery replay length, complementing the count-triggered
+// automatic checkpoints.
+func (w *Warehouse) StartCheckpointLoop(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_ = w.Checkpoint()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Durable reports whether EnableDurability has run.
+func (w *Warehouse) Durable() bool { return w.dur != nil }
+
+// Close makes all acknowledged maintenance durable (final checkpoint)
+// and releases the WAL. No-op without EnableDurability.
+func (w *Warehouse) Close() error {
+	d := w.dur
+	if d == nil {
+		return nil
+	}
+	err := w.Checkpoint()
+	if cerr := d.mgr.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// DurabilityMetrics returns the WAL metrics the durability layer records
+// into (nil without EnableDurability).
+func (w *Warehouse) DurabilityMetrics() *wal.Metrics {
+	if w.dur == nil {
+		return nil
+	}
+	return w.dur.metrics
+}

@@ -1,0 +1,386 @@
+package warehouse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gsv/internal/faults"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/wal"
+	"gsv/internal/workload"
+)
+
+// durableFixture builds a PERSON source and a durable warehouse over dir
+// with the YP view. The source outlives warehouse incarnations (it is
+// the remote system); pass the same src to reopenWarehouse to restart.
+func durableFixture(t testing.TB, dir string, cfg ViewConfig, o DurabilityOptions) (*Source, *Warehouse, *WView) {
+	t.Helper()
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	tr := NewTransport(0)
+	src := NewSource("persons", s, "ROOT", Level2, tr)
+	src.DrainReports()
+	w := New(src)
+	if recovered, err := w.EnableDurability(dir, o); err != nil {
+		t.Fatal(err)
+	} else if recovered {
+		t.Fatal("fresh directory reported recovered")
+	}
+	v, err := w.DefineView("YP", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, w, v
+}
+
+// reopenWarehouse restarts the warehouse half: a fresh Warehouse over the
+// surviving source, recovered from dir.
+func reopenWarehouse(t testing.TB, src *Source, dir string, o DurabilityOptions) *Warehouse {
+	t.Helper()
+	w := New(src)
+	recovered, err := w.EnableDurability(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered {
+		t.Fatal("expected recovery from existing state")
+	}
+	return w
+}
+
+// mustReports returns an unwrapper for a Source mutator's return. The
+// mutators drain the pending queue themselves, so tests must hold on to
+// what they return — a later DrainReports would find nothing.
+func mustReports(t testing.TB) func([]*UpdateReport, error) []*UpdateReport {
+	return func(rs []*UpdateReport, err error) []*UpdateReport {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+}
+
+// oracleMembers recomputes a view's membership from scratch at the
+// source — the from-scratch answer recovery must match.
+func oracleMembers(t testing.TB, src *Source, q *query.Query) []oem.OID {
+	t.Helper()
+	objs, err := src.FetchQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]oem.OID, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, o.OID)
+	}
+	return oem.SortOIDs(out)
+}
+
+func TestWarehouseDurableRestartWithoutRefetch(t *testing.T) {
+	must := mustReports(t)
+	dir := t.TempDir()
+	cfg := ViewConfig{Cache: CacheFull, Screening: true}
+	src, w1, _ := durableFixture(t, dir, cfg, DurabilityOptions{})
+
+	// Grow the view: P2 gains an age that passes the condition.
+	rs := must(src.Put(oem.NewAtom("A2", "age", oem.Int(40))))
+	rs = append(rs, must(src.Insert("P2", "A2"))...)
+	if err := w1.ProcessAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := w1.FreshMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheSize := 0
+	if v1, _ := w1.View("YP"); v1.Cache != nil {
+		cacheSize = v1.Cache.Size()
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery must not touch the source: snapshot the transport before.
+	before := src.Transport.Snapshot()
+	w2 := reopenWarehouse(t, src, dir, DurabilityOptions{})
+	if used := src.Transport.Sub(before); used.QueryBacks != 0 {
+		t.Fatalf("recovery issued %d source queries; want 0", used.QueryBacks)
+	}
+	v2, ok := w2.View("YP")
+	if !ok {
+		t.Fatal("view not recovered")
+	}
+	if v2.State() != ViewFresh {
+		t.Fatalf("recovered view state = %s, want fresh", v2.State())
+	}
+	got, err := w2.FreshMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, want) {
+		t.Fatalf("recovered members = %v, want %v", got, want)
+	}
+	if v2.Cache == nil || v2.Cache.Size() != cacheSize {
+		t.Fatalf("aux cache not recovered (size %d, want %d)", v2.Cache.Size(), cacheSize)
+	}
+	if !v2.Config.Screening {
+		t.Fatal("screening config not recovered")
+	}
+
+	// Incremental maintenance resumes on the recovered state.
+	if err := w2.ProcessAll(must(src.Modify("A2", oem.Int(60)))); err != nil {
+		t.Fatal(err)
+	}
+	got, err = w2.FreshMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oem.SameMembers(got, oracleMembers(t, src, v2.MV.Query)) {
+		t.Fatalf("post-recovery maintenance diverged: %v", got)
+	}
+	w2.Close()
+}
+
+func TestWarehouseDurableTailReplayAfterCrash(t *testing.T) {
+	must := mustReports(t)
+	dir := t.TempDir()
+	// Huge checkpoint threshold: everything after DefineView's immediate
+	// checkpoint lives only in the WAL tail.
+	opts := DurabilityOptions{CheckpointEvery: 1 << 20}
+	src, w1, v1 := durableFixture(t, dir, ViewConfig{Cache: CacheFull}, opts)
+
+	rs := must(src.Put(oem.NewAtom("A2", "age", oem.Int(40))))
+	rs = append(rs, must(src.Insert("P2", "A2"))...)
+	rs = append(rs, must(src.Modify("A1", oem.Int(50)))...)
+	if err := w1.ProcessAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close, no final checkpoint. w1 is simply abandoned.
+	_ = v1
+
+	w2 := reopenWarehouse(t, src, dir, opts)
+	got, err := w2.FreshMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := w2.View("YP")
+	if want := oracleMembers(t, src, v2.MV.Query); !oem.SameMembers(got, want) {
+		t.Fatalf("replayed members = %v, want %v", got, want)
+	}
+	w2.Close()
+}
+
+func TestWarehouseDurableRestartGapQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	src, w1, _ := durableFixture(t, dir, ViewConfig{}, DurabilityOptions{})
+	if err := w1.ProcessAll(src.DrainReports()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The source moves on while the warehouse is down; its reports are
+	// emitted into the void (the returned reports are dropped — nobody
+	// was listening).
+	if _, err := src.Put(oem.NewAtom("A2", "age", oem.Int(30))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Insert("P2", "A2"); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := reopenWarehouse(t, src, dir, DurabilityOptions{})
+	if stale := w2.StaleViews(); len(stale) != 1 || stale[0] != "YP" {
+		t.Fatalf("StaleViews = %v, want [YP]", stale)
+	}
+	if _, err := w2.FreshMembers("YP"); err == nil {
+		t.Fatal("FreshMembers served a gapped view")
+	}
+	if _, err := w2.RepairAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w2.FreshMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := w2.View("YP")
+	if want := oracleMembers(t, src, v2.MV.Query); !oem.SameMembers(got, want) {
+		t.Fatalf("repaired members = %v, want %v", got, want)
+	}
+	w2.Close()
+}
+
+func TestWarehouseDurableFeedCursorSurvivesRestart(t *testing.T) {
+	must := mustReports(t)
+	dir := t.TempDir()
+	src, w1, _ := durableFixture(t, dir, ViewConfig{}, DurabilityOptions{})
+	rs := must(src.Put(oem.NewAtom("A2", "age", oem.Int(40))))
+	rs = append(rs, must(src.Insert("P2", "A2"))...)
+	if err := w1.ProcessAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	c1, ok := w1.Feed.Cursor("YP")
+	if !ok || c1 == 0 {
+		t.Fatalf("no feed cursor after publishing (cursor %d)", c1)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := reopenWarehouse(t, src, dir, DurabilityOptions{})
+	c2, ok := w2.Feed.Cursor("YP")
+	if !ok || c2 < c1 {
+		t.Fatalf("restored cursor = %d, want >= %d", c2, c1)
+	}
+	// The next published event continues the numbering instead of
+	// reusing cursors a persisted subscriber may have acknowledged.
+	if err := w2.ProcessAll(must(src.Modify("A2", oem.Int(60)))); err != nil {
+		t.Fatal(err)
+	}
+	c3, _ := w2.Feed.Cursor("YP")
+	if c3 <= c2 {
+		t.Fatalf("cursor after new event = %d, want > %d", c3, c2)
+	}
+	w2.Close()
+}
+
+// TestWarehouseDurableCrashSoak is the warehouse half of the kill⟳restart
+// soak: random crash points at the WAL and checkpoint boundaries fire
+// while reports are processed, the process "dies" (panic, recovered), a
+// fresh warehouse recovers from the directory, repairs any quarantined
+// views, and the membership must equal a from-scratch recompute.
+func TestWarehouseDurableCrashSoak(t *testing.T) {
+	must := mustReports(t)
+	points := []string{
+		"wal.append", "wal.write", "wal.fsync",
+		"ckpt.write", "ckpt.fsync", "ckpt.rename", "ckpt.gc",
+	}
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	cp := faults.NewCrashPoints()
+	opts := DurabilityOptions{Crash: cp, CheckpointEvery: 4}
+
+	src, w, _ := durableFixture(t, dir, ViewConfig{Cache: CacheFull}, opts)
+	q := query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45")
+
+	age := 30
+	nextOID := 0
+	mutate := func() []*UpdateReport {
+		// Alternate membership-affecting mutations: new professors with
+		// ages straddling the condition, and age flips on A1. The
+		// mutators drain the pending queue, so gather what they return.
+		var rs []*UpdateReport
+		switch rng.Intn(3) {
+		case 0:
+			nextOID++
+			p := oem.OID(fmt.Sprintf("PX%d", nextOID))
+			a := oem.OID(fmt.Sprintf("AX%d", nextOID))
+			rs = append(rs, must(src.Put(oem.NewSet(p, "professor", a)))...)
+			rs = append(rs, must(src.Put(oem.NewAtom(a, "age", oem.Int(int64(20+rng.Intn(50))))))...)
+			rs = append(rs, must(src.Insert("ROOT", p))...)
+		case 1:
+			age = 80 - age
+			rs = append(rs, must(src.Modify("A1", oem.Int(int64(age))))...)
+		case 2:
+			nextOID++
+			a := oem.OID(fmt.Sprintf("AY%d", nextOID))
+			rs = append(rs, must(src.Put(oem.NewAtom(a, "age", oem.Int(int64(20+rng.Intn(50))))))...)
+			rs = append(rs, must(src.Insert("P2", a))...)
+		}
+		return rs
+	}
+
+	const rounds = 10
+	for round := 0; round < rounds; round++ {
+		point := points[rng.Intn(len(points))]
+		cp.Arm(point, 1+rng.Intn(4))
+
+		// Run until the armed crash fires (or a bounded number of steps
+		// pass without it).
+		crashed := func() (c bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := faults.IsCrash(r); !ok {
+						panic(r)
+					}
+					c = true
+				}
+			}()
+			for i := 0; i < 50; i++ {
+				if err := w.ProcessBatch(mutate()); err != nil {
+					// A WAL append error without a crash would be a test
+					// bug; surface it.
+					t.Fatalf("round %d (%s): %v", round, point, err)
+				}
+			}
+			return false
+		}()
+		cp.Disarm()
+		if crashed {
+			// The dead incarnation is abandoned; a new one recovers.
+			w = reopenWarehouse(t, src, dir, opts)
+			if _, err := w.RepairAll(); err != nil {
+				t.Fatalf("round %d (%s): repair: %v", round, point, err)
+			}
+		}
+		got, err := w.FreshMembers("YP")
+		if err != nil {
+			t.Fatalf("round %d (%s): %v", round, point, err)
+		}
+		if want := oracleMembers(t, src, q); !oem.SameMembers(got, want) {
+			t.Fatalf("round %d (%s): members = %v, want %v (crashed=%v)", round, point, got, want, crashed)
+		}
+	}
+	// Final clean shutdown and one more recovery for good measure.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w = reopenWarehouse(t, src, dir, opts)
+	got, err := w.FreshMembers("YP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracleMembers(t, src, q); !oem.SameMembers(got, want) {
+		t.Fatalf("final recovery members = %v, want %v", got, want)
+	}
+	w.Close()
+}
+
+func TestWarehouseDurableCheckpointMetrics(t *testing.T) {
+	must := mustReports(t)
+	dir := t.TempDir()
+	m := wal.NewMetrics()
+	src, w, _ := durableFixture(t, dir, ViewConfig{}, DurabilityOptions{Metrics: m, CheckpointEvery: 1})
+	rs := must(src.Put(oem.NewAtom("A2", "age", oem.Int(40))))
+	rs = append(rs, must(src.Insert("P2", "A2"))...)
+	if err := w.ProcessAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	if m.Appends.Value() == 0 {
+		t.Fatal("no WAL appends recorded")
+	}
+	if m.Checkpoints.Value() == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarehouseEnableDurabilityAfterDefineRejected(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	w := New(src)
+	if _, err := w.DefineView("YP", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"), ViewConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.EnableDurability(t.TempDir(), DurabilityOptions{}); err == nil {
+		t.Fatal("EnableDurability after DefineView succeeded")
+	}
+}

@@ -122,6 +122,16 @@ func (w *Warehouse) absorbSourceGap() {
 	}
 }
 
+// ViewNames returns the names of all registered views, sorted.
+func (w *Warehouse) ViewNames() []string {
+	vs := w.viewsSorted()
+	out := make([]string, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v.Name)
+	}
+	return out
+}
+
 // StaleViews returns the names of views currently not Fresh, sorted.
 func (w *Warehouse) StaleViews() []string {
 	var out []string

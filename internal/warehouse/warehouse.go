@@ -383,6 +383,10 @@ type Warehouse struct {
 	// serial and per-report.
 	Sched *core.Scheduler
 
+	// dur is the durability state when EnableDurability has run; nil
+	// otherwise. See durability.go.
+	dur *durability
+
 	// Obs, when set via EnableObs, receives every per-view counter plus
 	// maintenance latency histograms.
 	Obs *obs.Registry
@@ -555,6 +559,13 @@ func (w *Warehouse) DefineView(name string, q *query.Query, cfg ViewConfig) (*WV
 	w.mu.Lock()
 	w.views[name] = v
 	w.mu.Unlock()
+	// Definitions live in checkpoints, not the WAL: a durable warehouse
+	// checkpoints immediately so the new view survives a crash.
+	if w.dur != nil {
+		if err := w.Checkpoint(); err != nil {
+			return v, err
+		}
+	}
 	return v, nil
 }
 
@@ -606,12 +617,20 @@ func (w *Warehouse) viewsSorted() []*WView {
 // The returned error joins every per-view failure (nil when all views
 // succeeded or were quarantined).
 func (w *Warehouse) ProcessReport(r *UpdateReport) error {
+	// Write-ahead: a report that cannot be made durable is not processed,
+	// so the log never lags the views.
+	if err := w.logReports([]*UpdateReport{r}); err != nil {
+		return err
+	}
 	w.absorbSourceGap()
 	var errs []error
 	for _, v := range w.viewsSorted() {
 		if err := w.processView(v, r); err != nil {
 			errs = append(errs, fmt.Errorf("warehouse: view %s on %s: %w", v.Name, r.Update, err))
 		}
+	}
+	if err := w.maybeCheckpoint(); err != nil {
+		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
 }
@@ -663,6 +682,11 @@ func (w *Warehouse) ProcessBatch(rs []*UpdateReport) error {
 	if len(rs) == 0 {
 		return nil
 	}
+	// Write-ahead: the whole batch becomes durable before any view
+	// processes it.
+	if err := w.logReports(rs); err != nil {
+		return err
+	}
 	w.absorbSourceGap()
 	views := w.viewsSorted()
 	w.Sched.Metrics.BatchSize.Observe(float64(len(rs)))
@@ -678,6 +702,9 @@ func (w *Warehouse) ProcessBatch(rs []*UpdateReport) error {
 		if err != nil {
 			errs = append(errs, err)
 		}
+	}
+	if err := w.maybeCheckpoint(); err != nil {
+		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
 }

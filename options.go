@@ -2,9 +2,12 @@ package gsv
 
 import (
 	"runtime"
+	"time"
 
 	"gsv/internal/core"
+	"gsv/internal/faults"
 	"gsv/internal/store"
+	"gsv/internal/wal"
 )
 
 // Option configures Open. Options replace the old constructor-per-knob
@@ -19,6 +22,15 @@ type openConfig struct {
 	screening   *bool
 	observer    DeltaObserver
 	batchObs    BatchObserver
+
+	// Durability (see durability.go).
+	durDir          string
+	durPolicy       SyncPolicy
+	durInterval     time.Duration
+	durSegmentBytes int64
+	durMetrics      *wal.Metrics
+	durCrash        *faults.CrashPoints
+	ckptEvery       int
 }
 
 // WithStore opens the database over an existing store instead of a fresh
@@ -70,10 +82,66 @@ func WithBatchObserver(fn BatchObserver) Option {
 	return func(c *openConfig) { c.batchObs = fn }
 }
 
+// WithDurability makes the database durable: dir receives a write-ahead
+// log of base updates (flushed per policy) plus periodic checkpoints,
+// and opening the same directory again recovers the database — newest
+// checkpoint, then WAL tail replay — instead of starting empty. See
+// docs/DURABILITY.md. Open panics if recovery fails; use TryOpen to
+// handle the error.
+func WithDurability(dir string, policy SyncPolicy) Option {
+	return func(c *openConfig) {
+		c.durDir = dir
+		c.durPolicy = policy
+	}
+}
+
+// WithCheckpointEvery sets how many durable base updates accumulate
+// between automatic checkpoints (default 4096). Smaller values shorten
+// recovery replay at the cost of more frequent snapshot writes. Only
+// meaningful with WithDurability.
+func WithCheckpointEvery(n int) Option {
+	return func(c *openConfig) { c.ckptEvery = n }
+}
+
+// WithSyncInterval sets the flush period used by the SyncInterval
+// policy (default 50ms).
+func WithSyncInterval(d time.Duration) Option {
+	return func(c *openConfig) { c.durInterval = d }
+}
+
+// WithSegmentBytes sets the WAL segment roll size (default 4 MiB).
+func WithSegmentBytes(n int64) Option {
+	return func(c *openConfig) { c.durSegmentBytes = n }
+}
+
+// WithDurabilityMetrics shares a wal.Metrics with the durability layer
+// so its counters can be registered on an obs.Registry.
+func WithDurabilityMetrics(m *wal.Metrics) Option {
+	return func(c *openConfig) { c.durMetrics = m }
+}
+
+// WithCrashPoints arms fault-injection crash points on the durability
+// layer — test harnesses only.
+func WithCrashPoints(cp *faults.CrashPoints) Option {
+	return func(c *openConfig) { c.durCrash = cp }
+}
+
 // Open returns a database configured by the given options; with none it
 // is an empty database with default indexing, serial maintenance and
-// screening on.
+// screening on. With WithDurability, Open recovers from the durability
+// directory and panics if recovery fails — use TryOpen when the
+// directory's health is not already trusted.
 func Open(opts ...Option) *DB {
+	db, err := TryOpen(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// TryOpen is Open returning recovery errors instead of panicking. For
+// non-durable configurations it cannot fail.
+func TryOpen(opts ...Option) (*DB, error) {
 	var c openConfig
 	for _, o := range opts {
 		o(&c)
@@ -98,7 +166,10 @@ func Open(opts ...Option) *DB {
 	if c.batchObs != nil {
 		db.Views.SetBatchObserver(c.batchObs)
 	}
-	return db
+	if c.durDir != "" {
+		return openDurable(&c, db)
+	}
+	return db, nil
 }
 
 // OpenWith wraps an existing store.

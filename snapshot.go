@@ -21,12 +21,27 @@ import (
 
 const dbSnapshotHeader = "gsv-db-v1"
 
-// viewDef is the serialized form of one registered view.
+// viewDef is the serialized form of one registered view, shared by SaveDB
+// snapshots and durability checkpoints. Swizzled is only meaningful for
+// checkpoints: SaveDB rebuilds views from scratch, while checkpoint
+// recovery adopts the stored delegates as-is and must know whether their
+// edges are swizzled.
 type viewDef struct {
 	Name         string `json:"name"`
 	Materialized bool   `json:"materialized"`
 	Strategy     string `json:"strategy,omitempty"`
 	Query        string `json:"query"`
+	Swizzled     bool   `json:"swizzled,omitempty"`
+}
+
+// statement renders the definition statement and maintenance strategy to
+// re-register the view with.
+func (vd viewDef) statement() (string, Strategy) {
+	kw := "view"
+	if vd.Materialized {
+		kw = "mview"
+	}
+	return fmt.Sprintf("define %s %s as: %s", kw, vd.Name, vd.Query), strategyFromString(vd.Strategy)
 }
 
 // SaveDB writes the database — base objects and view definitions — to w.
@@ -124,22 +139,7 @@ func LoadDB(r io.Reader) (*DB, error) {
 
 // redefine re-registers one view from its serialized definition.
 func (db *DB) redefine(vd viewDef) error {
-	kw := "view"
-	if vd.Materialized {
-		kw = "mview"
-	}
-	stmt := fmt.Sprintf("define %s %s as: %s", kw, vd.Name, vd.Query)
-	strategy := core.StrategyAuto
-	switch vd.Strategy {
-	case "simple":
-		strategy = core.StrategySimple
-	case "general":
-		strategy = core.StrategyGeneral
-	case "dag":
-		strategy = core.StrategyDag
-	case "recompute":
-		strategy = core.StrategyRecompute
-	}
+	stmt, strategy := vd.statement()
 	vs, err := parseViewStmt(stmt)
 	if err != nil {
 		return err

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos crash cover bench bench-json bench-parallel experiments examples fuzz fmt vet ci demo-feed clean
+.PHONY: all build test race chaos crash cover bench bench-json bench-parallel bench-gate experiments examples fuzz fmt vet ci demo-feed demo-replica clean
 
 all: build vet test
 
@@ -34,7 +34,7 @@ race:
 # wire reconnect/gap tests and the follow-reconnect test, all with
 # fixed seeds under the race detector.
 chaos:
-	$(GO) test -race -count=3 -run 'TestChaosSoak|TestNetQuerySurvives|TestNetReportStreamReconnect|TestFollowFeedSurvives' -v ./internal/warehouse/ ./cmd/gsdbwatch/
+	$(GO) test -race -count=3 -run 'TestChaosSoak|TestNetQuerySurvives|TestNetReportStreamReconnect|TestFollowFeedSurvives|TestReplicaChaosSoak' -v ./internal/warehouse/ ./cmd/gsdbwatch/ ./internal/replica/
 
 # The durability drills (CI's crash-smoke job): seeded kill/restart
 # soaks at the WAL and checkpoint crash points, the recovery-equivalence
@@ -62,6 +62,17 @@ bench-json:
 # bench-parallel job and uploads the JSON report.
 bench-parallel:
 	$(GO) run ./cmd/benchviews -e E12 -updates 400 -json
+
+# Benchmark regression gate (CI's bench-gate job): regenerate the
+# E12/E13/E14 report with the baseline's configuration and compare the
+# machine-independent ratios (speedup, scaling, recompute/incremental)
+# against the committed baseline in bench/. Enforced: E14 replica
+# scaling and the E1 recompute/incremental ratios, whose margins dwarf
+# run-to-run noise; the short-wall-clock E12/E13 speedups swing too much
+# between runs to gate and print as informational lines instead.
+bench-gate:
+	GOMAXPROCS=4 $(GO) run ./cmd/benchviews -e E12,E13,E14 -updates 300 -json -out bench-current.json
+	$(GO) run ./cmd/benchgate -baseline bench/BENCH_20260808.json -current bench-current.json -tolerance 0.4 -gate '^(E14|bench)'
 
 # The paper-reproduction tables (EXPERIMENTS.md records a run).
 experiments:
@@ -95,6 +106,27 @@ demo-feed:
 	SERVE=$$!; sleep 1; \
 	./bin/gsdbwatch -addr 127.0.0.1:7071 -follow HOT -from 0 -for 8s; \
 	kill $$SERVE 2>/dev/null || true
+
+# End-to-end replica demo (CI's replica-smoke job): gsdbserve hosts a
+# view and drives updates; gsdbreplica bootstraps from a snapshot, tails
+# the multi-view changefeed and serves reads; gsdbwatch follows the
+# REPLICA's republished feed and then renders the replica's own stats —
+# including the gsv_replica_* staleness gauges (docs/REPLICA.md).
+demo-replica:
+	@mkdir -p bin
+	@$(GO) build -o bin/gsdbserve ./cmd/gsdbserve
+	@$(GO) build -o bin/gsdbreplica ./cmd/gsdbreplica
+	@$(GO) build -o bin/gsdbwatch ./cmd/gsdbwatch
+	@./bin/gsdbserve -addr 127.0.0.1:7081 -sample relations -tuples 20 \
+		-updates 80 -interval 100ms \
+		-feed 'HOT=SELECT REL.r0.tuple X WHERE X.age > 30' & \
+	SERVE=$$!; sleep 1; \
+	./bin/gsdbreplica -primary 127.0.0.1:7081 -addr 127.0.0.1:7082 \
+		-name demo -max-lag-age 5s & \
+	REPL=$$!; sleep 1; \
+	./bin/gsdbwatch -addr 127.0.0.1:7082 -follow HOT -from 0 -snapshot -for 6s; \
+	./bin/gsdbwatch -addr 127.0.0.1:7082 -stats -for 2s; \
+	kill $$REPL $$SERVE 2>/dev/null || true
 
 clean:
 	rm -rf bin

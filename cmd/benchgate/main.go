@@ -1,0 +1,220 @@
+// Command benchgate compares two benchviews JSON reports and fails when
+// a tracked performance ratio regresses beyond a tolerance. It reads the
+// ratio columns of the experiment tables — "speedup" (E12 parallel
+// batching, E13 crash recovery) and "scaling" (E14 replica fan-out) —
+// plus the recompute/incremental ratio of the paired E1
+// micro-benchmarks. Ratios, not absolute times, are what transfer
+// between machines: both legs of each ratio ran on the same box, so the
+// box divides out.
+//
+// The committed baseline lives in bench/ (see EXPERIMENTS.md); CI's
+// bench-gate job regenerates a current report with the same
+// configuration and runs:
+//
+//	benchgate -baseline bench/BENCH_<date>.json -current new.json [-tolerance 0.20]
+//
+// Exit status 1 means at least one ratio fell below
+// baseline*(1-tolerance), or a baselined metric disappeared.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// report mirrors the fields of the benchviews -json document that the
+// gate consumes (schema "gsv-bench/1").
+type report struct {
+	Schema string `json:"schema"`
+	Tables []struct {
+		ID      string     `json:"id"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	} `json:"tables"`
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+const schemaWant = "gsv-bench/1"
+
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != schemaWant {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, schemaWant)
+	}
+	return &r, nil
+}
+
+// parseRatio reads a table ratio cell ("3.4x", "0.9x"). "inf" and
+// anything unparseable report !ok and are not gated.
+func parseRatio(cell string) (float64, bool) {
+	cell = strings.TrimSuffix(strings.TrimSpace(cell), "x")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// ratioColumn reports whether a table column holds a gated ratio.
+func ratioColumn(header string) bool {
+	h := strings.ToLower(header)
+	return strings.Contains(h, "speedup") || strings.Contains(h, "scaling")
+}
+
+// metrics flattens a report into named ratios. Table rows are keyed by
+// their first (identity) column so the key survives reordering:
+// "E12[tuples=800].speedup". Micro-benchmarks contribute
+// "bench[<suffix>].recompute_over_incremental" for every E1 pair.
+func metrics(r *report) map[string]float64 {
+	out := make(map[string]float64)
+	for _, t := range r.Tables {
+		for col, h := range t.Headers {
+			if !ratioColumn(h) {
+				continue
+			}
+			field := strings.Fields(strings.ToLower(h))[0]
+			for _, row := range t.Rows {
+				if col >= len(row) || len(row) == 0 {
+					continue
+				}
+				v, ok := parseRatio(row[col])
+				if !ok {
+					continue
+				}
+				id := row[0]
+				if len(t.Headers) > 0 {
+					id = t.Headers[0] + "=" + row[0]
+				}
+				out[fmt.Sprintf("%s[%s].%s", t.ID, id, field)] = v
+			}
+		}
+	}
+	// E1 pairs: BenchmarkE1Recompute/X over BenchmarkE1IncrementalMaintenance/X.
+	inc := make(map[string]float64)
+	rec := make(map[string]float64)
+	for _, b := range r.Benchmarks {
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(b.Name, "E1IncrementalMaintenance/"); ok {
+			inc[rest] = b.NsPerOp
+		}
+		if rest, ok := strings.CutPrefix(b.Name, "E1Recompute/"); ok {
+			rec[rest] = b.NsPerOp
+		}
+	}
+	for k, rv := range rec {
+		if iv, ok := inc[k]; ok && iv > 0 {
+			out[fmt.Sprintf("bench[%s].recompute_over_incremental", k)] = rv / iv
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "", "baseline benchviews JSON report (required)")
+		curPath   = flag.String("current", "", "current benchviews JSON report (required)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression before failing")
+		gate      = flag.String("gate", "", "regexp selecting which metrics are enforced (default: all); others print as informational")
+	)
+	flag.Parse()
+	if *basePath == "" || *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var gateRe *regexp.Regexp
+	if *gate != "" {
+		re, err := regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
+			os.Exit(2)
+		}
+		gateRe = re
+	}
+	base, err := loadReport(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadReport(*curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	failures := compare(os.Stdout, metrics(base), metrics(cur), *tolerance, gateRe)
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed beyond %.0f%%\n", failures, *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+// compare prints one line per baselined metric and returns the number
+// of enforced failures. A metric missing from the current report is a
+// failure (lost coverage reads as a silent pass otherwise); metrics only
+// in the current report are informational.
+func compare(w io.Writer, base, cur map[string]float64, tolerance float64, gateRe *regexp.Regexp) int {
+	names := make([]string, 0, len(base))
+	for k := range base {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	failures := 0
+	fmt.Fprintf(w, "%-50s %10s %10s %8s  %s\n", "metric", "baseline", "current", "delta", "status")
+	for _, name := range names {
+		b := base[name]
+		enforced := gateRe == nil || gateRe.MatchString(name)
+		c, ok := cur[name]
+		if !ok {
+			status := "MISSING"
+			if enforced {
+				failures++
+			} else {
+				status = "missing (not gated)"
+			}
+			fmt.Fprintf(w, "%-50s %9.2fx %10s %8s  %s\n", name, b, "-", "-", status)
+			continue
+		}
+		delta := (c - b) / b
+		status := "ok"
+		switch {
+		case c < b*(1-tolerance) && enforced:
+			status = "REGRESSED"
+			failures++
+		case c < b*(1-tolerance):
+			status = "regressed (not gated)"
+		case c > b*(1+tolerance):
+			status = "improved"
+		}
+		fmt.Fprintf(w, "%-50s %9.2fx %9.2fx %+7.1f%%  %s\n", name, b, c, delta*100, status)
+	}
+	extra := 0
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			extra++
+		}
+	}
+	if extra > 0 {
+		fmt.Fprintf(w, "(%d metric(s) in current report have no baseline)\n", extra)
+	}
+	return failures
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleReport = `{
+  "schema": "gsv-bench/1",
+  "tables": [
+    {
+      "id": "E12",
+      "headers": ["tuples", "views", "updates", "serial us/upd", "batched us/upd", "speedup", "screened %", "members equal"],
+      "rows": [
+        ["50", "4", "400", "12.0", "6.0", "2.0x", "71.0", "true"],
+        ["800", "4", "400", "40.0", "10.0", "4.0x", "71.0", "true"]
+      ]
+    },
+    {
+      "id": "E14",
+      "headers": ["replicas", "readers", "upds applied", "reads", "qps", "scaling", "members equal"],
+      "rows": [
+        ["1", "4", "100", "900", "4500", "1.0x", "true"],
+        ["4", "16", "100", "3200", "16000", "3.6x", "true"]
+      ]
+    }
+  ],
+  "benchmarks": [
+    {"name": "E1IncrementalMaintenance/tuples=100", "ns_per_op": 1000},
+    {"name": "E1Recompute/tuples=100", "ns_per_op": 50000}
+  ]
+}`
+
+func write(t *testing.T, doc string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "r.json")
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMetricsExtraction(t *testing.T) {
+	r, err := loadReport(write(t, sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics(r)
+	want := map[string]float64{
+		"E12[tuples=50].speedup":                       2.0,
+		"E12[tuples=800].speedup":                      4.0,
+		"E14[replicas=1].scaling":                      1.0,
+		"E14[replicas=4].scaling":                      3.6,
+		"bench[tuples=100].recompute_over_incremental": 50.0,
+	}
+	for k, v := range want {
+		if got, ok := m[k]; !ok || got != v {
+			t.Errorf("metric %s = %v (present %v), want %v", k, got, ok, v)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("extracted %d metrics %v, want %d", len(m), m, len(want))
+	}
+}
+
+func TestCompareRegressionAndTolerance(t *testing.T) {
+	base := map[string]float64{"E12[tuples=800].speedup": 4.0, "E14[replicas=4].scaling": 3.6}
+	// Within tolerance: 10% down passes at 20%.
+	cur := map[string]float64{"E12[tuples=800].speedup": 3.6, "E14[replicas=4].scaling": 3.6}
+	var out bytes.Buffer
+	if n := compare(&out, base, cur, 0.20, nil); n != 0 {
+		t.Fatalf("10%% drop at 20%% tolerance: %d failures\n%s", n, out.String())
+	}
+	// Beyond tolerance: 50% down fails.
+	cur["E12[tuples=800].speedup"] = 2.0
+	out.Reset()
+	if n := compare(&out, base, cur, 0.20, nil); n != 1 {
+		t.Fatalf("50%% drop at 20%% tolerance: %d failures, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("missing REGRESSED marker:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base := map[string]float64{"E13[tuples=50].speedup": 5.0}
+	var out bytes.Buffer
+	if n := compare(&out, base, map[string]float64{}, 0.20, nil); n != 1 {
+		t.Fatalf("missing metric: %d failures, want 1\n%s", n, out.String())
+	}
+}
+
+func TestCompareGateFilter(t *testing.T) {
+	base := map[string]float64{"E12[tuples=800].speedup": 4.0, "E14[replicas=4].scaling": 3.6}
+	cur := map[string]float64{"E12[tuples=800].speedup": 1.0, "E14[replicas=4].scaling": 3.6}
+	var out bytes.Buffer
+	// Gating only E14 turns the E12 collapse informational.
+	if n := compare(&out, base, cur, 0.20, regexp.MustCompile(`^E14`)); n != 0 {
+		t.Fatalf("ungated regression counted: %d failures\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "regressed (not gated)") {
+		t.Fatalf("missing informational marker:\n%s", out.String())
+	}
+}
+
+func TestLoadReportRejectsWrongSchema(t *testing.T) {
+	if _, err := loadReport(write(t, `{"schema": "gsv-bench/0"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

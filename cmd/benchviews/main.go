@@ -60,6 +60,7 @@ func main() {
 		{"E11", experiments.E11WireValidation},
 		{"E12", experiments.E12ParallelBatchedMaintenance},
 		{"E13", experiments.E13CrashRecovery},
+		{"E14", experiments.E14ReplicaScaling},
 	}
 	var tables []*experiments.Table
 	for _, r := range runners {
@@ -78,7 +79,7 @@ func main() {
 		}
 	}
 	if len(tables) == 0 {
-		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E12)\n", *only)
+		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E14)\n", *only)
 		os.Exit(1)
 	}
 	if *jsonOut {

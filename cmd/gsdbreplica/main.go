@@ -1,0 +1,121 @@
+// Command gsdbreplica runs one read-replica node (docs/REPLICA.md): it
+// bootstraps the primary's materialized views — from a checkpoint
+// directory when one is given, from live snapshots otherwise — tails the
+// primary's changefeed for every view over one multi-view subscription,
+// and serves the read side of the warehouse wire protocol (query,
+// members, stats, subscribe) with a bounded-staleness guarantee.
+//
+// Usage:
+//
+//	gsdbreplica -primary 127.0.0.1:7070 -addr 127.0.0.1:7171
+//	gsdbreplica -primary 127.0.0.1:7070 -addr :7171 \
+//	            -bootstrap /var/lib/gsdb -max-lag 1000 -max-lag-age 5s
+//	gsdbreplica -primary 127.0.0.1:7070 -addr :7171 \
+//	            -debugaddr 127.0.0.1:8181
+//
+// The replica survives primary restarts: the feed connection redials
+// with exponential backoff and resumes from the last applied cursor,
+// falling back to a fresh snapshot when the primary's replay ring has
+// already evicted it. While lag exceeds -max-lag (sequence distance) or
+// -max-lag-age (time since last caught up — which includes being
+// disconnected), data reads are rejected; stats always answer, so
+// operators can see how sick the node is (gsdbwatch -stats).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gsv/internal/obs"
+	"gsv/internal/replica"
+)
+
+func main() {
+	var (
+		primaryAddr = flag.String("primary", "127.0.0.1:7070", "primary server address")
+		addr        = flag.String("addr", "127.0.0.1:7171", "listen address for read traffic")
+		name        = flag.String("name", "replica", "replica name (metrics label, client ID)")
+		bootstrap   = flag.String("bootstrap", "", "primary checkpoint directory to bootstrap from (empty = live snapshot)")
+		maxLag      = flag.Uint64("max-lag", 0, "reject reads when this many base updates behind the primary (0 = unbounded)")
+		maxLagAge   = flag.Duration("max-lag-age", 0, "reject reads when not caught up for this long (0 = unbounded)")
+		ring        = flag.Int("feedring", 1024, "replay ring size per view of the replica's republished changefeed")
+		debug       = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+		dialWait    = flag.Duration("dial-timeout", 30*time.Second, "how long to keep retrying the initial primary dial")
+	)
+	flag.Parse()
+
+	opts := replica.Options{
+		Name:         *name,
+		Primary:      *primaryAddr,
+		BootstrapDir: *bootstrap,
+		MaxLagSeq:    *maxLag,
+		MaxLagAge:    *maxLagAge,
+		RingSize:     *ring,
+	}
+	// The tail loop redials forever once attached, but the very first
+	// dial fails fast so a typo'd -primary is visible; retry it here so
+	// "replica starts before primary" works in scripts and demos.
+	var r *replica.Replica
+	var err error
+	deadline := time.Now().Add(*dialWait)
+	for {
+		r, err = replica.New(opts)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("primary %s: %v", *primaryAddr, err)
+		}
+		log.Printf("waiting for primary %s: %v", *primaryAddr, err)
+		time.Sleep(500 * time.Millisecond)
+	}
+	if *bootstrap != "" {
+		log.Printf("bootstrapped from %s (views: %v)", *bootstrap, r.Views())
+	}
+
+	reg := obs.NewRegistry()
+	r.RegisterObs(reg)
+	server := r.NewServer(reg)
+
+	if *debug != "" {
+		reg.PublishExpvar("gsv")
+		mux := obs.DebugMux(reg)
+		go func() {
+			log.Printf("debug http on %s (/metrics, /debug/vars, /debug/pprof)", *debug)
+			if err := http.ListenAndServe(*debug, mux); err != nil {
+				log.Printf("debug http: %v", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		server.Close()
+		r.Close()
+		os.Exit(0)
+	}()
+
+	if r.WaitCaughtUp(10 * time.Second) {
+		seq, _ := r.Lag()
+		log.Printf("caught up with primary %s (lag %d), serving %v on %s",
+			*primaryAddr, seq, r.Views(), ln.Addr())
+	} else {
+		log.Printf("still catching up with %s, serving %v on %s",
+			*primaryAddr, r.Views(), ln.Addr())
+	}
+	if err := server.Serve(ln); err != nil {
+		log.Printf("server stopped: %v", err)
+	}
+}

@@ -230,6 +230,9 @@ func main() {
 			log.Printf("feed %s: %s", name, qs)
 		}
 		server.Feed = lw.Feed
+		// Replicas (gsdbreplica) and other strict readers resolve view
+		// membership through the "members" wire op.
+		server.Members = lw.FreshMembers
 		// Views quarantined by a failed maintenance step (or a report gap)
 		// are resynced in the background instead of staying stale forever.
 		lw.StartRepairLoop(5 * time.Second)

@@ -286,6 +286,7 @@ func renderStats(out io.Writer, p *warehouse.StatsPayload) {
 				get("gsv_view_repairs_total"), avg)
 		}
 	}
+	renderReplicaStats(out, p)
 	if ws := p.RemoteWire; ws != nil {
 		fmt.Fprintf(out, "client wire: reconnects=%d retries=%d gaps=%d bad-frames=%d\n",
 			ws.QueryReconnects+ws.ReportReconnects, ws.Retries, ws.Gaps, ws.BadFrames)
@@ -304,6 +305,46 @@ func renderStats(out io.Writer, p *warehouse.StatsPayload) {
 				tr.Seq, tr.Kind, tr.View, tr.Outcome, tr.QueryBacks,
 				tr.Helpers.Total(), tr.Inserts, tr.Deletes, float64(tr.TotalNanos)/1e3)
 		}
+	}
+}
+
+// renderReplicaStats prints one line per replica when the stats payload
+// came from a gsdbreplica node (docs/REPLICA.md): its staleness lag,
+// applied feed traffic, resilience counters and gated reads. A primary's
+// payload carries no gsv_replica_* metrics and prints nothing.
+func renderReplicaStats(out io.Writer, p *warehouse.StatsPayload) {
+	replicas := map[string]bool{}
+	var order []string
+	for _, m := range p.Registry.Metrics {
+		if m.Name != "gsv_replica_lag_seq" {
+			continue
+		}
+		if r := m.Labels["replica"]; r != "" && !replicas[r] {
+			replicas[r] = true
+			order = append(order, r)
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.Strings(order)
+	fmt.Fprintf(out, "%-12s %8s %10s %12s %8s %8s %8s %8s %8s\n",
+		"REPLICA", "LAG-SEQ", "LAG-AGE", "APPLIED-SEQ", "EVENTS", "INS", "DEL", "REDIALS", "GATED")
+	for _, name := range order {
+		get := func(metric string, extra ...obs.Label) float64 {
+			mp, _ := p.Registry.Get(metric, append(extra, obs.L("replica", name))...)
+			return mp.Value
+		}
+		fmt.Fprintf(out, "%-12s %8.0f %10s %12.0f %8.0f %8.0f %8.0f %8.0f %8.0f\n",
+			name,
+			get("gsv_replica_lag_seq"),
+			fmt.Sprintf("%.2fs", get("gsv_replica_lag_seconds")),
+			get("gsv_replica_applied_seq"),
+			get("gsv_replica_applied_events_total"),
+			get("gsv_replica_applied_deltas_total", obs.L("op", "insert")),
+			get("gsv_replica_applied_deltas_total", obs.L("op", "delete")),
+			get("gsv_replica_feed_redials_total"),
+			get("gsv_replica_rejected_reads_total"))
 	}
 }
 

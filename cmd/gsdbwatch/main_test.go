@@ -11,6 +11,7 @@ import (
 	"gsv/internal/obs"
 	"gsv/internal/oem"
 	"gsv/internal/query"
+	"gsv/internal/replica"
 	"gsv/internal/store"
 	"gsv/internal/warehouse"
 	"gsv/internal/workload"
@@ -302,6 +303,42 @@ func TestStatsRendersViewTable(t *testing.T) {
 	for _, want := range []string{"server stats @", "VIEW", "YP", "recent traces"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestStatsRendersReplicaSection(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+	server.Members = lw.FreshMembers
+	server.FeedProgressInterval = 20 * time.Millisecond
+	toggle(t, src, lw, server, 2)
+
+	rep, err := replica.New(replica.Options{Name: "watched", Primary: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if !rep.WaitCaughtUp(5 * time.Second) {
+		t.Fatal("replica never caught up")
+	}
+	reg := obs.NewRegistry()
+	rep.RegisterObs(reg)
+	rsrv := rep.NewServer(reg)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = rsrv.Serve(rln) }()
+	defer rsrv.Close()
+
+	var out strings.Builder
+	if err := runStats(&out, statsConfig{addr: rln.Addr().String(), dur: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"REPLICA", "watched", "LAG-SEQ", "APPLIED-SEQ"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("replica stats output missing %q:\n%s", want, got)
 		}
 	}
 }

@@ -231,7 +231,7 @@ func TestAllRuns(t *testing.T) {
 	cfg := SmallConfig()
 	cfg.Updates = 30
 	tables := All(cfg)
-	if len(tables) != 13 {
+	if len(tables) != 14 {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	var buf bytes.Buffer
@@ -244,6 +244,24 @@ func TestAllRuns(t *testing.T) {
 	if buf.Len() == 0 {
 		t.Fatal("no output")
 	}
+}
+
+func TestE14ShapeReplicasConvergeAndServe(t *testing.T) {
+	tb := E14ReplicaScaling(SmallConfig())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[6] != "true" {
+			t.Fatalf("replica membership diverged: %v", row)
+		}
+		if parseCell(t, row[4]) <= 0 {
+			t.Fatalf("no reads measured: %v", row)
+		}
+	}
+	// Near-linear scaling is asserted on the full-size run (cmd/benchviews
+	// and the bench-gate baseline); at test scale we only require that the
+	// tier measures and converges.
 }
 
 func TestE13ShapeRecoveryMatchesAndRuns(t *testing.T) {

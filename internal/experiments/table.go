@@ -149,5 +149,6 @@ func All(cfg Config) []*Table {
 		E11WireValidation(cfg),
 		E12ParallelBatchedMaintenance(cfg),
 		E13CrashRecovery(cfg),
+		E14ReplicaScaling(cfg),
 	}
 }

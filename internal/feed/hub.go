@@ -203,6 +203,45 @@ func (h *Hub) Observer(view string) core.DeltaObserver {
 	return func(_ oem.OID, u store.Update, d core.Deltas) { h.Publish(view, u, d) }
 }
 
+// PublishEvent republishes an already-cursored event, assigning it the
+// next cursor on its view's feed. Replicas use it (after RestoreCursor
+// to ev.Cursor-1) to re-expose applied primary deltas on their own hub
+// with the primary's cursor numbering preserved, so a consumer can move
+// between primary and replica feeds without losing its place. Empty
+// events are not published and return 0.
+func (h *Hub) PublishEvent(ev Event) uint64 {
+	if ev.Empty() {
+		return 0
+	}
+	return h.publish(ev)
+}
+
+// Snapshot answers a view's full current membership together with the
+// cursor it corresponds to, using the registered snapshot function. It
+// is the server side of a snapshot-bootstrap: take a tail subscription
+// first, then call Snapshot — events racing in between re-announce
+// membership the snapshot already reflects, so appliers treat them as
+// idempotent duplicates.
+func (h *Hub) Snapshot(view string) (*Snapshot, error) {
+	h.mu.Lock()
+	vf, ok := h.views[view]
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownView, view)
+	}
+	fn := vf.snapshot
+	cursor := vf.cursor
+	h.mu.Unlock()
+	if fn == nil {
+		return nil, fmt.Errorf("feed: view %s has no snapshot function", view)
+	}
+	members, err := fn()
+	if err != nil {
+		return nil, fmt.Errorf("feed: snapshot for %s: %w", view, err)
+	}
+	return &Snapshot{Cursor: cursor, Members: members}, nil
+}
+
 // append stores ev in the ring, evicting the oldest event when full.
 func (vf *viewFeed) append(ev Event) {
 	if len(vf.ring) == 0 {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -210,6 +211,29 @@ func readCheckpoint(path string, seq uint64) (*Checkpoint, error) {
 		body = body[hdr.Len:]
 	}
 	return c, nil
+}
+
+// LatestCheckpointIn loads the newest checkpoint in dir that validates,
+// without opening the write-ahead log or deleting anything. Corrupt
+// checkpoints are skipped in favor of the previous one; nil (no error)
+// means no valid checkpoint exists. Replica bootstrap uses it to read a
+// primary's checkpoint directory while the primary still owns the log.
+func LatestCheckpointIn(dir string) (*Checkpoint, error) {
+	seqs, err := checkpointSeqs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		c, err := readCheckpoint(filepath.Join(dir, ckptName(seqs[i])), seqs[i])
+		if err == nil {
+			return c, nil
+		}
+		if errors.Is(err, ErrCorrupt) {
+			continue
+		}
+		return nil, err
+	}
+	return nil, nil
 }
 
 // checkpointSeqs lists checkpoint seqs in dir, ascending.

@@ -1,0 +1,102 @@
+package warehouse
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"gsv/internal/store"
+	"gsv/internal/wal"
+)
+
+// This file exposes a read-only view of a warehouse checkpoint so other
+// processes — replica nodes above all — can bootstrap from a primary's
+// checkpoint directory without opening its write-ahead log or knowing
+// the section layout. The section names are package-private on purpose:
+// the checkpoint format belongs to the warehouse, and BootstrapState is
+// the stable surface replicas consume.
+
+// BootstrapView is one view's identity as recorded in a checkpoint.
+type BootstrapView struct {
+	// Name is the view's name (and view-object OID).
+	Name string
+	// Query is the view's definition query text.
+	Query string
+	// Stale reports whether the view was quarantined at checkpoint time;
+	// a replica bootstrapping a stale view should reconcile against a
+	// fresh snapshot before serving it.
+	Stale bool
+	// FeedCursor is the view's changefeed cursor at checkpoint time.
+	FeedCursor uint64
+}
+
+// BootstrapState is everything a replica needs from a checkpoint: the
+// serialized view store and the per-view identities and feed cursors.
+type BootstrapState struct {
+	// Seq is the base update sequence the checkpoint covers.
+	Seq uint64
+	// StoreBytes is the serialized view store (store.Store.Load format):
+	// view objects and delegates for every checkpointed view.
+	StoreBytes []byte
+	// Views lists the checkpointed views.
+	Views []BootstrapView
+}
+
+// ReadBootstrapState loads the newest valid checkpoint in dir and
+// extracts the replica-relevant sections. It returns nil (no error) when
+// the directory holds no valid checkpoint — the caller then bootstraps
+// from a live snapshot instead.
+func ReadBootstrapState(dir string) (*BootstrapState, error) {
+	ckpt, err := wal.LatestCheckpointIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ckpt == nil {
+		return nil, nil
+	}
+	return bootstrapFromCheckpoint(ckpt)
+}
+
+// bootstrapFromCheckpoint extracts a BootstrapState from one checkpoint.
+func bootstrapFromCheckpoint(ckpt *wal.Checkpoint) (*BootstrapState, error) {
+	bs := &BootstrapState{Seq: ckpt.Seq, StoreBytes: ckpt.Section(ckptSectionStore)}
+	cursors := map[string]uint64{}
+	if raw := ckpt.Section(ckptSectionFeed); len(raw) > 0 {
+		if err := json.Unmarshal(raw, &cursors); err != nil {
+			return nil, fmt.Errorf("warehouse: bootstrap feed cursors: %w", err)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(ckpt.Section(ckptSectionViews)))
+	for {
+		var m viewMeta
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("warehouse: bootstrap view metadata: %w", err)
+		}
+		bs.Views = append(bs.Views, BootstrapView{
+			Name:       m.Name,
+			Query:      m.Query,
+			Stale:      ViewState(m.State) != ViewFresh,
+			FeedCursor: cursors[m.Name],
+		})
+	}
+	return bs, nil
+}
+
+// LoadStore materializes the checkpoint's view store into a fresh store
+// configured exactly like a warehouse view store (parent and label
+// indexes, dangling references allowed).
+func (bs *BootstrapState) LoadStore() (*store.Store, error) {
+	s := store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
+	if len(bs.StoreBytes) == 0 {
+		return s, nil
+	}
+	if err := s.Load(bytes.NewReader(bs.StoreBytes)); err != nil {
+		return nil, fmt.Errorf("warehouse: bootstrap view store: %w", err)
+	}
+	return s, nil
+}

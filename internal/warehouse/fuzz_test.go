@@ -22,6 +22,9 @@ func FuzzNetFrame(f *testing.F) {
 		[]byte(`{"op":"subtree","oid":"P1","depth":2}`),
 		[]byte(`{"op":"nonsense"}`),
 		[]byte(`{"view":"YP","resume":true,"from":3,"policy":"drop"}`),
+		[]byte(`{"views":["HOT","COLD"],"froms":{"HOT":41},"snapshot":true}`),
+		[]byte(`{"views":["*"],"snapshot":true,"policy":"drop-oldest","buffer":8}`),
+		[]byte(`{"views":[],"froms":{"":0}}`),
 		[]byte(`{"op":"object","oid":"P1"} trailing garbage`),
 		[]byte(`{"op":`),
 		[]byte(`[1,2,3]`),

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +89,8 @@ type netRequest struct {
 	Path  pathexpr.Path `json:"path,omitempty"`
 	Depth int           `json:"depth,omitempty"`
 	Query string        `json:"query,omitempty"`
+	// View names the target view for the "members" op.
+	View string `json:"view,omitempty"`
 }
 
 // netResponse is one query-mode response.
@@ -98,7 +101,10 @@ type netResponse struct {
 	Objects []*oem.Object `json:"objects,omitempty"`
 	Info    *PathInfo     `json:"info,omitempty"`
 	Stats   *StatsPayload `json:"stats,omitempty"`
-	Seq     uint64        `json:"seq"`
+	// Members answers the "members" op: the named view's full current
+	// membership (base OIDs, sorted).
+	Members []oem.OID `json:"members,omitempty"`
+	Seq     uint64    `json:"seq"`
 }
 
 // Server exposes one Source on a listener.
@@ -120,6 +126,21 @@ type Server struct {
 	// stalled peer cannot wedge a handler goroutine forever. Set it
 	// before Serve.
 	IOTimeout time.Duration
+	// Members, when non-nil, answers the "members" query-mode op: the
+	// full current membership of a named view. Serving applications wire
+	// it to their warehouse's FreshMembers (primaries) or the replica's
+	// view set (replicas); nil servers answer with an unknown-op error so
+	// old binaries stay protocol-compatible.
+	Members func(view string) ([]oem.OID, error)
+	// ReadGate, when non-nil, runs before every query-mode op. A non-nil
+	// error is returned to the client instead of the op's result —
+	// replicas use it to enforce the bounded-staleness guarantee
+	// (rejecting data reads while lag exceeds the bound) while letting
+	// "stats" through so operators can inspect a lagging node.
+	ReadGate func(op string) error
+	// FeedProgressInterval paces the progress heartbeat frames on
+	// multi-view subscriptions; 0 means the 500ms default.
+	FeedProgressInterval time.Duration
 
 	// DroppedBroadcasts counts report frames discarded because a report
 	// stream's buffer was full (a slow or dead consumer). The consumer
@@ -143,6 +164,15 @@ func NewServer(src *Source) *Server {
 // listener's final error (net.ErrClosed after Close).
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
+	select {
+	case <-s.done:
+		// Close already ran (it found no listener to tear down): serving
+		// now would squat on the address with nobody left to release it.
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	default:
+	}
 	s.ln = ln
 	s.mu.Unlock()
 	for {
@@ -155,6 +185,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		case <-s.done:
 			s.mu.Unlock()
 			conn.Close()
+			ln.Close()
 			return net.ErrClosed
 		default:
 		}
@@ -288,6 +319,11 @@ func (s *Server) handleQueries(conn net.Conn, br *bufio.Reader) {
 // *source's* transport; the warehouse-side client charges its own, so the
 // double-entry stays separated per site.
 func (s *Server) dispatch(req netRequest) netResponse {
+	if s.ReadGate != nil {
+		if err := s.ReadGate(req.Op); err != nil {
+			return netResponse{Err: err.Error()}
+		}
+	}
 	switch req.Op {
 	case "object":
 		o, err := s.Src.FetchObject(req.OID)
@@ -335,6 +371,17 @@ func (s *Server) dispatch(req netRequest) netResponse {
 			return netResponse{Err: errStr}
 		}
 		return netResponse{Found: true, Stats: payload}
+	case "members":
+		if s.Members == nil {
+			// Answer exactly like an old binary so clients map it to
+			// ErrUnsupportedRequest.
+			return netResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		}
+		members, err := s.Members(req.View)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		return netResponse{Found: true, Members: members}
 	default:
 		return netResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -406,6 +453,18 @@ type feedRequest struct {
 	Policy string `json:"policy,omitempty"`
 	// Buffer sizes the per-subscriber channel; 0 means the hub default.
 	Buffer int `json:"buffer,omitempty"`
+	// Views, when non-empty, selects the multi-view subscription mode:
+	// one connection carries every named view's events plus periodic
+	// progress frames (docs/REPLICA.md). ["*"] subscribes to every view
+	// the hub knows. View/Resume/From are ignored; per-view resume
+	// cursors travel in Froms. Old servers ignore this field and answer
+	// a single-view hello for the empty View — clients detect that as a
+	// version mismatch (ErrUnsupportedRequest).
+	Views []string `json:"views,omitempty"`
+	// Froms maps view name to the last cursor the client consumed; a
+	// view listed in Views but absent here tails from the current cursor
+	// (with a full snapshot when Snapshot is set).
+	Froms map[string]uint64 `json:"froms,omitempty"`
 }
 
 // FeedSnapshot carries a full view membership when a resume cursor has
@@ -434,6 +493,12 @@ type feedHello struct {
 	// Snapshot is present when the resume cursor was evicted and the
 	// client asked for snapshot fallback.
 	Snapshot *FeedSnapshot `json:"snapshot,omitempty"`
+	// Seq and Views answer multi-view subscriptions (feedRequest.Views):
+	// the primary's base sequence number at subscribe time and one
+	// handshake entry per subscribed view. Single-view subscriptions
+	// leave them empty.
+	Seq   uint64          `json:"seq,omitempty"`
+	Views []FeedViewHello `json:"views,omitempty"`
 }
 
 func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
@@ -454,6 +519,10 @@ func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
 	if err := decodeFrame(sc.Bytes(), &req); err != nil {
 		s.armWrite(conn)
 		_ = enc.Encode(feedHello{Err: err.Error()})
+		return
+	}
+	if len(req.Views) > 0 {
+		s.handleMultiSubscribe(conn, br, enc, hub, req)
 		return
 	}
 	policy, err := feed.ParsePolicy(req.Policy)
@@ -812,6 +881,16 @@ func (rs *RemoteSource) dialMode(mode string) (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	if conn.LocalAddr().String() == conn.RemoteAddr().String() {
+		// TCP self-connection (loopback dial with no listener landing on
+		// an ephemeral source port equal to the destination): the socket
+		// echoes our own mode line back as a plausible handshake and
+		// squats on the server's port so a restart cannot rebind it.
+		// Abortive close — a TIME_WAIT here would hold the port just as
+		// hostage, since dialed sockets carry no SO_REUSEADDR.
+		abortConn(conn)
+		return nil, fmt.Errorf("warehouse: dial %s: self-connection", rs.addr)
+	}
 	if rs.opts.IOTimeout > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(rs.opts.IOTimeout))
 	}
@@ -821,6 +900,15 @@ func (rs *RemoteSource) dialMode(mode string) (net.Conn, error) {
 	}
 	_ = conn.SetWriteDeadline(time.Time{})
 	return conn, nil
+}
+
+// abortConn closes conn abortively (RST, no TIME_WAIT) when it is a TCP
+// connection, gracefully otherwise.
+func abortConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = conn.Close()
 }
 
 // dialReports opens a report-mode connection and waits for the server's
@@ -1273,6 +1361,23 @@ func (rs *RemoteSource) FetchQuery(q *query.Query) ([]*oem.Object, error) {
 		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
 	}
 	return resp.Objects, nil
+}
+
+// FetchMembers asks the connected server for a view's full current
+// membership (the "members" op). A server that predates the op answers
+// with its unknown-op error, surfaced as ErrUnsupportedRequest.
+func (rs *RemoteSource) FetchMembers(view string) ([]oem.OID, error) {
+	resp, err := rs.roundTrip(netRequest{Op: "members", View: view})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		if strings.Contains(resp.Err, "unknown op") {
+			return nil, fmt.Errorf("%w: %s", ErrUnsupportedRequest, resp.Err)
+		}
+		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	return resp.Members, nil
 }
 
 var _ SourceAPI = (*RemoteSource)(nil)

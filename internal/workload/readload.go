@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the read side of the workload package: a load generator
+// that drives view reads against warehouse wire-protocol servers
+// (primaries or replicas) and measures throughput. It speaks the raw
+// line-delimited JSON protocol directly — workload sits below warehouse
+// in the dependency order, and a reader needs only two request shapes —
+// so it can hammer any number of addresses without sharing client
+// machinery (each connection is independent, like real readers).
+
+// ReadLoadConfig configures RunReadLoad.
+type ReadLoadConfig struct {
+	// Addrs are the servers to read from; clients are spread across them
+	// round-robin.
+	Addrs []string
+	// Clients is the total number of concurrent reader connections
+	// (default 4).
+	Clients int
+	// Duration is how long to drive reads (default 1s).
+	Duration time.Duration
+	// Views are the view names to query via the "members" op; one is
+	// picked per request. Empty means Objects must be set.
+	Views []string
+	// Objects, when non-empty, mixes in "object" fetches of these OIDs
+	// (half the requests, alternating with members reads).
+	Objects []OIDList
+	// Seed seeds per-client request interleaving (default 1).
+	Seed int64
+	// IOTimeout bounds each request round trip (default 5s).
+	IOTimeout time.Duration
+}
+
+// OIDList is one server's fetchable OIDs (index-aligned with Addrs when
+// lengths match; otherwise list 0 is used for every server).
+type OIDList []string
+
+// ReadLoadResult aggregates one RunReadLoad run.
+type ReadLoadResult struct {
+	// Reads is the number of successful read responses.
+	Reads uint64
+	// Rejected counts reads the server refused (staleness gate, stale
+	// view): the connection survived, the response carried an error.
+	Rejected uint64
+	// Errors counts transport-level failures (dial, write, read).
+	Errors uint64
+	// Elapsed is the measured wall-clock window.
+	Elapsed time.Duration
+	// PerAddr is the successful-read count by server address.
+	PerAddr map[string]uint64
+}
+
+// QPS is the successful read throughput.
+func (r ReadLoadResult) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Reads) / r.Elapsed.Seconds()
+}
+
+// readRequest is the wire shape of the two read ops this generator
+// drives ("members" and "object"); it mirrors the warehouse protocol's
+// query-mode request frame.
+type readRequest struct {
+	Op   string `json:"op"`
+	OID  string `json:"oid,omitempty"`
+	View string `json:"view,omitempty"`
+}
+
+// readResponse is the subset of the response frame the generator needs.
+type readResponse struct {
+	Err     string   `json:"err,omitempty"`
+	Members []string `json:"members,omitempty"`
+	Objects []any    `json:"objects,omitempty"`
+}
+
+// RunReadLoad drives concurrent view reads against cfg.Addrs for
+// cfg.Duration and reports aggregate throughput. Each client owns one
+// TCP connection in "query" mode and issues requests back to back; a
+// transport error tears the connection down and the client redials, so
+// a flaky server costs throughput rather than aborting the run.
+func RunReadLoad(cfg ReadLoadConfig) ReadLoadResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 5 * time.Second
+	}
+	res := ReadLoadResult{PerAddr: make(map[string]uint64, len(cfg.Addrs))}
+	if len(cfg.Addrs) == 0 || (len(cfg.Views) == 0 && len(cfg.Objects) == 0) {
+		return res
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		addr := cfg.Addrs[i%len(cfg.Addrs)]
+		objs := OIDList{}
+		if len(cfg.Objects) == len(cfg.Addrs) {
+			objs = cfg.Objects[i%len(cfg.Addrs)]
+		} else if len(cfg.Objects) > 0 {
+			objs = cfg.Objects[0]
+		}
+		wg.Add(1)
+		go func(addr string, objs OIDList, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var reads, rejected, errors uint64
+			defer func() {
+				mu.Lock()
+				res.Reads += reads
+				res.Rejected += rejected
+				res.Errors += errors
+				res.PerAddr[addr] += reads
+				mu.Unlock()
+			}()
+			var conn net.Conn
+			var br *bufio.Reader
+			dial := func() bool {
+				var err error
+				conn, err = net.DialTimeout("tcp", addr, cfg.IOTimeout)
+				if err != nil {
+					errors++
+					return false
+				}
+				if _, err := conn.Write([]byte("query\n")); err != nil {
+					errors++
+					conn.Close()
+					conn = nil
+					return false
+				}
+				br = bufio.NewReader(conn)
+				return true
+			}
+			defer func() {
+				if conn != nil {
+					conn.Close()
+				}
+			}()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if conn == nil && !dial() {
+					select {
+					case <-stop:
+						return
+					case <-time.After(10 * time.Millisecond):
+					}
+					continue
+				}
+				req := readRequest{}
+				if len(objs) > 0 && (len(cfg.Views) == 0 || rng.Intn(2) == 0) {
+					req.Op = "object"
+					req.OID = objs[rng.Intn(len(objs))]
+				} else {
+					req.Op = "members"
+					req.View = cfg.Views[rng.Intn(len(cfg.Views))]
+				}
+				frame, err := json.Marshal(req)
+				if err != nil {
+					errors++
+					return
+				}
+				_ = conn.SetDeadline(time.Now().Add(cfg.IOTimeout))
+				if _, err := conn.Write(append(frame, '\n')); err != nil {
+					errors++
+					conn.Close()
+					conn = nil
+					continue
+				}
+				line, err := br.ReadBytes('\n')
+				if err != nil {
+					errors++
+					conn.Close()
+					conn = nil
+					continue
+				}
+				var resp readResponse
+				if err := json.Unmarshal(line, &resp); err != nil {
+					errors++
+					conn.Close()
+					conn = nil
+					continue
+				}
+				if resp.Err != "" {
+					rejected++
+					continue
+				}
+				reads++
+			}
+		}(addr, objs, cfg.Seed+int64(i)*7919)
+	}
+	timer := time.NewTimer(cfg.Duration)
+	<-timer.C
+	close(stop)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// String summarizes the result for logs.
+func (r ReadLoadResult) String() string {
+	return fmt.Sprintf("%d reads in %s (%.0f qps, %d rejected, %d errors)",
+		r.Reads, r.Elapsed.Round(time.Millisecond), r.QPS(), r.Rejected, r.Errors)
+}

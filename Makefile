@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos crash cover bench bench-json bench-parallel bench-gate experiments examples fuzz fmt vet ci demo-feed demo-replica clean
+.PHONY: all build test race chaos crash cover bench bench-json bench-parallel bench-gate experiments examples fuzz fmt vet ci demo-feed demo-replica trace-smoke clean
 
 all: build vet test
 
@@ -14,6 +14,7 @@ ci:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
 	$(GO) test -race ./...
+	$(MAKE) trace-smoke
 
 build:
 	$(GO) build ./...
@@ -127,6 +128,52 @@ demo-replica:
 	./bin/gsdbwatch -addr 127.0.0.1:7082 -follow HOT -from 0 -snapshot -for 6s; \
 	./bin/gsdbwatch -addr 127.0.0.1:7082 -stats -for 2s; \
 	kill $$REPL $$SERVE 2>/dev/null || true
+
+# Trace smoke (CI's trace-smoke job): a durable primary under live
+# updates plus one replica, then assert the observability tentpole end
+# to end — span waterfalls render from BOTH nodes over the trace wire
+# op, and both /readyz probes answer healthy while in bounds.
+trace-smoke:
+	@mkdir -p bin
+	@$(GO) build -o bin/gsdbserve ./cmd/gsdbserve
+	@$(GO) build -o bin/gsdbreplica ./cmd/gsdbreplica
+	@$(GO) build -o bin/gsdbwatch ./cmd/gsdbwatch
+	@rm -rf /tmp/gsv-trace-smoke && mkdir -p /tmp/gsv-trace-smoke
+	@./bin/gsdbserve -addr 127.0.0.1:7083 -sample relations -tuples 20 \
+		-updates 120 -interval 25ms -data /tmp/gsv-trace-smoke \
+		-feed 'HOT=SELECT REL.r0.tuple X WHERE X.age > 30' \
+		-debugaddr 127.0.0.1:8083 & \
+	SERVE=$$!; sleep 1; \
+	./bin/gsdbreplica -primary 127.0.0.1:7083 -addr 127.0.0.1:7084 \
+		-name smoke -max-lag-age 30s -debugaddr 127.0.0.1:8084 & \
+	REPL=$$!; sleep 4; \
+	rc=0; \
+	./bin/gsdbwatch -addr 127.0.0.1:7083 -trace -last 0 | tee /tmp/gsv-trace-smoke/primary.out; \
+	grep -q 'maintain' /tmp/gsv-trace-smoke/primary.out || \
+		{ echo "trace-smoke: no maintain span on primary" >&2; rc=1; }; \
+	grep -q ' wal ' /tmp/gsv-trace-smoke/primary.out || \
+		{ echo "trace-smoke: no WAL span on primary" >&2; rc=1; }; \
+	./bin/gsdbwatch -addr 127.0.0.1:7084 -trace -last 0 | tee /tmp/gsv-trace-smoke/replica.out; \
+	grep -q ' apply ' /tmp/gsv-trace-smoke/replica.out || \
+		{ echo "trace-smoke: no apply span on replica" >&2; rc=1; }; \
+	grep -oh 'trace [^ ]*' /tmp/gsv-trace-smoke/primary.out | sort -u > /tmp/gsv-trace-smoke/pids; \
+	grep -oh 'trace [^ ]*' /tmp/gsv-trace-smoke/replica.out | sort -u > /tmp/gsv-trace-smoke/rids; \
+	comm -12 /tmp/gsv-trace-smoke/pids /tmp/gsv-trace-smoke/rids | grep -q . || \
+		{ echo "trace-smoke: no trace id joins across primary and replica" >&2; rc=1; }; \
+	curl -fsS -o /tmp/gsv-trace-smoke/p-ready http://127.0.0.1:8083/readyz && \
+	grep -q ready /tmp/gsv-trace-smoke/p-ready || \
+		{ echo "trace-smoke: primary /readyz unhealthy" >&2; rc=1; }; \
+	curl -fsS -o /tmp/gsv-trace-smoke/r-ready http://127.0.0.1:8084/readyz && \
+	grep -q ready /tmp/gsv-trace-smoke/r-ready || \
+		{ echo "trace-smoke: replica /readyz unhealthy" >&2; rc=1; }; \
+	curl -fsS -o /tmp/gsv-trace-smoke/p-metrics http://127.0.0.1:8083/metrics && \
+	grep -q 'gsv_propagation_seconds' /tmp/gsv-trace-smoke/p-metrics || \
+		{ echo "trace-smoke: no propagation histogram on primary" >&2; rc=1; }; \
+	curl -fsS -o /tmp/gsv-trace-smoke/r-metrics http://127.0.0.1:8084/metrics && \
+	grep -q 'gsv_view_watermark_seconds' /tmp/gsv-trace-smoke/r-metrics || \
+		{ echo "trace-smoke: no watermark gauge on replica" >&2; rc=1; }; \
+	kill $$REPL $$SERVE 2>/dev/null || true; \
+	exit $$rc
 
 clean:
 	rm -rf bin

@@ -5,7 +5,9 @@
 // plus the recompute/incremental ratio of the paired E1
 // micro-benchmarks. Ratios, not absolute times, are what transfer
 // between machines: both legs of each ratio ran on the same box, so the
-// box divides out.
+// box divides out. Latency columns ("p99 prop", E14's propagation
+// freshness) are also gated, in the opposite direction — they regress
+// by rising.
 //
 // The committed baseline lives in bench/ (see EXPERIMENTS.md); CI's
 // bench-gate job regenerates a current report with the same
@@ -78,6 +80,31 @@ func ratioColumn(header string) bool {
 	return strings.Contains(h, "speedup") || strings.Contains(h, "scaling")
 }
 
+// latencyColumn reports whether a table column holds a gated latency —
+// lower is better, unlike ratios. E14's "p99 prop" (propagation
+// freshness) is the one such column today.
+func latencyColumn(header string) bool {
+	return strings.Contains(strings.ToLower(header), "p99")
+}
+
+// parseLatency reads a latency cell ("1.25ms"). Unparseable or
+// non-positive cells report !ok and are not gated (a tier that applied
+// no stamped updates reports 0.00ms).
+func parseLatency(cell string) (float64, bool) {
+	cell = strings.TrimSuffix(strings.TrimSpace(cell), "ms")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// lowerIsBetter reports the comparison direction for a metric name:
+// latency metrics regress upward, ratios downward.
+func lowerIsBetter(name string) bool {
+	return strings.HasSuffix(name, ".p99")
+}
+
 // metrics flattens a report into named ratios. Table rows are keyed by
 // their first (identity) column so the key survives reordering:
 // "E12[tuples=800].speedup". Micro-benchmarks contribute
@@ -86,7 +113,8 @@ func metrics(r *report) map[string]float64 {
 	out := make(map[string]float64)
 	for _, t := range r.Tables {
 		for col, h := range t.Headers {
-			if !ratioColumn(h) {
+			ratio, latency := ratioColumn(h), latencyColumn(h)
+			if !ratio && !latency {
 				continue
 			}
 			field := strings.Fields(strings.ToLower(h))[0]
@@ -94,7 +122,11 @@ func metrics(r *report) map[string]float64 {
 				if col >= len(row) || len(row) == 0 {
 					continue
 				}
-				v, ok := parseRatio(row[col])
+				parse := parseRatio
+				if latency {
+					parse = parseLatency
+				}
+				v, ok := parse(row[col])
 				if !ok {
 					continue
 				}
@@ -183,6 +215,10 @@ func compare(w io.Writer, base, cur map[string]float64, tolerance float64, gateR
 	for _, name := range names {
 		b := base[name]
 		enforced := gateRe == nil || gateRe.MatchString(name)
+		unit := "x"
+		if lowerIsBetter(name) {
+			unit = "ms"
+		}
 		c, ok := cur[name]
 		if !ok {
 			status := "MISSING"
@@ -191,21 +227,26 @@ func compare(w io.Writer, base, cur map[string]float64, tolerance float64, gateR
 			} else {
 				status = "missing (not gated)"
 			}
-			fmt.Fprintf(w, "%-50s %9.2fx %10s %8s  %s\n", name, b, "-", "-", status)
+			fmt.Fprintf(w, "%-50s %8.2f%s %10s %8s  %s\n", name, b, unit, "-", "-", status)
 			continue
 		}
 		delta := (c - b) / b
+		// Ratios regress by falling, latencies (".p99") by rising.
+		worse, better := c < b*(1-tolerance), c > b*(1+tolerance)
+		if lowerIsBetter(name) {
+			worse, better = c > b*(1+tolerance), c < b*(1-tolerance)
+		}
 		status := "ok"
 		switch {
-		case c < b*(1-tolerance) && enforced:
+		case worse && enforced:
 			status = "REGRESSED"
 			failures++
-		case c < b*(1-tolerance):
+		case worse:
 			status = "regressed (not gated)"
-		case c > b*(1+tolerance):
+		case better:
 			status = "improved"
 		}
-		fmt.Fprintf(w, "%-50s %9.2fx %9.2fx %+7.1f%%  %s\n", name, b, c, delta*100, status)
+		fmt.Fprintf(w, "%-50s %8.2f%s %8.2f%s %+7.1f%%  %s\n", name, b, unit, c, unit, delta*100, status)
 	}
 	extra := 0
 	for k := range cur {

@@ -22,10 +22,10 @@ const sampleReport = `{
     },
     {
       "id": "E14",
-      "headers": ["replicas", "readers", "upds applied", "reads", "qps", "scaling", "members equal"],
+      "headers": ["replicas", "readers", "upds applied", "reads", "qps", "scaling", "p99 prop", "members equal"],
       "rows": [
-        ["1", "4", "100", "900", "4500", "1.0x", "true"],
-        ["4", "16", "100", "3200", "16000", "3.6x", "true"]
+        ["1", "4", "100", "900", "4500", "1.0x", "0.40ms", "true"],
+        ["4", "16", "100", "3200", "16000", "3.6x", "0.00ms", "true"]
       ]
     }
   ],
@@ -51,10 +51,13 @@ func TestMetricsExtraction(t *testing.T) {
 	}
 	m := metrics(r)
 	want := map[string]float64{
-		"E12[tuples=50].speedup":                       2.0,
-		"E12[tuples=800].speedup":                      4.0,
-		"E14[replicas=1].scaling":                      1.0,
-		"E14[replicas=4].scaling":                      3.6,
+		"E12[tuples=50].speedup":  2.0,
+		"E12[tuples=800].speedup": 4.0,
+		"E14[replicas=1].scaling": 1.0,
+		"E14[replicas=4].scaling": 3.6,
+		"E14[replicas=1].p99":     0.40,
+		// replicas=4's "0.00ms" p99 means no stamped updates were
+		// applied and must NOT become a metric.
 		"bench[tuples=100].recompute_over_incremental": 50.0,
 	}
 	for k, v := range want {
@@ -83,6 +86,26 @@ func TestCompareRegressionAndTolerance(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "REGRESSED") {
 		t.Fatalf("missing REGRESSED marker:\n%s", out.String())
+	}
+}
+
+func TestCompareLatencyDirection(t *testing.T) {
+	base := map[string]float64{"E14[replicas=1].p99": 0.40}
+	var out bytes.Buffer
+	// A latency FALLING far beyond tolerance is an improvement.
+	if n := compare(&out, base, map[string]float64{"E14[replicas=1].p99": 0.10}, 0.20, nil); n != 0 {
+		t.Fatalf("latency drop counted as regression: %d failures\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "improved") {
+		t.Fatalf("missing improved marker:\n%s", out.String())
+	}
+	// Rising beyond tolerance fails.
+	out.Reset()
+	if n := compare(&out, base, map[string]float64{"E14[replicas=1].p99": 0.60}, 0.20, nil); n != 1 {
+		t.Fatalf("50%% latency rise at 20%% tolerance: %d failures, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "ms") {
+		t.Fatalf("latency regression output:\n%s", out.String())
 	}
 }
 

@@ -3,7 +3,7 @@
 // directory when one is given, from live snapshots otherwise — tails the
 // primary's changefeed for every view over one multi-view subscription,
 // and serves the read side of the warehouse wire protocol (query,
-// members, stats, subscribe) with a bounded-staleness guarantee.
+// members, stats, trace, subscribe) with a bounded-staleness guarantee.
 //
 // Usage:
 //
@@ -18,13 +18,18 @@
 // falling back to a fresh snapshot when the primary's replay ring has
 // already evicted it. While lag exceeds -max-lag (sequence distance) or
 // -max-lag-age (time since last caught up — which includes being
-// disconnected), data reads are rejected; stats always answer, so
-// operators can see how sick the node is (gsdbwatch -stats).
+// disconnected), data reads are rejected; stats and trace always answer,
+// so operators can see how sick the node is (gsdbwatch -stats, -trace).
+// With -debugaddr the same bounds gate /readyz (503 while lag exceeds
+// them); /healthz, /metrics, /debug/vars and /debug/pprof are served
+// alongside. Logging goes to stderr via log/slog; -log-level picks the
+// verbosity.
 package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -36,6 +41,22 @@ import (
 	"gsv/internal/replica"
 )
 
+// fatal logs at error level and exits — the slog analogue of log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
+// setupLogging installs the process-wide slog handler.
+func setupLogging(level string) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "-log-level %q: %v\n", level, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+}
+
 func main() {
 	var (
 		primaryAddr = flag.String("primary", "127.0.0.1:7070", "primary server address")
@@ -45,10 +66,12 @@ func main() {
 		maxLag      = flag.Uint64("max-lag", 0, "reject reads when this many base updates behind the primary (0 = unbounded)")
 		maxLagAge   = flag.Duration("max-lag-age", 0, "reject reads when not caught up for this long (0 = unbounded)")
 		ring        = flag.Int("feedring", 1024, "replay ring size per view of the replica's republished changefeed")
-		debug       = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+		debug       = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /healthz, /readyz, /debug/vars and /debug/pprof (empty = off)")
 		dialWait    = flag.Duration("dial-timeout", 30*time.Second, "how long to keep retrying the initial primary dial")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	)
 	flag.Parse()
+	setupLogging(*logLevel)
 
 	opts := replica.Options{
 		Name:         *name,
@@ -70,13 +93,13 @@ func main() {
 			break
 		}
 		if time.Now().After(deadline) {
-			log.Fatalf("primary %s: %v", *primaryAddr, err)
+			fatal("primary unreachable", "primary", *primaryAddr, "err", err)
 		}
-		log.Printf("waiting for primary %s: %v", *primaryAddr, err)
+		slog.Info("waiting for primary", "primary", *primaryAddr, "err", err)
 		time.Sleep(500 * time.Millisecond)
 	}
 	if *bootstrap != "" {
-		log.Printf("bootstrapped from %s (views: %v)", *bootstrap, r.Views())
+		slog.Info("bootstrapped from checkpoint", "dir", *bootstrap, "views", fmt.Sprint(r.Views()))
 	}
 
 	reg := obs.NewRegistry()
@@ -86,17 +109,21 @@ func main() {
 	if *debug != "" {
 		reg.PublishExpvar("gsv")
 		mux := obs.DebugMux(reg)
+		// Readiness gates on the same staleness bounds as the read gate:
+		// /readyz answers 503 while lag exceeds -max-lag/-max-lag-age.
+		obs.HealthHandlers(mux, r.Ready)
 		go func() {
-			log.Printf("debug http on %s (/metrics, /debug/vars, /debug/pprof)", *debug)
+			slog.Info("debug http listening", "addr", *debug,
+				"endpoints", "/metrics /healthz /readyz /debug/vars /debug/pprof")
 			if err := http.ListenAndServe(*debug, mux); err != nil {
-				log.Printf("debug http: %v", err)
+				slog.Error("debug http stopped", "err", err)
 			}
 		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -109,13 +136,13 @@ func main() {
 
 	if r.WaitCaughtUp(10 * time.Second) {
 		seq, _ := r.Lag()
-		log.Printf("caught up with primary %s (lag %d), serving %v on %s",
-			*primaryAddr, seq, r.Views(), ln.Addr())
+		slog.Info("caught up with primary, serving",
+			"primary", *primaryAddr, "lag", seq, "views", fmt.Sprint(r.Views()), "addr", ln.Addr().String())
 	} else {
-		log.Printf("still catching up with %s, serving %v on %s",
-			*primaryAddr, r.Views(), ln.Addr())
+		slog.Info("still catching up, serving",
+			"primary", *primaryAddr, "views", fmt.Sprint(r.Views()), "addr", ln.Addr().String())
 	}
 	if err := server.Serve(ln); err != nil {
-		log.Printf("server stopped: %v", err)
+		slog.Info("server stopped", "err", err)
 	}
 }

@@ -22,9 +22,11 @@
 //	          -chaos -chaos-err 0.05 -chaos-drop 0.02 -chaos-seed 42
 //
 // With -debugaddr the server additionally serves /metrics (Prometheus
-// text format), /debug/vars (expvar) and /debug/pprof over HTTP, and the
+// text format), /healthz and /readyz (readiness gates on view
+// staleness), /debug/vars (expvar) and /debug/pprof over HTTP, and the
 // same registry is available to remote clients through the "stats" wire
-// request (gsdbwatch -stats); see docs/OBSERVABILITY.md.
+// request (gsdbwatch -stats); recent propagation span chains answer the
+// "trace" request (gsdbwatch -trace). See docs/OBSERVABILITY.md.
 //
 // With -data DIR the -feed warehouse is durable (docs/DURABILITY.md): a
 // write-ahead log of update reports plus periodic checkpoints land in
@@ -48,13 +50,15 @@
 // model") without any external tooling. Injected faults are counted in
 // the metrics registry (gsv_faults_injected_total).
 //
-// Every applied update is broadcast to connected report streams; progress
-// is logged to stderr.
+// Every applied update is broadcast to connected report streams;
+// progress is logged to stderr via log/slog (-log-level picks the
+// verbosity; per-update lines log at debug with their trace IDs).
 package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -84,6 +88,22 @@ func (f *feedSpecs) Set(v string) error {
 	return nil
 }
 
+// fatal logs at error level and exits — the slog analogue of log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
+// setupLogging installs the process-wide slog handler.
+func setupLogging(level string) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "-log-level %q: %v\n", level, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+}
+
 func main() {
 	var feeds feedSpecs
 	var (
@@ -97,7 +117,8 @@ func main() {
 		interval = flag.Duration("interval", 250*time.Millisecond, "delay between driven updates")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		feedRing = flag.Int("feedring", 1024, "changefeed replay ring size per view")
-		debug    = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+		debug    = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /healthz, /readyz, /debug/vars and /debug/pprof (empty = off)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 
 		dataDir  = flag.String("data", "", "durability directory for the -feed warehouse: WAL + checkpoints, recovered on restart (empty = in-memory)")
 		fsync    = flag.String("fsync", "interval", "WAL fsync policy with -data: always|interval|never")
@@ -113,6 +134,7 @@ func main() {
 	)
 	flag.Var(&feeds, "feed", "host a warehouse view NAME=QUERY and expose its changefeed (repeatable)")
 	flag.Parse()
+	setupLogging(*logLevel)
 
 	s := store.NewDefault()
 	var sets, atoms []oem.OID
@@ -120,10 +142,10 @@ func main() {
 	switch {
 	case *snapshot != "":
 		if _, err := openSnapshot(*snapshot, s); err != nil {
-			log.Fatalf("snapshot: %v", err)
+			fatal("opening snapshot failed", "path", *snapshot, "err", err)
 		}
 		if rootOID == "" {
-			log.Fatal("-root is required with -snapshot")
+			fatal("-root is required with -snapshot")
 		}
 	case *sample == "person":
 		workload.PersonDB(s)
@@ -151,7 +173,7 @@ func main() {
 			}
 		}
 	default:
-		log.Fatalf("unknown sample %q", *sample)
+		fatal("unknown sample", "sample", *sample)
 	}
 
 	tr := warehouse.NewTransport(0)
@@ -173,7 +195,7 @@ func main() {
 	// instruments.
 	var lw *warehouse.Warehouse
 	if *dataDir != "" && len(feeds) == 0 {
-		log.Fatal("-data needs at least one -feed view to make durable")
+		fatal("-data needs at least one -feed view to make durable")
 	}
 	if len(feeds) > 0 {
 		lw = warehouse.New(src)
@@ -181,6 +203,7 @@ func main() {
 		lw.Feed.RegisterObs(reg)
 		lw.EnableObs(reg)
 		server.Traces = lw.Traces
+		server.Chains = lw.Chains
 
 		// With -data the warehouse recovers from its last checkpoint plus
 		// the WAL tail before any view definition runs: recovered views
@@ -189,7 +212,7 @@ func main() {
 		if *dataDir != "" {
 			policy, err := warehouse.ParseSyncPolicy(*fsync)
 			if err != nil {
-				log.Fatalf("-fsync: %v", err)
+				fatal("bad -fsync policy", "err", err)
 			}
 			wm := wal.NewMetrics()
 			wm.Register(reg, "warehouse")
@@ -199,12 +222,12 @@ func main() {
 				CheckpointEvery: *ckptN,
 			})
 			if err != nil {
-				log.Fatalf("-data %s: %v", *dataDir, err)
+				fatal("enabling durability failed", "dir", *dataDir, "err", err)
 			}
 			if recovered {
-				log.Printf("recovered warehouse state from %s (views: %s)", *dataDir, strings.Join(lw.ViewNames(), ", "))
+				slog.Info("recovered warehouse state", "dir", *dataDir, "views", strings.Join(lw.ViewNames(), ","))
 			} else {
-				log.Printf("durable warehouse in fresh directory %s (fsync=%s)", *dataDir, *fsync)
+				slog.Info("durable warehouse in fresh directory", "dir", *dataDir, "fsync", *fsync)
 			}
 			if *ckptWait > 0 {
 				lw.StartCheckpointLoop(*ckptWait)
@@ -214,20 +237,20 @@ func main() {
 		for _, spec := range feeds {
 			name, qs, ok := strings.Cut(spec, "=")
 			if !ok {
-				log.Fatalf("-feed wants NAME=QUERY, got %q", spec)
+				fatal("-feed wants NAME=QUERY", "got", spec)
 			}
 			if _, ok := lw.View(name); ok {
-				log.Printf("feed %s: recovered from %s", name, *dataDir)
+				slog.Info("feed view recovered from checkpoint", "view", name, "dir", *dataDir)
 				continue
 			}
 			q, err := query.Parse(qs)
 			if err != nil {
-				log.Fatalf("feed %s query: %v", name, err)
+				fatal("parsing -feed query failed", "view", name, "err", err)
 			}
 			if _, err := lw.DefineView(name, q, warehouse.ViewConfig{Screening: *level >= 2}); err != nil {
-				log.Fatalf("feed view %s: %v", name, err)
+				fatal("defining feed view failed", "view", name, "err", err)
 			}
-			log.Printf("feed %s: %s", name, qs)
+			slog.Info("feed view defined", "view", name, "query", qs)
 		}
 		server.Feed = lw.Feed
 		// Replicas (gsdbreplica) and other strict readers resolve view
@@ -241,17 +264,27 @@ func main() {
 	if *debug != "" {
 		reg.PublishExpvar("gsv")
 		mux := obs.DebugMux(reg)
+		// Readiness gates on view staleness: a quarantined view flips
+		// /readyz to 503 until the repair loop resyncs it. Without -feed
+		// views there is nothing to go stale and the server is always
+		// ready.
+		var ready func() error
+		if lw != nil {
+			ready = lw.Ready
+		}
+		obs.HealthHandlers(mux, ready)
 		go func() {
-			log.Printf("debug http on %s (/metrics, /debug/vars, /debug/pprof)", *debug)
+			slog.Info("debug http listening", "addr", *debug,
+				"endpoints", "/metrics /healthz /readyz /debug/vars /debug/pprof")
 			if err := http.ListenAndServe(*debug, mux); err != nil {
-				log.Printf("debug http: %v", err)
+				slog.Error("debug http stopped", "err", err)
 			}
 		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
 	if lw != nil && lw.Durable() {
 		// A clean shutdown checkpoints and releases the WAL so the next
@@ -261,7 +294,7 @@ func main() {
 		go func() {
 			<-sig
 			if err := lw.Close(); err != nil {
-				log.Printf("shutdown checkpoint: %v", err)
+				slog.Error("shutdown checkpoint failed", "err", err)
 			}
 			os.Exit(0)
 		}()
@@ -276,16 +309,17 @@ func main() {
 		})
 		inj.RegisterObs(reg, "listener")
 		ln = inj.WrapListener(ln)
-		log.Printf("chaos: injecting faults seed=%d drop=%g err=%g delay=%g lag=%s",
-			*chaosSeed, *chaosDrop, *chaosErr, *chaosDelay, *chaosLag)
+		slog.Info("chaos fault injection on", "seed", *chaosSeed, "drop", *chaosDrop,
+			"err_prob", *chaosErr, "delay", *chaosDelay, "lag", *chaosLag)
 	}
-	log.Printf("serving %d objects on %s (root %s, level %d)", s.Len(), ln.Addr(), rootOID, *level)
+	slog.Info("serving", "objects", s.Len(), "addr", ln.Addr().String(),
+		"root", string(rootOID), "level", *level)
 
 	if *updates > 0 && len(sets) > 0 {
 		go drive(src, server, lw, sets, atoms, *updates, *interval, *seed)
 	}
 	if err := server.Serve(ln); err != nil {
-		log.Printf("server stopped: %v", err)
+		slog.Info("server stopped", "err", err)
 	}
 }
 
@@ -304,18 +338,19 @@ func drive(src *warehouse.Source, server *warehouse.Server, lw *warehouse.Wareho
 			// failure quarantines the affected view (the repair loop resyncs
 			// it); the stream and the other views keep going.
 			if err := lw.ProcessAll(reports); err != nil {
-				log.Printf("feed maintenance (view quarantined for repair): %v", err)
+				slog.Warn("feed maintenance failed; view quarantined for repair", "err", err)
 			}
 		}
 		if err := server.Broadcast(reports); err != nil {
-			log.Printf("broadcast: %v", err)
+			slog.Warn("broadcast failed", "err", err)
 			continue
 		}
 		for _, r := range reports {
-			log.Printf("update %s", r.Update)
+			slog.Debug("update applied", "update", r.Update.String(),
+				"seq", r.Update.Seq, "trace_id", r.Update.TraceID)
 		}
 	}
-	log.Printf("update stream finished (%d updates)", n)
+	slog.Info("update stream finished", "updates", n)
 }
 
 func openSnapshot(path string, s *store.Store) (string, error) {

@@ -17,12 +17,20 @@
 //	gsdbwatch -addr 127.0.0.1:7070 -follow HOT [-from N] [-snapshot] \
 //	          [-policy block|drop|disconnect] [-events N] [-for 30s]
 //	gsdbwatch -addr 127.0.0.1:7070 -stats [-watch] [-every 2s] [-for 30s]
+//	gsdbwatch -addr 127.0.0.1:7070 -trace [VIEW] [-watch] [-every 2s]
 //
 // -stats fetches the server's metrics registry and recent maintenance
 // traces over the wire (gsdbserve with observability; see
 // docs/OBSERVABILITY.md) and renders per-view stats; -watch refreshes
 // every -every until -for elapses. A server that predates the stats
 // request is reported as such instead of printing zeros.
+//
+// -trace fetches the node's recent propagation span chains — where each
+// stamped update's time went between ingestion and visibility — and
+// renders one waterfall per trace, optionally filtered to one VIEW.
+// Point it at a primary for WAL + maintenance spans, at a replica for
+// apply spans; the same trace ID on both nodes is one update's
+// cross-node timeline (docs/OBSERVABILITY.md, "Propagation tracing").
 //
 // -from -1 (default) tails from now; -from 0 replays the whole retained
 // history; -from N resumes after cursor N. When the cursor has been
@@ -36,7 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -49,6 +57,12 @@ import (
 	"gsv/internal/query"
 	"gsv/internal/warehouse"
 )
+
+// fatal logs at error level and exits — the slog analogue of log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -63,8 +77,10 @@ func main() {
 		nevents = flag.Int("events", 0, "stop -follow after this many events (0 = until -for elapses)")
 		state   = flag.String("state", "", "with -follow, persist the last consumed cursor to this file and resume from it on restart")
 		stats   = flag.Bool("stats", false, "fetch and render the server's per-view stats instead of watching a view")
-		watch   = flag.Bool("watch", false, "with -stats, refresh until -for elapses")
-		every   = flag.Duration("every", 2*time.Second, "refresh interval for -stats -watch")
+		trace   = flag.Bool("trace", false, "fetch and render the node's propagation span chains (optional positional arg filters to one view)")
+		watch   = flag.Bool("watch", false, "with -stats/-trace, refresh until -for elapses")
+		every   = flag.Duration("every", 2*time.Second, "refresh interval for -stats/-trace -watch")
+		last    = flag.Int("last", 8, "with -trace, render only the newest N traces (0 = all retained)")
 	)
 	flag.Parse()
 
@@ -73,7 +89,18 @@ func main() {
 			addr: *addr, watch: *watch, every: *every, dur: *dur,
 		})
 		if err != nil {
-			log.Fatalf("stats: %v", err)
+			fatal("stats failed", "err", err)
+		}
+		return
+	}
+
+	if *trace {
+		err := runTrace(os.Stdout, traceConfig{
+			addr: *addr, view: flag.Arg(0), last: *last,
+			watch: *watch, every: *every, dur: *dur,
+		})
+		if err != nil {
+			fatal("trace failed", "err", err)
 		}
 		return
 	}
@@ -84,19 +111,19 @@ func main() {
 			policy: *policy, maxEvents: *nevents, dur: *dur, stateFile: *state,
 		})
 		if err != nil {
-			log.Fatalf("follow: %v", err)
+			fatal("follow failed", "view", *follow, "err", err)
 		}
 		return
 	}
 
 	mode, err := parseCache(*cache)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -cache mode", "err", err)
 	}
 	if err := watchView(os.Stdout, watchConfig{
 		addr: *addr, query: *vq, cache: mode, dur: *dur,
 	}); err != nil {
-		log.Fatalf("watch: %v", err)
+		fatal("watch failed", "err", err)
 	}
 }
 
@@ -346,6 +373,129 @@ func renderReplicaStats(out io.Writer, p *warehouse.StatsPayload) {
 			get("gsv_replica_feed_redials_total"),
 			get("gsv_replica_rejected_reads_total"))
 	}
+}
+
+// traceConfig parameterizes -trace mode.
+type traceConfig struct {
+	addr  string
+	view  string // filter; empty renders every view's chains
+	last  int    // newest traces to render; 0 = all retained
+	watch bool
+	every time.Duration
+	dur   time.Duration
+	// maxRounds stops -watch after this many renders; 0 means until dur
+	// elapses. Tests use it for determinism.
+	maxRounds int
+}
+
+// runTrace fetches the node's propagation span chains over the wire and
+// renders one waterfall per trace, optionally refreshing.
+func runTrace(out io.Writer, cfg traceConfig) error {
+	remote, err := warehouse.Dial("gsdbwatch", cfg.addr, warehouse.NewTransport(0))
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", cfg.addr, err)
+	}
+	defer remote.Close()
+
+	deadline := time.Now().Add(cfg.dur)
+	rounds := 0
+	for {
+		payload, err := remote.FetchTrace(cfg.view)
+		if err != nil {
+			if errors.Is(err, warehouse.ErrUnsupportedRequest) {
+				return fmt.Errorf("the node at %s does not support the trace request — it predates propagation tracing (or runs with observability off); upgrade it or use -stats instead", cfg.addr)
+			}
+			return err
+		}
+		renderChains(out, payload, cfg.last)
+		rounds++
+		if !cfg.watch || (cfg.maxRounds > 0 && rounds >= cfg.maxRounds) || !time.Now().Before(deadline) {
+			return nil
+		}
+		time.Sleep(cfg.every)
+	}
+}
+
+// renderChains prints one waterfall per trace: the spans of every chain
+// sharing a trace ID, laid out on a common time axis starting at the
+// update's ingestion instant. Only the newest `last` traces render
+// (0 = all retained; the header reports the full counts either way).
+// Chains fetched from a single node show that node's half; merging
+// both nodes' output by trace ID gives the full cross-node timeline.
+func renderChains(out io.Writer, p *warehouse.TracePayload, last int) {
+	fmt.Fprintf(out, "propagation chains from %s (%d retained, %d total)\n",
+		p.Node, len(p.Chains), p.Total)
+	groups := map[string][]obs.SpanChain{}
+	var order []string
+	for _, c := range p.Chains {
+		if _, ok := groups[c.TraceID]; !ok {
+			order = append(order, c.TraceID)
+		}
+		groups[c.TraceID] = append(groups[c.TraceID], c)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(out, "no chains recorded yet (drive some stamped updates first)")
+		return
+	}
+	if last > 0 && len(order) > last {
+		order = order[len(order)-last:]
+	}
+	for _, id := range order {
+		chains := groups[id]
+		var spans []obs.Span
+		var end int64
+		for _, c := range chains {
+			spans = append(spans, c.Spans...)
+			if e := c.EndNanos(); e > end {
+				end = e
+			}
+		}
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		first := chains[0]
+		fmt.Fprintf(out, "trace %s seq=%d %s origin=%s visible=+%s\n",
+			id, first.Seq, first.Kind,
+			time.Unix(0, first.Origin).Format("15:04:05.000"),
+			time.Duration(end).Round(time.Microsecond))
+		for _, s := range spans {
+			target := s.Node
+			if s.View != "" {
+				target += "/" + s.View
+			}
+			fmt.Fprintf(out, "  %-20s %-16s %10s %10s  %s\n",
+				target, s.Stage,
+				"+"+time.Duration(s.Start).Round(time.Microsecond).String(),
+				time.Duration(s.Nanos).Round(time.Microsecond).String(),
+				spanBar(s.Start, s.Nanos, end))
+		}
+	}
+}
+
+// spanBar renders a span's position within the trace window as a
+// fixed-width waterfall track.
+func spanBar(start, nanos, window int64) string {
+	const width = 32
+	if window <= 0 {
+		window = 1
+	}
+	b := []byte(strings.Repeat(".", width))
+	lo := int(start * width / window)
+	hi := int((start + nanos) * width / window)
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= width {
+		lo = width - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > width {
+		hi = width
+	}
+	for i := lo; i < hi; i++ {
+		b[i] = '#'
+	}
+	return string(b)
 }
 
 // followConfig parameterizes -follow mode.

@@ -62,6 +62,12 @@ type MaintainerMetrics struct {
 	ApplyLatency   *obs.Histogram
 	Inserts        *obs.Counter
 	Deletes        *obs.Counter
+	// StageObserver, when non-nil, receives each Apply stage's duration
+	// ("compute": Algorithm 1's delta derivation; then "apply": V_insert/
+	// V_delete plus the delegate refresh) as it completes. Propagation
+	// tracing uses it to split one maintenance span into sub-spans. It
+	// runs on the maintenance path under whatever lock serializes Apply.
+	StageObserver func(stage string, nanos int64)
 }
 
 // NewSimpleMaintainer builds Algorithm 1 for mv, classifying its query as
@@ -99,6 +105,9 @@ func (m *SimpleMaintainer) Apply(u store.Update) error {
 	if m.Metrics != nil {
 		now := time.Now()
 		m.Metrics.ComputeLatency.Observe(now.Sub(t0).Seconds())
+		if m.Metrics.StageObserver != nil {
+			m.Metrics.StageObserver("compute", now.Sub(t0).Nanoseconds())
+		}
 		t0 = now
 	}
 	var applied Deltas
@@ -124,7 +133,11 @@ func (m *SimpleMaintainer) Apply(u store.Update) error {
 		return err
 	}
 	if m.Metrics != nil {
-		m.Metrics.ApplyLatency.Observe(time.Since(t0).Seconds())
+		elapsed := time.Since(t0)
+		m.Metrics.ApplyLatency.Observe(elapsed.Seconds())
+		if m.Metrics.StageObserver != nil {
+			m.Metrics.StageObserver("apply", elapsed.Nanoseconds())
+		}
 		m.Metrics.Inserts.Add(uint64(len(applied.Insert)))
 		m.Metrics.Deletes.Add(uint64(len(applied.Delete)))
 	}

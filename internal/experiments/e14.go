@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -50,10 +51,13 @@ func E14ReplicaScaling(cfg Config) *Table {
 			"wire to 4 readers each. Every replica node models a fixed per-I/O " +
 			"service latency (2ms), so capacity is bound by node count rather than " +
 			"the shared benchmark host's cores. qps is aggregate successful reads/s " +
-			"across all replicas; scaling is qps relative to the 1-replica run. " +
+			"across all replicas; scaling is qps relative to the 1-replica run; " +
+			"p99 prop is the 99th-percentile origin-to-replica-visible propagation " +
+			"latency across all stamped updates the replicas applied (the freshness " +
+			"the tier actually delivers — gated so staleness regressions fail CI). " +
 			"After the window each replica must match the primary member-for-member.",
 		Headers: []string{"replicas", "readers", "upds applied", "reads", "qps",
-			"scaling", "members equal"},
+			"scaling", "p99 prop", "members equal"},
 	}
 	window := 200 * time.Millisecond
 	if cfg.Updates >= 200 {
@@ -61,21 +65,41 @@ func E14ReplicaScaling(cfg Config) *Table {
 	}
 	var baseQPS float64
 	for _, n := range []int{1, 2, 4} {
-		applied, res, equal := e14Run(cfg, n, window)
+		applied, res, p99, equal := e14Run(cfg, n, window)
 		if !equal {
 			panic(fmt.Sprintf("E14: replica membership diverged at n=%d", n))
 		}
 		if n == 1 {
 			baseQPS = res.QPS()
 		}
-		t.AddRow(n, 4*n, applied, res.Reads, res.QPS(), ratio(res.QPS(), baseQPS), equal)
+		t.AddRow(n, 4*n, applied, res.Reads, res.QPS(), ratio(res.QPS(), baseQPS),
+			fmt.Sprintf("%.2fms", p99*1e3), equal)
 	}
 	return t
 }
 
+// p99Of returns the 99th-percentile of latency samples in seconds
+// (0 when empty).
+func p99Of(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	i := (len(samples)*99 + 99) / 100 // ceil(0.99n)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(samples) {
+		i = len(samples)
+	}
+	return samples[i-1]
+}
+
 // e14Run measures one replica count: primary + n replicas + 4 readers
-// per replica for one window, then a convergence check.
-func e14Run(cfg Config, n int, window time.Duration) (applied int, res workload.ReadLoadResult, equal bool) {
+// per replica for one window, then a convergence check. p99 is the
+// tier's 99th-percentile origin-to-visible propagation latency in
+// seconds, pooled across every replica's applied updates.
+func e14Run(cfg Config, n int, window time.Duration) (applied int, res workload.ReadLoadResult, p99 float64, equal bool) {
 	s, sets, atoms := e12Fixture(50*cfg.Scale, cfg.Seed)
 	src := warehouse.NewSource("primary", s, "REL", warehouse.Level2, warehouse.NewTransport(0))
 	src.DrainReports()
@@ -188,5 +212,9 @@ func e14Run(cfg Config, n int, window time.Duration) (applied int, res workload.
 			}
 		}
 	}
-	return applied, res, equal
+	var samples []float64
+	for _, r := range reps {
+		samples = append(samples, r.PropagationSamples()...)
+	}
+	return applied, res, p99Of(samples), equal
 }

@@ -252,11 +252,14 @@ func TestE14ShapeReplicasConvergeAndServe(t *testing.T) {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 	for _, row := range tb.Rows {
-		if row[6] != "true" {
+		if row[7] != "true" {
 			t.Fatalf("replica membership diverged: %v", row)
 		}
 		if parseCell(t, row[4]) <= 0 {
 			t.Fatalf("no reads measured: %v", row)
+		}
+		if !strings.HasSuffix(row[6], "ms") {
+			t.Fatalf("p99 prop cell not a latency: %v", row)
 		}
 	}
 	// Near-linear scaling is asserted on the full-size run (cmd/benchviews

@@ -46,6 +46,16 @@ type Event struct {
 	// Insert/Delete the net membership change — replaying them reaches
 	// the same membership as replaying the per-update stream.
 	Updates int `json:"updates,omitempty"`
+	// Origin and TraceID carry the triggering update's propagation
+	// trace context (store.Update.Origin/TraceID) so downstream nodes
+	// can extend the span chain and compute visibility latency against
+	// the ingestion instant. For a batch event they are the last
+	// contributing update's. Zero/empty on events from unstamped
+	// updates or old peers — omitempty keeps the wire envelope
+	// backward-compatible in both directions (old servers simply never
+	// send them, old clients ignore unknown fields).
+	Origin  int64  `json:"origin,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Empty reports whether the event carries no membership change.

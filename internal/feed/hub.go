@@ -122,6 +122,7 @@ func (h *Hub) Publish(view string, u store.Update, d core.Deltas) uint64 {
 		View: view, Seq: u.Seq, Kind: u.Kind.String(), N1: u.N1, N2: u.N2,
 		Insert: append([]oem.OID(nil), d.Insert...),
 		Delete: append([]oem.OID(nil), d.Delete...),
+		Origin: u.Origin, TraceID: u.TraceID,
 	})
 }
 
@@ -146,6 +147,7 @@ func (h *Hub) PublishBatch(view string, last store.Update, n int, d core.Deltas)
 		View: view, Seq: last.Seq, Kind: KindBatch, Updates: n,
 		Insert: append([]oem.OID(nil), d.Insert...),
 		Delete: append([]oem.OID(nil), d.Delete...),
+		Origin: last.Origin, TraceID: last.TraceID,
 	})
 }
 

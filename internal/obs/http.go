@@ -34,3 +34,27 @@ func DebugMux(regs ...*Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
+
+// HealthHandlers adds /healthz and /readyz to mux
+// (docs/OBSERVABILITY.md, "Health endpoints"): /healthz answers 200 as
+// long as the process serves HTTP (liveness), /readyz answers 200 when
+// ready() returns nil and 503 with the error text otherwise (readiness
+// — warehouses gate it on view staleness, replicas on lag bounds). A
+// nil ready means always ready.
+func HealthHandlers(mux *http.ServeMux, ready func() error) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_, _ = w.Write([]byte("not ready: " + err.Error() + "\n"))
+				return
+			}
+		}
+		_, _ = w.Write([]byte("ready\n"))
+	})
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the cross-node half of the observability layer
+// (docs/OBSERVABILITY.md, "Propagation tracing"): while Trace records
+// what ONE node's maintenance did with an update, a SpanChain records
+// WHERE an update's time went on its way from ingestion at the source
+// to visibility on a serving node. Every node that handles a stamped
+// store.Update (Origin/TraceID set) appends one chain of spans to its
+// ChainRing; chains from different nodes joined on TraceID reconstruct
+// the full source → WAL → maintain → feed → replica timeline, which is
+// what gsdbwatch -trace renders as a waterfall.
+
+// Span is one timed step of an update's propagation on one node.
+// Start is the offset from the chain's Origin instant in nanoseconds
+// (wall clock, so spans from different nodes on a shared clock line up
+// on one axis); Nanos is the step's duration.
+type Span struct {
+	Node  string `json:"node"`
+	View  string `json:"view,omitempty"`
+	Stage string `json:"stage"`
+	Start int64  `json:"start_nanos"`
+	Nanos int64  `json:"nanos"`
+}
+
+// SpanChain is one node's record of one stamped update: the trace
+// context it arrived with plus the spans this node added. "One
+// cross-node span chain per update" is the join of every node's
+// SpanChain with the same TraceID.
+type SpanChain struct {
+	TraceID string `json:"trace_id"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Kind    string `json:"kind,omitempty"`
+	View    string `json:"view,omitempty"`
+	// Origin is the ingestion stamp in Unix nanoseconds (store.Update.Origin).
+	Origin int64 `json:"origin_nanos"`
+	// Node is the node that recorded this chain.
+	Node  string `json:"node"`
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// EndNanos returns the end of the chain's last span as an offset from
+// Origin (0 for an empty chain) — the update's visibility latency on
+// this node.
+func (c SpanChain) EndNanos() int64 {
+	var end int64
+	for _, s := range c.Spans {
+		if e := s.Start + s.Nanos; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// AdvanceWatermark lifts a watermark atomic to stamp, never lowering
+// it — concurrent appliers may finish out of origin order.
+func AdvanceWatermark(w *atomic.Int64, stamp int64) {
+	for {
+		cur := w.Load()
+		if stamp <= cur || w.CompareAndSwap(cur, stamp) {
+			return
+		}
+	}
+}
+
+// ChainRing is a bounded, concurrency-safe buffer of the most recent
+// span chains, mirroring TraceRing. The trace wire request snapshots
+// it; nil rings mean propagation tracing is off and cost one branch.
+type ChainRing struct {
+	mu    sync.Mutex
+	buf   []SpanChain
+	head  int // oldest retained
+	count int
+	total uint64
+}
+
+// NewChainRing returns a ring retaining the last n chains (n < 1 is
+// clamped to 1).
+func NewChainRing(n int) *ChainRing {
+	if n < 1 {
+		n = 1
+	}
+	return &ChainRing{buf: make([]SpanChain, n)}
+}
+
+// Add appends one chain, evicting the oldest when full. Nil-safe so an
+// absent ring disables recording.
+func (r *ChainRing) Add(c SpanChain) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = c
+		r.count++
+		return
+	}
+	r.buf[r.head] = c
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Snapshot returns the retained chains, oldest first.
+func (r *ChainRing) Snapshot() []SpanChain {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanChain, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Total counts all chains ever added, including evicted ones.
+func (r *ChainRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChainRingEviction(t *testing.T) {
+	r := NewChainRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(SpanChain{TraceID: fmt.Sprintf("t-%d", i), Origin: int64(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d chains", len(got))
+	}
+	// Oldest first, newest retained.
+	for i, want := range []string{"t-3", "t-4", "t-5"} {
+		if got[i].TraceID != want {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, got[i].TraceID, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestChainRingClampsSize(t *testing.T) {
+	r := NewChainRing(0)
+	r.Add(SpanChain{TraceID: "a"})
+	r.Add(SpanChain{TraceID: "b"})
+	if got := r.Snapshot(); len(got) != 1 || got[0].TraceID != "b" {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+func TestNilChainRing(t *testing.T) {
+	var r *ChainRing
+	r.Add(SpanChain{TraceID: "x"}) // must not panic
+	if r.Snapshot() != nil || r.Total() != 0 {
+		t.Fatal("nil ring is not empty")
+	}
+}
+
+// TestChainRingConcurrent hammers Add/Snapshot/Total from many
+// goroutines; run with -race. Snapshots must always be internally
+// consistent: at most the ring's capacity, and every element a chain
+// some writer actually added.
+func TestChainRingConcurrent(t *testing.T) {
+	r := NewChainRing(8)
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(SpanChain{
+					TraceID: fmt.Sprintf("w%d-%d", w, i),
+					Origin:  int64(i + 1),
+					Spans:   []Span{{Node: "n", Stage: "apply", Nanos: int64(i)}},
+				})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		snap := r.Snapshot()
+		if len(snap) > 8 {
+			t.Fatalf("snapshot larger than capacity: %d", len(snap))
+		}
+		for _, c := range snap {
+			if c.TraceID == "" || c.Origin <= 0 {
+				t.Fatalf("torn chain in snapshot: %+v", c)
+			}
+		}
+		select {
+		case <-done:
+			if got := r.Total(); got != writers*perWriter {
+				t.Fatalf("total = %d, want %d", got, writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestAdvanceWatermarkConcurrent races many advancers pushing stamps in
+// arbitrary order; the watermark must end at the maximum and never be
+// observed moving backwards.
+func TestAdvanceWatermarkConcurrent(t *testing.T) {
+	var w atomic.Int64
+	const goroutines, stamps = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		var last int64
+		for {
+			cur := w.Load()
+			if cur < last {
+				t.Error("watermark went backwards")
+				return
+			}
+			last = cur
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= stamps; i++ {
+				// Interleave ascending and descending pushes so CAS loops
+				// actually contend and stale stamps arrive late.
+				if g%2 == 0 {
+					AdvanceWatermark(&w, int64(i))
+				} else {
+					AdvanceWatermark(&w, int64(stamps-i+1))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if got := w.Load(); got != stamps {
+		t.Fatalf("watermark = %d, want %d", got, stamps)
+	}
+	AdvanceWatermark(&w, 3) // stale stamp after the fact
+	if got := w.Load(); got != stamps {
+		t.Fatalf("stale stamp lowered the watermark to %d", got)
+	}
+}
+
+func TestSpanChainEndNanos(t *testing.T) {
+	if got := (SpanChain{}).EndNanos(); got != 0 {
+		t.Fatalf("empty chain end = %d", got)
+	}
+	c := SpanChain{Spans: []Span{
+		{Stage: "screen", Start: 10, Nanos: 5},
+		{Stage: "maintain", Start: 15, Nanos: 85},
+		// A nested sub-span ending before the outer one must not win.
+		{Stage: "maintain.compute", Start: 15, Nanos: 20},
+	}}
+	if got := c.EndNanos(); got != 100 {
+		t.Fatalf("end = %d, want 100", got)
+	}
+}
+
+// TestLatencyBucketBoundaries pins where observations land at the
+// extremes of the default bounds: exactly on a bound counts into that
+// bound's bucket (Prometheus le-semantics), sub-microsecond values land
+// in the first bucket, and anything past the last bound lands in +Inf.
+func TestLatencyBucketBoundaries(t *testing.T) {
+	h := NewHistogram(nil) // nil bounds are NOT defaulted here — use explicit
+	if len(h.Bounds()) != 0 {
+		t.Fatalf("bounds = %v", h.Bounds())
+	}
+	h = NewHistogram(LatencyBuckets)
+	bounds := h.Bounds()
+	last := bounds[len(bounds)-1]
+
+	// Sub-millisecond extreme: below, on, and just above the first bound.
+	h.Observe(1e-9)   // 1ns, far below the 1µs floor
+	h.Observe(1e-6)   // exactly the first bound
+	h.Observe(1.1e-6) // just above it
+	// Multi-second extreme: on the last bound and beyond it.
+	h.Observe(last)     // exactly 10s
+	h.Observe(last * 3) // 30s, only +Inf can hold it
+
+	cum := h.Buckets()
+	if cum[0] != 2 {
+		t.Fatalf("≤1µs bucket = %d, want 2 (1ns and the exact bound)", cum[0])
+	}
+	if cum[1] != 3 {
+		t.Fatalf("≤4µs bucket = %d, want 3", cum[1])
+	}
+	if cum[len(cum)-2] != 4 {
+		t.Fatalf("≤%vs bucket = %d, want 4 (30s excluded)", last, cum[len(cum)-2])
+	}
+	if cum[len(cum)-1] != 5 {
+		t.Fatalf("+Inf bucket = %d, want 5", cum[len(cum)-1])
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	want := 1e-9 + 1e-6 + 1.1e-6 + last + last*3
+	if got := h.Sum(); got < want*0.999999 || got > want*1.000001 {
+		t.Fatalf("sum = %v, want ~%v", got, want)
+	}
+}

@@ -130,6 +130,11 @@ type rview struct {
 	snapWanted atomic.Bool
 	// booted distinguishes the first bootstrap from later resyncs.
 	booted bool
+	// watermark is the newest origin stamp (Unix nanos) applied to this
+	// view; prop, once RegisterObs ran, observes origin→replica-visible
+	// propagation latency (docs/OBSERVABILITY.md).
+	watermark atomic.Int64
+	prop      atomic.Pointer[obs.Histogram]
 }
 
 // Replica is one read-replica node.
@@ -172,7 +177,25 @@ type Replica struct {
 	redials  obs.Counter // feed reconnects after a break
 	resyncs  obs.Counter // snapshot reconciles after the first bootstrap
 	rejected obs.Counter // reads rejected by the staleness gate
+
+	// Propagation tracing (docs/OBSERVABILITY.md): chains records one
+	// apply-side span chain per stamped feed event; headOrigin is the
+	// newest origin stamp this node has applied to any view; obsReg,
+	// once RegisterObs ran, lets views discovered later register their
+	// propagation instruments lazily.
+	chains     *obs.ChainRing
+	headOrigin atomic.Int64
+	obsReg     atomic.Pointer[obs.Registry]
+
+	// sampMu guards samples, a bounded ring of recent origin→visible
+	// latencies (seconds) for offline percentiles (the E14 p99 column).
+	sampMu   sync.Mutex
+	samples  []float64
+	sampNext int
 }
+
+// maxPropagationSamples bounds the latency sample ring.
+const maxPropagationSamples = 8192
 
 // New builds a replica: restores the checkpoint when given one, dials
 // the primary, and starts the feed tail loop. The initial dial is not
@@ -186,6 +209,7 @@ func New(o Options) (*Replica, error) {
 		closeCh:   make(chan struct{}),
 		rng:       rand.New(rand.NewSource(o.Seed)),
 		startedAt: time.Now(),
+		chains:    obs.NewChainRing(512),
 	}
 	r.store = store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
 	r.hub = feed.NewHub(feed.Options{RingSize: o.RingSize})
@@ -399,20 +423,34 @@ func (r *Replica) Reconcile() error {
 // protocol: data reads fail while lag exceeds a configured bound, stats
 // always pass. Wire it as warehouse.Server.ReadGate.
 func (r *Replica) ReadGate(op string) error {
-	if op == "stats" {
+	if op == "stats" || op == "trace" {
 		return nil
 	}
+	if err := r.lagExceeded(); err != nil {
+		r.rejected.Inc()
+		return err
+	}
+	return nil
+}
+
+// lagExceeded reports whether staleness currently exceeds a configured
+// bound (nil when within bounds or unbounded).
+func (r *Replica) lagExceeded() error {
 	lagSeq, lagAge := r.Lag()
 	if r.opts.MaxLagSeq > 0 && lagSeq > r.opts.MaxLagSeq {
-		r.rejected.Inc()
 		return fmt.Errorf("replica: %d updates behind primary (bound %d); read rejected", lagSeq, r.opts.MaxLagSeq)
 	}
 	if r.opts.MaxLagAge > 0 && lagAge > r.opts.MaxLagAge {
-		r.rejected.Inc()
 		return fmt.Errorf("replica: not caught up for %s (bound %s); read rejected", lagAge.Round(time.Millisecond), r.opts.MaxLagAge)
 	}
 	return nil
 }
+
+// Ready answers the replica's readiness probe (the /readyz handler,
+// docs/OBSERVABILITY.md "Health endpoints"): nil while staleness is
+// within the configured lag bounds — the same criterion the read gate
+// enforces per request, without counting a rejection.
+func (r *Replica) Ready() error { return r.lagExceeded() }
 
 // NewServer wires a warehouse.Server that serves this replica's state
 // read-only: queries and stats answer from the replica store, "members"
@@ -425,6 +463,8 @@ func (r *Replica) NewServer(reg *obs.Registry) *warehouse.Server {
 	srv.Obs = reg
 	srv.Members = r.Members
 	srv.ReadGate = r.ReadGate
+	srv.Chains = r.chains
+	srv.Node = r.opts.Name
 	return srv
 }
 
@@ -462,7 +502,61 @@ func (r *Replica) RegisterObs(reg *obs.Registry) {
 	reg.RegisterCounter("gsv_replica_feed_redials_total", &r.redials, lr)
 	reg.RegisterCounter("gsv_replica_resyncs_total", &r.resyncs, lr)
 	reg.RegisterCounter("gsv_replica_rejected_reads_total", &r.rejected, lr)
+	// Propagation tracing: the replica's half of the metrics the primary
+	// registers in Warehouse.EnableObs, under this node's name.
+	ln := obs.L("node", r.opts.Name)
+	reg.Help("gsv_propagation_seconds", "origin-to-stage propagation latency, by stage/view/node")
+	reg.Help("gsv_watermark_head_seconds", "newest origin stamp applied on this node, as Unix seconds")
+	reg.Help("gsv_view_watermark_seconds", "newest origin stamp visible in the view, as Unix seconds")
+	reg.Help("gsv_view_freshness_lag_seconds", "how far the view's watermark trails this node's head")
+	reg.Help("gsv_chains_total", "propagation span chains recorded since startup")
+	reg.GaugeFunc("gsv_chains_total", func() float64 { return float64(r.chains.Total()) }, ln)
+	reg.GaugeFunc("gsv_watermark_head_seconds", func() float64 {
+		return float64(r.headOrigin.Load()) / 1e9
+	}, ln)
+	r.obsReg.Store(reg)
+	r.mu.Lock()
+	views := make([]*rview, 0, len(r.views))
+	for _, v := range r.views {
+		views = append(views, v)
+	}
+	r.mu.Unlock()
+	for _, v := range views {
+		r.registerViewProp(v)
+	}
 	r.src.RegisterObs(reg)
+}
+
+// registerViewProp attaches one view's propagation instruments to the
+// registry: the origin→visible histogram and the watermark gauges.
+// No-op until RegisterObs ran; idempotent per view.
+func (r *Replica) registerViewProp(v *rview) {
+	reg := r.obsReg.Load()
+	if reg == nil || v.prop.Load() != nil {
+		return
+	}
+	ln := obs.L("node", r.opts.Name)
+	lv := obs.L("view", v.name)
+	reg.GaugeFunc("gsv_view_watermark_seconds", func() float64 {
+		return float64(v.watermark.Load()) / 1e9
+	}, ln, lv)
+	reg.GaugeFunc("gsv_view_freshness_lag_seconds", func() float64 {
+		head, seen := r.headOrigin.Load(), v.watermark.Load()
+		if head <= seen {
+			return 0
+		}
+		return float64(head-seen) / 1e9
+	}, ln, lv)
+	v.prop.Store(reg.Histogram("gsv_propagation_seconds", nil, ln, obs.L("stage", "apply"), lv))
+}
+
+// PropagationSamples returns a copy of the recent origin→replica-visible
+// latencies, in seconds (bounded ring, newest overwrite oldest). The
+// benchmark harness derives its p99 from this.
+func (r *Replica) PropagationSamples() []float64 {
+	r.sampMu.Lock()
+	defer r.sampMu.Unlock()
+	return append([]float64(nil), r.samples...)
 }
 
 // FeedRedials returns how many times the feed connection was
@@ -599,6 +693,7 @@ func (r *Replica) ensureView(name string) *rview {
 		_ = r.store.Put(oem.NewSet(oem.OID(name), core.ViewLabel))
 	}
 	r.hub.RegisterView(name, v.mv.Members)
+	r.registerViewProp(v)
 	return v
 }
 
@@ -619,6 +714,10 @@ func (r *Replica) applyEvent(ev feed.Event) error {
 	if ev.Cursor != applied+1 {
 		v.snapWanted.Store(true)
 		return errCursorGap
+	}
+	var applyStart time.Time
+	if ev.Origin > 0 {
+		applyStart = time.Now()
 	}
 	for _, b := range ev.Delete {
 		d := core.DelegateOID(v.mv.OID, b)
@@ -643,11 +742,48 @@ func (r *Replica) applyEvent(ev feed.Event) error {
 		r.store.AdvanceSeq(ev.Seq)
 	}
 	r.events.Inc()
+	if ev.Origin > 0 {
+		r.noteApplied(v, ev, applyStart)
+	}
 	// Republish under the primary's cursor numbering so downstream
 	// consumers can follow this replica like a primary.
 	r.hub.RestoreCursor(ev.View, ev.Cursor-1)
 	r.hub.PublishEvent(ev)
 	return nil
+}
+
+// noteApplied records the apply side of one stamped event's
+// propagation: the node and view watermarks advance to the event's
+// origin, the origin→visible latency lands in the histogram and the
+// sample ring, and the event's span chain gains this node's link.
+func (r *Replica) noteApplied(v *rview, ev feed.Event, t0 time.Time) {
+	now := time.Now()
+	obs.AdvanceWatermark(&r.headOrigin, ev.Origin)
+	obs.AdvanceWatermark(&v.watermark, ev.Origin)
+	lat := float64(now.UnixNano()-ev.Origin) / 1e9
+	if h := v.prop.Load(); h != nil {
+		h.Observe(lat)
+	}
+	r.sampMu.Lock()
+	if len(r.samples) < maxPropagationSamples {
+		r.samples = append(r.samples, lat)
+	} else {
+		r.samples[r.sampNext] = lat
+		r.sampNext = (r.sampNext + 1) % maxPropagationSamples
+	}
+	r.sampMu.Unlock()
+	if ev.TraceID == "" {
+		return
+	}
+	r.chains.Add(obs.SpanChain{
+		TraceID: ev.TraceID, Seq: ev.Seq, Kind: ev.Kind, View: ev.View,
+		Origin: ev.Origin, Node: r.opts.Name,
+		Spans: []obs.Span{{
+			Node: r.opts.Name, View: ev.View, Stage: "apply",
+			Start: t0.UnixNano() - ev.Origin,
+			Nanos: now.Sub(t0).Nanoseconds(),
+		}},
+	})
 }
 
 // insertMember fetches base object b from the primary and installs (or

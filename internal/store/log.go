@@ -52,6 +52,15 @@ func (k UpdateKind) String() string {
 //   - UpdateModify: N1 is the atomic object, Old and New its values.
 //
 // Seq is assigned contiguously from 1 by the store that applied the update.
+//
+// Origin and TraceID are the propagation trace context
+// (docs/OBSERVABILITY.md): a source monitor stamps them at report
+// ingestion, and they ride the update unchanged through the WAL, the
+// warehouse maintenance stages, the changefeed and replica apply, so
+// every node can measure visibility latency against the same origin
+// instant. Both are zero for updates that never passed a stamping
+// monitor (local stores, old peers); all consumers treat that as
+// "tracing off" for the update.
 type Update struct {
 	Seq    uint64
 	Kind   UpdateKind
@@ -59,6 +68,11 @@ type Update struct {
 	Old    oem.Atom
 	New    oem.Atom
 	Object *oem.Object
+	// Origin is the ingestion wall-clock stamp in Unix nanoseconds.
+	Origin int64 `json:"Origin,omitempty"`
+	// TraceID identifies the update's span chain across nodes
+	// (source name + origin sequence; deterministic, replay-stable).
+	TraceID string `json:"TraceID,omitempty"`
 }
 
 // String renders the update in the paper's functional notation.

@@ -21,6 +21,7 @@ func FuzzNetFrame(f *testing.F) {
 		[]byte(`{"op":"query","query":"SELECT ROOT.professor X WHERE X.age <= 45"}`),
 		[]byte(`{"op":"subtree","oid":"P1","depth":2}`),
 		[]byte(`{"op":"nonsense"}`),
+		[]byte(`{"op":"trace","view":"YP"}`),
 		[]byte(`{"view":"YP","resume":true,"from":3,"policy":"drop"}`),
 		[]byte(`{"views":["HOT","COLD"],"froms":{"HOT":41},"snapshot":true}`),
 		[]byte(`{"views":["*"],"snapshot":true,"policy":"drop-oldest","buffer":8}`),

@@ -101,6 +101,9 @@ type netResponse struct {
 	Objects []*oem.Object `json:"objects,omitempty"`
 	Info    *PathInfo     `json:"info,omitempty"`
 	Stats   *StatsPayload `json:"stats,omitempty"`
+	// Trace answers the "trace" op: this node's recent propagation span
+	// chains (see trace.go).
+	Trace *TracePayload `json:"trace,omitempty"`
 	// Members answers the "members" op: the named view's full current
 	// membership (base OIDs, sorted).
 	Members []oem.OID `json:"members,omitempty"`
@@ -121,6 +124,13 @@ type Server struct {
 	// Traces, when non-nil, attaches the most recent maintenance traces
 	// to stats responses.
 	Traces *obs.TraceRing
+	// Chains, when non-nil, enables the "trace" query-mode request:
+	// clients receive this node's recent propagation span chains. Nil
+	// servers answer with an unknown-op error so old binaries stay
+	// protocol-compatible. Node names this server in the payload
+	// (default "primary").
+	Chains *obs.ChainRing
+	Node   string
 	// IOTimeout, when positive, bounds every frame write the server
 	// performs (query responses, report pushes, feed events) so one
 	// stalled peer cannot wedge a handler goroutine forever. Set it
@@ -371,6 +381,13 @@ func (s *Server) dispatch(req netRequest) netResponse {
 			return netResponse{Err: errStr}
 		}
 		return netResponse{Found: true, Stats: payload}
+	case "trace":
+		if s.Chains == nil {
+			// Answer exactly like an old binary so clients map it to
+			// ErrUnsupportedRequest.
+			return netResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		}
+		return netResponse{Found: true, Trace: s.tracePayload(req.View)}
 	case "members":
 		if s.Members == nil {
 			// Answer exactly like an old binary so clients map it to

@@ -3,6 +3,7 @@ package warehouse
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"gsv/internal/core"
 	"gsv/internal/obs"
@@ -178,8 +179,18 @@ func (s *Source) DrainReports() []*UpdateReport {
 	return reports
 }
 
-// enrich builds the level-appropriate report for one update.
+// enrich builds the level-appropriate report for one update, stamping
+// the propagation trace context (origin wall-clock instant + trace ID)
+// at ingestion. The stamp lives on the report's copy of the update —
+// the source store's own log is untouched — and rides it through the
+// WAL, maintenance, the changefeed and replica apply. The trace ID is
+// deterministic (source name + sequence) so a replayed update rejoins
+// its original chain.
 func (s *Source) enrich(u store.Update) *UpdateReport {
+	if u.Seq != 0 && u.TraceID == "" {
+		u.Origin = time.Now().UnixNano()
+		u.TraceID = fmt.Sprintf("%s-%d", s.Name, u.Seq)
+	}
 	r := &UpdateReport{Source: s.Name, Level: s.Level, Update: u}
 	if s.Level < Level2 {
 		// Level 1 strips everything but the update type and OIDs,

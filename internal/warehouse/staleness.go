@@ -2,6 +2,7 @@ package warehouse
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -141,6 +142,31 @@ func (w *Warehouse) StaleViews() []string {
 		}
 	}
 	return out
+}
+
+// Ready answers the warehouse's readiness probe (the /readyz handler,
+// docs/OBSERVABILITY.md "Health endpoints"): nil when every view is
+// Fresh, otherwise an error naming the quarantined views.
+func (w *Warehouse) Ready() error {
+	if stale := w.StaleViews(); len(stale) > 0 {
+		return fmt.Errorf("warehouse: %d view(s) not fresh: %s", len(stale), strings.Join(stale, ", "))
+	}
+	return nil
+}
+
+// Quarantine forces a view Stale with the given reason — the operator's
+// "stop trusting this, resync it" lever. The repair loop (or RepairAll)
+// returns it to Fresh. No-op if the view is already quarantined.
+func (w *Warehouse) Quarantine(name, reason string) error {
+	v, ok := w.View(name)
+	if !ok {
+		return fmt.Errorf("%w: warehouse view %s", ErrViewNotFound, name)
+	}
+	if reason == "" {
+		reason = "quarantined by operator"
+	}
+	v.markStale(reason)
+	return nil
 }
 
 // Repair resyncs one view if it is Stale. It reports whether the view is

@@ -36,6 +36,7 @@ func obsFixture(t *testing.T) (*Source, *Warehouse, *WView, *Server, *RemoteSour
 	server := NewServer(src)
 	server.Obs = reg
 	server.Traces = w.Traces
+	server.Chains = w.Chains
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

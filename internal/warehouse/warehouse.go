@@ -333,6 +333,21 @@ type WView struct {
 	// maintenance traces.
 	maintainLatency *obs.Histogram
 	sink            obs.TraceSink
+	// Propagation tracing (docs/OBSERVABILITY.md): the node name and
+	// chain ring mirror the warehouse's, propagation observes
+	// origin→maintained visibility latency, and watermark holds the
+	// newest origin stamp (Unix nanos) reflected in this view's
+	// membership. All nil/zero until EnableObs.
+	node        string
+	chains      *obs.ChainRing
+	propagation *obs.Histogram
+	watermark   atomic.Int64
+	// lastComputeNanos/lastApplyNanos are the Algorithm 1 sub-stage
+	// timings of the last Maint.Apply, fed by the maintainer's
+	// StageObserver under procMu; the span chain splits the maintain
+	// span with them.
+	lastComputeNanos int64
+	lastApplyNanos   int64
 	// lastInserts/lastDeletes capture the most recent applied delta sizes;
 	// written by the chained DeltaObserver (or level1Modify) on the
 	// maintenance path, read immediately after by process(). Not for
@@ -394,6 +409,20 @@ type Warehouse struct {
 	// request; TraceSink receives every trace (defaults to Traces.Add).
 	Traces    *obs.TraceRing
 	TraceSink obs.TraceSink
+	// Node names this warehouse in cross-node span chains and
+	// propagation metrics (default "primary"); set it before EnableObs.
+	Node string
+	// Chains retains recent propagation span chains for the trace wire
+	// request; nil (tracing off) until EnableObs.
+	Chains *obs.ChainRing
+
+	// headOrigin is the newest origin stamp (Unix nanos) seen on any
+	// ingested report — the freshness watermark head the per-view
+	// watermarks lag behind.
+	headOrigin atomic.Int64
+	// walLatency observes origin→WAL-durable latency on durable
+	// warehouses; nil until EnableObs.
+	walLatency *obs.Histogram
 }
 
 // New returns a warehouse over src with its own view store.
@@ -441,6 +470,21 @@ func (w *Warehouse) EnableObs(reg *obs.Registry) {
 	reg.Help("gsv_view_state", "view staleness state (0 fresh, 1 stale, 2 repairing)")
 	reg.Help("gsv_traces_total", "maintenance traces emitted since startup")
 	reg.GaugeFunc("gsv_traces_total", func() float64 { return float64(w.Traces.Total()) })
+	// Propagation tracing (docs/OBSERVABILITY.md): span chains, the
+	// origin-to-stage latency histogram family, and the freshness
+	// watermarks the health endpoints and gsdbwatch -trace read.
+	if w.Chains == nil {
+		w.Chains = obs.NewChainRing(512)
+	}
+	ln := obs.L("node", w.nodeName())
+	reg.Help("gsv_propagation_seconds", "origin-to-stage propagation latency, by stage/view/node")
+	reg.Help("gsv_watermark_head_seconds", "newest origin stamp ingested on this node, as Unix seconds")
+	reg.Help("gsv_view_watermark_seconds", "newest origin stamp visible in the view, as Unix seconds")
+	reg.Help("gsv_view_freshness_lag_seconds", "how far the view's watermark trails the ingestion head")
+	reg.Help("gsv_chains_total", "propagation span chains recorded since startup")
+	reg.GaugeFunc("gsv_chains_total", func() float64 { return float64(w.Chains.Total()) }, ln)
+	reg.GaugeFunc("gsv_watermark_head_seconds", func() float64 { return float64(w.headOrigin.Load()) / 1e9 }, ln)
+	w.walLatency = reg.Histogram("gsv_propagation_seconds", nil, ln, obs.L("stage", "wal"))
 	w.Sched.Metrics.RegisterObs(reg, "warehouse")
 	// Views defined before EnableObs pick up their instruments now; views
 	// defined after register inside DefineView.
@@ -482,11 +526,30 @@ func (w *Warehouse) registerViewObs(v *WView) {
 	reg.RegisterCounter("gsv_view_cache_misses_total", &s.CacheMisses, lv)
 	v.maintainLatency = reg.Histogram("gsv_view_maintain_seconds", nil, lv)
 	v.sink = w.TraceSink
+	v.node = w.nodeName()
+	v.chains = w.Chains
+	if v.chains != nil {
+		ln := obs.L("node", v.node)
+		v.propagation = reg.Histogram("gsv_propagation_seconds", nil, ln, obs.L("stage", "maintain"), lv)
+		reg.GaugeFunc("gsv_view_watermark_seconds", func() float64 {
+			return float64(v.watermark.Load()) / 1e9
+		}, ln, lv)
+		reg.GaugeFunc("gsv_view_freshness_lag_seconds", func() float64 {
+			head, seen := w.headOrigin.Load(), v.watermark.Load()
+			if head <= seen {
+				return 0
+			}
+			return float64(head-seen) / 1e9
+		}, ln, lv)
+	}
 	// Delta counters are fed by the chained observer in DefineView, so the
 	// maintainer metrics carry only the per-stage latency histograms.
 	v.Maint.Metrics = &core.MaintainerMetrics{
 		ComputeLatency: reg.Histogram("gsv_view_compute_seconds", nil, lv),
 		ApplyLatency:   reg.Histogram("gsv_view_apply_seconds", nil, lv),
+	}
+	if v.chains != nil {
+		v.Maint.Metrics.StageObserver = v.noteMaintStage
 	}
 }
 
@@ -579,6 +642,17 @@ func (v *WView) publish(u store.Update, d core.Deltas) {
 	v.feed.Publish(v.Name, u, d)
 }
 
+// noteMaintStage records Algorithm 1 sub-stage timings. It runs inside
+// Maint.Apply, so procMu already serializes it with process.
+func (v *WView) noteMaintStage(stage string, nanos int64) {
+	switch stage {
+	case "compute":
+		v.lastComputeNanos = nanos
+	case "apply":
+		v.lastApplyNanos = nanos
+	}
+}
+
 // recordDeltas notes the delta sizes applied by one maintenance step.
 func (v *WView) recordDeltas(ins, del int) {
 	v.lastInserts, v.lastDeletes = ins, del
@@ -619,9 +693,14 @@ func (w *Warehouse) viewsSorted() []*WView {
 func (w *Warehouse) ProcessReport(r *UpdateReport) error {
 	// Write-ahead: a report that cannot be made durable is not processed,
 	// so the log never lags the views.
+	var walStart time.Time
+	if w.Chains != nil {
+		walStart = time.Now()
+	}
 	if err := w.logReports([]*UpdateReport{r}); err != nil {
 		return err
 	}
+	w.noteIngress([]*UpdateReport{r}, walStart)
 	w.absorbSourceGap()
 	var errs []error
 	for _, v := range w.viewsSorted() {
@@ -684,9 +763,14 @@ func (w *Warehouse) ProcessBatch(rs []*UpdateReport) error {
 	}
 	// Write-ahead: the whole batch becomes durable before any view
 	// processes it.
+	var walStart time.Time
+	if w.Chains != nil {
+		walStart = time.Now()
+	}
 	if err := w.logReports(rs); err != nil {
 		return err
 	}
+	w.noteIngress(rs, walStart)
 	w.absorbSourceGap()
 	views := w.viewsSorted()
 	w.Sched.Metrics.BatchSize.Observe(float64(len(rs)))
@@ -737,6 +821,51 @@ func (w *Warehouse) processViewBatch(v *WView, rs []*UpdateReport) error {
 	return errors.Join(errs...)
 }
 
+// nodeName returns the node label used in spans and propagation
+// metrics.
+func (w *Warehouse) nodeName() string {
+	if w.Node != "" {
+		return w.Node
+	}
+	return "primary"
+}
+
+// noteIngress advances the ingestion-head watermark and records the
+// WAL span for every stamped report — the first link of an update's
+// propagation chain on this node. No-op until EnableObs.
+func (w *Warehouse) noteIngress(rs []*UpdateReport, walStart time.Time) {
+	if w.Chains == nil {
+		return
+	}
+	now := time.Now()
+	node := w.nodeName()
+	walNanos := now.Sub(walStart).Nanoseconds()
+	for _, r := range rs {
+		u := r.Update
+		if u.Origin <= 0 {
+			continue
+		}
+		obs.AdvanceWatermark(&w.headOrigin, u.Origin)
+		if w.dur == nil {
+			continue // no WAL stage on a non-durable warehouse
+		}
+		if w.walLatency != nil {
+			w.walLatency.Observe(float64(now.UnixNano()-u.Origin) / 1e9)
+		}
+		if u.TraceID != "" {
+			w.Chains.Add(obs.SpanChain{
+				TraceID: u.TraceID, Seq: u.Seq, Kind: u.Kind.String(),
+				Origin: u.Origin, Node: node,
+				Spans: []obs.Span{{
+					Node: node, Stage: "wal",
+					Start: walStart.UnixNano() - u.Origin,
+					Nanos: walNanos,
+				}},
+			})
+		}
+	}
+}
+
 // FreshMembers returns a view's membership, but only when the view is
 // Fresh: a quarantined view answers ErrStaleView (test with errors.Is)
 // so strict readers never act on known-lagging data. Relaxed readers
@@ -758,7 +887,7 @@ func (v *WView) process(r *UpdateReport, src SourceAPI) error {
 
 	// Tracing and latency recording are off unless EnableObs ran; the
 	// disabled path costs one branch and no clock reads.
-	traced := v.sink != nil || v.maintainLatency != nil
+	traced := v.sink != nil || v.maintainLatency != nil || v.chains != nil
 	var t0, stageStart time.Time
 	var stages []obs.Stage
 	var statsPre remoteStatsSnap
@@ -781,6 +910,43 @@ func (v *WView) process(r *UpdateReport, src SourceAPI) error {
 		}
 		total := time.Since(t0)
 		v.maintainLatency.Observe(total.Seconds())
+		if err == nil && r.Update.Origin > 0 {
+			// The view now reflects this update (screened means it already
+			// did): advance its freshness watermark and observe the
+			// origin→maintained propagation latency.
+			obs.AdvanceWatermark(&v.watermark, r.Update.Origin)
+			if v.propagation != nil {
+				v.propagation.Observe(float64(t0.Add(total).UnixNano()-r.Update.Origin) / 1e9)
+			}
+		}
+		if v.chains != nil && r.Update.TraceID != "" && r.Update.Origin > 0 {
+			// This node's link of the update's cross-node span chain: the
+			// maintenance stages, laid out back to back from when this
+			// view picked the report up.
+			spans := make([]obs.Span, 0, len(stages))
+			off := t0.UnixNano() - r.Update.Origin
+			for _, st := range stages {
+				spans = append(spans, obs.Span{
+					Node: v.node, View: v.Name, Stage: st.Name,
+					Start: off, Nanos: st.Nanos,
+				})
+				if st.Name == "maintain" && v.lastComputeNanos+v.lastApplyNanos > 0 {
+					// Algorithm 1 sub-spans nested inside the maintain
+					// window, from the maintainer's StageObserver.
+					spans = append(spans,
+						obs.Span{Node: v.node, View: v.Name, Stage: "maintain.compute",
+							Start: off, Nanos: v.lastComputeNanos},
+						obs.Span{Node: v.node, View: v.Name, Stage: "maintain.apply",
+							Start: off + v.lastComputeNanos, Nanos: v.lastApplyNanos})
+				}
+				off += st.Nanos
+			}
+			v.chains.Add(obs.SpanChain{
+				TraceID: r.Update.TraceID, Seq: r.Update.Seq,
+				Kind: r.Update.Kind.String(), View: v.Name,
+				Origin: r.Update.Origin, Node: v.node, Spans: spans,
+			})
+		}
 		if v.sink == nil {
 			return
 		}
@@ -807,8 +973,9 @@ func (v *WView) process(r *UpdateReport, src SourceAPI) error {
 	}
 
 	// Reset before screening so a screened trace reports zero deltas
-	// rather than the previous report's.
+	// (and no stale sub-stage spans) rather than the previous report's.
 	v.lastInserts, v.lastDeletes = 0, 0
+	v.lastComputeNanos, v.lastApplyNanos = 0, 0
 	if v.screened(r) {
 		v.Stats.Screened.Inc()
 		stage("screen")

@@ -6,8 +6,8 @@
 // micro-benchmarks. Ratios, not absolute times, are what transfer
 // between machines: both legs of each ratio ran on the same box, so the
 // box divides out. Latency columns ("p99 prop", E14's propagation
-// freshness) are also gated, in the opposite direction — they regress
-// by rising.
+// freshness) are compared in the opposite direction — they regress by
+// rising.
 //
 // The committed baseline lives in bench/ (see EXPERIMENTS.md); CI's
 // bench-gate job regenerates a current report with the same
@@ -16,7 +16,18 @@
 //	benchgate -baseline bench/BENCH_<date>.json -current new.json [-tolerance 0.20]
 //
 // Exit status 1 means at least one ratio fell below
-// baseline*(1-tolerance), or a baselined metric disappeared.
+// baseline*(1-tolerance), a baselined metric disappeared, or an
+// absolute -floor/-ceiling was not met.
+//
+// Floors and ceilings are machine-independent claims gated regardless
+// of baseline drift: -floor 'E15\[shards=4\]\.scaling=2' asserts the
+// 4-shard federated maintenance run keeps at least twice the 1-shard
+// throughput on the current report, even if the committed baseline
+// itself ever sagged; -ceiling 'E14.*\.p99=25' asserts propagation
+// freshness stays under an absolute SLO. Percentile latencies swing
+// an order of magnitude between runs on shared runners, so CI gates
+// them with a ceiling and leaves the baseline comparison (-gate
+// excluding .p99) informational.
 package main
 
 import (
@@ -160,6 +171,68 @@ func metrics(r *report) map[string]float64 {
 	return out
 }
 
+// bound is one absolute constraint on current metrics: every metric
+// whose name matches re must be at least (floor) or at most (ceiling)
+// val, and at least one metric must match (a bound nothing matches is
+// lost coverage).
+type bound struct {
+	re      *regexp.Regexp
+	val     float64
+	ceiling bool
+}
+
+// parseBound reads a -floor/-ceiling argument, "name_regexp=value".
+func parseBound(s string, ceiling bool) (bound, error) {
+	i := strings.LastIndex(s, "=")
+	if i < 0 {
+		return bound{}, fmt.Errorf("want name_regexp=value, got %q", s)
+	}
+	re, err := regexp.Compile(s[:i])
+	if err != nil {
+		return bound{}, err
+	}
+	v, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil {
+		return bound{}, err
+	}
+	return bound{re: re, val: v, ceiling: ceiling}, nil
+}
+
+// applyBounds enforces the absolute floors and ceilings on the current
+// metrics and returns the number of failures.
+func applyBounds(w io.Writer, cur map[string]float64, bounds []bound) int {
+	names := make([]string, 0, len(cur))
+	for k := range cur {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, b := range bounds {
+		op, unit, breach := ">=", "x", "BELOW FLOOR"
+		if b.ceiling {
+			op, unit, breach = "<=", "ms", "ABOVE CEILING"
+		}
+		matched := false
+		for _, name := range names {
+			if !b.re.MatchString(name) {
+				continue
+			}
+			matched = true
+			status := "ok"
+			if (b.ceiling && cur[name] > b.val) || (!b.ceiling && cur[name] < b.val) {
+				status = breach
+				failures++
+			}
+			fmt.Fprintf(w, "%-50s %8.2f%s   %s %.2f%s  %s\n", name, cur[name], unit, op, b.val, unit, status)
+		}
+		if !matched {
+			fmt.Fprintf(w, "%-50s %10s   %s %.2f%s  NO METRIC MATCHES\n", b.re.String(), "-", op, b.val, unit)
+			failures++
+		}
+	}
+	return failures
+}
+
 func main() {
 	var (
 		basePath  = flag.String("baseline", "", "baseline benchviews JSON report (required)")
@@ -167,6 +240,23 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression before failing")
 		gate      = flag.String("gate", "", "regexp selecting which metrics are enforced (default: all); others print as informational")
 	)
+	var bounds []bound
+	flag.Func("floor", "absolute minimum on current ratio metrics, as 'name_regexp=min' (repeatable)", func(s string) error {
+		b, err := parseBound(s, false)
+		if err != nil {
+			return err
+		}
+		bounds = append(bounds, b)
+		return nil
+	})
+	flag.Func("ceiling", "absolute maximum on current latency metrics in ms, as 'name_regexp=max' (repeatable)", func(s string) error {
+		b, err := parseBound(s, true)
+		if err != nil {
+			return err
+		}
+		bounds = append(bounds, b)
+		return nil
+	})
 	flag.Parse()
 	if *basePath == "" || *curPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
@@ -193,7 +283,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	failures := compare(os.Stdout, metrics(base), metrics(cur), *tolerance, gateRe)
+	curMetrics := metrics(cur)
+	failures := compare(os.Stdout, metrics(base), curMetrics, *tolerance, gateRe)
+	failures += applyBounds(os.Stdout, curMetrics, bounds)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed beyond %.0f%%\n", failures, *tolerance*100)
 		os.Exit(1)

@@ -27,6 +27,15 @@ const sampleReport = `{
         ["1", "4", "100", "900", "4500", "1.0x", "0.40ms", "true"],
         ["4", "16", "100", "3200", "16000", "3.6x", "0.00ms", "true"]
       ]
+    },
+    {
+      "id": "E15",
+      "headers": ["shards", "updates", "reports", "upd/s", "scaling", "cross", "members equal"],
+      "rows": [
+        ["1", "1500", "1600", "800.0", "1.0x", "0", "true"],
+        ["4", "1500", "1620", "2600.0", "3.3x", "0", "true"],
+        ["8", "1500", "1630", "4400.0", "5.5x", "0", "true"]
+      ]
     }
   ],
   "benchmarks": [
@@ -56,6 +65,9 @@ func TestMetricsExtraction(t *testing.T) {
 		"E14[replicas=1].scaling": 1.0,
 		"E14[replicas=4].scaling": 3.6,
 		"E14[replicas=1].p99":     0.40,
+		"E15[shards=1].scaling":   1.0,
+		"E15[shards=4].scaling":   3.3,
+		"E15[shards=8].scaling":   5.5,
 		// replicas=4's "0.00ms" p99 means no stamped updates were
 		// applied and must NOT become a metric.
 		"bench[tuples=100].recompute_over_incremental": 50.0,
@@ -127,6 +139,54 @@ func TestCompareGateFilter(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "regressed (not gated)") {
 		t.Fatalf("missing informational marker:\n%s", out.String())
+	}
+}
+
+func TestFloorsAndCeilings(t *testing.T) {
+	cur := map[string]float64{"E15[shards=4].scaling": 3.3, "E15[shards=8].scaling": 5.5}
+	mustBound := func(s string, ceiling bool) bound {
+		b, err := parseBound(s, ceiling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var out bytes.Buffer
+	// The committed claim: 4-shard maintenance throughput holds >= 2x.
+	if n := applyBounds(&out, cur, []bound{mustBound(`E15\[shards=4\]\.scaling=2`, false)}); n != 0 {
+		t.Fatalf("floor met but %d failures\n%s", n, out.String())
+	}
+	// A current run below the floor fails even if it matches baseline.
+	out.Reset()
+	cur["E15[shards=4].scaling"] = 1.5
+	if n := applyBounds(&out, cur, []bound{mustBound(`E15\[shards=4\]\.scaling=2`, false)}); n != 1 {
+		t.Fatalf("floor breach: %d failures, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "BELOW FLOOR") {
+		t.Fatalf("missing BELOW FLOOR marker:\n%s", out.String())
+	}
+	// A bound no metric matches is lost coverage, not a silent pass.
+	out.Reset()
+	if n := applyBounds(&out, cur, []bound{mustBound(`E16.*=2`, false)}); n != 1 {
+		t.Fatalf("unmatched floor: %d failures, want 1\n%s", n, out.String())
+	}
+	if _, err := parseBound("no-separator", false); err == nil {
+		t.Fatal("malformed floor accepted")
+	}
+	// Ceilings gate latencies against an absolute SLO: under passes,
+	// over fails.
+	lat := map[string]float64{"E14[replicas=1].p99": 1.2}
+	out.Reset()
+	if n := applyBounds(&out, lat, []bound{mustBound(`E14.*\.p99=25`, true)}); n != 0 {
+		t.Fatalf("ceiling met but %d failures\n%s", n, out.String())
+	}
+	out.Reset()
+	lat["E14[replicas=1].p99"] = 40
+	if n := applyBounds(&out, lat, []bound{mustBound(`E14.*\.p99=25`, true)}); n != 1 {
+		t.Fatalf("ceiling breach: %d failures, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "ABOVE CEILING") {
+		t.Fatalf("missing ABOVE CEILING marker:\n%s", out.String())
 	}
 }
 

@@ -61,6 +61,7 @@ func main() {
 		{"E12", experiments.E12ParallelBatchedMaintenance},
 		{"E13", experiments.E13CrashRecovery},
 		{"E14", experiments.E14ReplicaScaling},
+		{"E15", experiments.E15ShardScaling},
 	}
 	var tables []*experiments.Table
 	for _, r := range runners {
@@ -79,7 +80,7 @@ func main() {
 		}
 	}
 	if len(tables) == 0 {
-		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E14)\n", *only)
+		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E15)\n", *only)
 		os.Exit(1)
 	}
 	if *jsonOut {

@@ -108,6 +108,7 @@ func main() {
 	var feeds feedSpecs
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		sources  = flag.Int("sources", 1, "serve the database partitioned across N federated sources, shard k on the -addr port plus k (requires -sample relations)")
 		sample   = flag.String("sample", "relations", "sample database: person|figure1|relations")
 		tuples   = flag.Int("tuples", 50, "tuples per relation for -sample relations")
 		snapshot = flag.String("snapshot", "", "serve a snapshot file instead of a sample")
@@ -135,6 +136,26 @@ func main() {
 	flag.Var(&feeds, "feed", "host a warehouse view NAME=QUERY and expose its changefeed (repeatable)")
 	flag.Parse()
 	setupLogging(*logLevel)
+
+	if *sources > 1 {
+		// Federated mode: N autonomous sources over a partitioned sample,
+		// supervised by a co-located Federation (federated.go). Modes that
+		// assume exactly one source stay single-source-only.
+		if *sample != "relations" || *snapshot != "" {
+			fatal("-sources requires -sample relations (partitioning needs the relational sample)")
+		}
+		if *dataDir != "" {
+			fatal("-data is not supported with -sources (per-shard durability is not wired yet)")
+		}
+		runFederated(fedParams{
+			addr: *addr, sources: *sources, tuples: *tuples, level: *level,
+			updates: *updates, interval: *interval, seed: *seed,
+			feeds: feeds, debug: *debug,
+			chaos: *chaos, chaosSeed: *chaosSeed, chaosDrop: *chaosDrop,
+			chaosErr: *chaosErr, chaosDelay: *chaosDelay, chaosLag: *chaosLag,
+		})
+		return
+	}
 
 	s := store.NewDefault()
 	var sets, atoms []oem.OID

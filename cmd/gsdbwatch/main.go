@@ -64,25 +64,38 @@ func fatal(msg string, args ...any) {
 	os.Exit(1)
 }
 
+// setupLogging installs the process-wide slog handler (the same
+// handler gsdbserve uses, so a pipeline of both logs uniformly).
+func setupLogging(level string) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "-log-level %q: %v\n", level, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "source address")
-		vq      = flag.String("view", "SELECT REL.r0.tuple X WHERE X.age > 30", "view definition query")
-		cache   = flag.String("cache", "none", "auxiliary cache: none|partial|full")
-		dur     = flag.Duration("for", 30*time.Second, "how long to watch")
-		follow  = flag.String("follow", "", "follow a server-maintained view's changefeed instead of defining a view here")
-		from    = flag.Int64("from", -1, "changefeed resume cursor: -1 tail, 0 full history, N resume after N")
-		snap    = flag.Bool("snapshot", false, "fall back to a full snapshot when the resume cursor has expired")
-		policy  = flag.String("policy", "", "slow-consumer policy to request: block|drop|disconnect (server default when empty)")
-		nevents = flag.Int("events", 0, "stop -follow after this many events (0 = until -for elapses)")
-		state   = flag.String("state", "", "with -follow, persist the last consumed cursor to this file and resume from it on restart")
-		stats   = flag.Bool("stats", false, "fetch and render the server's per-view stats instead of watching a view")
-		trace   = flag.Bool("trace", false, "fetch and render the node's propagation span chains (optional positional arg filters to one view)")
-		watch   = flag.Bool("watch", false, "with -stats/-trace, refresh until -for elapses")
-		every   = flag.Duration("every", 2*time.Second, "refresh interval for -stats/-trace -watch")
-		last    = flag.Int("last", 8, "with -trace, render only the newest N traces (0 = all retained)")
+		addr     = flag.String("addr", "127.0.0.1:7070", "source address")
+		vq       = flag.String("view", "SELECT REL.r0.tuple X WHERE X.age > 30", "view definition query")
+		cache    = flag.String("cache", "none", "auxiliary cache: none|partial|full")
+		dur      = flag.Duration("for", 30*time.Second, "how long to watch")
+		follow   = flag.String("follow", "", "follow a server-maintained view's changefeed instead of defining a view here")
+		from     = flag.Int64("from", -1, "changefeed resume cursor: -1 tail, 0 full history, N resume after N")
+		snap     = flag.Bool("snapshot", false, "fall back to a full snapshot when the resume cursor has expired")
+		policy   = flag.String("policy", "", "slow-consumer policy to request: block|drop|disconnect (server default when empty)")
+		nevents  = flag.Int("events", 0, "stop -follow after this many events (0 = until -for elapses)")
+		state    = flag.String("state", "", "with -follow, persist the last consumed cursor to this file and resume from it on restart")
+		stats    = flag.Bool("stats", false, "fetch and render the server's per-view stats instead of watching a view")
+		trace    = flag.Bool("trace", false, "fetch and render the node's propagation span chains (optional positional arg filters to one view)")
+		watch    = flag.Bool("watch", false, "with -stats/-trace, refresh until -for elapses")
+		every    = flag.Duration("every", 2*time.Second, "refresh interval for -stats/-trace -watch")
+		last     = flag.Int("last", 8, "with -trace, render only the newest N traces (0 = all retained)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	)
 	flag.Parse()
+	setupLogging(*logLevel)
 
 	if *stats {
 		err := runStats(os.Stdout, statsConfig{
@@ -314,6 +327,7 @@ func renderStats(out io.Writer, p *warehouse.StatsPayload) {
 		}
 	}
 	renderReplicaStats(out, p)
+	renderSourceStats(out, p)
 	if ws := p.RemoteWire; ws != nil {
 		fmt.Fprintf(out, "client wire: reconnects=%d retries=%d gaps=%d bad-frames=%d\n",
 			ws.QueryReconnects+ws.ReportReconnects, ws.Retries, ws.Gaps, ws.BadFrames)
@@ -372,6 +386,63 @@ func renderReplicaStats(out io.Writer, p *warehouse.StatsPayload) {
 			get("gsv_replica_applied_deltas_total", obs.L("op", "delete")),
 			get("gsv_replica_feed_redials_total"),
 			get("gsv_replica_rejected_reads_total"))
+	}
+}
+
+// renderSourceStats prints one line per federated source when the
+// stats payload came from a federated node (docs/WAREHOUSE.md,
+// "Multi-source federation & failure model"): its supervisor state,
+// circuit-breaker counters and ingest watermark age, plus one summary
+// line of the federation's cross-shard traffic. A single-source
+// payload carries no gsv_source_state metrics and prints nothing.
+func renderSourceStats(out io.Writer, p *warehouse.StatsPayload) {
+	sources := map[string]bool{}
+	var order []string
+	for _, m := range p.Registry.Metrics {
+		if m.Name != "gsv_source_state" {
+			continue
+		}
+		if s := m.Labels["source"]; s != "" && !sources[s] {
+			sources[s] = true
+			order = append(order, s)
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.Strings(order)
+	fmt.Fprintf(out, "%-12s %-10s %8s %8s %10s %12s\n",
+		"SOURCE", "STATE", "TRIPS", "PROBES", "DEGR-READS", "WATERMARK")
+	for _, name := range order {
+		get := func(metric string) float64 {
+			mp, _ := p.Registry.Get(metric, obs.L("source", name))
+			return mp.Value
+		}
+		state := "-"
+		if mp, ok := p.Registry.Get("gsv_source_state", obs.L("source", name)); ok {
+			state = warehouse.SourceState(int32(mp.Value)).String()
+		}
+		// The watermark gauge is the newest drained origin stamp as Unix
+		// seconds; render its age at snapshot time (0 = nothing drained).
+		watermark := "-"
+		if wm := get("gsv_source_watermark_seconds"); wm > 0 {
+			age := p.Registry.TakenAt.Sub(time.Unix(0, int64(wm*1e9)))
+			watermark = fmt.Sprintf("%.2fs ago", age.Seconds())
+		}
+		fmt.Fprintf(out, "%-12s %-10s %8.0f %8.0f %10.0f %12s\n",
+			name, state,
+			get("gsv_source_trips_total"), get("gsv_source_probes_total"),
+			get("gsv_source_degraded_reads_total"), watermark)
+	}
+	fed := func(metric string) float64 {
+		mp, _ := p.Registry.Get(metric)
+		return mp.Value
+	}
+	if n := fed("gsv_federation_sources"); n > 0 {
+		fmt.Fprintf(out, "federation: sources=%.0f cross-fetches=%.0f batched=%.0f partial-reads=%.0f\n",
+			n, fed("gsv_federation_cross_fetches_total"),
+			fed("gsv_federation_cross_batched_total"),
+			fed("gsv_federation_partial_reads_total"))
 	}
 }
 

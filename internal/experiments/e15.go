@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gsv/internal/faults"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/warehouse"
+	"gsv/internal/workload"
+)
+
+// e15ServiceDelay models each source server's fixed per-request service
+// latency (RTT + handling at a remote source), injected on every query
+// back a shard's maintenance issues to its source. Without it all
+// shards share the benchmark host's CPU and shard-count scaling is
+// invisible; with it, maintenance is bound by per-source round trips —
+// the cost partitioning exists to divide.
+const e15ServiceDelay = time.Millisecond
+
+// e15Views are the two federated views, one per relation, on the age
+// field the update stream keeps modifying.
+var e15Views = []struct{ name, stmt string }{
+	{"AGE0", "SELECT REL.r0.tuple X WHERE X.age > 30"},
+	{"AGE1", "SELECT REL.r1.tuple X WHERE X.age > 50"},
+}
+
+// E15ShardScaling measures the federated warehouse (docs/WAREHOUSE.md,
+// "Multi-source federation & failure model"): the same base GSDB is
+// hash-partitioned with subtree affinity across 1, 2, 4 and 8 source
+// shards, every shard's report stream feeds its own member views, and
+// one Federation.Pump round absorbs an identical update mix. Each
+// source charges a fixed service delay per query back, so maintenance
+// throughput is bound by how many sources serve the query backs
+// concurrently — it should scale near-linearly with the shard count.
+// After the round every federated view must equal the union of
+// from-scratch recomputes over all shard stores.
+func E15ShardScaling(cfg Config) *Table {
+	t := &Table{
+		ID:    "E15",
+		Title: "federated maintenance scaling: throughput vs source shard count",
+		Caption: "Sharded multi-source warehouse (docs/WAREHOUSE.md). The base GSDB is " +
+			"hash-partitioned with subtree affinity across N autonomous sources; " +
+			"each shard maintains member views over its partition and the " +
+			"federation unions them. Every source models a fixed per-query-back " +
+			"service latency (1ms), so a maintenance round is bound by per-source " +
+			"round trips. upd/s is updates absorbed per second of Pump wall time; " +
+			"scaling is upd/s relative to the 1-shard run (gated: the 4-shard run " +
+			"must hold at least 2x). cross is cross-shard query backs (affinity " +
+			"keeps it near zero). After the round every federated view must match " +
+			"the union of from-scratch recomputes over all shards.",
+		Headers: []string{"shards", "updates", "reports", "upd/s",
+			"scaling", "cross", "members equal"},
+	}
+	updates := 5 * cfg.Updates
+	var baseUPS float64
+	for _, n := range []int{1, 2, 4, 8} {
+		reports, elapsed, cross, equal := e15Run(cfg, n, updates)
+		if !equal {
+			panic(fmt.Sprintf("E15: federated membership diverged at n=%d", n))
+		}
+		ups := float64(updates) / elapsed.Seconds()
+		if n == 1 {
+			baseUPS = ups
+		}
+		t.AddRow(n, updates, reports, ups, ratio(ups, baseUPS), cross, equal)
+	}
+	return t
+}
+
+// e15Run builds one n-shard federation over a partitioned relational
+// base, applies the update mix spread evenly across the shards, and
+// times the Pump rounds that absorb it.
+func e15Run(cfg Config, n, updates int) (reports int, elapsed time.Duration, cross uint64, equal bool) {
+	base := store.NewDefault()
+	db := workload.RelationLike(base, workload.RelationConfig{
+		Relations: 2, TuplesPerRelation: 50 * cfg.Scale, FieldsPerTuple: 5, Seed: cfg.Seed,
+	})
+	p := warehouse.NewPartitioner(n)
+	stores, err := warehouse.PartitionStore(base, p, warehouse.PartitionConfig{Affinity: true})
+	if err != nil {
+		panic(err)
+	}
+	sources := make([]warehouse.SourceAPI, n)
+	for k := 0; k < n; k++ {
+		src := warehouse.NewSource(fmt.Sprintf("source%d", k), stores[k], db.Root,
+			warehouse.Level2, warehouse.NewTransport(0))
+		src.DrainReports()
+		// The per-source service charge: every query back pays one
+		// "round trip" to this shard's (otherwise in-process) source.
+		sources[k] = warehouse.WrapSource(src, faults.New(faults.Config{
+			DelayProb: 1, Delay: e15ServiceDelay,
+		}))
+	}
+	fed, err := warehouse.NewFederation(sources, warehouse.FederationConfig{Partitioner: p})
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range e15Views {
+		if err := fed.DefineView(v.name, query.MustParse(v.stmt), warehouse.ViewConfig{Screening: true}); err != nil {
+			panic(err)
+		}
+	}
+
+	// One update stream per shard over its owned tuples; the total mix
+	// is spread evenly, modelling sources that update autonomously.
+	streams := make([]*workload.Stream, n)
+	for k := 0; k < n; k++ {
+		var sets, atoms []oem.OID
+		for _, r := range db.Relations {
+			sets = append(sets, r.OID)
+			for _, tu := range r.Tuples {
+				if !stores[k].Has(tu) {
+					continue
+				}
+				sets = append(sets, tu)
+				kids, _ := stores[k].Children(tu)
+				atoms = append(atoms, kids...)
+			}
+		}
+		streams[k] = workload.NewStream(stores[k], workload.StreamConfig{
+			Seed: cfg.Seed + int64(k), ValueRange: 60,
+		}, sets, atoms)
+	}
+	for i := 0; i < updates; i++ {
+		if _, ok := streams[i%n].Next(); !ok {
+			panic("E15: stream exhausted")
+		}
+	}
+
+	start := time.Now()
+	for {
+		nproc, err := fed.Pump()
+		if err != nil {
+			panic(err)
+		}
+		reports += nproc
+		if nproc == 0 {
+			break
+		}
+	}
+	elapsed = time.Since(start)
+
+	equal = true
+	for _, v := range e15Views {
+		got, err := fed.Members(v.name)
+		if err != nil {
+			panic(err)
+		}
+		q := query.MustParse(v.stmt)
+		seen := make(map[oem.OID]bool)
+		var want []oem.OID
+		for _, st := range stores {
+			ms, err := query.NewEvaluator(st).Eval(q)
+			if err != nil {
+				panic(err)
+			}
+			for _, m := range ms {
+				if !seen[m] {
+					seen[m] = true
+					want = append(want, m)
+				}
+			}
+		}
+		if !oem.SameMembers(got, oem.SortOIDs(want)) {
+			equal = false
+		}
+	}
+	return reports, elapsed, fed.CrossFetches(), equal
+}

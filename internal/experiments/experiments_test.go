@@ -231,7 +231,7 @@ func TestAllRuns(t *testing.T) {
 	cfg := SmallConfig()
 	cfg.Updates = 30
 	tables := All(cfg)
-	if len(tables) != 14 {
+	if len(tables) != 15 {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	var buf bytes.Buffer

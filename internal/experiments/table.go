@@ -150,5 +150,6 @@ func All(cfg Config) []*Table {
 		E12ParallelBatchedMaintenance(cfg),
 		E13CrashRecovery(cfg),
 		E14ReplicaScaling(cfg),
+		E15ShardScaling(cfg),
 	}
 }

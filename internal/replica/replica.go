@@ -162,6 +162,14 @@ type Replica struct {
 	connMu   sync.Mutex
 	feedConn *warehouse.MultiFeedClient
 
+	// waitMu/waitCond park Wait* callers until progress is made
+	// (checkCaughtUp, reconcileView, Close all broadcast) instead of
+	// polling. Lock order: waitMu may be held while taking mu or lagMu,
+	// never the reverse — broadcasters call notifyWaiters with no other
+	// lock held.
+	waitMu   sync.Mutex
+	waitCond *sync.Cond
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -211,6 +219,7 @@ func New(o Options) (*Replica, error) {
 		startedAt: time.Now(),
 		chains:    obs.NewChainRing(512),
 	}
+	r.waitCond = sync.NewCond(&r.waitMu)
 	r.store = store.New(store.Options{ParentIndex: true, LabelIndex: true, AllowDangling: true})
 	r.hub = feed.NewHub(feed.Options{RingSize: o.RingSize})
 
@@ -265,6 +274,7 @@ func (r *Replica) Close() {
 		return
 	}
 	close(r.closeCh)
+	r.notifyWaiters()
 	r.connMu.Lock()
 	if r.feedConn != nil {
 		r.feedConn.Close()
@@ -343,41 +353,49 @@ func (r *Replica) CaughtUpSeq() uint64 {
 	return r.caughtUpSeq
 }
 
+// notifyWaiters wakes every Wait*/Reconcile caller to re-check its
+// condition. The empty waitMu critical section orders the caller's
+// state change before a parked waiter's re-check (a waiter holds
+// waitMu from check to Wait, so the broadcast cannot slip between).
+func (r *Replica) notifyWaiters() {
+	r.waitMu.Lock()
+	//lint:ignore SA2001 ordering-only critical section, see comment
+	r.waitMu.Unlock()
+	r.waitCond.Broadcast()
+}
+
+// waitUntil parks the caller until pred holds, the timeout elapses, or
+// the replica closes, and reports pred's final value. pred may take mu
+// or lagMu (waitMu is ordered before both).
+func (r *Replica) waitUntil(timeout time.Duration, pred func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, r.notifyWaiters)
+	defer timer.Stop()
+	r.waitMu.Lock()
+	defer r.waitMu.Unlock()
+	for !pred() {
+		if r.closed.Load() || !time.Now().Before(deadline) {
+			return pred()
+		}
+		r.waitCond.Wait()
+	}
+	return true
+}
+
 // WaitSeq blocks until the replica has fully caught up with primary
 // sequence seq, or the timeout elapses; it reports success.
 func (r *Replica) WaitSeq(seq uint64, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if r.CaughtUpSeq() >= seq {
-			return true
-		}
-		select {
-		case <-r.closeCh:
-			return false
-		case <-time.After(2 * time.Millisecond):
-		}
-	}
-	return r.CaughtUpSeq() >= seq
+	return r.waitUntil(timeout, func() bool { return r.CaughtUpSeq() >= seq })
 }
 
 // WaitCaughtUp blocks until the replica has heard from the primary and
 // has zero sequence lag, or the timeout elapses; it reports success.
 func (r *Replica) WaitCaughtUp(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	return r.waitUntil(timeout, func() bool {
 		r.lagMu.Lock()
-		ok := r.primarySeq > 0 && r.caughtUpSeq >= r.primarySeq
-		r.lagMu.Unlock()
-		if ok {
-			return true
-		}
-		select {
-		case <-r.closeCh:
-			return false
-		case <-time.After(2 * time.Millisecond):
-		}
-	}
-	return false
+		defer r.lagMu.Unlock()
+		return r.primarySeq > 0 && r.caughtUpSeq >= r.primarySeq
+	})
 }
 
 // Reconcile forces a full snapshot reconcile of every view: the feed
@@ -397,24 +415,21 @@ func (r *Replica) Reconcile() error {
 		r.feedConn.Close()
 	}
 	r.connMu.Unlock()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if r.closed.Load() {
-			return errors.New("replica: closed")
-		}
-		pending := false
+	done := r.waitUntil(10*time.Second, func() bool {
 		r.mu.Lock()
+		defer r.mu.Unlock()
 		for _, v := range r.views {
 			if v.snapWanted.Load() {
-				pending = true
-				break
+				return false
 			}
 		}
-		r.mu.Unlock()
-		if !pending {
-			return nil
-		}
-		time.Sleep(2 * time.Millisecond)
+		return true
+	})
+	if done {
+		return nil
+	}
+	if r.closed.Load() {
+		return errors.New("replica: closed")
 	}
 	return errors.New("replica: reconcile timed out")
 }
@@ -649,7 +664,12 @@ func (r *Replica) handleStream(mfc *warehouse.MultiFeedClient) {
 		v := r.ensureView(vh.View)
 		if vh.Snapshot != nil {
 			if err := r.reconcileView(v, vh.Snapshot); err != nil {
-				return // primary unreachable mid-reconcile; redial
+				// A degraded primary (e.g. transient fetch faults at one
+				// shard of a federation) must not stall every view: this
+				// one stays marked for snapshot (snapWanted survives the
+				// failure) and re-reconciles on the next handshake, while
+				// the remaining views reconcile and stream now.
+				continue
 			}
 		}
 		cursors[vh.View] = vh.Cursor
@@ -723,9 +743,11 @@ func (r *Replica) applyEvent(ev feed.Event) error {
 		d := core.DelegateOID(v.mv.OID, b)
 		if r.store.HasChild(v.mv.OID, d) {
 			if err := r.store.Delete(v.mv.OID, d); err != nil {
+				v.snapWanted.Store(true)
 				return err
 			}
 			if err := r.store.Remove(d); err != nil {
+				v.snapWanted.Store(true)
 				return err
 			}
 			r.deletes.Inc()
@@ -733,6 +755,12 @@ func (r *Replica) applyEvent(ev feed.Event) error {
 	}
 	for _, b := range ev.Insert {
 		if err := r.insertMember(v, b); err != nil {
+			// Half-applied event: the cursor was not advanced, so a
+			// resume from here would replay it — but the fetch may keep
+			// failing while the stream outruns the replay ring, and a
+			// later cursor resume would then lose the members for good.
+			// Force a snapshot reconcile on the next handshake instead.
+			v.snapWanted.Store(true)
 			return err
 		}
 		r.inserts.Inc()
@@ -847,6 +875,7 @@ func (r *Replica) reconcileView(v *rview, snap *warehouse.FeedSnapshot) error {
 	v.snapWanted.Store(false)
 	v.booted = true
 	r.hub.RestoreCursor(v.name, snap.Cursor)
+	r.notifyWaiters()
 	return nil
 }
 
@@ -895,6 +924,7 @@ func (r *Replica) checkCaughtUp() {
 	}
 	r.caughtUpAt = time.Now()
 	r.lagMu.Unlock()
+	r.notifyWaiters()
 }
 
 // backoff computes the jittered exponential redial delay.

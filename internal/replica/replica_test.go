@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"gsv/internal/faults"
 	"gsv/internal/feed"
 	"gsv/internal/obs"
 	"gsv/internal/oem"
@@ -448,5 +449,84 @@ func TestDialMultiFeedUnknownView(t *testing.T) {
 	}
 	if errors.Is(err, warehouse.ErrUnsupportedRequest) {
 		t.Fatalf("unknown view misread as version mismatch: %v", err)
+	}
+}
+
+// TestReplicaWaitersWakeOnClose pins the wakeup semantics of the
+// condition-based waits: a parked WaitSeq returns (false) promptly when
+// the replica closes, without waiting out its timeout.
+func TestReplicaWaitersWakeOnClose(t *testing.T) {
+	p := startPrimary(t, 64)
+	r, err := replica.New(replica.Options{Name: "r1", Primary: p.addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSynced(t, p, r)
+
+	done := make(chan bool, 1)
+	go func() { done <- r.WaitSeq(p.src.Store.Seq()+1000, 30*time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	r.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("WaitSeq reported success for a sequence that never happened")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitSeq still parked after Close")
+	}
+}
+
+// TestReplicaDegradedPrimaryPartition drives the replica through a full
+// network partition of the primary (every connection errors, feed
+// included) while maintenance continues and the tiny replay ring
+// overflows, then heals it: the redial loop must re-establish the feed
+// and converge through a snapshot reconcile.
+func TestReplicaDegradedPrimaryPartition(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := warehouse.NewSource("persons", s, "ROOT", warehouse.Level2, warehouse.NewTransport(0))
+	src.DrainReports()
+	w := warehouse.New(src)
+	w.Feed = feed.NewHub(feed.Options{RingSize: 4})
+	for name, q := range map[string]string{
+		"YP":     "SELECT ROOT.professor X WHERE X.age <= 45",
+		"SENIOR": "SELECT ROOT.professor X WHERE X.age >= 50",
+	} {
+		if _, err := w.DefineView(name, query.MustParse(q), warehouse.ViewConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj := faults.New(faults.Config{Seed: 5})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := warehouse.NewServer(src)
+	srv.Feed = w.Feed
+	srv.Members = w.FreshMembers
+	srv.FeedProgressInterval = 20 * time.Millisecond
+	go func() { _ = srv.Serve(inj.WrapListener(ln)) }()
+	t.Cleanup(srv.Close)
+	p := &primary{src: src, w: w, server: srv, addr: ln.Addr().String()}
+
+	r, err := replica.New(replica.Options{
+		Name: "r1", Primary: p.addr, RedialBase: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	waitSynced(t, p, r)
+
+	inj.Partition(true)
+	p.toggle(t, 10) // overflow the 4-slot ring while unreachable
+	if r.WaitSeq(p.src.Store.Seq(), 150*time.Millisecond) {
+		t.Fatal("replica caught up through a partition")
+	}
+	inj.Partition(false)
+	waitSynced(t, p, r)
+	if r.Resyncs() == 0 {
+		t.Fatal("expected a snapshot reconcile after the ring overflowed")
 	}
 }

@@ -2,6 +2,7 @@ package warehouse
 
 import (
 	"errors"
+	"strings"
 
 	"gsv/internal/core"
 )
@@ -25,4 +26,38 @@ var (
 	// quarantined (Stale or Repairing) and whose membership may lag the
 	// source; see Warehouse.FreshMembers.
 	ErrStaleView = errors.New("warehouse: view is stale")
+
+	// ErrPartialResult reports a federated read served from the healthy
+	// partitions only; the concrete error is a *PartialResultError naming
+	// the missing partitions. Detect with errors.Is, unpack with
+	// errors.As.
+	ErrPartialResult = errors.New("warehouse: partial result")
 )
+
+// PartialResultError is the graceful-degradation read error: the
+// federation answered from the partitions it could reach, and Missing
+// names the sources whose partitions are absent from the answer. It
+// matches ErrPartialResult under errors.Is.
+type PartialResultError struct {
+	// View is the federated view or query the read targeted.
+	View string
+	// Missing names the unavailable sources, sorted.
+	Missing []string
+	// Cause is the first per-source failure, if retained.
+	Cause error
+}
+
+// Error implements error.
+func (e *PartialResultError) Error() string {
+	msg := "warehouse: partial result for " + e.View + " (missing: " + strings.Join(e.Missing, ", ") + ")"
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Is matches ErrPartialResult.
+func (e *PartialResultError) Is(target error) bool { return target == ErrPartialResult }
+
+// Unwrap exposes the first per-source failure.
+func (e *PartialResultError) Unwrap() error { return e.Cause }

@@ -1,0 +1,678 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gsv/internal/obs"
+	"gsv/internal/oem"
+	"gsv/internal/pathexpr"
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// Federation is the §5 / Figure 6 warehouse over *many* autonomous
+// sources: the base GSDB is partitioned across N source shards (see
+// partition.go), each shard's report stream is drained concurrently
+// into its own per-shard Warehouse, and federated views are the union
+// of per-shard member views (named <view>@<source>, the Integrator's
+// convention). Algorithm 1 maintenance at one shard that needs an
+// object owned by another shard issues a cross-shard query back routed
+// by the Partitioner and memoized per maintenance round, so a round's
+// repeated foreign fetches are batched into one wire call each.
+//
+// Robustness (docs/WAREHOUSE.md, "Multi-source federation & failure
+// model"): every source call is guarded by that source's
+// SourceSupervisor (health.go) — a circuit breaker that fails calls
+// fast once the source is Down. Tripping quarantines only the member
+// views on that partition via the Fresh/Stale/Repairing machinery;
+// reads over the healthy partitions keep serving, and a spanning read
+// missing partitions returns the healthy union plus a typed
+// *PartialResultError naming what is missing. Repair query-backs
+// double as the breaker's half-open probes, so a restarted source is
+// re-admitted and its partition resynced by the same Pump loop.
+type Federation struct {
+	part   *Partitioner
+	quorum int
+	shards []*fedShard
+	byName map[string]*fedShard
+
+	// mu guards views (DefineView vs concurrent reads).
+	mu    sync.RWMutex
+	views map[string]*fedView
+
+	// crossMu guards the per-round cross-shard fetch memo (reset by
+	// beginRound): within one maintenance round every foreign OID is
+	// fetched from its owner at most once.
+	crossMu sync.Mutex
+	cross   map[oem.OID]*oem.Object
+
+	crossFetches obs.Counter // cross-shard query backs issued
+	crossBatched obs.Counter // cross-shard fetches answered by the round memo
+	partialReads obs.Counter // federated reads served partially
+}
+
+// fedShard is one partition: its source, supervisor and warehouse.
+type fedShard struct {
+	id   int
+	name string
+	raw  SourceAPI
+	src  *shardSource
+	sup  *SourceSupervisor
+	w    *Warehouse
+}
+
+// fedView is one federated view's bookkeeping: which shards host a
+// member view. A spanning view is hosted on every shard; a rooted view
+// on exactly one.
+type fedView struct {
+	name     string
+	spanning bool
+	hosts    []*fedShard
+}
+
+// FederationConfig tunes a Federation.
+type FederationConfig struct {
+	// Supervisor configures every per-source supervisor.
+	Supervisor SupervisorConfig
+	// Quorum is the minimum number of non-Down sources for Ready
+	// (default: a majority, n/2+1).
+	Quorum int
+	// Partitioner, when set, routes cross-shard query backs: an object
+	// a shard's maintenance needs but does not hold locally is fetched
+	// from its owner shard. Without it every shard is assumed
+	// self-contained (subtree-affinity partitioning).
+	Partitioner *Partitioner
+}
+
+// MemberViewName names the per-shard member view of a federated view —
+// the Integrator's <view>@<source> convention.
+func MemberViewName(view, source string) string { return view + "@" + source }
+
+// NewFederation builds a federation over the given sources, one shard
+// per source in the given order (shard k serves partition k of the
+// configured Partitioner).
+func NewFederation(sources []SourceAPI, cfg FederationConfig) (*Federation, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("warehouse: federation needs at least one source")
+	}
+	quorum := cfg.Quorum
+	if quorum <= 0 {
+		quorum = len(sources)/2 + 1
+	}
+	if quorum > len(sources) {
+		return nil, fmt.Errorf("warehouse: quorum %d exceeds %d sources", quorum, len(sources))
+	}
+	f := &Federation{
+		part:   cfg.Partitioner,
+		quorum: quorum,
+		byName: make(map[string]*fedShard, len(sources)),
+		views:  make(map[string]*fedView),
+		cross:  make(map[oem.OID]*oem.Object),
+	}
+	for k, raw := range sources {
+		if _, dup := f.byName[raw.ID()]; dup {
+			return nil, fmt.Errorf("warehouse: duplicate federated source %s", raw.ID())
+		}
+		sh := &fedShard{id: k, name: raw.ID(), raw: raw}
+		sh.sup = NewSourceSupervisor(sh.name, cfg.Supervisor)
+		sh.src = &shardSource{fed: f, shard: k, raw: raw, sup: sh.sup}
+		sh.w = New(sh.src)
+		sh.w.Node = sh.name
+		sh.sup.onTrip = func() { f.quarantineShard(sh) }
+		f.shards = append(f.shards, sh)
+		f.byName[sh.name] = sh
+	}
+	return f, nil
+}
+
+// Shards returns the number of federated sources.
+func (f *Federation) Shards() int { return len(f.shards) }
+
+// Partitioner returns the OID placement function, nil when the
+// federation was built without one.
+func (f *Federation) Partitioner() *Partitioner { return f.part }
+
+// SourceNames returns the federated source names in shard order.
+func (f *Federation) SourceNames() []string {
+	out := make([]string, len(f.shards))
+	for i, sh := range f.shards {
+		out[i] = sh.name
+	}
+	return out
+}
+
+// Warehouse returns the per-shard warehouse for a source — the escape
+// hatch for inspecting one partition directly.
+func (f *Federation) Warehouse(source string) (*Warehouse, bool) {
+	sh, ok := f.byName[source]
+	if !ok {
+		return nil, false
+	}
+	return sh.w, true
+}
+
+// Supervisor returns the health supervisor for a source.
+func (f *Federation) Supervisor(source string) (*SourceSupervisor, bool) {
+	sh, ok := f.byName[source]
+	if !ok {
+		return nil, false
+	}
+	return sh.sup, true
+}
+
+// DefineView registers a federated view spanning every shard: the same
+// simple query is defined as a member view on each per-shard warehouse,
+// and Members unions the per-shard memberships.
+func (f *Federation) DefineView(name string, q *query.Query, cfg ViewConfig) error {
+	return f.define(name, q, cfg, f.shards, true)
+}
+
+// DefineViewAt registers a federated view rooted in one source's
+// partition: only that shard hosts a member view, and a dead shard
+// makes the view unavailable rather than partial.
+func (f *Federation) DefineViewAt(name, source string, q *query.Query, cfg ViewConfig) error {
+	sh, ok := f.byName[source]
+	if !ok {
+		return fmt.Errorf("warehouse: unknown federated source %s", source)
+	}
+	return f.define(name, q, cfg, []*fedShard{sh}, false)
+}
+
+func (f *Federation) define(name string, q *query.Query, cfg ViewConfig, hosts []*fedShard, spanning bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.views[name]; dup {
+		return fmt.Errorf("%w: federated view %s", ErrViewExists, name)
+	}
+	for _, sh := range hosts {
+		if _, err := sh.w.DefineView(MemberViewName(name, sh.name), q, cfg); err != nil {
+			return err
+		}
+	}
+	f.views[name] = &fedView{name: name, spanning: spanning, hosts: hosts}
+	return nil
+}
+
+// ViewNames returns the federated view names, sorted.
+func (f *Federation) ViewNames() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.views))
+	for n := range f.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Members returns a federated view's membership: the union of the
+// fresh per-shard member views, sorted and deduplicated. When some
+// partitions cannot answer — source Down, member view quarantined —
+// the healthy union is returned together with a *PartialResultError
+// naming the missing sources (graceful degradation); when no partition
+// answers, the first failure is returned alone.
+func (f *Federation) Members(name string) ([]oem.OID, error) {
+	f.mu.RLock()
+	fv, ok := f.views[name]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: federated view %s", ErrViewNotFound, name)
+	}
+	seen := make(map[oem.OID]bool)
+	var out []oem.OID
+	var missing []string
+	var cause error
+	for _, sh := range fv.hosts {
+		ms, err := sh.w.FreshMembers(MemberViewName(name, sh.name))
+		if err != nil {
+			missing = append(missing, sh.name)
+			if cause == nil {
+				cause = err
+			}
+			sh.sup.noteDegradedRead()
+			continue
+		}
+		for _, m := range ms {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	if len(missing) == len(fv.hosts) {
+		return nil, cause
+	}
+	out = oem.SortOIDs(out)
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		f.partialReads.Inc()
+		return out, &PartialResultError{View: name, Missing: missing, Cause: cause}
+	}
+	return out, nil
+}
+
+// Query evaluates an ad-hoc query on every shard concurrently and
+// unions the answers (each shard evaluates over its own partition; the
+// Partitioner guarantees the per-shard answers union to the whole).
+// Unreachable shards degrade the answer to a *PartialResultError; if
+// no shard answers, the first failure is returned alone.
+func (f *Federation) Query(q *query.Query) ([]*oem.Object, error) {
+	type result struct {
+		sh   *fedShard
+		objs []*oem.Object
+		err  error
+	}
+	ch := make(chan result, len(f.shards))
+	for _, sh := range f.shards {
+		go func(sh *fedShard) {
+			objs, err := sh.src.FetchQuery(q)
+			ch <- result{sh, objs, err}
+		}(sh)
+	}
+	byOID := make(map[oem.OID]*oem.Object)
+	var missing []string
+	var cause error
+	for range f.shards {
+		r := <-ch
+		if r.err != nil {
+			missing = append(missing, r.sh.name)
+			if cause == nil {
+				cause = r.err
+			}
+			r.sh.sup.noteDegradedRead()
+			continue
+		}
+		for _, o := range r.objs {
+			byOID[o.OID] = o
+		}
+	}
+	if len(missing) == len(f.shards) {
+		return nil, cause
+	}
+	oids := make([]oem.OID, 0, len(byOID))
+	for oid := range byOID {
+		oids = append(oids, oid)
+	}
+	oids = oem.SortOIDs(oids)
+	out := make([]*oem.Object, len(oids))
+	for i, oid := range oids {
+		out[i] = byOID[oid]
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		f.partialReads.Inc()
+		return out, &PartialResultError{View: q.String(), Missing: missing, Cause: cause}
+	}
+	return out, nil
+}
+
+// Pump runs one maintenance round: every shard's pending reports are
+// drained and batch-processed concurrently (per-source watermarks
+// advance from the report origin stamps), then quarantined views are
+// repaired per shard — against a Down source the repair's guarded
+// FetchQuery doubles as the circuit breaker's half-open probe, so
+// recovery and resync are one step. It returns the number of reports
+// processed; per-shard failures are joined and never stop the other
+// shards.
+func (f *Federation) Pump() (int, error) {
+	f.beginRound()
+	var (
+		mu    sync.Mutex
+		total int
+		errs  []error
+		wg    sync.WaitGroup
+	)
+	for _, sh := range f.shards {
+		wg.Add(1)
+		go func(sh *fedShard) {
+			defer wg.Done()
+			// A dead report stream is a failure signal even when no query
+			// traffic is flowing.
+			if hs, ok := sh.raw.(interface{ StreamHealthy() bool }); ok && !hs.StreamHealthy() {
+				sh.sup.signal(false)
+			}
+			if sh.sup.State() == SourceDown {
+				// One cheap liveness call per cool-down window (Allow
+				// admits it as the half-open probe); on success fall
+				// through so the backlog drains this same round.
+				f.probe(sh)
+				if sh.sup.State() == SourceDown {
+					return
+				}
+			}
+			rs := sh.raw.DrainReports()
+			if len(rs) == 0 {
+				// A silent source is indistinguishable from a dead one
+				// whose redial loop is still hoping: probe it so an outage
+				// is detected even with no query traffic in flight.
+				f.probe(sh)
+			}
+			for _, r := range rs {
+				if r.Update.Origin > 0 {
+					sh.sup.advanceWatermark(r.Update.Origin)
+				}
+			}
+			err := sh.w.ProcessBatch(rs)
+			mu.Lock()
+			total += len(rs)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("source %s: %w", sh.name, err))
+			}
+			mu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+	for _, sh := range f.shards {
+		if len(sh.w.StaleViews()) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *fedShard) {
+			defer wg.Done()
+			if _, err := sh.w.RepairAll(); err != nil && !errors.Is(err, ErrSourceDown) {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("repairing source %s: %w", sh.name, err))
+				mu.Unlock()
+			}
+		}(sh)
+	}
+	wg.Wait()
+	return total, errors.Join(errs...)
+}
+
+// RepairAll resyncs every quarantined member view across all shards,
+// returning how many came back Fresh and the first error.
+func (f *Federation) RepairAll() (int, error) {
+	var firstErr error
+	repaired := 0
+	f.beginRound()
+	for _, sh := range f.shards {
+		n, err := sh.w.RepairAll()
+		repaired += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return repaired, firstErr
+}
+
+// StaleViews returns the quarantined member view names across all
+// shards, sorted.
+func (f *Federation) StaleViews() []string {
+	var out []string
+	for _, sh := range f.shards {
+		out = append(out, sh.w.StaleViews()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ready answers the federation's readiness probe: nil while a quorum
+// of sources is not Down, otherwise an error naming the down sources
+// (the /readyz handler on a federated gsdbserve gates on this, not on
+// every view being Fresh — losing a minority of partitions degrades,
+// it does not unready the service).
+func (f *Federation) Ready() error {
+	var down []string
+	for _, sh := range f.shards {
+		if sh.sup.State() == SourceDown {
+			down = append(down, sh.name)
+		}
+	}
+	if up := len(f.shards) - len(down); up < f.quorum {
+		sort.Strings(down)
+		return fmt.Errorf("warehouse: federation below quorum: %d/%d sources up, need %d (down: %s)",
+			up, len(f.shards), f.quorum, strings.Join(down, ", "))
+	}
+	return nil
+}
+
+// EnableObs registers every shard's warehouse and supervisor
+// instruments plus the federation's own counters on reg. Per-shard
+// series are distinguished by node/source/view labels (member view
+// names embed the source).
+func (f *Federation) EnableObs(reg *obs.Registry) {
+	for _, sh := range f.shards {
+		sh.w.EnableObs(reg)
+		sh.sup.RegisterObs(reg)
+		if ro, ok := sh.raw.(interface{ RegisterObs(*obs.Registry) }); ok {
+			ro.RegisterObs(reg)
+		}
+	}
+	reg.Help("gsv_federation_sources", "federated source count")
+	reg.Help("gsv_federation_cross_fetches_total", "cross-shard query backs issued to owner shards")
+	reg.Help("gsv_federation_cross_batched_total", "cross-shard fetches answered by the per-round memo")
+	reg.Help("gsv_federation_partial_reads_total", "federated reads served with partitions missing")
+	reg.GaugeFunc("gsv_federation_sources", func() float64 { return float64(len(f.shards)) })
+	reg.RegisterCounter("gsv_federation_cross_fetches_total", &f.crossFetches)
+	reg.RegisterCounter("gsv_federation_cross_batched_total", &f.crossBatched)
+	reg.RegisterCounter("gsv_federation_partial_reads_total", &f.partialReads)
+}
+
+// CrossFetches returns how many cross-shard query backs were issued.
+func (f *Federation) CrossFetches() uint64 { return f.crossFetches.Value() }
+
+// CrossBatched returns how many cross-shard fetches the per-round memo
+// absorbed.
+func (f *Federation) CrossBatched() uint64 { return f.crossBatched.Value() }
+
+// quarantineShard marks every member view hosted on the shard Stale —
+// the breaker tripped, so the partition's membership can no longer be
+// trusted to track its source.
+func (f *Federation) quarantineShard(sh *fedShard) {
+	reason := fmt.Sprintf("source %s down (circuit breaker open)", sh.name)
+	for _, name := range sh.w.ViewNames() {
+		_ = sh.w.Quarantine(name, reason)
+	}
+}
+
+// beginRound resets the cross-shard fetch memo: batching is per
+// maintenance round, not forever (the owner's object may change
+// between rounds).
+func (f *Federation) beginRound() {
+	f.crossMu.Lock()
+	f.cross = make(map[oem.OID]*oem.Object)
+	f.crossMu.Unlock()
+}
+
+// crossFetch fetches a foreign-owned object from its owner shard,
+// memoized for the current maintenance round.
+func (f *Federation) crossFetch(oid oem.OID, owner int) (*oem.Object, error) {
+	f.crossMu.Lock()
+	if o, ok := f.cross[oid]; ok {
+		f.crossMu.Unlock()
+		f.crossBatched.Inc()
+		return o, nil
+	}
+	f.crossMu.Unlock()
+	sh := f.shards[owner]
+	var o *oem.Object
+	err := sh.src.guard(func() error {
+		var e error
+		o, e = sh.raw.FetchObject(oid)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.crossFetches.Inc()
+	f.crossMu.Lock()
+	f.cross[oid] = o
+	f.crossMu.Unlock()
+	return o, nil
+}
+
+// livenessProber is the optional cheap health check a source can offer;
+// RemoteSource implements it with the "shard" handshake.
+type livenessProber interface {
+	FetchShardInfo() (*ShardPayload, error)
+}
+
+// probe issues one guarded liveness call against the shard. Remote
+// sources answer the shard handshake (an old server answering
+// "unknown op" still proves liveness); in-process sources cannot die
+// independently and are skipped. The supervisor's Allow gate makes this
+// the half-open probe while the breaker is open, and a cheap heartbeat
+// when the source has simply gone quiet.
+func (f *Federation) probe(sh *fedShard) {
+	lp, ok := sh.raw.(livenessProber)
+	if !ok {
+		return
+	}
+	_ = sh.src.guard(func() error {
+		_, err := lp.FetchShardInfo()
+		if errors.Is(err, ErrUnsupportedRequest) {
+			return nil
+		}
+		return err
+	})
+}
+
+// shardSource guards one shard's SourceAPI with its supervisor: every
+// query op asks Allow first (failing fast with ErrSourceDown while the
+// breaker is open) and feeds its outcome back through Record. A
+// FetchObject miss for an OID the Partitioner places on another shard
+// is routed to the owner (the cross-shard query back).
+type shardSource struct {
+	fed   *Federation
+	shard int
+	raw   SourceAPI
+	sup   *SourceSupervisor
+}
+
+var _ SourceAPI = (*shardSource)(nil)
+
+func (s *shardSource) guard(op func() error) error {
+	if err := s.sup.Allow(); err != nil {
+		return err
+	}
+	err := op()
+	s.sup.Record(err)
+	return err
+}
+
+// ID implements SourceAPI.
+func (s *shardSource) ID() string { return s.raw.ID() }
+
+// DrainReports implements SourceAPI; draining is a local buffer
+// operation and is never gated.
+func (s *shardSource) DrainReports() []*UpdateReport { return s.raw.DrainReports() }
+
+// TransportRef implements SourceAPI.
+func (s *shardSource) TransportRef() *Transport { return s.raw.TransportRef() }
+
+// LastKnownSeq implements SourceAPI.
+func (s *shardSource) LastKnownSeq() uint64 { return s.raw.LastKnownSeq() }
+
+// TakeGap forwards report-stream gap detection so per-shard warehouses
+// quarantine on lost reports (staleness.go absorbSourceGap).
+func (s *shardSource) TakeGap() (uint64, bool) {
+	if gs, ok := s.raw.(gapSource); ok {
+		return gs.TakeGap()
+	}
+	return 0, false
+}
+
+// FetchObject implements SourceAPI with cross-shard routing: a local
+// failure for an OID owned elsewhere falls through to the owner shard,
+// memoized per maintenance round.
+func (s *shardSource) FetchObject(oid oem.OID) (*oem.Object, error) {
+	var o *oem.Object
+	err := s.guard(func() error {
+		var e error
+		o, e = s.raw.FetchObject(oid)
+		return e
+	})
+	if err == nil {
+		return o, nil
+	}
+	if s.fed != nil && s.fed.part != nil {
+		if owner := s.fed.part.Owner(oid); owner != s.shard && owner < len(s.fed.shards) {
+			if co, cerr := s.fed.crossFetch(oid, owner); cerr == nil {
+				return co, nil
+			}
+		}
+	}
+	return nil, err
+}
+
+// FetchPath implements SourceAPI.
+func (s *shardSource) FetchPath(n oem.OID) (pi *PathInfo, ok bool, err error) {
+	err = s.guard(func() error {
+		var e error
+		pi, ok, e = s.raw.FetchPath(n)
+		return e
+	})
+	return pi, ok, err
+}
+
+// FetchAncestor implements SourceAPI.
+func (s *shardSource) FetchAncestor(n oem.OID, p pathexpr.Path) (a oem.OID, ok bool, err error) {
+	err = s.guard(func() error {
+		var e error
+		a, ok, e = s.raw.FetchAncestor(n, p)
+		return e
+	})
+	return a, ok, err
+}
+
+// FetchEval implements SourceAPI.
+func (s *shardSource) FetchEval(n oem.OID, p pathexpr.Path) (objs []*oem.Object, err error) {
+	err = s.guard(func() error {
+		var e error
+		objs, e = s.raw.FetchEval(n, p)
+		return e
+	})
+	return objs, err
+}
+
+// FetchSubtree implements SourceAPI.
+func (s *shardSource) FetchSubtree(n oem.OID, depth int) (objs []*oem.Object, err error) {
+	err = s.guard(func() error {
+		var e error
+		objs, e = s.raw.FetchSubtree(n, depth)
+		return e
+	})
+	return objs, err
+}
+
+// FetchQuery implements SourceAPI.
+func (s *shardSource) FetchQuery(q *query.Query) (objs []*oem.Object, err error) {
+	err = s.guard(func() error {
+		var e error
+		objs, e = s.raw.FetchQuery(q)
+		return e
+	})
+	return objs, err
+}
+
+// NewLocalFederation partitions base across n in-process sources named
+// source0..source<n-1> (subtree-affinity placement, root anchoring each
+// shard's path computations) and federates them — the single-process
+// topology E15 and the federation tests run, and what gsdbserve
+// -sources builds behind its listeners. It returns the federation and
+// the per-shard stores (mutate those to drive updates).
+func NewLocalFederation(base *store.Store, root oem.OID, n int, cfg FederationConfig) (*Federation, []*store.Store, error) {
+	p := cfg.Partitioner
+	if p == nil {
+		p = NewPartitioner(n)
+		cfg.Partitioner = p
+	}
+	stores, err := PartitionStore(base, p, PartitionConfig{Affinity: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs := make([]SourceAPI, len(stores))
+	for k, st := range stores {
+		srcs[k] = NewSource(fmt.Sprintf("source%d", k), st, root, Level3, NewTransport(0))
+	}
+	fed, err := NewFederation(srcs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fed, stores, nil
+}

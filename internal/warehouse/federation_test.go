@@ -1,0 +1,439 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gsv/internal/faults"
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// fedOracle is the all-healthy oracle: the union of evaluating q from
+// scratch on every shard store.
+func fedOracle(t testing.TB, stores []*store.Store, q *query.Query) []oem.OID {
+	t.Helper()
+	seen := map[oem.OID]bool{}
+	var out []oem.OID
+	for _, s := range stores {
+		ms, err := query.NewEvaluator(s).Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return oem.SortOIDs(out)
+}
+
+func relationBase(t testing.TB, relations, tuples int) (*store.Store, *workload.RelationDB) {
+	t.Helper()
+	s := store.NewDefault()
+	db := workload.RelationLike(s, workload.RelationConfig{
+		Relations: relations, TuplesPerRelation: tuples, FieldsPerTuple: 2, Seed: 7,
+	})
+	return s, db
+}
+
+func TestPartitionStoreAffinityUnion(t *testing.T) {
+	base, db := relationBase(t, 2, 16)
+	p := NewPartitioner(4)
+	stores, err := PartitionStore(base, p, PartitionConfig{Affinity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tuple is co-located with all its fields.
+	for _, rel := range db.Relations {
+		for _, tid := range rel.Tuples {
+			owner := p.Owner(tid)
+			tup, err := stores[owner].Get(tid)
+			if err != nil {
+				t.Fatalf("tuple %s missing from owner %d: %v", tid, owner, err)
+			}
+			for _, f := range tup.Set {
+				if got := p.Owner(f); got != owner {
+					t.Fatalf("field %s of %s on shard %d, tuple on %d", f, tid, got, owner)
+				}
+				if !stores[owner].Has(f) {
+					t.Fatalf("field %s not materialized on owner %d", f, owner)
+				}
+			}
+			// Owned objects live on exactly one shard.
+			for k := range stores {
+				if k != owner && stores[k].Has(tid) {
+					t.Fatalf("tuple %s duplicated on shard %d", tid, k)
+				}
+			}
+		}
+	}
+	// Interior objects are replicated everywhere; per-shard answers
+	// union to the unpartitioned answer.
+	for k := range stores {
+		if !stores[k].Has("REL") || !stores[k].Has("R0") || !stores[k].Has("R1") {
+			t.Fatalf("shard %d missing interior objects", k)
+		}
+	}
+	q := query.MustParse("SELECT REL.r0.tuple X WHERE X.age <= 50")
+	want, err := query.NewEvaluator(base).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fedOracle(t, stores, q); !oem.SameMembers(got, want) {
+		t.Fatalf("union of shard answers = %v, want %v", got, want)
+	}
+}
+
+func TestPartitionerPinOverridesHash(t *testing.T) {
+	p := NewPartitioner(4)
+	if p.Owner("X") != p.Hash("X") {
+		t.Fatal("unpinned owner must be the hash")
+	}
+	target := (p.Hash("X") + 1) % 4
+	p.Pin("X", target)
+	if p.Owner("X") != target {
+		t.Fatalf("pin ignored: owner %d, want %d", p.Owner("X"), target)
+	}
+	p.Pin("X", -1) // out of range: ignored
+	p.Pin("X", 4)
+	if p.Owner("X") != target || p.Pinned() != 1 {
+		t.Fatal("out-of-range pin must be ignored")
+	}
+}
+
+func TestSupervisorStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewSourceSupervisor("s0", SupervisorConfig{
+		TripThreshold: 3, CoolDown: time.Second,
+		Clock: func() time.Time { return now },
+	})
+	boom := errors.New("dial tcp 127.0.0.1:9: connection refused")
+	if s.State() != SourceUp {
+		t.Fatalf("initial state %v", s.State())
+	}
+	s.Record(boom)
+	if s.State() != SourceDegraded {
+		t.Fatalf("after 1 failure: %v", s.State())
+	}
+	s.Record(nil) // success resets the streak
+	if s.State() != SourceUp {
+		t.Fatalf("after recovery: %v", s.State())
+	}
+	s.Record(boom)
+	s.Record(boom)
+	if s.State() != SourceDegraded {
+		t.Fatalf("below threshold: %v", s.State())
+	}
+	s.Record(boom)
+	if s.State() != SourceDown || s.Trips() != 1 {
+		t.Fatalf("after 3 consecutive: state=%v trips=%d", s.State(), s.Trips())
+	}
+	if err := s.Allow(); !errors.Is(err, ErrSourceDown) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	// The fast-fail echo must not feed back into the state machine.
+	s.Record(s.Allow())
+	if s.Trips() != 1 {
+		t.Fatal("ErrSourceDown echo counted as a failure")
+	}
+	// Cool-down elapses: exactly one half-open probe is admitted.
+	now = now.Add(time.Second)
+	if err := s.Allow(); err != nil {
+		t.Fatalf("half-open probe denied: %v", err)
+	}
+	if err := s.Allow(); !errors.Is(err, ErrSourceDown) {
+		t.Fatal("second call admitted while probe in flight")
+	}
+	if s.Probes() != 1 {
+		t.Fatalf("probes = %d", s.Probes())
+	}
+	// Failed probe re-opens and restarts the cool-down.
+	s.Record(boom)
+	now = now.Add(500 * time.Millisecond)
+	if err := s.Allow(); !errors.Is(err, ErrSourceDown) {
+		t.Fatal("re-opened breaker admitted a call before cool-down")
+	}
+	now = now.Add(500 * time.Millisecond)
+	if err := s.Allow(); err != nil {
+		t.Fatalf("second probe denied: %v", err)
+	}
+	s.Record(nil) // probe success closes the breaker
+	if s.State() != SourceUp {
+		t.Fatalf("after probe success: %v", s.State())
+	}
+	// A semantic error answered by the source is proof of life, not a
+	// failure signal.
+	s.Record(errors.New("warehouse: remote: no object X77"))
+	if s.State() != SourceUp {
+		t.Fatalf("semantic error tripped health: %v", s.State())
+	}
+}
+
+func TestFederationSpanningViewMaintenance(t *testing.T) {
+	base, db := relationBase(t, 2, 12)
+	fed, stores, err := NewLocalFederation(base, db.Root, 4, FederationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustParse("SELECT REL.r0.tuple X WHERE X.age <= 50")
+	if err := fed.DefineView("V", q, ViewConfig{Cache: CacheFull, Screening: true}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		got, err := fed.Members("V")
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if want := fedOracle(t, stores, q); !oem.SameMembers(got, want) {
+			t.Fatalf("%s: members = %v, want %v", stage, got, want)
+		}
+	}
+	check("initial")
+
+	// Flip every r0 tuple's age on its owning shard and pump.
+	p := fed.Partitioner()
+	for i := range db.Relations[0].Tuples {
+		age := oem.OID(fmt.Sprintf("F0_%d_age", i))
+		if err := stores[p.Owner(age)].Modify(age, oem.Int(int64(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fed.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	check("after modifies")
+
+	// Grow r0 with a new tuple on its hashed owner shard.
+	newTuple, newAge := oem.OID("T0_new"), oem.OID("F0_new_age")
+	owner := p.Owner(newTuple)
+	p.Pin(newAge, owner)
+	st := stores[owner]
+	if err := st.Put(oem.NewAtom(newAge, "age", oem.Int(5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(oem.NewSet(newTuple, "tuple", newAge)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("R0", newTuple); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	check("after insert")
+
+	// Shrink: drop a tuple from its owner.
+	victim := db.Relations[0].Tuples[3]
+	if err := stores[p.Owner(victim)].Delete("R0", victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Pump(); err != nil {
+		t.Fatal(err)
+	}
+	check("after delete")
+
+	if fed.Shards() != 4 || len(fed.SourceNames()) != 4 {
+		t.Fatal("shard accounting wrong")
+	}
+}
+
+// buildFaultyFederation hand-assembles a 4-shard federation whose
+// sources can be partitioned off deterministically.
+func buildFaultyFederation(t testing.TB, sup SupervisorConfig) (*Federation, []*store.Store, []*faults.Injector) {
+	t.Helper()
+	base, db := relationBase(t, 1, 12)
+	p := NewPartitioner(4)
+	stores, err := PartitionStore(base, p, PartitionConfig{Affinity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]SourceAPI, len(stores))
+	injs := make([]*faults.Injector, len(stores))
+	for k, st := range stores {
+		injs[k] = faults.New(faults.Config{Seed: int64(k)})
+		srcs[k] = WrapSource(NewSource(fmt.Sprintf("source%d", k), st, db.Root, Level3, NewTransport(0)), injs[k])
+	}
+	fed, err := NewFederation(srcs, FederationConfig{Supervisor: sup, Partitioner: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed, stores, injs
+}
+
+func TestFederationPartialResultAndRecovery(t *testing.T) {
+	fed, stores, injs := buildFaultyFederation(t, SupervisorConfig{TripThreshold: 2, CoolDown: time.Millisecond})
+	q := query.MustParse("SELECT REL.r0.tuple X WHERE X.age <= 50")
+	if err := fed.DefineView("V", q, ViewConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Members("V"); err != nil {
+		t.Fatalf("healthy read: %v", err)
+	}
+
+	// Partition source1 off and trip its breaker.
+	injs[1].Partition(true)
+	for i := 0; i < 2; i++ {
+		_, _ = fed.shards[1].src.FetchQuery(q)
+	}
+	sup, _ := fed.Supervisor("source1")
+	if sup.State() != SourceDown {
+		t.Fatalf("source1 state %v, want down", sup.State())
+	}
+	if got := fed.StaleViews(); len(got) != 1 || got[0] != MemberViewName("V", "source1") {
+		t.Fatalf("quarantined views = %v", got)
+	}
+
+	// The spanning read degrades: healthy union + typed partial error.
+	got, err := fed.Members("V")
+	if !errors.Is(err, ErrPartialResult) {
+		t.Fatalf("degraded read error = %v, want ErrPartialResult", err)
+	}
+	var pre *PartialResultError
+	if !errors.As(err, &pre) || len(pre.Missing) != 1 || pre.Missing[0] != "source1" {
+		t.Fatalf("partial error detail = %+v", err)
+	}
+	healthy := fedOracle(t, []*store.Store{stores[0], stores[2], stores[3]}, q)
+	if !oem.SameMembers(got, healthy) {
+		t.Fatalf("degraded members = %v, want healthy union %v", got, healthy)
+	}
+	if sup.DegradedReads() == 0 {
+		t.Fatal("degraded read not accounted")
+	}
+
+	// Ad-hoc cross-shard queries degrade the same way.
+	objs, err := fed.Query(q)
+	if !errors.Is(err, ErrPartialResult) {
+		t.Fatalf("query error = %v, want ErrPartialResult", err)
+	}
+	qOIDs := make([]oem.OID, len(objs))
+	for i, o := range objs {
+		qOIDs[i] = o.OID
+	}
+	if !oem.SameMembers(qOIDs, healthy) {
+		t.Fatalf("degraded query = %v, want %v", qOIDs, healthy)
+	}
+
+	// One source down of four: still quorate. Two: not.
+	if err := fed.Ready(); err != nil {
+		t.Fatalf("quorum lost with 3/4 up: %v", err)
+	}
+	injs[2].Partition(true)
+	for i := 0; i < 2; i++ {
+		_, _ = fed.shards[2].src.FetchQuery(q)
+	}
+	if err := fed.Ready(); err == nil {
+		t.Fatal("2/4 up must be below the default quorum")
+	}
+
+	// Heal both; the repair query-backs double as half-open probes.
+	injs[1].Partition(false)
+	injs[2].Partition(false)
+	time.Sleep(2 * time.Millisecond) // past the cool-down
+	if n, err := fed.RepairAll(); err != nil || n < 2 {
+		t.Fatalf("repair after heal: n=%d err=%v", n, err)
+	}
+	if sup.State() != SourceUp {
+		t.Fatalf("source1 after repair: %v", sup.State())
+	}
+	if err := fed.Ready(); err != nil {
+		t.Fatalf("ready after heal: %v", err)
+	}
+	got, err = fed.Members("V")
+	if err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if want := fedOracle(t, stores, q); !oem.SameMembers(got, want) {
+		t.Fatalf("members after heal = %v, want %v", got, want)
+	}
+}
+
+func TestFederationRootedViewOnDeadShard(t *testing.T) {
+	fed, _, injs := buildFaultyFederation(t, SupervisorConfig{TripThreshold: 1, CoolDown: time.Minute})
+	q := query.MustParse("SELECT REL.r0.tuple X WHERE X.age <= 50")
+	if err := fed.DefineViewAt("rooted", "source1", q, ViewConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Members("rooted"); err != nil {
+		t.Fatalf("healthy rooted read: %v", err)
+	}
+	injs[1].Partition(true)
+	_, _ = fed.shards[1].src.FetchQuery(q)
+	// A rooted view with its only partition gone is unavailable, not
+	// partial.
+	_, err := fed.Members("rooted")
+	if err == nil || errors.Is(err, ErrPartialResult) {
+		t.Fatalf("rooted read on dead shard: %v", err)
+	}
+	if !errors.Is(err, ErrStaleView) {
+		t.Fatalf("rooted read error = %v, want ErrStaleView", err)
+	}
+}
+
+func TestFederationCrossShardFetchRouting(t *testing.T) {
+	base := store.NewDefault()
+	base.MustPut(oem.NewSet("ROOT", "top", "G"))
+	base.MustPut(oem.NewSet("G", "tuple", "A", "B"))
+	base.MustPut(oem.NewAtom("A", "age", oem.Int(1)))
+	base.MustPut(oem.NewAtom("B", "age", oem.Int(2)))
+	p := NewPartitioner(2)
+	p.Pin("G", 0)
+	p.Pin("B", 0)
+	p.Pin("A", 1) // A is listed by G on shard 0 but owned by shard 1
+	stores, err := PartitionStore(base, p, PartitionConfig{Affinity: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stores[0].Has("A") {
+		t.Fatal("A must not be materialized on shard 0")
+	}
+	g, err := stores[0].Get("G")
+	if err != nil || !oem.SameMembers(g.Set, []oem.OID{"A", "B"}) {
+		t.Fatalf("G on shard 0 = %v, %v (the cross-shard edge must stay)", g, err)
+	}
+	srcs := []SourceAPI{
+		NewSource("source0", stores[0], "ROOT", Level3, NewTransport(0)),
+		NewSource("source1", stores[1], "ROOT", Level3, NewTransport(0)),
+	}
+	fed, err := NewFederation(srcs, FederationConfig{Partitioner: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fetch on shard 0 for the foreign-owned A routes to shard 1.
+	o, err := fed.shards[0].src.FetchObject("A")
+	if err != nil || o.OID != "A" {
+		t.Fatalf("cross-shard fetch: %v, %v", o, err)
+	}
+	if fed.CrossFetches() != 1 {
+		t.Fatalf("cross fetches = %d, want 1", fed.CrossFetches())
+	}
+	// Within one maintenance round the memo batches repeats.
+	if _, err := fed.shards[0].src.FetchObject("A"); err != nil {
+		t.Fatal(err)
+	}
+	if fed.CrossFetches() != 1 || fed.CrossBatched() != 1 {
+		t.Fatalf("memo miss: fetches=%d batched=%d", fed.CrossFetches(), fed.CrossBatched())
+	}
+	// A new round drops the memo.
+	fed.beginRound()
+	if _, err := fed.shards[0].src.FetchObject("A"); err != nil {
+		t.Fatal(err)
+	}
+	if fed.CrossFetches() != 2 {
+		t.Fatalf("post-round fetches = %d, want 2", fed.CrossFetches())
+	}
+	// Local objects never route.
+	if _, err := fed.shards[0].src.FetchObject("B"); err != nil {
+		t.Fatal(err)
+	}
+	if fed.CrossFetches() != 2 {
+		t.Fatal("local fetch routed cross-shard")
+	}
+}

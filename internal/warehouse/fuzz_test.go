@@ -22,6 +22,8 @@ func FuzzNetFrame(f *testing.F) {
 		[]byte(`{"op":"subtree","oid":"P1","depth":2}`),
 		[]byte(`{"op":"nonsense"}`),
 		[]byte(`{"op":"trace","view":"YP"}`),
+		[]byte(`{"op":"shard"}`),
+		[]byte(`{"op":"members","view":"YP"}`),
 		[]byte(`{"view":"YP","resume":true,"from":3,"policy":"drop"}`),
 		[]byte(`{"views":["HOT","COLD"],"froms":{"HOT":41},"snapshot":true}`),
 		[]byte(`{"views":["*"],"snapshot":true,"policy":"drop-oldest","buffer":8}`),

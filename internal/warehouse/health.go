@@ -1,0 +1,266 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gsv/internal/faults"
+	"gsv/internal/obs"
+)
+
+// This file is the per-source robustness core of the federation
+// (docs/WAREHOUSE.md, "Multi-source federation & failure model"): every
+// federated source is watched by a SourceSupervisor — an Up/Degraded/
+// Down health state machine driven by the failure signals the fault
+// layer makes observable (injected faults, transport errors, report
+// stream death) — with a circuit breaker that trips after consecutive
+// failures and half-opens on probe success. A tripped breaker fails
+// source calls fast with ErrSourceDown, so maintenance against a dead
+// source quarantines only that partition's views instead of stalling
+// the whole federation behind network timeouts.
+
+// SourceState is a federated source's health.
+type SourceState int32
+
+const (
+	// SourceUp: calls succeed; the source serves its partition normally.
+	SourceUp SourceState = iota
+	// SourceDegraded: recent failures below the trip threshold; calls
+	// still flow but the source is suspect.
+	SourceDegraded
+	// SourceDown: the breaker is open; calls fail fast with
+	// ErrSourceDown until a half-open probe succeeds.
+	SourceDown
+)
+
+// String names the state for metrics and logs.
+func (s SourceState) String() string {
+	switch s {
+	case SourceUp:
+		return "up"
+	case SourceDegraded:
+		return "degraded"
+	case SourceDown:
+		return "down"
+	default:
+		return fmt.Sprintf("SourceState(%d)", int32(s))
+	}
+}
+
+// ErrSourceDown fails a source call fast while its circuit breaker is
+// open. Detect it with errors.Is.
+var ErrSourceDown = errors.New("warehouse: source down (circuit breaker open)")
+
+// SupervisorConfig tunes a SourceSupervisor.
+type SupervisorConfig struct {
+	// TripThreshold is how many consecutive failures open the breaker
+	// (default 3).
+	TripThreshold int
+	// CoolDown is how long the breaker stays open before half-opening
+	// for one probe (default 500ms).
+	CoolDown time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.TripThreshold <= 0 {
+		c.TripThreshold = 3
+	}
+	if c.CoolDown <= 0 {
+		c.CoolDown = 500 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// SourceSupervisor tracks one federated source's health. All methods
+// are safe for concurrent use.
+type SourceSupervisor struct {
+	name string
+	cfg  SupervisorConfig
+
+	mu          sync.Mutex
+	state       SourceState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+
+	// onTrip/onRecover fire outside the lock on Up→Down and Down→Up
+	// transitions (the federation quarantines / repairs the partition's
+	// views there).
+	onTrip    func()
+	onRecover func()
+
+	// Instruments (RegisterObs exposes them; hot path is atomic).
+	trips         obs.Counter
+	probes        obs.Counter
+	degradedReads obs.Counter
+	watermark     atomic.Int64 // newest origin stamp drained from this source
+}
+
+// NewSourceSupervisor returns a supervisor for the named source,
+// starting Up.
+func NewSourceSupervisor(name string, cfg SupervisorConfig) *SourceSupervisor {
+	return &SourceSupervisor{name: name, cfg: cfg.withDefaults()}
+}
+
+// Name returns the supervised source's name.
+func (s *SourceSupervisor) Name() string { return s.name }
+
+// State returns the current health state.
+func (s *SourceSupervisor) State() SourceState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Trips returns how many times the breaker opened.
+func (s *SourceSupervisor) Trips() uint64 { return s.trips.Value() }
+
+// Probes returns how many half-open probes were admitted.
+func (s *SourceSupervisor) Probes() uint64 { return s.probes.Value() }
+
+// DegradedReads returns how many reads were served partially because
+// this source was unavailable.
+func (s *SourceSupervisor) DegradedReads() uint64 { return s.degradedReads.Value() }
+
+// noteDegradedRead counts one partially-served read missing this
+// source's partition.
+func (s *SourceSupervisor) noteDegradedRead() { s.degradedReads.Inc() }
+
+// Watermark returns the newest origin stamp (Unix nanos) drained from
+// this source, 0 before any stamped report arrived.
+func (s *SourceSupervisor) Watermark() int64 { return s.watermark.Load() }
+
+// advanceWatermark lifts the per-source watermark to stamp (CAS-max).
+func (s *SourceSupervisor) advanceWatermark(stamp int64) {
+	obs.AdvanceWatermark(&s.watermark, stamp)
+}
+
+// Allow gates one source call: nil while the source is Up or Degraded,
+// and while Down it admits exactly one half-open probe per cool-down
+// window, failing everything else fast with ErrSourceDown.
+func (s *SourceSupervisor) Allow() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != SourceDown {
+		return nil
+	}
+	if !s.probing && s.cfg.Clock().Sub(s.openedAt) >= s.cfg.CoolDown {
+		s.probing = true
+		s.probes.Inc()
+		return nil
+	}
+	return fmt.Errorf("%w: source %s", ErrSourceDown, s.name)
+}
+
+// Record feeds one call outcome into the state machine. A nil error (or
+// an error that is not a source-failure signal — e.g. a semantic error
+// the source answered) closes the loop on health: consecutive failures
+// reset and a half-open probe success closes the breaker. A failure
+// signal counts toward the trip threshold; a failed probe re-opens the
+// breaker for another cool-down.
+func (s *SourceSupervisor) Record(err error) {
+	if errors.Is(err, ErrSourceDown) {
+		return // our own fast-fail echo, not a new signal
+	}
+	s.signal(!sourceFailure(err))
+}
+
+// signal applies one health observation (true = healthy).
+func (s *SourceSupervisor) signal(healthy bool) {
+	s.mu.Lock()
+	var fire func()
+	if healthy {
+		s.consecutive = 0
+		s.probing = false
+		if s.state != SourceUp {
+			s.state = SourceUp
+			fire = s.onRecover
+		}
+	} else {
+		s.consecutive++
+		switch {
+		case s.probing:
+			// Probe failed: stay Down, restart the cool-down.
+			s.probing = false
+			s.openedAt = s.cfg.Clock()
+		case s.state == SourceDown:
+			// Already open; nothing to do.
+		case s.consecutive >= s.cfg.TripThreshold:
+			s.state = SourceDown
+			s.openedAt = s.cfg.Clock()
+			s.trips.Inc()
+			fire = s.onTrip
+		default:
+			s.state = SourceDegraded
+		}
+	}
+	s.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// RegisterObs exposes the supervisor's instruments on reg under the
+// source label (docs/OBSERVABILITY.md metric catalog).
+func (s *SourceSupervisor) RegisterObs(reg *obs.Registry) {
+	reg.Help("gsv_source_state", "federated source health: 0 up, 1 degraded, 2 down")
+	reg.Help("gsv_source_trips_total", "circuit breaker trips (source marked down)")
+	reg.Help("gsv_source_probes_total", "half-open probes admitted while down")
+	reg.Help("gsv_source_degraded_reads_total", "reads served partially because this source was unavailable")
+	reg.Help("gsv_source_watermark_seconds", "newest origin stamp drained from this source, as Unix seconds")
+	ls := obs.L("source", s.name)
+	reg.GaugeFunc("gsv_source_state", func() float64 { return float64(s.State()) }, ls)
+	reg.RegisterCounter("gsv_source_trips_total", &s.trips, ls)
+	reg.RegisterCounter("gsv_source_probes_total", &s.probes, ls)
+	reg.RegisterCounter("gsv_source_degraded_reads_total", &s.degradedReads, ls)
+	reg.GaugeFunc("gsv_source_watermark_seconds", func() float64 {
+		return float64(s.watermark.Load()) / 1e9
+	}, ls)
+}
+
+// sourceFailure classifies an error as a source-failure signal: the
+// kinds of errors a dead, partitioned or fault-injected source produces
+// (transport failures, injected faults, exhausted retries) — as opposed
+// to semantic errors a live source answered (unknown object, bad
+// query), which prove the source is serving and must not trip the
+// breaker.
+func sourceFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, faults.ErrInjected) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return true
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "warehouse: remote:") {
+		return false // the server answered; semantic error
+	}
+	for _, sig := range []string{"connection", "broken pipe", "reset by peer", "retries exhausted", "closed"} {
+		if strings.Contains(msg, sig) {
+			return true
+		}
+	}
+	return false
+}

@@ -107,7 +107,10 @@ type netResponse struct {
 	// Members answers the "members" op: the named view's full current
 	// membership (base OIDs, sorted).
 	Members []oem.OID `json:"members,omitempty"`
-	Seq     uint64    `json:"seq"`
+	// Shard answers the "shard" op: which partition of a federation this
+	// server carries and how healthy it is (see shard.go).
+	Shard *ShardPayload `json:"shard,omitempty"`
+	Seq   uint64        `json:"seq"`
 }
 
 // Server exposes one Source on a listener.
@@ -151,6 +154,11 @@ type Server struct {
 	// FeedProgressInterval paces the progress heartbeat frames on
 	// multi-view subscriptions; 0 means the 500ms default.
 	FeedProgressInterval time.Duration
+	// ShardInfo, when non-nil, answers the "shard" query-mode op: the
+	// per-source federation handshake describing which partition this
+	// server carries and its health (see shard.go). Nil servers answer
+	// with an unknown-op error so old binaries stay protocol-compatible.
+	ShardInfo func() *ShardPayload
 
 	// DroppedBroadcasts counts report frames discarded because a report
 	// stream's buffer was full (a slow or dead consumer). The consumer
@@ -399,6 +407,13 @@ func (s *Server) dispatch(req netRequest) netResponse {
 			return netResponse{Err: err.Error()}
 		}
 		return netResponse{Found: true, Members: members}
+	case "shard":
+		if s.ShardInfo == nil {
+			// Answer exactly like an old binary so clients map it to
+			// ErrUnsupportedRequest.
+			return netResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		}
+		return netResponse{Found: true, Shard: s.ShardInfo()}
 	default:
 		return netResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}

@@ -1,0 +1,198 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gsv/internal/oem"
+	"gsv/internal/store"
+)
+
+// This file partitions a base GSDB across N federated source shards
+// (docs/WAREHOUSE.md, "Multi-source federation & failure model"). The
+// paper's Figure 6 integrates many autonomous sources; the Partitioner
+// manufactures that topology from one base database: every OID is
+// assigned an owner shard by hash, and PartitionStore splits a base
+// store into per-shard stores whose local query answers union to the
+// whole. Placement must be a pure function of the OID wherever possible
+// so any node can route a cross-shard query back to the owner without a
+// directory lookup; subtree affinity (atoms co-located with the leaf
+// group that contains them) is the one exception, carried as explicit
+// pins.
+
+// Partitioner assigns base OIDs to shards: FNV-1a hash modulo the shard
+// count, with optional per-OID pins recorded by subtree-affinity
+// placement. It is safe for concurrent use after partitioning.
+type Partitioner struct {
+	n  int
+	mu sync.RWMutex
+	// pinned overrides the hash placement (subtree affinity: an atom
+	// follows the leaf group that contains it).
+	pinned map[oem.OID]int
+}
+
+// NewPartitioner returns a partitioner over n shards (n < 1 is clamped
+// to 1).
+func NewPartitioner(n int) *Partitioner {
+	if n < 1 {
+		n = 1
+	}
+	return &Partitioner{n: n, pinned: make(map[oem.OID]int)}
+}
+
+// Shards returns the shard count.
+func (p *Partitioner) Shards() int { return p.n }
+
+// Hash is the raw placement function: FNV-1a of the OID bytes modulo
+// the shard count, ignoring pins.
+func (p *Partitioner) Hash(oid oem.OID) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(oid); i++ {
+		h ^= uint64(oid[i])
+		h *= prime64
+	}
+	return int(h % uint64(p.n))
+}
+
+// Owner returns the shard that owns oid: its pin when one was recorded,
+// the hash placement otherwise.
+func (p *Partitioner) Owner(oid oem.OID) int {
+	p.mu.RLock()
+	s, ok := p.pinned[oid]
+	p.mu.RUnlock()
+	if ok {
+		return s
+	}
+	return p.Hash(oid)
+}
+
+// Pin records an affinity placement override for oid.
+func (p *Partitioner) Pin(oid oem.OID, shard int) {
+	if shard < 0 || shard >= p.n {
+		return
+	}
+	p.mu.Lock()
+	p.pinned[oid] = shard
+	p.mu.Unlock()
+}
+
+// Pinned returns how many affinity pins were recorded.
+func (p *Partitioner) Pinned() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pinned)
+}
+
+// PartitionConfig configures PartitionStore.
+type PartitionConfig struct {
+	// Affinity keeps leaf subtrees intact: every atom reachable through a
+	// leaf group (a set whose children are all atomic — a tuple) is
+	// placed on the group's shard and pinned in the Partitioner. Without
+	// affinity every owned object hashes independently, so a group may
+	// list atoms owned by other shards: the local copy keeps the edge
+	// (dangling), and maintenance completes it with cross-shard query
+	// backs routed by the Partitioner.
+	Affinity bool
+}
+
+// PartitionStore splits base into one store per shard of p. Interior
+// sets — sets with at least one set child, and grouping objects such as
+// database objects — are replicated to every shard with their child
+// lists filtered to the children present there, so each shard evaluates
+// path queries locally over its own partition and the union of the
+// shards' answers equals the unpartitioned answer. Owned objects (leaf
+// groups and atoms) land on exactly one shard. The shard stores carry
+// parent and label indexes and allow dangling references (cross-shard
+// edges under non-affinity placement).
+func PartitionStore(base *store.Store, p *Partitioner, cfg PartitionConfig) ([]*store.Store, error) {
+	oids := base.OIDs()
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+
+	// Classify: interior sets replicate; leaf groups and atoms are owned.
+	interior := make(map[oem.OID]bool)
+	var groups []*oem.Object
+	for _, oid := range oids {
+		o, err := base.Get(oid)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: partition: %w", err)
+		}
+		if !o.IsSet() {
+			continue
+		}
+		if oem.IsGroupingLabel(o.Label) {
+			interior[oid] = true
+			continue
+		}
+		leaf := true
+		for _, c := range o.Set {
+			if co, err := base.Get(c); err == nil && co.IsSet() {
+				leaf = false
+				break
+			}
+		}
+		if leaf {
+			groups = append(groups, o)
+		} else {
+			interior[oid] = true
+		}
+	}
+	if cfg.Affinity {
+		// Deterministic: groups in sorted OID order, first pin wins.
+		for _, g := range groups {
+			owner := p.Owner(g.OID)
+			for _, c := range g.Set {
+				if !interior[c] {
+					p.mu.Lock()
+					if _, ok := p.pinned[c]; !ok {
+						p.pinned[c] = owner
+					}
+					p.mu.Unlock()
+				}
+			}
+		}
+	}
+
+	shards := make([]*store.Store, p.n)
+	opts := base.Options()
+	opts.ParentIndex, opts.LabelIndex, opts.AllowDangling = true, true, true
+	for k := range shards {
+		shards[k] = store.New(opts)
+	}
+	for _, oid := range oids {
+		o, err := base.Get(oid)
+		if err != nil {
+			return nil, err
+		}
+		if interior[oid] {
+			// Replicated: per shard, keep interior children everywhere and
+			// owned children only on their owner's copy.
+			for k, st := range shards {
+				c := o.Clone()
+				kept := c.Set[:0]
+				for _, m := range c.Set {
+					if interior[m] || p.Owner(m) == k {
+						kept = append(kept, m)
+					}
+				}
+				c.Set = kept
+				if err := st.Put(c); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// Owned: one shard gets the full object. A leaf group under
+		// non-affinity placement may list atoms owned elsewhere — the edge
+		// stays (dangling locally) and is completed by cross-shard query
+		// backs at maintenance time.
+		if err := shards[p.Owner(oid)].Put(o.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}

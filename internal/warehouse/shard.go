@@ -1,0 +1,57 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// This file adds the "shard" request to the query-mode wire protocol:
+// the per-source federation handshake. A federated client (or an
+// operator tool like gsdbwatch) asks a source server which partition of
+// the federation it carries and how healthy it is, and receives one
+// JSON frame. Servers without a ShardInfo hook answer with the
+// unknown-op error, so old binaries stay protocol-compatible and
+// clients map the answer to ErrUnsupportedRequest.
+
+// ShardPayload is the body of a shard response: which partition of how
+// many this server serves, and the progress and health of that source.
+type ShardPayload struct {
+	// Node names the serving node (gsdbserve -node, default "primary").
+	Node string `json:"node,omitempty"`
+	// Source is the federated source name ("source2").
+	Source string `json:"source"`
+	// Shard and Shards place this server in the partition scheme:
+	// partition Shard of Shards.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Seq is the source's current sequence head.
+	Seq uint64 `json:"seq"`
+	// State is the supervisor's view of the source ("up", "degraded",
+	// "down") as seen at the serving side; empty when unsupervised.
+	State string `json:"state,omitempty"`
+	// Watermark is the newest origin stamp (Unix nanos) drained from
+	// this source, 0 before any stamped report.
+	Watermark int64 `json:"watermark,omitempty"`
+}
+
+// FetchShardInfo asks the connected server for its federation shard
+// descriptor. A server that predates the federation protocol (or is not
+// part of one) answers with its unknown-op error; that is surfaced as
+// ErrUnsupportedRequest so callers can degrade gracefully.
+func (rs *RemoteSource) FetchShardInfo() (*ShardPayload, error) {
+	resp, err := rs.roundTrip(netRequest{Op: "shard"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		if strings.Contains(resp.Err, "unknown op") {
+			return nil, fmt.Errorf("%w: %s", ErrUnsupportedRequest, resp.Err)
+		}
+		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	if resp.Shard == nil {
+		return nil, errors.New("warehouse: shard response carried no payload")
+	}
+	return resp.Shard, nil
+}

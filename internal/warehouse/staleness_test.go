@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -372,4 +373,73 @@ func TestSourcePendingRace(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+// TestStartRepairLoopStopSemantics proves the repair loop's contract:
+// the ticker goroutine actually repairs, stop() halts it (idempotently,
+// leaking no goroutine), and a repair in flight when stop fires
+// completes cleanly rather than being abandoned mid-resync.
+func TestStartRepairLoopStopSemantics(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level2, NewTransport(0))
+	src.DrainReports()
+	// Every source call stalls 5ms, so a resync is observable in flight.
+	inj := faults.New(faults.Config{Seed: 1, DelayProb: 1, Delay: 5 * time.Millisecond})
+	w := New(WrapSource(src, inj))
+	v, err := w.DefineView("YP", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"), ViewConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitState := func(want ViewState) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for v.State() != want {
+			if time.Now().After(deadline) {
+				reason, _ := v.StaleReason()
+				t.Fatalf("state = %v (reason %q), want %v", v.State(), reason, want)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	// Warm everything a repair touches, then measure the baseline.
+	stop := w.StartRepairLoop(time.Millisecond)
+	if err := w.Quarantine("YP", "warmup"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(ViewFresh)
+	stop()
+	time.Sleep(5 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	stop = w.StartRepairLoop(time.Millisecond)
+	if err := w.Quarantine("YP", "stop-race"); err != nil {
+		t.Fatal(err)
+	}
+	// Catch the resync mid-flight, then pull the plug.
+	waitState(ViewRepairing)
+	stop()
+	stop() // idempotent
+	// The in-flight repair must still complete cleanly.
+	waitState(ViewFresh)
+
+	// And the ticker goroutine must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, want <= %d (repair loop leaked)", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A stopped loop must not repair again.
+	if err := w.Quarantine("YP", "after stop"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if v.State() != ViewStale {
+		t.Fatalf("stopped loop still repairing: %v", v.State())
+	}
 }

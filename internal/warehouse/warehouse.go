@@ -377,9 +377,13 @@ type WView struct {
 	resyncSkipSeq uint64
 }
 
-// Warehouse hosts materialized views over one source (Figure 6 shows many
-// sources; multi-source deployments run one Warehouse value per source,
-// sharing the view store).
+// Warehouse hosts materialized views over one source. Multi-source
+// deployments (the paper's Figure 6) compose Warehouse values through a
+// Federation (federation.go): one per source shard, each maintaining
+// that partition's member views, with a per-source supervisor
+// (health.go) isolating a slow or dead source to exactly its own
+// partition. See docs/WAREHOUSE.md, "Multi-source federation & failure
+// model".
 type Warehouse struct {
 	Src   SourceAPI
 	Store *store.Store

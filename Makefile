@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos shard-chaos crash cover bench bench-json bench-parallel bench-gate experiments examples fuzz fmt vet ci demo-feed demo-replica trace-smoke clean
+.PHONY: all build test race chaos shard-chaos crash cover bench bench-json bench-parallel bench-mvcc bench-gate experiments examples fuzz fmt vet ci demo-feed demo-replica trace-smoke clean
 
 all: build vet test
 
@@ -73,8 +73,15 @@ bench-json:
 bench-parallel:
 	$(GO) run ./cmd/benchviews -e E12 -updates 400 -json
 
+# MVCC reads-vs-maintenance interference benchmark (experiment E16,
+# docs/MVCC.md): read p99 while ApplyBatch churns, batch-RWMutex
+# serving baseline vs per-read snapshot pins. CI floors the
+# interference ratio at 2x in bench-gate.
+bench-mvcc:
+	$(GO) run ./cmd/benchviews -e E16 -updates 300 -json
+
 # Benchmark regression gate (CI's bench-gate job): regenerate the
-# E12/E13/E14/E15 report with the baseline's configuration and compare
+# E12-E16 report with the baseline's configuration and compare
 # the machine-independent ratios (speedup, scaling,
 # recompute/incremental) against the committed baseline in bench/.
 # Enforced: E14 replica scaling, E15 federated shard scaling and the E1
@@ -84,10 +91,11 @@ bench-parallel:
 # informational lines instead. The absolute bounds carry the headline
 # claims regardless of baseline drift: 4 shards must hold at least 2x
 # the 1-shard maintenance throughput (-floor), and replica propagation
-# p99 must stay under the 25ms freshness SLO (-ceiling).
+# p99 must stay under the 25ms freshness SLO (-ceiling), and the E16
+# MVCC interference ratio must hold at least 2x (-floor).
 bench-gate:
-	GOMAXPROCS=4 $(GO) run ./cmd/benchviews -e E12,E13,E14,E15 -updates 300 -json -out bench-current.json
-	$(GO) run ./cmd/benchgate -baseline bench/BENCH_20260808.json -current bench-current.json -tolerance 0.4 -gate '^(E14.*scaling|E15|bench)' -floor 'E15\[shards=4\]\.scaling=2' -ceiling 'E14.*\.p99=25'
+	GOMAXPROCS=4 $(GO) run ./cmd/benchviews -e E12,E13,E14,E15,E16 -updates 300 -json -out bench-current.json
+	$(GO) run ./cmd/benchgate -baseline bench/BENCH_20260808.json -current bench-current.json -tolerance 0.4 -gate '^(E14.*scaling|E15|bench)' -floor 'E15\[shards=4\]\.scaling=2' -floor 'E16.*\.speedup=2' -ceiling 'E14.*\.p99=25'
 
 # The paper-reproduction tables (EXPERIMENTS.md records a run).
 experiments:

@@ -62,6 +62,7 @@ func main() {
 		{"E13", experiments.E13CrashRecovery},
 		{"E14", experiments.E14ReplicaScaling},
 		{"E15", experiments.E15ShardScaling},
+		{"E16", experiments.E16SnapshotReadInterference},
 	}
 	var tables []*experiments.Table
 	for _, r := range runners {
@@ -80,7 +81,7 @@ func main() {
 		}
 	}
 	if len(tables) == 0 {
-		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E15)\n", *only)
+		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E16)\n", *only)
 		os.Exit(1)
 	}
 	if *jsonOut {

@@ -328,6 +328,7 @@ func renderStats(out io.Writer, p *warehouse.StatsPayload) {
 	}
 	renderReplicaStats(out, p)
 	renderSourceStats(out, p)
+	renderStoreStats(out, p)
 	if ws := p.RemoteWire; ws != nil {
 		fmt.Fprintf(out, "client wire: reconnects=%d retries=%d gaps=%d bad-frames=%d\n",
 			ws.QueryReconnects+ws.ReportReconnects, ws.Retries, ws.Gaps, ws.BadFrames)
@@ -443,6 +444,45 @@ func renderSourceStats(out io.Writer, p *warehouse.StatsPayload) {
 			n, fed("gsv_federation_cross_fetches_total"),
 			fed("gsv_federation_cross_batched_total"),
 			fed("gsv_federation_partial_reads_total"))
+	}
+}
+
+// renderStoreStats prints one line per store exporting MVCC gauges
+// (docs/MVCC.md): the committed sequence, how many versions the history
+// ring retains and back to which sequence, live snapshot pins and the
+// reclamation counters. A payload from a node without gsv_store_*
+// metrics prints nothing.
+func renderStoreStats(out io.Writer, p *warehouse.StatsPayload) {
+	stores := map[string]bool{}
+	var order []string
+	for _, m := range p.Registry.Metrics {
+		if m.Name != "gsv_store_seq" {
+			continue
+		}
+		if s := m.Labels["store"]; s != "" && !stores[s] {
+			stores[s] = true
+			order = append(order, s)
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.Strings(order)
+	fmt.Fprintf(out, "%-16s %10s %10s %12s %8s %8s %10s\n",
+		"STORE", "SEQ", "VERSIONS", "OLDEST-SEQ", "PINNED", "TAKEN", "RECLAIMED")
+	for _, name := range order {
+		get := func(metric string) float64 {
+			mp, _ := p.Registry.Get(metric, obs.L("store", name))
+			return mp.Value
+		}
+		fmt.Fprintf(out, "%-16s %10.0f %10.0f %12.0f %8.0f %8.0f %10.0f\n",
+			name,
+			get("gsv_store_seq"),
+			get("gsv_store_versions_retained"),
+			get("gsv_store_oldest_retained_seq"),
+			get("gsv_store_snapshots_pinned"),
+			get("gsv_store_snapshots_taken_total"),
+			get("gsv_store_versions_reclaimed_total"))
 	}
 }
 

@@ -300,7 +300,10 @@ func TestStatsRendersViewTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"server stats @", "VIEW", "YP", "recent traces"} {
+	for _, want := range []string{"server stats @", "VIEW", "YP", "recent traces",
+		// The MVCC STORE section (docs/MVCC.md): the warehouse store
+		// exports gsv_store_* gauges.
+		"STORE", "PINNED", "RECLAIMED", "primary"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("stats output missing %q:\n%s", want, got)
 		}

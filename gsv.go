@@ -234,12 +234,17 @@ func (db *DB) Sync() []error {
 }
 
 // Query evaluates a query string and returns the sorted member OIDs.
+// The evaluation runs against a snapshot pinned for the call, so a
+// traversal never observes a concurrent mutation mid-query; use ReadTxn
+// to hold several reads at one version.
 func (db *DB) Query(q string) ([]OID, error) {
 	parsed, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return query.NewEvaluator(db.Store).Eval(parsed)
+	snap := db.Store.Snapshot()
+	defer snap.Close()
+	return query.NewEvaluator(snap).Eval(parsed)
 }
 
 // Define parses and registers a view definition statement

@@ -65,7 +65,10 @@ func (s *AccessStats) Add(other AccessStats) {
 // does not exist such an index, evaluating the same function may require a
 // traversal from ROOT to N").
 type CentralAccess struct {
-	S *store.Store
+	// S is the base read surface: the live store, or a pinned snapshot when
+	// a maintenance batch wants every read answered at one version (see
+	// Registry.ApplyBatch).
+	S store.Reader
 	// Within restricts all traversals to members of this database object,
 	// implementing a WITHIN clause in the view definition. Empty means
 	// unrestricted.
@@ -74,8 +77,9 @@ type CentralAccess struct {
 	Stats *AccessStats
 }
 
-// NewCentralAccess returns a CentralAccess over s.
-func NewCentralAccess(s *store.Store) *CentralAccess { return &CentralAccess{S: s} }
+// NewCentralAccess returns a CentralAccess over s — a live store or a
+// pinned snapshot.
+func NewCentralAccess(s store.Reader) *CentralAccess { return &CentralAccess{S: s} }
 
 func (a *CentralAccess) touch(n int) {
 	if a.Stats != nil {

@@ -19,7 +19,7 @@ type MaterializedView struct {
 	// Query is the view definition query, evaluated against Base.
 	Query *query.Query
 	// Base is the store holding the base objects.
-	Base *store.Store
+	Base store.Reader
 	// ViewStore is the store holding the view object and delegates.
 	ViewStore *store.Store
 	// Swizzled records whether edges are currently swizzled: base OIDs in
@@ -33,7 +33,7 @@ const ViewLabel = "mview"
 // Materialize evaluates the definition query against base and builds the
 // materialized view in viewStore. The two stores may be the same. It fails
 // if an object with the view OID already exists in viewStore.
-func Materialize(oid oem.OID, q *query.Query, base, viewStore *store.Store) (*MaterializedView, error) {
+func Materialize(oid oem.OID, q *query.Query, base store.Reader, viewStore *store.Store) (*MaterializedView, error) {
 	mv := &MaterializedView{OID: oid, Query: q, Base: base, ViewStore: viewStore}
 	members, err := query.NewEvaluator(base).Eval(q)
 	if err != nil {
@@ -94,6 +94,27 @@ func (mv *MaterializedView) RefreshDelegateFrom(o *oem.Object) error {
 // Members returns the base OIDs currently in the view, sorted.
 func (mv *MaterializedView) Members() ([]oem.OID, error) {
 	vo, err := mv.ViewStore.Get(mv.OID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]oem.OID, 0, len(vo.Set))
+	for _, d := range vo.Set {
+		_, base, ok := SplitDelegateOID(d)
+		if !ok {
+			return nil, fmt.Errorf("core: malformed delegate OID %s in view %s", d, mv.OID)
+		}
+		out = append(out, base)
+	}
+	return oem.SortOIDs(out), nil
+}
+
+// MembersAt returns the view's membership as read from rd — a pinned
+// snapshot of the view store. Centralized registries materialize views
+// into the base store itself, so a base-store snapshot covers the view
+// object and answers membership at that exact version while maintenance
+// runs on.
+func (mv *MaterializedView) MembersAt(rd store.Reader) ([]oem.OID, error) {
+	vo, err := rd.Get(mv.OID)
 	if err != nil {
 		return nil, err
 	}

@@ -392,6 +392,22 @@ func (r *Registry) Evaluate(name string) ([]oem.OID, error) {
 	return members, nil
 }
 
+// EvaluateAt returns the members of a view as of rd, a pinned snapshot of
+// the base store. Materialized views are read from their stored delegates
+// in the snapshot; virtual views are evaluated against it. Unlike
+// Evaluate, the read is side-effect free: a snapshot cannot refresh the
+// virtual view's object, so it is left alone.
+func (r *Registry) EvaluateAt(name string, rd store.Reader) ([]oem.OID, error) {
+	v, ok := r.views[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrViewNotFound, name)
+	}
+	if v.Materialized != nil {
+		return v.Materialized.MembersAt(rd)
+	}
+	return query.NewEvaluator(rd).Eval(v.Query)
+}
+
 // screenIndex returns the current screening index, rebuilding it after
 // Define/Drop. Views whose queries reference another registered view
 // (entry point, WITHIN or ANS INT naming a view object) go to the serial
@@ -456,6 +472,13 @@ func (r *Registry) ApplyBatch(us []store.Update) error {
 	m := &r.sched.Metrics
 	m.BatchSize.Observe(float64(len(us)))
 
+	// Pin the batch's base version once: every update in us is already
+	// committed, so the snapshot covers the whole batch, and screening plus
+	// every fanned-out maintainer read one frozen state — no torn reads
+	// even when other goroutines mutate the store mid-batch.
+	snap := r.base.Snapshot()
+	defer snap.Close()
+
 	perView := make([][]store.Update, len(views))
 	if r.screening {
 		stamp := make([]int, len(views))
@@ -463,7 +486,7 @@ func (r *Registry) ApplyBatch(us []store.Update) error {
 			stamp[i] = -1
 		}
 		label := func(oid oem.OID) (string, bool) {
-			l, err := r.base.Label(oid)
+			l, err := snap.Label(oid)
 			return l, err == nil
 		}
 		routed := 0
@@ -489,7 +512,7 @@ func (r *Registry) ApplyBatch(us []store.Update) error {
 		}
 		v := views[i]
 		tasks = append(tasks, Task{Name: v.Name, Fn: func() error {
-			return r.applyViewBatch(v, ups)
+			return r.applyViewBatch(v, ups, snap)
 		}})
 	}
 	var all []error
@@ -500,21 +523,66 @@ func (r *Registry) ApplyBatch(us []store.Update) error {
 	}
 	for _, v := range r.tail {
 		m.RoutedPairs.Add(uint64(len(us)))
-		if err := r.applyViewBatch(v, us); err != nil {
+		// Tail views read other views' objects as base data, so each gets
+		// a fresh pin taken after the fan-out (and after earlier tail
+		// views) committed its view-store writes.
+		ts := r.base.Snapshot()
+		err := r.applyViewBatch(v, us, ts)
+		ts.Close()
+		if err != nil {
 			all = append(all, err)
 		}
 	}
 	return errors.Join(all...)
 }
 
+// setMaintainerBase points a maintainer's base reads (its CentralAccess and
+// its view's Base) at rd for the duration of a batch, returning a restore
+// function. Maintainers whose access is not a CentralAccess — warehouse
+// RemoteAccess answers from report enrichment and source query-backs —
+// keep their access untouched; only the view's Base is repointed.
+func setMaintainerBase(m Maintainer, mv *MaterializedView, rd store.Reader) (restore func()) {
+	var undo []func()
+	if mv != nil {
+		old := mv.Base
+		mv.Base = rd
+		undo = append(undo, func() { mv.Base = old })
+	}
+	swap := func(a BaseAccess) {
+		if ca, ok := a.(*CentralAccess); ok {
+			old := ca.S
+			ca.S = rd
+			undo = append(undo, func() { ca.S = old })
+		}
+	}
+	switch v := m.(type) {
+	case *SimpleMaintainer:
+		swap(v.Access)
+	case *GeneralMaintainer:
+		swap(v.access)
+	case *DagMaintainer:
+		swap(v.Access)
+	}
+	return func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
+	}
+}
+
 // applyViewBatch applies one view's share of a batch in order, feeding
 // the legacy per-update observer as before and publishing one coalesced
 // delta to the batch observer at the end. It temporarily intercepts the
-// maintainer's observer; safe because each view belongs to exactly one
-// task per batch.
-func (r *Registry) applyViewBatch(v *View, ups []store.Update) error {
+// maintainer's observer and repoints base reads at the batch's pinned
+// snapshot; both safe because each view belongs to exactly one task per
+// batch. View-store writes stay on the live store.
+func (r *Registry) applyViewBatch(v *View, ups []store.Update, base store.Reader) error {
 	if v.Maintainer == nil || len(ups) == 0 {
 		return nil
+	}
+	if base != nil {
+		restore := setMaintainerBase(v.Maintainer, v.Materialized, base)
+		defer restore()
 	}
 	legacy := r.observer
 	var co *DeltaCoalescer

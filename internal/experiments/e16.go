@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// e16ReadMix is one serving read against a consistent state: a point
+// lookup of a tuple, its edge list, and each field value — the delegate
+// fetch pattern of a warehouse query-back, small enough that its
+// uncontended latency is dominated by anything that makes it wait.
+func e16ReadMix(rd store.Reader, tuple oem.OID) {
+	o, err := rd.Get(tuple)
+	if err != nil {
+		return // removed by churn; the read still measured the traversal
+	}
+	for _, c := range o.Set {
+		if _, err := rd.Get(c); err != nil {
+			return
+		}
+	}
+}
+
+// e16P99 returns the 99th-percentile of the pooled samples.
+func e16P99(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[(len(samples)*99)/100]
+}
+
+// E16SnapshotReadInterference measures what the MVCC read path buys a
+// serving tier: read p99 while maintenance churns, before and after.
+//
+// Both legs run the E12 multi-view workload — ApplyBatch group-commits
+// chunks of 32 updates through the screening scheduler — with reader
+// goroutines issuing point-read mixes throughout. The legs differ only
+// in how a reader gets a consistent view:
+//
+//   - rwmutex: a shared RWMutex over the store, write-held across each
+//     maintenance batch, read-held per read. This reproduces the
+//     pre-MVCC serving pattern: consistent reads had to wait out the
+//     in-flight batch (the store's own per-method lock alone let
+//     readers observe torn mid-batch states).
+//   - snapshot: readers pin a store snapshot per read and the writer is
+//     untouched — consistency comes from the version, not a lock.
+//
+// The speedup column is the interference ratio (rwmutex p99 over
+// snapshot p99); CI floors it at 2x (Makefile bench-gate). Memberships
+// are compared across the legs, so the lock-free leg is also checked
+// for correctness.
+func E16SnapshotReadInterference(cfg Config) *Table {
+	t := &Table{
+		ID:    "E16",
+		Title: "read p99 under maintenance churn: batch RWMutex vs MVCC snapshots",
+		Caption: "PR 9 snapshot read path. E12's 10-view workload group-committed in " +
+			"chunks of 32 while reader goroutines run point-read mixes. rwmutex = " +
+			"shared lock, write-held per maintenance batch, read-held per read (the " +
+			"consistent-read pattern MVCC replaces); snapshot = per-read store " +
+			"snapshot pins, writer lock-free. speedup = rwmutex p99 / snapshot p99.",
+		Headers: []string{"readers", "tuples", "updates", "rwmutex p99 us", "snapshot p99 us",
+			"speedup", "reads/leg", "members equal"},
+	}
+	const chunk = 32
+	const legBudget = 400 * time.Millisecond
+	tuples := 200 * cfg.Scale
+
+	for _, readers := range []int{4, 8} {
+		run := func(useSnapshots bool) (time.Duration, int, map[string][]oem.OID) {
+			s, sets, atoms := e12Fixture(tuples, cfg.Seed)
+			reg := core.NewRegistry(s)
+			for _, v := range e12Views {
+				if _, err := reg.Define(v.stmt); err != nil {
+					panic(err)
+				}
+			}
+			reg.SetScreening(true)
+			reg.SetParallelism(runtime.NumCPU())
+			stream := workload.NewStream(s, workload.StreamConfig{
+				Seed: cfg.Seed + 1, ValueRange: 60,
+			}, sets, atoms)
+			var batches [][]store.Update
+			applied := 0
+			for applied < cfg.Updates {
+				var b []store.Update
+				for len(b) < chunk && applied < cfg.Updates {
+					us, ok := stream.Next()
+					if !ok {
+						break
+					}
+					b = append(b, us...)
+					applied++
+				}
+				if len(b) == 0 {
+					break
+				}
+				batches = append(batches, b)
+			}
+			// Read targets: the tuple sets of both relations. Some are
+			// removed by churn mid-run; the read mix tolerates that.
+			targets := make([]oem.OID, 0, len(sets))
+			for _, oid := range sets {
+				if o, err := s.Get(oid); err == nil && o.Label == "tuple" {
+					targets = append(targets, oid)
+				}
+			}
+
+			var mu sync.RWMutex // the rwmutex leg's shared lock
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			results := make([][]time.Duration, readers)
+
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					samples := make([]time.Duration, 0, 1<<14)
+					for i := 0; !stop.Load(); i++ {
+						tuple := targets[(r*7919+i)%len(targets)]
+						t0 := time.Now()
+						if useSnapshots {
+							snap := s.Snapshot()
+							e16ReadMix(snap, tuple)
+							snap.Close()
+						} else {
+							mu.RLock()
+							e16ReadMix(s, tuple)
+							mu.RUnlock()
+						}
+						samples = append(samples, time.Since(t0))
+					}
+					results[r] = samples
+				}(r)
+			}
+
+			// Writer: cycle the batch list through ApplyBatch until the
+			// leg budget is spent — steady maintenance churn for the
+			// readers to interfere with.
+			deadline := time.Now().Add(legBudget)
+			for time.Now().Before(deadline) {
+				for _, b := range batches {
+					if !useSnapshots {
+						mu.Lock()
+					}
+					err := reg.ApplyBatch(b)
+					if !useSnapshots {
+						mu.Unlock()
+					}
+					if err != nil {
+						panic(err)
+					}
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+
+			var pooled []time.Duration
+			for _, rs := range results {
+				pooled = append(pooled, rs...)
+			}
+			members := map[string][]oem.OID{}
+			for _, v := range e12Views {
+				ms, err := reg.Evaluate(v.name)
+				if err != nil {
+					panic(err)
+				}
+				members[v.name] = ms
+			}
+			return e16P99(pooled), len(pooled), members
+		}
+
+		lockP99, lockReads, lockM := run(false)
+		snapP99, snapReads, snapM := run(true)
+
+		equal := true
+		for _, v := range e12Views {
+			a, b := lockM[v.name], snapM[v.name]
+			if len(a) != len(b) {
+				equal = false
+				break
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					equal = false
+					break
+				}
+			}
+		}
+		if !equal {
+			panic(fmt.Sprintf("E16: memberships diverged at readers=%d", readers))
+		}
+
+		lockUS := float64(lockP99.Microseconds())
+		snapUS := float64(snapP99.Microseconds())
+		t.AddRow(readers, tuples, cfg.Updates,
+			lockUS, snapUS, ratio(lockUS, snapUS),
+			min(lockReads, snapReads), equal)
+	}
+	return t
+}

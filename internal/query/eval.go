@@ -15,9 +15,11 @@ type Stats struct {
 	ObjectsVisited int
 }
 
-// Evaluator runs queries against a store.
+// Evaluator runs queries against a store — either a live *store.Store or a
+// pinned *store.Snapshot (any store.Reader): evaluation is read-only, so a
+// snapshot gives point-in-time-consistent answers while writers race ahead.
 type Evaluator struct {
-	Store *store.Store
+	Store store.Reader
 	// Stats, when non-nil, accumulates evaluation work counters.
 	Stats *Stats
 	// Resolve, when non-nil, maps each OID encountered while following
@@ -27,8 +29,8 @@ type Evaluator struct {
 	Resolve func(oem.OID) oem.OID
 }
 
-// NewEvaluator returns an evaluator over s.
-func NewEvaluator(s *store.Store) *Evaluator { return &Evaluator{Store: s} }
+// NewEvaluator returns an evaluator over s: a live store or a snapshot.
+func NewEvaluator(s store.Reader) *Evaluator { return &Evaluator{Store: s} }
 
 // graph adapts the store to pathexpr.Graph, restricted to a database scope
 // when the query carries a WITHIN clause: objects outside the scope are
@@ -41,23 +43,26 @@ func (ev *Evaluator) graph(scope map[oem.OID]bool) pathexpr.Graph {
 		if ev.Stats != nil {
 			ev.Stats.ObjectsVisited++
 		}
-		o, err := ev.Store.Get(oid)
-		if err != nil || !o.IsSet() {
+		// Children + Label avoid the full object clones Get would make —
+		// this is the query/maintenance hot path (see docs/MVCC.md on the
+		// allocation profile).
+		kids, err := ev.Store.Children(oid)
+		if err != nil || len(kids) == 0 {
 			return nil
 		}
-		nbs := make([]pathexpr.Neighbor, 0, len(o.Set))
-		for _, c := range o.Set {
+		nbs := make([]pathexpr.Neighbor, 0, len(kids))
+		for _, c := range kids {
 			if ev.Resolve != nil {
 				c = ev.Resolve(c)
 			}
 			if scope != nil && !scope[c] {
 				continue
 			}
-			co, err := ev.Store.Get(c)
+			l, err := ev.Store.Label(c)
 			if err != nil {
 				continue // dangling OID: not traversable
 			}
-			nbs = append(nbs, pathexpr.Neighbor{Label: co.Label, To: c})
+			nbs = append(nbs, pathexpr.Neighbor{Label: l, To: c})
 		}
 		return nbs
 	})
@@ -182,12 +187,16 @@ func (ev *Evaluator) compareHolds(c *Compare, x oem.OID, g pathexpr.Graph) bool 
 // EvalToObject evaluates the query and stores the answer as the paper's
 // <ANS, answer, set, value(ANS)> object, returning its OID.
 func (ev *Evaluator) EvalToObject(q *Query) (oem.OID, error) {
+	w, ok := ev.Store.(*store.Store)
+	if !ok {
+		return oem.NoOID, fmt.Errorf("query: EvalToObject needs a writable store, have %T", ev.Store)
+	}
 	members, err := ev.Eval(q)
 	if err != nil {
 		return oem.NoOID, err
 	}
-	oid := ev.Store.GenOID("ANS")
-	if err := ev.Store.Put(oem.NewSet(oid, "answer", members...)); err != nil {
+	oid := w.GenOID("ANS")
+	if err := w.Put(oem.NewSet(oid, "answer", members...)); err != nil {
 		return oem.NoOID, err
 	}
 	return oid, nil

@@ -539,6 +539,9 @@ func (r *Replica) RegisterObs(reg *obs.Registry) {
 	for _, v := range views {
 		r.registerViewProp(v)
 	}
+	// The replica's serving store exports its MVCC gauges too — pinned
+	// snapshots here are reconcile diff bases and in-flight reads.
+	warehouse.RegisterStoreObs(reg, r.store, obs.L("store", "replica:"+r.opts.Name))
 	r.src.RegisterObs(reg)
 }
 
@@ -850,7 +853,12 @@ func (r *Replica) reconcileView(v *rview, snap *warehouse.FeedSnapshot) error {
 	for _, b := range snap.Members {
 		want[b] = true
 	}
-	cur, err := v.mv.Members()
+	// Diff against a pinned version of the replica store: the membership
+	// this reconcile subtracts from stays frozen while the loop below
+	// mutates the store, and concurrent serving reads are undisturbed.
+	pin := r.store.Snapshot()
+	cur, err := v.mv.MembersAt(pin)
+	pin.Close()
 	if err != nil {
 		return err
 	}

@@ -91,33 +91,16 @@ func (u Update) String() string {
 	}
 }
 
-// emitLocked assigns the next sequence number, appends to the (possibly
-// bounded) log, and notifies subscribers. Callers hold s.mu; subscriber
-// callbacks therefore must not call back into the store — monitors enqueue
-// and process updates on their own goroutine or after the call returns.
-func (s *Store) emitLocked(u Update) {
-	s.seq++
-	u.Seq = s.seq
-	s.log = append(s.log, u)
-	if s.opts.LogCapacity > 0 && len(s.log) > s.opts.LogCapacity {
-		s.log = s.log[len(s.log)-s.opts.LogCapacity:]
-	}
-	for _, fn := range s.subs {
-		fn(u)
-	}
-}
-
-// Seq returns the sequence number of the most recent update, or zero.
+// Seq returns the sequence number of the most recent update, or zero. It
+// is lock-free: one atomic load of the current version.
 func (s *Store) Seq() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.seq
+	return s.cur.Load().seq
 }
 
 // Log returns a copy of the retained update log in sequence order.
 func (s *Store) Log() []Update {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Update, len(s.log))
 	copy(out, s.log)
 	return out
@@ -125,8 +108,8 @@ func (s *Store) Log() []Update {
 
 // LogSince returns retained updates with sequence numbers greater than seq.
 func (s *Store) LogSince(seq uint64) []Update {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []Update
 	for _, u := range s.log {
 		if u.Seq > seq {
@@ -137,9 +120,11 @@ func (s *Store) LogSince(seq uint64) []Update {
 }
 
 // Subscribe registers fn to be called synchronously with every subsequent
-// update, in sequence order. The callback runs with the store's lock held
-// and must not call store methods; copy the update and return. Subscribe is
-// how source monitors (Section 5) observe changes.
+// update, in sequence order. The callback runs with the store's writer
+// mutex held and must not call mutation methods (read methods are safe —
+// they resolve against the already-published version); monitors enqueue
+// and process updates on their own goroutine or after the call returns.
+// Subscribe is how source monitors (Section 5) observe changes.
 func (s *Store) Subscribe(fn func(Update)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

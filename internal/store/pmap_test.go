@@ -1,0 +1,108 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestPmapBasic(t *testing.T) {
+	var m *pmap[int]
+	if m.Len() != 0 {
+		t.Fatalf("nil pmap Len = %d", m.Len())
+	}
+	m = m.With("a", 1).With("b", 2).With("a", 3)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Get("a"); !ok || v != 3 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	if v, ok := m.Get("b"); !ok || v != 2 {
+		t.Fatalf("Get(b) = %d,%v", v, ok)
+	}
+	if _, ok := m.Get("c"); ok {
+		t.Fatal("Get(c) found")
+	}
+	m2 := m.Without("a")
+	if m2.Len() != 1 || m2.Has("a") || !m2.Has("b") {
+		t.Fatalf("Without(a): len=%d has(a)=%v has(b)=%v", m2.Len(), m2.Has("a"), m2.Has("b"))
+	}
+	// The original is untouched — persistence.
+	if !m.Has("a") || m.Len() != 2 {
+		t.Fatal("Without mutated the receiver")
+	}
+	if m.Without("missing") != m {
+		t.Fatal("Without(missing) did not return the receiver")
+	}
+}
+
+// TestPmapAgainstModel drives a pmap and a builtin map through the same
+// random operation stream, checking full agreement after every step, and
+// verifies that retained old versions stay frozen.
+func TestPmapAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var m *pmap[int]
+	model := map[string]int{}
+	type frozen struct {
+		m    *pmap[int]
+		want map[string]int
+	}
+	var pinned []frozen
+	for step := 0; step < 8000; step++ {
+		key := fmt.Sprintf("k%d", rng.Intn(600))
+		switch rng.Intn(3) {
+		case 0, 1:
+			m = m.With(key, step)
+			model[key] = step
+		case 2:
+			m = m.Without(key)
+			delete(model, key)
+		}
+		if m.Len() != len(model) {
+			t.Fatalf("step %d: Len=%d model=%d", step, m.Len(), len(model))
+		}
+		if step%997 == 0 {
+			want := make(map[string]int, len(model))
+			for k, v := range model {
+				want[k] = v
+			}
+			pinned = append(pinned, frozen{m, want})
+		}
+	}
+	check := func(m *pmap[int], want map[string]int) {
+		t.Helper()
+		got := map[string]int{}
+		m.Range(func(k string, v int) bool {
+			got[k] = v
+			return true
+		})
+		if len(got) != len(want) || len(got) != m.Len() {
+			t.Fatalf("size mismatch: range=%d want=%d len=%d", len(got), len(want), m.Len())
+		}
+		for k, v := range want {
+			if gv, ok := m.Get(k); !ok || gv != v {
+				t.Fatalf("Get(%s) = %d,%v want %d", k, gv, ok, v)
+			}
+		}
+	}
+	check(m, model)
+	for _, f := range pinned {
+		check(f.m, f.want)
+	}
+}
+
+func TestPmapRangeEarlyStop(t *testing.T) {
+	var m *pmap[int]
+	for i := 0; i < 100; i++ {
+		m = m.With(fmt.Sprintf("k%d", i), i)
+	}
+	n := 0
+	m.Range(func(string, int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("Range visited %d entries, want 10", n)
+	}
+}

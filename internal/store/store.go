@@ -6,12 +6,21 @@
 // indexes accelerate the helper functions used by incremental view
 // maintenance; they can be disabled to reproduce the paper's cost
 // discussion for index-free sources.
+//
+// The store is multi-versioned (MVCC): every committed mutation publishes a
+// new immutable version — object map plus both indexes, structurally shared
+// with its predecessor via persistent tries (pmap.go) — at the mutation's
+// WAL commit point. Reads never take a lock: they resolve against the
+// version current at call time, and Snapshot / SnapshotAt pin a version so
+// a reader sees one frozen, internally consistent state for as long as it
+// likes while writers race ahead. docs/MVCC.md describes the lifecycle.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gsv/internal/oem"
 )
@@ -30,6 +39,10 @@ var (
 	ErrNotChild = errors.New("store: not a child of parent")
 )
 
+// DefaultRetainVersions is the history depth used when
+// Options.RetainVersions is zero: how far back SnapshotAt can reach.
+const DefaultRetainVersions = 512
+
 // Options configure a Store.
 type Options struct {
 	// ParentIndex maintains, for every object, the set of its parents. With
@@ -47,6 +60,12 @@ type Options struct {
 	// are legitimate; warehouse view stores enable this so delegate values
 	// can keep pointing at base objects that live at the sources.
 	AllowDangling bool
+	// RetainVersions bounds the version history ring that serves
+	// SnapshotAt: how many committed versions stay addressable by sequence
+	// number. Zero means DefaultRetainVersions; pinned snapshots are never
+	// invalidated by eviction — the ring only limits how far back *new*
+	// SnapshotAt calls can reach.
+	RetainVersions int
 }
 
 // DefaultOptions enables both indexes and an unbounded log.
@@ -54,30 +73,45 @@ func DefaultOptions() Options {
 	return Options{ParentIndex: true, LabelIndex: true}
 }
 
-// Store is a mutable collection of OEM objects. All methods are safe for
-// concurrent use. Objects returned by read methods are defensive copies;
-// mutations must go through the update methods so that indexes, the log and
-// subscribers stay consistent.
+// Store is a mutable, multi-versioned collection of OEM objects. All
+// methods are safe for concurrent use; read methods take no locks. Objects
+// returned by read methods are defensive copies; mutations must go through
+// the update methods so that indexes, the log and subscribers stay
+// consistent.
 type Store struct {
-	mu      sync.RWMutex
-	opts    Options
-	objects map[oem.OID]*oem.Object
-	parents map[oem.OID]map[oem.OID]struct{} // child -> parents, when ParentIndex
-	byLabel map[string]map[oem.OID]struct{}  // label -> objects, when LabelIndex
-	log     []Update
-	seq     uint64
-	genSeq  uint64
-	subs    []func(Update)
+	opts Options
+
+	// cur is the current committed version; readers load it atomically.
+	cur atomic.Pointer[version]
+
+	// mu serializes writers and guards log, subs and genSeq. It is never
+	// taken on the read path.
+	mu     sync.Mutex
+	log    []Update
+	genSeq uint64
+	subs   []func(Update)
+
+	// histMu guards the version-history ring (SnapshotAt's index). Writers
+	// take it briefly after publishing; it is not on the plain read path.
+	histMu  sync.Mutex
+	hist    *vring
+	evicted uint64
+
+	pins  atomic.Int64
+	taken atomic.Uint64
 }
 
 // New returns an empty store with the given options.
 func New(opts Options) *Store {
-	return &Store{
-		opts:    opts,
-		objects: make(map[oem.OID]*oem.Object),
-		parents: make(map[oem.OID]map[oem.OID]struct{}),
-		byLabel: make(map[string]map[oem.OID]struct{}),
+	retain := opts.RetainVersions
+	if retain == 0 {
+		retain = DefaultRetainVersions
 	}
+	s := &Store{opts: opts, hist: newVring(retain)}
+	v := &version{}
+	s.cur.Store(v)
+	s.hist.push(v)
+	return s
 }
 
 // NewDefault returns an empty store with DefaultOptions.
@@ -86,143 +120,90 @@ func NewDefault() *Store { return New(DefaultOptions()) }
 // Options returns the options the store was created with.
 func (s *Store) Options() Options { return s.opts }
 
-// Len returns the number of objects in the store.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.objects)
+// publishLocked swaps next in as the current version and records it in the
+// history ring. Callers hold s.mu.
+func (s *Store) publishLocked(next *version) {
+	s.cur.Store(next)
+	s.histMu.Lock()
+	s.evicted += uint64(s.hist.push(next))
+	s.histMu.Unlock()
 }
+
+// commitLocked logs u, notifies subscribers, and then publishes next as the
+// successor version (seq+1) — one committed version per logged mutation,
+// the same commit points the WAL records. Callers hold s.mu.
+//
+// Publication comes last deliberately: the moment a reader can observe
+// sequence number N, every subscriber (source monitors, group-commit
+// buffers, the WAL) has already been handed update N. Readers stamping
+// results with Seq() therefore never claim a state whose report is still
+// in flight inside the store.
+func (s *Store) commitLocked(next *version, u Update) {
+	next.seq = s.cur.Load().seq + 1
+	u.Seq = next.seq
+	s.log = append(s.log, u)
+	if s.opts.LogCapacity > 0 && len(s.log) > s.opts.LogCapacity {
+		s.log = s.log[len(s.log)-s.opts.LogCapacity:]
+	}
+	for _, fn := range s.subs {
+		fn(u)
+	}
+	s.publishLocked(next)
+}
+
+// Len returns the number of objects in the store.
+func (s *Store) Len() int { return s.cur.Load().objects.Len() }
 
 // Get returns a copy of the object named by oid.
 func (s *Store) Get(oid oem.OID) (*oem.Object, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[oid]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
-	}
-	return o.Clone(), nil
+	return readGet(s.cur.Load(), oid)
 }
 
 // Has reports whether oid names an object in the store.
 func (s *Store) Has(oid oem.OID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.objects[oid]
+	_, ok := s.cur.Load().get(oid)
 	return ok
 }
 
 // HasChild reports whether child is in the set value of parent. With the
-// parent index this is two map probes — no object clone — which is what
+// parent index this is two trie probes — no object clone — which is what
 // makes per-update membership screening affordable; without it the
 // parent's value is scanned in place.
 func (s *Store) HasChild(parent, child oem.OID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.opts.ParentIndex {
-		_, ok := s.parents[child][parent]
-		return ok
-	}
-	o, ok := s.objects[parent]
-	return ok && o.Contains(child)
+	return readHasChild(s.cur.Load(), s.opts, parent, child)
 }
 
 // Label returns the label of the object named by oid.
 func (s *Store) Label(oid oem.OID) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[oid]
-	if !ok {
-		return "", fmt.Errorf("%w: %s", ErrNotFound, oid)
-	}
-	return o.Label, nil
+	return readLabel(s.cur.Load(), oid)
 }
 
 // Children returns the value of a set object: the OIDs of its children.
 // Atomic objects have no children; Children returns nil for them.
 func (s *Store) Children(oid oem.OID) ([]oem.OID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[oid]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
-	}
-	if o.Kind != oem.KindSet {
-		return nil, nil
-	}
-	out := make([]oem.OID, len(o.Set))
-	copy(out, o.Set)
-	return out, nil
+	return readChildren(s.cur.Load(), oid)
 }
 
 // Parents returns the OIDs of objects whose set value contains oid. With
 // the parent index the lookup is O(parents); without it the whole store is
 // scanned, mirroring the cost asymmetry the paper discusses.
 func (s *Store) Parents(oid oem.OID) ([]oem.OID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, ok := s.objects[oid]; !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, oid)
-	}
-	if s.opts.ParentIndex {
-		ps := s.parents[oid]
-		out := make([]oem.OID, 0, len(ps))
-		for p := range ps {
-			out = append(out, p)
-		}
-		return oem.SortOIDs(out), nil
-	}
-	var out []oem.OID
-	for poid, p := range s.objects {
-		if p.Contains(oid) {
-			out = append(out, poid)
-		}
-	}
-	return oem.SortOIDs(out), nil
+	return readParents(s.cur.Load(), s.opts, oid)
 }
 
 // ByLabel returns the OIDs of all objects carrying the given label. With
 // the label index the lookup is O(matches); without it the store is scanned.
 func (s *Store) ByLabel(label string) []oem.OID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.opts.LabelIndex {
-		m := s.byLabel[label]
-		out := make([]oem.OID, 0, len(m))
-		for oid := range m {
-			out = append(out, oid)
-		}
-		return oem.SortOIDs(out)
-	}
-	var out []oem.OID
-	for oid, o := range s.objects {
-		if o.Label == label {
-			out = append(out, oid)
-		}
-	}
-	return oem.SortOIDs(out)
+	return readByLabel(s.cur.Load(), s.opts, label)
 }
 
 // OIDs returns every OID in the store, sorted.
-func (s *Store) OIDs() []oem.OID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]oem.OID, 0, len(s.objects))
-	for oid := range s.objects {
-		out = append(out, oid)
-	}
-	return oem.SortOIDs(out)
-}
+func (s *Store) OIDs() []oem.OID { return readOIDs(s.cur.Load()) }
 
-// ForEach calls fn with a copy of every object, in sorted OID order. It
-// takes a snapshot of the OIDs first, so fn may call read methods.
-func (s *Store) ForEach(fn func(*oem.Object)) {
-	for _, oid := range s.OIDs() {
-		if o, err := s.Get(oid); err == nil {
-			fn(o)
-		}
-	}
-}
+// ForEach calls fn with a copy of every object, in sorted OID order. The
+// whole iteration observes one version: a point-in-time-consistent scan
+// even while writers commit concurrently.
+func (s *Store) ForEach(fn func(*oem.Object)) { readForEach(s.cur.Load(), fn) }
 
 // GenOID returns a fresh OID with the given prefix that is not currently in
 // use. It is used for query answers, view objects and set-operation results
@@ -234,10 +215,11 @@ func (s *Store) GenOID(prefix string) oem.OID {
 }
 
 func (s *Store) genOIDLocked(prefix string) oem.OID {
+	v := s.cur.Load()
 	for {
 		s.genSeq++
 		oid := oem.OID(fmt.Sprintf("%s_%d", prefix, s.genSeq))
-		if _, ok := s.objects[oid]; !ok {
+		if _, ok := v.get(oid); !ok {
 			return oid
 		}
 	}
@@ -247,9 +229,9 @@ func (s *Store) genOIDLocked(prefix string) oem.OID {
 // the most recent update and the GenOID counter. Snapshots persist both so
 // a restored store continues the original timeline.
 func (s *Store) Counters() (seq, genSeq uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.seq, s.genSeq
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.Load().seq, s.genSeq
 }
 
 // restoreCounters advances the counters to at least the given values. It
@@ -258,8 +240,10 @@ func (s *Store) Counters() (seq, genSeq uint64) {
 func (s *Store) restoreCounters(seq, genSeq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if seq > s.seq {
-		s.seq = seq
+	if v := s.cur.Load(); seq > v.seq {
+		next := v.next()
+		next.seq = seq
+		s.publishLocked(next)
 	}
 	if genSeq > s.genSeq {
 		s.genSeq = genSeq
@@ -274,8 +258,10 @@ func (s *Store) restoreCounters(seq, genSeq uint64) {
 func (s *Store) AdvanceSeq(seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if seq > s.seq {
-		s.seq = seq
+	if v := s.cur.Load(); seq > v.seq {
+		next := v.next()
+		next.seq = seq
+		s.publishLocked(next)
 	}
 }
 
@@ -310,13 +296,15 @@ func (s *Store) ApplyUpdate(u Update) error {
 func (s *Store) Put(o *oem.Object) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.objects[o.OID]; ok {
+	v := s.cur.Load()
+	if _, ok := v.get(o.OID); ok {
 		return fmt.Errorf("%w: %s", ErrExists, o.OID)
 	}
 	c := o.Clone()
-	s.objects[c.OID] = c
-	s.indexAdd(c)
-	s.emitLocked(Update{Kind: UpdateCreate, N1: c.OID, Object: c.Clone()})
+	next := v.next()
+	next.objects = next.objects.With(string(c.OID), c)
+	indexAdd(next, s.opts, c)
+	s.commitLocked(next, Update{Kind: UpdateCreate, N1: c.OID, Object: c.Clone()})
 	return nil
 }
 
@@ -335,28 +323,29 @@ func (s *Store) MustPut(o *oem.Object) {
 func (s *Store) Insert(n1, n2 oem.OID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.objects[n1]
+	v := s.cur.Load()
+	p, ok := v.get(n1)
 	if !ok {
 		return fmt.Errorf("%w: parent %s", ErrNotFound, n1)
 	}
 	if p.Kind != oem.KindSet {
 		return fmt.Errorf("%w: %s", ErrNotSet, n1)
 	}
-	if _, ok := s.objects[n2]; !ok && !s.opts.AllowDangling {
+	if _, ok := v.get(n2); !ok && !s.opts.AllowDangling {
 		return fmt.Errorf("%w: child %s", ErrNotFound, n2)
 	}
-	if !p.Add(n2) {
+	if p.Contains(n2) {
 		return nil // already a child; value unchanged, nothing to log
 	}
+	np := p.Clone()
+	np.Add(n2)
+	next := v.next()
+	next.objects = next.objects.With(string(n1), np)
 	if s.opts.ParentIndex {
-		ps := s.parents[n2]
-		if ps == nil {
-			ps = make(map[oem.OID]struct{})
-			s.parents[n2] = ps
-		}
-		ps[n1] = struct{}{}
+		ps, _ := next.parents.Get(string(n2))
+		next.parents = next.parents.With(string(n2), ps.With(string(n1), struct{}{}))
 	}
-	s.emitLocked(Update{Kind: UpdateInsert, N1: n1, N2: n2})
+	s.commitLocked(next, Update{Kind: UpdateInsert, N1: n1, N2: n2})
 	return nil
 }
 
@@ -365,25 +354,32 @@ func (s *Store) Insert(n1, n2 oem.OID) error {
 func (s *Store) Delete(n1, n2 oem.OID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.objects[n1]
+	v := s.cur.Load()
+	p, ok := v.get(n1)
 	if !ok {
 		return fmt.Errorf("%w: parent %s", ErrNotFound, n1)
 	}
 	if p.Kind != oem.KindSet {
 		return fmt.Errorf("%w: %s", ErrNotSet, n1)
 	}
-	if !p.Remove(n2) {
+	if !p.Contains(n2) {
 		return fmt.Errorf("%w: %s not in %s", ErrNotChild, n2, n1)
 	}
+	np := p.Clone()
+	np.Remove(n2)
+	next := v.next()
+	next.objects = next.objects.With(string(n1), np)
 	if s.opts.ParentIndex {
-		if ps := s.parents[n2]; ps != nil {
-			delete(ps, n1)
-			if len(ps) == 0 {
-				delete(s.parents, n2)
+		if ps, ok := next.parents.Get(string(n2)); ok {
+			ps = ps.Without(string(n1))
+			if ps.Len() == 0 {
+				next.parents = next.parents.Without(string(n2))
+			} else {
+				next.parents = next.parents.With(string(n2), ps)
 			}
 		}
 	}
-	s.emitLocked(Update{Kind: UpdateDelete, N1: n1, N2: n2})
+	s.commitLocked(next, Update{Kind: UpdateDelete, N1: n1, N2: n2})
 	return nil
 }
 
@@ -392,7 +388,8 @@ func (s *Store) Delete(n1, n2 oem.OID) error {
 func (s *Store) Modify(n oem.OID, newv oem.Atom) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	o, ok := s.objects[n]
+	v := s.cur.Load()
+	o, ok := v.get(n)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, n)
 	}
@@ -400,9 +397,12 @@ func (s *Store) Modify(n oem.OID, newv oem.Atom) error {
 		return fmt.Errorf("%w: %s", ErrNotAtomic, n)
 	}
 	oldv := o.Atom
-	o.Atom = newv
-	o.Type = newTypeFor(o.Type, oldv, newv)
-	s.emitLocked(Update{Kind: UpdateModify, N1: n, Old: oldv, New: newv})
+	no := o.Clone()
+	no.Atom = newv
+	no.Type = newTypeFor(o.Type, oldv, newv)
+	next := v.next()
+	next.objects = next.objects.With(string(n), no)
+	s.commitLocked(next, Update{Kind: UpdateModify, N1: n, Old: oldv, New: newv})
 	return nil
 }
 
@@ -464,23 +464,31 @@ func (s *Store) Remove(oid oem.OID) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	o, ok := s.objects[oid]
+	v := s.cur.Load()
+	o, ok := v.get(oid)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, oid)
 	}
-	s.indexRemove(o)
-	delete(s.objects, oid)
+	next := v.next()
+	next.objects = next.objects.Without(string(oid))
+	indexRemove(next, s.opts, o)
 	// Children lose this parent.
 	if s.opts.ParentIndex && o.Kind == oem.KindSet {
 		for _, c := range o.Set {
-			if ps := s.parents[c]; ps != nil {
-				delete(ps, oid)
-				if len(ps) == 0 {
-					delete(s.parents, c)
+			if ps, ok := next.parents.Get(string(c)); ok {
+				ps = ps.Without(string(oid))
+				if ps.Len() == 0 {
+					next.parents = next.parents.Without(string(c))
+				} else {
+					next.parents = next.parents.With(string(c), ps)
 				}
 			}
 		}
 	}
+	// The object drop itself is silent (same seq), matching the paper's
+	// model where only edge changes are updates; the new version replaces
+	// the current one in the history ring.
+	s.publishLocked(next)
 	return nil
 }
 
@@ -491,10 +499,11 @@ func (s *Store) Remove(oid oem.OID) error {
 func (s *Store) CollectGarbage(roots ...oem.OID) []oem.OID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	reachable := make(map[oem.OID]bool, len(s.objects))
+	v := s.cur.Load()
+	reachable := make(map[oem.OID]bool, v.objects.Len())
 	stack := make([]oem.OID, 0, len(roots))
 	for _, r := range roots {
-		if _, ok := s.objects[r]; ok && !reachable[r] {
+		if _, ok := v.get(r); ok && !reachable[r] {
 			reachable[r] = true
 			stack = append(stack, r)
 		}
@@ -502,69 +511,79 @@ func (s *Store) CollectGarbage(roots ...oem.OID) []oem.OID {
 	for len(stack) > 0 {
 		oid := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		o := s.objects[oid]
+		o, _ := v.get(oid)
 		if o == nil || o.Kind != oem.KindSet {
 			continue
 		}
 		for _, c := range o.Set {
-			if _, ok := s.objects[c]; ok && !reachable[c] {
+			if _, ok := v.get(c); ok && !reachable[c] {
 				reachable[c] = true
 				stack = append(stack, c)
 			}
 		}
 	}
 	var removed []oem.OID
-	for oid, o := range s.objects {
+	next := v.next()
+	v.objects.Range(func(key string, o *oem.Object) bool {
+		oid := oem.OID(key)
 		if !reachable[oid] {
 			removed = append(removed, oid)
-			s.indexRemove(o)
-			delete(s.objects, oid)
-			delete(s.parents, oid)
+			next.objects = next.objects.Without(key)
+			indexRemove(next, s.opts, o)
+			next.parents = next.parents.Without(key)
 		}
-	}
+		return true
+	})
 	// Drop parent-index entries that point at removed parents.
-	if s.opts.ParentIndex {
-		for c, ps := range s.parents {
-			for p := range ps {
-				if _, ok := s.objects[p]; !ok {
-					delete(ps, p)
+	if s.opts.ParentIndex && len(removed) > 0 {
+		next.parents.Range(func(c string, ps *oidSet) bool {
+			trimmed := ps
+			ps.Range(func(p string, _ struct{}) bool {
+				if !next.objects.Has(p) {
+					trimmed = trimmed.Without(p)
+				}
+				return true
+			})
+			if trimmed != ps {
+				if trimmed.Len() == 0 {
+					next.parents = next.parents.Without(c)
+				} else {
+					next.parents = next.parents.With(c, trimmed)
 				}
 			}
-			if len(ps) == 0 {
-				delete(s.parents, c)
-			}
-		}
+			return true
+		})
+	}
+	if len(removed) > 0 {
+		s.publishLocked(next) // silent, like Remove's object drop
 	}
 	return oem.SortOIDs(removed)
 }
 
-func (s *Store) indexAdd(o *oem.Object) {
-	if s.opts.LabelIndex {
-		m := s.byLabel[o.Label]
-		if m == nil {
-			m = make(map[oem.OID]struct{})
-			s.byLabel[o.Label] = m
-		}
-		m[o.OID] = struct{}{}
+// indexAdd records a newly created object in next's label and parent
+// indexes.
+func indexAdd(next *version, opts Options, o *oem.Object) {
+	if opts.LabelIndex {
+		m, _ := next.byLabel.Get(o.Label)
+		next.byLabel = next.byLabel.With(o.Label, m.With(string(o.OID), struct{}{}))
 	}
-	if s.opts.ParentIndex && o.Kind == oem.KindSet {
+	if opts.ParentIndex && o.Kind == oem.KindSet {
 		for _, c := range o.Set {
-			ps := s.parents[c]
-			if ps == nil {
-				ps = make(map[oem.OID]struct{})
-				s.parents[c] = ps
-			}
-			ps[o.OID] = struct{}{}
+			ps, _ := next.parents.Get(string(c))
+			next.parents = next.parents.With(string(c), ps.With(string(o.OID), struct{}{}))
 		}
 	}
 }
 
-func (s *Store) indexRemove(o *oem.Object) {
-	if s.opts.LabelIndex {
-		if m := s.byLabel[o.Label]; m != nil {
-			delete(m, o.OID)
-			if len(m) == 0 {
-				delete(s.byLabel, o.Label)
+// indexRemove drops a removed object from next's label index.
+func indexRemove(next *version, opts Options, o *oem.Object) {
+	if opts.LabelIndex {
+		if m, ok := next.byLabel.Get(o.Label); ok {
+			m = m.Without(string(o.OID))
+			if m.Len() == 0 {
+				next.byLabel = next.byLabel.Without(o.Label)
+			} else {
+				next.byLabel = next.byLabel.With(o.Label, m)
 			}
 		}
 	}

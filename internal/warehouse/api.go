@@ -40,6 +40,28 @@ type SourceAPI interface {
 	LastKnownSeq() uint64
 }
 
+// SeqQuerier is the optional snapshot-read extension of SourceAPI: a
+// source that can evaluate a view query against its state pinned at an
+// exact sequence number (the MVCC read path, docs/MVCC.md). It is a side
+// interface rather than a SourceAPI method so old sources — and wrappers
+// around them — keep compiling; callers probe with a type assertion via
+// fetchQueryAt. at == 0 means "current state".
+type SeqQuerier interface {
+	FetchQueryAt(q *query.Query, at uint64) ([]*oem.Object, error)
+}
+
+// fetchQueryAt answers q at sequence number at when the source supports
+// pinned reads, and from the current state otherwise. The current state
+// reflects every update <= at plus possibly more, so treating `at` as the
+// replay bound stays correct either way — only conservative without the
+// extension (racing reports replay and converge, Section 5.1).
+func fetchQueryAt(src SourceAPI, q *query.Query, at uint64) ([]*oem.Object, error) {
+	if sq, ok := src.(SeqQuerier); ok && at > 0 {
+		return sq.FetchQueryAt(q, at)
+	}
+	return src.FetchQuery(q)
+}
+
 // ID implements SourceAPI.
 func (s *Source) ID() string { return s.Name }
 

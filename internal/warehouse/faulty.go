@@ -101,6 +101,16 @@ func (f *FaultySource) FetchQuery(q *query.Query) ([]*oem.Object, error) {
 	return f.Inner.FetchQuery(q)
 }
 
+// FetchQueryAt implements SeqQuerier when the inner source does, faulted
+// under the same "query" op as FetchQuery (the injector does not need to
+// distinguish the pinned variant).
+func (f *FaultySource) FetchQueryAt(q *query.Query, at uint64) ([]*oem.Object, error) {
+	if err := f.fault("query"); err != nil {
+		return nil, err
+	}
+	return fetchQueryAt(f.Inner, q, at)
+}
+
 // TakeGap forwards gap detection when the inner source supports it, so a
 // fault-wrapped RemoteSource still feeds the staleness machinery.
 func (f *FaultySource) TakeGap() (uint64, bool) {

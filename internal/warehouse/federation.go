@@ -310,6 +310,66 @@ func (f *Federation) Query(q *query.Query) ([]*oem.Object, error) {
 	return out, nil
 }
 
+// QueryAt is Query's sequence-pinned variant: a spanning union read with
+// each shard answering at its own pinned sequence number. at holds one
+// seq per shard, in shard order (shards count independently — there is
+// no federation-wide sequence); a zero entry, or len(at) shorter than
+// the shard list, reads that shard's current state. Shards without
+// pinned reads degrade to current state per fetchQueryAt.
+func (f *Federation) QueryAt(q *query.Query, at []uint64) ([]*oem.Object, error) {
+	type result struct {
+		sh   *fedShard
+		objs []*oem.Object
+		err  error
+	}
+	ch := make(chan result, len(f.shards))
+	for i, sh := range f.shards {
+		var seq uint64
+		if i < len(at) {
+			seq = at[i]
+		}
+		go func(sh *fedShard, seq uint64) {
+			objs, err := sh.src.FetchQueryAt(q, seq)
+			ch <- result{sh, objs, err}
+		}(sh, seq)
+	}
+	byOID := make(map[oem.OID]*oem.Object)
+	var missing []string
+	var cause error
+	for range f.shards {
+		r := <-ch
+		if r.err != nil {
+			missing = append(missing, r.sh.name)
+			if cause == nil {
+				cause = r.err
+			}
+			r.sh.sup.noteDegradedRead()
+			continue
+		}
+		for _, o := range r.objs {
+			byOID[o.OID] = o
+		}
+	}
+	if len(missing) == len(f.shards) {
+		return nil, cause
+	}
+	oids := make([]oem.OID, 0, len(byOID))
+	for oid := range byOID {
+		oids = append(oids, oid)
+	}
+	oids = oem.SortOIDs(oids)
+	out := make([]*oem.Object, len(oids))
+	for i, oid := range oids {
+		out[i] = byOID[oid]
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		f.partialReads.Inc()
+		return out, &PartialResultError{View: q.String(), Missing: missing, Cause: cause}
+	}
+	return out, nil
+}
+
 // Pump runs one maintenance round: every shard's pending reports are
 // drained and batch-processed concurrently (per-source watermarks
 // advance from the report origin stamps), then quarantined views are
@@ -645,6 +705,18 @@ func (s *shardSource) FetchQuery(q *query.Query) (objs []*oem.Object, err error)
 	err = s.guard(func() error {
 		var e error
 		objs, e = s.raw.FetchQuery(q)
+		return e
+	})
+	return objs, err
+}
+
+// FetchQueryAt implements SeqQuerier against this shard's own sequence
+// numbers (each shard store counts independently; a federation-wide
+// pinned read passes one seq per shard — Federation.QueryAt).
+func (s *shardSource) FetchQueryAt(q *query.Query, at uint64) (objs []*oem.Object, err error) {
+	err = s.guard(func() error {
+		var e error
+		objs, e = fetchQueryAt(s.raw, q, at)
 		return e
 	})
 	return objs, err

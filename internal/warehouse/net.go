@@ -91,6 +91,9 @@ type netRequest struct {
 	Query string        `json:"query,omitempty"`
 	// View names the target view for the "members" op.
 	View string `json:"view,omitempty"`
+	// At pins the "queryat" op to a source sequence number: the answer
+	// reflects exactly the updates with Seq <= At. Zero means current.
+	At uint64 `json:"at,omitempty"`
 }
 
 // netResponse is one query-mode response.
@@ -379,6 +382,16 @@ func (s *Server) dispatch(req netRequest) netResponse {
 			return netResponse{Err: err.Error()}
 		}
 		objs, err := s.Src.FetchQuery(q)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		return netResponse{Found: true, Objects: objs}
+	case "queryat":
+		q, err := query.Parse(req.Query)
+		if err != nil {
+			return netResponse{Err: err.Error()}
+		}
+		objs, err := s.Src.FetchQueryAt(q, req.At)
 		if err != nil {
 			return netResponse{Err: err.Error()}
 		}
@@ -1390,6 +1403,28 @@ func (rs *RemoteSource) FetchQuery(q *query.Query) ([]*oem.Object, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
+		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+	}
+	return resp.Objects, nil
+}
+
+// FetchQueryAt implements SeqQuerier over the wire: the "query" op's
+// sequence-pinned variant ("queryat", carrying the At field). A server
+// that predates the op answers unknown-op; the client then falls back to
+// a plain current-state query, which keeps the caller's replay bound
+// correct, merely conservative (see fetchQueryAt).
+func (rs *RemoteSource) FetchQueryAt(q *query.Query, at uint64) ([]*oem.Object, error) {
+	if at == 0 {
+		return rs.FetchQuery(q)
+	}
+	resp, err := rs.roundTrip(netRequest{Op: "queryat", Query: q.String(), At: at})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		if strings.Contains(resp.Err, "unknown op") {
+			return rs.FetchQuery(q)
+		}
 		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
 	}
 	return resp.Objects, nil

@@ -1,0 +1,178 @@
+package warehouse
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+
+	"gsv/internal/oem"
+	"gsv/internal/query"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// TestSourceFetchQueryAt pins the SeqQuerier contract in-process: the
+// answer at a captured sequence is frozen there while the current-state
+// answer moves on with the store.
+func TestSourceFetchQueryAt(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level3, NewTransport(0))
+	q := query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45")
+
+	preSeq := s.Seq()
+	if _, err := src.Modify("A1", oem.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+
+	objs, err := src.FetchQueryAt(q, preSeq)
+	if err != nil || len(objs) != 1 || objs[0].OID != "P1" {
+		t.Fatalf("FetchQueryAt(preSeq) = %v, %v; want [P1]", objs, err)
+	}
+	objs, err = src.FetchQuery(q)
+	if err != nil || len(objs) != 0 {
+		t.Fatalf("FetchQuery (current) = %v, %v; want none", objs, err)
+	}
+	// at == 0 means current state.
+	objs, err = src.FetchQueryAt(q, 0)
+	if err != nil || len(objs) != 0 {
+		t.Fatalf("FetchQueryAt(0) = %v, %v; want none", objs, err)
+	}
+}
+
+// TestSourceFetchQueryAtReclaimed verifies the conservative degradation:
+// a sequence the version ring has already evicted answers from the
+// current state instead of failing the resync.
+func TestSourceFetchQueryAtReclaimed(t *testing.T) {
+	opts := store.DefaultOptions()
+	opts.RetainVersions = 2
+	s := store.New(opts)
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level3, NewTransport(0))
+	q := query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45")
+
+	objs, err := src.FetchQueryAt(q, 1) // long since evicted by PersonDB's builds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].OID != "P1" {
+		t.Fatalf("reclaimed-seq fallback = %v; want current answer [P1]", objs)
+	}
+}
+
+// TestNetQueryAt exercises the "queryat" wire op end to end.
+func TestNetQueryAt(t *testing.T) {
+	src, _, remote := startNetSource(t, Level3)
+	q := query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45")
+
+	preSeq := src.LastKnownSeq()
+	if _, err := src.Modify("A1", oem.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+
+	objs, err := remote.FetchQueryAt(q, preSeq)
+	if err != nil || len(objs) != 1 || objs[0].OID != "P1" {
+		t.Fatalf("remote FetchQueryAt(preSeq) = %v, %v; want [P1]", objs, err)
+	}
+	objs, err = remote.FetchQuery(q)
+	if err != nil || len(objs) != 0 {
+		t.Fatalf("remote FetchQuery (current) = %v, %v; want none", objs, err)
+	}
+}
+
+// oldQueryServer speaks just enough of the query protocol to stand in
+// for a binary that predates the "queryat" op: it answers "query"
+// normally and everything else with the unknown-op error.
+func oldQueryServer(t *testing.T, src *Source) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				mode, err := br.ReadString('\n')
+				if err != nil {
+					return
+				}
+				if strings.Contains(mode, "reports") {
+					// Registration ack, then hold the stream open.
+					if _, err := conn.Write([]byte("{}\n")); err != nil {
+						return
+					}
+					_, _ = br.ReadString('\n') // blocks until client closes
+					return
+				}
+				enc := json.NewEncoder(conn)
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					var req netRequest
+					if json.Unmarshal([]byte(line), &req) != nil {
+						return
+					}
+					var resp netResponse
+					if req.Op == "query" {
+						q, qerr := query.Parse(req.Query)
+						if qerr != nil {
+							resp.Err = qerr.Error()
+						} else if objs, ferr := src.FetchQuery(q); ferr != nil {
+							resp.Err = ferr.Error()
+						} else {
+							resp.Found, resp.Objects = true, objs
+						}
+					} else {
+						resp.Err = `unknown op "` + req.Op + `"`
+					}
+					if enc.Encode(resp) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestNetQueryAtOldServerFallback pins the version-mismatch contract:
+// against a server that predates "queryat" the client degrades to a
+// plain current-state query instead of failing the repair.
+func TestNetQueryAtOldServerFallback(t *testing.T) {
+	s := store.NewDefault()
+	workload.PersonDB(s)
+	src := NewSource("persons", s, "ROOT", Level3, NewTransport(0))
+	addr := oldQueryServer(t, src)
+
+	remote, err := Dial("persons", addr, NewTransport(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(remote.Close)
+
+	q := query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45")
+	preSeq := src.LastKnownSeq()
+	if _, err := src.Modify("A1", oem.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned answer is unavailable on the old server; the fallback
+	// returns the current state — conservative, never an error.
+	objs, err := remote.FetchQueryAt(q, preSeq)
+	if err != nil {
+		t.Fatalf("FetchQueryAt against old server: %v", err)
+	}
+	if len(objs) != 0 {
+		t.Fatalf("old-server fallback = %v; want current answer (none)", objs)
+	}
+}

@@ -111,6 +111,7 @@ func (s *Source) RegisterObs(reg *obs.Registry) {
 	ls := obs.L("source", s.Name)
 	reg.RegisterCounter("gsv_source_queries_total", &s.Stats.Queries, ls)
 	reg.RegisterCounter("gsv_source_objects_touched_total", &s.Stats.ObjectsTouched, ls)
+	RegisterStoreObs(reg, s.Store, obs.L("store", "source:"+s.Name))
 }
 
 // NewSource wraps an existing store as a source. The store should already
@@ -401,3 +402,40 @@ func (s *Source) FetchQuery(q *query.Query) ([]*oem.Object, error) {
 	s.Transport.RoundTrip(len(q.String()), bytes+8, len(out))
 	return out, nil
 }
+
+// FetchQueryAt implements SeqQuerier: it evaluates q against the store
+// snapshot pinned at sequence number at, so the answer reflects exactly
+// the updates with Seq <= at — no interference from updates racing the
+// fetch. A resync uses it to make its replay bound exact (staleness.go).
+// at == 0, a sequence the version ring has already reclaimed, or one the
+// store has not reached yet all degrade to the current state, which is
+// a superset of `at` and therefore still a correct (conservative) bound.
+func (s *Source) FetchQueryAt(q *query.Query, at uint64) ([]*oem.Object, error) {
+	if at == 0 || at >= s.Store.Seq() {
+		return s.FetchQuery(q)
+	}
+	snap, err := s.Store.SnapshotAt(at)
+	if err != nil {
+		return s.FetchQuery(q)
+	}
+	defer snap.Close()
+	s.Stats.Queries.Inc()
+	members, err := query.NewEvaluator(snap).Eval(q)
+	if err != nil {
+		s.Transport.RoundTrip(64, 8, 0)
+		return nil, err
+	}
+	out := make([]*oem.Object, 0, len(members))
+	bytes := 0
+	for _, m := range members {
+		if o, err := snap.Get(m); err == nil {
+			out = append(out, o)
+			bytes += o.EncodedSize()
+			s.Stats.ObjectsTouched.Inc()
+		}
+	}
+	s.Transport.RoundTrip(len(q.String())+8, bytes+8, len(out))
+	return out, nil
+}
+
+var _ SeqQuerier = (*Source)(nil)

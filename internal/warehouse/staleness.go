@@ -257,14 +257,17 @@ func (w *Warehouse) resyncView(v *WView) error {
 
 // resyncLocked does the actual resync with procMu held.
 func (w *Warehouse) resyncLocked(v *WView) error {
-	// Capture the source's sequence number before fetching: every update
-	// at or below preSeq is definitely reflected in the fetch result, so
-	// queued reports up to it can be skipped afterwards. Updates racing
-	// the fetch may or may not be included — their reports replay after
+	// Capture the source's sequence number before fetching, then fetch
+	// pinned at exactly that sequence (SeqQuerier): the result reflects
+	// every update at or below preSeq and nothing newer, so queued
+	// reports up to preSeq are skipped and everything after replays —
+	// an exact replay bound. Against a source without pinned reads the
+	// fetch degrades to the current state, where updates racing the
+	// fetch may or may not be included; their reports replay after
 	// repair and converge, exactly like the interference case of
 	// Section 5.1.
 	preSeq := w.Src.LastKnownSeq()
-	objs, err := w.Src.FetchQuery(v.MV.Query)
+	objs, err := fetchQueryAt(w.Src, v.MV.Query, preSeq)
 	if err != nil {
 		return fmt.Errorf("refetching %s: %w", v.Name, err)
 	}

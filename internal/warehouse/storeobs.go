@@ -1,0 +1,26 @@
+package warehouse
+
+import (
+	"gsv/internal/obs"
+	"gsv/internal/store"
+)
+
+// RegisterStoreObs exposes a store's MVCC version machinery as
+// gsv_store_* gauges (docs/MVCC.md, docs/OBSERVABILITY.md), labeled so
+// one registry can carry several stores (warehouse, source wrapper,
+// replica). The store package itself stays observability-free; the
+// gauges read store.MVCC() at snapshot time.
+func RegisterStoreObs(reg *obs.Registry, s *store.Store, ls obs.Label) {
+	reg.Help("gsv_store_seq", "current committed store sequence number")
+	reg.Help("gsv_store_versions_retained", "versions addressable in the MVCC history ring")
+	reg.Help("gsv_store_oldest_retained_seq", "oldest sequence still pinnable by SnapshotAt")
+	reg.Help("gsv_store_snapshots_pinned", "snapshots taken and not yet closed")
+	reg.Help("gsv_store_snapshots_taken_total", "snapshots ever taken")
+	reg.Help("gsv_store_versions_reclaimed_total", "versions evicted from the history ring")
+	reg.GaugeFunc("gsv_store_seq", func() float64 { return float64(s.MVCC().Seq) }, ls)
+	reg.GaugeFunc("gsv_store_versions_retained", func() float64 { return float64(s.MVCC().RetainedVersions) }, ls)
+	reg.GaugeFunc("gsv_store_oldest_retained_seq", func() float64 { return float64(s.MVCC().OldestRetained) }, ls)
+	reg.GaugeFunc("gsv_store_snapshots_pinned", func() float64 { return float64(s.MVCC().PinnedSnapshots) }, ls)
+	reg.GaugeFunc("gsv_store_snapshots_taken_total", func() float64 { return float64(s.MVCC().SnapshotsTaken) }, ls)
+	reg.GaugeFunc("gsv_store_versions_reclaimed_total", func() float64 { return float64(s.MVCC().ReclaimedVersions) }, ls)
+}

@@ -474,6 +474,10 @@ func (w *Warehouse) EnableObs(reg *obs.Registry) {
 	reg.Help("gsv_view_state", "view staleness state (0 fresh, 1 stale, 2 repairing)")
 	reg.Help("gsv_traces_total", "maintenance traces emitted since startup")
 	reg.GaugeFunc("gsv_traces_total", func() float64 { return float64(w.Traces.Total()) })
+	// The warehouse store's MVCC gauges (docs/MVCC.md): live versions,
+	// pinned snapshots, reclamation — gsdbwatch -stats renders them as
+	// the STORE section.
+	RegisterStoreObs(reg, w.Store, obs.L("store", w.nodeName()))
 	// Propagation tracing (docs/OBSERVABILITY.md): span chains, the
 	// origin-to-stage latency histogram family, and the freshness
 	// watermarks the health endpoints and gsdbwatch -trace read.

@@ -1,0 +1,126 @@
+package gsv_test
+
+// Allocation profile of the MVCC hot paths (PR 9; docs/MVCC.md records a
+// run). `make bench` reports allocs/op for every benchmark here:
+//
+//   - pinning a snapshot must be allocation-trivial (a handle, not a
+//     copy — the whole point of the persistent maps),
+//   - the point-read mix against a snapshot must allocate no more than
+//     the same reads against the live store,
+//   - copy-on-write mutation and the screened ApplyBatch maintain path
+//     bound the per-update path-copying overhead the version ring costs.
+
+import (
+	"fmt"
+	"testing"
+
+	"gsv/internal/core"
+	"gsv/internal/oem"
+	"gsv/internal/store"
+	"gsv/internal/workload"
+)
+
+// BenchmarkSnapshotPin measures the cost of taking and releasing a pin.
+func BenchmarkSnapshotPin(b *testing.B) {
+	s, _, _ := benchFixture(b, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Snapshot().Close()
+	}
+}
+
+// BenchmarkSnapshotReadMix measures the warehouse-style point-read mix —
+// a tuple and its field values — against a per-read pin versus the live
+// store, the two sides of experiment E16 without the maintenance churn.
+func BenchmarkSnapshotReadMix(b *testing.B) {
+	s, sets, _ := benchFixture(b, 500)
+	var tuples []oem.OID
+	for _, oid := range sets {
+		if o, err := s.Get(oid); err == nil && o.Label == "tuple" {
+			tuples = append(tuples, oid)
+		}
+	}
+	readMix := func(rd store.Reader, tuple oem.OID) {
+		o, err := rd.Get(tuple)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range o.Set {
+			if _, err := rd.Get(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("live", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			readMix(s, tuples[i%len(tuples)])
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap := s.Snapshot()
+			readMix(snap, tuples[i%len(tuples)])
+			snap.Close()
+		}
+	})
+}
+
+// BenchmarkCOWModify measures the copy-on-write Modify path — the
+// path-copying allocations each committed version costs — with a pin
+// held so no version can be collapsed away.
+func BenchmarkCOWModify(b *testing.B) {
+	s, _, atoms := benchFixture(b, 500)
+	pin := s.Snapshot()
+	defer pin.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Modify(atoms[i%len(atoms)], oem.Int(int64(i%100))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaintainScreened profiles the screened ApplyBatch maintain
+// path under MVCC: four overlapping views over the benchFixture
+// relations, updates group-committed in chunks of 32 — the writer side
+// of E16. allocs/op is per batch.
+func BenchmarkMaintainScreened(b *testing.B) {
+	s, sets, atoms := benchFixture(b, 200)
+	reg := core.NewRegistry(s)
+	for i, qs := range []string{
+		"SELECT REL.r0.tuple X WHERE X.age >= 0",
+		"SELECT REL.r0.tuple X WHERE X.age >= 30",
+		"SELECT REL.r0.tuple X WHERE X.age >= 60",
+		"SELECT REL.r0.tuple X WHERE X.age >= 90",
+	} {
+		if _, err := reg.Define(fmt.Sprintf("define mview MV%d as: %s", i, qs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reg.SetScreening(true)
+	stream := workload.NewStream(s, workload.StreamConfig{Seed: 9, ValueRange: 100}, sets, atoms)
+	const chunk = 32
+	var batches [][]store.Update
+	for len(batches) < 64 {
+		var batch []store.Update
+		for len(batch) < chunk {
+			us, ok := stream.Next()
+			if !ok {
+				b.Fatal("stream exhausted")
+			}
+			batch = append(batch, us...)
+		}
+		batches = append(batches, batch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.ApplyBatch(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

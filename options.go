@@ -16,12 +16,13 @@ import (
 type Option func(*openConfig)
 
 type openConfig struct {
-	store       *Store
-	strategy    Strategy
-	parallelism int
-	screening   *bool
-	observer    DeltaObserver
-	batchObs    BatchObserver
+	store          *Store
+	retainVersions int
+	strategy       Strategy
+	parallelism    int
+	screening      *bool
+	observer       DeltaObserver
+	batchObs       BatchObserver
 
 	// Durability (see durability.go).
 	durDir          string
@@ -37,6 +38,16 @@ type openConfig struct {
 // one with default indexing.
 func WithStore(s *Store) Option {
 	return func(c *openConfig) { c.store = s }
+}
+
+// WithRetainVersions bounds the MVCC version-history ring of the store
+// Open creates: how many committed versions stay addressable by
+// SnapshotAt and ReadTxn(at) (default store.DefaultRetainVersions).
+// Pinned snapshots are never invalidated by eviction — the ring only
+// limits how far back new pins can reach. Ignored with WithStore; an
+// existing store keeps its own setting.
+func WithRetainVersions(n int) Option {
+	return func(c *openConfig) { c.retainVersions = n }
 }
 
 // WithStrategy sets the maintenance strategy Define uses for every view
@@ -148,7 +159,9 @@ func TryOpen(opts ...Option) (*DB, error) {
 	}
 	s := c.store
 	if s == nil {
-		s = store.NewDefault()
+		so := store.DefaultOptions()
+		so.RetainVersions = c.retainVersions
+		s = store.New(so)
 	}
 	db := open(s)
 	if c.strategy != core.StrategyAuto {

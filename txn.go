@@ -1,0 +1,95 @@
+package gsv
+
+import (
+	"gsv/internal/query"
+	"gsv/internal/store"
+)
+
+// Seq is a store sequence number: the version a committed update produced.
+type Seq = uint64
+
+// Snapshot is a pinned, immutable version of the store. Reads against a
+// snapshot take no locks and never observe later mutations; Close releases
+// the pin. See docs/MVCC.md for the version lifecycle.
+type Snapshot = store.Snapshot
+
+// Snapshot errors, surfaced through errors.Is.
+var (
+	// ErrSnapshotReclaimed reports a read through a closed snapshot
+	// handle, or a SnapshotAt/ReadTxn pin below the version ring's
+	// horizon (see WithRetainVersions).
+	ErrSnapshotReclaimed = store.ErrSnapshotReclaimed
+	// ErrFutureSeq reports a pin at a sequence number the store has not
+	// reached yet.
+	ErrFutureSeq = store.ErrFutureSeq
+)
+
+// Snapshot pins the store's current version and returns the handle. The
+// caller must Close it; until then the version (and every object version
+// it references) stays reachable.
+func (db *DB) Snapshot() *Snapshot { return db.Store.Snapshot() }
+
+// SnapshotAt pins the newest version at or below sequence number at.
+// It fails with ErrFutureSeq beyond the current version and with
+// ErrSnapshotReclaimed below the retained-history horizon.
+func (db *DB) SnapshotAt(at Seq) (*Snapshot, error) { return db.Store.SnapshotAt(at) }
+
+// ReadTxn is a read-only transaction: every read — object, ad-hoc query,
+// view membership — answers from one pinned version of the database,
+// unaffected by concurrent maintenance. It replaces the deprecated
+// pattern of reading db.Store directly between mutations (docs/API.md
+// lists the migration table).
+//
+// A ReadTxn holds a snapshot pin until Close; long-lived transactions
+// keep old versions reachable, so close them when done.
+type ReadTxn struct {
+	db   *DB
+	snap *Snapshot
+}
+
+// ReadTxn opens a read transaction. With no argument it pins the current
+// version after draining pending maintenance, so registered views are
+// consistent with the base data it sees. With a sequence number it pins
+// the newest version at or below it (same errors as SnapshotAt) — views
+// are then read as of that historical version.
+func (db *DB) ReadTxn(at ...Seq) (*ReadTxn, error) {
+	if len(at) > 0 {
+		snap, err := db.Store.SnapshotAt(at[0])
+		if err != nil {
+			return nil, err
+		}
+		return &ReadTxn{db: db, snap: snap}, nil
+	}
+	db.Sync()
+	return &ReadTxn{db: db, snap: db.Store.Snapshot()}, nil
+}
+
+// Seq returns the sequence number of the pinned version.
+func (t *ReadTxn) Seq() Seq { return t.snap.Seq() }
+
+// Close releases the snapshot pin. Reads after Close fail with
+// ErrSnapshotReclaimed. Close is idempotent.
+func (t *ReadTxn) Close() { t.snap.Close() }
+
+// Get returns a copy of an object as of the pinned version.
+func (t *ReadTxn) Get(oid OID) (*Object, error) { return t.snap.Get(oid) }
+
+// Has reports whether an object existed in the pinned version.
+func (t *ReadTxn) Has(oid OID) bool { return t.snap.Has(oid) }
+
+// Query evaluates a query string against the pinned version and returns
+// the sorted member OIDs.
+func (t *ReadTxn) Query(q string) ([]OID, error) {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewEvaluator(t.snap).Eval(parsed)
+}
+
+// ViewMembers returns the members of a registered view as of the pinned
+// version: materialized views read their stored delegates from the
+// snapshot, virtual views evaluate against it.
+func (t *ReadTxn) ViewMembers(name string) ([]OID, error) {
+	return t.db.Views.EvaluateAt(name, t.snap)
+}

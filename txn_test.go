@@ -1,0 +1,160 @@
+package gsv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func personDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.MustPutSet("ROOT", "root")
+	for i := 1; i <= 3; i++ {
+		p := OID(fmt.Sprintf("P%d", i))
+		a := OID(fmt.Sprintf("A%d", i))
+		db.MustPutSet(p, "person", a)
+		db.MustPutAtom(a, "age", Int(int64(30+i*10)))
+		if err := db.Insert("ROOT", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestReadTxnIsolation pins the core MVCC contract at the facade: a read
+// transaction keeps answering from its version while the database moves on.
+func TestReadTxnIsolation(t *testing.T) {
+	db := personDB(t)
+
+	txn, err := db.ReadTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn.Close()
+	pinned := txn.Seq()
+
+	if err := db.Modify("A1", Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("ROOT", "P3"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The transaction still sees the pre-mutation world.
+	o, err := txn.Get("A1")
+	if err != nil || !o.Atom.Equal(Int(40)) {
+		t.Fatalf("txn Get(A1) = %v, %v; want 40", o, err)
+	}
+	got, err := txn.Query("SELECT ROOT.person X WHERE X.age <= 60")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("txn Query = %v, %v; want 3 members", got, err)
+	}
+	if txn.Seq() != pinned {
+		t.Fatalf("txn Seq moved: %d -> %d", pinned, txn.Seq())
+	}
+
+	// Live reads see the new world.
+	cur, err := db.Query("SELECT ROOT.person X WHERE X.age <= 60")
+	if err != nil || len(cur) != 1 || cur[0] != "P2" {
+		t.Fatalf("live Query = %v, %v; want [P2]", cur, err)
+	}
+}
+
+// TestReadTxnViews reads a materialized view's membership at a pinned
+// version while maintenance keeps changing it.
+func TestReadTxnViews(t *testing.T) {
+	db := personDB(t)
+	if _, err := db.Define("define mview YOUNG as: SELECT ROOT.person X WHERE X.age <= 50"); err != nil {
+		t.Fatal(err)
+	}
+
+	txn, err := db.ReadTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn.Close()
+
+	if err := db.Modify("A1", Int(80)); err != nil { // P1 leaves YOUNG
+		t.Fatal(err)
+	}
+
+	pinnedMembers, err := txn.ViewMembers("YOUNG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinnedMembers) != 2 || pinnedMembers[0] != "P1" || pinnedMembers[1] != "P2" {
+		t.Fatalf("pinned view members = %v; want [P1 P2]", pinnedMembers)
+	}
+	liveMembers, err := db.ViewMembers("YOUNG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveMembers) != 1 || liveMembers[0] != "P2" {
+		t.Fatalf("live view members = %v; want [P2]", liveMembers)
+	}
+
+	// Virtual views evaluate against the snapshot too.
+	if _, err := db.Define("define view VYOUNG as: SELECT ROOT.person X WHERE X.age <= 50"); err != nil {
+		t.Fatal(err)
+	}
+	txn2, err := db.ReadTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn2.Close()
+	v, err := txn2.ViewMembers("VYOUNG")
+	if err != nil || len(v) != 1 || v[0] != "P2" {
+		t.Fatalf("virtual view at txn2 = %v, %v; want [P2]", v, err)
+	}
+	if _, err := txn2.ViewMembers("NOPE"); !errors.Is(err, ErrViewNotFound) {
+		t.Fatalf("unknown view error = %v", err)
+	}
+}
+
+// TestReadTxnAt pins historical versions by sequence number and checks
+// the error taxonomy at both ends of the retained range.
+func TestReadTxnAt(t *testing.T) {
+	db := personDB(t)
+	preSeq := db.Store.Seq()
+	if err := db.Modify("A2", Int(70)); err != nil {
+		t.Fatal(err)
+	}
+
+	txn, err := db.ReadTxn(preSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := txn.Get("A2")
+	if err != nil || !o.Atom.Equal(Int(50)) {
+		t.Fatalf("historical Get(A2) = %v, %v; want 50", o, err)
+	}
+	txn.Close()
+	if _, err := txn.Get("A2"); !errors.Is(err, ErrSnapshotReclaimed) {
+		t.Fatalf("read after Close = %v; want ErrSnapshotReclaimed", err)
+	}
+
+	if _, err := db.ReadTxn(db.Store.Seq() + 100); !errors.Is(err, ErrFutureSeq) {
+		t.Fatalf("future pin error = %v; want ErrFutureSeq", err)
+	}
+}
+
+// TestWithRetainVersions bounds the history ring through the facade
+// option: pins below the horizon fail with ErrSnapshotReclaimed.
+func TestWithRetainVersions(t *testing.T) {
+	db := Open(WithRetainVersions(2))
+	db.MustPutSet("ROOT", "root")
+	for i := 0; i < 10; i++ {
+		db.MustPutAtom(OID(fmt.Sprintf("A%d", i)), "age", Int(int64(i)))
+	}
+	if _, err := db.ReadTxn(1); !errors.Is(err, ErrSnapshotReclaimed) {
+		t.Fatalf("below-horizon pin error = %v; want ErrSnapshotReclaimed", err)
+	}
+	// The newest retained versions stay pinnable.
+	cur := db.Store.Seq()
+	txn, err := db.ReadTxn(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn.Close()
+}

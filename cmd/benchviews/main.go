@@ -63,6 +63,7 @@ func main() {
 		{"E14", experiments.E14ReplicaScaling},
 		{"E15", experiments.E15ShardScaling},
 		{"E16", experiments.E16SnapshotReadInterference},
+		{"E17", experiments.E17OverloadShedding},
 	}
 	var tables []*experiments.Table
 	for _, r := range runners {
@@ -81,7 +82,7 @@ func main() {
 		}
 	}
 	if len(tables) == 0 {
-		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E16)\n", *only)
+		fmt.Fprintf(os.Stderr, "benchviews: no experiment matches %q (have E1..E17)\n", *only)
 		os.Exit(1)
 	}
 	if *jsonOut {

@@ -1,0 +1,96 @@
+// Command gsdbload drives a budgeted closed-loop read load against one
+// or more gsdbserve/gsdbreplica servers and reports goodput — answers
+// that arrived within the per-request deadline budget — separately from
+// dead answers, typed overload sheds and failures (docs/WAREHOUSE.md,
+// "Overload & graceful drain"). It is the operational companion to the
+// E17 experiment: point it at a live server to see whether admission
+// control is shedding and what the admitted-read latency looks like.
+//
+// Usage:
+//
+//	gsdbload -addr 127.0.0.1:7070 -clients 64 -duration 2s \
+//	         -query 'SELECT ROOT.professor X WHERE X.age <= 45'
+//	gsdbload -addr 127.0.0.1:7171 -view YP -budget 25ms
+//	gsdbload -addr 127.0.0.1:7070,127.0.0.1:7071 -object 'P1'
+//
+// At least one of -query/-view/-object must be given (repeat or
+// comma-separate for a mix). Exit status is 0 when the run recorded any
+// goodput, 1 when it recorded none (the server was down, fully
+// overloaded, or every answer was late), 2 on usage errors. With
+// -require-sheds the run also fails unless the server shed at least one
+// request — the overload-smoke assertion that protection is actually
+// engaging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gsv/internal/workload"
+)
+
+func main() {
+	var (
+		addrs       = flag.String("addr", "127.0.0.1:7070", "server address(es), comma-separated; clients spread round-robin")
+		clients     = flag.Int("clients", 16, "concurrent closed-loop reader connections")
+		duration    = flag.Duration("duration", 2*time.Second, "measured load window")
+		warmup      = flag.Duration("warmup", 200*time.Millisecond, "unmeasured ramp-up before the window")
+		queries     = flag.String("query", "", "query statement(s) to drive, comma-separated")
+		views       = flag.String("view", "", "view name(s) to fetch members of, comma-separated")
+		objects     = flag.String("object", "", "OID(s) to fetch, comma-separated")
+		budget      = flag.Duration("budget", 25*time.Millisecond, "per-request deadline budget; later answers are dead, not goodput")
+		backoff     = flag.Duration("shed-backoff", 5*time.Millisecond, "client wait after a typed shed before retrying")
+		seed        = flag.Int64("seed", 1, "workload interleaving seed")
+		requireShed = flag.Bool("require-sheds", false, "exit nonzero unless the server shed at least one request")
+	)
+	flag.Parse()
+
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		var out []string
+		for _, f := range strings.Split(s, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	cfg := workload.BudgetedReadConfig{
+		Addrs:       split(*addrs),
+		Clients:     *clients,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Queries:     split(*queries),
+		Views:       split(*views),
+		Objects:     split(*objects),
+		Budget:      *budget,
+		ShedBackoff: *backoff,
+		Seed:        *seed,
+	}
+	if len(cfg.Addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "gsdbload: -addr must name at least one server")
+		os.Exit(2)
+	}
+	if len(cfg.Queries)+len(cfg.Views)+len(cfg.Objects) == 0 {
+		fmt.Fprintln(os.Stderr, "gsdbload: need at least one of -query/-view/-object")
+		os.Exit(2)
+	}
+
+	res := workload.RunBudgetedReadLoad(cfg)
+	fmt.Printf("%s\n", res.String())
+	fmt.Printf("goodput %.1f/s  p99 %.2fms  window %s\n",
+		res.Goodput(), res.P99()*1e3, res.Elapsed.Round(time.Millisecond))
+	if res.Good == 0 {
+		fmt.Fprintln(os.Stderr, "gsdbload: no goodput recorded")
+		os.Exit(1)
+	}
+	if *requireShed && res.Sheds == 0 {
+		fmt.Fprintln(os.Stderr, "gsdbload: -require-sheds: server shed nothing")
+		os.Exit(1)
+	}
+}

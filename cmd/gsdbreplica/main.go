@@ -27,6 +27,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -39,6 +41,7 @@ import (
 
 	"gsv/internal/obs"
 	"gsv/internal/replica"
+	"gsv/internal/warehouse"
 )
 
 // fatal logs at error level and exits — the slog analogue of log.Fatalf.
@@ -68,6 +71,14 @@ func main() {
 		ring        = flag.Int("feedring", 1024, "replay ring size per view of the replica's republished changefeed")
 		debug       = flag.String("debugaddr", "", "HTTP introspection address serving /metrics, /healthz, /readyz, /debug/vars and /debug/pprof (empty = off)")
 		dialWait    = flag.Duration("dial-timeout", 30*time.Second, "how long to keep retrying the initial primary dial")
+		maxConns    = flag.Int("max-conns", 0, "overload protection: cap on concurrently open connections (0 = unlimited)")
+		maxStreams  = flag.Int("max-streams", 0, "overload protection: cap on attached feed subscribers (0 = unlimited)")
+		maxInflight = flag.Int("max-inflight", 0, "overload protection: cap on admitted weighted read concurrency (0 = unlimited; scans weigh 4, lookups 1)")
+		maxQueue    = flag.Int("max-queue", 0, "overload protection: admission queue depth; arrivals beyond it shed (0 = no queue)")
+		queueWait   = flag.Duration("queue-timeout", 100*time.Millisecond, "overload protection: longest a read may wait for admission before shedding")
+		minSlack    = flag.Duration("min-slack", 0, "overload protection: shed deadline-carrying reads with less than this budget remaining (0 = serve until expiry)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "hang up query connections idle this long (0 = never; feed streams are exempt)")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "SIGTERM: how long a graceful drain waits for in-flight requests")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	)
 	flag.Parse()
@@ -105,13 +116,31 @@ func main() {
 	reg := obs.NewRegistry()
 	r.RegisterObs(reg)
 	server := r.NewServer(reg)
+	// Overload protection is always on (a zero config admits everything
+	// but still counts), so gsv_overload_* is always scrapeable and the
+	// SIGTERM drain below is uniform.
+	admission := warehouse.NewAdmissionController(warehouse.AdmissionConfig{
+		MaxConns: *maxConns, MaxStreams: *maxStreams,
+		MaxInflight: int64(*maxInflight), MaxQueue: *maxQueue,
+		QueueWait: *queueWait, MinSlack: *minSlack,
+	})
+	admission.RegisterObs(reg, obs.L("node", *name))
+	server.Admission = admission
+	server.IdleTimeout = *idleTimeout
 
 	if *debug != "" {
 		reg.PublishExpvar("gsv")
 		mux := obs.DebugMux(reg)
-		// Readiness gates on the same staleness bounds as the read gate:
-		// /readyz answers 503 while lag exceeds -max-lag/-max-lag-age.
-		obs.HealthHandlers(mux, r.Ready)
+		// Readiness gates on the same staleness bounds as the read gate
+		// (/readyz answers 503 while lag exceeds -max-lag/-max-lag-age)
+		// plus drain state, so load balancers stop routing here the moment
+		// a shutdown begins.
+		obs.HealthHandlers(mux, func() error {
+			if server.Draining() {
+				return errors.New("draining")
+			}
+			return r.Ready()
+		})
 		go func() {
 			slog.Info("debug http listening", "addr", *debug,
 				"endpoints", "/metrics /healthz /readyz /debug/vars /debug/pprof")
@@ -125,11 +154,22 @@ func main() {
 	if err != nil {
 		fatal("listen failed", "addr", *addr, "err", err)
 	}
+	// SIGINT/SIGTERM drains gracefully: stop accepting, flip /readyz to
+	// 503, shed new data reads with the typed retryable error (clients
+	// fail over to a sibling replica), finish in-flight requests within
+	// -drain-timeout, then detach from the primary and exit.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		server.Close()
+		slog.Info("draining", "timeout", *drainWait, "inflight_conns", server.ConnCount())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := server.Drain(ctx); err != nil {
+			slog.Warn("drain did not complete; closing anyway", "err", err)
+		} else {
+			slog.Info("drain complete")
+		}
 		r.Close()
 		os.Exit(0)
 	}()
@@ -144,5 +184,10 @@ func main() {
 	}
 	if err := server.Serve(ln); err != nil {
 		slog.Info("server stopped", "err", err)
+	}
+	if server.Draining() {
+		// Serve returned because Drain closed the listener; the signal
+		// goroutine finishes the shutdown and exits the process.
+		select {}
 	}
 }

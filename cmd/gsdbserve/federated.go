@@ -15,10 +15,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"log/slog"
@@ -47,6 +52,10 @@ type fedParams struct {
 	feeds    []string
 	debug    string
 
+	admission   warehouse.AdmissionConfig
+	idleTimeout time.Duration
+	drainWait   time.Duration
+
 	chaos      bool
 	chaosSeed  int64
 	chaosDrop  float64
@@ -55,8 +64,8 @@ type fedParams struct {
 	chaosLag   time.Duration
 }
 
-// runFederated hosts the N-source federation until interrupted. It
-// never returns.
+// runFederated hosts the N-source federation until interrupted, then
+// drains every shard and returns (main exits).
 func runFederated(p fedParams) {
 	host, portStr, err := net.SplitHostPort(p.addr)
 	if err != nil {
@@ -131,6 +140,13 @@ func runFederated(p fedParams) {
 		servers[k] = warehouse.NewServer(srcs[k])
 		servers[k].ShardInfo = shardInfo(k)
 		servers[k].Obs = reg
+		// Every shard gets its own admission controller: overload on one
+		// partition sheds there without starving its siblings, and the
+		// per-source label keeps the gsv_overload_* series separable.
+		ac := warehouse.NewAdmissionController(p.admission)
+		ac.RegisterObs(reg, obs.L("source", name))
+		servers[k].Admission = ac
+		servers[k].IdleTimeout = p.idleTimeout
 		srv, lnk := servers[k], listeners[k]
 		go func() {
 			if err := srv.Serve(lnk); err != nil {
@@ -175,8 +191,16 @@ func runFederated(p fedParams) {
 		// Readiness gates on source quorum, not per-view freshness: a
 		// minority of dead partitions quarantines only their member views
 		// and reads degrade to typed partial results; below quorum the
-		// service is not ready.
-		obs.HealthHandlers(mux, fed.Ready)
+		// service is not ready. A drain in progress on any shard unreadies
+		// the whole process — the federation is going away as a unit.
+		obs.HealthHandlers(mux, func() error {
+			for _, srv := range servers {
+				if srv.Draining() {
+					return fmt.Errorf("draining")
+				}
+			}
+			return fed.Ready()
+		})
 		go func() {
 			slog.Info("debug http listening", "addr", p.debug,
 				"endpoints", "/metrics /healthz /readyz /debug/vars /debug/pprof")
@@ -206,7 +230,29 @@ func runFederated(p fedParams) {
 	if p.updates > 0 {
 		go driveFederated(fed, srcs, servers, stores, db, p)
 	}
-	select {}
+
+	// SIGINT/SIGTERM drains every shard concurrently under one shared
+	// timeout, then exits: each shard stops accepting, finishes its
+	// in-flight reads, and the process leaves cleanly.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	slog.Info("draining federation", "shards", n, "timeout", p.drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), p.drainWait)
+	defer cancel()
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if err := servers[k].Drain(ctx); err != nil {
+				slog.Warn("shard drain did not complete; closing anyway",
+					"source", srcs[k].ID(), "err", err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	slog.Info("federation drained")
 }
 
 // driveFederated spreads the -updates mix round-robin across the

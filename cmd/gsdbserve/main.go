@@ -56,6 +56,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -126,6 +128,15 @@ func main() {
 		ckptN    = flag.Int("checkpoint-every", 1024, "checkpoint after this many logged reports with -data")
 		ckptWait = flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period with -data (0 = only count-triggered)")
 
+		maxConns    = flag.Int("max-conns", 0, "overload protection: cap on concurrently open connections (0 = unlimited)")
+		maxStreams  = flag.Int("max-streams", 0, "overload protection: cap on attached report/feed streams (0 = unlimited)")
+		maxInflight = flag.Int("max-inflight", 0, "overload protection: cap on admitted weighted read concurrency (0 = unlimited; scans weigh 4, lookups 1)")
+		maxQueue    = flag.Int("max-queue", 0, "overload protection: admission queue depth; arrivals beyond it shed (0 = no queue)")
+		queueWait   = flag.Duration("queue-timeout", 100*time.Millisecond, "overload protection: longest a read may wait for admission before shedding")
+		minSlack    = flag.Duration("min-slack", 0, "overload protection: shed deadline-carrying reads with less than this budget remaining (0 = serve until expiry)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "hang up query connections idle this long (0 = never; report/feed streams are exempt)")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "SIGTERM: how long a graceful drain waits for in-flight requests")
+
 		chaos      = flag.Bool("chaos", false, "inject deterministic faults into every connection (see internal/faults)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "fault injector seed (same seed = same fault schedule)")
 		chaosDrop  = flag.Float64("chaos-drop", 0.01, "probability a read/write drops the connection")
@@ -151,6 +162,12 @@ func main() {
 			addr: *addr, sources: *sources, tuples: *tuples, level: *level,
 			updates: *updates, interval: *interval, seed: *seed,
 			feeds: feeds, debug: *debug,
+			admission: warehouse.AdmissionConfig{
+				MaxConns: *maxConns, MaxStreams: *maxStreams,
+				MaxInflight: int64(*maxInflight), MaxQueue: *maxQueue,
+				QueueWait: *queueWait, MinSlack: *minSlack,
+			},
+			idleTimeout: *idleTimeout, drainWait: *drainWait,
 			chaos: *chaos, chaosSeed: *chaosSeed, chaosDrop: *chaosDrop,
 			chaosErr: *chaosErr, chaosDelay: *chaosDelay, chaosLag: *chaosLag,
 		})
@@ -208,6 +225,18 @@ func main() {
 	src.RegisterObs(reg)
 	tr.RegisterObs(reg, "source")
 	server.Obs = reg
+
+	// Overload protection is always on (a zero config admits everything
+	// but still counts), so gsv_overload_* is always scrapeable and the
+	// SIGTERM drain below is uniform.
+	admission := warehouse.NewAdmissionController(warehouse.AdmissionConfig{
+		MaxConns: *maxConns, MaxStreams: *maxStreams,
+		MaxInflight: int64(*maxInflight), MaxQueue: *maxQueue,
+		QueueWait: *queueWait, MinSlack: *minSlack,
+	})
+	admission.RegisterObs(reg)
+	server.Admission = admission
+	server.IdleTimeout = *idleTimeout
 
 	// -feed views live in a warehouse co-located with the source; their
 	// maintenance publishes into the hub the server exposes in subscribe
@@ -289,11 +318,18 @@ func main() {
 		// /readyz to 503 until the repair loop resyncs it. Without -feed
 		// views there is nothing to go stale and the server is always
 		// ready.
-		var ready func() error
+		viewReady := func() error { return nil }
 		if lw != nil {
-			ready = lw.Ready
+			viewReady = lw.Ready
 		}
-		obs.HealthHandlers(mux, ready)
+		// A draining server answers 503 immediately so load balancers
+		// stop routing to it before the listener disappears.
+		obs.HealthHandlers(mux, func() error {
+			if server.Draining() {
+				return errDraining
+			}
+			return viewReady()
+		})
 		go func() {
 			slog.Info("debug http listening", "addr", *debug,
 				"endpoints", "/metrics /healthz /readyz /debug/vars /debug/pprof")
@@ -307,19 +343,29 @@ func main() {
 	if err != nil {
 		fatal("listen failed", "addr", *addr, "err", err)
 	}
-	if lw != nil && lw.Durable() {
-		// A clean shutdown checkpoints and releases the WAL so the next
-		// start recovers instantly instead of replaying the tail.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
+	// SIGINT/SIGTERM shuts down gracefully: stop accepting, flip /readyz
+	// to 503, let in-flight requests finish within -drain-timeout, then
+	// (when durable) checkpoint and release the WAL so the next start
+	// recovers instantly instead of replaying the tail.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		slog.Info("draining", "timeout", *drainWait, "inflight_conns", server.ConnCount())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := server.Drain(ctx); err != nil {
+			slog.Warn("drain did not complete; closing anyway", "err", err)
+		} else {
+			slog.Info("drain complete")
+		}
+		if lw != nil && lw.Durable() {
 			if err := lw.Close(); err != nil {
 				slog.Error("shutdown checkpoint failed", "err", err)
 			}
-			os.Exit(0)
-		}()
-	}
+		}
+		os.Exit(0)
+	}()
 	if *chaos {
 		inj := faults.New(faults.Config{
 			Seed:      *chaosSeed,
@@ -342,7 +388,15 @@ func main() {
 	if err := server.Serve(ln); err != nil {
 		slog.Info("server stopped", "err", err)
 	}
+	if server.Draining() {
+		// Serve returned because Drain closed the listener; the signal
+		// goroutine finishes the shutdown and exits the process.
+		select {}
+	}
 }
+
+// errDraining answers /readyz while a graceful drain is in progress.
+var errDraining = errors.New("draining")
 
 func drive(src *warehouse.Source, server *warehouse.Server, lw *warehouse.Warehouse,
 	sets, atoms []oem.OID, n int, interval time.Duration, seed int64) {

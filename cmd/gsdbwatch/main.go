@@ -329,6 +329,7 @@ func renderStats(out io.Writer, p *warehouse.StatsPayload) {
 	renderReplicaStats(out, p)
 	renderSourceStats(out, p)
 	renderStoreStats(out, p)
+	renderOverloadStats(out, p)
 	if ws := p.RemoteWire; ws != nil {
 		fmt.Fprintf(out, "client wire: reconnects=%d retries=%d gaps=%d bad-frames=%d\n",
 			ws.QueryReconnects+ws.ReportReconnects, ws.Retries, ws.Gaps, ws.BadFrames)
@@ -483,6 +484,64 @@ func renderStoreStats(out io.Writer, p *warehouse.StatsPayload) {
 			get("gsv_store_snapshots_pinned"),
 			get("gsv_store_snapshots_taken_total"),
 			get("gsv_store_versions_reclaimed_total"))
+	}
+}
+
+// renderOverloadStats prints one line per admission controller when the
+// stats payload came from a node with overload protection wired in
+// (docs/WAREHOUSE.md, "Overload & graceful drain"): live inflight
+// weight, queue depth, connection and stream gauges, the shed counters
+// split by class, and drain/accept-retry resilience counters. A shard
+// is identified by its extra label (source on federated nodes, node on
+// replicas); a single-source payload prints one unlabeled row.
+func renderOverloadStats(out io.Writer, p *warehouse.StatsPayload) {
+	type row struct {
+		name  string
+		label obs.Label
+	}
+	seen := map[string]bool{}
+	var order []row
+	for _, m := range p.Registry.Metrics {
+		if m.Name != "gsv_overload_inflight" {
+			continue
+		}
+		r := row{name: "-"}
+		for _, key := range []string{"source", "node"} {
+			if v := m.Labels[key]; v != "" {
+				r = row{name: v, label: obs.L(key, v)}
+				break
+			}
+		}
+		if !seen[r.name] {
+			seen[r.name] = true
+			order = append(order, r)
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].name < order[j].name })
+	fmt.Fprintf(out, "%-12s %8s %6s %6s %8s %10s %10s %10s %8s %7s %8s\n",
+		"OVERLOAD", "INFLIGHT", "QUEUE", "CONNS", "STREAMS",
+		"SHED-CONN", "SHED-STRM", "SHED-READ", "EXPIRED", "DRAINS", "ACC-RTRY")
+	for _, r := range order {
+		get := func(metric string, extra ...obs.Label) float64 {
+			if r.label.Key != "" {
+				extra = append(extra, r.label)
+			}
+			mp, _ := p.Registry.Get(metric, extra...)
+			return mp.Value
+		}
+		fmt.Fprintf(out, "%-12s %8.0f %6.0f %6.0f %8.0f %10.0f %10.0f %10.0f %8.0f %7.0f %8.0f\n",
+			r.name,
+			get("gsv_overload_inflight"), get("gsv_overload_queue"),
+			get("gsv_overload_conns"), get("gsv_overload_streams"),
+			get("gsv_overload_shed_total", obs.L("class", "conn")),
+			get("gsv_overload_shed_total", obs.L("class", "stream")),
+			get("gsv_overload_shed_total", obs.L("class", "read")),
+			get("gsv_overload_expired_total"),
+			get("gsv_overload_drains_total"),
+			get("gsv_overload_accept_retries_total"))
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net"
 	"strings"
 	"sync"
@@ -450,5 +451,87 @@ func TestFollowFeedStateFileResume(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "tracks view") {
 		t.Fatalf("cross-view state reuse error = %v", err)
+	}
+}
+
+// TestFollowFeedSurvivesDrainRestart: like the restart test above, but
+// the primary leaves via graceful drain (SIGTERM path) instead of a
+// hard close. The follow must ride out the drain — the feed connection
+// ends when the drain completes — redial while the primary is gone, and
+// resume exactly where it left off once a new primary binds.
+func TestFollowFeedSurvivesDrainRestart(t *testing.T) {
+	src, lw, server, addr := startServer(t, 1024)
+	server.DrainGrace = 20 * time.Millisecond
+
+	done := make(chan error, 1)
+	var mu sync.Mutex
+	var out strings.Builder
+	syncOut := func(f func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		f()
+	}
+	go func() {
+		done <- followFeed(writerFunc(func(p []byte) (int, error) {
+			syncOut(func() { out.Write(p) })
+			return len(p), nil
+		}), followConfig{
+			addr: addr, view: "YP", from: -1, maxEvents: 4, dur: 15 * time.Second,
+		})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for lw.Feed.Subscribers("YP") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follow never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	toggle(t, src, lw, server, 2) // cursors 1..2, delivered live
+
+	// Graceful drain: stops accepting, lets the in-flight feed stream
+	// wind down, then closes. Maintenance continues while it is gone.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := server.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	toggle(t, src, lw, server, 2) // cursors 3..4 land in the ring unattended
+
+	// A fresh primary binds the same address, sharing source and hub.
+	var ln net.Listener
+	var err error
+	for try := 0; ; try++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if try > 100 {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	server2 := warehouse.NewServer(src)
+	server2.Feed = lw.Feed
+	go func() { _ = server2.Serve(ln) }()
+	t.Cleanup(server2.Close)
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	syncOut(func() { got = out.String() })
+	for _, want := range []string{
+		"reconnected to YP", "cursor=1", "cursor=2", "cursor=3", "cursor=4",
+		"followed 4 events on YP",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	for _, c := range []string{"cursor=1", "cursor=2", "cursor=3", "cursor=4"} {
+		if strings.Count(got, c) != 1 {
+			t.Fatalf("%s seen %d times:\n%s", c, strings.Count(got, c), got)
+		}
 	}
 }

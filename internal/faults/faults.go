@@ -234,3 +234,50 @@ func (l *Listener) Accept() (net.Conn, error) {
 	}
 	return l.in.WrapConn(c), nil
 }
+
+// AcceptError is the injected transient accept failure FlakyListener
+// returns: a net.Error that reports Temporary (like ECONNABORTED or
+// transient fd exhaustion) and wraps ErrInjected.
+type AcceptError struct{ err error }
+
+// Error implements error.
+func (e *AcceptError) Error() string { return e.err.Error() }
+
+// Timeout implements net.Error.
+func (e *AcceptError) Timeout() bool { return false }
+
+// Temporary implements net.Error: the failure is transient, accept
+// loops should back off and retry.
+func (e *AcceptError) Temporary() bool { return true }
+
+// Unwrap keeps errors.Is(err, ErrInjected) true.
+func (e *AcceptError) Unwrap() error { return e.err }
+
+// FlakyListener injects transient failures into Accept itself (Error
+// and Drop decisions become temporary accept errors, Delay stalls the
+// accept) in addition to wrapping accepted conns like Listener.
+type FlakyListener struct {
+	net.Listener
+	in *Injector
+}
+
+// WrapFlakyListener wraps ln so Accept itself fails transiently under
+// the injector's schedule — the accept-loop resilience drill.
+func (in *Injector) WrapFlakyListener(ln net.Listener) net.Listener {
+	return &FlakyListener{Listener: ln, in: in}
+}
+
+// Accept implements net.Listener.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	switch l.in.Decide("accept") {
+	case Error, Drop:
+		return nil, &AcceptError{err: l.in.Errf("accept")}
+	case Delay:
+		l.in.Sleep()
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(c), nil
+}

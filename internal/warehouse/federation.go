@@ -410,6 +410,14 @@ func (f *Federation) Pump() (int, error) {
 				// whose redial loop is still hoping: probe it so an outage
 				// is detected even with no query traffic in flight.
 				f.probe(sh)
+				// The probe's answer carries the source's true sequence;
+				// if the report stream has silently fallen behind it, the
+				// tail of the stream was lost (an in-stream discontinuity
+				// check can never see a dropped *final* report) and the
+				// views must be quarantined for resync.
+				if ts, ok := sh.raw.(interface{ CheckTail() }); ok {
+					ts.CheckTail()
+				}
 			}
 			for _, r := range rs {
 				if r.Update.Origin > 0 {

@@ -3,6 +3,7 @@ package warehouse
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -94,6 +95,23 @@ type netRequest struct {
 	// At pins the "queryat" op to a source sequence number: the answer
 	// reflects exactly the updates with Seq <= At. Zero means current.
 	At uint64 `json:"at,omitempty"`
+	// BudgetMS is the client's remaining deadline budget in
+	// milliseconds (deadline propagation, docs/WAREHOUSE.md "Overload &
+	// graceful drain"). The server bounds its admission-queue wait by
+	// it and sheds the request with ErrBudgetExpired once it elapses —
+	// computing an answer the client stopped waiting for is pure waste.
+	// Zero means no budget; negative means already expired on arrival.
+	// Old servers ignore the field.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// DeadlineUnixMS, when positive, is the absolute deadline as a Unix
+	// timestamp in milliseconds, and takes precedence over BudgetMS.
+	// An absolute deadline makes time burned *upstream* of the server —
+	// in kernel socket queues and the scheduler — count against the
+	// budget, so dead-on-arrival requests shed instead of wasting an
+	// evaluation. Only stamp it when client and server clocks are
+	// disciplined (same host or NTP); RemoteSource deliberately sticks
+	// to the skew-immune relative BudgetMS. Old servers ignore it.
+	DeadlineUnixMS int64 `json:"deadline_unix_ms,omitempty"`
 }
 
 // netResponse is one query-mode response.
@@ -162,11 +180,34 @@ type Server struct {
 	// server carries and its health (see shard.go). Nil servers answer
 	// with an unknown-op error so old binaries stay protocol-compatible.
 	ShardInfo func() *ShardPayload
+	// Admission, when non-nil, enables overload protection: the
+	// connection cap, the stream cap and the weighted read semaphore
+	// (see overload.go). Set it before Serve. Nil admits everything,
+	// but Drain still sheds data reads while draining.
+	Admission *AdmissionController
+	// IdleTimeout, when positive, bounds how long a query-mode
+	// connection may sit idle between frames (and every connection's
+	// initial mode line): an idle or half-dead client is disconnected
+	// instead of pinning a goroutine and conn entry forever. Report and
+	// subscribe streams are exempt after their handshake — they are
+	// server-push, so a silent client is their normal state.
+	IdleTimeout time.Duration
+	// DrainGrace is how long Drain keeps answering exempt ops (and
+	// shedding data reads) before waiting out in-flight work — the
+	// window in which load balancers observe the 503 /readyz and stop
+	// routing here. Zero means no grace window.
+	DrainGrace time.Duration
 
 	// DroppedBroadcasts counts report frames discarded because a report
 	// stream's buffer was full (a slow or dead consumer). The consumer
 	// observes the loss as a sequence gap and resyncs.
 	DroppedBroadcasts obs.Counter
+
+	// draining flips on when Drain starts; data reads are shed with
+	// ErrDraining from then on. inflight tracks query-mode ops between
+	// admission and response write, so Drain can wait them out.
+	draining atomic.Bool
+	inflight atomic.Int64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -196,15 +237,47 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// Transient accept failures (fd exhaustion, ECONNABORTED)
+			// must not kill the listener: back off with a doubling cap
+			// and retry. Permanent errors (listener closed) still end
+			// the loop.
+			var ne net.Error
+			if errors.As(err, &ne) && (ne.Timeout() || ne.Temporary()) {
+				if s.Admission != nil {
+					s.Admission.AcceptRetries.Inc()
+				}
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				select {
+				case <-s.done:
+					return net.ErrClosed
+				case <-time.After(backoff):
+				}
+				continue
+			}
 			return err
+		}
+		backoff = 0
+		if s.Admission != nil && !s.Admission.AdmitConn() {
+			// Over the connection cap: refuse at accept. An abortive
+			// close is the cheapest possible signal for both sides.
+			abortConn(conn)
+			continue
 		}
 		s.mu.Lock()
 		select {
 		case <-s.done:
 			s.mu.Unlock()
+			if s.Admission != nil {
+				s.Admission.ReleaseConn()
+			}
 			conn.Close()
 			ln.Close()
 			return net.ErrClosed
@@ -214,6 +287,56 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		go s.handle(conn)
 	}
+}
+
+// Draining reports whether Drain has started: new data reads are being
+// shed and /readyz should answer 503.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ConnCount returns the number of live tracked connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Drain gracefully degrades and shuts the server down: it flips the
+// draining flag (data reads shed with the retryable ErrDraining, exempt
+// ops keep answering, /readyz composed with Draining turns 503), stops
+// accepting by closing the listener, lingers DrainGrace so load
+// balancers observe the flip, waits for in-flight ops to finish, then
+// closes every connection — which is also how feed subscribers learn
+// the node is gone (their redial machinery takes over). It returns
+// ctx.Err when in-flight work outlives ctx (the server closes
+// abortively in that case), nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.Swap(true) && s.Admission != nil {
+		s.Admission.Drains.Inc()
+	}
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	if s.DrainGrace > 0 {
+		select {
+		case <-time.After(s.DrainGrace):
+		case <-ctx.Done():
+		}
+	}
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			s.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	s.Close()
+	return nil
 }
 
 // Close stops accepting, disconnects every open connection (query,
@@ -285,12 +408,20 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		if s.Admission != nil {
+			s.Admission.ReleaseConn()
+		}
 	}()
+	// The mode line must arrive promptly on every connection: a client
+	// that dials and says nothing would otherwise hold a goroutine and
+	// a conn slot forever.
+	s.armRead(conn)
 	br := bufio.NewReader(conn)
 	mode, err := br.ReadString('\n')
 	if err != nil {
 		return
 	}
+	_ = conn.SetReadDeadline(time.Time{})
 	switch mode {
 	case "query\n":
 		s.handleQueries(conn, br)
@@ -308,10 +439,22 @@ func (s *Server) armWrite(conn net.Conn) {
 	}
 }
 
+// armRead applies the server's idle read deadline ahead of one frame
+// read.
+func (s *Server) armRead(conn net.Conn) {
+	if s.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+	}
+}
+
 func (s *Server) handleQueries(conn net.Conn, br *bufio.Reader) {
 	enc := json.NewEncoder(conn)
 	sc := frameScanner(br)
-	for sc.Scan() {
+	for {
+		s.armRead(conn)
+		if !sc.Scan() {
+			return
+		}
 		line := sc.Bytes()
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
@@ -326,13 +469,80 @@ func (s *Server) handleQueries(conn net.Conn, br *bufio.Reader) {
 			}
 			continue
 		}
-		resp := s.dispatch(req)
+		s.inflight.Add(1)
+		resp, release := s.serveOp(req)
 		resp.Seq = s.Src.Store.Seq()
 		s.armWrite(conn)
-		if err := enc.Encode(resp); err != nil {
+		err := enc.Encode(resp)
+		// The admission permit spans the response write: shipping the
+		// answer through a slow link is part of the request's cost.
+		release()
+		s.inflight.Add(-1)
+		if err != nil {
 			return
 		}
 	}
+}
+
+// serveOp runs one request through admission control and dispatch. The
+// returned release function must be called after the response write
+// (it returns the admission permit; a no-op when none was acquired).
+func (s *Server) serveOp(req netRequest) (netResponse, func()) {
+	noop := func() {}
+	if ClassifyOp(req.Op) == ClassExempt {
+		// Health and topology ops bypass admission entirely: they must
+		// answer precisely when everything else is being shed.
+		return s.dispatch(req), noop
+	}
+	ac := s.Admission
+	if s.draining.Load() {
+		if ac != nil {
+			ac.ShedReads.Inc()
+		}
+		return netResponse{Err: ErrDraining.Error()}, noop
+	}
+	if req.BudgetMS < 0 {
+		if ac != nil {
+			ac.Expired.Inc()
+		}
+		return netResponse{Err: ErrBudgetExpired.Error()}, noop
+	}
+	if ac == nil {
+		return s.dispatch(req), noop
+	}
+	var deadline time.Time
+	switch {
+	case req.DeadlineUnixMS > 0:
+		deadline = time.UnixMilli(req.DeadlineUnixMS)
+	case req.BudgetMS > 0:
+		deadline = time.Now().Add(time.Duration(req.BudgetMS) * time.Millisecond)
+	}
+	// cutoff is the deadline minus the configured slack: a request past
+	// it is dead on arrival or will be by the time its answer lands —
+	// either way the budget burned upstream (an absolute deadline sees
+	// kernel and scheduler queueing the server never would), so shed
+	// before admission where it costs no queue slot.
+	cutoff := deadline
+	if !deadline.IsZero() {
+		cutoff = deadline.Add(-ac.cfg.MinSlack)
+	}
+	if !cutoff.IsZero() && time.Now().After(cutoff) {
+		ac.Expired.Inc()
+		return netResponse{Err: ErrBudgetExpired.Error()}, noop
+	}
+	weight := OpWeight(req.Op)
+	if err := ac.Acquire(weight, deadline); err != nil {
+		return netResponse{Err: err.Error()}, noop
+	}
+	release := func() { ac.Release(weight) }
+	if !cutoff.IsZero() && time.Now().After(cutoff) {
+		// The remaining budget burned up in the admission queue: the
+		// client gave up (or is about to), so don't compute a dead
+		// answer.
+		ac.Expired.Inc()
+		return netResponse{Err: ErrBudgetExpired.Error()}, release
+	}
+	return s.dispatch(req), release
 }
 
 // dispatch executes one request against the source. The source-side
@@ -433,6 +643,14 @@ func (s *Server) dispatch(req netRequest) netResponse {
 }
 
 func (s *Server) handleReports(conn net.Conn) {
+	if s.Admission != nil {
+		if !s.Admission.AdmitStream() {
+			// Refused before the "ready" ack: the dialer's handshake
+			// fails and its redial policy retries later.
+			return
+		}
+		defer s.Admission.ReleaseStream()
+	}
 	ch := make(chan []byte, 256)
 	s.mu.Lock()
 	select {
@@ -557,14 +775,24 @@ func (s *Server) handleSubscribe(conn net.Conn, br *bufio.Reader) {
 		return
 	}
 	sc := frameScanner(br)
+	s.armRead(conn)
 	if !sc.Scan() {
 		return
 	}
+	_ = conn.SetReadDeadline(time.Time{})
 	var req feedRequest
 	if err := decodeFrame(sc.Bytes(), &req); err != nil {
 		s.armWrite(conn)
 		_ = enc.Encode(feedHello{Err: err.Error()})
 		return
+	}
+	if s.Admission != nil {
+		if !s.Admission.AdmitStream() {
+			s.armWrite(conn)
+			_ = enc.Encode(feedHello{Err: ErrOverloaded.Error()})
+			return
+		}
+		defer s.Admission.ReleaseStream()
 	}
 	if len(req.Views) > 0 {
 		s.handleMultiSubscribe(conn, br, enc, hub, req)
@@ -705,6 +933,9 @@ func DialFeed(addr string, req FeedRequest) (*FeedClient, error) {
 		// hello.Err already carries the hub's "feed: ..." prefix.
 		if hello.Expired {
 			return nil, &feedExpiredError{msg: "warehouse: " + hello.Err}
+		}
+		if strings.Contains(hello.Err, overloadMarker) {
+			return nil, &overloadedError{msg: "warehouse: " + hello.Err}
 		}
 		return nil, fmt.Errorf("warehouse: %s", hello.Err)
 	}
@@ -868,6 +1099,7 @@ type RemoteSource struct {
 	lastReportSeq uint64
 	gapPending    bool
 	gapSeq        uint64
+	tailSuspect   uint64
 	streamClosed  bool
 
 	wire WireStats
@@ -1102,6 +1334,34 @@ func (rs *RemoteSource) TakeGap() (uint64, bool) {
 	return rs.gapSeq, true
 }
 
+// CheckTail flags a report gap when the stream has silently fallen
+// behind the sequence a query response already proved the source
+// reached. The in-stream discontinuity check cannot see a lost
+// *trailing* report — no later report ever arrives to reveal the jump —
+// but every query answer (including the federation's quiet-stream
+// liveness probe) carries the server's true sequence, so a persistent
+// lastSeq > lastReportSeq while the stream is idle means the tail was
+// dropped, not delayed. One check of grace is given before flagging:
+// reports travel on a separate, possibly slower connection, so the
+// first observation may just be a frame still in flight.
+func (rs *RemoteSource) CheckTail() {
+	rs.rmu.Lock()
+	defer rs.rmu.Unlock()
+	if rs.lastReportSeq == 0 || rs.lastSeq <= rs.lastReportSeq {
+		rs.tailSuspect = 0
+		return
+	}
+	if rs.tailSuspect == rs.lastSeq {
+		rs.noteGapLocked()
+		// Jump the report cursor forward so the same lost tail is not
+		// re-flagged after the resync repairs the views.
+		rs.lastReportSeq = rs.lastSeq
+		rs.tailSuspect = 0
+		return
+	}
+	rs.tailSuspect = rs.lastSeq
+}
+
 // StreamHealthy reports whether the report stream is still being
 // supervised (it is false once redial gave up or the source closed).
 func (rs *RemoteSource) StreamHealthy() bool {
@@ -1226,6 +1486,12 @@ func (rs *RemoteSource) WaitReportsTimeout(n int, timeout time.Duration) ([]*Upd
 func (rs *RemoteSource) roundTrip(req netRequest) (netResponse, error) {
 	rs.qmu.Lock()
 	defer rs.qmu.Unlock()
+	// Deadline propagation: stamp this client's per-exchange budget into
+	// the frame so the server can shed the request once nobody is left
+	// waiting for the answer. Old servers ignore the field.
+	if rs.opts.IOTimeout > 0 && req.BudgetMS == 0 {
+		req.BudgetMS = rs.opts.IOTimeout.Milliseconds()
+	}
 	reqBytes, err := json.Marshal(req)
 	if err != nil {
 		return netResponse{}, err
@@ -1340,7 +1606,7 @@ func (rs *RemoteSource) FetchObject(oid oem.OID) (*oem.Object, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+		return nil, remoteError(resp.Err)
 	}
 	if len(resp.Objects) == 0 {
 		return nil, fmt.Errorf("warehouse: remote returned no object for %s", oid)
@@ -1355,7 +1621,7 @@ func (rs *RemoteSource) FetchPath(n oem.OID) (*PathInfo, bool, error) {
 		return nil, false, err
 	}
 	if resp.Err != "" {
-		return nil, false, fmt.Errorf("warehouse: remote: %s", resp.Err)
+		return nil, false, remoteError(resp.Err)
 	}
 	return resp.Info, resp.Found, nil
 }
@@ -1367,7 +1633,7 @@ func (rs *RemoteSource) FetchAncestor(n oem.OID, p pathexpr.Path) (oem.OID, bool
 		return oem.NoOID, false, err
 	}
 	if resp.Err != "" {
-		return oem.NoOID, false, fmt.Errorf("warehouse: remote: %s", resp.Err)
+		return oem.NoOID, false, remoteError(resp.Err)
 	}
 	return resp.OID, resp.Found, nil
 }
@@ -1379,7 +1645,7 @@ func (rs *RemoteSource) FetchEval(n oem.OID, p pathexpr.Path) ([]*oem.Object, er
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+		return nil, remoteError(resp.Err)
 	}
 	return resp.Objects, nil
 }
@@ -1391,7 +1657,7 @@ func (rs *RemoteSource) FetchSubtree(n oem.OID, depth int) ([]*oem.Object, error
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+		return nil, remoteError(resp.Err)
 	}
 	return resp.Objects, nil
 }
@@ -1403,7 +1669,7 @@ func (rs *RemoteSource) FetchQuery(q *query.Query) ([]*oem.Object, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+		return nil, remoteError(resp.Err)
 	}
 	return resp.Objects, nil
 }
@@ -1425,7 +1691,7 @@ func (rs *RemoteSource) FetchQueryAt(q *query.Query, at uint64) ([]*oem.Object, 
 		if strings.Contains(resp.Err, "unknown op") {
 			return rs.FetchQuery(q)
 		}
-		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+		return nil, remoteError(resp.Err)
 	}
 	return resp.Objects, nil
 }
@@ -1442,7 +1708,7 @@ func (rs *RemoteSource) FetchMembers(view string) ([]oem.OID, error) {
 		if strings.Contains(resp.Err, "unknown op") {
 			return nil, fmt.Errorf("%w: %s", ErrUnsupportedRequest, resp.Err)
 		}
-		return nil, fmt.Errorf("warehouse: remote: %s", resp.Err)
+		return nil, remoteError(resp.Err)
 	}
 	return resp.Members, nil
 }

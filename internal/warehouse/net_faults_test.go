@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gsv/internal/oem"
+	"gsv/internal/query"
 	"gsv/internal/store"
 )
 
@@ -249,5 +250,143 @@ func TestNetBadReportFramesCounted(t *testing.T) {
 	}
 	if ws.LastDecodeErr == "" {
 		t.Fatal("last decode error not retained")
+	}
+}
+
+// TestCheckTailFlagsLostTrailingReport: the in-stream discontinuity
+// check can never see a dropped *final* report — no later report
+// arrives to reveal the jump. CheckTail closes that hole by comparing
+// the stream position against the sequence query responses prove the
+// source reached, with one check of grace for frames still in flight.
+func TestCheckTailFlagsLostTrailingReport(t *testing.T) {
+	src, server, remote := startNetSource(t, Level2)
+
+	// Establish a stream position.
+	reports, err := src.Modify("A1", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Broadcast(reports); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := remote.WaitReportsTimeout(1, 5*time.Second); !ok {
+		t.Fatal("first report missing")
+	}
+
+	// A delayed (not lost) frame must not flag: raise suspicion, then
+	// let the report arrive before the confirming check.
+	if reports, err = src.Modify("A1", oem.Int(40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.FetchObject("P1"); err != nil { // lastSeq runs ahead
+		t.Fatal(err)
+	}
+	remote.CheckTail()
+	if err := server.Broadcast(reports); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := remote.WaitReportsTimeout(1, 5*time.Second); !ok {
+		t.Fatal("delayed report missing")
+	}
+	remote.CheckTail()
+	if _, gapped := remote.TakeGap(); gapped {
+		t.Fatal("gap flagged for a frame that was merely delayed")
+	}
+
+	// Now actually lose the trailing report.
+	if _, err := src.Modify("A1", oem.Int(45)); err != nil {
+		t.Fatal(err)
+	}
+	src.DrainReports() // never broadcast: the frame is dropped
+	if _, err := remote.FetchObject("P1"); err != nil {
+		t.Fatal(err)
+	}
+	remote.CheckTail() // suspicion
+	if _, gapped := remote.TakeGap(); gapped {
+		t.Fatal("gap flagged without the grace check")
+	}
+	remote.CheckTail() // confirmation
+	seq, gapped := remote.TakeGap()
+	if !gapped {
+		t.Fatal("lost trailing report not flagged as a gap")
+	}
+	if seq == 0 {
+		t.Fatal("tail gap recorded with zero last-seq")
+	}
+	if remote.wire.Gaps.Value() == 0 {
+		t.Fatal("tail gap not counted in gsv_remote_gaps_total")
+	}
+	// The report cursor jumped forward, so the same lost tail is not
+	// re-flagged forever.
+	remote.CheckTail()
+	remote.CheckTail()
+	if _, gapped := remote.TakeGap(); gapped {
+		t.Fatal("same lost tail flagged twice")
+	}
+}
+
+// TestWarehouseQuarantinesLostTrailingReport drills the full repair
+// path the shard soak depends on: a view silently missing the last
+// update (its report was dropped in flight) must go Stale once the
+// tail check fires — even on an empty maintenance round — and a resync
+// must restore the true membership.
+func TestWarehouseQuarantinesLostTrailingReport(t *testing.T) {
+	src, server, remote := startNetSource(t, Level2)
+	w := New(remote)
+	v, err := w.DefineView("YP", query.MustParse("SELECT ROOT.professor X WHERE X.age <= 45"),
+		ViewConfig{Screening: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One maintained round so the stream has a position: P1 leaves.
+	reports, err := src.Modify("A1", oem.Int(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Broadcast(reports); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := remote.WaitReportsTimeout(len(reports), 5*time.Second)
+	if !ok {
+		t.Fatal("report missing")
+	}
+	if err := w.ProcessBatch(got); err != nil {
+		t.Fatal(err)
+	}
+	if members, _ := v.MV.Members(); len(members) != 0 {
+		t.Fatalf("after modify = %v", members)
+	}
+
+	// P1 rejoins, but the report is lost in flight: the view is wrong
+	// and Fresh — the silent miss.
+	if _, err := src.Modify("A1", oem.Int(45)); err != nil {
+		t.Fatal(err)
+	}
+	src.DrainReports()
+	if members, _ := v.MV.Members(); len(members) != 0 {
+		t.Fatalf("view saw the dropped report? %v", members)
+	}
+
+	// Quiet maintenance rounds: a probe teaches the client the true
+	// sequence, the tail check confirms the loss, and even an empty
+	// batch must absorb the gap into staleness.
+	for i := 0; i < 2 && len(w.StaleViews()) == 0; i++ {
+		if _, err := remote.FetchObject("P1"); err != nil {
+			t.Fatal(err)
+		}
+		remote.CheckTail()
+		if err := w.ProcessBatch(remote.DrainReports()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stale := w.StaleViews(); len(stale) != 1 || stale[0] != "YP" {
+		t.Fatalf("StaleViews = %v, want [YP]", stale)
+	}
+	if n, err := w.RepairAll(); err != nil || n != 1 {
+		t.Fatalf("RepairAll = %d, %v", n, err)
+	}
+	if members, _ := v.MV.Members(); !oem.SameMembers(members, []oem.OID{"P1"}) {
+		t.Fatalf("after repair = %v, want [P1]", members)
 	}
 }

@@ -767,6 +767,10 @@ func (w *Warehouse) ProcessAll(rs []*UpdateReport) error {
 // views. Failures come back joined.
 func (w *Warehouse) ProcessBatch(rs []*UpdateReport) error {
 	if len(rs) == 0 {
+		// Even an empty round must absorb a pending report-stream gap:
+		// a lost *trailing* report surfaces as a gap with no batch
+		// behind it (RemoteSource.CheckTail).
+		w.absorbSourceGap()
 		return nil
 	}
 	// Write-ahead: the whole batch becomes durable before any view

@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the overload side of the read workload: a closed-loop
+// generator whose every request carries a deadline budget (the wire
+// protocol's budget_ms field) and whose result separates *goodput* —
+// answers that arrived within the budget — from dead answers, typed
+// sheds and failures. E17 and cmd/gsdbload drive it against protected
+// and unprotected servers to measure what admission control buys.
+
+// overloadedMarker identifies a typed retryable shed in a response's
+// error string (warehouse.ErrOverloaded's message; workload sits below
+// warehouse in the dependency order, so the marker is repeated here).
+const overloadedMarker = "overloaded (retryable)"
+
+// BudgetedReadConfig configures RunBudgetedReadLoad.
+type BudgetedReadConfig struct {
+	// Addrs are the servers to read from; clients are spread across
+	// them round-robin.
+	Addrs []string
+	// Clients is the total number of concurrent reader connections
+	// (default 4). Offered load scales with it: a closed-loop client
+	// keeps exactly one request in flight.
+	Clients int
+	// Duration is how long to drive reads (default 1s).
+	Duration time.Duration
+	// Warmup, when positive, extends the run by an unmeasured ramp-up:
+	// requests sent before it elapses are not counted, so closed-loop
+	// results reflect steady state rather than the empty-queue start.
+	Warmup time.Duration
+	// Queries are full query statements driven via the "query" op.
+	Queries []string
+	// Views are view names driven via the "members" op.
+	Views []string
+	// Objects are OIDs driven via the "object" op.
+	Objects []string
+	// Budget is the per-request deadline budget, stamped into every
+	// frame as budget_ms; an answer arriving after it is a dead answer
+	// (Late), not goodput (default 25ms).
+	Budget time.Duration
+	// ShedBackoff is how long a client waits after a shed before
+	// retrying — the client half of the retryable-overload contract
+	// (default 5ms).
+	ShedBackoff time.Duration
+	// Seed seeds per-client request interleaving (default 1).
+	Seed int64
+}
+
+// BudgetedReadResult aggregates one RunBudgetedReadLoad run.
+type BudgetedReadResult struct {
+	// Good counts answers that arrived within the budget: the goodput.
+	Good uint64
+	// Late counts dead answers — successful responses that arrived
+	// after the budget, when the caller had already given up.
+	Late uint64
+	// Sheds counts typed retryable overload sheds (ErrOverloaded,
+	// ErrDraining, ErrBudgetExpired on the wire).
+	Sheds uint64
+	// Rejected counts other server-side errors.
+	Rejected uint64
+	// Errors counts transport-level failures (dial, write, read).
+	Errors uint64
+	// Elapsed is the measured wall-clock window.
+	Elapsed time.Duration
+	// Latencies holds every successful answer's latency in seconds
+	// (good and late alike), for percentile reporting.
+	Latencies []float64
+}
+
+// Goodput is the within-budget read throughput per second.
+func (r BudgetedReadResult) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Good) / r.Elapsed.Seconds()
+}
+
+// P99 is the 99th-percentile answer latency in seconds (0 when no
+// answer arrived).
+func (r BudgetedReadResult) P99() float64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.Latencies...)
+	sort.Float64s(s)
+	i := (len(s)*99 + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(s) {
+		i = len(s)
+	}
+	return s[i-1]
+}
+
+// String summarizes the result for logs.
+func (r BudgetedReadResult) String() string {
+	return fmt.Sprintf("%d good in %s (%.0f good/s, p99 %.2fms, %d late, %d shed, %d rejected, %d errors)",
+		r.Good, r.Elapsed.Round(time.Millisecond), r.Goodput(), r.P99()*1e3,
+		r.Late, r.Sheds, r.Rejected, r.Errors)
+}
+
+// budgetRequest is the wire shape of a budgeted read: one of the three
+// read ops plus the deadline budget (warehouse netRequest subset).
+type budgetRequest struct {
+	Op       string `json:"op"`
+	OID      string `json:"oid,omitempty"`
+	View     string `json:"view,omitempty"`
+	Query    string `json:"query,omitempty"`
+	BudgetMS int64  `json:"budget_ms,omitempty"`
+	// DeadlineUnixMS is the absolute deadline (send time + budget). The
+	// generator always runs against same-host servers, where absolute
+	// deadlines are skew-free and let the server shed dead-on-arrival
+	// requests whose budget burned in upstream queues.
+	DeadlineUnixMS int64 `json:"deadline_unix_ms,omitempty"`
+}
+
+// RunBudgetedReadLoad drives closed-loop budgeted reads against
+// cfg.Addrs for cfg.Duration. Each client owns one "query"-mode TCP
+// connection and keeps one request in flight; sheds back off briefly
+// and retry, transport errors redial, and every answer is classified
+// against the budget it was stamped with.
+func RunBudgetedReadLoad(cfg BudgetedReadConfig) BudgetedReadResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 25 * time.Millisecond
+	}
+	if cfg.ShedBackoff <= 0 {
+		cfg.ShedBackoff = 5 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	var res BudgetedReadResult
+	if len(cfg.Addrs) == 0 || (len(cfg.Queries) == 0 && len(cfg.Views) == 0 && len(cfg.Objects) == 0) {
+		return res
+	}
+	// The IO deadline is generous on purpose: the run must *observe*
+	// dead answers from an unprotected server to count them as Late.
+	ioTimeout := 8 * cfg.Budget
+	if ioTimeout < 2*time.Second {
+		ioTimeout = 2 * time.Second
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	for i := 0; i < cfg.Clients; i++ {
+		addr := cfg.Addrs[i%len(cfg.Addrs)]
+		wg.Add(1)
+		go func(addr string, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var local BudgetedReadResult
+			defer func() {
+				mu.Lock()
+				res.Good += local.Good
+				res.Late += local.Late
+				res.Sheds += local.Sheds
+				res.Rejected += local.Rejected
+				res.Errors += local.Errors
+				res.Latencies = append(res.Latencies, local.Latencies...)
+				mu.Unlock()
+			}()
+			var conn net.Conn
+			var br *bufio.Reader
+			dial := func() bool {
+				var err error
+				conn, err = net.DialTimeout("tcp", addr, ioTimeout)
+				if err != nil {
+					local.Errors++
+					return false
+				}
+				if _, err := conn.Write([]byte("query\n")); err != nil {
+					local.Errors++
+					conn.Close()
+					conn = nil
+					return false
+				}
+				br = bufio.NewReader(conn)
+				return true
+			}
+			defer func() {
+				if conn != nil {
+					conn.Close()
+				}
+			}()
+			pause := func(d time.Duration) bool {
+				select {
+				case <-stop:
+					return false
+				case <-time.After(d):
+					return true
+				}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if conn == nil && !dial() {
+					if !pause(10 * time.Millisecond) {
+						return
+					}
+					continue
+				}
+				req := budgetRequest{BudgetMS: cfg.Budget.Milliseconds()}
+				switch {
+				case len(cfg.Queries) > 0:
+					req.Op = "query"
+					req.Query = cfg.Queries[rng.Intn(len(cfg.Queries))]
+				case len(cfg.Views) > 0 && (len(cfg.Objects) == 0 || rng.Intn(2) == 0):
+					req.Op = "members"
+					req.View = cfg.Views[rng.Intn(len(cfg.Views))]
+				default:
+					req.Op = "object"
+					req.OID = cfg.Objects[rng.Intn(len(cfg.Objects))]
+				}
+				sent := time.Now()
+				req.DeadlineUnixMS = sent.Add(cfg.Budget).UnixMilli()
+				frame, err := json.Marshal(req)
+				if err != nil {
+					local.Errors++
+					return
+				}
+				_ = conn.SetDeadline(sent.Add(ioTimeout))
+				if _, err := conn.Write(append(frame, '\n')); err != nil {
+					local.Errors++
+					conn.Close()
+					conn = nil
+					continue
+				}
+				line, err := br.ReadBytes('\n')
+				if err != nil {
+					local.Errors++
+					conn.Close()
+					conn = nil
+					continue
+				}
+				lat := time.Since(sent)
+				var resp readResponse
+				if err := json.Unmarshal(line, &resp); err != nil {
+					local.Errors++
+					conn.Close()
+					conn = nil
+					continue
+				}
+				measured := !sent.Before(measureFrom)
+				if resp.Err != "" {
+					if strings.Contains(resp.Err, overloadedMarker) {
+						if measured {
+							local.Sheds++
+						}
+						// Jittered backoff: a synchronized herd of shed
+						// clients re-offering in lockstep would defeat
+						// the shedding.
+						backoff := cfg.ShedBackoff/2 + time.Duration(rng.Int63n(int64(cfg.ShedBackoff)))
+						if !pause(backoff) {
+							return
+						}
+					} else if measured {
+						local.Rejected++
+					}
+					continue
+				}
+				if !measured {
+					continue
+				}
+				local.Latencies = append(local.Latencies, lat.Seconds())
+				if lat <= cfg.Budget {
+					local.Good++
+				} else {
+					local.Late++
+				}
+			}
+		}(addr, cfg.Seed+int64(i)*7919)
+	}
+	timer := time.NewTimer(cfg.Warmup + cfg.Duration)
+	<-timer.C
+	// The measured window closes now; wg.Wait below only lets in-flight
+	// requests finish (their answers may still be classified, a
+	// negligible overshoot) — the wait must not stretch Elapsed, or slow
+	// stragglers would deflate the computed rates.
+	res.Elapsed = time.Since(measureFrom)
+	close(stop)
+	wg.Wait()
+	return res
+}
